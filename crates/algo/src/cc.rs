@@ -1,0 +1,135 @@
+//! Connected components by minimum-label propagation: every vertex
+//! repeatedly adopts the smallest label in its closed neighbourhood until
+//! a fixpoint; vertices sharing a component converge to the component's
+//! minimum vertex id.
+
+use graphblas_core::operations::{all_indices, ewise_add_v, mxv};
+use graphblas_core::{
+    BinaryOp, Descriptor, GrbResult, Matrix, Monoid, Semiring, Vector,
+};
+
+use crate::square_dim;
+
+/// Component labels for an undirected graph (symmetric adjacency matrix):
+/// `labels[v]` = smallest vertex id in `v`'s component. Dense output.
+pub fn connected_components(a: &Matrix<bool>) -> GrbResult<Vector<u64>> {
+    let n = square_dim(a)?;
+    let labels = Vector::<u64>::new_in(&a.context(), n)?;
+    let ids: Vec<u64> = (0..n as u64).collect();
+    labels.build(&all_indices(n), &ids, None)?;
+
+    // MIN.SECOND over (edge, neighbour label): propagate the smallest
+    // neighbour label along edges.
+    let min_second: Semiring<bool, u64, u64> =
+        Semiring::new(Monoid::min(), BinaryOp::second());
+    let neighbour_min = Vector::<u64>::new_in(&a.context(), n)?;
+    loop {
+        mxv(
+            &neighbour_min,
+            graphblas_core::no_mask_v(),
+            None,
+            &min_second,
+            a,
+            &labels,
+            &Descriptor::default(),
+        )?;
+        let before = labels.extract_tuples()?;
+        ewise_add_v(
+            &labels,
+            graphblas_core::no_mask_v(),
+            None,
+            &BinaryOp::min(),
+            &labels,
+            &neighbour_min,
+            &Descriptor::default(),
+        )?;
+        if labels.extract_tuples()? == before {
+            return Ok(labels);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let a = Matrix::<bool>::new(n, n).unwrap();
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for &(u, v) in edges {
+            rows.push(u);
+            cols.push(v);
+            rows.push(v);
+            cols.push(u);
+        }
+        a.build(&rows, &cols, &vec![true; rows.len()], Some(&BinaryOp::lor()))
+            .unwrap();
+        a
+    }
+
+    fn labels(v: &Vector<u64>) -> Vec<u64> {
+        (0..v.size())
+            .map(|i| v.extract_element(i).unwrap().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn two_components() {
+        let a = undirected(5, &[(0, 1), (1, 2), (3, 4)]);
+        let l = labels(&connected_components(&a).unwrap());
+        assert_eq!(l, vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_component() {
+        let a = undirected(4, &[(1, 2)]);
+        let l = labels(&connected_components(&a).unwrap());
+        assert_eq!(l, vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn long_path_converges() {
+        let n = 50;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let a = undirected(n, &edges);
+        let l = labels(&connected_components(&a).unwrap());
+        assert!(l.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graph() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let n = 60;
+        let mut edges = Vec::new();
+        for _ in 0..70 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        // Union-find reference.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for &(u, v) in &edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            parent[ru.max(rv)] = ru.min(rv);
+        }
+        let a = undirected(n, &edges);
+        let got = labels(&connected_components(&a).unwrap());
+        for u in 0..n {
+            for v in 0..n {
+                let same_ref = find(&mut parent, u) == find(&mut parent, v);
+                assert_eq!(got[u] == got[v], same_ref, "vertices {u},{v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Graph algorithms written purely against the public GraphBLAS 2.0 API —
+//! the role the LAGraph library plays for the C specification, and the
+//! workload layer whose needs (index access, select, scalar outputs)
+//! motivated the 2.0 features this workspace reproduces.
+//!
+//! * [`bc`] — Brandes betweenness centrality (masked forward/backward
+//!   sweeps with a per-level frontier stack).
+//! * [`bfs`] — breadth-first search (levels and parents); parents use the
+//!   index-carrying frontier that §II of the paper cites as the classic
+//!   "indices packed into values" workload.
+//! * [`sssp`] — Bellman-Ford single-source shortest paths over MIN.PLUS.
+//! * [`mod@pagerank`] — damped PageRank with dangling-mass redistribution.
+//! * [`triangles`] — Sandia `tril`-masked triangle counting (built on the
+//!   new `select` operation and masked `mxm`).
+//! * [`cc`] — connected components by minimum-label propagation.
+//! * [`mis`] — Luby-style maximal independent set with hashed priorities.
+//! * [`kcore`] — k-core membership by iterative peeling.
+//! * [`ktruss`] — k-truss decomposition (iterated masked SpGEMM + select).
+//! * [`lcc`] — local clustering coefficients.
+
+pub mod bc;
+pub mod bfs;
+pub mod cc;
+pub mod kcore;
+pub mod ktruss;
+pub mod lcc;
+pub mod mis;
+pub mod pagerank;
+pub mod sssp;
+pub mod triangles;
+
+pub use bc::betweenness_centrality;
+pub use bfs::{bfs_levels, bfs_parents};
+pub use cc::connected_components;
+pub use kcore::k_core;
+pub use ktruss::k_truss;
+pub use lcc::local_clustering_coefficient;
+pub use mis::maximal_independent_set;
+pub use pagerank::pagerank;
+pub use sssp::sssp_bellman_ford;
+pub use triangles::triangle_count;
+
+use graphblas_core::{ApiError, GrbResult, Matrix, ValueType};
+
+/// Validates that `a` is square, returning its dimension.
+pub(crate) fn square_dim<T: ValueType>(a: &Matrix<T>) -> GrbResult<usize> {
+    let (n, m) = (a.nrows(), a.ncols());
+    if n != m {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+    Ok(n)
+}

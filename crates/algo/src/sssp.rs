@@ -1,0 +1,114 @@
+//! Single-source shortest paths: Bellman-Ford over the MIN.PLUS
+//! (tropical) semiring, iterated to a fixpoint.
+
+use graphblas_core::operations::{ewise_add_v, vxm};
+use graphblas_core::{
+    ApiError, BinaryOp, Descriptor, Error, ExecErrorKind, GrbResult, Index, Matrix, Semiring,
+    Vector,
+};
+
+use crate::square_dim;
+
+/// Shortest-path distances from `source` over non-negative (or
+/// negative-cycle-free) edge weights. Unreachable vertices have no entry.
+/// A distance still improving after `n` relaxation rounds means a
+/// negative cycle — reported as an execution error.
+pub fn sssp_bellman_ford(a: &Matrix<f64>, source: Index) -> GrbResult<Vector<f64>> {
+    let n = square_dim(a)?;
+    if source >= n {
+        return Err(ApiError::InvalidIndex.into());
+    }
+    let dist = Vector::<f64>::new_in(&a.context(), n)?;
+    dist.set_element(0.0, source)?;
+    let relaxed = Vector::<f64>::new_in(&a.context(), n)?;
+    let min_plus = Semiring::<f64, f64, f64>::min_plus();
+    for round in 0..=n {
+        // relaxed = dist MIN.+ A
+        vxm(
+            &relaxed,
+            graphblas_core::no_mask_v(),
+            None,
+            &min_plus,
+            &dist,
+            a,
+            &Descriptor::default(),
+        )?;
+        // candidate = min(dist, relaxed) elementwise (union).
+        let before = dist.extract_tuples()?;
+        ewise_add_v(
+            &dist,
+            graphblas_core::no_mask_v(),
+            None,
+            &BinaryOp::min(),
+            &dist,
+            &relaxed,
+            &Descriptor::default(),
+        )?;
+        if dist.extract_tuples()? == before {
+            return Ok(dist);
+        }
+        if round == n {
+            return Err(Error::Execution(graphblas_core::ExecutionError::new(
+                ExecErrorKind::InvalidObject,
+                "negative cycle reachable from source",
+            )));
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted(n: usize, edges: &[(usize, usize, f64)]) -> Matrix<f64> {
+        let a = Matrix::<f64>::new(n, n).unwrap();
+        a.build(
+            &edges.iter().map(|e| e.0).collect::<Vec<_>>(),
+            &edges.iter().map(|e| e.1).collect::<Vec<_>>(),
+            &edges.iter().map(|e| e.2).collect::<Vec<_>>(),
+            None,
+        )
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn shortest_path_prefers_cheap_detour() {
+        let a = weighted(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)],
+        );
+        let d = sssp_bellman_ford(&a, 0).unwrap();
+        assert_eq!(d.extract_element(3).unwrap(), Some(3.0));
+        assert_eq!(d.extract_element(0).unwrap(), Some(0.0));
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_entry() {
+        let a = weighted(3, &[(0, 1, 2.0)]);
+        let d = sssp_bellman_ford(&a, 0).unwrap();
+        assert_eq!(d.extract_element(2).unwrap(), None);
+        assert_eq!(d.nvals().unwrap(), 2);
+    }
+
+    #[test]
+    fn negative_edges_without_cycle_are_fine() {
+        let a = weighted(3, &[(0, 1, 5.0), (1, 2, -3.0), (0, 2, 4.0)]);
+        let d = sssp_bellman_ford(&a, 0).unwrap();
+        assert_eq!(d.extract_element(2).unwrap(), Some(2.0));
+    }
+
+    #[test]
+    fn negative_cycle_detected() {
+        let a = weighted(2, &[(0, 1, 1.0), (1, 0, -3.0)]);
+        let err = sssp_bellman_ford(&a, 0).unwrap_err();
+        assert!(err.is_execution());
+    }
+
+    #[test]
+    fn source_validation() {
+        let a = weighted(2, &[]);
+        assert!(sssp_bellman_ford(&a, 9).is_err());
+    }
+}

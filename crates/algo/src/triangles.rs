@@ -1,0 +1,132 @@
+//! Triangle counting (Sandia variant): `Σ (L ⊕.pair L) ⟨L⟩` where
+//! `L = tril(A, −1)`.
+//!
+//! This is the flagship composition of GraphBLAS 2.0 features: the new
+//! `select` operation extracts the strictly-lower triangle with the
+//! predefined `TRIL` operator (Table IV), a *structure-masked* `mxm` over
+//! the PLUS.PAIR semiring counts wedges only where a closing edge exists,
+//! and `reduce` folds the count matrix to a scalar.
+
+use graphblas_core::operations::{mxm, reduce_to_value, select};
+use graphblas_core::{
+    Descriptor, GrbResult, IndexUnaryOp, Matrix, Monoid, Semiring,
+};
+
+use crate::square_dim;
+
+/// Counts triangles in an undirected simple graph given as a symmetric
+/// boolean adjacency matrix without self-loops.
+pub fn triangle_count(a: &Matrix<bool>) -> GrbResult<u64> {
+    let n = square_dim(a)?;
+    // L = strictly lower triangle of A.
+    let l = Matrix::<bool>::new_in(&a.context(), n, n)?;
+    select(
+        &l,
+        graphblas_core::no_mask(),
+        None,
+        &IndexUnaryOp::tril(),
+        a,
+        -1i64,
+        &Descriptor::default(),
+    )?;
+    // C⟨L⟩ = L ⊕.pair L: C(i,j) counts wedges i–k–j entirely below the
+    // diagonal; the structure mask keeps only pairs (i,j) whose closing
+    // edge exists, so each triangle is counted exactly once.
+    let c = Matrix::<u64>::new_in(&a.context(), n, n)?;
+    mxm(
+        &c,
+        Some(&l),
+        None,
+        &Semiring::<bool, bool, u64>::plus_pair(),
+        &l,
+        &l,
+        &Descriptor::new().structure_mask(),
+    )?;
+    reduce_to_value(&Monoid::plus(), &c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_core::BinaryOp;
+
+    fn undirected(n: usize, edges: &[(usize, usize)]) -> Matrix<bool> {
+        let a = Matrix::<bool>::new(n, n).unwrap();
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        for &(u, v) in edges {
+            rows.push(u);
+            cols.push(v);
+            rows.push(v);
+            cols.push(u);
+        }
+        a.build(&rows, &cols, &vec![true; rows.len()], Some(&BinaryOp::lor()))
+            .unwrap();
+        a
+    }
+
+    #[test]
+    fn single_triangle() {
+        let a = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle_count(&a).unwrap(), 1);
+    }
+
+    #[test]
+    fn square_has_no_triangles() {
+        let a = undirected(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(triangle_count(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn complete_graph_count() {
+        // K5 has C(5,3) = 10 triangles.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let a = undirected(5, &edges);
+        assert_eq!(triangle_count(&a).unwrap(), 10);
+    }
+
+    #[test]
+    fn two_disjoint_triangles_plus_tail() {
+        let a = undirected(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (5, 6)],
+        );
+        assert_eq!(triangle_count(&a).unwrap(), 2);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matches_brute_force_on_random_graph() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let n = 30;
+        let mut edges = Vec::new();
+        let mut adj = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.2) {
+                    edges.push((i, j));
+                    adj[i][j] = true;
+                    adj[j][i] = true;
+                }
+            }
+        }
+        let mut brute = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    if adj[i][j] && adj[j][k] && adj[i][k] {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        let a = undirected(n, &edges);
+        assert_eq!(triangle_count(&a).unwrap(), brute);
+    }
+}

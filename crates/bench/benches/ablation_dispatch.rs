@@ -1,0 +1,73 @@
+//! §II motivation B — per-scalar indirect calls (operator objects routed
+//! through `Arc<dyn Fn>`) vs monomorphized closures, on the raw SpGEMM
+//! and SpMV kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::random_csr;
+use graphblas_core::Semiring;
+use graphblas_exec::global_context;
+use graphblas_sparse::{spgemm::spgemm, spmv::spmv, SparseVec};
+
+fn bench(c: &mut Criterion) {
+    let ctx = global_context();
+    let mut group = c.benchmark_group("ablation_dispatch");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for n in [1024usize, 2048] {
+        let a = random_csr(n, n * 16, 21);
+        let sr = Semiring::<f64, f64, f64>::plus_times();
+        group.bench_with_input(BenchmarkId::new("spgemm_dyn", n), &n, |b, _| {
+            b.iter(|| {
+                spgemm(
+                    &ctx,
+                    &a,
+                    &a,
+                    |x, y| sr.multiply(x, y),
+                    |acc, z| *acc = sr.combine(acc, &z),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spgemm_static", n), &n, |b, _| {
+            b.iter(|| {
+                spgemm(
+                    &ctx,
+                    &a,
+                    &a,
+                    |x: &f64, y: &f64| x * y,
+                    |acc: &mut f64, z: f64| *acc += z,
+                )
+            })
+        });
+
+        let x = SparseVec::from_parts(n, (0..n).collect(), vec![1.0f64; n]).unwrap();
+        group.bench_with_input(BenchmarkId::new("spmv_dyn", n), &n, |b, _| {
+            b.iter(|| {
+                spmv(
+                    &ctx,
+                    &a,
+                    &x,
+                    |av, xv| sr.multiply(av, xv),
+                    |p, q| sr.combine(&p, &q),
+                    None,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spmv_static", n), &n, |b, _| {
+            b.iter(|| {
+                spmv(
+                    &ctx,
+                    &a,
+                    &x,
+                    |av: &f64, xv: &f64| av * xv,
+                    |p: f64, q: f64| p + q,
+                    None,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! §III — the fusion latitude: a chain of k in-place element-wise stages
+//! in a nonblocking context (fused into one traversal at `wait`) vs the
+//! same chain executed eagerly in a blocking context.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_core::operations::apply_v;
+use graphblas_core::{
+    global_context, no_mask_v, Context, ContextOptions, Descriptor, Mode, UnaryOp, Vector,
+    WaitMode,
+};
+
+fn bench(c: &mut Criterion) {
+    let n = 1usize << 18;
+    let idx: Vec<usize> = (0..n).collect();
+    let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("ablation_fusion");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        for (label, mode) in [("eager", Mode::Blocking), ("fused", Mode::NonBlocking)] {
+            let ctx = Context::new(&global_context(), mode, ContextOptions::default());
+            let v = Vector::<f64>::new_in(&ctx, n).unwrap();
+            v.build(&idx, &vals, None).unwrap();
+            v.wait(WaitMode::Materialize).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(label, k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        for _ in 0..k {
+                            apply_v(
+                                &v,
+                                no_mask_v(),
+                                None,
+                                &UnaryOp::new("inc", |x: &f64| x + 1.0),
+                                &v,
+                                &Descriptor::default(),
+                            )
+                            .unwrap();
+                        }
+                        v.wait(WaitMode::Complete).unwrap();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation — monoid terminal (annihilator) early exit: boolean
+//! reachability products with and without the LOR terminal declared.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas_core::operations::mxv;
+use graphblas_core::{
+    no_mask_v, BinaryOp, Descriptor, Matrix, Monoid, Semiring, Vector, WaitMode,
+};
+
+fn bench(c: &mut Criterion) {
+    let n = 2048usize;
+    let a = Matrix::<bool>::new(n, n).unwrap();
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    for i in 0..n {
+        for j in 0..64 {
+            rows.push(i);
+            cols.push((i + j) % n);
+        }
+    }
+    a.build(&rows, &cols, &vec![true; rows.len()], Some(&BinaryOp::lor()))
+        .unwrap();
+    a.wait(WaitMode::Materialize).unwrap();
+    let x = Vector::<bool>::new(n).unwrap();
+    x.build(&(0..n).collect::<Vec<_>>(), &vec![true; n], None)
+        .unwrap();
+    let w = Vector::<bool>::new(n).unwrap();
+
+    let with_terminal = Semiring::new(Monoid::lor(), BinaryOp::land());
+    let without_terminal = Semiring::new(Monoid::new(BinaryOp::lor(), false), BinaryOp::land());
+
+    let mut group = c.benchmark_group("ablation_terminal");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    group.bench_function("lor_with_terminal", |b| {
+        b.iter(|| {
+            mxv(
+                &w,
+                no_mask_v(),
+                None,
+                &with_terminal,
+                &a,
+                &x,
+                &Descriptor::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("lor_without_terminal", |b| {
+        b.iter(|| {
+            mxv(
+                &w,
+                no_mask_v(),
+                None,
+                &without_terminal,
+                &a,
+                &x,
+                &Descriptor::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

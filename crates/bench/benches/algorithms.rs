@@ -1,0 +1,46 @@
+//! Algorithm-layer benchmarks (the LAGraph role): BFS, SSSP, PageRank,
+//! triangle counting, connected components on RMAT graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_algo::{
+    betweenness_centrality, bfs_levels, connected_components, pagerank, sssp_bellman_ford,
+    triangle_count,
+};
+use graphblas_bench::{rmat_bool, rmat_weighted};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for scale in [11u32, 13] {
+        let a = rmat_bool(scale, 8, scale as u64);
+        let w = rmat_weighted(scale, 8, scale as u64);
+        group.bench_with_input(BenchmarkId::new("bfs_levels", scale), &scale, |b, _| {
+            b.iter(|| bfs_levels(&a, 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sssp", scale), &scale, |b, _| {
+            b.iter(|| sssp_bellman_ford(&w, 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", scale), &scale, |b, _| {
+            b.iter(|| pagerank(&a, 0.85, 1e-6, 30).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("triangles", scale), &scale, |b, _| {
+            b.iter(|| triangle_count(&a).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("connected_components", scale),
+            &scale,
+            |b, _| b.iter(|| connected_components(&a).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("betweenness_4src", scale),
+            &scale,
+            |b, _| b.iter(|| betweenness_centrality(&a, &[0, 1, 2, 3]).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

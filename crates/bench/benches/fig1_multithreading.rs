@@ -1,0 +1,109 @@
+//! Fig. 1 — the two-thread shared-matrix pipeline vs its sequential
+//! schedule. Measures the whole synchronized program.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::random_matrix;
+use graphblas_core::operations::mxm;
+use graphblas_core::{
+    global_context, no_mask, Context, ContextOptions, Descriptor, Matrix, Mode, Semiring,
+    WaitMode,
+};
+
+fn sequential(n: usize) -> usize {
+    let sr = Semiring::<f64, f64, f64>::plus_times();
+    let desc = Descriptor::default();
+    let (a, b, d, e, f) = (
+        random_matrix(n, 6 * n, 1),
+        random_matrix(n, 6 * n, 2),
+        random_matrix(n, 6 * n, 3),
+        random_matrix(n, 6 * n, 4),
+        random_matrix(n, 6 * n, 5),
+    );
+    let c = Matrix::<f64>::new(n, n).unwrap();
+    let esh = Matrix::<f64>::new(n, n).unwrap();
+    let dres = Matrix::<f64>::new(n, n).unwrap();
+    let g = Matrix::<f64>::new(n, n).unwrap();
+    let hres = Matrix::<f64>::new(n, n).unwrap();
+    mxm(&c, no_mask(), None, &sr, &a, &b, &desc).unwrap();
+    mxm(&esh, no_mask(), None, &sr, &d, &c, &desc).unwrap();
+    mxm(&dres, no_mask(), None, &sr, &a, &esh, &desc).unwrap();
+    mxm(&g, no_mask(), None, &sr, &e, &f, &desc).unwrap();
+    mxm(&hres, no_mask(), None, &sr, &g, &esh, &desc).unwrap();
+    dres.nvals().unwrap() + hres.nvals().unwrap()
+}
+
+fn two_threads(n: usize) -> usize {
+    let sr = Semiring::<f64, f64, f64>::plus_times();
+    let desc = Descriptor::default();
+    let ctx = Context::new(
+        &global_context(),
+        Mode::NonBlocking,
+        ContextOptions::default(),
+    );
+    let esh = Matrix::<f64>::new_in(&ctx, n, n).unwrap();
+    let dres = Matrix::<f64>::new_in(&ctx, n, n).unwrap();
+    let hres = Matrix::<f64>::new_in(&ctx, n, n).unwrap();
+    let flag = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        {
+            let (esh, dres, ctx, sr) = (esh.clone(), dres.clone(), ctx.clone(), sr.clone());
+            let flag = &flag;
+            s.spawn(move || {
+                let (a, b, d) = (
+                    random_matrix(n, 6 * n, 1),
+                    random_matrix(n, 6 * n, 2),
+                    random_matrix(n, 6 * n, 3),
+                );
+                for m in [&a, &b, &d] {
+                    m.switch_context(&ctx).unwrap();
+                }
+                let c = Matrix::<f64>::new_in(&ctx, n, n).unwrap();
+                mxm(&c, no_mask(), None, &sr, &a, &b, &desc).unwrap();
+                mxm(&esh, no_mask(), None, &sr, &d, &c, &desc).unwrap();
+                esh.wait(WaitMode::Complete).unwrap();
+                flag.store(true, Ordering::Release);
+                mxm(&dres, no_mask(), None, &sr, &a, &esh, &desc).unwrap();
+                dres.wait(WaitMode::Complete).unwrap();
+            });
+        }
+        {
+            let (esh, hres, ctx, sr) = (esh.clone(), hres.clone(), ctx.clone(), sr.clone());
+            let flag = &flag;
+            s.spawn(move || {
+                let (e, f) = (random_matrix(n, 6 * n, 4), random_matrix(n, 6 * n, 5));
+                for m in [&e, &f] {
+                    m.switch_context(&ctx).unwrap();
+                }
+                let g = Matrix::<f64>::new_in(&ctx, n, n).unwrap();
+                mxm(&g, no_mask(), None, &sr, &e, &f, &desc).unwrap();
+                while !flag.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                mxm(&hres, no_mask(), None, &sr, &g, &esh, &desc).unwrap();
+                hres.wait(WaitMode::Complete).unwrap();
+            });
+        }
+    });
+    dres.nvals().unwrap() + hres.nvals().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_multithreading");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| sequential(n))
+        });
+        group.bench_with_input(BenchmarkId::new("two_threads_fig1", n), &n, |b, &n| {
+            b.iter(|| two_threads(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 2 — execution contexts: `mxm` scaling under per-context thread
+//! budgets, plus the cost of `GrB_Context_new`/`switch`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::rmat_weighted;
+use graphblas_core::operations::mxm;
+use graphblas_core::{
+    global_context, no_mask, Context, ContextOptions, Descriptor, Matrix, Mode, Semiring,
+};
+
+fn bench(c: &mut Criterion) {
+    let a = rmat_weighted(12, 8, 7);
+    let sr = Semiring::<f64, f64, f64>::plus_times();
+    let mut group = c.benchmark_group("fig2_context");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let ctx = Context::new(
+            &global_context(),
+            Mode::Blocking,
+            ContextOptions {
+                nthreads: Some(threads),
+                ..Default::default()
+            },
+        );
+        let a2 = a.dup().unwrap();
+        a2.switch_context(&ctx).unwrap();
+        let out = Matrix::<f64>::new_in(&ctx, a.nrows(), a.ncols()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("mxm_thread_budget", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    mxm(&out, no_mask(), None, &sr, &a2, &a2, &Descriptor::default()).unwrap()
+                })
+            },
+        );
+    }
+    group.bench_function("context_new", |b| {
+        let root = global_context();
+        b.iter(|| Context::new(&root, Mode::Blocking, ContextOptions::default()))
+    });
+    group.bench_function("context_switch", |b| {
+        let root = global_context();
+        let ctx = Context::new(&root, Mode::Blocking, ContextOptions::default());
+        let m = Matrix::<f64>::new(4, 4).unwrap();
+        b.iter(|| {
+            m.switch_context(&ctx).unwrap();
+            m.switch_context(&root).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

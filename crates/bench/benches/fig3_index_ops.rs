@@ -1,0 +1,63 @@
+//! Fig. 3 — index-unary `select` (user-defined triu-threshold) and
+//! `apply` (predefined COLINDEX) on power-law matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::rmat_weighted;
+use graphblas_core::operations::{apply_indexop, select};
+use graphblas_core::{no_mask, Descriptor, IndexUnaryOp, Matrix};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_index_ops");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for scale in [11u32, 13] {
+        let a = rmat_weighted(scale, 8, 3);
+        let n = a.nrows();
+        let my_triu_gt = IndexUnaryOp::<f64, f64, bool>::new("my_triu_gt", |v, idx, s| {
+            idx[1] > idx[0] && v > s
+        });
+        let sel = Matrix::<f64>::new(n, n).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("select_user_triu_gt", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    select(
+                        &sel,
+                        no_mask(),
+                        None,
+                        &my_triu_gt,
+                        &a,
+                        0.5f64,
+                        &Descriptor::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        let app = Matrix::<i64>::new(n, n).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("apply_colindex", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    apply_indexop(
+                        &app,
+                        no_mask(),
+                        None,
+                        &IndexUnaryOp::colindex(),
+                        &a,
+                        1i64,
+                        &Descriptor::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! §II motivation A — the GraphBLAS 1.X "indices packed into values"
+//! pattern vs the 2.0 index-unary operator, on the BFS-parent reindex
+//! workload the paper describes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_core::operations::{apply_indexop_v, apply_v};
+use graphblas_core::{no_mask_v, Descriptor, IndexUnaryOp, UnaryOp, Vector};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motivation_packing");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    for log_n in [16u32, 20] {
+        let n = 1usize << log_n;
+        let idx: Vec<usize> = (0..n).collect();
+
+        // 1.X: value array stores (payload, index) tuples — twice the
+        // storage and bandwidth — plus a user-defined unpack operator.
+        let packed = Vector::<(f64, i64)>::new(n).unwrap();
+        packed
+            .build(&idx, &(0..n).map(|i| (1.0, i as i64)).collect::<Vec<_>>(), None)
+            .unwrap();
+        let unpack = UnaryOp::<(f64, i64), i64>::new("unpack", |t| t.1);
+        let out = Vector::<i64>::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("packed_1x", n), &n, |b, _| {
+            b.iter(|| {
+                apply_v(&out, no_mask_v(), None, &unpack, &packed, &Descriptor::default())
+                    .unwrap()
+            })
+        });
+
+        // 2.0: plain payloads; ROWINDEX reads the index from structure.
+        let plain = Vector::<f64>::new(n).unwrap();
+        plain.build(&idx, &vec![1.0; n], None).unwrap();
+        group.bench_with_input(BenchmarkId::new("indexop_2_0", n), &n, |b, _| {
+            b.iter(|| {
+                apply_indexop_v(
+                    &out,
+                    no_mask_v(),
+                    None,
+                    &IndexUnaryOp::rowindex(),
+                    &plain,
+                    0i64,
+                    &Descriptor::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table I — per-call cost of every `GrB_Scalar` manipulation method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas_core::Scalar;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_scalar");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+    group.bench_function("new", |b| b.iter(|| Scalar::<i64>::new().unwrap()));
+    let full = Scalar::<i64>::new().unwrap();
+    full.set_element(42).unwrap();
+    group.bench_function("dup", |b| b.iter(|| full.dup().unwrap()));
+    group.bench_function("clear", |b| {
+        let s = Scalar::<i64>::new().unwrap();
+        b.iter(|| s.clear().unwrap())
+    });
+    group.bench_function("nvals", |b| b.iter(|| full.nvals().unwrap()));
+    group.bench_function("set_element", |b| {
+        let s = Scalar::<i64>::new().unwrap();
+        b.iter(|| s.set_element(7).unwrap())
+    });
+    group.bench_function("extract_element", |b| {
+        b.iter(|| full.extract_element().unwrap())
+    });
+    group.bench_function("extract_element_empty", |b| {
+        let s = Scalar::<i64>::new().unwrap();
+        b.iter(|| s.extract_element().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

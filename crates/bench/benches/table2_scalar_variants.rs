@@ -1,0 +1,112 @@
+//! Table II — `GrB_Scalar` method variants vs their typed counterparts:
+//! set/extract element, scalar-bound apply, select threshold, reduce.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphblas_bench::rmat_weighted;
+use graphblas_core::operations::{
+    apply_binop2nd, apply_binop2nd_scalar, reduce_scalar, reduce_to_value, select,
+    select_scalar,
+};
+use graphblas_core::{
+    no_mask, BinaryOp, Descriptor, IndexUnaryOp, Matrix, Monoid, Scalar, WaitMode,
+};
+
+fn bench(c: &mut Criterion) {
+    let a = rmat_weighted(11, 8, 5);
+    a.wait(WaitMode::Materialize).unwrap();
+    let n = a.nrows();
+    let out = Matrix::<f64>::new(n, n).unwrap();
+    let s = Scalar::<f64>::new().unwrap();
+    s.set_element(0.5).unwrap();
+
+    let mut group = c.benchmark_group("table2_scalar_variants");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+
+    group.bench_function("set_element_typed", |b| {
+        b.iter(|| a.set_element(1.0, 3, 3).unwrap())
+    });
+    a.wait(WaitMode::Materialize).unwrap();
+    group.bench_function("set_element_scalar", |b| {
+        b.iter(|| a.set_element_scalar(&s, 3, 3).unwrap())
+    });
+    a.wait(WaitMode::Materialize).unwrap();
+
+    group.bench_function("extract_element_typed", |b| {
+        b.iter(|| a.extract_element(3, 3).unwrap())
+    });
+    let slot = Scalar::<f64>::new().unwrap();
+    group.bench_function("extract_element_scalar", |b| {
+        b.iter(|| a.extract_element_scalar(&slot, 3, 3).unwrap())
+    });
+
+    group.bench_function("apply_bound_typed", |b| {
+        b.iter(|| {
+            apply_binop2nd(
+                &out,
+                no_mask(),
+                None,
+                &BinaryOp::plus(),
+                &a,
+                0.5f64,
+                &Descriptor::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("apply_bound_scalar", |b| {
+        b.iter(|| {
+            apply_binop2nd_scalar(
+                &out,
+                no_mask(),
+                None,
+                &BinaryOp::plus(),
+                &a,
+                &s,
+                &Descriptor::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("select_typed_threshold", |b| {
+        b.iter(|| {
+            select(
+                &out,
+                no_mask(),
+                None,
+                &IndexUnaryOp::valuegt(),
+                &a,
+                0.5f64,
+                &Descriptor::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("select_scalar_threshold", |b| {
+        b.iter(|| {
+            select_scalar(
+                &out,
+                no_mask(),
+                None,
+                &IndexUnaryOp::valuegt(),
+                &a,
+                &s,
+                &Descriptor::default(),
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("reduce_typed", |b| {
+        b.iter(|| reduce_to_value(&Monoid::plus(), &a).unwrap())
+    });
+    group.bench_function("reduce_scalar", |b| {
+        b.iter(|| reduce_scalar(&slot, None, &Monoid::plus(), &a).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

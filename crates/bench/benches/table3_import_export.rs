@@ -1,0 +1,83 @@
+//! Table III — import/export throughput for every non-opaque format,
+//! plus the §VII.B serialize/deserialize path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::rmat_weighted;
+use graphblas_core::{Format, Matrix, Vector, VectorFormat, WaitMode};
+
+fn bench(c: &mut Criterion) {
+    let a = rmat_weighted(13, 8, 11);
+    a.wait(WaitMode::Materialize).unwrap();
+    let (nrows, ncols) = (a.nrows(), a.ncols());
+    let mut group = c.benchmark_group("table3_import_export");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+
+    for fmt in [Format::Csr, Format::Csc, Format::Coo] {
+        group.bench_with_input(BenchmarkId::new("export", format!("{fmt:?}")), &fmt, |b, &fmt| {
+            b.iter(|| a.export(fmt).unwrap())
+        });
+        let (p, i, v) = a.export(fmt).unwrap();
+        group.bench_with_input(BenchmarkId::new("import", format!("{fmt:?}")), &fmt, |b, &fmt| {
+            b.iter(|| {
+                Matrix::<f64>::import(
+                    nrows,
+                    ncols,
+                    fmt,
+                    Some(p.clone()),
+                    Some(i.clone()),
+                    v.clone(),
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // Dense formats on a fully-populated matrix.
+    let dvals: Vec<f64> = (0..512 * 512).map(|x| x as f64).collect();
+    let dense = Matrix::<f64>::import(512, 512, Format::DenseRow, None, None, dvals.clone())
+        .unwrap();
+    for fmt in [Format::DenseRow, Format::DenseCol] {
+        group.bench_with_input(
+            BenchmarkId::new("export_dense", format!("{fmt:?}")),
+            &fmt,
+            |b, &fmt| b.iter(|| dense.export(fmt).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("import_dense", format!("{fmt:?}")),
+            &fmt,
+            |b, &fmt| {
+                b.iter(|| {
+                    Matrix::<f64>::import(512, 512, fmt, None, None, dvals.clone()).unwrap()
+                })
+            },
+        );
+    }
+
+    // Vector formats.
+    let v = Vector::<f64>::import(
+        1 << 16,
+        VectorFormat::Dense,
+        None,
+        (0..1usize << 16).map(|x| x as f64).collect(),
+    )
+    .unwrap();
+    group.bench_function("vector_export_sparse", |b| {
+        b.iter(|| v.export(VectorFormat::Sparse).unwrap())
+    });
+    group.bench_function("vector_export_dense", |b| {
+        b.iter(|| v.export(VectorFormat::Dense).unwrap())
+    });
+
+    // Serialization (§VII.B).
+    group.bench_function("serialize", |b| b.iter(|| a.serialize().unwrap()));
+    let bytes = a.serialize().unwrap();
+    group.bench_function("deserialize", |b| {
+        b.iter(|| Matrix::<f64>::deserialize(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

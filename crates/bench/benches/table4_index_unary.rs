@@ -1,0 +1,71 @@
+//! Table IV — every predefined index-unary operator, run through
+//! `select` (keep/annihilate) or `apply` (replace), on an RMAT matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphblas_bench::rmat_weighted;
+use graphblas_core::operations::{apply_indexop, select};
+use graphblas_core::{no_mask, Descriptor, IndexUnaryOp, Matrix};
+
+fn bench(c: &mut Criterion) {
+    let a = rmat_weighted(12, 8, 13);
+    let n = a.nrows();
+    let sel_out = Matrix::<f64>::new(n, n).unwrap();
+    let app_out = Matrix::<i64>::new(n, n).unwrap();
+    let mut group = c.benchmark_group("table4_index_unary");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(10);
+
+    let positional: Vec<(&str, IndexUnaryOp<f64, i64, bool>, i64)> = vec![
+        ("TRIL", IndexUnaryOp::tril(), 0),
+        ("TRIU", IndexUnaryOp::triu(), 0),
+        ("DIAG", IndexUnaryOp::diag(), 0),
+        ("OFFDIAG", IndexUnaryOp::offdiag(), 0),
+        ("ROWLE", IndexUnaryOp::rowle(), (n / 2) as i64),
+        ("ROWGT", IndexUnaryOp::rowgt(), (n / 2) as i64),
+        ("COLLE", IndexUnaryOp::colle(), (n / 2) as i64),
+        ("COLGT", IndexUnaryOp::colgt(), (n / 2) as i64),
+    ];
+    for (name, op, s) in &positional {
+        group.bench_with_input(BenchmarkId::new("select", name), name, |b, _| {
+            b.iter(|| {
+                select(&sel_out, no_mask(), None, op, &a, *s, &Descriptor::default()).unwrap()
+            })
+        });
+    }
+
+    let value_ops: Vec<(&str, IndexUnaryOp<f64, f64, bool>)> = vec![
+        ("VALUEEQ", IndexUnaryOp::valueeq()),
+        ("VALUENE", IndexUnaryOp::valuene()),
+        ("VALUELT", IndexUnaryOp::valuelt()),
+        ("VALUELE", IndexUnaryOp::valuele()),
+        ("VALUEGT", IndexUnaryOp::valuegt()),
+        ("VALUEGE", IndexUnaryOp::valuege()),
+    ];
+    for (name, op) in &value_ops {
+        group.bench_with_input(BenchmarkId::new("select", name), name, |b, _| {
+            b.iter(|| {
+                select(&sel_out, no_mask(), None, op, &a, 0.5f64, &Descriptor::default())
+                    .unwrap()
+            })
+        });
+    }
+
+    let replace_ops: Vec<(&str, IndexUnaryOp<f64, i64, i64>)> = vec![
+        ("ROWINDEX", IndexUnaryOp::rowindex()),
+        ("COLINDEX", IndexUnaryOp::colindex()),
+        ("DIAGINDEX", IndexUnaryOp::diagindex()),
+    ];
+    for (name, op) in &replace_ops {
+        group.bench_with_input(BenchmarkId::new("apply", name), name, |b, _| {
+            b.iter(|| {
+                apply_indexop(&app_out, no_mask(), None, op, &a, 0i64, &Descriptor::default())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

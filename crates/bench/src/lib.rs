@@ -1,0 +1,133 @@
+//! Shared workload construction and timing helpers for the benchmark
+//! harness that regenerates the paper's tables and figures.
+//!
+//! Every bench target and the `repro` binary build their inputs through
+//! this crate so that Criterion runs and the printed report measure the
+//! same workloads.
+
+use graphblas_core::{BinaryOp, Matrix, Vector};
+use graphblas_io::{erdos_renyi, rmat};
+use graphblas_sparse::{Coo, Csr};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Symmetrized boolean RMAT adjacency matrix (no self-loops).
+pub fn rmat_bool(scale: u32, edge_factor: usize, seed: u64) -> Matrix<bool> {
+    rmat(scale, edge_factor, seed)
+        .without_self_loops()
+        .undirected()
+        .to_bool_matrix()
+        .expect("generator output is valid")
+}
+
+/// Directed weighted RMAT adjacency matrix.
+pub fn rmat_weighted(scale: u32, edge_factor: usize, seed: u64) -> Matrix<f64> {
+    rmat(scale, edge_factor, seed)
+        .without_self_loops()
+        .to_weighted_matrix(seed)
+        .expect("generator output is valid")
+}
+
+/// Uniform random `Matrix<f64>` with ~`nnz` entries.
+pub fn random_matrix(n: usize, nnz: usize, seed: u64) -> Matrix<f64> {
+    erdos_renyi(n, nnz, seed)
+        .to_weighted_matrix(seed ^ 0xabcd)
+        .expect("generator output is valid")
+}
+
+/// Random `Matrix<i64>` (for exact-arithmetic comparisons).
+pub fn random_matrix_i64(n: usize, nnz: usize, seed: u64) -> Matrix<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = Matrix::<i64>::new(n, n).expect("positive dims");
+    let rows: Vec<usize> = (0..nnz).map(|_| rng.gen_range(0..n)).collect();
+    let cols: Vec<usize> = (0..nnz).map(|_| rng.gen_range(0..n)).collect();
+    let vals: Vec<i64> = (0..nnz).map(|_| rng.gen_range(-9..10)).collect();
+    m.build(&rows, &cols, &vals, Some(&BinaryOp::plus()))
+        .expect("build succeeds");
+    m
+}
+
+/// Random sparse vector with `nnz` entries out of `n`.
+pub fn random_vector(n: usize, nnz: usize, seed: u64) -> Vector<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(nnz);
+    idx.sort_unstable();
+    let vals: Vec<f64> = idx.iter().map(|_| rng.gen_range(0.1..1.0)).collect();
+    let v = Vector::<f64>::new(n).expect("positive length");
+    v.build(&idx, &vals, None).expect("build succeeds");
+    v
+}
+
+/// Raw CSR workload for kernel-level (dispatch-ablation) benches: bypasses
+/// the container layer entirely.
+pub fn random_csr(n: usize, nnz: usize, seed: u64) -> Csr<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<usize> = (0..nnz).map(|_| rng.gen_range(0..n)).collect();
+    let cols: Vec<usize> = (0..nnz).map(|_| rng.gen_range(0..n)).collect();
+    let vals: Vec<f64> = (0..nnz).map(|_| rng.gen_range(0.1..1.0)).collect();
+    Coo::from_parts(n, n, rows, cols, vals)
+        .expect("valid coo")
+        .to_csr(
+            &graphblas_exec::global_context(),
+            Some(&|a: &f64, b: &f64| a + b),
+        )
+        .expect("valid csr")
+}
+
+/// Times `f` over `runs` executions and returns the median, in seconds.
+pub fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:7.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:7.1} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:7.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:7.3} s ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = rmat_bool(5, 4, 9);
+        let b = rmat_bool(5, 4, 9);
+        assert_eq!(a.extract_tuples().unwrap(), b.extract_tuples().unwrap());
+        let v = random_vector(100, 10, 3);
+        assert_eq!(v.nvals().unwrap(), 10);
+        let m = random_matrix_i64(50, 200, 1);
+        assert!(m.nvals().unwrap() > 0);
+        let c = random_csr(64, 256, 2);
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn median_and_formatting() {
+        let t = median_secs(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(t >= 0.0);
+        assert!(fmt_time(2e-9).contains("ns"));
+        assert!(fmt_time(2e-5).contains("µs"));
+        assert!(fmt_time(2e-2).contains("ms"));
+        assert!(fmt_time(2.0).contains('s'));
+    }
+}

@@ -1,0 +1,146 @@
+//! Operation descriptors (`GrB_Descriptor`): per-call flags controlling
+//! output write mode (replace/merge), mask interpretation (structure,
+//! complement), and input transposition.
+
+/// Descriptor flags. `Default` is the all-off descriptor (`GrB_NULL` in C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Descriptor {
+    /// `GrB_OUTP = GrB_REPLACE`: clear the output outside the mask instead
+    /// of merging with its previous contents.
+    pub replace: bool,
+    /// `GrB_MASK = GrB_COMP`: use the complement of the mask.
+    pub mask_complement: bool,
+    /// `GrB_MASK = GrB_STRUCTURE`: only the mask's structure (element
+    /// presence) matters; stored values are not tested for truthiness.
+    pub mask_structure: bool,
+    /// `GrB_INP0 = GrB_TRAN`: transpose the first matrix input.
+    pub transpose_a: bool,
+    /// `GrB_INP1 = GrB_TRAN`: transpose the second matrix input.
+    pub transpose_b: bool,
+}
+
+impl Descriptor {
+    /// The default (no flags) descriptor.
+    pub fn new() -> Self {
+        Descriptor::default()
+    }
+
+    /// Sets `GrB_OUTP = GrB_REPLACE`.
+    pub fn replace(mut self) -> Self {
+        self.replace = true;
+        self
+    }
+
+    /// Sets `GrB_MASK = GrB_COMP`.
+    pub fn complement_mask(mut self) -> Self {
+        self.mask_complement = true;
+        self
+    }
+
+    /// Sets `GrB_MASK = GrB_STRUCTURE`.
+    pub fn structure_mask(mut self) -> Self {
+        self.mask_structure = true;
+        self
+    }
+
+    /// Sets `GrB_INP0 = GrB_TRAN`.
+    pub fn transpose_a(mut self) -> Self {
+        self.transpose_a = true;
+        self
+    }
+
+    /// Sets `GrB_INP1 = GrB_TRAN`.
+    pub fn transpose_b(mut self) -> Self {
+        self.transpose_b = true;
+        self
+    }
+}
+
+/// The predefined descriptor constants of the C specification
+/// (`GrB_DESC_*`). Naming: `R` = replace, `C` = mask complement, `S` =
+/// structural mask, `T0`/`T1` = transpose first/second input.
+impl Descriptor {
+    const fn build(replace: bool, comp: bool, structure: bool, t0: bool, t1: bool) -> Self {
+        Descriptor {
+            replace,
+            mask_complement: comp,
+            mask_structure: structure,
+            transpose_a: t0,
+            transpose_b: t1,
+        }
+    }
+
+    /// `GrB_DESC_T1`.
+    pub const T1: Descriptor = Descriptor::build(false, false, false, false, true);
+    /// `GrB_DESC_T0`.
+    pub const T0: Descriptor = Descriptor::build(false, false, false, true, false);
+    /// `GrB_DESC_T0T1`.
+    pub const T0T1: Descriptor = Descriptor::build(false, false, false, true, true);
+    /// `GrB_DESC_C`.
+    pub const C: Descriptor = Descriptor::build(false, true, false, false, false);
+    /// `GrB_DESC_S`.
+    pub const S: Descriptor = Descriptor::build(false, false, true, false, false);
+    /// `GrB_DESC_CT0`.
+    pub const CT0: Descriptor = Descriptor::build(false, true, false, true, false);
+    /// `GrB_DESC_CT1`.
+    pub const CT1: Descriptor = Descriptor::build(false, true, false, false, true);
+    /// `GrB_DESC_ST0`.
+    pub const ST0: Descriptor = Descriptor::build(false, false, true, true, false);
+    /// `GrB_DESC_ST1`.
+    pub const ST1: Descriptor = Descriptor::build(false, false, true, false, true);
+    /// `GrB_DESC_SC` (structural complement).
+    pub const SC: Descriptor = Descriptor::build(false, true, true, false, false);
+    /// `GrB_DESC_R`.
+    pub const R: Descriptor = Descriptor::build(true, false, false, false, false);
+    /// `GrB_DESC_RT0`.
+    pub const RT0: Descriptor = Descriptor::build(true, false, false, true, false);
+    /// `GrB_DESC_RT1`.
+    pub const RT1: Descriptor = Descriptor::build(true, false, false, false, true);
+    /// `GrB_DESC_RC`.
+    pub const RC: Descriptor = Descriptor::build(true, true, false, false, false);
+    /// `GrB_DESC_RS`.
+    pub const RS: Descriptor = Descriptor::build(true, false, true, false, false);
+    /// `GrB_DESC_RSC` (replace + structural complement).
+    pub const RSC: Descriptor = Descriptor::build(true, true, true, false, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_descriptor_constants() {
+        assert!(Descriptor::T0.transpose_a && !Descriptor::T0.transpose_b);
+        assert!(Descriptor::T1.transpose_b && !Descriptor::T1.transpose_a);
+        assert!(Descriptor::T0T1.transpose_a && Descriptor::T0T1.transpose_b);
+        assert!(Descriptor::C.mask_complement);
+        assert!(Descriptor::S.mask_structure && !Descriptor::S.mask_complement);
+        assert!(Descriptor::SC.mask_structure && Descriptor::SC.mask_complement);
+        assert!(Descriptor::R.replace);
+        assert!(
+            Descriptor::RSC.replace
+                && Descriptor::RSC.mask_structure
+                && Descriptor::RSC.mask_complement
+        );
+        assert_eq!(
+            Descriptor::RSC,
+            Descriptor::new().replace().structure_mask().complement_mask()
+        );
+        assert_eq!(Descriptor::RT0, Descriptor::new().replace().transpose_a());
+        assert_eq!(Descriptor::CT1, Descriptor::new().complement_mask().transpose_b());
+        assert_eq!(Descriptor::RS, Descriptor::new().replace().structure_mask());
+        assert_eq!(Descriptor::ST0, Descriptor::new().structure_mask().transpose_a());
+        assert_eq!(Descriptor::ST1, Descriptor::new().structure_mask().transpose_b());
+        assert_eq!(Descriptor::CT0, Descriptor::new().complement_mask().transpose_a());
+        assert_eq!(Descriptor::RT1, Descriptor::new().replace().transpose_b());
+        assert_eq!(Descriptor::RC, Descriptor::new().replace().complement_mask());
+    }
+
+    #[test]
+    fn builder_composes() {
+        let d = Descriptor::new().replace().complement_mask().transpose_a();
+        assert!(d.replace && d.mask_complement && d.transpose_a);
+        assert!(!d.mask_structure && !d.transpose_b);
+        assert_eq!(Descriptor::default(), Descriptor::new());
+    }
+}

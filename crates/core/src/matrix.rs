@@ -1,0 +1,821 @@
+//! The `GrB_Matrix` container: an opaque, thread-safe handle over sparse
+//! storage with a deferred-operation sequence (paper §III).
+//!
+//! Handles are `Arc`-backed: cloning a `Matrix<T>` aliases the same object,
+//! exactly like copying a `GrB_Matrix` handle in C. All state sits behind a
+//! mutex, which gives the §III *thread-safety* guarantee (independent
+//! method calls from different threads behave as some sequential
+//! interleaving). For *shared* objects the user still provides the
+//! happens-before edge — `wait(Complete)` plus an acquire/release flag, as
+//! in the paper's Fig. 1 — because completion, not locking, is what makes
+//! a sequence's results visible.
+//!
+//! Internally the storage format is lazy (Table III formats are kept
+//! as-imported until a kernel needs CSR); `export_hint` reports whatever
+//! the object currently holds.
+
+use std::sync::Arc;
+
+use graphblas_exec::{Context, Mode};
+use graphblas_sparse::{Coo, Csc, Csr, Dense};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{ApiError, Error, ExecutionError, GrbResult};
+use crate::ops::BinaryOp;
+use crate::pending::{fuse_maps, MapFn, Stage, WaitMode};
+use crate::scalar::Scalar;
+use crate::types::{Index, MaskValue, ValueType};
+
+/// How duplicate coordinates in a COO store are resolved when it is
+/// converted to canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CooDup {
+    /// Duplicates are an execution error (import semantics, and `build`
+    /// with a `None` dup — §IX).
+    Reject,
+    /// The most recently appended value wins (`setElement` semantics).
+    LastWins,
+}
+
+/// The lazy internal storage of a matrix.
+pub(crate) enum MatStore<T: ValueType> {
+    Csr(Arc<Csr<T>>),
+    Csc(Arc<Csc<T>>),
+    Coo(Arc<Coo<T>>, CooDup),
+    Dense(Arc<Dense<T>>),
+}
+
+impl<T: ValueType> Clone for MatStore<T> {
+    fn clone(&self) -> Self {
+        match self {
+            MatStore::Csr(a) => MatStore::Csr(a.clone()),
+            MatStore::Csc(a) => MatStore::Csc(a.clone()),
+            MatStore::Coo(a, d) => MatStore::Coo(a.clone(), *d),
+            MatStore::Dense(a) => MatStore::Dense(a.clone()),
+        }
+    }
+}
+
+pub(crate) struct MatrixState<T: ValueType> {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub store: MatStore<T>,
+    pub pending: Vec<Stage<MatrixState<T>, T>>,
+    pub err: Option<ExecutionError>,
+}
+
+impl<T: ValueType> MatrixState<T> {
+    /// Converts the store to CSR in place (sorting rows when `sorted`).
+    pub(crate) fn ensure_csr(&mut self, ctx: &Context, sorted: bool) -> GrbResult {
+        let csr: Arc<Csr<T>> = match &self.store {
+            MatStore::Csr(a) => a.clone(),
+            MatStore::Csc(c) => Arc::new(c.to_csr(ctx)),
+            MatStore::Coo(coo, dup) => {
+                let second = |_: &T, b: &T| b.clone();
+                let converted = match dup {
+                    CooDup::Reject => coo.to_csr(ctx, None)?,
+                    CooDup::LastWins => coo.to_csr(ctx, Some(&second))?,
+                };
+                Arc::new(converted)
+            }
+            MatStore::Dense(d) => Arc::new(d.to_csr(ctx)),
+        };
+        let csr = if sorted && !csr.is_rows_sorted() {
+            let mut owned = Arc::try_unwrap(csr).unwrap_or_else(|a| (*a).clone());
+            let dups = owned.sort_rows(ctx);
+            debug_assert!(!dups, "canonical CSR stores cannot contain duplicates");
+            Arc::new(owned)
+        } else {
+            csr
+        };
+        self.store = MatStore::Csr(csr);
+        Ok(())
+    }
+
+    /// Borrows the CSR store (must call [`Self::ensure_csr`] first).
+    pub(crate) fn csr(&self) -> &Arc<Csr<T>> {
+        match &self.store {
+            MatStore::Csr(a) => a,
+            _ => unreachable!("ensure_csr must precede csr()"),
+        }
+    }
+
+    /// Drains the pending queue, fusing runs of map stages into single
+    /// traversals. On an execution error the object is poisoned (§V: the
+    /// output's contents become undefined; we record the error and keep it
+    /// sticky).
+    pub(crate) fn drain(&mut self, ctx: &Context) -> GrbResult {
+        if let Some(e) = &self.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let mut run: Vec<MapFn<T>> = Vec::new();
+        let result = (|| {
+            for stage in pending {
+                match stage {
+                    Stage::Map(f) => run.push(f),
+                    Stage::Opaque(f) => {
+                        self.flush_map_run(ctx, &mut run)?;
+                        f(self)?;
+                    }
+                }
+            }
+            self.flush_map_run(ctx, &mut run)
+        })();
+        if let Err(e) = &result {
+            if let Error::Execution(exec) = e {
+                self.err = Some(exec.clone());
+            }
+            self.pending.clear();
+        }
+        result
+    }
+
+    fn flush_map_run(&mut self, ctx: &Context, run: &mut Vec<MapFn<T>>) -> GrbResult {
+        if run.is_empty() {
+            return Ok(());
+        }
+        self.ensure_csr(ctx, false)?;
+        let fused = self
+            .csr()
+            .filter_map_with_index(ctx, |i, j, v| fuse_maps(run, &[i, j], v));
+        self.store = MatStore::Csr(Arc::new(fused));
+        run.clear();
+        Ok(())
+    }
+}
+
+struct MatrixHandle<T: ValueType> {
+    ctx: RwLock<Context>,
+    state: Mutex<MatrixState<T>>,
+}
+
+/// An opaque handle to a GraphBLAS matrix over domain `T`.
+#[derive(Clone)]
+pub struct Matrix<T: ValueType> {
+    inner: Arc<MatrixHandle<T>>,
+}
+
+impl<T: ValueType> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock();
+        write!(
+            f,
+            "Matrix<{}>({}x{}, pending: {})",
+            std::any::type_name::<T>(),
+            st.nrows,
+            st.ncols,
+            st.pending.len()
+        )
+    }
+}
+
+impl<T: ValueType> Matrix<T> {
+    /// `GrB_Matrix_new`: an empty `nrows × ncols` matrix in the global
+    /// context. Dimensions must be positive (`GrB_INVALID_VALUE`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use graphblas_core::Matrix;
+    /// let a = Matrix::<f64>::new(4, 4)?;
+    /// a.set_element(2.5, 1, 2)?;
+    /// assert_eq!(a.nvals()?, 1);
+    /// assert_eq!(a.extract_element(1, 2)?, Some(2.5));
+    /// # Ok::<(), graphblas_core::Error>(())
+    /// ```
+    pub fn new(nrows: Index, ncols: Index) -> GrbResult<Self> {
+        Self::new_in(&graphblas_exec::global_context(), nrows, ncols)
+    }
+
+    /// §IV context-aware constructor (Fig. 2's extra `GrB_Context` arg).
+    pub fn new_in(ctx: &Context, nrows: Index, ncols: Index) -> GrbResult<Self> {
+        if nrows == 0 || ncols == 0 {
+            return Err(ApiError::InvalidValue.into());
+        }
+        Ok(Self::from_state(
+            ctx,
+            MatrixState {
+                nrows,
+                ncols,
+                store: MatStore::Csr(Arc::new(Csr::empty(nrows, ncols))),
+                pending: Vec::new(),
+                err: None,
+            },
+        ))
+    }
+
+    pub(crate) fn from_state(ctx: &Context, state: MatrixState<T>) -> Self {
+        Matrix {
+            inner: Arc::new(MatrixHandle {
+                ctx: RwLock::new(ctx.clone()),
+                state: Mutex::new(state),
+            }),
+        }
+    }
+
+    /// `GrB_Matrix_dup`: deep-copies (cheaply — storage is shared
+    /// copy-on-write) after completing this matrix.
+    pub fn dup(&self) -> GrbResult<Self> {
+        let ctx = self.context();
+        let st = self.lock_completed()?;
+        let state = MatrixState {
+            nrows: st.nrows,
+            ncols: st.ncols,
+            store: st.store.clone(),
+            pending: Vec::new(),
+            err: None,
+        };
+        drop(st);
+        Ok(Self::from_state(&ctx, state))
+    }
+
+    /// The context this matrix belongs to (§IV).
+    pub fn context(&self) -> Context {
+        self.inner.ctx.read().clone()
+    }
+
+    /// `GrB_Context_switch`: moves the object to another context.
+    pub fn switch_context(&self, ctx: &Context) -> GrbResult {
+        *self.inner.ctx.write() = ctx.clone();
+        Ok(())
+    }
+
+    /// Number of rows (shape is immutable except through [`Self::resize`]).
+    pub fn nrows(&self) -> Index {
+        self.inner.state.lock().nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Index {
+        self.inner.state.lock().ncols
+    }
+
+    /// `GrB_Matrix_nvals`: number of stored elements. Forces completion.
+    pub fn nvals(&self) -> GrbResult<usize> {
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        st.ensure_csr(&ctx, false)?;
+        Ok(st.csr().nnz())
+    }
+
+    /// `GrB_Matrix_clear`: removes all elements. Also clears pending
+    /// operations and any sticky error (the object is rebuilt from empty).
+    pub fn clear(&self) -> GrbResult {
+        let mut st = self.inner.state.lock();
+        st.pending.clear();
+        st.err = None;
+        st.store = MatStore::Csr(Arc::new(Csr::empty(st.nrows, st.ncols)));
+        Ok(())
+    }
+
+    /// `GrB_Matrix_resize`: grows or shrinks dimensions; elements outside
+    /// the new shape are dropped. Executes immediately (shape queries must
+    /// stay cheap).
+    pub fn resize(&self, nrows: Index, ncols: Index) -> GrbResult {
+        if nrows == 0 || ncols == 0 {
+            return Err(ApiError::InvalidValue.into());
+        }
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        st.ensure_csr(&ctx, false)?;
+        let old = st.csr().clone();
+        let kept: Vec<(Index, Index, T)> = old
+            .iter()
+            .filter(|&(i, j, _)| i < nrows && j < ncols)
+            .map(|(i, j, v)| (i, j, v.clone()))
+            .collect();
+        let coo = Coo::from_parts(
+            nrows,
+            ncols,
+            kept.iter().map(|t| t.0).collect(),
+            kept.iter().map(|t| t.1).collect(),
+            kept.into_iter().map(|t| t.2).collect(),
+        )
+        .map_err(Error::from)?;
+        st.nrows = nrows;
+        st.ncols = ncols;
+        st.store = MatStore::Csr(Arc::new(coo.to_csr(&ctx, None).map_err(Error::from)?));
+        Ok(())
+    }
+
+    /// `GrB_Matrix_setElement`. A scalar index outside the dimensions is
+    /// an *API* error (`GrB_INVALID_INDEX`), reported immediately.
+    pub fn set_element(&self, v: T, i: Index, j: Index) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        if i >= st.nrows || j >= st.ncols {
+            return Err(ApiError::InvalidIndex.into());
+        }
+        // Fast path: append into a COO store; repeated setElement stays
+        // O(1) amortized, with last-wins resolution at canonicalization.
+        if !matches!(st.store, MatStore::Coo(_, CooDup::LastWins)) {
+            st.ensure_csr(&ctx, false)?;
+            let coo = Coo::from_csr(st.csr());
+            st.store = MatStore::Coo(Arc::new(coo), CooDup::LastWins);
+        }
+        if let MatStore::Coo(coo, _) = &mut st.store {
+            Arc::make_mut(coo).push(i, j, v).map_err(Error::from)?;
+        }
+        Ok(())
+    }
+
+    /// Table II scalar variant of `setElement`: an **empty** scalar removes
+    /// the element (making the method total over scalar states).
+    pub fn set_element_scalar(&self, s: &Scalar<T>, i: Index, j: Index) -> GrbResult {
+        match s.extract_element()? {
+            Some(v) => self.set_element(v, i, j),
+            None => self.remove_element(i, j),
+        }
+    }
+
+    /// `GrB_Matrix_removeElement`.
+    pub fn remove_element(&self, i: Index, j: Index) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        if i >= st.nrows || j >= st.ncols {
+            return Err(ApiError::InvalidIndex.into());
+        }
+        st.ensure_csr(&ctx, true)?;
+        if st.csr().get(i, j).is_some() {
+            let filtered = st
+                .csr()
+                .filter_map_with_index(&ctx, |r, c, v| ((r, c) != (i, j)).then(|| v.clone()));
+            st.store = MatStore::Csr(Arc::new(filtered));
+        }
+        Ok(())
+    }
+
+    /// `GrB_Matrix_extractElement`: `Ok(None)` is the C API's
+    /// `GrB_NO_VALUE`. Forces completion (the paper's §VI motivation for
+    /// the scalar variant below).
+    pub fn extract_element(&self, i: Index, j: Index) -> GrbResult<Option<T>> {
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        if i >= st.nrows || j >= st.ncols {
+            return Err(ApiError::InvalidIndex.into());
+        }
+        st.ensure_csr(&ctx, true)?;
+        Ok(st.csr().get(i, j).cloned())
+    }
+
+    /// Table II scalar variant of `extractElement`: a missing element
+    /// yields an *empty* scalar rather than an error-like code, and in a
+    /// nonblocking context the read itself is deferred into the scalar's
+    /// sequence (§VI).
+    pub fn extract_element_scalar(&self, s: &Scalar<T>, i: Index, j: Index) -> GrbResult {
+        s.check_context(&self.context())?;
+        {
+            let st = self.inner.state.lock();
+            if i >= st.nrows || j >= st.ncols {
+                return Err(ApiError::InvalidIndex.into());
+            }
+        }
+        let this = self.clone();
+        s.apply_write(Box::new(move |slot: &mut Option<T>| {
+            *slot = this.extract_element(i, j)?;
+            Ok(())
+        }))
+    }
+
+    /// `GrB_Matrix_build` with GraphBLAS 2.0's optional `dup` (§IX): when
+    /// `dup` is `None`, duplicate coordinates are an **execution** error —
+    /// deferred in nonblocking mode, like all execution errors.
+    pub fn build(
+        &self,
+        rows: &[Index],
+        cols: &[Index],
+        values: &[T],
+        dup: Option<&BinaryOp<T, T, T>>,
+    ) -> GrbResult {
+        if rows.len() != values.len() || cols.len() != values.len() {
+            return Err(ApiError::InvalidValue.into());
+        }
+        {
+            let ctx = self.context();
+            let mut st = self.lock_completed()?;
+            st.ensure_csr(&ctx, false)?;
+            if st.csr().nnz() != 0 {
+                return Err(ApiError::OutputNotEmpty.into());
+            }
+        }
+        let rows = rows.to_vec();
+        let cols = cols.to_vec();
+        let values = values.to_vec();
+        let dup = dup.cloned();
+        let ctx = self.context();
+        self.apply_write(Box::new(move |st: &mut MatrixState<T>| {
+            let coo = Coo::from_parts(st.nrows, st.ncols, rows, cols, values)
+                .map_err(Error::from)?;
+            let csr = match &dup {
+                Some(op) => coo.to_csr(&ctx, Some(&|a: &T, b: &T| op.apply(a, b))),
+                None => coo.to_csr(&ctx, None),
+            }
+            .map_err(Error::from)?;
+            st.store = MatStore::Csr(Arc::new(csr));
+            Ok(())
+        }))
+    }
+
+    /// `GrB_Matrix_diag`: builds the square matrix holding vector `v` on
+    /// its `k`-th diagonal (positive `k` above the main diagonal). The
+    /// result has dimension `v.size() + |k|`.
+    pub fn diag(v: &crate::vector::Vector<T>, k: i64) -> GrbResult<Self> {
+        let ctx = v.context();
+        let n = v
+            .size()
+            .checked_add(k.unsigned_abs() as usize)
+            .ok_or(ApiError::InvalidValue)?;
+        let sv = v.snapshot_sparse()?;
+        let out = Matrix::new_in(&ctx, n, n)?;
+        let mut rows = Vec::with_capacity(sv.nnz());
+        let mut cols = Vec::with_capacity(sv.nnz());
+        let mut vals = Vec::with_capacity(sv.nnz());
+        for (i, value) in sv.iter() {
+            let (r, c) = if k >= 0 {
+                (i, i + k as usize)
+            } else {
+                (i + (-k) as usize, i)
+            };
+            rows.push(r);
+            cols.push(c);
+            vals.push(value.clone());
+        }
+        out.build(&rows, &cols, &vals, None)?;
+        Ok(out)
+    }
+
+    /// Extracts the `k`-th diagonal into a vector (the inverse of
+    /// [`Matrix::diag`]): entry `i` of the result is `A(i, i + k)` for
+    /// `k ≥ 0`, `A(i − k, i)` for `k < 0`.
+    pub fn extract_diag(&self, k: i64) -> GrbResult<crate::vector::Vector<T>> {
+        let ctx = self.context();
+        let (nrows, ncols) = self.shape();
+        let len = if k >= 0 {
+            ncols.saturating_sub(k as usize).min(nrows)
+        } else {
+            nrows.saturating_sub((-k) as usize).min(ncols)
+        };
+        if len == 0 {
+            return Err(ApiError::InvalidValue.into());
+        }
+        let csr = self.snapshot_csr(true)?;
+        let out = crate::vector::Vector::new_in(&ctx, len)?;
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for (i, j, v) in csr.iter() {
+            let on_diag = j as i64 - i as i64 == k;
+            if on_diag {
+                let pos = if k >= 0 { i } else { j };
+                idx.push(pos);
+                vals.push(v.clone());
+            }
+        }
+        out.build(&idx, &vals, None)?;
+        Ok(out)
+    }
+
+    /// `GrB_Matrix_extractTuples`: `(rows, cols, values)` of every stored
+    /// element, ordered by `(row, col)`.
+    pub fn extract_tuples(&self) -> GrbResult<(Vec<Index>, Vec<Index>, Vec<T>)> {
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        st.ensure_csr(&ctx, true)?;
+        Ok(st.csr().tuples())
+    }
+
+    /// `GrB_wait` (§III, §V): `Complete` drains the sequence; `Materialize`
+    /// additionally canonicalizes storage (CSR, sorted rows) and finalizes
+    /// error reporting for the drained sequence.
+    pub fn wait(&self, mode: WaitMode) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        if mode == WaitMode::Materialize {
+            st.ensure_csr(&ctx, true)?;
+        }
+        Ok(())
+    }
+
+    /// `GrB_error`: the implementation-defined description of this
+    /// object's error state; empty when healthy. Thread safe.
+    pub fn error_string(&self) -> String {
+        self.inner
+            .state
+            .lock()
+            .err
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_default()
+    }
+
+    /// Whether two handles denote the same object.
+    pub fn same_object(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    // --- crate-internal plumbing ------------------------------------------
+
+    /// Locks state without draining (format inspection only).
+    pub(crate) fn lock_raw(&self) -> parking_lot::MutexGuard<'_, MatrixState<T>> {
+        self.inner.state.lock()
+    }
+
+    /// Locks state and drains the pending queue first.
+    pub(crate) fn lock_completed(&self) -> GrbResult<parking_lot::MutexGuard<'_, MatrixState<T>>> {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        st.drain(&ctx)?;
+        Ok(st)
+    }
+
+    /// Completes and returns a cheap CSR snapshot (optionally row-sorted) —
+    /// the value of this object *at this point in the sequence*.
+    pub(crate) fn snapshot_csr(&self, sorted: bool) -> GrbResult<Arc<Csr<T>>> {
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        st.ensure_csr(&ctx, sorted)?;
+        Ok(st.csr().clone())
+    }
+
+    /// Current logical shape.
+    pub(crate) fn shape(&self) -> (Index, Index) {
+        let st = self.inner.state.lock();
+        (st.nrows, st.ncols)
+    }
+
+    /// Runs `stage` now (blocking) or appends it to the sequence
+    /// (nonblocking).
+    pub(crate) fn apply_write(
+        &self,
+        stage: Box<dyn FnOnce(&mut MatrixState<T>) -> GrbResult + Send>,
+    ) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        match ctx.mode() {
+            Mode::NonBlocking => {
+                st.pending.push(Stage::Opaque(stage));
+                Ok(())
+            }
+            Mode::Blocking => {
+                st.drain(&ctx)?;
+                let r = stage(&mut st);
+                if let Err(Error::Execution(exec)) = &r {
+                    st.err = Some(exec.clone());
+                }
+                r
+            }
+        }
+    }
+
+    /// Appends a fusible element-wise stage (nonblocking) or applies it
+    /// immediately (blocking).
+    pub(crate) fn apply_map(&self, f: MapFn<T>) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        match ctx.mode() {
+            Mode::NonBlocking => {
+                st.pending.push(Stage::Map(f));
+                Ok(())
+            }
+            Mode::Blocking => {
+                st.drain(&ctx)?;
+                st.ensure_csr(&ctx, false)?;
+                let out = st
+                    .csr()
+                    .filter_map_with_index(&ctx, |i, j, v| f(&[i, j], v));
+                st.store = MatStore::Csr(Arc::new(out));
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of queued (not yet executed) stages — observability hook for
+    /// tests and the fusion bench.
+    pub fn pending_len(&self) -> usize {
+        self.inner.state.lock().pending.len()
+    }
+
+    /// Type-erased object identity, comparable across element types (used
+    /// to detect in-place `apply`/`select` for stage fusion).
+    pub(crate) fn addr(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+
+    /// Validates the §IV same-context rule against `ctx`.
+    pub(crate) fn check_context(&self, ctx: &Context) -> GrbResult {
+        if self.context().same(ctx) {
+            Ok(())
+        } else {
+            Err(ApiError::ContextMismatch.into())
+        }
+    }
+}
+
+impl<T: ValueType + MaskValue> Matrix<T> {
+    /// Completes and snapshots this matrix as a boolean mask: present
+    /// elements map to their truthiness (or to `true` under structure-only
+    /// semantics). Rows come out sorted, ready for merge kernels.
+    pub(crate) fn snapshot_mask(&self, structure: bool) -> GrbResult<Arc<Csr<bool>>> {
+        let csr = self.snapshot_csr(true)?;
+        let ctx = self.context();
+        let boolified = if structure {
+            csr.map(&ctx, |_| true)
+        } else {
+            csr.map(&ctx, |v| v.is_truthy())
+        };
+        Ok(Arc::new(boolified))
+    }
+}
+
+impl<T: ValueType + std::fmt::Display> Matrix<T> {
+    /// Renders the matrix as an ASCII grid with `.` for missing elements —
+    /// used by the examples to reprint the paper's Fig. 3.
+    pub fn to_display_string(&self) -> GrbResult<String> {
+        let csr = self.snapshot_csr(true)?;
+        let mut out = String::new();
+        for i in 0..csr.nrows() {
+            for j in 0..csr.ncols() {
+                match csr.get(i, j) {
+                    Some(v) => out.push_str(&format!("{v:>4} ")),
+                    None => out.push_str("   . "),
+                }
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::{global_context, ContextOptions};
+
+    #[test]
+    fn new_validates_dimensions() {
+        assert!(Matrix::<f64>::new(0, 3).is_err());
+        assert!(Matrix::<f64>::new(3, 0).is_err());
+        let m = Matrix::<f64>::new(3, 4).unwrap();
+        assert_eq!((m.nrows(), m.ncols()), (3, 4));
+        assert_eq!(m.nvals().unwrap(), 0);
+    }
+
+    #[test]
+    fn set_extract_remove_element() {
+        let m = Matrix::<i64>::new(3, 3).unwrap();
+        m.set_element(7, 1, 2).unwrap();
+        assert_eq!(m.extract_element(1, 2).unwrap(), Some(7));
+        assert_eq!(m.extract_element(0, 0).unwrap(), None);
+        m.set_element(9, 1, 2).unwrap(); // overwrite: last wins
+        assert_eq!(m.extract_element(1, 2).unwrap(), Some(9));
+        assert_eq!(m.nvals().unwrap(), 1);
+        m.remove_element(1, 2).unwrap();
+        assert_eq!(m.extract_element(1, 2).unwrap(), None);
+        assert_eq!(m.nvals().unwrap(), 0);
+        // Scalar index OOB is an immediate API error.
+        let err = m.set_element(1, 5, 0).unwrap_err();
+        assert!(err.is_api());
+        assert!(m.extract_element(0, 5).is_err());
+    }
+
+    #[test]
+    fn many_set_elements_stay_fast_and_correct() {
+        let m = Matrix::<u32>::new(100, 100).unwrap();
+        for k in 0..1000u32 {
+            m.set_element(k, (k as usize * 7) % 100, (k as usize * 13) % 100)
+                .unwrap();
+        }
+        // Spot-check last-wins on a known collision: the map (7k, 13k) mod
+        // 100 repeats with period 100, so key 5 and 105... use direct check:
+        m.set_element(1, 3, 3).unwrap();
+        m.set_element(2, 3, 3).unwrap();
+        assert_eq!(m.extract_element(3, 3).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn build_and_tuples_roundtrip() {
+        let m = Matrix::<f64>::new(4, 4).unwrap();
+        m.build(&[0, 2, 2], &[1, 0, 3], &[1.5, 2.5, 3.5], None)
+            .unwrap();
+        let (r, c, v) = m.extract_tuples().unwrap();
+        assert_eq!(r, vec![0, 2, 2]);
+        assert_eq!(c, vec![1, 0, 3]);
+        assert_eq!(v, vec![1.5, 2.5, 3.5]);
+        // Output not empty → API error.
+        let err = m.build(&[0], &[0], &[1.0], None).unwrap_err();
+        assert_eq!(err, Error::Api(ApiError::OutputNotEmpty));
+    }
+
+    #[test]
+    fn build_duplicates_combined_or_rejected() {
+        let m = Matrix::<i64>::new(2, 2).unwrap();
+        m.build(&[0, 0], &[1, 1], &[3, 4], Some(&BinaryOp::plus()))
+            .unwrap();
+        assert_eq!(m.extract_element(0, 1).unwrap(), Some(7));
+        let m2 = Matrix::<i64>::new(2, 2).unwrap();
+        let err = m2.build(&[0, 0], &[1, 1], &[3, 4], None).unwrap_err();
+        assert!(err.is_execution());
+        assert_eq!(err.code(), -104);
+    }
+
+    #[test]
+    fn build_oob_is_execution_error() {
+        let m = Matrix::<i64>::new(2, 2).unwrap();
+        let err = m.build(&[5], &[0], &[1], None).unwrap_err();
+        assert!(err.is_execution());
+        assert_eq!(err.code(), -105);
+    }
+
+    #[test]
+    fn deferred_build_error_surfaces_at_wait() {
+        let ctx = Context::new(
+            &global_context(),
+            Mode::NonBlocking,
+            ContextOptions::default(),
+        );
+        let m = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+        // Enqueued, not executed: the bad index is data, hence an execution
+        // error, hence deferrable (§V).
+        m.build(&[5], &[0], &[1], None).unwrap();
+        assert_eq!(m.pending_len(), 1);
+        let err = m.wait(WaitMode::Materialize).unwrap_err();
+        assert!(err.is_execution());
+        // Sticky until cleared.
+        assert!(m.nvals().is_err());
+        assert!(!m.error_string().is_empty());
+        m.clear().unwrap();
+        assert_eq!(m.nvals().unwrap(), 0);
+        assert_eq!(m.error_string(), "");
+    }
+
+    #[test]
+    fn dup_is_independent() {
+        let m = Matrix::<i32>::new(2, 2).unwrap();
+        m.set_element(5, 0, 0).unwrap();
+        let d = m.dup().unwrap();
+        m.set_element(9, 0, 0).unwrap();
+        assert_eq!(d.extract_element(0, 0).unwrap(), Some(5));
+        assert!(!d.same_object(&m));
+    }
+
+    #[test]
+    fn resize_drops_out_of_range() {
+        let m = Matrix::<i32>::new(4, 4).unwrap();
+        m.set_element(1, 0, 0).unwrap();
+        m.set_element(2, 3, 3).unwrap();
+        m.resize(2, 2).unwrap();
+        assert_eq!((m.nrows(), m.ncols()), (2, 2));
+        assert_eq!(m.nvals().unwrap(), 1);
+        m.resize(8, 8).unwrap();
+        assert_eq!(m.nvals().unwrap(), 1);
+        assert_eq!(m.extract_element(0, 0).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn scalar_variants_of_set_and_extract() {
+        let m = Matrix::<i64>::new(2, 2).unwrap();
+        let s = Scalar::<i64>::new().unwrap();
+        s.set_element(11).unwrap();
+        m.set_element_scalar(&s, 0, 1).unwrap();
+        assert_eq!(m.extract_element(0, 1).unwrap(), Some(11));
+        // Extract a present element into a scalar.
+        let out = Scalar::<i64>::new().unwrap();
+        m.extract_element_scalar(&out, 0, 1).unwrap();
+        assert_eq!(out.extract_element().unwrap(), Some(11));
+        // Extract a missing element: empty scalar, NOT an error (§VI).
+        let empty = Scalar::<i64>::new().unwrap();
+        m.extract_element_scalar(&empty, 1, 1).unwrap();
+        assert_eq!(empty.nvals().unwrap(), 0);
+        // Empty scalar setElement removes.
+        let hole = Scalar::<i64>::new().unwrap();
+        m.set_element_scalar(&hole, 0, 1).unwrap();
+        assert_eq!(m.extract_element(0, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let m = Matrix::<u8>::new(2, 2).unwrap();
+        m.set_element(1, 0, 0).unwrap();
+        m.clear().unwrap();
+        assert_eq!(m.nvals().unwrap(), 0);
+        assert_eq!((m.nrows(), m.ncols()), (2, 2));
+    }
+
+    #[test]
+    fn display_rendering() {
+        let m = Matrix::<i32>::new(2, 2).unwrap();
+        m.set_element(3, 0, 1).unwrap();
+        let s = m.to_display_string().unwrap();
+        assert!(s.contains('3'));
+        assert!(s.contains('.'));
+    }
+}

@@ -1,0 +1,259 @@
+//! `GrB_extract`: sub-matrix / sub-vector extraction with arbitrary
+//! (possibly repeating) index selectors. Out-of-range values *inside the
+//! selector arrays* are data, hence execution errors (deferrable);
+//! output-shape disagreement is an immediate API error.
+
+use std::sync::Arc;
+
+use crate::descriptor::Descriptor;
+use crate::error::{ApiError, Error, GrbResult};
+use crate::matrix::{MatStore, Matrix};
+use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand, snapshot_vecmask};
+use crate::ops::BinaryOp;
+use crate::types::{Index, MaskValue, ValueType};
+use crate::vector::{VecStore, Vector};
+use crate::write;
+
+/// `C⟨M, r⟩ = C ⊙ A(I, J)`.
+pub fn extract<T, M>(
+    c: &Matrix<T>,
+    mask: Option<&Matrix<M>>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    a: &Matrix<T>,
+    rows: &[Index],
+    cols: &[Index],
+    desc: &Descriptor,
+) -> GrbResult
+where
+    T: ValueType,
+    M: MaskValue,
+{
+    let ctx = c.context();
+    a.check_context(&ctx)?;
+    if let Some(m) = mask {
+        m.check_context(&ctx)?;
+        if m.shape() != c.shape() {
+            return Err(ApiError::DimensionMismatch.into());
+        }
+    }
+    if c.shape() != (rows.len(), cols.len()) {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+    let a_s = snapshot_operand(a, &ctx, desc.transpose_a, true)?;
+    let mask_s = snapshot_matmask(mask, desc)?;
+    let rows = rows.to_vec();
+    let cols = cols.to_vec();
+    let accum = accum.cloned();
+    let replace = desc.replace;
+    let ctx2 = ctx.clone();
+    c.apply_write(Box::new(move |st| {
+        let t = a_s
+            .extract_submatrix(&ctx2, &rows, &cols)
+            .map_err(Error::from)?;
+        if mask_s.is_none() && accum.is_none() {
+            st.store = MatStore::Csr(Arc::new(t));
+            return Ok(());
+        }
+        st.ensure_csr(&ctx2, true)?;
+        let merged =
+            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
+        st.store = MatStore::Csr(Arc::new(merged));
+        Ok(())
+    }))
+}
+
+/// `w⟨m, r⟩ = w ⊙ u(I)`.
+pub fn extract_v<T, M>(
+    w: &Vector<T>,
+    mask: Option<&Vector<M>>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    u: &Vector<T>,
+    indices: &[Index],
+    desc: &Descriptor,
+) -> GrbResult
+where
+    T: ValueType,
+    M: MaskValue,
+{
+    let ctx = w.context();
+    u.check_context(&ctx)?;
+    if let Some(m) = mask {
+        m.check_context(&ctx)?;
+        if m.size() != w.size() {
+            return Err(ApiError::DimensionMismatch.into());
+        }
+    }
+    if w.size() != indices.len() {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+    let u_s = u.snapshot_sparse()?;
+    let mask_s = snapshot_vecmask(mask, desc)?;
+    let indices = indices.to_vec();
+    let accum = accum.cloned();
+    let replace = desc.replace;
+    w.apply_write(Box::new(move |st| {
+        let t = u_s.extract(&indices).map_err(Error::from)?;
+        if mask_s.is_none() && accum.is_none() {
+            st.store = VecStore::Sparse(Arc::new(t));
+            return Ok(());
+        }
+        st.ensure_sparse()?;
+        let merged =
+            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+        st.store = VecStore::Sparse(Arc::new(merged));
+        Ok(())
+    }))
+}
+
+/// `GrB_Col_extract`: `w⟨m, r⟩ = w ⊙ A(I, j)` (`desc.transpose_a` extracts
+/// a row instead).
+pub fn extract_col<T, M>(
+    w: &Vector<T>,
+    mask: Option<&Vector<M>>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    a: &Matrix<T>,
+    rows: &[Index],
+    j: Index,
+    desc: &Descriptor,
+) -> GrbResult
+where
+    T: ValueType,
+    M: MaskValue,
+{
+    let ctx = w.context();
+    a.check_context(&ctx)?;
+    if let Some(m) = mask {
+        m.check_context(&ctx)?;
+        if m.size() != w.size() {
+            return Err(ApiError::DimensionMismatch.into());
+        }
+    }
+    let (_, an) = eff_shape(a, desc.transpose_a);
+    if j >= an {
+        return Err(ApiError::InvalidIndex.into());
+    }
+    if w.size() != rows.len() {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+    let a_s = snapshot_operand(a, &ctx, desc.transpose_a, true)?;
+    let mask_s = snapshot_vecmask(mask, desc)?;
+    let rows = rows.to_vec();
+    let accum = accum.cloned();
+    let replace = desc.replace;
+    let ctx2 = ctx.clone();
+    w.apply_write(Box::new(move |st| {
+        let sub = a_s
+            .extract_submatrix(&ctx2, &rows, &[j])
+            .map_err(Error::from)?;
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, _, v) in sub.iter() {
+            indices.push(i);
+            values.push(v.clone());
+        }
+        let t = graphblas_sparse::SparseVec::from_parts(rows.len(), indices, values)
+            .map_err(Error::from)?;
+        if mask_s.is_none() && accum.is_none() {
+            st.store = VecStore::Sparse(Arc::new(t));
+            return Ok(());
+        }
+        st.ensure_sparse()?;
+        let merged =
+            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+        st.store = VecStore::Sparse(Arc::new(merged));
+        Ok(())
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operations::testutil::{mat, mat_tuples, vec, vec_tuples};
+    use crate::operations::all_indices;
+    use crate::{no_mask, no_mask_v};
+
+    #[test]
+    fn extract_submatrix_with_permutation() {
+        let a = mat((3, 3), &[(0, 0, 1i64), (1, 1, 2), (2, 2, 3)]);
+        let c = Matrix::<i64>::new(2, 3).unwrap();
+        extract(
+            &c,
+            no_mask(),
+            None,
+            &a,
+            &[2, 0],
+            &all_indices(3),
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(mat_tuples(&c), vec![(0, 2, 3), (1, 0, 1)]);
+    }
+
+    #[test]
+    fn extract_with_repeated_selectors() {
+        let a = mat((2, 2), &[(0, 1, 7i64)]);
+        let c = Matrix::<i64>::new(2, 2).unwrap();
+        extract(&c, no_mask(), None, &a, &[0, 0], &[1, 1], &Descriptor::default()).unwrap();
+        assert_eq!(
+            mat_tuples(&c),
+            vec![(0, 0, 7), (0, 1, 7), (1, 0, 7), (1, 1, 7)]
+        );
+    }
+
+    #[test]
+    fn oob_selector_is_execution_error() {
+        let a = mat((2, 2), &[(0, 0, 1i64)]);
+        let c = Matrix::<i64>::new(1, 1).unwrap();
+        let err = extract(&c, no_mask(), None, &a, &[5], &[0], &Descriptor::default())
+            .unwrap_err();
+        assert!(err.is_execution());
+        assert_eq!(err.code(), -105);
+    }
+
+    #[test]
+    fn output_shape_is_api_checked() {
+        let a = mat((2, 2), &[(0, 0, 1i64)]);
+        let c = Matrix::<i64>::new(2, 2).unwrap();
+        let err = extract(&c, no_mask(), None, &a, &[0], &[0], &Descriptor::default())
+            .unwrap_err();
+        assert!(err.is_api());
+    }
+
+    #[test]
+    fn vector_extract() {
+        let u = vec(5, &[(0, 10i64), (3, 40)]);
+        let w = Vector::<i64>::new(3).unwrap();
+        extract_v(&w, no_mask_v(), None, &u, &[3, 1, 0], &Descriptor::default()).unwrap();
+        assert_eq!(vec_tuples(&w), vec![(0, 40), (2, 10)]);
+    }
+
+    #[test]
+    fn column_extract() {
+        let a = mat((3, 2), &[(0, 1, 5i64), (2, 1, 7)]);
+        let w = Vector::<i64>::new(3).unwrap();
+        extract_col(
+            &w,
+            no_mask_v(),
+            None,
+            &a,
+            &all_indices(3),
+            1,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&w), vec![(0, 5), (2, 7)]);
+        // Row extraction via transpose flag.
+        let r = Vector::<i64>::new(2).unwrap();
+        extract_col(
+            &r,
+            no_mask_v(),
+            None,
+            &a,
+            &all_indices(2),
+            2,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&r), vec![(1, 7)]);
+    }
+}

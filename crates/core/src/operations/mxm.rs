@@ -1,0 +1,234 @@
+//! `GrB_mxm`: masked, accumulated matrix-matrix multiply over a semiring.
+
+use std::sync::Arc;
+
+use graphblas_sparse::spgemm;
+
+use crate::descriptor::Descriptor;
+use crate::error::{ApiError, GrbResult};
+use crate::matrix::{MatStore, Matrix};
+use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand};
+use crate::ops::{BinaryOp, Semiring};
+use crate::types::{MaskValue, ValueType};
+use crate::write;
+
+/// `C⟨M, r⟩ = C ⊙ (A ⊕.⊗ B)`.
+///
+/// When a non-complemented mask is present without an accumulator the
+/// kernel runs in masked form (`spgemm_masked`), never materializing
+/// products outside the mask — the optimization that makes masked triangle
+/// counting linear in the mask size.
+pub fn mxm<C, M, A, B>(
+    c: &Matrix<C>,
+    mask: Option<&Matrix<M>>,
+    accum: Option<&BinaryOp<C, C, C>>,
+    semiring: &Semiring<A, B, C>,
+    a: &Matrix<A>,
+    b: &Matrix<B>,
+    desc: &Descriptor,
+) -> GrbResult
+where
+    C: ValueType,
+    M: MaskValue,
+    A: ValueType,
+    B: ValueType,
+{
+    let ctx = c.context();
+    a.check_context(&ctx)?;
+    b.check_context(&ctx)?;
+    if let Some(m) = mask {
+        m.check_context(&ctx)?;
+        if m.shape() != c.shape() {
+            return Err(ApiError::DimensionMismatch.into());
+        }
+    }
+    let (am, an) = eff_shape(a, desc.transpose_a);
+    let (bm, bn) = eff_shape(b, desc.transpose_b);
+    if an != bm || c.shape() != (am, bn) {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+
+    let a_s = snapshot_operand(a, &ctx, desc.transpose_a, false)?;
+    let b_s = snapshot_operand(b, &ctx, desc.transpose_b, false)?;
+    let mask_s = snapshot_matmask(mask, desc)?;
+    let sr = semiring.clone();
+    let accum = accum.cloned();
+    let replace = desc.replace;
+    let ctx2 = ctx.clone();
+
+    c.apply_write(Box::new(move |st| {
+        let mul = |x: &A, y: &B| sr.multiply(x, y);
+        let add = |acc: &mut C, z: C| *acc = sr.combine(acc, &z);
+        // Masked kernel: only valid when the merge wants exactly the
+        // mask-restricted product (no accumulator folding old values in).
+        let use_masked_kernel = mask_s.is_some() && accum.is_none();
+        let t = if use_masked_kernel {
+            let m = mask_s.as_ref().expect("checked");
+            spgemm::spgemm_masked(
+                &ctx2,
+                &m.mask,
+                m.complement,
+                |b: &bool| *b,
+                &a_s,
+                &b_s,
+                mul,
+                add,
+            )
+        } else {
+            spgemm::spgemm(&ctx2, &a_s, &b_s, mul, add)
+        };
+        if mask_s.is_none() && accum.is_none() {
+            st.store = MatStore::Csr(Arc::new(t));
+            return Ok(());
+        }
+        st.ensure_csr(&ctx2, true)?;
+        let merged = write::merge_matrix(
+            &ctx2,
+            st.csr(),
+            t,
+            mask_s.as_ref(),
+            accum.as_ref(),
+            replace,
+        );
+        st.store = MatStore::Csr(Arc::new(merged));
+        Ok(())
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operations::testutil::{mat, mat_tuples};
+    use crate::{no_mask, Descriptor};
+
+    #[test]
+    fn plus_times_basic() {
+        let a = mat((2, 3), &[(0, 0, 1i64), (0, 1, 2), (1, 2, 3)]);
+        let b = mat((3, 2), &[(0, 0, 4i64), (1, 0, 5), (1, 1, 6), (2, 1, 7)]);
+        let c = Matrix::<i64>::new(2, 2).unwrap();
+        mxm(
+            &c,
+            no_mask(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            mat_tuples(&c),
+            vec![(0, 0, 14), (0, 1, 12), (1, 1, 21)]
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_api_error() {
+        let a = Matrix::<i64>::new(2, 3).unwrap();
+        let b = Matrix::<i64>::new(4, 2).unwrap();
+        let c = Matrix::<i64>::new(2, 2).unwrap();
+        let err = mxm(
+            &c,
+            no_mask(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &b,
+            &Descriptor::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::Error::Api(ApiError::DimensionMismatch));
+    }
+
+    #[test]
+    fn transpose_descriptors() {
+        // A is 3x2; with INP0 transposed it acts as 2x3.
+        let a = mat((3, 2), &[(0, 0, 1i64), (1, 0, 2), (2, 1, 3)]);
+        let b = mat((3, 2), &[(0, 1, 10i64), (2, 0, 20)]);
+        let c = Matrix::<i64>::new(2, 2).unwrap();
+        mxm(
+            &c,
+            no_mask(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &b,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
+        // Aᵀ = [[1,2,0],[0,0,3]]; AᵀB = [[0,10],[60,0]]
+        assert_eq!(mat_tuples(&c), vec![(0, 1, 10), (1, 0, 60)]);
+    }
+
+    #[test]
+    fn masked_mxm_restricts_output() {
+        let a = mat((2, 2), &[(0, 0, 1i64), (0, 1, 1), (1, 0, 1), (1, 1, 1)]);
+        let mask = mat((2, 2), &[(0, 0, true), (1, 1, true)]);
+        let c = Matrix::<i64>::new(2, 2).unwrap();
+        mxm(
+            &c,
+            Some(&mask),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(mat_tuples(&c), vec![(0, 0, 2), (1, 1, 2)]);
+    }
+
+    #[test]
+    fn accum_merges_with_old_contents() {
+        let a = mat((1, 1), &[(0, 0, 3i64)]);
+        let c = mat((1, 1), &[(0, 0, 100i64)]);
+        mxm(
+            &c,
+            no_mask(),
+            Some(&BinaryOp::plus()),
+            &Semiring::plus_times(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(mat_tuples(&c), vec![(0, 0, 109)]);
+    }
+
+    #[test]
+    fn complemented_mask_with_replace() {
+        let a = mat((2, 2), &[(0, 0, 1i64), (1, 1, 1)]);
+        let mask = mat((2, 2), &[(0, 0, true)]);
+        let c = mat((2, 2), &[(0, 1, 42i64)]);
+        // Complement: only (0,1),(1,0),(1,1) writable; replace clears rest.
+        mxm(
+            &c,
+            Some(&mask),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &a,
+            &Descriptor::new().complement_mask().replace(),
+        )
+        .unwrap();
+        assert_eq!(mat_tuples(&c), vec![(1, 1, 1)]);
+    }
+
+    #[test]
+    fn boolean_reachability_squared() {
+        // Path 0→1→2; A² over LOR.LAND gives the 2-hop reachability 0→2.
+        let a = mat((3, 3), &[(0, 1, true), (1, 2, true)]);
+        let c = Matrix::<bool>::new(3, 3).unwrap();
+        mxm(
+            &c,
+            no_mask(),
+            None,
+            &Semiring::lor_land(),
+            &a,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(mat_tuples(&c), vec![(0, 2, true)]);
+    }
+}

@@ -1,0 +1,280 @@
+//! `GrB_mxv` / `GrB_vxm`: matrix-vector products over a semiring.
+//!
+//! `mxv` runs the row-parallel *pull* kernel; `vxm` the frontier-friendly
+//! *push* kernel. The add monoid's terminal (annihilator) value, when
+//! declared, short-circuits per-row accumulation in the pull kernel — the
+//! `ablation_terminal` bench measures the payoff for LOR-style traversals.
+
+use std::sync::Arc;
+
+use graphblas_sparse::spmv as kernels;
+
+use crate::descriptor::Descriptor;
+use crate::error::{ApiError, GrbResult};
+use crate::matrix::Matrix;
+use crate::operations::{eff_shape, snapshot_operand, snapshot_vecmask};
+use crate::ops::{BinaryOp, Semiring};
+use crate::types::{MaskValue, ValueType};
+use crate::vector::{VecStore, Vector};
+use crate::write;
+
+/// `w⟨m, r⟩ = w ⊙ (A ⊕.⊗ u)` (`desc.transpose_a` uses `Aᵀ`).
+pub fn mxv<C, M, A, X>(
+    w: &Vector<C>,
+    mask: Option<&Vector<M>>,
+    accum: Option<&BinaryOp<C, C, C>>,
+    semiring: &Semiring<A, X, C>,
+    a: &Matrix<A>,
+    u: &Vector<X>,
+    desc: &Descriptor,
+) -> GrbResult
+where
+    C: ValueType,
+    M: MaskValue,
+    A: ValueType,
+    X: ValueType,
+{
+    let ctx = w.context();
+    a.check_context(&ctx)?;
+    u.check_context(&ctx)?;
+    if let Some(m) = mask {
+        m.check_context(&ctx)?;
+        if m.size() != w.size() {
+            return Err(ApiError::DimensionMismatch.into());
+        }
+    }
+    let (am, an) = eff_shape(a, desc.transpose_a);
+    if an != u.size() || w.size() != am {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+
+    let a_s = snapshot_operand(a, &ctx, desc.transpose_a, false)?;
+    let u_s = u.snapshot_sparse()?;
+    let mask_s = snapshot_vecmask(mask, desc)?;
+    let sr = semiring.clone();
+    let accum = accum.cloned();
+    let replace = desc.replace;
+    let ctx2 = ctx.clone();
+
+    w.apply_write(Box::new(move |st| {
+        let terminal = sr
+            .add()
+            .terminal()
+            .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
+        let t = kernels::spmv(
+            &ctx2,
+            &a_s,
+            &u_s,
+            |av: &A, xv: &X| sr.multiply(av, xv),
+            |p: C, q: C| sr.combine(&p, &q),
+            terminal,
+        );
+        if mask_s.is_none() && accum.is_none() {
+            st.store = VecStore::Sparse(Arc::new(t));
+            return Ok(());
+        }
+        st.ensure_sparse()?;
+        let merged =
+            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+        st.store = VecStore::Sparse(Arc::new(merged));
+        Ok(())
+    }))
+}
+
+/// `wᵀ⟨mᵀ, r⟩ = wᵀ ⊙ (uᵀ ⊕.⊗ A)` (`desc.transpose_b` uses `Aᵀ`, turning
+/// this into a pull product).
+pub fn vxm<C, M, X, A>(
+    w: &Vector<C>,
+    mask: Option<&Vector<M>>,
+    accum: Option<&BinaryOp<C, C, C>>,
+    semiring: &Semiring<X, A, C>,
+    u: &Vector<X>,
+    a: &Matrix<A>,
+    desc: &Descriptor,
+) -> GrbResult
+where
+    C: ValueType,
+    M: MaskValue,
+    X: ValueType,
+    A: ValueType,
+{
+    let ctx = w.context();
+    a.check_context(&ctx)?;
+    u.check_context(&ctx)?;
+    if let Some(m) = mask {
+        m.check_context(&ctx)?;
+        if m.size() != w.size() {
+            return Err(ApiError::DimensionMismatch.into());
+        }
+    }
+    let (am, an) = eff_shape(a, desc.transpose_b);
+    if am != u.size() || w.size() != an {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+
+    let a_s = snapshot_operand(a, &ctx, desc.transpose_b, false)?;
+    let u_s = u.snapshot_sparse()?;
+    let mask_s = snapshot_vecmask(mask, desc)?;
+    let sr = semiring.clone();
+    let accum = accum.cloned();
+    let replace = desc.replace;
+    let ctx2 = ctx.clone();
+
+    w.apply_write(Box::new(move |st| {
+        let t = kernels::vxm(
+            &ctx2,
+            &u_s,
+            &a_s,
+            |xv: &X, av: &A| sr.multiply(xv, av),
+            |p: C, q: C| sr.combine(&p, &q),
+        );
+        if mask_s.is_none() && accum.is_none() {
+            st.store = VecStore::Sparse(Arc::new(t));
+            return Ok(());
+        }
+        st.ensure_sparse()?;
+        let merged =
+            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+        st.store = VecStore::Sparse(Arc::new(merged));
+        Ok(())
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operations::testutil::{mat, vec, vec_tuples};
+    use crate::no_mask_v;
+
+    fn graph() -> Matrix<i64> {
+        // [[1, _, 2],
+        //  [_, 3, _],
+        //  [4, _, 5]]
+        mat(
+            (3, 3),
+            &[(0, 0, 1), (0, 2, 2), (1, 1, 3), (2, 0, 4), (2, 2, 5)],
+        )
+    }
+
+    #[test]
+    fn mxv_plus_times() {
+        let a = graph();
+        let u = vec(3, &[(0, 1i64), (1, 1), (2, 1)]);
+        let w = Vector::<i64>::new(3).unwrap();
+        mxv(
+            &w,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &u,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&w), vec![(0, 3), (1, 3), (2, 9)]);
+    }
+
+    #[test]
+    fn vxm_equals_mxv_on_transpose() {
+        let a = graph();
+        let u = vec(3, &[(0, 2i64), (2, 3)]);
+        let w1 = Vector::<i64>::new(3).unwrap();
+        let w2 = Vector::<i64>::new(3).unwrap();
+        vxm(
+            &w1,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &u,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        mxv(
+            &w2,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &u,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&w1), vec_tuples(&w2));
+    }
+
+    #[test]
+    fn masked_complement_frontier_pattern() {
+        // The BFS idiom: expand frontier, masked by unvisited vertices.
+        let a = mat((3, 3), &[(0, 1, true), (1, 2, true), (2, 0, true)]);
+        let visited = vec(3, &[(0, true)]);
+        let frontier = vec(3, &[(0, true)]);
+        let next = Vector::<bool>::new(3).unwrap();
+        vxm(
+            &next,
+            Some(&visited),
+            None,
+            &Semiring::lor_land(),
+            &frontier,
+            &a,
+            &Descriptor::new().complement_mask().replace(),
+        )
+        .unwrap();
+        // 0 reaches 1; 1 is unvisited so it survives the complement mask.
+        assert_eq!(vec_tuples(&next), vec![(1, true)]);
+    }
+
+    #[test]
+    fn min_plus_relaxation() {
+        let a = mat((3, 3), &[(0, 1, 7i64), (1, 2, 2)]);
+        let dist = vec(3, &[(0, 0i64)]);
+        let w = Vector::<i64>::new(3).unwrap();
+        vxm(
+            &w,
+            no_mask_v(),
+            None,
+            &Semiring::min_plus(),
+            &dist,
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&w), vec![(1, 7)]);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = Matrix::<i64>::new(3, 3).unwrap();
+        let u = Vector::<i64>::new(2).unwrap();
+        let w = Vector::<i64>::new(3).unwrap();
+        assert!(mxv(
+            &w,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &u,
+            &Descriptor::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accum_into_existing_vector() {
+        let a = graph();
+        let u = vec(3, &[(1, 10i64)]);
+        let w = vec(3, &[(1, 5i64), (2, 7)]);
+        mxv(
+            &w,
+            no_mask_v(),
+            Some(&BinaryOp::plus()),
+            &Semiring::plus_times(),
+            &a,
+            &u,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        // A·u = [_, 30, _]; accum → w = [_, 35, 7].
+        assert_eq!(vec_tuples(&w), vec![(1, 35), (2, 7)]);
+    }
+}

@@ -1,0 +1,329 @@
+//! `GrB_reduce`: matrix → vector (row-wise monoid reduction) and
+//! matrix/vector → scalar.
+//!
+//! GraphBLAS 2.0 (§VI) reworks the scalar-output forms around
+//! `GrB_Scalar`: reducing an empty container yields an **empty scalar**
+//! instead of the monoid identity, and a plain associative `BinaryOp` is
+//! now accepted as the reduction operator (no identity needed when the
+//! output may be empty). The 1.X typed-value forms (returning the identity
+//! for empty inputs) are kept as `reduce_to_value*`.
+
+use std::sync::Arc;
+
+use crate::descriptor::Descriptor;
+use crate::error::{ApiError, GrbResult};
+use crate::matrix::Matrix;
+use crate::operations::{eff_shape, snapshot_operand, snapshot_vecmask};
+use crate::ops::{BinaryOp, Monoid};
+use crate::scalar::Scalar;
+use crate::types::{MaskValue, ValueType};
+use crate::vector::{VecStore, Vector};
+use crate::write;
+
+/// `w⟨m, r⟩ = w ⊙ [⊕ⱼ A(:, j)]` — row-wise reduction to a vector
+/// (`desc.transpose_a` reduces columns instead).
+pub fn reduce_to_vector<T, M>(
+    w: &Vector<T>,
+    mask: Option<&Vector<M>>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    monoid: &Monoid<T>,
+    a: &Matrix<T>,
+    desc: &Descriptor,
+) -> GrbResult
+where
+    T: ValueType,
+    M: MaskValue,
+{
+    let ctx = w.context();
+    a.check_context(&ctx)?;
+    if let Some(m) = mask {
+        m.check_context(&ctx)?;
+        if m.size() != w.size() {
+            return Err(ApiError::DimensionMismatch.into());
+        }
+    }
+    let (am, _) = eff_shape(a, desc.transpose_a);
+    if w.size() != am {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+    let a_s = snapshot_operand(a, &ctx, desc.transpose_a, false)?;
+    let mask_s = snapshot_vecmask(mask, desc)?;
+    let monoid = monoid.clone();
+    let accum = accum.cloned();
+    let replace = desc.replace;
+    let ctx2 = ctx.clone();
+    w.apply_write(Box::new(move |st| {
+        let rows = a_s.reduce_rows(&ctx2, |v| v.clone(), |x, y| monoid.apply(&x, &y));
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, r) in rows.into_iter().enumerate() {
+            if let Some(v) = r {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        let t = graphblas_sparse::SparseVec::from_parts(a_s.nrows(), indices, values)
+            .expect("reduce produces valid vector");
+        if mask_s.is_none() && accum.is_none() {
+            st.store = VecStore::Sparse(Arc::new(t));
+            return Ok(());
+        }
+        st.ensure_sparse()?;
+        let merged =
+            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+        st.store = VecStore::Sparse(Arc::new(merged));
+        Ok(())
+    }))
+}
+
+fn fold_scalar<T: ValueType>(
+    old: Option<T>,
+    t: Option<T>,
+    accum: Option<&BinaryOp<T, T, T>>,
+) -> Option<T> {
+    match (accum, old, t) {
+        (Some(op), Some(o), Some(t)) => Some(op.apply(&o, &t)),
+        (Some(_), None, t) => t,
+        (Some(_), o, None) => o,
+        (None, _, t) => t,
+    }
+}
+
+/// Table II: `GrB_reduce(GrB_Scalar, accum, monoid, A, desc)` — an empty
+/// matrix yields an empty scalar (§VI).
+pub fn reduce_scalar<T>(
+    s: &Scalar<T>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    monoid: &Monoid<T>,
+    a: &Matrix<T>,
+) -> GrbResult
+where
+    T: ValueType,
+{
+    let ctx = s.context();
+    a.check_context(&ctx)?;
+    let a_s = a.snapshot_csr(false)?;
+    let monoid = monoid.clone();
+    let accum = accum.cloned();
+    s.apply_write(Box::new(move |slot: &mut Option<T>| {
+        let t = a_s.reduce_all(
+            &graphblas_exec::global_context(),
+            |v| v.clone(),
+            |x, y| monoid.apply(&x, &y),
+            monoid.terminal().map(|t| t as &(dyn Fn(&T) -> bool + Sync)),
+        );
+        *slot = fold_scalar(slot.take(), t, accum.as_ref());
+        Ok(())
+    }))
+}
+
+/// §VI: reduction to scalar with a plain associative `BinaryOp` — newly
+/// legal in 2.0 because an empty result is representable.
+pub fn reduce_scalar_binop<T>(
+    s: &Scalar<T>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    op: &BinaryOp<T, T, T>,
+    a: &Matrix<T>,
+) -> GrbResult
+where
+    T: ValueType,
+{
+    let ctx = s.context();
+    a.check_context(&ctx)?;
+    let a_s = a.snapshot_csr(false)?;
+    let op = op.clone();
+    let accum = accum.cloned();
+    s.apply_write(Box::new(move |slot: &mut Option<T>| {
+        let t = a_s.reduce_all(
+            &graphblas_exec::global_context(),
+            |v| v.clone(),
+            |x, y| op.apply(&x, &y),
+            None,
+        );
+        *slot = fold_scalar(slot.take(), t, accum.as_ref());
+        Ok(())
+    }))
+}
+
+/// Vector form of [`reduce_scalar`].
+pub fn reduce_scalar_v<T>(
+    s: &Scalar<T>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    monoid: &Monoid<T>,
+    u: &Vector<T>,
+) -> GrbResult
+where
+    T: ValueType,
+{
+    let ctx = s.context();
+    u.check_context(&ctx)?;
+    let u_s = u.snapshot_sparse()?;
+    let monoid = monoid.clone();
+    let accum = accum.cloned();
+    s.apply_write(Box::new(move |slot: &mut Option<T>| {
+        let t = u_s.reduce(
+            |v| v.clone(),
+            |x, y| monoid.apply(&x, &y),
+            monoid.terminal().map(|t| t as &dyn Fn(&T) -> bool),
+        );
+        *slot = fold_scalar(slot.take(), t, accum.as_ref());
+        Ok(())
+    }))
+}
+
+/// Vector form of [`reduce_scalar_binop`].
+pub fn reduce_scalar_binop_v<T>(
+    s: &Scalar<T>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    op: &BinaryOp<T, T, T>,
+    u: &Vector<T>,
+) -> GrbResult
+where
+    T: ValueType,
+{
+    let ctx = s.context();
+    u.check_context(&ctx)?;
+    let u_s = u.snapshot_sparse()?;
+    let op = op.clone();
+    let accum = accum.cloned();
+    s.apply_write(Box::new(move |slot: &mut Option<T>| {
+        let t = u_s.reduce(|v| v.clone(), |x, y| op.apply(&x, &y), None);
+        *slot = fold_scalar(slot.take(), t, accum.as_ref());
+        Ok(())
+    }))
+}
+
+/// The GraphBLAS 1.X typed form: reduces to a plain value, returning the
+/// monoid identity when the matrix stores nothing.
+pub fn reduce_to_value<T>(monoid: &Monoid<T>, a: &Matrix<T>) -> GrbResult<T>
+where
+    T: ValueType,
+{
+    let a_s = a.snapshot_csr(false)?;
+    Ok(a_s
+        .reduce_all(
+            &a.context(),
+            |v| v.clone(),
+            |x, y| monoid.apply(&x, &y),
+            monoid.terminal().map(|t| t as &(dyn Fn(&T) -> bool + Sync)),
+        )
+        .unwrap_or_else(|| monoid.identity().clone()))
+}
+
+/// Vector form of [`reduce_to_value`].
+pub fn reduce_to_value_v<T>(monoid: &Monoid<T>, u: &Vector<T>) -> GrbResult<T>
+where
+    T: ValueType,
+{
+    let u_s = u.snapshot_sparse()?;
+    Ok(u_s
+        .reduce(
+            |v| v.clone(),
+            |x, y| monoid.apply(&x, &y),
+            monoid.terminal().map(|t| t as &dyn Fn(&T) -> bool),
+        )
+        .unwrap_or_else(|| monoid.identity().clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operations::testutil::{mat, vec, vec_tuples};
+    use crate::no_mask_v;
+
+    #[test]
+    fn row_reduction() {
+        let a = mat((3, 3), &[(0, 0, 1i64), (0, 2, 2), (2, 1, 5)]);
+        let w = Vector::<i64>::new(3).unwrap();
+        reduce_to_vector(
+            &w,
+            no_mask_v(),
+            None,
+            &Monoid::plus(),
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&w), vec![(0, 3), (2, 5)]);
+    }
+
+    #[test]
+    fn column_reduction_via_transpose() {
+        let a = mat((3, 3), &[(0, 0, 1i64), (0, 2, 2), (2, 0, 5)]);
+        let w = Vector::<i64>::new(3).unwrap();
+        reduce_to_vector(
+            &w,
+            no_mask_v(),
+            None,
+            &Monoid::plus(),
+            &a,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&w), vec![(0, 6), (2, 2)]);
+    }
+
+    #[test]
+    fn scalar_reduction_empty_yields_empty_scalar() {
+        let a = Matrix::<i64>::new(3, 3).unwrap();
+        let s = Scalar::<i64>::new().unwrap();
+        s.set_element(99).unwrap();
+        reduce_scalar(&s, None, &Monoid::plus(), &a).unwrap();
+        // No accumulator: the empty reduction clears the scalar (§VI —
+        // "return an empty container", unlike 1.X's identity).
+        assert_eq!(s.nvals().unwrap(), 0);
+    }
+
+    #[test]
+    fn scalar_reduction_with_accum_keeps_old_on_empty() {
+        let a = Matrix::<i64>::new(2, 2).unwrap();
+        let s = Scalar::<i64>::new().unwrap();
+        s.set_element(10).unwrap();
+        reduce_scalar(&s, Some(&BinaryOp::plus()), &Monoid::plus(), &a).unwrap();
+        assert_eq!(s.extract_element().unwrap(), Some(10));
+        let b = mat((2, 2), &[(0, 0, 5i64)]);
+        reduce_scalar(&s, Some(&BinaryOp::plus()), &Monoid::plus(), &b).unwrap();
+        assert_eq!(s.extract_element().unwrap(), Some(15));
+    }
+
+    #[test]
+    fn binop_reduction_to_scalar() {
+        let u = vec(4, &[(0, 3i64), (2, 9), (3, 1)]);
+        let s = Scalar::<i64>::new().unwrap();
+        reduce_scalar_binop_v(&s, None, &BinaryOp::max(), &u).unwrap();
+        assert_eq!(s.extract_element().unwrap(), Some(9));
+        let empty = Vector::<i64>::new(4).unwrap();
+        reduce_scalar_binop_v(&s, None, &BinaryOp::max(), &empty).unwrap();
+        assert_eq!(s.nvals().unwrap(), 0);
+    }
+
+    #[test]
+    fn typed_value_reduction_uses_identity_for_empty() {
+        let a = Matrix::<i64>::new(2, 2).unwrap();
+        assert_eq!(reduce_to_value(&Monoid::plus(), &a).unwrap(), 0);
+        assert_eq!(reduce_to_value(&Monoid::<i64>::min(), &a).unwrap(), i64::MAX);
+        let b = mat((2, 2), &[(0, 0, 5i64), (1, 1, -2)]);
+        assert_eq!(reduce_to_value(&Monoid::plus(), &b).unwrap(), 3);
+        assert_eq!(reduce_to_value(&Monoid::<i64>::min(), &b).unwrap(), -2);
+        let u = vec(3, &[(1, 4i64)]);
+        assert_eq!(reduce_to_value_v(&Monoid::plus(), &u).unwrap(), 4);
+    }
+
+    #[test]
+    fn masked_reduce_to_vector() {
+        let a = mat((2, 2), &[(0, 0, 1i64), (1, 0, 2), (1, 1, 3)]);
+        let mask = vec(2, &[(1, true)]);
+        let w = vec(2, &[(0, 100i64)]);
+        reduce_to_vector(
+            &w,
+            Some(&mask),
+            None,
+            &Monoid::plus(),
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        // Row 1 reduced inside mask; row 0's old value kept outside mask.
+        assert_eq!(vec_tuples(&w), vec![(0, 100), (1, 5)]);
+    }
+}

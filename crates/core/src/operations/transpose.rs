@@ -1,0 +1,95 @@
+//! `GrB_transpose`: `C⟨M, r⟩ = C ⊙ Aᵀ`. With `desc.transpose_a` the two
+//! transposes cancel and the operation degenerates to a (masked,
+//! accumulated) copy — the spec's idiom for formatted assignment.
+
+use std::sync::Arc;
+
+use crate::descriptor::Descriptor;
+use crate::error::{ApiError, GrbResult};
+use crate::matrix::{MatStore, Matrix};
+use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand};
+use crate::ops::BinaryOp;
+use crate::types::{MaskValue, ValueType};
+use crate::write;
+
+/// `C⟨M, r⟩ = C ⊙ Aᵀ`.
+pub fn transpose<T, M>(
+    c: &Matrix<T>,
+    mask: Option<&Matrix<M>>,
+    accum: Option<&BinaryOp<T, T, T>>,
+    a: &Matrix<T>,
+    desc: &Descriptor,
+) -> GrbResult
+where
+    T: ValueType,
+    M: MaskValue,
+{
+    let ctx = c.context();
+    a.check_context(&ctx)?;
+    if let Some(m) = mask {
+        m.check_context(&ctx)?;
+        if m.shape() != c.shape() {
+            return Err(ApiError::DimensionMismatch.into());
+        }
+    }
+    // The operation transposes once; the descriptor flag transposes again.
+    let effective_transpose = !desc.transpose_a;
+    if c.shape() != eff_shape(a, effective_transpose) {
+        return Err(ApiError::DimensionMismatch.into());
+    }
+    let t_s = snapshot_operand(a, &ctx, effective_transpose, true)?;
+    let mask_s = snapshot_matmask(mask, desc)?;
+    let accum = accum.cloned();
+    let replace = desc.replace;
+    let ctx2 = ctx.clone();
+    c.apply_write(Box::new(move |st| {
+        let t = (*t_s).clone();
+        if mask_s.is_none() && accum.is_none() {
+            st.store = MatStore::Csr(Arc::new(t));
+            return Ok(());
+        }
+        st.ensure_csr(&ctx2, true)?;
+        let merged =
+            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
+        st.store = MatStore::Csr(Arc::new(merged));
+        Ok(())
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operations::testutil::{mat, mat_tuples};
+    use crate::no_mask;
+
+    #[test]
+    fn plain_transpose() {
+        let a = mat((2, 3), &[(0, 1, 1i64), (1, 2, 2)]);
+        let c = Matrix::<i64>::new(3, 2).unwrap();
+        transpose(&c, no_mask(), None, &a, &Descriptor::default()).unwrap();
+        assert_eq!(mat_tuples(&c), vec![(1, 0, 1), (2, 1, 2)]);
+    }
+
+    #[test]
+    fn double_transpose_is_copy() {
+        let a = mat((2, 3), &[(0, 1, 1i64), (1, 2, 2)]);
+        let c = Matrix::<i64>::new(2, 3).unwrap();
+        transpose(&c, no_mask(), None, &a, &Descriptor::new().transpose_a()).unwrap();
+        assert_eq!(mat_tuples(&c), mat_tuples(&a));
+    }
+
+    #[test]
+    fn transpose_with_accum() {
+        let a = mat((2, 2), &[(0, 1, 1i64)]);
+        let c = mat((2, 2), &[(1, 0, 10i64)]);
+        transpose(&c, no_mask(), Some(&BinaryOp::plus()), &a, &Descriptor::default()).unwrap();
+        assert_eq!(mat_tuples(&c), vec![(1, 0, 11)]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::<i64>::new(2, 3).unwrap();
+        let c = Matrix::<i64>::new(2, 3).unwrap();
+        assert!(transpose(&c, no_mask(), None, &a, &Descriptor::default()).is_err());
+    }
+}

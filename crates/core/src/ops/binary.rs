@@ -1,0 +1,194 @@
+//! Binary operators (`GrB_BinaryOp`): `z = f(x, y)`.
+
+use std::sync::Arc;
+
+use crate::types::{One, ValueType};
+
+/// A binary operator over domains `A × B → Z`.
+#[derive(Clone)]
+pub struct BinaryOp<A, B, Z> {
+    name: &'static str,
+    f: Arc<dyn Fn(&A, &B) -> Z + Send + Sync>,
+}
+
+impl<A, B, Z> std::fmt::Debug for BinaryOp<A, B, Z> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BinaryOp({})", self.name)
+    }
+}
+
+impl<A: ValueType, B: ValueType, Z: ValueType> BinaryOp<A, B, Z> {
+    /// Creates a user-defined operator (`GrB_BinaryOp_new`).
+    pub fn new(name: &'static str, f: impl Fn(&A, &B) -> Z + Send + Sync + 'static) -> Self {
+        BinaryOp { name, f: Arc::new(f) }
+    }
+
+    /// Applies the operator to one pair.
+    #[inline]
+    pub fn apply(&self, x: &A, y: &B) -> Z {
+        (self.f)(x, y)
+    }
+}
+
+impl<A, B, Z> BinaryOp<A, B, Z> {
+    /// The operator name (diagnostics only).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<A: ValueType, B: ValueType> BinaryOp<A, B, A> {
+    /// `GrB_FIRST_*`: z = x.
+    pub fn first() -> Self {
+        BinaryOp::new("GrB_FIRST", |x: &A, _: &B| x.clone())
+    }
+}
+
+impl<A: ValueType, B: ValueType> BinaryOp<A, B, B> {
+    /// `GrB_SECOND_*`: z = y.
+    pub fn second() -> Self {
+        BinaryOp::new("GrB_SECOND", |_: &A, y: &B| y.clone())
+    }
+}
+
+impl<A: ValueType, B: ValueType, Z: ValueType + One> BinaryOp<A, B, Z> {
+    /// `GrB_ONEB_*` (a.k.a. PAIR): z = 1 whenever both operands exist.
+    pub fn oneb() -> Self {
+        BinaryOp::new("GrB_ONEB", |_: &A, _: &B| Z::one())
+    }
+}
+
+impl<T: ValueType + Copy + std::ops::Add<Output = T>> BinaryOp<T, T, T> {
+    /// `GrB_PLUS_*`.
+    pub fn plus() -> Self {
+        BinaryOp::new("GrB_PLUS", |x: &T, y: &T| *x + *y)
+    }
+}
+
+impl<T: ValueType + Copy + std::ops::Sub<Output = T>> BinaryOp<T, T, T> {
+    /// `GrB_MINUS_*`.
+    pub fn minus() -> Self {
+        BinaryOp::new("GrB_MINUS", |x: &T, y: &T| *x - *y)
+    }
+}
+
+impl<T: ValueType + Copy + std::ops::Mul<Output = T>> BinaryOp<T, T, T> {
+    /// `GrB_TIMES_*`.
+    pub fn times() -> Self {
+        BinaryOp::new("GrB_TIMES", |x: &T, y: &T| *x * *y)
+    }
+}
+
+impl<T: ValueType + Copy + std::ops::Div<Output = T>> BinaryOp<T, T, T> {
+    /// `GrB_DIV_*`.
+    pub fn div() -> Self {
+        BinaryOp::new("GrB_DIV", |x: &T, y: &T| *x / *y)
+    }
+}
+
+impl<T: ValueType + Copy + PartialOrd> BinaryOp<T, T, T> {
+    /// `GrB_MIN_*`.
+    pub fn min() -> Self {
+        BinaryOp::new("GrB_MIN", |x: &T, y: &T| if y < x { *y } else { *x })
+    }
+
+    /// `GrB_MAX_*`.
+    pub fn max() -> Self {
+        BinaryOp::new("GrB_MAX", |x: &T, y: &T| if y > x { *y } else { *x })
+    }
+}
+
+impl BinaryOp<bool, bool, bool> {
+    /// `GrB_LOR`.
+    pub fn lor() -> Self {
+        BinaryOp::new("GrB_LOR", |x: &bool, y: &bool| *x || *y)
+    }
+
+    /// `GrB_LAND`.
+    pub fn land() -> Self {
+        BinaryOp::new("GrB_LAND", |x: &bool, y: &bool| *x && *y)
+    }
+
+    /// `GrB_LXOR`.
+    pub fn lxor() -> Self {
+        BinaryOp::new("GrB_LXOR", |x: &bool, y: &bool| *x != *y)
+    }
+
+    /// `GrB_LXNOR`.
+    pub fn lxnor() -> Self {
+        BinaryOp::new("GrB_LXNOR", |x: &bool, y: &bool| *x == *y)
+    }
+}
+
+impl<T: ValueType + PartialEq> BinaryOp<T, T, bool> {
+    /// `GrB_EQ_*`.
+    pub fn eq() -> Self {
+        BinaryOp::new("GrB_EQ", |x: &T, y: &T| x == y)
+    }
+
+    /// `GrB_NE_*`.
+    pub fn ne() -> Self {
+        BinaryOp::new("GrB_NE", |x: &T, y: &T| x != y)
+    }
+}
+
+impl<T: ValueType + PartialOrd> BinaryOp<T, T, bool> {
+    /// `GrB_LT_*`.
+    pub fn lt() -> Self {
+        BinaryOp::new("GrB_LT", |x: &T, y: &T| x < y)
+    }
+
+    /// `GrB_LE_*`.
+    pub fn le() -> Self {
+        BinaryOp::new("GrB_LE", |x: &T, y: &T| x <= y)
+    }
+
+    /// `GrB_GT_*`.
+    pub fn gt() -> Self {
+        BinaryOp::new("GrB_GT", |x: &T, y: &T| x > y)
+    }
+
+    /// `GrB_GE_*`.
+    pub fn ge() -> Self {
+        BinaryOp::new("GrB_GE", |x: &T, y: &T| x >= y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(BinaryOp::<i32, i32, i32>::plus().apply(&2, &3), 5);
+        assert_eq!(BinaryOp::<i32, i32, i32>::minus().apply(&2, &3), -1);
+        assert_eq!(BinaryOp::<f64, f64, f64>::times().apply(&2.0, &3.0), 6.0);
+        assert_eq!(BinaryOp::<f64, f64, f64>::div().apply(&3.0, &2.0), 1.5);
+        assert_eq!(BinaryOp::<u8, u8, u8>::min().apply(&2, &3), 2);
+        assert_eq!(BinaryOp::<u8, u8, u8>::max().apply(&2, &3), 3);
+    }
+
+    #[test]
+    fn selection_and_pair() {
+        assert_eq!(BinaryOp::<i32, f64, i32>::first().apply(&7, &1.5), 7);
+        assert_eq!(BinaryOp::<i32, f64, f64>::second().apply(&7, &1.5), 1.5);
+        assert_eq!(BinaryOp::<i32, f64, u8>::oneb().apply(&7, &1.5), 1);
+    }
+
+    #[test]
+    fn logic_and_comparison() {
+        assert!(BinaryOp::lor().apply(&true, &false));
+        assert!(!BinaryOp::land().apply(&true, &false));
+        assert!(BinaryOp::lxor().apply(&true, &false));
+        assert!(!BinaryOp::lxnor().apply(&true, &false));
+        assert!(BinaryOp::<i32, i32, bool>::eq().apply(&4, &4));
+        assert!(BinaryOp::<i32, i32, bool>::lt().apply(&3, &4));
+        assert!(BinaryOp::<i32, i32, bool>::ge().apply(&4, &4));
+    }
+
+    #[test]
+    fn user_defined_mixed_domains() {
+        let weigh = BinaryOp::<String, u32, usize>::new("len_times", |s, k| s.len() * *k as usize);
+        assert_eq!(weigh.apply(&"abc".to_string(), &3), 9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Index-unary operators (`GrB_IndexUnaryOp`) — the headline §VIII feature
+//! of GraphBLAS 2.0.
+//!
+//! An index-unary operator sees a stored element's **value and location**
+//! plus a caller-supplied scalar `s`:
+//!
+//! ```text
+//! z = f(aᵢⱼ, [i, j], s)      (matrices, n = 2)
+//! z = f(uᵢ,  [i],    s)      (vectors,  n = 1)
+//! ```
+//!
+//! Boolean-returning operators drive [`select`](fn@crate::operations::select)
+//! (keep/annihilate); value-returning operators drive the new `apply`
+//! variants (rewrite from position). Table IV's predefined operators are
+//! all provided as constructors here.
+//!
+//! The paper notes that operators accessing `indices[1]` (COLINDEX,
+//! DIAGINDEX, TRIL, …) are matrix-only and their use on vectors is
+//! *undefined behaviour*; in this implementation that manifests as a panic
+//! on the out-of-bounds slice access — safe, loud, and within the spec's
+//! latitude.
+
+use std::sync::Arc;
+
+use crate::types::{Index, ValueType};
+
+/// An index-unary operator `A × Index^n × S → Z`.
+#[derive(Clone)]
+pub struct IndexUnaryOp<A, S, Z> {
+    name: &'static str,
+    f: Arc<dyn Fn(&A, &[Index], &S) -> Z + Send + Sync>,
+}
+
+impl<A, S, Z> std::fmt::Debug for IndexUnaryOp<A, S, Z> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "IndexUnaryOp({})", self.name)
+    }
+}
+
+impl<A: ValueType, S: ValueType, Z: ValueType> IndexUnaryOp<A, S, Z> {
+    /// Creates a user-defined operator (`GrB_IndexUnaryOp_new`). The
+    /// closure receives `(value, indices, s)`; `indices` has length 2 for
+    /// matrix elements (`[i, j]`) and 1 for vector elements (`[i]`).
+    pub fn new(
+        name: &'static str,
+        f: impl Fn(&A, &[Index], &S) -> Z + Send + Sync + 'static,
+    ) -> Self {
+        IndexUnaryOp { name, f: Arc::new(f) }
+    }
+
+    /// Applies the operator to one element.
+    #[inline]
+    pub fn apply(&self, value: &A, indices: &[Index], s: &S) -> Z {
+        (self.f)(value, indices, s)
+    }
+
+    /// The operator name (diagnostics only).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+// --- Table IV: "replace" operators (for apply) -----------------------------
+
+impl<A: ValueType> IndexUnaryOp<A, i64, i64> {
+    /// `GrB_ROWINDEX_*`: z = i + s.
+    pub fn rowindex() -> Self {
+        IndexUnaryOp::new("GrB_ROWINDEX", |_, idx, s| idx[0] as i64 + s)
+    }
+
+    /// `GrB_COLINDEX_*`: z = j + s (matrix only).
+    pub fn colindex() -> Self {
+        IndexUnaryOp::new("GrB_COLINDEX", |_, idx, s| idx[1] as i64 + s)
+    }
+
+    /// `GrB_DIAGINDEX_*`: z = (j - i) + s (matrix only).
+    pub fn diagindex() -> Self {
+        IndexUnaryOp::new("GrB_DIAGINDEX", |_, idx, s| {
+            idx[1] as i64 - idx[0] as i64 + s
+        })
+    }
+}
+
+// --- Table IV: positional "keep" operators (for select) --------------------
+
+impl<A: ValueType> IndexUnaryOp<A, i64, bool> {
+    /// `GrB_TRIL`: keep elements on or below diagonal `s` (j ≤ i + s).
+    pub fn tril() -> Self {
+        IndexUnaryOp::new("GrB_TRIL", |_, idx, s| idx[1] as i64 <= idx[0] as i64 + s)
+    }
+
+    /// `GrB_TRIU`: keep elements on or above diagonal `s` (j ≥ i + s).
+    pub fn triu() -> Self {
+        IndexUnaryOp::new("GrB_TRIU", |_, idx, s| idx[1] as i64 >= idx[0] as i64 + s)
+    }
+
+    /// `GrB_DIAG`: keep elements on diagonal `s` (j = i + s).
+    pub fn diag() -> Self {
+        IndexUnaryOp::new("GrB_DIAG", |_, idx, s| idx[1] as i64 == idx[0] as i64 + s)
+    }
+
+    /// `GrB_OFFDIAG`: remove elements on diagonal `s` (j ≠ i + s).
+    pub fn offdiag() -> Self {
+        IndexUnaryOp::new("GrB_OFFDIAG", |_, idx, s| idx[1] as i64 != idx[0] as i64 + s)
+    }
+
+    /// `GrB_ROWLE`: keep rows with i ≤ s.
+    pub fn rowle() -> Self {
+        IndexUnaryOp::new("GrB_ROWLE", |_, idx, s| (idx[0] as i64) <= *s)
+    }
+
+    /// `GrB_ROWGT`: keep rows with i > s.
+    pub fn rowgt() -> Self {
+        IndexUnaryOp::new("GrB_ROWGT", |_, idx, s| (idx[0] as i64) > *s)
+    }
+
+    /// `GrB_COLLE`: keep columns with j ≤ s (matrix only).
+    pub fn colle() -> Self {
+        IndexUnaryOp::new("GrB_COLLE", |_, idx, s| (idx[1] as i64) <= *s)
+    }
+
+    /// `GrB_COLGT`: keep columns with j > s (matrix only).
+    pub fn colgt() -> Self {
+        IndexUnaryOp::new("GrB_COLGT", |_, idx, s| (idx[1] as i64) > *s)
+    }
+}
+
+// --- Table IV: value-comparison "keep" operators ----------------------------
+
+impl<T: ValueType + PartialEq> IndexUnaryOp<T, T, bool> {
+    /// `GrB_VALUEEQ_*`: keep elements equal to s.
+    pub fn valueeq() -> Self {
+        IndexUnaryOp::new("GrB_VALUEEQ", |v, _, s| v == s)
+    }
+
+    /// `GrB_VALUENE_*`: keep elements not equal to s.
+    pub fn valuene() -> Self {
+        IndexUnaryOp::new("GrB_VALUENE", |v, _, s| v != s)
+    }
+}
+
+impl<T: ValueType + PartialOrd> IndexUnaryOp<T, T, bool> {
+    /// `GrB_VALUELT_*`.
+    pub fn valuelt() -> Self {
+        IndexUnaryOp::new("GrB_VALUELT", |v, _, s| v < s)
+    }
+
+    /// `GrB_VALUELE_*`.
+    pub fn valuele() -> Self {
+        IndexUnaryOp::new("GrB_VALUELE", |v, _, s| v <= s)
+    }
+
+    /// `GrB_VALUEGT_*`.
+    pub fn valuegt() -> Self {
+        IndexUnaryOp::new("GrB_VALUEGT", |v, _, s| v > s)
+    }
+
+    /// `GrB_VALUEGE_*`.
+    pub fn valuege() -> Self {
+        IndexUnaryOp::new("GrB_VALUEGE", |v, _, s| v >= s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_replace_ops() {
+        let row = IndexUnaryOp::<f64, i64, i64>::rowindex();
+        let col = IndexUnaryOp::<f64, i64, i64>::colindex();
+        let diag = IndexUnaryOp::<f64, i64, i64>::diagindex();
+        assert_eq!(row.apply(&0.0, &[3, 9], &1), 4);
+        assert_eq!(col.apply(&0.0, &[3, 9], &1), 10);
+        assert_eq!(diag.apply(&0.0, &[3, 9], &0), 6);
+        // Vector form: ROWINDEX reads only indices[0].
+        assert_eq!(row.apply(&0.0, &[5], &0), 5);
+    }
+
+    #[test]
+    fn triangular_selectors() {
+        let tril = IndexUnaryOp::<i32, i64, bool>::tril();
+        let triu = IndexUnaryOp::<i32, i64, bool>::triu();
+        assert!(tril.apply(&0, &[2, 1], &0));
+        assert!(tril.apply(&0, &[2, 2], &0));
+        assert!(!tril.apply(&0, &[1, 2], &0));
+        assert!(triu.apply(&0, &[1, 2], &0));
+        assert!(!triu.apply(&0, &[2, 1], &0));
+        // Shifted diagonals.
+        assert!(tril.apply(&0, &[0, 1], &1));
+        assert!(!tril.apply(&0, &[0, 2], &1));
+        // Strictly-upper = triu with s = 1.
+        assert!(!triu.apply(&0, &[2, 2], &1));
+        assert!(triu.apply(&0, &[1, 2], &1));
+    }
+
+    #[test]
+    fn diagonal_and_band_selectors() {
+        let diag = IndexUnaryOp::<i32, i64, bool>::diag();
+        let off = IndexUnaryOp::<i32, i64, bool>::offdiag();
+        assert!(diag.apply(&0, &[4, 4], &0));
+        assert!(!diag.apply(&0, &[4, 5], &0));
+        assert!(diag.apply(&0, &[4, 5], &1));
+        assert!(off.apply(&0, &[4, 5], &0));
+        assert!(!off.apply(&0, &[4, 5], &1));
+    }
+
+    #[test]
+    fn row_col_range_selectors() {
+        let rowle = IndexUnaryOp::<i32, i64, bool>::rowle();
+        let rowgt = IndexUnaryOp::<i32, i64, bool>::rowgt();
+        let colle = IndexUnaryOp::<i32, i64, bool>::colle();
+        let colgt = IndexUnaryOp::<i32, i64, bool>::colgt();
+        assert!(rowle.apply(&0, &[2, 0], &2));
+        assert!(!rowle.apply(&0, &[3, 0], &2));
+        assert!(rowgt.apply(&0, &[3, 0], &2));
+        assert!(colle.apply(&0, &[0, 2], &2));
+        assert!(colgt.apply(&0, &[0, 3], &2));
+    }
+
+    #[test]
+    fn value_comparators() {
+        assert!(IndexUnaryOp::<i32, i32, bool>::valueeq().apply(&5, &[0], &5));
+        assert!(IndexUnaryOp::<i32, i32, bool>::valuene().apply(&5, &[0], &6));
+        assert!(IndexUnaryOp::<i32, i32, bool>::valuelt().apply(&5, &[0], &6));
+        assert!(IndexUnaryOp::<i32, i32, bool>::valuele().apply(&5, &[0], &5));
+        assert!(IndexUnaryOp::<i32, i32, bool>::valuegt().apply(&7, &[0], &5));
+        assert!(IndexUnaryOp::<i32, i32, bool>::valuege().apply(&5, &[0], &5));
+    }
+
+    #[test]
+    fn users_triu_gt_example_from_the_paper() {
+        // §VIII.A: select upper-triangular elements greater than s.
+        let my_triu_gt = IndexUnaryOp::<i32, i32, bool>::new("my_triu_gt", |v, idx, s| {
+            assert_eq!(idx.len(), 2);
+            idx[1] > idx[0] && v > s
+        });
+        assert!(my_triu_gt.apply(&9, &[0, 1], &5));
+        assert!(!my_triu_gt.apply(&3, &[0, 1], &5)); // value too small
+        assert!(!my_triu_gt.apply(&9, &[1, 1], &5)); // on diagonal
+    }
+
+    #[test]
+    #[should_panic]
+    fn matrix_only_op_on_vector_indices_panics() {
+        // The paper calls this undefined behaviour; we surface it safely.
+        let col = IndexUnaryOp::<i32, i64, i64>::colindex();
+        let _ = col.apply(&0, &[3], &0);
+    }
+}

@@ -1,0 +1,20 @@
+//! The GraphBLAS operator algebra: unary/binary/index-unary operators,
+//! monoids, and semirings.
+//!
+//! Operators are cheap-to-clone wrappers around `Arc<dyn Fn>` — the Rust
+//! analogue of the C API's function-pointer-based `GrB_*Op_new`. Routing
+//! every scalar operation through a `dyn Fn` deliberately preserves the
+//! per-scalar indirect-call cost the paper's §II discusses; the
+//! `ablation_dispatch` bench quantifies it against monomorphized closures.
+
+pub mod binary;
+pub mod index_unary;
+pub mod monoid;
+pub mod semiring;
+pub mod unary;
+
+pub use binary::BinaryOp;
+pub use index_unary::IndexUnaryOp;
+pub use monoid::Monoid;
+pub use semiring::Semiring;
+pub use unary::UnaryOp;

@@ -1,0 +1,101 @@
+//! Unary operators (`GrB_UnaryOp`): `z = f(x)`.
+
+use std::sync::Arc;
+
+use crate::types::ValueType;
+
+/// A unary operator from domain `A` to domain `Z`.
+#[derive(Clone)]
+pub struct UnaryOp<A, Z> {
+    name: &'static str,
+    f: Arc<dyn Fn(&A) -> Z + Send + Sync>,
+}
+
+impl<A, Z> std::fmt::Debug for UnaryOp<A, Z> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UnaryOp({})", self.name)
+    }
+}
+
+impl<A: ValueType, Z: ValueType> UnaryOp<A, Z> {
+    /// Creates a user-defined operator (`GrB_UnaryOp_new`).
+    pub fn new(name: &'static str, f: impl Fn(&A) -> Z + Send + Sync + 'static) -> Self {
+        UnaryOp { name, f: Arc::new(f) }
+    }
+
+    /// Applies the operator to one value.
+    #[inline]
+    pub fn apply(&self, x: &A) -> Z {
+        (self.f)(x)
+    }
+
+    /// The operator name (diagnostics only).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<T: ValueType> UnaryOp<T, T> {
+    /// `GrB_IDENTITY_*`: z = x.
+    pub fn identity() -> Self {
+        UnaryOp::new("GrB_IDENTITY", |x: &T| x.clone())
+    }
+}
+
+impl<T: ValueType + Copy + std::ops::Neg<Output = T>> UnaryOp<T, T> {
+    /// `GrB_AINV_*`: additive inverse.
+    pub fn ainv() -> Self {
+        UnaryOp::new("GrB_AINV", |x: &T| -*x)
+    }
+}
+
+macro_rules! abs_ops {
+    ($($t:ty),*) => {
+        $(impl UnaryOp<$t, $t> {
+            /// `GrB_ABS_*`: absolute value.
+            pub fn abs() -> Self {
+                UnaryOp::new("GrB_ABS", |x: &$t| x.abs())
+            }
+        })*
+    };
+}
+
+abs_ops!(i8, i16, i32, i64, f32, f64);
+
+impl UnaryOp<bool, bool> {
+    /// `GrB_LNOT`: logical negation.
+    pub fn lnot() -> Self {
+        UnaryOp::new("GrB_LNOT", |x: &bool| !*x)
+    }
+}
+
+impl<T: ValueType + Copy + std::ops::Div<Output = T> + crate::types::One> UnaryOp<T, T> {
+    /// `GrB_MINV_*`: multiplicative inverse.
+    pub fn minv() -> Self {
+        UnaryOp::new("GrB_MINV", |x: &T| <T as crate::types::One>::one() / *x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined() {
+        assert_eq!(UnaryOp::<i32, i32>::identity().apply(&7), 7);
+        assert_eq!(UnaryOp::<i32, i32>::ainv().apply(&7), -7);
+        assert_eq!(UnaryOp::<i64, i64>::abs().apply(&-9), 9);
+        assert!(!UnaryOp::lnot().apply(&true));
+        assert_eq!(UnaryOp::<f64, f64>::minv().apply(&4.0), 0.25);
+    }
+
+    #[test]
+    fn user_defined_with_type_change() {
+        let op = UnaryOp::<f64, i64>::new("trunc", |x| *x as i64);
+        assert_eq!(op.apply(&3.99), 3);
+        assert_eq!(op.name(), "trunc");
+        let cloned = op.clone();
+        assert_eq!(cloned.apply(&-2.5), -2);
+        assert!(format!("{op:?}").contains("trunc"));
+    }
+}

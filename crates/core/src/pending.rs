@@ -1,0 +1,109 @@
+//! Completion and deferred execution (paper §III and §V).
+//!
+//! In nonblocking mode a GraphBLAS object is defined by its *sequence* of
+//! method calls; the implementation may defer, reorder, or **fuse**
+//! operations as long as the result is mathematically equivalent. Here
+//! every container carries a queue of [`Stage`]s:
+//!
+//! * [`Stage::Map`] — a fusible element-wise transform of the container's
+//!   own stored elements (unmasked, unaccumulated `apply`/`select` whose
+//!   input is the output). Consecutive `Map` stages execute as **one**
+//!   traversal at drain time: the single-pass payoff §III's "fuse
+//!   operations" latitude describes, measured by the `ablation_fusion`
+//!   bench.
+//! * [`Stage::Opaque`] — everything else: an arbitrary deferred operation
+//!   that was given snapshots of its *other* inputs at enqueue time
+//!   (sequence order fixes input values at call time) and reads/writes the
+//!   owning container's state when drained.
+//!
+//! `wait(Complete)` drains the queue — the object can then participate in
+//! a cross-thread happens-before edge. `wait(Materialize)` additionally
+//! brings storage to canonical form (CSR, sorted rows, owned exclusively)
+//! and guarantees no further errors can be reported from the drained
+//! sequence (§V).
+
+use std::sync::Arc;
+
+use crate::error::GrbResult;
+use crate::types::Index;
+
+/// The two flavours of `GrB_wait` (§III `GrB_COMPLETE`, §V
+/// `GrB_MATERIALIZE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitMode {
+    /// Finish the computations in the object's sequence and leave internal
+    /// data structures safe to hand to another thread.
+    Complete,
+    /// `Complete`, plus: no more errors can be reported (and no more time
+    /// charged) for the methods in the drained sequence; storage is
+    /// canonicalized.
+    Materialize,
+}
+
+/// A fusible element-wise transform: receives `(indices, value)` — indices
+/// of length 2 for matrix elements, 1 for vector elements — and returns the
+/// replacement value, or `None` to annihilate the element.
+pub type MapFn<T> = Arc<dyn Fn(&[Index], &T) -> Option<T> + Send + Sync>;
+
+/// A deferred stage in a container's sequence. `St` is the container's
+/// state type (matrix or vector state).
+pub enum Stage<St, T> {
+    /// Fusible in-place element-wise transform.
+    Map(MapFn<T>),
+    /// Arbitrary deferred operation over the container state.
+    Opaque(Box<dyn FnOnce(&mut St) -> GrbResult + Send>),
+}
+
+impl<St, T> Stage<St, T> {
+    /// Whether this is a fusible map stage.
+    pub fn is_map(&self) -> bool {
+        matches!(self, Stage::Map(_))
+    }
+}
+
+/// Composes a run of map stages into a single per-element closure:
+/// stages apply in sequence order; the first `None` annihilates.
+pub fn fuse_maps<T: Clone>(run: &[MapFn<T>], indices: &[Index], v: &T) -> Option<T> {
+    let mut cur = v.clone();
+    for f in run {
+        match f(indices, &cur) {
+            Some(next) => cur = next,
+            None => return None,
+        }
+    }
+    Some(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuse_applies_in_order() {
+        let double: MapFn<i64> = Arc::new(|_, v| Some(v * 2));
+        let add_row: MapFn<i64> = Arc::new(|idx, v| Some(v + idx[0] as i64));
+        let run = vec![double, add_row];
+        // (5 * 2) + 3 — order matters.
+        assert_eq!(fuse_maps(&run, &[3, 0], &5), Some(13));
+    }
+
+    #[test]
+    fn fuse_short_circuits_on_drop() {
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h = hits.clone();
+        let drop_all: MapFn<i64> = Arc::new(|_, _| None);
+        let count: MapFn<i64> = Arc::new(move |_, v| {
+            h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Some(*v)
+        });
+        let run = vec![drop_all, count];
+        assert_eq!(fuse_maps(&run, &[0], &1), None);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn empty_run_is_identity() {
+        let run: Vec<MapFn<u8>> = vec![];
+        assert_eq!(fuse_maps(&run, &[0, 0], &7), Some(7));
+    }
+}

@@ -1,0 +1,270 @@
+//! The `GrB_Scalar` object (paper §VI, Table I) — new in GraphBLAS 2.0.
+//!
+//! An opaque, possibly **empty** container for a single element of a
+//! domain. Its two purposes per the paper:
+//!
+//! 1. collapse the per-type nonpolymorphic method variants (a `Scalar<T>`
+//!    carries its domain in its type, so `true`-is-`int` style bugs are
+//!    impossible), and
+//! 2. make deferral uniform: `extractElement` into a scalar can return an
+//!    *empty* scalar instead of a `GrB_NO_VALUE` code, and `reduce` into a
+//!    scalar can stay pending in nonblocking mode — so scalars carry a
+//!    pending-operation queue exactly like matrices and vectors.
+
+use std::sync::Arc;
+
+use graphblas_exec::{Context, Mode};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{ApiError, Error, ExecutionError, GrbResult};
+use crate::pending::WaitMode;
+use crate::types::ValueType;
+
+pub(crate) type ScalarStage<T> = Box<dyn FnOnce(&mut Option<T>) -> GrbResult + Send>;
+
+pub(crate) struct ScalarState<T> {
+    pub value: Option<T>,
+    pub pending: Vec<ScalarStage<T>>,
+    pub err: Option<ExecutionError>,
+}
+
+struct ScalarHandle<T> {
+    ctx: RwLock<Context>,
+    state: Mutex<ScalarState<T>>,
+}
+
+/// An opaque handle to a GraphBLAS scalar. Clones share the underlying
+/// object (like copied `GrB_Scalar` handles in C).
+#[derive(Clone)]
+pub struct Scalar<T: ValueType> {
+    inner: Arc<ScalarHandle<T>>,
+}
+
+impl<T: ValueType> std::fmt::Debug for Scalar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Scalar<{}>", std::any::type_name::<T>())
+    }
+}
+
+impl<T: ValueType> Scalar<T> {
+    /// `GrB_Scalar_new`: creates an empty scalar in the global context.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use graphblas_core::Scalar;
+    /// let s = Scalar::<i64>::new()?;
+    /// assert_eq!(s.nvals()?, 0);          // scalars can be EMPTY (§VI)
+    /// s.set_element(42)?;
+    /// assert_eq!(s.extract_element()?, Some(42));
+    /// # Ok::<(), graphblas_core::Error>(())
+    /// ```
+    pub fn new() -> GrbResult<Self> {
+        Self::new_in(&graphblas_exec::global_context())
+    }
+
+    /// Creates an empty scalar bound to `ctx` (§IV context-aware
+    /// constructor).
+    pub fn new_in(ctx: &Context) -> GrbResult<Self> {
+        Ok(Scalar {
+            inner: Arc::new(ScalarHandle {
+                ctx: RwLock::new(ctx.clone()),
+                state: Mutex::new(ScalarState {
+                    value: None,
+                    pending: Vec::new(),
+                    err: None,
+                }),
+            }),
+        })
+    }
+
+    /// `GrB_Scalar_dup`: duplicates into a new scalar (completing first).
+    pub fn dup(&self) -> GrbResult<Self> {
+        let v = self.extract_element()?;
+        let out = Self::new_in(&self.context())?;
+        if let Some(v) = v {
+            out.set_element(v)?;
+        }
+        Ok(out)
+    }
+
+    /// The context this scalar belongs to.
+    pub fn context(&self) -> Context {
+        self.inner.ctx.read().clone()
+    }
+
+    /// `GrB_Context_switch` for scalars.
+    pub fn switch_context(&self, ctx: &Context) -> GrbResult {
+        *self.inner.ctx.write() = ctx.clone();
+        Ok(())
+    }
+
+    /// `GrB_Scalar_clear`: empties the scalar (also clears any pending
+    /// operations and a sticky error state — the object is rebuilt).
+    pub fn clear(&self) -> GrbResult {
+        let mut st = self.inner.state.lock();
+        st.pending.clear();
+        st.err = None;
+        st.value = None;
+        Ok(())
+    }
+
+    /// `GrB_Scalar_nvals`: 0 or 1. Forces completion.
+    pub fn nvals(&self) -> GrbResult<usize> {
+        self.complete_internal()?;
+        Ok(usize::from(self.inner.state.lock().value.is_some()))
+    }
+
+    /// `GrB_Scalar_setElement`. Replaces any pending sequence: the store
+    /// becomes exactly this value.
+    pub fn set_element(&self, v: T) -> GrbResult {
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        // A plain overwrite makes earlier deferred computations on this
+        // scalar unobservable; drop them rather than run them for nothing.
+        st.pending.clear();
+        st.value = Some(v);
+        Ok(())
+    }
+
+    /// `GrB_Scalar_extractElement`: `Ok(None)` plays the role of the C
+    /// API's `GrB_NO_VALUE` return. Forces completion.
+    pub fn extract_element(&self) -> GrbResult<Option<T>> {
+        self.complete_internal()?;
+        Ok(self.inner.state.lock().value.clone())
+    }
+
+    /// `GrB_wait` on a scalar. Both modes drain the pending queue; a
+    /// materializing wait additionally guarantees no further errors can be
+    /// reported from the drained sequence (trivially true here once the
+    /// queue is empty).
+    pub fn wait(&self, _mode: WaitMode) -> GrbResult {
+        self.complete_internal()
+    }
+
+    /// `GrB_error`: implementation-defined description of this object's
+    /// error state (empty string when healthy).
+    pub fn error_string(&self) -> String {
+        self.inner
+            .state
+            .lock()
+            .err
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_default()
+    }
+
+    /// Whether this handle and `other` denote the same object.
+    pub fn same_object(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    // --- crate-internal plumbing -----------------------------------------
+
+    pub(crate) fn complete_internal(&self) -> GrbResult {
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        let pending = std::mem::take(&mut st.pending);
+        for stage in pending {
+            if let Err(e) = stage(&mut st.value) {
+                if let Error::Execution(exec) = &e {
+                    st.err = Some(exec.clone());
+                }
+                st.pending.clear();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `stage` now (blocking context) or defers it (nonblocking).
+    pub(crate) fn apply_write(&self, stage: ScalarStage<T>) -> GrbResult {
+        let mode = self.context().mode();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        match mode {
+            Mode::NonBlocking => {
+                st.pending.push(stage);
+                Ok(())
+            }
+            Mode::Blocking => {
+                let r = stage(&mut st.value);
+                if let Err(Error::Execution(exec)) = &r {
+                    st.err = Some(exec.clone());
+                }
+                r
+            }
+        }
+    }
+
+    /// Validates that this scalar shares `ctx` (§IV same-context rule).
+    pub(crate) fn check_context(&self, ctx: &Context) -> GrbResult {
+        if self.context().same(ctx) {
+            Ok(())
+        } else {
+            Err(ApiError::ContextMismatch.into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lifecycle() {
+        // new → empty
+        let s = Scalar::<i64>::new().unwrap();
+        assert_eq!(s.nvals().unwrap(), 0);
+        assert_eq!(s.extract_element().unwrap(), None);
+        // setElement → full
+        s.set_element(42).unwrap();
+        assert_eq!(s.nvals().unwrap(), 1);
+        assert_eq!(s.extract_element().unwrap(), Some(42));
+        // dup copies value into a distinct object
+        let d = s.dup().unwrap();
+        assert!(!d.same_object(&s));
+        assert_eq!(d.extract_element().unwrap(), Some(42));
+        s.set_element(1).unwrap();
+        assert_eq!(d.extract_element().unwrap(), Some(42));
+        // clear → empty again
+        s.clear().unwrap();
+        assert_eq!(s.nvals().unwrap(), 0);
+    }
+
+    #[test]
+    fn dup_of_empty_is_empty() {
+        let s = Scalar::<f32>::new().unwrap();
+        let d = s.dup().unwrap();
+        assert_eq!(d.nvals().unwrap(), 0);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let s = Scalar::<u8>::new().unwrap();
+        let alias = s.clone();
+        s.set_element(9).unwrap();
+        assert_eq!(alias.extract_element().unwrap(), Some(9));
+        assert!(alias.same_object(&s));
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let s = Scalar::<String>::new().unwrap();
+        s.set_element("a".into()).unwrap();
+        s.set_element("b".into()).unwrap();
+        assert_eq!(s.extract_element().unwrap().as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn error_string_empty_when_healthy() {
+        let s = Scalar::<i32>::new().unwrap();
+        assert_eq!(s.error_string(), "");
+    }
+}

@@ -1,0 +1,151 @@
+//! Core type vocabulary: indices, value domains, and the numeric helper
+//! traits that predefined operators are built from.
+
+/// The GraphBLAS index type (`GrB_Index`). The C API pins this to `uint64_t`;
+/// in Rust the idiomatic equivalent for in-memory containers is `usize`.
+pub type Index = usize;
+
+/// The bound every stored element type must satisfy (a GraphBLAS *domain*,
+/// `GrB_Type`). A blanket impl covers all eligible types, including
+/// user-defined structs — the Rust analogue of `GrB_Type_new`.
+pub trait ValueType: Clone + Send + Sync + std::fmt::Debug + 'static {}
+
+impl<T: Clone + Send + Sync + std::fmt::Debug + 'static> ValueType for T {}
+
+/// Values usable as mask elements: a present element contributes to the
+/// mask iff it is "truthy" (the C spec's nonzero test). Structure-only
+/// masks ignore truthiness entirely.
+pub trait MaskValue: ValueType {
+    /// Whether a present mask element admits writes at its position.
+    fn is_truthy(&self) -> bool;
+}
+
+impl MaskValue for bool {
+    fn is_truthy(&self) -> bool {
+        *self
+    }
+}
+
+macro_rules! impl_mask_int {
+    ($($t:ty),*) => {
+        $(impl MaskValue for $t {
+            fn is_truthy(&self) -> bool {
+                *self != 0
+            }
+        })*
+    };
+}
+
+impl_mask_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl MaskValue for f32 {
+    fn is_truthy(&self) -> bool {
+        *self != 0.0
+    }
+}
+
+impl MaskValue for f64 {
+    fn is_truthy(&self) -> bool {
+        *self != 0.0
+    }
+}
+
+/// Types with an additive identity (used by PLUS monoids and friends).
+pub trait Zero: Sized {
+    /// The additive identity.
+    fn zero() -> Self;
+}
+
+/// Types with a multiplicative identity (used by TIMES/PAIR monoids).
+pub trait One: Sized {
+    /// The multiplicative identity.
+    fn one() -> Self;
+}
+
+/// Types with minimum/maximum values (identities of MAX/MIN monoids).
+pub trait BoundedValue: Sized {
+    /// The least value of the type (MAX monoid identity).
+    fn min_value() -> Self;
+    /// The greatest value of the type (MIN monoid identity).
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_numeric {
+    ($($t:ty),*) => {
+        $(
+            impl Zero for $t {
+                fn zero() -> Self { 0 as $t }
+            }
+            impl One for $t {
+                fn one() -> Self { 1 as $t }
+            }
+            impl BoundedValue for $t {
+                fn min_value() -> Self { <$t>::MIN }
+                fn max_value() -> Self { <$t>::MAX }
+            }
+        )*
+    };
+}
+
+impl_numeric!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl Zero for bool {
+    fn zero() -> Self {
+        false
+    }
+}
+
+impl One for bool {
+    fn one() -> Self {
+        true
+    }
+}
+
+impl BoundedValue for bool {
+    fn min_value() -> Self {
+        false
+    }
+    fn max_value() -> Self {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_truthiness() {
+        assert!(true.is_truthy());
+        assert!(!false.is_truthy());
+        assert!(5i32.is_truthy());
+        assert!(!0u64.is_truthy());
+        assert!((-1.5f64).is_truthy());
+        assert!(!0.0f32.is_truthy());
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(i32::zero(), 0);
+        assert_eq!(f64::one(), 1.0);
+        assert_eq!(<u8 as BoundedValue>::max_value(), 255);
+        assert_eq!(<i16 as BoundedValue>::min_value(), -32768);
+        assert!(bool::one());
+        assert!(!bool::zero());
+    }
+
+    fn assert_value_type<T: ValueType>() {}
+
+    #[derive(Clone, Debug)]
+    struct Custom {
+        #[allow(dead_code)]
+        weight: f64,
+    }
+
+    #[test]
+    fn user_defined_types_are_domains() {
+        assert_value_type::<Custom>();
+        assert_value_type::<(u32, u32)>();
+        assert_value_type::<String>();
+    }
+}

@@ -1,0 +1,585 @@
+//! The `GrB_Vector` container — the one-dimensional sibling of
+//! [`Matrix`](crate::matrix::Matrix), with the same opaque-handle,
+//! deferred-sequence design (see `matrix.rs` for the architecture notes).
+
+use std::sync::Arc;
+
+use graphblas_exec::{Context, Mode};
+use graphblas_sparse::{DenseVec, SparseVec};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{ApiError, Error, ExecutionError, GrbResult};
+use crate::ops::BinaryOp;
+use crate::pending::{fuse_maps, MapFn, Stage, WaitMode};
+use crate::scalar::Scalar;
+use crate::types::{Index, MaskValue, ValueType};
+
+/// The lazy internal storage of a vector.
+pub(crate) enum VecStore<T: ValueType> {
+    /// Possibly unsorted / duplicated (fast `setElement` appends resolve
+    /// last-wins at canonicalization).
+    Sparse(Arc<SparseVec<T>>),
+    Dense(Arc<DenseVec<T>>),
+}
+
+impl<T: ValueType> Clone for VecStore<T> {
+    fn clone(&self) -> Self {
+        match self {
+            VecStore::Sparse(a) => VecStore::Sparse(a.clone()),
+            VecStore::Dense(a) => VecStore::Dense(a.clone()),
+        }
+    }
+}
+
+pub(crate) struct VectorState<T: ValueType> {
+    pub n: usize,
+    pub store: VecStore<T>,
+    pub pending: Vec<Stage<VectorState<T>, T>>,
+    pub err: Option<ExecutionError>,
+}
+
+impl<T: ValueType> VectorState<T> {
+    /// Canonicalizes to a sorted, duplicate-free sparse store.
+    pub(crate) fn ensure_sparse(&mut self) -> GrbResult {
+        let sv: Arc<SparseVec<T>> = match &self.store {
+            VecStore::Sparse(a) => {
+                if a.is_sorted() {
+                    a.clone()
+                } else {
+                    let mut owned = (**a).clone();
+                    owned
+                        .sort_dedup(Some(&|_: &T, b: &T| b.clone()))
+                        .map_err(Error::from)?;
+                    Arc::new(owned)
+                }
+            }
+            VecStore::Dense(d) => Arc::new(d.to_sparse()),
+        };
+        self.store = VecStore::Sparse(sv);
+        Ok(())
+    }
+
+    /// Borrows the sparse store (call [`Self::ensure_sparse`] first).
+    pub(crate) fn sparse(&self) -> &Arc<SparseVec<T>> {
+        match &self.store {
+            VecStore::Sparse(a) => a,
+            _ => unreachable!("ensure_sparse must precede sparse()"),
+        }
+    }
+
+    pub(crate) fn drain(&mut self, _ctx: &Context) -> GrbResult {
+        if let Some(e) = &self.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let mut run: Vec<MapFn<T>> = Vec::new();
+        let result = (|| {
+            for stage in pending {
+                match stage {
+                    Stage::Map(f) => run.push(f),
+                    Stage::Opaque(f) => {
+                        self.flush_map_run(&mut run)?;
+                        f(self)?;
+                    }
+                }
+            }
+            self.flush_map_run(&mut run)
+        })();
+        if let Err(e) = &result {
+            if let Error::Execution(exec) = e {
+                self.err = Some(exec.clone());
+            }
+            self.pending.clear();
+        }
+        result
+    }
+
+    fn flush_map_run(&mut self, run: &mut Vec<MapFn<T>>) -> GrbResult {
+        if run.is_empty() {
+            return Ok(());
+        }
+        self.ensure_sparse()?;
+        let fused = self
+            .sparse()
+            .filter_map_with_index(|i, v| fuse_maps(run, &[i], v));
+        self.store = VecStore::Sparse(Arc::new(fused));
+        run.clear();
+        Ok(())
+    }
+}
+
+struct VectorHandle<T: ValueType> {
+    ctx: RwLock<Context>,
+    state: Mutex<VectorState<T>>,
+}
+
+/// An opaque handle to a GraphBLAS vector over domain `T`.
+#[derive(Clone)]
+pub struct Vector<T: ValueType> {
+    inner: Arc<VectorHandle<T>>,
+}
+
+impl<T: ValueType> std::fmt::Debug for Vector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock();
+        write!(
+            f,
+            "Vector<{}>({}, pending: {})",
+            std::any::type_name::<T>(),
+            st.n,
+            st.pending.len()
+        )
+    }
+}
+
+impl<T: ValueType> Vector<T> {
+    /// `GrB_Vector_new`: an empty vector of positive length.
+    pub fn new(n: Index) -> GrbResult<Self> {
+        Self::new_in(&graphblas_exec::global_context(), n)
+    }
+
+    /// §IV context-aware constructor.
+    pub fn new_in(ctx: &Context, n: Index) -> GrbResult<Self> {
+        if n == 0 {
+            return Err(ApiError::InvalidValue.into());
+        }
+        Ok(Self::from_state(
+            ctx,
+            VectorState {
+                n,
+                store: VecStore::Sparse(Arc::new(SparseVec::empty(n))),
+                pending: Vec::new(),
+                err: None,
+            },
+        ))
+    }
+
+    pub(crate) fn from_state(ctx: &Context, state: VectorState<T>) -> Self {
+        Vector {
+            inner: Arc::new(VectorHandle {
+                ctx: RwLock::new(ctx.clone()),
+                state: Mutex::new(state),
+            }),
+        }
+    }
+
+    /// `GrB_Vector_dup`.
+    pub fn dup(&self) -> GrbResult<Self> {
+        let ctx = self.context();
+        let st = self.lock_completed()?;
+        let state = VectorState {
+            n: st.n,
+            store: st.store.clone(),
+            pending: Vec::new(),
+            err: None,
+        };
+        drop(st);
+        Ok(Self::from_state(&ctx, state))
+    }
+
+    pub fn context(&self) -> Context {
+        self.inner.ctx.read().clone()
+    }
+
+    /// `GrB_Context_switch`.
+    pub fn switch_context(&self, ctx: &Context) -> GrbResult {
+        *self.inner.ctx.write() = ctx.clone();
+        Ok(())
+    }
+
+    /// `GrB_Vector_size`.
+    pub fn size(&self) -> Index {
+        self.inner.state.lock().n
+    }
+
+    /// `GrB_Vector_nvals`. Forces completion.
+    pub fn nvals(&self) -> GrbResult<usize> {
+        let mut st = self.lock_completed()?;
+        st.ensure_sparse()?;
+        Ok(st.sparse().nnz())
+    }
+
+    /// `GrB_Vector_clear`: removes all elements, pending stages, and any
+    /// sticky error.
+    pub fn clear(&self) -> GrbResult {
+        let mut st = self.inner.state.lock();
+        st.pending.clear();
+        st.err = None;
+        st.store = VecStore::Sparse(Arc::new(SparseVec::empty(st.n)));
+        Ok(())
+    }
+
+    /// `GrB_Vector_resize`.
+    pub fn resize(&self, n: Index) -> GrbResult {
+        if n == 0 {
+            return Err(ApiError::InvalidValue.into());
+        }
+        let mut st = self.lock_completed()?;
+        st.ensure_sparse()?;
+        let old = st.sparse().clone();
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, v) in old.iter() {
+            if i < n {
+                indices.push(i);
+                values.push(v.clone());
+            }
+        }
+        st.n = n;
+        st.store = VecStore::Sparse(Arc::new(
+            SparseVec::from_parts(n, indices, values).map_err(Error::from)?,
+        ));
+        Ok(())
+    }
+
+    /// `GrB_Vector_setElement`; scalar-index OOB is an immediate API error.
+    pub fn set_element(&self, v: T, i: Index) -> GrbResult {
+        let mut st = self.lock_completed()?;
+        if i >= st.n {
+            return Err(ApiError::InvalidIndex.into());
+        }
+        if let VecStore::Dense(_) = st.store {
+            st.ensure_sparse()?;
+        }
+        if let VecStore::Sparse(sv) = &mut st.store {
+            Arc::make_mut(sv).append(i, v).map_err(Error::from)?;
+        }
+        Ok(())
+    }
+
+    /// Table II scalar variant: empty scalar removes the element.
+    pub fn set_element_scalar(&self, s: &Scalar<T>, i: Index) -> GrbResult {
+        match s.extract_element()? {
+            Some(v) => self.set_element(v, i),
+            None => self.remove_element(i),
+        }
+    }
+
+    /// `GrB_Vector_removeElement`.
+    pub fn remove_element(&self, i: Index) -> GrbResult {
+        let mut st = self.lock_completed()?;
+        if i >= st.n {
+            return Err(ApiError::InvalidIndex.into());
+        }
+        st.ensure_sparse()?;
+        let sv = st.sparse().clone();
+        if sv.get(i).is_some() {
+            let mut owned = (*sv).clone();
+            owned.remove(i);
+            st.store = VecStore::Sparse(Arc::new(owned));
+        }
+        Ok(())
+    }
+
+    /// `GrB_Vector_extractElement`: `Ok(None)` ≡ `GrB_NO_VALUE`.
+    pub fn extract_element(&self, i: Index) -> GrbResult<Option<T>> {
+        let mut st = self.lock_completed()?;
+        if i >= st.n {
+            return Err(ApiError::InvalidIndex.into());
+        }
+        st.ensure_sparse()?;
+        Ok(st.sparse().get(i).cloned())
+    }
+
+    /// Table II scalar variant: missing element → empty scalar; deferred
+    /// into the scalar's sequence in nonblocking mode (§VI).
+    pub fn extract_element_scalar(&self, s: &Scalar<T>, i: Index) -> GrbResult {
+        s.check_context(&self.context())?;
+        if i >= self.size() {
+            return Err(ApiError::InvalidIndex.into());
+        }
+        let this = self.clone();
+        s.apply_write(Box::new(move |slot: &mut Option<T>| {
+            *slot = this.extract_element(i)?;
+            Ok(())
+        }))
+    }
+
+    /// `GrB_Vector_build` with optional `dup` (§IX).
+    pub fn build(
+        &self,
+        indices: &[Index],
+        values: &[T],
+        dup: Option<&BinaryOp<T, T, T>>,
+    ) -> GrbResult {
+        if indices.len() != values.len() {
+            return Err(ApiError::InvalidValue.into());
+        }
+        {
+            let mut st = self.lock_completed()?;
+            st.ensure_sparse()?;
+            if st.sparse().nnz() != 0 {
+                return Err(ApiError::OutputNotEmpty.into());
+            }
+        }
+        let indices = indices.to_vec();
+        let values = values.to_vec();
+        let dup = dup.cloned();
+        self.apply_write(Box::new(move |st: &mut VectorState<T>| {
+            let mut sv =
+                SparseVec::from_parts(st.n, indices, values).map_err(Error::from)?;
+            match &dup {
+                Some(op) => sv
+                    .sort_dedup(Some(&|a: &T, b: &T| op.apply(a, b)))
+                    .map_err(Error::from)?,
+                None => sv.sort_dedup(None).map_err(Error::from)?,
+            }
+            st.store = VecStore::Sparse(Arc::new(sv));
+            Ok(())
+        }))
+    }
+
+    /// `GrB_Vector_extractTuples`, ordered by index.
+    pub fn extract_tuples(&self) -> GrbResult<(Vec<Index>, Vec<T>)> {
+        let mut st = self.lock_completed()?;
+        st.ensure_sparse()?;
+        let sv = st.sparse();
+        Ok((sv.indices().to_vec(), sv.values().to_vec()))
+    }
+
+    /// `GrB_wait` (§III, §V).
+    pub fn wait(&self, mode: WaitMode) -> GrbResult {
+        let mut st = self.lock_completed()?;
+        if mode == WaitMode::Materialize {
+            st.ensure_sparse()?;
+        }
+        Ok(())
+    }
+
+    /// `GrB_error`.
+    pub fn error_string(&self) -> String {
+        self.inner
+            .state
+            .lock()
+            .err
+            .as_ref()
+            .map(|e| e.to_string())
+            .unwrap_or_default()
+    }
+
+    pub fn same_object(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Number of queued stages (observability for tests/benches).
+    pub fn pending_len(&self) -> usize {
+        self.inner.state.lock().pending.len()
+    }
+
+    // --- crate-internal plumbing ------------------------------------------
+
+    /// Locks state without draining (format inspection only).
+    pub(crate) fn lock_raw(&self) -> parking_lot::MutexGuard<'_, VectorState<T>> {
+        self.inner.state.lock()
+    }
+
+    pub(crate) fn lock_completed(&self) -> GrbResult<parking_lot::MutexGuard<'_, VectorState<T>>> {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        st.drain(&ctx)?;
+        Ok(st)
+    }
+
+    /// Completes and snapshots as a canonical sparse vector.
+    pub(crate) fn snapshot_sparse(&self) -> GrbResult<Arc<SparseVec<T>>> {
+        let mut st = self.lock_completed()?;
+        st.ensure_sparse()?;
+        Ok(st.sparse().clone())
+    }
+
+    pub(crate) fn apply_write(
+        &self,
+        stage: Box<dyn FnOnce(&mut VectorState<T>) -> GrbResult + Send>,
+    ) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        match ctx.mode() {
+            Mode::NonBlocking => {
+                st.pending.push(Stage::Opaque(stage));
+                Ok(())
+            }
+            Mode::Blocking => {
+                st.drain(&ctx)?;
+                let r = stage(&mut st);
+                if let Err(Error::Execution(exec)) = &r {
+                    st.err = Some(exec.clone());
+                }
+                r
+            }
+        }
+    }
+
+    pub(crate) fn apply_map(&self, f: MapFn<T>) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        match ctx.mode() {
+            Mode::NonBlocking => {
+                st.pending.push(Stage::Map(f));
+                Ok(())
+            }
+            Mode::Blocking => {
+                st.drain(&ctx)?;
+                st.ensure_sparse()?;
+                let out = st.sparse().filter_map_with_index(|i, v| f(&[i], v));
+                st.store = VecStore::Sparse(Arc::new(out));
+                Ok(())
+            }
+        }
+    }
+
+    /// Type-erased object identity (see `Matrix::addr`).
+    pub(crate) fn addr(&self) -> usize {
+        Arc::as_ptr(&self.inner) as *const () as usize
+    }
+
+    pub(crate) fn check_context(&self, ctx: &Context) -> GrbResult {
+        if self.context().same(ctx) {
+            Ok(())
+        } else {
+            Err(ApiError::ContextMismatch.into())
+        }
+    }
+}
+
+impl<T: ValueType + std::fmt::Display> Vector<T> {
+    /// Renders the vector as a one-line list with `.` for missing elements.
+    pub fn to_display_string(&self) -> GrbResult<String> {
+        let sv = self.snapshot_sparse()?;
+        let table = sv.to_option_table();
+        let mut out = String::from("[");
+        for (i, slot) in table.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match slot {
+                Some(v) => out.push_str(&format!("{v}")),
+                None => out.push('.'),
+            }
+        }
+        out.push(']');
+        Ok(out)
+    }
+}
+
+impl<T: ValueType + MaskValue> Vector<T> {
+    /// Snapshot as a boolean mask (see `Matrix::snapshot_mask`).
+    pub(crate) fn snapshot_mask(&self, structure: bool) -> GrbResult<Arc<SparseVec<bool>>> {
+        let sv = self.snapshot_sparse()?;
+        let boolified = if structure {
+            sv.map_with_index(|_, _| true)
+        } else {
+            sv.map_with_index(|_, v| v.is_truthy())
+        };
+        Ok(Arc::new(boolified))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::{global_context, ContextOptions};
+
+    #[test]
+    fn new_validates_length() {
+        assert!(Vector::<i32>::new(0).is_err());
+        let v = Vector::<i32>::new(5).unwrap();
+        assert_eq!(v.size(), 5);
+        assert_eq!(v.nvals().unwrap(), 0);
+    }
+
+    #[test]
+    fn element_lifecycle() {
+        let v = Vector::<f64>::new(4).unwrap();
+        v.set_element(1.5, 2).unwrap();
+        assert_eq!(v.extract_element(2).unwrap(), Some(1.5));
+        v.set_element(2.5, 2).unwrap();
+        assert_eq!(v.extract_element(2).unwrap(), Some(2.5));
+        assert_eq!(v.nvals().unwrap(), 1);
+        v.remove_element(2).unwrap();
+        assert_eq!(v.extract_element(2).unwrap(), None);
+        assert!(v.set_element(0.0, 4).is_err());
+        assert!(v.extract_element(4).is_err());
+    }
+
+    #[test]
+    fn build_with_and_without_dup() {
+        let v = Vector::<i64>::new(6).unwrap();
+        v.build(&[1, 1, 4], &[10, 20, 40], Some(&BinaryOp::plus()))
+            .unwrap();
+        assert_eq!(v.extract_element(1).unwrap(), Some(30));
+        assert_eq!(v.nvals().unwrap(), 2);
+        let w = Vector::<i64>::new(6).unwrap();
+        let err = w.build(&[1, 1], &[10, 20], None).unwrap_err();
+        assert!(err.is_execution());
+        let full = Vector::<i64>::new(6).unwrap();
+        full.set_element(1, 0).unwrap();
+        assert_eq!(
+            full.build(&[1], &[1], None).unwrap_err(),
+            Error::Api(ApiError::OutputNotEmpty)
+        );
+    }
+
+    #[test]
+    fn deferred_build_error_in_nonblocking() {
+        let ctx = Context::new(
+            &global_context(),
+            Mode::NonBlocking,
+            ContextOptions::default(),
+        );
+        let v = Vector::<i64>::new_in(&ctx, 3).unwrap();
+        v.build(&[9], &[1], None).unwrap(); // deferred; index is data
+        assert_eq!(v.pending_len(), 1);
+        assert!(v.wait(WaitMode::Materialize).is_err());
+        assert!(!v.error_string().is_empty());
+        v.clear().unwrap();
+        assert!(v.wait(WaitMode::Complete).is_ok());
+    }
+
+    #[test]
+    fn tuples_and_resize() {
+        let v = Vector::<u8>::new(5).unwrap();
+        v.build(&[0, 3], &[7, 9], None).unwrap();
+        let (idx, vals) = v.extract_tuples().unwrap();
+        assert_eq!(idx, vec![0, 3]);
+        assert_eq!(vals, vec![7, 9]);
+        v.resize(2).unwrap();
+        assert_eq!(v.size(), 2);
+        assert_eq!(v.nvals().unwrap(), 1);
+    }
+
+    #[test]
+    fn scalar_variants() {
+        let v = Vector::<i32>::new(3).unwrap();
+        let s = Scalar::<i32>::new().unwrap();
+        s.set_element(5).unwrap();
+        v.set_element_scalar(&s, 1).unwrap();
+        assert_eq!(v.extract_element(1).unwrap(), Some(5));
+        let out = Scalar::<i32>::new().unwrap();
+        v.extract_element_scalar(&out, 1).unwrap();
+        assert_eq!(out.extract_element().unwrap(), Some(5));
+        let missing = Scalar::<i32>::new().unwrap();
+        v.extract_element_scalar(&missing, 0).unwrap();
+        assert_eq!(missing.nvals().unwrap(), 0);
+        let empty = Scalar::<i32>::new().unwrap();
+        v.set_element_scalar(&empty, 1).unwrap();
+        assert_eq!(v.extract_element(1).unwrap(), None);
+    }
+
+    #[test]
+    fn dup_independence() {
+        let v = Vector::<i32>::new(2).unwrap();
+        v.set_element(1, 0).unwrap();
+        let d = v.dup().unwrap();
+        v.set_element(2, 0).unwrap();
+        assert_eq!(d.extract_element(0).unwrap(), Some(1));
+    }
+}

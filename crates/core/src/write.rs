@@ -1,0 +1,249 @@
+//! The GraphBLAS write semantics: `C⟨M, r⟩ = C ⊙ T`.
+//!
+//! Every operation funnels its computed result `T` through [`merge_matrix`]
+//! / [`merge_vector`], which implement the spec's four-step output rule:
+//!
+//! 1. restrict `T` to the (possibly complemented, possibly structural)
+//!    mask;
+//! 2. inside the mask: `accum(C, T)` when an accumulator is given, else
+//!    `T` verbatim (old elements inside the mask but absent from `T` are
+//!    deleted);
+//! 3. outside the mask: keep `C`'s old contents, unless `replace` clears
+//!    them;
+//! 4. stitch the two disjoint regions back together.
+
+use std::sync::Arc;
+
+use graphblas_exec::Context;
+use graphblas_sparse::{ewise, Csr, SparseVec};
+
+use crate::ops::BinaryOp;
+use crate::types::ValueType;
+
+/// A snapshot of a mask operand: truthiness is already folded into the
+/// boolean values (structure-only masks are all-`true`).
+pub(crate) struct MatMask {
+    pub mask: Arc<Csr<bool>>,
+    pub complement: bool,
+}
+
+/// Vector-mask counterpart of [`MatMask`].
+pub(crate) struct VecMask {
+    pub mask: Arc<SparseVec<bool>>,
+    pub complement: bool,
+}
+
+/// Merges computed result `t` into `old` under mask/accumulator/replace.
+/// `old` must have sorted rows; `t` may be unsorted (it is sorted here iff
+/// the merge actually needs ordered rows).
+pub(crate) fn merge_matrix<C: ValueType>(
+    ctx: &Context,
+    old: &Csr<C>,
+    mut t: Csr<C>,
+    mask: Option<&MatMask>,
+    accum: Option<&BinaryOp<C, C, C>>,
+    replace: bool,
+) -> Csr<C> {
+    debug_assert!(old.is_rows_sorted());
+    match mask {
+        None => match accum {
+            // Unmasked, no accumulator: T simply becomes C.
+            None => t,
+            Some(op) => {
+                t.sort_rows(ctx);
+                ewise::ewise_union(ctx, old, &t, |x, y| op.apply(x, y))
+            }
+        },
+        Some(m) => {
+            t.sort_rows(ctx);
+            let truthy = |b: &bool| *b;
+            // Step 1-2: the masked region receives T (optionally folded
+            // with C's old contents through the accumulator).
+            let z = ewise::ewise_restrict(ctx, &t, &m.mask, m.complement, truthy);
+            let inside = match accum {
+                None => z,
+                Some(op) => {
+                    let old_inside =
+                        ewise::ewise_restrict(ctx, old, &m.mask, m.complement, truthy);
+                    ewise::ewise_union(ctx, &old_inside, &z, |x, y| op.apply(x, y))
+                }
+            };
+            // Step 3: the unmasked region keeps C (or is cleared).
+            if replace {
+                inside
+            } else {
+                let outside =
+                    ewise::ewise_restrict(ctx, old, &m.mask, !m.complement, truthy);
+                // Step 4: regions are position-disjoint, so the union's
+                // combiner is never invoked.
+                ewise::ewise_union(ctx, &outside, &inside, |x, _| x.clone())
+            }
+        }
+    }
+}
+
+/// Vector counterpart of [`merge_matrix`]. Both `old` and `t` must be
+/// canonical (sorted) sparse vectors.
+pub(crate) fn merge_vector<C: ValueType>(
+    old: &SparseVec<C>,
+    t: SparseVec<C>,
+    mask: Option<&VecMask>,
+    accum: Option<&BinaryOp<C, C, C>>,
+    replace: bool,
+) -> SparseVec<C> {
+    debug_assert!(old.is_sorted());
+    debug_assert!(t.is_sorted());
+    match mask {
+        None => match accum {
+            None => t,
+            Some(op) => ewise::svec_union(old, &t, |x, y| op.apply(x, y)),
+        },
+        Some(m) => {
+            let truthy = |b: &bool| *b;
+            let z = ewise::svec_restrict(&t, &m.mask, m.complement, truthy);
+            let inside = match accum {
+                None => z,
+                Some(op) => {
+                    let old_inside = ewise::svec_restrict(old, &m.mask, m.complement, truthy);
+                    ewise::svec_union(&old_inside, &z, |x, y| op.apply(x, y))
+                }
+            };
+            if replace {
+                inside
+            } else {
+                let outside = ewise::svec_restrict(old, &m.mask, !m.complement, truthy);
+                ewise::svec_union(&outside, &inside, |x, _| x.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::global_context;
+
+    fn csr(shape: (usize, usize), t: &[(usize, usize, i64)]) -> Csr<i64> {
+        graphblas_sparse::Coo::from_parts(
+            shape.0,
+            shape.1,
+            t.iter().map(|x| x.0).collect(),
+            t.iter().map(|x| x.1).collect(),
+            t.iter().map(|x| x.2).collect(),
+        )
+        .unwrap()
+        .to_csr(&global_context(), None)
+        .unwrap()
+    }
+
+    fn bmask(shape: (usize, usize), t: &[(usize, usize)]) -> Arc<Csr<bool>> {
+        Arc::new(
+            graphblas_sparse::Coo::from_parts(
+                shape.0,
+                shape.1,
+                t.iter().map(|x| x.0).collect(),
+                t.iter().map(|x| x.1).collect(),
+                vec![true; t.len()],
+            )
+            .unwrap()
+            .to_csr(&global_context(), None)
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn unmasked_no_accum_replaces() {
+        let ctx = global_context();
+        let old = csr((2, 2), &[(0, 0, 1)]);
+        let t = csr((2, 2), &[(1, 1, 9)]);
+        let r = merge_matrix(&ctx, &old, t, None, None, false);
+        assert_eq!(r.to_sorted_tuples(), vec![(1, 1, 9)]);
+    }
+
+    #[test]
+    fn unmasked_accum_unions() {
+        let ctx = global_context();
+        let old = csr((2, 2), &[(0, 0, 1), (1, 1, 2)]);
+        let t = csr((2, 2), &[(1, 1, 10), (0, 1, 5)]);
+        let r = merge_matrix(&ctx, &old, t, None, Some(&BinaryOp::plus()), false);
+        assert_eq!(
+            r.to_sorted_tuples(),
+            vec![(0, 0, 1), (0, 1, 5), (1, 1, 12)]
+        );
+    }
+
+    #[test]
+    fn masked_deletes_inside_keeps_outside() {
+        let ctx = global_context();
+        // Mask covers (0,0) and (0,1). T only supplies (0,1): the old (0,0)
+        // is inside the mask but absent from T → deleted; old (1,1) is
+        // outside → kept.
+        let old = csr((2, 2), &[(0, 0, 1), (1, 1, 2)]);
+        let t = csr((2, 2), &[(0, 1, 9)]);
+        let m = MatMask {
+            mask: bmask((2, 2), &[(0, 0), (0, 1)]),
+            complement: false,
+        };
+        let r = merge_matrix(&ctx, &old, t, Some(&m), None, false);
+        assert_eq!(r.to_sorted_tuples(), vec![(0, 1, 9), (1, 1, 2)]);
+    }
+
+    #[test]
+    fn masked_replace_clears_outside() {
+        let ctx = global_context();
+        let old = csr((2, 2), &[(0, 0, 1), (1, 1, 2)]);
+        let t = csr((2, 2), &[(0, 0, 7)]);
+        let m = MatMask {
+            mask: bmask((2, 2), &[(0, 0)]),
+            complement: false,
+        };
+        let r = merge_matrix(&ctx, &old, t, Some(&m), None, true);
+        assert_eq!(r.to_sorted_tuples(), vec![(0, 0, 7)]);
+    }
+
+    #[test]
+    fn complemented_mask() {
+        let ctx = global_context();
+        let old = csr((1, 3), &[(0, 0, 1), (0, 1, 2), (0, 2, 3)]);
+        let t = csr((1, 3), &[(0, 0, 10), (0, 1, 20), (0, 2, 30)]);
+        let m = MatMask {
+            mask: bmask((1, 3), &[(0, 1)]),
+            complement: true,
+        };
+        // Complement: positions 0 and 2 are writable; position 1 keeps old.
+        let r = merge_matrix(&ctx, &old, t, Some(&m), None, false);
+        assert_eq!(
+            r.to_sorted_tuples(),
+            vec![(0, 0, 10), (0, 1, 2), (0, 2, 30)]
+        );
+    }
+
+    #[test]
+    fn masked_accum_folds_only_inside() {
+        let ctx = global_context();
+        let old = csr((1, 2), &[(0, 0, 1), (0, 1, 2)]);
+        let t = csr((1, 2), &[(0, 0, 10), (0, 1, 20)]);
+        let m = MatMask {
+            mask: bmask((1, 2), &[(0, 0)]),
+            complement: false,
+        };
+        let r = merge_matrix(&ctx, &old, t, Some(&m), Some(&BinaryOp::plus()), false);
+        assert_eq!(r.to_sorted_tuples(), vec![(0, 0, 11), (0, 1, 2)]);
+    }
+
+    #[test]
+    fn vector_merge_matches_matrix_logic() {
+        let old = SparseVec::from_parts(3, vec![0, 2], vec![1i64, 3]).unwrap();
+        let t = SparseVec::from_parts(3, vec![1, 2], vec![20, 30]).unwrap();
+        let m = VecMask {
+            mask: Arc::new(SparseVec::from_parts(3, vec![1], vec![true]).unwrap()),
+            complement: false,
+        };
+        let r = merge_vector(&old, t, Some(&m), None, false);
+        assert_eq!(r.to_sorted_tuples(), vec![(0, 1), (1, 20), (2, 3)]);
+        // replace clears outside:
+        let t2 = SparseVec::from_parts(3, vec![1], vec![20]).unwrap();
+        let r2 = merge_vector(&old, t2, Some(&m), None, true);
+        assert_eq!(r2.to_sorted_tuples(), vec![(1, 20)]);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the API layer: algebraic laws of the predefined
+//! operators, operation equivalences, and mode-independence (blocking vs
+//! nonblocking must be observationally identical).
+
+use graphblas_core::operations::{
+    apply_indexop, assign, extract, select, select_v,
+};
+use graphblas_core::{
+    global_context, no_mask, no_mask_v, Context, ContextOptions, Descriptor, Index,
+    IndexUnaryOp, Matrix, Mode, Monoid, Semiring, Vector, WaitMode,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+type Entries = BTreeMap<(Index, Index), i64>;
+
+fn mat(shape: (usize, usize), e: &Entries) -> Matrix<i64> {
+    let m = Matrix::<i64>::new(shape.0, shape.1).unwrap();
+    m.build(
+        &e.keys().map(|k| k.0).collect::<Vec<_>>(),
+        &e.keys().map(|k| k.1).collect::<Vec<_>>(),
+        &e.values().copied().collect::<Vec<_>>(),
+        None,
+    )
+    .unwrap();
+    m
+}
+
+fn ents(m: &Matrix<i64>) -> Entries {
+    let (r, c, v) = m.extract_tuples().unwrap();
+    r.into_iter().zip(c).zip(v).collect()
+}
+
+fn arb(rows: usize, cols: usize) -> impl Strategy<Value = Entries> {
+    proptest::collection::btree_map((0..rows, 0..cols), -30i64..30, 0..35)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn monoid_laws_on_random_values(x in -1000i64..1000, y in -1000i64..1000, z in -1000i64..1000) {
+        for m in [Monoid::<i64>::plus(), Monoid::<i64>::min(), Monoid::<i64>::max()] {
+            // identity
+            prop_assert_eq!(m.apply(m.identity(), &x), x);
+            prop_assert_eq!(m.apply(&x, m.identity()), x);
+            // associativity
+            prop_assert_eq!(
+                m.apply(&m.apply(&x, &y), &z),
+                m.apply(&x, &m.apply(&y, &z))
+            );
+            // commutativity
+            prop_assert_eq!(m.apply(&x, &y), m.apply(&y, &x));
+        }
+    }
+
+    #[test]
+    fn semiring_distributivity_spot(x in -50i64..50, y in -50i64..50, z in -50i64..50) {
+        // min-plus: z + min(x, y) == min(z + x, z + y)
+        let sr = Semiring::<i64, i64, i64>::min_plus();
+        prop_assert_eq!(
+            sr.multiply(&z, &sr.combine(&x, &y)),
+            sr.combine(&sr.multiply(&z, &x), &sr.multiply(&z, &y))
+        );
+    }
+
+    #[test]
+    fn select_equals_filter_reference(a in arb(9, 9), s in -20i64..20) {
+        let am = mat((9, 9), &a);
+        let c = Matrix::<i64>::new(9, 9).unwrap();
+        select(&c, no_mask(), None, &IndexUnaryOp::valuegt(), &am, s,
+            &Descriptor::default()).unwrap();
+        let expect: Entries = a.iter().filter(|(_, &v)| v > s)
+            .map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(ents(&c), expect);
+    }
+
+    #[test]
+    fn tril_plus_strict_triu_is_identity_decomposition(a in arb(10, 10)) {
+        let am = mat((10, 10), &a);
+        let lo = Matrix::<i64>::new(10, 10).unwrap();
+        let hi = Matrix::<i64>::new(10, 10).unwrap();
+        select(&lo, no_mask(), None, &IndexUnaryOp::tril(), &am, 0i64,
+            &Descriptor::default()).unwrap();
+        select(&hi, no_mask(), None, &IndexUnaryOp::triu(), &am, 1i64,
+            &Descriptor::default()).unwrap();
+        let mut merged = ents(&lo);
+        merged.extend(ents(&hi));
+        prop_assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn apply_rowindex_matches_coordinates(a in arb(8, 12)) {
+        let am = mat((8, 12), &a);
+        let c = Matrix::<i64>::new(8, 12).unwrap();
+        apply_indexop(&c, no_mask(), None, &IndexUnaryOp::rowindex(), &am, 7i64,
+            &Descriptor::default()).unwrap();
+        for ((i, _), v) in ents(&c) {
+            prop_assert_eq!(v, i as i64 + 7);
+        }
+        prop_assert_eq!(c.nvals().unwrap(), a.len());
+    }
+
+    #[test]
+    fn extract_then_assign_roundtrips_region(
+        a in arb(10, 10),
+        rows in proptest::collection::btree_set(0usize..10, 1..5),
+        cols in proptest::collection::btree_set(0usize..10, 1..5),
+    ) {
+        // Extract a region, then assign it back: the matrix is unchanged.
+        let rows: Vec<_> = rows.into_iter().collect();
+        let cols: Vec<_> = cols.into_iter().collect();
+        let am = mat((10, 10), &a);
+        let sub = Matrix::<i64>::new(rows.len(), cols.len()).unwrap();
+        extract(&sub, no_mask(), None, &am, &rows, &cols, &Descriptor::default()).unwrap();
+        assign(&am, no_mask(), None, &sub, &rows, &cols, &Descriptor::default()).unwrap();
+        prop_assert_eq!(ents(&am), a);
+    }
+
+    #[test]
+    fn blocking_and_nonblocking_pipelines_agree(
+        a in arb(8, 8),
+        threshold in -20i64..20,
+        shift in -5i64..5,
+    ) {
+        let run = |mode: Mode| {
+            let ctx = Context::new(&global_context(), mode, ContextOptions::default());
+            let m = Matrix::<i64>::new_in(&ctx, 8, 8).unwrap();
+            m.build(
+                &a.keys().map(|k| k.0).collect::<Vec<_>>(),
+                &a.keys().map(|k| k.1).collect::<Vec<_>>(),
+                &a.values().copied().collect::<Vec<_>>(),
+                None,
+            ).unwrap();
+            // In-place chain: shift values, drop small ones, re-shift.
+            graphblas_core::operations::apply(
+                &m, no_mask(), None,
+                &graphblas_core::UnaryOp::new("shift", move |x: &i64| x + shift),
+                &m, &Descriptor::default(),
+            ).unwrap();
+            select(&m, no_mask(), None, &IndexUnaryOp::valuegt(), &m, threshold,
+                &Descriptor::default()).unwrap();
+            graphblas_core::operations::apply(
+                &m, no_mask(), None,
+                &graphblas_core::UnaryOp::new("unshift", move |x: &i64| x - shift),
+                &m, &Descriptor::default(),
+            ).unwrap();
+            m.wait(WaitMode::Materialize).unwrap();
+            ents(&m)
+        };
+        prop_assert_eq!(run(Mode::Blocking), run(Mode::NonBlocking));
+    }
+
+    #[test]
+    fn diag_roundtrip(values in proptest::collection::btree_map(0usize..12, -40i64..40, 1..12), k in -3i64..4) {
+        let v = Vector::<i64>::new(12).unwrap();
+        v.build(
+            &values.keys().copied().collect::<Vec<_>>(),
+            &values.values().copied().collect::<Vec<_>>(),
+            None,
+        ).unwrap();
+        let m = Matrix::diag(&v, k).unwrap();
+        prop_assert_eq!(m.nvals().unwrap(), values.len());
+        let back = m.extract_diag(k).unwrap();
+        let (bi, bv) = back.extract_tuples().unwrap();
+        let got: BTreeMap<usize, i64> = bi.into_iter().zip(bv).collect();
+        prop_assert_eq!(got, values);
+    }
+
+    #[test]
+    fn serialize_is_stable_under_storage_format(a in arb(7, 7)) {
+        // The serialized stream must not depend on the internal format the
+        // object happens to be in.
+        let am = mat((7, 7), &a);
+        am.wait(WaitMode::Materialize).unwrap();
+        let bytes1 = am.serialize().unwrap();
+        // Force a different internal journey: export COO, re-import.
+        let (p, i, vv) = am.export(graphblas_core::Format::Coo).unwrap();
+        let m2 = Matrix::<i64>::import(7, 7, graphblas_core::Format::Coo,
+            Some(p), Some(i), vv).unwrap();
+        let bytes2 = m2.serialize().unwrap();
+        prop_assert_eq!(bytes1, bytes2);
+    }
+
+    #[test]
+    fn vector_select_value_partition(
+        values in proptest::collection::btree_map(0usize..20, -30i64..30, 0..20),
+        s in -10i64..10,
+    ) {
+        let u = Vector::<i64>::new(20).unwrap();
+        u.build(
+            &values.keys().copied().collect::<Vec<_>>(),
+            &values.values().copied().collect::<Vec<_>>(),
+            None,
+        ).unwrap();
+        let hi = Vector::<i64>::new(20).unwrap();
+        let lo = Vector::<i64>::new(20).unwrap();
+        select_v(&hi, no_mask_v(), None, &IndexUnaryOp::valuegt(), &u, s,
+            &Descriptor::default()).unwrap();
+        select_v(&lo, no_mask_v(), None, &IndexUnaryOp::valuele(), &u, s,
+            &Descriptor::default()).unwrap();
+        prop_assert_eq!(hi.nvals().unwrap() + lo.nvals().unwrap(), values.len());
+    }
+
+    #[test]
+    fn mxm_with_plus_pair_counts_structural_products(a in arb(8, 8), b in arb(8, 8)) {
+        let am = mat((8, 8), &a);
+        let bm = mat((8, 8), &b);
+        let c = Matrix::<u64>::new(8, 8).unwrap();
+        graphblas_core::operations::mxm(
+            &c, no_mask(), None,
+            &Semiring::<i64, i64, u64>::plus_pair(), &am, &bm,
+            &Descriptor::default(),
+        ).unwrap();
+        // Reference: count of k such that A(i,k) and B(k,j) exist.
+        let (r, cc, v) = c.extract_tuples().unwrap();
+        for ((i, j), count) in r.into_iter().zip(cc).zip(v) {
+            let expect = (0..8).filter(|&k| a.contains_key(&(i, k)) && b.contains_key(&(k, j))).count() as u64;
+            prop_assert_eq!(count, expect);
+        }
+    }
+}

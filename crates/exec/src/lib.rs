@@ -1,0 +1,34 @@
+//! Execution substrate for `graphblas-rs`.
+//!
+//! The GraphBLAS 2.0 specification (Brock et al., IPDPSW 2021) requires a
+//! conformant implementation to be *thread safe* (§III) and introduces the
+//! hierarchical *execution context* object `GrB_Context` (§IV). This crate
+//! provides the machinery both of those features rest on:
+//!
+//! * [`pool`] — a persistent worker-thread pool with a scoped-spawn API, so
+//!   kernels can parallelize over borrowed data without per-call thread
+//!   spawns.
+//! * [`par`] — data-parallel helpers (`parallel_for`, chunked map/reduce)
+//!   that respect a context's thread budget.
+//! * [`context`] — the [`Context`] object: hierarchical,
+//!   carries the execution [`Mode`] (blocking/nonblocking)
+//!   and a thread budget that is clamped by every ancestor, mirroring the
+//!   paper's "number of threads … places … affinity" resource description.
+//! * [`partition`] — range-splitting utilities, including nnz-balanced row
+//!   partitioning for sparse kernels.
+//!
+//! The crate is deliberately independent of GraphBLAS object types so that
+//! the storage substrate (`graphblas-sparse`) can also use it.
+
+pub mod context;
+pub mod par;
+pub mod partition;
+pub mod pool;
+
+pub use context::{init, is_initialized, finalize, global_context, Context, ContextOptions, Mode};
+pub use par::{
+    parallel_for, parallel_for_weighted, parallel_map_chunks, parallel_map_ranges,
+    parallel_reduce,
+};
+pub use partition::{balanced_ranges, prefix_balanced_ranges};
+pub use pool::{global_pool, Scope, ThreadPool};

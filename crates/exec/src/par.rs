@@ -1,0 +1,241 @@
+//! Data-parallel helpers built on the pool and a context's thread budget.
+//!
+//! All kernels in `graphblas-sparse` funnel through these three functions,
+//! so a context's `nthreads` clamp (paper §IV) is honoured uniformly, and
+//! small problems short-circuit to sequential execution based on the
+//! context's `chunk_size`.
+
+use std::ops::Range;
+
+use crate::context::Context;
+use crate::pool::global_pool;
+
+/// Decides how many tasks to use for `n` items in `ctx`.
+fn task_count(ctx: &Context, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let by_grain = n.div_ceil(ctx.chunk_size());
+    ctx.effective_threads().min(by_grain).max(1)
+}
+
+/// Runs `f` over the given ranges, in parallel when more than one range is
+/// supplied, collecting the per-range results in order.
+pub fn parallel_map_ranges<R, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    match ranges.len() {
+        0 => Vec::new(),
+        1 => {
+            vec![f(ranges.into_iter().next().expect("one range"))]
+        }
+        _ => {
+            let mut out: Vec<Option<R>> = ranges.iter().map(|_| None).collect();
+            global_pool().scope(|scope| {
+                for (slot, range) in out.iter_mut().zip(ranges) {
+                    let f = &f;
+                    scope.spawn(move || {
+                        *slot = Some(f(range));
+                    });
+                }
+            });
+            out.into_iter()
+                .map(|r| r.expect("scope guarantees completion"))
+                .collect()
+        }
+    }
+}
+
+/// Parallel for over `0..n`: splits into count-balanced ranges sized by the
+/// context's thread budget and chunk size, runs `f` on each.
+pub fn parallel_for<F>(ctx: &Context, n: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let k = task_count(ctx, n);
+    if k <= 1 {
+        if n > 0 {
+            f(0..n);
+        }
+        return;
+    }
+    let ranges = crate::partition::balanced_ranges(n, k);
+    parallel_map_ranges(ranges, f);
+}
+
+/// Parallel map over `0..n` in count-balanced chunks; results are returned
+/// in chunk order together with the chunk's range.
+pub fn parallel_map_chunks<R, F>(ctx: &Context, n: usize, f: F) -> Vec<(Range<usize>, R)>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let k = task_count(ctx, n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let ranges = crate::partition::balanced_ranges(n, k);
+    parallel_map_ranges(ranges, |r| (r.clone(), f(r)))
+        .into_iter()
+        .collect()
+}
+
+/// Parallel reduction over `0..n`: each chunk is mapped with `map`, then the
+/// per-chunk results are folded left-to-right with `combine` (so a
+/// non-commutative but associative combine is safe).
+pub fn parallel_reduce<R, M, C>(ctx: &Context, n: usize, identity: R, map: M, combine: C) -> R
+where
+    R: Send,
+    M: Fn(Range<usize>) -> R + Sync,
+    C: Fn(R, R) -> R,
+{
+    let k = task_count(ctx, n);
+    if k == 0 {
+        return identity;
+    }
+    if k == 1 {
+        return combine(identity, map(0..n));
+    }
+    let ranges = crate::partition::balanced_ranges(n, k);
+    let parts = parallel_map_ranges(ranges, map);
+    parts.into_iter().fold(identity, combine)
+}
+
+/// Parallel for over weighted items: `prefix` is a non-decreasing array of
+/// length `n + 1` (e.g. CSR `indptr`); each task receives a range of items
+/// with roughly equal total weight.
+pub fn parallel_for_weighted<F>(ctx: &Context, prefix: &[usize], f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let n = prefix.len().saturating_sub(1);
+    if n == 0 {
+        return;
+    }
+    let total = prefix[n] - prefix[0];
+    let by_grain = total.div_ceil(ctx.chunk_size()).max(1);
+    let k = ctx.effective_threads().min(by_grain).min(n).max(1);
+    if k == 1 {
+        f(0..n);
+        return;
+    }
+    let ranges = crate::partition::prefix_balanced_ranges(prefix, k);
+    parallel_map_ranges(ranges, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{global_context, Context, ContextOptions, Mode};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tiny_chunks_ctx(nthreads: usize) -> Context {
+        Context::new(
+            &global_context(),
+            Mode::Blocking,
+            ContextOptions {
+                nthreads: Some(nthreads),
+                chunk_size: Some(1),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let ctx = tiny_chunks_ctx(4);
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(&ctx, n, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_zero_items() {
+        let ctx = tiny_chunks_ctx(4);
+        parallel_for(&ctx, 0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn small_problem_runs_sequentially() {
+        let ctx = Context::new(
+            &global_context(),
+            Mode::Blocking,
+            ContextOptions {
+                nthreads: Some(8),
+                chunk_size: Some(1_000_000),
+                ..Default::default()
+            },
+        );
+        let count = AtomicUsize::new(0);
+        parallel_map_chunks(&ctx, 100, |r| {
+            count.fetch_add(1, Ordering::Relaxed);
+            r.len()
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let ctx = tiny_chunks_ctx(7);
+        let n = 12_345usize;
+        let total = parallel_reduce(
+            &ctx,
+            n,
+            0u64,
+            |range| range.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn reduce_preserves_chunk_order() {
+        let ctx = tiny_chunks_ctx(5);
+        let n = 1000usize;
+        let digits = parallel_reduce(
+            &ctx,
+            n,
+            Vec::new(),
+            |range| range.collect::<Vec<_>>(),
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        assert_eq!(digits, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_covers_all_items() {
+        let ctx = tiny_chunks_ctx(4);
+        // Quadratic weights.
+        let prefix: Vec<usize> = (0..=257).map(|i| i * i).collect();
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_weighted(&ctx, &prefix, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_chunks_returns_ordered_ranges() {
+        let ctx = tiny_chunks_ctx(3);
+        let out = parallel_map_chunks(&ctx, 30, |r| r.len());
+        let mut next = 0;
+        for (range, len) in &out {
+            assert_eq!(range.start, next);
+            assert_eq!(range.len(), *len);
+            next = range.end;
+        }
+        assert_eq!(next, 30);
+    }
+}

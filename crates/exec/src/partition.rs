@@ -1,0 +1,196 @@
+//! Work-partitioning utilities for parallel kernels.
+//!
+//! Sparse kernels are load-imbalanced if rows are split uniformly: a
+//! power-law graph concentrates most of its nonzeros in a few rows. The
+//! helpers here split either by count ([`balanced_ranges`]) or by a
+//! monotone prefix/weight array ([`prefix_balanced_ranges`]), which kernels
+//! use with a CSR `indptr` to give every task a near-equal share of
+//! nonzeros.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `k` contiguous ranges whose lengths differ by
+/// at most one. Returns fewer than `k` ranges when `n < k`; returns an empty
+/// vector when `n == 0`.
+pub fn balanced_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits the item range `0..(prefix.len() - 1)` into at most `k` contiguous
+/// ranges with approximately equal *weight*, where item `i` has weight
+/// `prefix[i + 1] - prefix[i]` and `prefix` is non-decreasing (e.g. a CSR
+/// `indptr` array: item = row, weight = nnz in row).
+///
+/// Ranges are never empty; heavy single items get a range of their own.
+///
+/// # Panics
+/// Panics if `prefix` is empty.
+pub fn prefix_balanced_ranges(prefix: &[usize], k: usize) -> Vec<Range<usize>> {
+    assert!(!prefix.is_empty(), "prefix array must have at least one entry");
+    let n = prefix.len() - 1;
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let total = prefix[n] - prefix[0];
+    if total == 0 {
+        return balanced_ranges(n, k);
+    }
+    let k = k.min(n);
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for i in 0..k {
+        if start >= n {
+            break;
+        }
+        // Target cumulative weight at the end of chunk i (1-indexed).
+        let target = prefix[0] + (total as u128 * (i as u128 + 1) / k as u128) as usize;
+        // First index whose prefix value reaches the target.
+        let mut end = partition_point(prefix, target);
+        end = end.clamp(start + 1, n);
+        // Leave at least one item per remaining chunk when possible.
+        let remaining_chunks = k - i - 1;
+        if n - end < remaining_chunks {
+            end = n - remaining_chunks;
+        }
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    if start < n {
+        // Numerical slack: extend the last range.
+        if let Some(last) = out.last_mut() {
+            last.end = n;
+        } else {
+            out.push(0..n);
+        }
+    }
+    out
+}
+
+/// Smallest `i` in `0..=prefix.len()-1` such that `prefix[i] >= target`,
+/// clamped into item space.
+fn partition_point(prefix: &[usize], target: usize) -> usize {
+    match prefix.binary_search(&target) {
+        Ok(mut i) => {
+            // Land on the first occurrence so empty trailing rows are not
+            // all absorbed into one chunk.
+            while i > 0 && prefix[i - 1] == target {
+                i -= 1;
+            }
+            i
+        }
+        Err(i) => i,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(ranges: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in ranges {
+            assert_eq!(r.start, next, "ranges must be contiguous");
+            assert!(r.end > r.start, "ranges must be non-empty");
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover 0..n");
+    }
+
+    #[test]
+    fn balanced_exact_division() {
+        let r = balanced_ranges(12, 4);
+        assert_eq!(r.len(), 4);
+        cover(&r, 12);
+        assert!(r.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn balanced_remainder_spread() {
+        let r = balanced_ranges(10, 4);
+        cover(&r, 10);
+        let lens: Vec<_> = r.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn balanced_more_chunks_than_items() {
+        let r = balanced_ranges(3, 8);
+        assert_eq!(r.len(), 3);
+        cover(&r, 3);
+    }
+
+    #[test]
+    fn balanced_empty() {
+        assert!(balanced_ranges(0, 4).is_empty());
+        assert!(balanced_ranges(4, 0).is_empty());
+    }
+
+    #[test]
+    fn prefix_balances_by_weight() {
+        // One heavy row (100) then many light ones.
+        let mut prefix = vec![0usize, 100];
+        for i in 0..10 {
+            prefix.push(100 + i + 1);
+        }
+        let ranges = prefix_balanced_ranges(&prefix, 2);
+        cover(&ranges, 11);
+        // The heavy row must be alone (or nearly) in the first chunk.
+        assert_eq!(ranges[0], 0..1);
+    }
+
+    #[test]
+    fn prefix_uniform_matches_balanced() {
+        let prefix: Vec<usize> = (0..=20).map(|i| i * 3).collect();
+        let ranges = prefix_balanced_ranges(&prefix, 4);
+        cover(&ranges, 20);
+        assert_eq!(ranges.len(), 4);
+        for r in &ranges {
+            assert_eq!(r.len(), 5);
+        }
+    }
+
+    #[test]
+    fn prefix_all_zero_weights() {
+        let prefix = vec![0usize; 9]; // 8 items, no weight
+        let ranges = prefix_balanced_ranges(&prefix, 3);
+        cover(&ranges, 8);
+    }
+
+    #[test]
+    fn prefix_single_item() {
+        let ranges = prefix_balanced_ranges(&[0, 42], 4);
+        assert_eq!(ranges, vec![0..1]);
+    }
+
+    #[test]
+    fn prefix_empty_items() {
+        assert!(prefix_balanced_ranges(&[0], 4).is_empty());
+    }
+
+    #[test]
+    fn prefix_never_exceeds_k() {
+        for n in 1..40 {
+            for k in 1..10 {
+                let prefix: Vec<usize> = (0..=n).map(|i| i * i).collect();
+                let ranges = prefix_balanced_ranges(&prefix, k);
+                assert!(ranges.len() <= k);
+                cover(&ranges, n);
+            }
+        }
+    }
+}

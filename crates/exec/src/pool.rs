@@ -1,0 +1,311 @@
+//! A persistent worker-thread pool with scoped task spawning.
+//!
+//! GraphBLAS kernels are short relative to thread-spawn cost, so a
+//! conformant multithreaded implementation wants long-lived workers. The
+//! pool here is intentionally small and auditable:
+//!
+//! * workers block on a crossbeam MPMC channel of boxed jobs;
+//! * [`ThreadPool::scope`] lets callers spawn closures that borrow stack
+//!   data — the scope does not return until every spawned task has run, so
+//!   the (single, documented) lifetime-erasing `unsafe` block is sound;
+//! * panics inside tasks are captured and resumed on the scope owner's
+//!   thread, so a panicking user-defined operator cannot kill a worker.
+//!
+//! Nested parallelism is handled by detecting re-entry: a task running *on*
+//! a pool worker that opens another scope executes its sub-tasks inline
+//! (see [`in_worker`]), which cannot deadlock.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns `true` when the calling thread is one of a pool's workers.
+///
+/// Used to serialize nested parallel regions instead of deadlocking.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `size` workers (at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("grb-worker-{i}"))
+                    .spawn(move || {
+                        IN_WORKER.with(|w| w.set(true));
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn GraphBLAS worker thread")
+            })
+            .collect();
+        ThreadPool { tx, workers, size }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submits a `'static` job; returns immediately.
+    pub fn spawn_static(&self, job: Job) {
+        // The channel is unbounded and workers only exit when the sender is
+        // dropped, so send can only fail during teardown; drop the job then.
+        let _ = self.tx.send(job);
+    }
+
+    /// Runs `f` with a [`Scope`] on which tasks borrowing the environment can
+    /// be spawned. Returns only after every spawned task has finished.
+    ///
+    /// Panics raised by any task are re-raised here (first one wins).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env, '_>) -> R,
+    {
+        let state = Arc::new(ScopeState::default());
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        let result = f(&scope);
+        state.wait();
+        if let Some(payload) = state.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        result
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain remaining jobs and exit.
+        let (dead_tx, _) = unbounded();
+        drop(std::mem::replace(&mut self.tx, dead_tx));
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[derive(Default)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn task_started(&self) {
+        *self.pending.lock() += 1;
+    }
+
+    fn task_finished(&self) {
+        let mut pending = self.pending.lock();
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock();
+        while *pending > 0 {
+            self.all_done.wait(&mut pending);
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().take()
+    }
+}
+
+/// A spawn handle tied to a [`ThreadPool::scope`] invocation.
+///
+/// Tasks may borrow from the enclosing environment (`'env`); the scope
+/// guarantees they complete before `scope` returns.
+pub struct Scope<'env, 'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env, 'pool> Scope<'env, 'pool> {
+    /// Spawns `f` onto the pool. If called from within a pool worker the
+    /// task runs inline, which keeps nested parallel regions deadlock-free.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        if in_worker() {
+            f();
+            return;
+        }
+        self.state.task_started();
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: `ScopeState::wait` is called before `ThreadPool::scope`
+        // returns, and `Scope` cannot escape the closure passed to `scope`
+        // (its lifetime parameters are invariant), so every borrow captured
+        // by `task` strictly outlives the task's execution. Erasing the
+        // lifetime to satisfy the channel's `'static` bound is therefore
+        // sound.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        self.pool.spawn_static(Box::new(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            if let Err(payload) = outcome {
+                state.record_panic(payload);
+            }
+            state.task_finished();
+        }));
+    }
+}
+
+static GLOBAL_POOL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Returns the process-wide pool, creating it on first use with one worker
+/// per available hardware thread. The `GRB_POOL_THREADS` environment
+/// variable overrides the autodetected size (useful where cgroup limits
+/// under-report the machine, or to pin experiments to a fixed width).
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL_POOL.get_or_init(|| {
+        let n = std::env::var("GRB_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            });
+        ThreadPool::new(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_can_borrow_stack_data() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(16).collect();
+        pool.scope(|s| {
+            for chunk in chunks {
+                s.spawn(move || {
+                    for x in chunk.iter_mut() {
+                        *x = 7;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(2);
+        let v = pool.scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn panic_in_task_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must still be usable afterwards.
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Runs on a worker; the inner scope must execute inline.
+                    global_pool().scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn pool_size_is_at_least_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a = global_pool() as *const ThreadPool;
+        let b = global_pool() as *const ThreadPool;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,273 @@
+//! Synthetic graph generators.
+//!
+//! All generators are deterministic given a seed and return an
+//! [`EdgeList`], which converts into GraphBLAS matrices through the public
+//! `build` API (exercising the §IX optional-dup semantics: generators can
+//! emit duplicate edges, resolved with a combiner).
+
+use graphblas_core::{BinaryOp, GrbResult, Matrix};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A directed edge list over vertices `0..n`.
+#[derive(Debug, Clone)]
+pub struct EdgeList {
+    /// Number of vertices.
+    pub n: usize,
+    /// Source endpoint of each edge.
+    pub src: Vec<usize>,
+    /// Destination endpoint of each edge.
+    pub dst: Vec<usize>,
+}
+
+impl EdgeList {
+    /// Number of (possibly duplicate) edges.
+    pub fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Whether the edge list holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Adds the reverse of every edge (symmetrizes the graph).
+    pub fn undirected(mut self) -> Self {
+        let (s, d) = (self.src.clone(), self.dst.clone());
+        self.src.extend(d);
+        self.dst.extend(s);
+        self
+    }
+
+    /// Drops self-loops.
+    pub fn without_self_loops(mut self) -> Self {
+        let keep: Vec<bool> = self
+            .src
+            .iter()
+            .zip(&self.dst)
+            .map(|(&s, &d)| s != d)
+            .collect();
+        let mut k = keep.iter();
+        self.src.retain(|_| *k.next().unwrap());
+        let mut k = keep.iter();
+        self.dst.retain(|_| *k.next().unwrap());
+        self
+    }
+
+    /// Boolean adjacency matrix; duplicate edges collapse through LOR.
+    pub fn to_bool_matrix(&self) -> GrbResult<Matrix<bool>> {
+        let a = Matrix::<bool>::new(self.n, self.n)?;
+        a.build(
+            &self.src,
+            &self.dst,
+            &vec![true; self.len()],
+            Some(&BinaryOp::lor()),
+        )?;
+        Ok(a)
+    }
+
+    /// Weighted adjacency matrix with uniform weights in `(0, 1]`;
+    /// duplicates keep the smaller weight.
+    pub fn to_weighted_matrix(&self, seed: u64) -> GrbResult<Matrix<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let weights: Vec<f64> = (0..self.len()).map(|_| rng.gen_range(0.001..=1.0)).collect();
+        let a = Matrix::<f64>::new(self.n, self.n)?;
+        a.build(&self.src, &self.dst, &weights, Some(&BinaryOp::min()))?;
+        Ok(a)
+    }
+
+    /// Multiplicity matrix: duplicate edges sum to their count.
+    pub fn to_count_matrix(&self) -> GrbResult<Matrix<u64>> {
+        let a = Matrix::<u64>::new(self.n, self.n)?;
+        a.build(
+            &self.src,
+            &self.dst,
+            &vec![1u64; self.len()],
+            Some(&BinaryOp::plus()),
+        )?;
+        Ok(a)
+    }
+}
+
+/// RMAT (Graph500-style) recursive power-law generator: `n = 2^scale`
+/// vertices, `edge_factor · n` edges, partition probabilities
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)`.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> EdgeList {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut src = Vec::with_capacity(m);
+    let mut dst = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut i, mut j) = (0usize, 0usize);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            // Quadrant choice with slight per-level noise, per Graph500.
+            if r < a {
+                // top-left: nothing
+            } else if r < a + b {
+                j |= 1 << bit;
+            } else if r < a + b + c {
+                i |= 1 << bit;
+            } else {
+                i |= 1 << bit;
+                j |= 1 << bit;
+            }
+        }
+        src.push(i);
+        dst.push(j);
+    }
+    EdgeList { n, src, dst }
+}
+
+/// Uniform random directed graph with exactly `m` (possibly duplicate)
+/// edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> EdgeList {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = Vec::with_capacity(m);
+    let mut dst = Vec::with_capacity(m);
+    for _ in 0..m {
+        src.push(rng.gen_range(0..n));
+        dst.push(rng.gen_range(0..n));
+    }
+    EdgeList { n, src, dst }
+}
+
+/// Directed path `0 → 1 → … → n-1`.
+pub fn path(n: usize) -> EdgeList {
+    EdgeList {
+        n,
+        src: (0..n.saturating_sub(1)).collect(),
+        dst: (1..n).collect(),
+    }
+}
+
+/// Directed cycle over `n` vertices.
+pub fn cycle(n: usize) -> EdgeList {
+    EdgeList {
+        n,
+        src: (0..n).collect(),
+        dst: (0..n).map(|i| (i + 1) % n).collect(),
+    }
+}
+
+/// Undirected 2-D grid graph of `rows × cols` vertices (edges both ways).
+pub fn grid(rows: usize, cols: usize) -> EdgeList {
+    let n = rows * cols;
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                src.push(id(r, c));
+                dst.push(id(r, c + 1));
+            }
+            if r + 1 < rows {
+                src.push(id(r, c));
+                dst.push(id(r + 1, c));
+            }
+        }
+    }
+    EdgeList { n, src, dst }.undirected()
+}
+
+/// Complete directed graph without self-loops.
+pub fn complete(n: usize) -> EdgeList {
+    let mut src = Vec::with_capacity(n * (n - 1));
+    let mut dst = Vec::with_capacity(n * (n - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                src.push(i);
+                dst.push(j);
+            }
+        }
+    }
+    EdgeList { n, src, dst }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_shape_and_determinism() {
+        let e1 = rmat(6, 8, 42);
+        let e2 = rmat(6, 8, 42);
+        assert_eq!(e1.n, 64);
+        assert_eq!(e1.len(), 64 * 8);
+        assert_eq!(e1.src, e2.src);
+        assert_eq!(e1.dst, e2.dst);
+        let e3 = rmat(6, 8, 43);
+        assert_ne!(e1.src, e3.src);
+        assert!(e1.src.iter().all(|&v| v < 64));
+        assert!(e1.dst.iter().all(|&v| v < 64));
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // Power-law: max out-degree far exceeds the mean.
+        let e = rmat(10, 16, 7);
+        let mut deg = vec![0usize; e.n];
+        for &s in &e.src {
+            deg[s] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = e.len() / e.n;
+        assert!(
+            max > mean * 5,
+            "expected a skewed degree distribution (max {max}, mean {mean})"
+        );
+    }
+
+    #[test]
+    fn generators_build_matrices() {
+        let a = rmat(5, 4, 1).to_bool_matrix().unwrap();
+        assert_eq!(a.nrows(), 32);
+        assert!(a.nvals().unwrap() > 0);
+        let w = erdos_renyi(40, 200, 2).to_weighted_matrix(3).unwrap();
+        assert!(w.nvals().unwrap() > 0);
+        let c = cycle(5).to_count_matrix().unwrap();
+        assert_eq!(c.nvals().unwrap(), 5);
+    }
+
+    #[test]
+    fn path_and_cycle_structure() {
+        let p = path(4).to_bool_matrix().unwrap();
+        assert_eq!(p.nvals().unwrap(), 3);
+        assert_eq!(p.extract_element(0, 1).unwrap(), Some(true));
+        assert_eq!(p.extract_element(3, 0).unwrap(), None);
+        let c = cycle(4).to_bool_matrix().unwrap();
+        assert_eq!(c.nvals().unwrap(), 4);
+        assert_eq!(c.extract_element(3, 0).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn grid_degree_counts() {
+        let g = grid(3, 3).to_bool_matrix().unwrap();
+        // 3x3 grid: 12 undirected edges → 24 directed.
+        assert_eq!(g.nvals().unwrap(), 24);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let k = complete(5).to_bool_matrix().unwrap();
+        assert_eq!(k.nvals().unwrap(), 20);
+        assert_eq!(k.extract_element(2, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn undirected_and_loop_helpers() {
+        let e = EdgeList {
+            n: 3,
+            src: vec![0, 1, 2],
+            dst: vec![1, 1, 0],
+        };
+        let no_loops = e.clone().without_self_loops();
+        assert_eq!(no_loops.len(), 2);
+        let sym = no_loops.undirected();
+        assert_eq!(sym.len(), 4);
+    }
+}

@@ -1,0 +1,19 @@
+//! Graph I/O and synthetic workload generation for `graphblas-rs`.
+//!
+//! The GraphBLAS 2.0 paper's ecosystem (SuiteSparse, LAGraph) evaluates on
+//! real-world sparse matrices; this crate supplies the equivalents we can
+//! generate or parse locally:
+//!
+//! * [`mm`] — Matrix Market exchange format (coordinate and array,
+//!   general and symmetric), the lingua franca of the sparse-matrix world;
+//! * [`gen`] — synthetic graph generators: RMAT/Graph500-style power-law
+//!   graphs (the skewed degree distributions graph workloads stress),
+//!   Erdős–Rényi uniform graphs, and regular structures (paths, cycles,
+//!   grids, complete graphs) with known closed-form properties for
+//!   validating algorithms.
+
+pub mod gen;
+pub mod mm;
+
+pub use gen::{complete, cycle, erdos_renyi, grid, path, rmat, EdgeList};
+pub use mm::{read_matrix_market, write_matrix_market, MmError};

@@ -1,0 +1,322 @@
+//! Matrix Market exchange format.
+//!
+//! Supports the common subset used by graph repositories:
+//! `matrix coordinate {real,integer,pattern} {general,symmetric}` and
+//! `matrix array real general`. Symmetric coordinate files are expanded
+//! to their full (both triangles) form on read.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use graphblas_core::{BinaryOp, Format, GrbResult, Index, Matrix};
+
+/// Parse/serialization failures for Matrix Market streams.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying reader/writer failure.
+    Io(std::io::Error),
+    /// Malformed header or body, with a line number and description.
+    Parse {
+        /// 1-based line number of the offending line (0 if unknown).
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Valid file, but a field combination we do not support.
+    Unsupported(String),
+    /// The parsed data failed GraphBLAS validation.
+    GraphBlas(graphblas_core::Error),
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "matrix market I/O error: {e}"),
+            MmError::Parse { line, detail } => {
+                write!(f, "matrix market parse error at line {line}: {detail}")
+            }
+            MmError::Unsupported(what) => write!(f, "unsupported matrix market variant: {what}"),
+            MmError::GraphBlas(e) => write!(f, "matrix market: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+impl From<graphblas_core::Error> for MmError {
+    fn from(e: graphblas_core::Error) -> Self {
+        MmError::GraphBlas(e)
+    }
+}
+
+fn parse_err(line: usize, detail: impl Into<String>) -> MmError {
+    MmError::Parse {
+        line,
+        detail: detail.into(),
+    }
+}
+
+/// Reads a Matrix Market stream into a `Matrix<f64>` (pattern entries
+/// become `1.0`; integer entries are widened).
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Matrix<f64>, MmError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header.
+    let (lineno, header) = loop {
+        match lines.next() {
+            Some((ln, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (ln + 1, line);
+                }
+            }
+            None => return Err(parse_err(0, "empty stream")),
+        }
+    };
+    let fields: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(lineno, "expected '%%MatrixMarket matrix ...'"));
+    }
+    let layout = fields[2].as_str();
+    let value_type = fields[3].as_str();
+    let symmetry = fields.get(4).map(|s| s.as_str()).unwrap_or("general");
+    if !matches!(value_type, "real" | "integer" | "pattern") {
+        return Err(MmError::Unsupported(format!("value type '{value_type}'")));
+    }
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(MmError::Unsupported(format!("symmetry '{symmetry}'")));
+    }
+
+    // Size line (skipping comments).
+    let (size_ln, size_line) = loop {
+        match lines.next() {
+            Some((ln, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (ln + 1, line);
+                }
+            }
+            None => return Err(parse_err(0, "missing size line")),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_err(size_ln, format!("bad size line: {e}")))?;
+
+    match layout {
+        "coordinate" => {
+            if dims.len() != 3 {
+                return Err(parse_err(size_ln, "coordinate size line needs 3 fields"));
+            }
+            let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+            let mut rows: Vec<Index> = Vec::with_capacity(nnz);
+            let mut cols: Vec<Index> = Vec::with_capacity(nnz);
+            let mut vals: Vec<f64> = Vec::with_capacity(nnz);
+            let mut read = 0usize;
+            for (ln, line) in lines {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                let mut it = t.split_whitespace();
+                let i: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(ln + 1, "missing row"))?
+                    .parse()
+                    .map_err(|e| parse_err(ln + 1, format!("bad row index: {e}")))?;
+                let j: usize = it
+                    .next()
+                    .ok_or_else(|| parse_err(ln + 1, "missing column"))?
+                    .parse()
+                    .map_err(|e| parse_err(ln + 1, format!("bad column index: {e}")))?;
+                if i == 0 || j == 0 || i > nrows || j > ncols {
+                    return Err(parse_err(ln + 1, "index out of bounds (1-based)"));
+                }
+                let v: f64 = if value_type == "pattern" {
+                    1.0
+                } else {
+                    it.next()
+                        .ok_or_else(|| parse_err(ln + 1, "missing value"))?
+                        .parse()
+                        .map_err(|e| parse_err(ln + 1, format!("bad value: {e}")))?
+                };
+                rows.push(i - 1);
+                cols.push(j - 1);
+                vals.push(v);
+                if symmetry == "symmetric" && i != j {
+                    rows.push(j - 1);
+                    cols.push(i - 1);
+                    vals.push(v);
+                }
+                read += 1;
+            }
+            if read != nnz {
+                return Err(parse_err(
+                    0,
+                    format!("expected {nnz} entries, found {read}"),
+                ));
+            }
+            let m = Matrix::<f64>::new(nrows.max(1), ncols.max(1))?;
+            m.build(&rows, &cols, &vals, Some(&BinaryOp::second()))?;
+            Ok(m)
+        }
+        "array" => {
+            if dims.len() != 2 {
+                return Err(parse_err(size_ln, "array size line needs 2 fields"));
+            }
+            if value_type == "pattern" {
+                return Err(MmError::Unsupported("array pattern".into()));
+            }
+            if symmetry != "general" {
+                return Err(MmError::Unsupported("array symmetric".into()));
+            }
+            let (nrows, ncols) = (dims[0], dims[1]);
+            let mut values = Vec::with_capacity(nrows * ncols);
+            for (ln, line) in lines {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                for tok in t.split_whitespace() {
+                    values.push(
+                        tok.parse::<f64>()
+                            .map_err(|e| parse_err(ln + 1, format!("bad value: {e}")))?,
+                    );
+                }
+            }
+            if values.len() != nrows * ncols {
+                return Err(parse_err(
+                    0,
+                    format!("expected {} values, found {}", nrows * ncols, values.len()),
+                ));
+            }
+            // Matrix Market arrays are column-major.
+            Ok(Matrix::<f64>::import(
+                nrows.max(1),
+                ncols.max(1),
+                Format::DenseCol,
+                None,
+                None,
+                values,
+            )?)
+        }
+        other => Err(MmError::Unsupported(format!("layout '{other}'"))),
+    }
+}
+
+/// Writes a matrix as `coordinate real general`.
+pub fn write_matrix_market<W: Write>(writer: &mut W, m: &Matrix<f64>) -> Result<(), MmError> {
+    let run = || -> GrbResult<(Vec<Index>, Vec<Index>, Vec<f64>)> { m.extract_tuples() };
+    let (rows, cols, vals) = run()?;
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% generated by graphblas-rs")?;
+    writeln!(writer, "{} {} {}", m.nrows(), m.ncols(), vals.len())?;
+    for ((i, j), v) in rows.iter().zip(&cols).zip(&vals) {
+        writeln!(writer, "{} {} {}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn coordinate_roundtrip() {
+        let src = Matrix::<f64>::new(3, 4).unwrap();
+        src.build(&[0, 1, 2], &[3, 0, 2], &[1.5, -2.0, 3.25], None)
+            .unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &src).unwrap();
+        let back = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(back.extract_tuples().unwrap(), src.extract_tuples().unwrap());
+    }
+
+    #[test]
+    fn pattern_and_comments() {
+        let text = "\
+%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 3 2
+1 2
+3 1
+";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.extract_element(0, 1).unwrap(), Some(1.0));
+        assert_eq!(m.extract_element(2, 0).unwrap(), Some(1.0));
+        assert_eq!(m.nvals().unwrap(), 2);
+    }
+
+    #[test]
+    fn symmetric_expansion() {
+        let text = "\
+%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 5.0
+2 1 7.0
+";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.extract_element(1, 0).unwrap(), Some(7.0));
+        assert_eq!(m.extract_element(0, 1).unwrap(), Some(7.0));
+        assert_eq!(m.extract_element(0, 0).unwrap(), Some(5.0));
+        assert_eq!(m.nvals().unwrap(), 3);
+    }
+
+    #[test]
+    fn array_format_is_column_major() {
+        let text = "\
+%%MatrixMarket matrix array real general
+2 2
+1.0
+2.0
+3.0
+4.0
+";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.extract_element(0, 0).unwrap(), Some(1.0));
+        assert_eq!(m.extract_element(1, 0).unwrap(), Some(2.0));
+        assert_eq!(m.extract_element(0, 1).unwrap(), Some(3.0));
+        assert_eq!(m.extract_element(1, 1).unwrap(), Some(4.0));
+    }
+
+    #[test]
+    fn integer_values_widen() {
+        let text = "\
+%%MatrixMarket matrix coordinate integer general
+1 1 1
+1 1 42
+";
+        let m = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(m.extract_element(0, 0).unwrap(), Some(42.0));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(read_matrix_market(Cursor::new("")).is_err());
+        assert!(read_matrix_market(Cursor::new("not a header\n1 1 0\n")).is_err());
+        // Entry count mismatch.
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(short)).is_err());
+        // Out-of-bounds 1-based index.
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(Cursor::new(oob)).is_err());
+        // Unsupported symmetry.
+        let skew = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 0\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(skew)),
+            Err(MmError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! Uniform free-function conversion surface between all Table III formats.
+//!
+//! `graphblas-core`'s import/export machinery (`GrB_Matrix_import` /
+//! `GrB_Matrix_export`) dispatches through these, so every format pair is
+//! reachable with CSR as the pivot.
+
+use graphblas_exec::Context;
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::dense::{Dense, Layout};
+use crate::dvec::DenseVec;
+use crate::error::FormatError;
+use crate::svec::SparseVec;
+use crate::transpose::transpose;
+
+/// COO → CSR; duplicates combined with `dup` or rejected when `None`.
+pub fn coo_to_csr<T: Clone + Send + Sync>(
+    ctx: &Context,
+    coo: &Coo<T>,
+    dup: Option<&(dyn Fn(&T, &T) -> T + Sync)>,
+) -> Result<Csr<T>, FormatError> {
+    coo.to_csr(ctx, dup)
+}
+
+/// CSR → COO (storage order).
+pub fn csr_to_coo<T: Clone + Send + Sync>(a: &Csr<T>) -> Coo<T> {
+    Coo::from_csr(a)
+}
+
+/// CSR → CSC (one transpose pass).
+pub fn csr_to_csc<T: Clone + Send + Sync>(ctx: &Context, a: &Csr<T>) -> Csc<T> {
+    Csc::from_csr(ctx, a)
+}
+
+/// CSC → CSR (one transpose pass).
+pub fn csc_to_csr<T: Clone + Send + Sync>(ctx: &Context, a: &Csc<T>) -> Csr<T> {
+    a.to_csr(ctx)
+}
+
+/// Dense (either layout) → CSR.
+pub fn dense_to_csr<T: Clone + Send + Sync>(ctx: &Context, d: &Dense<T>) -> Csr<T> {
+    d.to_csr(ctx)
+}
+
+/// CSR → dense; requires every element present.
+pub fn csr_to_dense<T: Clone + Send + Sync>(
+    ctx: &Context,
+    a: &Csr<T>,
+    layout: Layout,
+) -> Result<Dense<T>, FormatError> {
+    Dense::from_csr_full(ctx, a, layout)
+}
+
+/// Explicit transpose (re-export for API uniformity).
+pub fn csr_transpose<T: Clone + Send + Sync>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    transpose(ctx, a)
+}
+
+/// Dense vector → sparse vector.
+pub fn dvec_to_svec<T: Clone>(d: &DenseVec<T>) -> SparseVec<T> {
+    d.to_sparse()
+}
+
+/// Sparse vector → dense vector; requires every element present.
+pub fn svec_to_dvec<T: Clone>(s: &SparseVec<T>) -> Result<DenseVec<T>, FormatError> {
+    DenseVec::from_sparse_full(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::global_context;
+    use proptest::prelude::*;
+
+    fn arb_matrix() -> impl Strategy<Value = Csr<i64>> {
+        (1usize..20, 1usize..20).prop_flat_map(|(m, n)| {
+            proptest::collection::vec((0..m, 0..n, -100i64..100), 0..60).prop_map(
+                move |mut t| {
+                    t.sort_by_key(|&(i, j, _)| (i, j));
+                    t.dedup_by_key(|&mut (i, j, _)| (i, j));
+                    let rows = t.iter().map(|x| x.0).collect();
+                    let cols = t.iter().map(|x| x.1).collect();
+                    let vals = t.iter().map(|x| x.2).collect();
+                    Coo::from_parts(m, n, rows, cols, vals)
+                        .unwrap()
+                        .to_csr(&global_context(), None)
+                        .unwrap()
+                },
+            )
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn coo_roundtrip(a in arb_matrix()) {
+            let ctx = global_context();
+            let back = coo_to_csr(&ctx, &csr_to_coo(&a), None).unwrap();
+            prop_assert_eq!(a.to_sorted_tuples(), back.to_sorted_tuples());
+        }
+
+        #[test]
+        fn csc_roundtrip(a in arb_matrix()) {
+            let ctx = global_context();
+            let back = csc_to_csr(&ctx, &csr_to_csc(&ctx, &a));
+            prop_assert_eq!(a.to_sorted_tuples(), back.to_sorted_tuples());
+        }
+
+        #[test]
+        fn transpose_involution(a in arb_matrix()) {
+            let ctx = global_context();
+            let tt = csr_transpose(&ctx, &csr_transpose(&ctx, &a));
+            prop_assert_eq!(a.to_sorted_tuples(), tt.to_sorted_tuples());
+        }
+
+        #[test]
+        fn dense_roundtrip_full_matrices(
+            (m, n) in (1usize..8, 1usize..8),
+            seed in any::<u64>(),
+        ) {
+            let ctx = global_context();
+            use rand::prelude::*;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let values: Vec<i64> = (0..m * n).map(|_| rng.gen_range(-50..50)).collect();
+            let d = Dense::from_parts(m, n, Layout::RowMajor, values).unwrap();
+            let csr = dense_to_csr(&ctx, &d);
+            prop_assert_eq!(csr.nnz(), m * n);
+            let back = csr_to_dense(&ctx, &csr, Layout::ColMajor).unwrap();
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert_eq!(d.get(i, j), back.get(i, j));
+                }
+            }
+        }
+
+        #[test]
+        fn vector_roundtrip(values in proptest::collection::vec(-100i64..100, 0..50)) {
+            let d = DenseVec::from_values(values.clone());
+            let s = dvec_to_svec(&d);
+            prop_assert_eq!(s.nnz(), values.len());
+            let back = svec_to_dvec(&s).unwrap();
+            prop_assert_eq!(back.values(), &values[..]);
+        }
+    }
+}

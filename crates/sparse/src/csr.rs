@@ -1,0 +1,848 @@
+//! Compressed Sparse Row storage — the workhorse format.
+//!
+//! `GrB_CSR_MATRIX` in the paper's Table III: `indptr` of length
+//! `nrows + 1`, and per-row segments of `indices`/`values`. As the table
+//! notes, *"the elements of each row are not required to be sorted by
+//! column index"* — so [`Csr`] tracks sortedness explicitly and kernels
+//! that need ordered rows sort lazily (the `GrB_wait(MATERIALIZE)` path in
+//! `graphblas-core` also forces a sort, making materialization observable).
+
+use std::ops::Range;
+
+use graphblas_exec::{parallel_map_ranges, partition, Context};
+
+use crate::error::FormatError;
+use crate::util;
+
+/// A CSR matrix. `T` is the stored element type; missing elements are
+/// simply absent (GraphBLAS has no implicit zero).
+#[derive(Debug, Clone)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<T>,
+    rows_sorted: bool,
+}
+
+impl<T> Csr<T> {
+    /// An empty matrix of the given shape.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            indptr: vec![0; nrows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+            rows_sorted: true,
+        }
+    }
+
+    /// Builds from raw arrays, validating every Table III invariant.
+    /// Rows may be unsorted; sortedness is detected, not required.
+    /// Duplicate column indices within a row are accepted here (import
+    /// semantics) — use [`Csr::dedup_sorted_rows`] to resolve or reject them.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self, FormatError> {
+        if indptr.len() != nrows + 1 {
+            return Err(FormatError::BadPointers {
+                expected_len: nrows + 1,
+                detail: "wrong indptr length",
+            });
+        }
+        if indptr[0] != 0 {
+            return Err(FormatError::BadPointers {
+                expected_len: nrows + 1,
+                detail: "indptr must start at 0",
+            });
+        }
+        if !util::is_non_decreasing(&indptr) {
+            return Err(FormatError::BadPointers {
+                expected_len: nrows + 1,
+                detail: "indptr must be non-decreasing",
+            });
+        }
+        let nnz = *indptr.last().expect("indptr non-empty");
+        if indices.len() != nnz {
+            return Err(FormatError::LengthMismatch {
+                expected: nnz,
+                actual: indices.len(),
+                what: "indices",
+            });
+        }
+        if values.len() != nnz {
+            return Err(FormatError::LengthMismatch {
+                expected: nnz,
+                actual: values.len(),
+                what: "values",
+            });
+        }
+        if let Some(&bad) = indices.iter().find(|&&j| j >= ncols) {
+            return Err(FormatError::IndexOutOfBounds {
+                index: bad,
+                bound: ncols,
+                axis: "column",
+            });
+        }
+        let rows_sorted = (0..nrows).all(|i| {
+            util::is_strictly_increasing(&indices[indptr[i]..indptr[i + 1]])
+        });
+        Ok(Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+            rows_sorted,
+        })
+    }
+
+    /// Builds from arrays a kernel just produced. Invariants are asserted in
+    /// debug builds only; `rows_sorted` is taken on trust.
+    pub(crate) fn from_kernel_parts(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<T>,
+        rows_sorted: bool,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), nrows + 1);
+        debug_assert_eq!(indices.len(), *indptr.last().unwrap());
+        debug_assert_eq!(values.len(), indices.len());
+        debug_assert!(indices.iter().all(|&j| j < ncols));
+        debug_assert!(
+            !rows_sorted
+                || (0..nrows).all(|i| util::is_strictly_increasing(
+                    &indices[indptr[i]..indptr[i + 1]]
+                ))
+        );
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+            rows_sorted,
+        }
+    }
+
+    /// Consumes the matrix, returning `(indptr, indices, values)`.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<usize>, Vec<T>) {
+        (self.indptr, self.indices, self.values)
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored elements.
+    pub fn nnz(&self) -> usize {
+        *self.indptr.last().expect("indptr non-empty")
+    }
+
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Column indices and values of row `i`.
+    pub fn row(&self, i: usize) -> (&[usize], &[T]) {
+        let r = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[r.clone()], &self.values[r])
+    }
+
+    /// Whether every row's column indices are strictly increasing (which
+    /// also implies the absence of duplicates).
+    pub fn is_rows_sorted(&self) -> bool {
+        self.rows_sorted
+    }
+
+    /// Number of stored elements in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Looks up element `(i, j)`; binary search when the row is sorted.
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        if i >= self.nrows || j >= self.ncols {
+            return None;
+        }
+        let (cols, vals) = self.row(i);
+        if self.rows_sorted {
+            cols.binary_search(&j).ok().map(|k| &vals[k])
+        } else {
+            cols.iter().position(|&c| c == j).map(|k| &vals[k])
+        }
+    }
+
+    /// Iterates `(row, col, &value)` in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals.iter()).map(move |(&j, v)| (i, j, v))
+        })
+    }
+
+    /// Full invariant validation (used by tests and `debug_assert`s).
+    pub fn check(&self) -> Result<(), FormatError> {
+        if self.indptr.len() != self.nrows + 1
+            || self.indptr[0] != 0
+            || !util::is_non_decreasing(&self.indptr)
+        {
+            return Err(FormatError::BadPointers {
+                expected_len: self.nrows + 1,
+                detail: "corrupt indptr",
+            });
+        }
+        let nnz = self.nnz();
+        if self.indices.len() != nnz {
+            return Err(FormatError::LengthMismatch {
+                expected: nnz,
+                actual: self.indices.len(),
+                what: "indices",
+            });
+        }
+        if self.values.len() != nnz {
+            return Err(FormatError::LengthMismatch {
+                expected: nnz,
+                actual: self.values.len(),
+                what: "values",
+            });
+        }
+        if let Some(&bad) = self.indices.iter().find(|&&j| j >= self.ncols) {
+            return Err(FormatError::IndexOutOfBounds {
+                index: bad,
+                bound: self.ncols,
+                axis: "column",
+            });
+        }
+        if self.rows_sorted {
+            for i in 0..self.nrows {
+                let (cols, _) = self.row(i);
+                if !util::is_strictly_increasing(cols) {
+                    return Err(FormatError::BadPointers {
+                        expected_len: self.nrows + 1,
+                        detail: "rows_sorted flag set but a row is unsorted",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// nnz-balanced row ranges for `ctx`'s thread budget.
+    fn row_chunks(&self, ctx: &Context) -> Vec<Range<usize>> {
+        if self.nrows == 0 {
+            return Vec::new();
+        }
+        let by_grain = self.nnz().max(self.nrows).div_ceil(ctx.chunk_size()).max(1);
+        let k = ctx.effective_threads().min(by_grain);
+        partition::prefix_balanced_ranges(&self.indptr, k)
+    }
+}
+
+impl<T: Send> Csr<T> {
+    /// Sorts every row's column indices ascending, in parallel. Duplicates
+    /// (if any) become adjacent; they are *not* combined here. Returns
+    /// `true` when at least one duplicate column index was found (in which
+    /// case the matrix is left non-decreasing but not strictly sorted, and
+    /// [`Csr::dedup_sorted_rows`] should be called).
+    pub fn sort_rows(&mut self, ctx: &Context) -> bool {
+        if self.rows_sorted {
+            return false;
+        }
+        let found_dup = std::sync::atomic::AtomicBool::new(false);
+        let indptr = &self.indptr;
+        // Split the flat arrays into disjoint per-chunk slices so tasks can
+        // mutate them without locking.
+        let ranges = {
+            let by_grain = self.nnz().max(1).div_ceil(ctx.chunk_size()).max(1);
+            let k = ctx.effective_threads().min(by_grain);
+            partition::prefix_balanced_ranges(indptr, k)
+        };
+        let mut idx_rest: &mut [usize] = &mut self.indices;
+        let mut val_rest: &mut [T] = &mut self.values;
+        let mut offset = 0usize;
+        let mut jobs: Vec<(Range<usize>, &mut [usize], &mut [T])> = Vec::new();
+        for r in ranges {
+            let start = indptr[r.start];
+            let end = indptr[r.end];
+            let (idx_a, idx_b) = idx_rest.split_at_mut(end - offset);
+            let (val_a, val_b) = val_rest.split_at_mut(end - offset);
+            idx_rest = idx_b;
+            val_rest = val_b;
+            jobs.push((r, idx_a, val_a));
+            offset = end;
+            let _ = start;
+        }
+        graphblas_exec::global_pool().scope(|scope| {
+            for (rows, idx, vals) in jobs {
+                let indptr = &self.indptr;
+                let found_dup = &found_dup;
+                scope.spawn(move || {
+                    let mut local_dup = false;
+                    let base = indptr[rows.start];
+                    for i in rows {
+                        let lo = indptr[i] - base;
+                        let hi = indptr[i + 1] - base;
+                        util::sort_segment(&mut idx[lo..hi], &mut vals[lo..hi]);
+                        local_dup |= idx[lo..hi].windows(2).any(|w| w[0] == w[1]);
+                    }
+                    if local_dup {
+                        found_dup.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let dups = found_dup.load(std::sync::atomic::Ordering::Relaxed);
+        // `rows_sorted` means *strictly* increasing; duplicates invalidate it
+        // until `dedup_sorted_rows` resolves them.
+        self.rows_sorted = !dups;
+        dups
+    }
+}
+
+impl<T: Clone + Send + Sync> Csr<T> {
+    /// Combines adjacent duplicate column entries in sorted rows with `dup`,
+    /// or reports the first duplicate when `dup` is `None` (GraphBLAS 2.0
+    /// §IX: a null dup makes duplicates an execution error).
+    ///
+    /// Precondition: rows sorted non-decreasingly (call [`Csr::sort_rows`]
+    /// first); strictly-sorted matrices return immediately.
+    pub fn dedup_sorted_rows(
+        &mut self,
+        dup: Option<&(dyn Fn(&T, &T) -> T + Sync)>,
+    ) -> Result<(), FormatError> {
+        if self.rows_sorted {
+            return Ok(());
+        }
+        let mut out_indptr = Vec::with_capacity(self.nrows + 1);
+        out_indptr.push(0usize);
+        let mut out_indices: Vec<usize> = Vec::with_capacity(self.indices.len());
+        let mut out_values: Vec<T> = Vec::with_capacity(self.values.len());
+        for i in 0..self.nrows {
+            let (cols, vals) = {
+                let r = self.indptr[i]..self.indptr[i + 1];
+                (&self.indices[r.clone()], &self.values[r])
+            };
+            debug_assert!(util::is_non_decreasing(cols), "dedup requires sorted rows");
+            let mut k = 0usize;
+            while k < cols.len() {
+                let j = cols[k];
+                let mut acc = vals[k].clone();
+                let mut k2 = k + 1;
+                while k2 < cols.len() && cols[k2] == j {
+                    match dup {
+                        Some(op) => acc = op(&acc, &vals[k2]),
+                        None => return Err(FormatError::Duplicate { row: i, col: j }),
+                    }
+                    k2 += 1;
+                }
+                out_indices.push(j);
+                out_values.push(acc);
+                k = k2;
+            }
+            out_indptr.push(out_indices.len());
+        }
+        self.indptr = out_indptr;
+        self.indices = out_indices;
+        self.values = out_values;
+        self.rows_sorted = true;
+        Ok(())
+    }
+
+    /// Structure-preserving value map (the `apply` kernel).
+    pub fn map<Z, F>(&self, ctx: &Context, f: F) -> Csr<Z>
+    where
+        Z: Clone + Send + Sync,
+        F: Fn(&T) -> Z + Sync,
+    {
+        self.map_with_index(ctx, |_, _, v| f(v))
+    }
+
+    /// Value map with access to the element's `(row, col)` — the kernel
+    /// behind index-unary `apply` (paper §VIII.B).
+    pub fn map_with_index<Z, F>(&self, ctx: &Context, f: F) -> Csr<Z>
+    where
+        Z: Clone + Send + Sync,
+        F: Fn(usize, usize, &T) -> Z + Sync,
+    {
+        let mut out: Vec<Option<Z>> = vec![None; self.nnz()];
+        // Parallel fill: each task owns a disjoint slice of `out`.
+        let ranges = self.row_chunks(ctx);
+        let mut rest: &mut [Option<Z>] = &mut out;
+        let mut jobs = Vec::new();
+        let mut offset = 0usize;
+        for r in ranges {
+            let end = self.indptr[r.end];
+            let (a, b) = rest.split_at_mut(end - offset);
+            rest = b;
+            jobs.push((r, a));
+            offset = end;
+        }
+        graphblas_exec::global_pool().scope(|scope| {
+            for (rows, slots) in jobs {
+                let f = &f;
+                let this = &*self;
+                scope.spawn(move || {
+                    let base = this.indptr[rows.start];
+                    for i in rows {
+                        let (cols, vals) = this.row(i);
+                        let lo = this.indptr[i] - base;
+                        for (k, (&j, v)) in cols.iter().zip(vals).enumerate() {
+                            slots[lo + k] = Some(f(i, j, v));
+                        }
+                    }
+                });
+            }
+        });
+        let values: Vec<Z> = out
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect();
+        Csr::from_kernel_parts(
+            self.nrows,
+            self.ncols,
+            self.indptr.clone(),
+            self.indices.clone(),
+            values,
+            self.rows_sorted,
+        )
+    }
+
+    /// Combined select + apply: keeps elements where `f` returns `Some`,
+    /// storing the mapped value. This is the fused kernel behind the
+    /// nonblocking pipeline (paper §III's "fuse operations" latitude).
+    pub fn filter_map_with_index<Z, F>(&self, ctx: &Context, f: F) -> Csr<Z>
+    where
+        Z: Clone + Send + Sync,
+        F: Fn(usize, usize, &T) -> Option<Z> + Sync,
+    {
+        let ranges = self.row_chunks(ctx);
+        let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
+            let mut lens = Vec::with_capacity(rows.len());
+            let mut idx = Vec::new();
+            let mut vals = Vec::new();
+            for i in rows.clone() {
+                let before = idx.len();
+                let (cols, vs) = self.row(i);
+                for (&j, v) in cols.iter().zip(vs) {
+                    if let Some(z) = f(i, j, v) {
+                        idx.push(j);
+                        vals.push(z);
+                    }
+                }
+                lens.push(idx.len() - before);
+            }
+            (rows, (lens, idx, vals))
+        });
+        let (indptr, indices, values) = util::stitch_row_chunks(self.nrows, chunks);
+        Csr::from_kernel_parts(
+            self.nrows,
+            self.ncols,
+            indptr,
+            indices,
+            values,
+            self.rows_sorted,
+        )
+    }
+
+    /// Per-row reduction: returns one `Option<Z>` per row (`None` for empty
+    /// rows) — the kernel behind `reduce` to a vector.
+    pub fn reduce_rows<Z, M, A>(&self, ctx: &Context, map: M, add: A) -> Vec<Option<Z>>
+    where
+        Z: Clone + Send + Sync,
+        M: Fn(&T) -> Z + Sync,
+        A: Fn(Z, Z) -> Z + Sync,
+    {
+        let mut out: Vec<Option<Z>> = vec![None; self.nrows];
+        let mut rest: &mut [Option<Z>] = &mut out;
+        let ranges = self.row_chunks(ctx);
+        let mut jobs = Vec::new();
+        let mut offset = 0usize;
+        for r in ranges {
+            let (a, b) = rest.split_at_mut(r.end - offset);
+            rest = b;
+            jobs.push((r.clone(), a));
+            offset = r.end;
+        }
+        graphblas_exec::global_pool().scope(|scope| {
+            for (rows, slots) in jobs {
+                let map = &map;
+                let add = &add;
+                let this = &*self;
+                scope.spawn(move || {
+                    for i in rows.clone() {
+                        let (_, vals) = this.row(i);
+                        let mut acc: Option<Z> = None;
+                        for v in vals {
+                            let z = map(v);
+                            acc = Some(match acc {
+                                None => z,
+                                Some(a) => add(a, z),
+                            });
+                        }
+                        slots[i - rows.start] = acc;
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Whole-matrix reduction; `None` when the matrix stores nothing.
+    /// `is_terminal` enables early exit once the accumulator reaches the
+    /// monoid's annihilator (e.g. `true` for LOR, `0` for TIMES on floats).
+    pub fn reduce_all<Z, M, A>(
+        &self,
+        ctx: &Context,
+        map: M,
+        add: A,
+        is_terminal: Option<&(dyn Fn(&Z) -> bool + Sync)>,
+    ) -> Option<Z>
+    where
+        Z: Clone + Send + Sync,
+        M: Fn(&T) -> Z + Sync,
+        A: Fn(Z, Z) -> Z + Sync,
+    {
+        let ranges = self.row_chunks(ctx);
+        let partials = parallel_map_ranges(ranges, |rows: Range<usize>| {
+            let lo = self.indptr[rows.start];
+            let hi = self.indptr[rows.end];
+            let mut acc: Option<Z> = None;
+            for v in &self.values[lo..hi] {
+                let z = map(v);
+                acc = Some(match acc {
+                    None => z,
+                    Some(a) => add(a, z),
+                });
+                if let (Some(t), Some(a)) = (is_terminal, acc.as_ref()) {
+                    if t(a) {
+                        break;
+                    }
+                }
+            }
+            acc
+        });
+        partials.into_iter().flatten().reduce(add)
+    }
+
+    /// Extracts `(rows, cols, values)` tuples in storage order — the
+    /// `extractTuples` kernel.
+    pub fn tuples(&self) -> (Vec<usize>, Vec<usize>, Vec<T>) {
+        let mut rows = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            rows.extend(std::iter::repeat_n(i, self.row_nnz(i)));
+        }
+        (rows, self.indices.clone(), self.values.clone())
+    }
+
+    /// Sorted `(row, col, value)` tuples — canonical form for comparisons.
+    pub fn to_sorted_tuples(&self) -> Vec<(usize, usize, T)> {
+        let mut t: Vec<(usize, usize, T)> = self
+            .iter()
+            .map(|(i, j, v)| (i, j, v.clone()))
+            .collect();
+        t.sort_by_key(|&(i, j, _)| (i, j));
+        t
+    }
+
+    /// Submatrix extraction `A(I, J)` with arbitrary (possibly repeating)
+    /// row and column selectors — the `extract` kernel.
+    pub fn extract_submatrix(
+        &self,
+        ctx: &Context,
+        sel_rows: &[usize],
+        sel_cols: &[usize],
+    ) -> Result<Csr<T>, FormatError> {
+        for &i in sel_rows {
+            if i >= self.nrows {
+                return Err(FormatError::IndexOutOfBounds {
+                    index: i,
+                    bound: self.nrows,
+                    axis: "row",
+                });
+            }
+        }
+        for &j in sel_cols {
+            if j >= self.ncols {
+                return Err(FormatError::IndexOutOfBounds {
+                    index: j,
+                    bound: self.ncols,
+                    axis: "column",
+                });
+            }
+        }
+        // Map each source column to the (possibly several) output columns
+        // that select it.
+        let mut col_map: Vec<Vec<usize>> = vec![Vec::new(); self.ncols];
+        for (out_j, &j) in sel_cols.iter().enumerate() {
+            col_map[j].push(out_j);
+        }
+        let out_rows = sel_rows.len();
+        let ranges = partition::balanced_ranges(
+            out_rows,
+            ctx.effective_threads().min(out_rows.max(1)),
+        );
+        let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
+            let mut lens = Vec::with_capacity(rows.len());
+            let mut idx = Vec::new();
+            let mut vals: Vec<T> = Vec::new();
+            for out_i in rows.clone() {
+                let before = idx.len();
+                let (cols, vs) = self.row(sel_rows[out_i]);
+                for (&j, v) in cols.iter().zip(vs) {
+                    for &out_j in &col_map[j] {
+                        idx.push(out_j);
+                        vals.push(v.clone());
+                    }
+                }
+                let len = idx.len() - before;
+                util::sort_segment(&mut idx[before..], &mut vals[before..]);
+                lens.push(len);
+            }
+            (rows, (lens, idx, vals))
+        });
+        let (indptr, indices, values) = util::stitch_row_chunks(out_rows, chunks);
+        Ok(Csr::from_kernel_parts(
+            out_rows,
+            sel_cols.len(),
+            indptr,
+            indices,
+            values,
+            true,
+        ))
+    }
+}
+
+impl<T> Csr<T> {
+    /// Row degrees as a plain vector (used by generators and algorithms).
+    pub fn row_degrees(&self) -> Vec<usize> {
+        self.indptr.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::global_context;
+
+    fn small() -> Csr<i64> {
+        // [[1, _, 2],
+        //  [_, _, _],
+        //  [3, 4, _]]
+        Csr::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1, 2, 3, 4]).unwrap()
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(Csr::<i64>::from_parts(2, 2, vec![0, 1], vec![0], vec![1]).is_err());
+        assert!(Csr::<i64>::from_parts(2, 2, vec![1, 1, 1], vec![0], vec![1]).is_err());
+        assert!(Csr::<i64>::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1, 2]).is_err());
+        assert!(Csr::<i64>::from_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1, 2]).is_err());
+        assert!(Csr::<i64>::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1]).is_err());
+        assert!(small().check().is_ok());
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let a = small();
+        assert_eq!(a.get(0, 0), Some(&1));
+        assert_eq!(a.get(0, 1), None);
+        assert_eq!(a.get(2, 1), Some(&4));
+        assert_eq!(a.get(9, 9), None);
+        let tuples: Vec<_> = a.iter().map(|(i, j, v)| (i, j, *v)).collect();
+        assert_eq!(tuples, vec![(0, 0, 1), (0, 2, 2), (2, 0, 3), (2, 1, 4)]);
+        assert_eq!(a.nnz(), 4);
+    }
+
+    #[test]
+    fn unsorted_detected_and_sortable() {
+        let mut a =
+            Csr::from_parts(2, 4, vec![0, 3, 4], vec![2, 0, 1, 3], vec![20, 0, 10, 30]).unwrap();
+        assert!(!a.is_rows_sorted());
+        assert_eq!(a.get(0, 1), Some(&10));
+        a.sort_rows(&global_context());
+        assert!(a.is_rows_sorted());
+        assert_eq!(a.row(0).0, &[0, 1, 2]);
+        assert_eq!(a.row(0).1, &[0, 10, 20]);
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn dedup_combines_or_errors() {
+        let mk = || {
+            let mut m =
+                Csr::from_parts(1, 3, vec![0, 3], vec![2, 1, 1], vec![9, 5, 7]).unwrap();
+            let dups = m.sort_rows(&global_context());
+            assert!(dups);
+            assert!(!m.is_rows_sorted());
+            m
+        };
+        let mut a = mk();
+        a.dedup_sorted_rows(Some(&|x: &i32, y: &i32| x + y)).unwrap();
+        assert_eq!(a.get(0, 1), Some(&12));
+        assert_eq!(a.nnz(), 2);
+        let mut b = mk();
+        let err = b.dedup_sorted_rows(None).unwrap_err();
+        assert!(matches!(err, FormatError::Duplicate { row: 0, col: 1 }));
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let a = small();
+        let b = a.map(&global_context(), |v| v * 10);
+        assert_eq!(b.to_sorted_tuples(), vec![(0, 0, 10), (0, 2, 20), (2, 0, 30), (2, 1, 40)]);
+    }
+
+    #[test]
+    fn map_with_index_sees_coordinates() {
+        let a = small();
+        let b = a.map_with_index(&global_context(), |i, j, _| (i * 10 + j) as i64);
+        assert_eq!(b.get(2, 1), Some(&21));
+        assert_eq!(b.get(0, 2), Some(&2));
+    }
+
+    #[test]
+    fn filter_map_drops_and_maps() {
+        let a = small();
+        // Keep strictly-upper-triangular entries, negated (a tiny Fig. 3).
+        let b = a.filter_map_with_index(&global_context(), |i, j, v| {
+            (j > i).then(|| -*v)
+        });
+        assert_eq!(b.to_sorted_tuples(), vec![(0, 2, -2)]);
+        b.check().unwrap();
+    }
+
+    #[test]
+    fn reduce_rows_and_all() {
+        let a = small();
+        let ctx = global_context();
+        let sums = a.reduce_rows(&ctx, |v| *v, |x, y| x + y);
+        assert_eq!(sums, vec![Some(3), None, Some(7)]);
+        assert_eq!(a.reduce_all(&ctx, |v| *v, |x, y| x + y, None), Some(10));
+        let empty = Csr::<i64>::empty(4, 4);
+        assert_eq!(empty.reduce_all(&ctx, |v| *v, |x, y| x + y, None), None);
+    }
+
+    #[test]
+    fn reduce_all_terminal_short_circuits() {
+        let ctx = global_context();
+        let n = 10_000usize;
+        let a = Csr::from_parts(
+            1,
+            n,
+            vec![0, n],
+            (0..n).collect(),
+            vec![false; n],
+        )
+        .unwrap();
+        // LOR over all-false is false; with a true in front, terminal fires.
+        let mut vals = vec![false; n];
+        vals[1] = true;
+        let b = Csr::from_parts(1, n, vec![0, n], (0..n).collect(), vals).unwrap();
+        let lor = |x: bool, y: bool| x || y;
+        assert_eq!(
+            a.reduce_all(&ctx, |v| *v, lor, Some(&|z: &bool| *z)),
+            Some(false)
+        );
+        assert_eq!(
+            b.reduce_all(&ctx, |v| *v, lor, Some(&|z: &bool| *z)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let a = small();
+        let (r, c, v) = a.tuples();
+        assert_eq!(r, vec![0, 0, 2, 2]);
+        assert_eq!(c, vec![0, 2, 0, 1]);
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn extract_submatrix_basic() {
+        let a = small();
+        let b = a
+            .extract_submatrix(&global_context(), &[2, 0], &[0, 1])
+            .unwrap();
+        assert_eq!(b.nrows(), 2);
+        assert_eq!(b.ncols(), 2);
+        assert_eq!(b.to_sorted_tuples(), vec![(0, 0, 3), (0, 1, 4), (1, 0, 1)]);
+    }
+
+    #[test]
+    fn extract_submatrix_repeats_and_bounds() {
+        let a = small();
+        let b = a
+            .extract_submatrix(&global_context(), &[0, 0], &[2, 2])
+            .unwrap();
+        assert_eq!(b.to_sorted_tuples(), vec![(0, 0, 2), (0, 1, 2), (1, 0, 2), (1, 1, 2)]);
+        assert!(a.extract_submatrix(&global_context(), &[5], &[0]).is_err());
+        assert!(a.extract_submatrix(&global_context(), &[0], &[5]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_operations() {
+        let ctx = global_context();
+        let a = Csr::<f64>::empty(0, 0);
+        assert_eq!(a.nnz(), 0);
+        a.check().unwrap();
+        let b = a.map(&ctx, |v| v + 1.0);
+        assert_eq!(b.nnz(), 0);
+        let c = Csr::<f64>::empty(5, 7);
+        assert_eq!(c.filter_map_with_index(&ctx, |_, _, v| Some(*v)).nnz(), 0);
+    }
+
+    #[test]
+    fn large_parallel_map_matches_sequential() {
+        use rand::prelude::*;
+        let ctx = global_context();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let nrows = 500;
+        let ncols = 300;
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..nrows {
+            let deg = rng.gen_range(0..20);
+            let mut cols: Vec<usize> = (0..deg).map(|_| rng.gen_range(0..ncols)).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            for &c in &cols {
+                indices.push(c);
+                values.push(rng.gen_range(-100i64..100));
+            }
+            indptr.push(indices.len());
+        }
+        let a = Csr::from_parts(nrows, ncols, indptr, indices, values).unwrap();
+        let b = a.map_with_index(&ctx, |i, j, v| v * 2 + (i + j) as i64);
+        for (i, j, v) in a.iter() {
+            assert_eq!(b.get(i, j), Some(&(v * 2 + (i + j) as i64)));
+        }
+        assert_eq!(a.nnz(), b.nnz());
+    }
+}

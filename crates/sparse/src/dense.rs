@@ -1,0 +1,243 @@
+//! Dense matrix storage (`GrB_DENSE_ROW_MATRIX` / `GrB_DENSE_COL_MATRIX`,
+//! Table III): every element present, `indptr`/`indices` unused.
+
+use graphblas_exec::{parallel_map_ranges, partition, Context};
+
+use crate::csr::Csr;
+use crate::error::FormatError;
+
+/// Element ordering of a dense matrix buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Element `(i, j)` lives at `i * ncols + j`.
+    RowMajor,
+    /// Element `(i, j)` lives at `i + j * nrows`.
+    ColMajor,
+}
+
+/// A fully-populated matrix.
+#[derive(Debug, Clone)]
+pub struct Dense<T> {
+    nrows: usize,
+    ncols: usize,
+    layout: Layout,
+    values: Vec<T>,
+}
+
+impl<T> Dense<T> {
+    /// Builds from a value buffer of exactly `nrows * ncols` elements.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        layout: Layout,
+        values: Vec<T>,
+    ) -> Result<Self, FormatError> {
+        let expected = nrows.checked_mul(ncols).ok_or(FormatError::Overflow)?;
+        if values.len() != expected {
+            return Err(FormatError::LengthMismatch {
+                expected,
+                actual: values.len(),
+                what: "dense values",
+            });
+        }
+        Ok(Dense {
+            nrows,
+            ncols,
+            layout,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The buffer layout (row- or column-major).
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The raw value buffer in layout order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Consumes into the raw value buffer.
+    pub fn into_values(self) -> Vec<T> {
+        self.values
+    }
+
+    fn offset(&self, i: usize, j: usize) -> usize {
+        match self.layout {
+            Layout::RowMajor => i * self.ncols + j,
+            Layout::ColMajor => i + j * self.nrows,
+        }
+    }
+
+    /// Looks up element `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        if i >= self.nrows || j >= self.ncols {
+            return None;
+        }
+        Some(&self.values[self.offset(i, j)])
+    }
+}
+
+impl<T: Clone + Send + Sync> Dense<T> {
+    /// Converts to CSR; every dense element becomes a stored element
+    /// (GraphBLAS has no implicit zero to elide).
+    pub fn to_csr(&self, ctx: &Context) -> Csr<T> {
+        let (m, n) = (self.nrows, self.ncols);
+        if m == 0 || n == 0 {
+            return Csr::empty(m, n);
+        }
+        let k = ctx
+            .effective_threads()
+            .min((m * n).div_ceil(ctx.chunk_size()).max(1))
+            .min(m);
+        let ranges = partition::balanced_ranges(m, k.max(1));
+        let chunks = parallel_map_ranges(ranges, |rows: std::ops::Range<usize>| {
+            let mut idx = Vec::with_capacity(rows.len() * n);
+            let mut vals = Vec::with_capacity(rows.len() * n);
+            let lens = vec![n; rows.len()];
+            for i in rows.clone() {
+                for j in 0..n {
+                    idx.push(j);
+                    vals.push(self.values[self.offset(i, j)].clone());
+                }
+            }
+            (rows, (lens, idx, vals))
+        });
+        let (indptr, indices, values) = crate::util::stitch_row_chunks(m, chunks);
+        Csr::from_kernel_parts(m, n, indptr, indices, values, true)
+    }
+
+    /// Converts a *fully populated* CSR into dense storage; errors when any
+    /// element is missing (exporting a partial matrix to a dense format is
+    /// ill-defined because GraphBLAS types have no implicit zero).
+    pub fn from_csr_full(ctx: &Context, a: &Csr<T>, layout: Layout) -> Result<Self, FormatError> {
+        let expected = a
+            .nrows()
+            .checked_mul(a.ncols())
+            .ok_or(FormatError::Overflow)?;
+        if a.nnz() != expected {
+            return Err(FormatError::LengthMismatch {
+                expected,
+                actual: a.nnz(),
+                what: "dense export requires every element present; stored-element count",
+            });
+        }
+        let (m, n) = (a.nrows(), a.ncols());
+        if expected == 0 {
+            return Dense::from_parts(m, n, layout, Vec::new());
+        }
+        let mut out: Vec<Option<T>> = vec![None; expected];
+        // Fill row-parallel; each task owns whole rows, and for both layouts
+        // rows touch disjoint positions, so hand out per-row-chunk slices
+        // only in row-major; col-major falls back to a sequential fill.
+        match layout {
+            Layout::RowMajor => {
+                let ranges = partition::prefix_balanced_ranges(
+                    a.indptr(),
+                    ctx.effective_threads().min(m),
+                );
+                let mut rest: &mut [Option<T>] = &mut out;
+                let mut jobs = Vec::new();
+                let mut offset = 0usize;
+                for r in ranges {
+                    let end = r.end * n;
+                    let (s, rem) = rest.split_at_mut(end - offset);
+                    rest = rem;
+                    jobs.push((r, s));
+                    offset = end;
+                }
+                graphblas_exec::global_pool().scope(|scope| {
+                    for (rows, slots) in jobs {
+                        scope.spawn(move || {
+                            let base = rows.start * n;
+                            for i in rows {
+                                let (cols, vals) = a.row(i);
+                                for (&j, v) in cols.iter().zip(vals) {
+                                    slots[i * n + j - base] = Some(v.clone());
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+            Layout::ColMajor => {
+                for (i, j, v) in a.iter() {
+                    out[i + j * m] = Some(v.clone());
+                }
+            }
+        }
+        let values: Vec<T> = out
+            .into_iter()
+            .map(|v| {
+                v.expect("full matrix: from_csr_full verified nnz == nrows * ncols and no duplicates exist in a valid CSR")
+            })
+            .collect();
+        Dense::from_parts(m, n, layout, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::global_context;
+
+    #[test]
+    fn row_and_col_major_agree() {
+        let rm = Dense::from_parts(2, 3, Layout::RowMajor, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let cm = Dense::from_parts(2, 3, Layout::ColMajor, vec![1, 4, 2, 5, 3, 6]).unwrap();
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(rm.get(i, j), cm.get(i, j));
+            }
+        }
+        assert_eq!(rm.get(1, 2), Some(&6));
+        assert_eq!(rm.get(2, 0), None);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(Dense::from_parts(2, 3, Layout::RowMajor, vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn dense_to_csr_and_back() {
+        let ctx = global_context();
+        let d = Dense::from_parts(3, 2, Layout::RowMajor, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let csr = d.to_csr(&ctx);
+        assert_eq!(csr.nnz(), 6);
+        assert_eq!(csr.get(2, 1), Some(&6));
+        let back = Dense::from_csr_full(&ctx, &csr, Layout::ColMajor).unwrap();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(back.get(i, j), d.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_matrix_cannot_export_dense() {
+        let ctx = global_context();
+        let a = Csr::from_parts(2, 2, vec![0, 1, 1], vec![0], vec![9]).unwrap();
+        assert!(Dense::from_csr_full(&ctx, &a, Layout::RowMajor).is_err());
+    }
+
+    #[test]
+    fn zero_sized_dense() {
+        let ctx = global_context();
+        let d = Dense::<u8>::from_parts(0, 5, Layout::RowMajor, vec![]).unwrap();
+        let csr = d.to_csr(&ctx);
+        assert_eq!(csr.nrows(), 0);
+        assert_eq!(csr.ncols(), 5);
+    }
+}

@@ -1,0 +1,447 @@
+//! Element-wise merge kernels: union (eWiseAdd), intersection (eWiseMult),
+//! and mask restriction.
+//!
+//! These are sorted-merge walks over row segments; matrix variants are
+//! row-parallel with nnz-balanced chunks. The mask-restriction kernel is
+//! the engine behind GraphBLAS write semantics (mask / complement /
+//! replace, paper Fig. 3's angle-bracket notation) and the new `select`
+//! operation's "functional input mask".
+//!
+//! All matrix kernels require both inputs to have sorted rows; callers
+//! (graphblas-core) sort lazily beforehand.
+
+use std::ops::Range;
+
+use graphblas_exec::{parallel_map_ranges, partition, Context};
+
+use crate::csr::Csr;
+use crate::svec::SparseVec;
+use crate::util;
+
+fn combined_chunks<A, B>(ctx: &Context, a: &Csr<A>, b: &Csr<B>) -> Vec<Range<usize>> {
+    debug_assert_eq!(a.nrows(), b.nrows());
+    let nrows = a.nrows();
+    if nrows == 0 {
+        return Vec::new();
+    }
+    let combined: Vec<usize> = (0..=nrows)
+        .map(|i| a.indptr()[i] + b.indptr()[i])
+        .collect();
+    let total = combined[nrows];
+    let k = ctx
+        .effective_threads()
+        .min(total.max(1).div_ceil(ctx.chunk_size()).max(1))
+        .min(nrows)
+        .max(1);
+    partition::prefix_balanced_ranges(&combined, k)
+}
+
+/// Union merge with distinct handlers for "both present", "only left",
+/// "only right" — the fully general eWiseAdd kernel (also used for
+/// accumulator application in write semantics).
+pub fn ewise_union_general<A, B, Z, FB, FL, FR>(
+    ctx: &Context,
+    a: &Csr<A>,
+    b: &Csr<B>,
+    both: FB,
+    left: FL,
+    right: FR,
+) -> Csr<Z>
+where
+    A: Clone + Send + Sync,
+    B: Clone + Send + Sync,
+    Z: Clone + Send + Sync,
+    FB: Fn(&A, &B) -> Z + Sync,
+    FL: Fn(&A) -> Z + Sync,
+    FR: Fn(&B) -> Z + Sync,
+{
+    assert_eq!(a.nrows(), b.nrows(), "ewise: row count mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "ewise: column count mismatch");
+    assert!(a.is_rows_sorted() && b.is_rows_sorted(), "ewise requires sorted rows");
+    let ranges = combined_chunks(ctx, a, b);
+    let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
+        let mut lens = Vec::with_capacity(rows.len());
+        let mut idx = Vec::new();
+        let mut vals: Vec<Z> = Vec::new();
+        for i in rows.clone() {
+            let before = idx.len();
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() && q < bc.len() {
+                match ac[p].cmp(&bc[q]) {
+                    std::cmp::Ordering::Less => {
+                        idx.push(ac[p]);
+                        vals.push(left(&av[p]));
+                        p += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        idx.push(bc[q]);
+                        vals.push(right(&bv[q]));
+                        q += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        idx.push(ac[p]);
+                        vals.push(both(&av[p], &bv[q]));
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            for k in p..ac.len() {
+                idx.push(ac[k]);
+                vals.push(left(&av[k]));
+            }
+            for k in q..bc.len() {
+                idx.push(bc[k]);
+                vals.push(right(&bv[k]));
+            }
+            lens.push(idx.len() - before);
+        }
+        (rows, (lens, idx, vals))
+    });
+    let (indptr, indices, values) = util::stitch_row_chunks(a.nrows(), chunks);
+    Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true)
+}
+
+/// Same-domain union (`eWiseAdd` with an operator on `T`): pass-through
+/// where only one operand is present.
+pub fn ewise_union<T, F>(ctx: &Context, a: &Csr<T>, b: &Csr<T>, op: F) -> Csr<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    ewise_union_general(ctx, a, b, op, |x: &T| x.clone(), |y: &T| y.clone())
+}
+
+/// Intersection merge (`eWiseMult`): output only where both are present.
+pub fn ewise_intersect<A, B, Z, F>(ctx: &Context, a: &Csr<A>, b: &Csr<B>, op: F) -> Csr<Z>
+where
+    A: Clone + Send + Sync,
+    B: Clone + Send + Sync,
+    Z: Clone + Send + Sync,
+    F: Fn(&A, &B) -> Z + Sync,
+{
+    assert_eq!(a.nrows(), b.nrows(), "ewise: row count mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "ewise: column count mismatch");
+    assert!(a.is_rows_sorted() && b.is_rows_sorted(), "ewise requires sorted rows");
+    let ranges = combined_chunks(ctx, a, b);
+    let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
+        let mut lens = Vec::with_capacity(rows.len());
+        let mut idx = Vec::new();
+        let mut vals: Vec<Z> = Vec::new();
+        for i in rows.clone() {
+            let before = idx.len();
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() && q < bc.len() {
+                match ac[p].cmp(&bc[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        idx.push(ac[p]);
+                        vals.push(op(&av[p], &bv[q]));
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            lens.push(idx.len() - before);
+        }
+        (rows, (lens, idx, vals))
+    });
+    let (indptr, indices, values) = util::stitch_row_chunks(a.nrows(), chunks);
+    Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true)
+}
+
+/// Keeps entries of `a` at positions where the mask predicate holds
+/// (`complement = false`) or where it does not hold / the mask is absent
+/// (`complement = true`). `pred` evaluates a present mask element's
+/// truthiness (always `true` for structure-only masks).
+pub fn ewise_restrict<A, M, P>(
+    ctx: &Context,
+    a: &Csr<A>,
+    m: &Csr<M>,
+    complement: bool,
+    pred: P,
+) -> Csr<A>
+where
+    A: Clone + Send + Sync,
+    M: Clone + Send + Sync,
+    P: Fn(&M) -> bool + Sync,
+{
+    assert_eq!(a.nrows(), m.nrows(), "mask: row count mismatch");
+    assert_eq!(a.ncols(), m.ncols(), "mask: column count mismatch");
+    assert!(a.is_rows_sorted() && m.is_rows_sorted(), "mask requires sorted rows");
+    let ranges = combined_chunks(ctx, a, m);
+    let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
+        let mut lens = Vec::with_capacity(rows.len());
+        let mut idx = Vec::new();
+        let mut vals: Vec<A> = Vec::new();
+        for i in rows.clone() {
+            let before = idx.len();
+            let (ac, av) = a.row(i);
+            let (mc, mv) = m.row(i);
+            let mut q = 0usize;
+            for (p, &j) in ac.iter().enumerate() {
+                while q < mc.len() && mc[q] < j {
+                    q += 1;
+                }
+                let masked_in = q < mc.len() && mc[q] == j && pred(&mv[q]);
+                if masked_in != complement {
+                    idx.push(j);
+                    vals.push(av[p].clone());
+                }
+            }
+            lens.push(idx.len() - before);
+        }
+        (rows, (lens, idx, vals))
+    });
+    let (indptr, indices, values) = util::stitch_row_chunks(a.nrows(), chunks);
+    Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true)
+}
+
+// ---------------------------------------------------------------------------
+// Vector variants (sequential merge walks).
+// ---------------------------------------------------------------------------
+
+/// Vector union with distinct handlers (see [`ewise_union_general`]).
+pub fn svec_union_general<A, B, Z, FB, FL, FR>(
+    a: &SparseVec<A>,
+    b: &SparseVec<B>,
+    both: FB,
+    left: FL,
+    right: FR,
+) -> SparseVec<Z>
+where
+    A: Clone,
+    B: Clone,
+    Z: Clone,
+    FB: Fn(&A, &B) -> Z,
+    FL: Fn(&A) -> Z,
+    FR: Fn(&B) -> Z,
+{
+    assert_eq!(a.len(), b.len(), "vector ewise: length mismatch");
+    assert!(a.is_sorted() && b.is_sorted(), "vector ewise requires sorted input");
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let mut idx = Vec::with_capacity(ai.len() + bi.len());
+    let mut vals = Vec::with_capacity(ai.len() + bi.len());
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < ai.len() && q < bi.len() {
+        match ai[p].cmp(&bi[q]) {
+            std::cmp::Ordering::Less => {
+                idx.push(ai[p]);
+                vals.push(left(&av[p]));
+                p += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                idx.push(bi[q]);
+                vals.push(right(&bv[q]));
+                q += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                idx.push(ai[p]);
+                vals.push(both(&av[p], &bv[q]));
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    for k in p..ai.len() {
+        idx.push(ai[k]);
+        vals.push(left(&av[k]));
+    }
+    for k in q..bi.len() {
+        idx.push(bi[k]);
+        vals.push(right(&bv[k]));
+    }
+    SparseVec::from_kernel_parts(a.len(), idx, vals, true)
+}
+
+/// Same-domain vector union.
+pub fn svec_union<T, F>(a: &SparseVec<T>, b: &SparseVec<T>, op: F) -> SparseVec<T>
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    svec_union_general(a, b, op, |x: &T| x.clone(), |y: &T| y.clone())
+}
+
+/// Vector intersection.
+pub fn svec_intersect<A, B, Z, F>(a: &SparseVec<A>, b: &SparseVec<B>, op: F) -> SparseVec<Z>
+where
+    A: Clone,
+    B: Clone,
+    Z: Clone,
+    F: Fn(&A, &B) -> Z,
+{
+    assert_eq!(a.len(), b.len(), "vector ewise: length mismatch");
+    assert!(a.is_sorted() && b.is_sorted(), "vector ewise requires sorted input");
+    let (ai, av) = (a.indices(), a.values());
+    let (bi, bv) = (b.indices(), b.values());
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < ai.len() && q < bi.len() {
+        match ai[p].cmp(&bi[q]) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                idx.push(ai[p]);
+                vals.push(op(&av[p], &bv[q]));
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    SparseVec::from_kernel_parts(a.len(), idx, vals, true)
+}
+
+/// Vector mask restriction (see [`ewise_restrict`]).
+pub fn svec_restrict<A, M, P>(
+    a: &SparseVec<A>,
+    m: &SparseVec<M>,
+    complement: bool,
+    pred: P,
+) -> SparseVec<A>
+where
+    A: Clone,
+    M: Clone,
+    P: Fn(&M) -> bool,
+{
+    assert_eq!(a.len(), m.len(), "vector mask: length mismatch");
+    assert!(a.is_sorted() && m.is_sorted(), "vector mask requires sorted input");
+    let (ai, av) = (a.indices(), a.values());
+    let (mi, mv) = (m.indices(), m.values());
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut q = 0usize;
+    for (p, &i) in ai.iter().enumerate() {
+        while q < mi.len() && mi[q] < i {
+            q += 1;
+        }
+        let masked_in = q < mi.len() && mi[q] == i && pred(&mv[q]);
+        if masked_in != complement {
+            idx.push(i);
+            vals.push(av[p].clone());
+        }
+    }
+    SparseVec::from_kernel_parts(a.len(), idx, vals, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::global_context;
+
+    fn m(rows: &[(usize, usize, i64)], shape: (usize, usize)) -> Csr<i64> {
+        let coo = crate::coo::Coo::from_parts(
+            shape.0,
+            shape.1,
+            rows.iter().map(|t| t.0).collect(),
+            rows.iter().map(|t| t.1).collect(),
+            rows.iter().map(|t| t.2).collect(),
+        )
+        .unwrap();
+        coo.to_csr(&global_context(), None).unwrap()
+    }
+
+    #[test]
+    fn union_is_set_union_with_op_on_overlap() {
+        let ctx = global_context();
+        let a = m(&[(0, 0, 1), (0, 2, 2), (1, 1, 3)], (2, 3));
+        let b = m(&[(0, 2, 10), (1, 0, 20)], (2, 3));
+        let c = ewise_union(&ctx, &a, &b, |x, y| x + y);
+        assert_eq!(
+            c.to_sorted_tuples(),
+            vec![(0, 0, 1), (0, 2, 12), (1, 0, 20), (1, 1, 3)]
+        );
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn union_general_type_change() {
+        let ctx = global_context();
+        let a = m(&[(0, 0, 5)], (1, 2));
+        let b = m(&[(0, 1, 7)], (1, 2));
+        let c: Csr<String> = ewise_union_general(
+            &ctx,
+            &a,
+            &b,
+            |x, y| format!("{x}+{y}"),
+            |x| format!("L{x}"),
+            |y| format!("R{y}"),
+        );
+        assert_eq!(
+            c.to_sorted_tuples(),
+            vec![(0, 0, "L5".to_string()), (0, 1, "R7".to_string())]
+        );
+    }
+
+    #[test]
+    fn intersect_is_set_intersection() {
+        let ctx = global_context();
+        let a = m(&[(0, 0, 1), (0, 2, 2), (1, 1, 3)], (2, 3));
+        let b = m(&[(0, 2, 10), (1, 0, 20), (1, 1, 4)], (2, 3));
+        let c = ewise_intersect(&ctx, &a, &b, |x, y| x * y);
+        assert_eq!(c.to_sorted_tuples(), vec![(0, 2, 20), (1, 1, 12)]);
+    }
+
+    #[test]
+    fn restrict_structure_and_complement() {
+        let ctx = global_context();
+        let a = m(&[(0, 0, 1), (0, 1, 2), (1, 1, 3)], (2, 2));
+        let mask = m(&[(0, 1, 1), (1, 0, 1)], (2, 2));
+        let kept = ewise_restrict(&ctx, &a, &mask, false, |_| true);
+        assert_eq!(kept.to_sorted_tuples(), vec![(0, 1, 2)]);
+        let comp = ewise_restrict(&ctx, &a, &mask, true, |_| true);
+        assert_eq!(comp.to_sorted_tuples(), vec![(0, 0, 1), (1, 1, 3)]);
+    }
+
+    #[test]
+    fn restrict_value_mask() {
+        let ctx = global_context();
+        let a = m(&[(0, 0, 1), (0, 1, 2)], (1, 2));
+        let mask = m(&[(0, 0, 0), (0, 1, 9)], (1, 2)); // 0 is falsy
+        let kept = ewise_restrict(&ctx, &a, &mask, false, |v| *v != 0);
+        assert_eq!(kept.to_sorted_tuples(), vec![(0, 1, 2)]);
+    }
+
+    #[test]
+    fn svec_merges() {
+        let a = SparseVec::from_parts(5, vec![0, 2, 4], vec![1, 2, 3]).unwrap();
+        let b = SparseVec::from_parts(5, vec![2, 3], vec![10, 20]).unwrap();
+        let u = svec_union(&a, &b, |x, y| x + y);
+        assert_eq!(u.to_sorted_tuples(), vec![(0, 1), (2, 12), (3, 20), (4, 3)]);
+        let i = svec_intersect(&a, &b, |x, y| x * y);
+        assert_eq!(i.to_sorted_tuples(), vec![(2, 20)]);
+        let mask = SparseVec::from_parts(5, vec![0, 3], vec![true, true]).unwrap();
+        let r = svec_restrict(&a, &mask, false, |v| *v);
+        assert_eq!(r.to_sorted_tuples(), vec![(0, 1)]);
+        let rc = svec_restrict(&a, &mask, true, |v| *v);
+        assert_eq!(rc.to_sorted_tuples(), vec![(2, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let ctx = global_context();
+        let a = Csr::<i64>::empty(3, 3);
+        let b = m(&[(1, 1, 5)], (3, 3));
+        assert_eq!(ewise_union(&ctx, &a, &b, |x, y| x + y).nnz(), 1);
+        assert_eq!(ewise_intersect(&ctx, &a, &b, |x, y| x + y).nnz(), 0);
+        let ev = SparseVec::<i64>::empty(4);
+        let bv = SparseVec::from_parts(4, vec![1], vec![9]).unwrap();
+        assert_eq!(svec_union(&ev, &bv, |x, y| x + y).nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn shape_mismatch_panics() {
+        let ctx = global_context();
+        let a = Csr::<i64>::empty(2, 3);
+        let b = Csr::<i64>::empty(2, 4);
+        let _ = ewise_union(&ctx, &a, &b, |x, y| x + y);
+    }
+}

@@ -1,0 +1,278 @@
+//! Sparse matrix-vector products over arbitrary (mul, add) closures.
+//!
+//! [`spmv`] is the row-parallel *pull* kernel (`GrB_mxv`): each output row
+//! is an independent dot product of a CSR row with the (densified) input
+//! vector. [`vxm`] is the *push* kernel (`GrB_vxm`): input nonzeros scatter
+//! their row of the matrix into per-task accumulators that are then merged
+//! — the natural shape for frontier expansion in BFS-like algorithms.
+
+use std::ops::Range;
+
+use graphblas_exec::{parallel_map_ranges, partition, Context};
+
+use crate::csr::Csr;
+use crate::svec::SparseVec;
+
+/// `y = A ⊕.⊗ x` (pull). `is_terminal`, when given, allows each row's
+/// accumulation to stop early once the add-monoid annihilator is reached.
+pub fn spmv<A, X, Z, FM, FA>(
+    ctx: &Context,
+    a: &Csr<A>,
+    x: &SparseVec<X>,
+    mul: FM,
+    add: FA,
+    is_terminal: Option<&(dyn Fn(&Z) -> bool + Sync)>,
+) -> SparseVec<Z>
+where
+    A: Clone + Send + Sync,
+    X: Clone + Send + Sync,
+    Z: Clone + Send + Sync,
+    FM: Fn(&A, &X) -> Z + Sync,
+    FA: Fn(Z, Z) -> Z + Sync,
+{
+    assert_eq!(a.ncols(), x.len(), "spmv: dimension mismatch");
+    let table: Vec<Option<&X>> = {
+        let mut t = vec![None; x.len()];
+        for (i, v) in x.iter() {
+            t[i] = Some(v);
+        }
+        t
+    };
+    let nrows = a.nrows();
+    if nrows == 0 {
+        return SparseVec::empty(0);
+    }
+    let k = ctx
+        .effective_threads()
+        .min(a.nnz().max(1).div_ceil(ctx.chunk_size()).max(1))
+        .min(nrows)
+        .max(1);
+    let ranges = partition::prefix_balanced_ranges(a.indptr(), k);
+    let chunks: Vec<(Vec<usize>, Vec<Z>)> = parallel_map_ranges(ranges, |rows: Range<usize>| {
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for i in rows {
+            let (cols, avs) = a.row(i);
+            let mut acc: Option<Z> = None;
+            for (&j, av) in cols.iter().zip(avs) {
+                if let Some(xv) = table[j] {
+                    let prod = mul(av, xv);
+                    acc = Some(match acc {
+                        None => prod,
+                        Some(cur) => add(cur, prod),
+                    });
+                    if let (Some(t), Some(cur)) = (is_terminal, acc.as_ref()) {
+                        if t(cur) {
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some(v) = acc {
+                idx.push(i);
+                vals.push(v);
+            }
+        }
+        (idx, vals)
+    });
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for (idx, vals) in chunks {
+        indices.extend(idx);
+        values.extend(vals);
+    }
+    SparseVec::from_kernel_parts(nrows, indices, values, true)
+}
+
+/// `yᵀ = xᵀ ⊕.⊗ A` (push). Each task scatters a chunk of `x`'s nonzeros
+/// through their matrix rows into a dense accumulator; per-task partial
+/// results are then union-merged with the add operator.
+pub fn vxm<X, A, Z, FM, FA>(
+    ctx: &Context,
+    x: &SparseVec<X>,
+    a: &Csr<A>,
+    mul: FM,
+    add: FA,
+) -> SparseVec<Z>
+where
+    X: Clone + Send + Sync,
+    A: Clone + Send + Sync,
+    Z: Clone + Send + Sync,
+    FM: Fn(&X, &A) -> Z + Sync,
+    FA: Fn(Z, Z) -> Z + Sync,
+{
+    assert_eq!(a.nrows(), x.len(), "vxm: dimension mismatch");
+    let ncols = a.ncols();
+    let nnz = x.nnz();
+    if nnz == 0 || ncols == 0 {
+        return SparseVec::empty(ncols);
+    }
+    // Weight chunks of x's nonzeros by the matrix rows they touch.
+    let weights: Vec<usize> = {
+        let mut w = Vec::with_capacity(nnz + 1);
+        w.push(0usize);
+        let mut acc = 0usize;
+        for (i, _) in x.iter() {
+            acc += a.row_nnz(i).max(1);
+            w.push(acc);
+        }
+        w
+    };
+    let k = ctx
+        .effective_threads()
+        .min(weights[nnz].div_ceil(ctx.chunk_size()).max(1))
+        .min(nnz)
+        .max(1);
+    let ranges = partition::prefix_balanced_ranges(&weights, k);
+    let xi = x.indices();
+    let xv = x.values();
+    let partials: Vec<SparseVec<Z>> = parallel_map_ranges(ranges, |entries: Range<usize>| {
+        let mut acc: Vec<Option<Z>> = vec![None; ncols];
+        let mut touched: Vec<usize> = Vec::new();
+        for e in entries {
+            let (i, xval) = (xi[e], &xv[e]);
+            let (cols, avs) = a.row(i);
+            for (&j, av) in cols.iter().zip(avs) {
+                let prod = mul(xval, av);
+                match acc[j].take() {
+                    None => {
+                        acc[j] = Some(prod);
+                        touched.push(j);
+                    }
+                    Some(cur) => acc[j] = Some(add(cur, prod)),
+                }
+            }
+        }
+        touched.sort_unstable();
+        let values: Vec<Z> = touched
+            .iter()
+            .map(|&j| acc[j].take().expect("touched implies present"))
+            .collect();
+        SparseVec::from_kernel_parts(ncols, touched, values, true)
+    });
+    partials
+        .into_iter()
+        .reduce(|u, v| crate::ewise::svec_union(&u, &v, |a, b| add(a.clone(), b.clone())))
+        .unwrap_or_else(|| SparseVec::empty(ncols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::global_context;
+
+    fn matrix() -> Csr<i64> {
+        // [[1, _, 2],
+        //  [_, 3, _],
+        //  [4, _, 5]]
+        Csr::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1, 2, 3, 4, 5],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spmv_dense_input() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::from_parts(3, vec![0, 1, 2], vec![1i64, 1, 1]).unwrap();
+        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None);
+        assert_eq!(y.to_sorted_tuples(), vec![(0, 3), (1, 3), (2, 9)]);
+    }
+
+    #[test]
+    fn spmv_sparse_input_skips_missing() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::from_parts(3, vec![2], vec![10i64]).unwrap();
+        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None);
+        assert_eq!(y.to_sorted_tuples(), vec![(0, 20), (2, 50)]);
+    }
+
+    #[test]
+    fn spmv_empty_vector_gives_empty_result() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::<i64>::empty(3);
+        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None);
+        assert_eq!(y.nnz(), 0);
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn vxm_matches_transposed_spmv() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::from_parts(3, vec![0, 2], vec![1i64, 2]).unwrap();
+        let push = vxm(&ctx, &x, &a, |x, a| x * a, |p, q| p + q);
+        let at = crate::transpose::transpose(&ctx, &a);
+        let pull = spmv(&ctx, &at, &x, |a, x| a * x, |p, q| p + q, None);
+        assert_eq!(push.to_sorted_tuples(), pull.to_sorted_tuples());
+    }
+
+    #[test]
+    fn vxm_min_plus_semiring() {
+        let ctx = global_context();
+        // Path graph weights: 0 -> 1 (7), 1 -> 2 (2)
+        let a = Csr::from_parts(3, 3, vec![0, 1, 2, 2], vec![1, 2], vec![7i64, 2]).unwrap();
+        let x = SparseVec::from_parts(3, vec![0], vec![0i64]).unwrap();
+        let step1 = vxm(&ctx, &x, &a, |d, w| d + w, |p, q| p.min(q));
+        assert_eq!(step1.to_sorted_tuples(), vec![(1, 7)]);
+        let step2 = vxm(&ctx, &step1, &a, |d, w| d + w, |p, q| p.min(q));
+        assert_eq!(step2.to_sorted_tuples(), vec![(2, 9)]);
+    }
+
+    #[test]
+    fn spmv_terminal_early_exit_is_correct() {
+        let ctx = global_context();
+        // Boolean OR.AND semiring: once a row's accumulator is true it
+        // cannot change; results must match the non-terminal run.
+        let a = Csr::from_parts(
+            2,
+            4,
+            vec![0, 4, 6],
+            vec![0, 1, 2, 3, 1, 3],
+            vec![true, true, true, true, false, false],
+        )
+        .unwrap();
+        let x = SparseVec::from_parts(4, vec![0, 1, 2, 3], vec![true; 4]).unwrap();
+        let and = |a: &bool, b: &bool| *a && *b;
+        let or = |p: bool, q: bool| p || q;
+        let with_t = spmv(&ctx, &a, &x, and, or, Some(&|z: &bool| *z));
+        let without = spmv(&ctx, &a, &x, and, or, None);
+        assert_eq!(with_t.to_sorted_tuples(), without.to_sorted_tuples());
+        assert_eq!(with_t.get(0), Some(&true));
+        assert_eq!(with_t.get(1), Some(&false));
+    }
+
+    #[test]
+    fn large_random_agreement_between_push_and_pull() {
+        use rand::prelude::*;
+        let ctx = global_context();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (m, n) = (200, 150);
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for _ in 0..2000 {
+            rows.push(rng.gen_range(0..m));
+            cols.push(rng.gen_range(0..n));
+            vals.push(rng.gen_range(1..10i64));
+        }
+        let a = crate::coo::Coo::from_parts(m, n, rows, cols, vals)
+            .unwrap()
+            .to_csr(&ctx, Some(&|a: &i64, b: &i64| a + b))
+            .unwrap();
+        let xi: Vec<usize> = (0..m).filter(|i| i % 3 == 0).collect();
+        let xv: Vec<i64> = xi.iter().map(|&i| (i % 7 + 1) as i64).collect();
+        let x = SparseVec::from_parts(m, xi, xv).unwrap();
+        let push = vxm(&ctx, &x, &a, |x, a| x * a, |p, q| p + q);
+        let at = crate::transpose::transpose(&ctx, &a);
+        let pull = spmv(&ctx, &at, &x, |a, x| a * x, |p, q| p + q, None);
+        assert_eq!(push.to_sorted_tuples(), pull.to_sorted_tuples());
+    }
+}

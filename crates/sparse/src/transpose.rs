@@ -1,0 +1,167 @@
+//! Parallel matrix transpose via a two-phase bucket shuffle.
+//!
+//! Phase 1 partitions source entries into per-destination-chunk buckets in
+//! parallel; phase 2 lets each destination chunk counting-sort its bucket
+//! contents into its contiguous output slice. Both phases are safe Rust
+//! (no shared-slot scatter), and the output rows come out strictly sorted
+//! because entries arrive in increasing source-row order.
+
+use std::ops::Range;
+
+use graphblas_exec::{parallel_map_ranges, partition, Context};
+
+use crate::csr::Csr;
+use crate::util;
+
+/// Returns `B = Aᵀ` as CSR (with `B.nrows == A.ncols`). Output rows are
+/// strictly sorted.
+pub fn transpose<T: Clone + Send + Sync>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    let (m, n, nnz) = (a.nrows(), a.ncols(), a.nnz());
+    if n == 0 || nnz == 0 {
+        return Csr::empty(n, m);
+    }
+    let k = ctx
+        .effective_threads()
+        .min(nnz.div_ceil(ctx.chunk_size()).max(1))
+        .min(n)
+        .max(1);
+
+    // Destination chunks partition the column space.
+    let dst_ranges = partition::balanced_ranges(n, k);
+    let mut col_to_chunk = vec![0u32; n];
+    for (c, r) in dst_ranges.iter().enumerate() {
+        for j in r.clone() {
+            col_to_chunk[j] = c as u32;
+        }
+    }
+
+    // Phase 1: each source chunk routes its entries to destination buckets.
+    let src_ranges = partition::prefix_balanced_ranges(a.indptr(), k);
+    let buckets: Vec<Vec<Vec<(usize, usize, T)>>> =
+        parallel_map_ranges(src_ranges, |rows: Range<usize>| {
+            let mut local: Vec<Vec<(usize, usize, T)>> = vec![Vec::new(); dst_ranges.len()];
+            for i in rows {
+                let (cols, vals) = a.row(i);
+                for (&j, v) in cols.iter().zip(vals) {
+                    local[col_to_chunk[j] as usize].push((j, i, v.clone()));
+                }
+            }
+            local
+        });
+
+    // Phase 2: each destination chunk counting-sorts its share by column.
+    let chunk_ids: Vec<usize> = (0..dst_ranges.len()).collect();
+    let parts = parallel_map_ranges(
+        chunk_ids.iter().map(|&c| c..c + 1).collect(),
+        |cr: Range<usize>| {
+            let c = cr.start;
+            let col_range = dst_ranges[c].clone();
+            let base = col_range.start;
+            let width = col_range.len();
+            let mut counts = vec![0usize; width];
+            for src in &buckets {
+                for &(j, _, _) in &src[c] {
+                    counts[j - base] += 1;
+                }
+            }
+            let mut offsets = counts.clone();
+            let total = util::exclusive_prefix_sum(&mut offsets);
+            let mut out_idx = vec![0usize; total];
+            let mut out_val: Vec<Option<T>> = vec![None; total];
+            let mut cursor = offsets;
+            // Buckets are visited in source-chunk order and each bucket is
+            // in source-row order, so every output row segment is sorted.
+            for src in &buckets {
+                for (j, i, v) in &src[c] {
+                    let p = cursor[j - base];
+                    cursor[j - base] += 1;
+                    out_idx[p] = *i;
+                    out_val[p] = Some(v.clone());
+                }
+            }
+            let out_val: Vec<T> = out_val
+                .into_iter()
+                .map(|s| s.expect("every reserved slot is written"))
+                .collect();
+            (col_range, (counts, out_idx, out_val))
+        },
+    );
+
+    let (indptr, indices, values) = util::stitch_row_chunks(n, parts);
+    Csr::from_kernel_parts(n, m, indptr, indices, values, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphblas_exec::global_context;
+
+    #[test]
+    fn transpose_small() {
+        // [[1, _, 2],
+        //  [_, _, _],
+        //  [3, 4, _]]
+        let a =
+            Csr::from_parts(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1, 2, 3, 4]).unwrap();
+        let t = transpose(&global_context(), &a);
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 3);
+        assert_eq!(
+            t.to_sorted_tuples(),
+            vec![(0, 0, 1), (0, 2, 3), (1, 2, 4), (2, 0, 2)]
+        );
+        assert!(t.is_rows_sorted());
+        t.check().unwrap();
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        // 2x4 matrix
+        let a = Csr::from_parts(2, 4, vec![0, 2, 4], vec![1, 3, 0, 2], vec![10, 30, 1, 3])
+            .unwrap();
+        let t = transpose(&global_context(), &a);
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.ncols(), 2);
+        for (i, j, v) in a.iter() {
+            assert_eq!(t.get(j, i), Some(v));
+        }
+        assert_eq!(t.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn transpose_empty_and_degenerate() {
+        let ctx = global_context();
+        let a = Csr::<i32>::empty(0, 5);
+        let t = transpose(&ctx, &a);
+        assert_eq!((t.nrows(), t.ncols()), (5, 0));
+        let b = Csr::<i32>::empty(7, 0);
+        let tb = transpose(&ctx, &b);
+        assert_eq!((tb.nrows(), tb.ncols()), (0, 7));
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        use rand::prelude::*;
+        let ctx = global_context();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (m, n) = (83, 131);
+        let mut indptr = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..m {
+            let mut cols: Vec<usize> = (0..rng.gen_range(0..16))
+                .map(|_| rng.gen_range(0..n))
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            for c in cols {
+                indices.push(c);
+                values.push(rng.gen_range(0..1000u32));
+            }
+            indptr.push(indices.len());
+        }
+        let a = Csr::from_parts(m, n, indptr, indices, values).unwrap();
+        let tt = transpose(&ctx, &transpose(&ctx, &a));
+        assert_eq!(a.to_sorted_tuples(), tt.to_sorted_tuples());
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests for the sparse kernels against naive references —
+//! structure-level guarantees every higher layer depends on.
+
+use std::collections::BTreeMap;
+
+use graphblas_exec::global_context;
+use graphblas_sparse::{ewise, kron, spgemm, spmv, transpose, Coo, Csr, SparseVec};
+use proptest::prelude::*;
+
+type Entries = BTreeMap<(usize, usize), i64>;
+
+fn csr(shape: (usize, usize), entries: &Entries) -> Csr<i64> {
+    Coo::from_parts(
+        shape.0,
+        shape.1,
+        entries.keys().map(|k| k.0).collect(),
+        entries.keys().map(|k| k.1).collect(),
+        entries.values().copied().collect(),
+    )
+    .unwrap()
+    .to_csr(&global_context(), None)
+    .unwrap()
+}
+
+fn entries(m: &Csr<i64>) -> Entries {
+    m.to_sorted_tuples()
+        .into_iter()
+        .map(|(i, j, v)| ((i, j), v))
+        .collect()
+}
+
+fn arb(rows: usize, cols: usize) -> impl Strategy<Value = Entries> {
+    proptest::collection::btree_map((0..rows, 0..cols), -20i64..20, 0..50)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spgemm_matches_reference(a in arb(14, 10), b in arb(10, 12)) {
+        let ctx = global_context();
+        let am = csr((14, 10), &a);
+        let bm = csr((10, 12), &b);
+        let c = spgemm::spgemm(&ctx, &am, &bm, |x, y| x * y, |acc, z| *acc += z);
+        c.check().unwrap();
+        let mut expect: Entries = BTreeMap::new();
+        for (&(i, k), &av) in &a {
+            for (&(k2, j), &bv) in &b {
+                if k == k2 {
+                    *expect.entry((i, j)).or_insert(0) += av * bv;
+                }
+            }
+        }
+        prop_assert_eq!(entries(&c), expect);
+    }
+
+    #[test]
+    fn spgemm_masked_is_restricted_spgemm(
+        a in arb(10, 10),
+        b in arb(10, 10),
+        m in arb(10, 10),
+        complement in any::<bool>(),
+    ) {
+        let ctx = global_context();
+        let am = csr((10, 10), &a);
+        let bm = csr((10, 10), &b);
+        let mm = csr((10, 10), &m);
+        let masked = spgemm::spgemm_masked(
+            &ctx, &mm, complement, |_| true, &am, &bm,
+            |x, y| x * y, |acc, z| *acc += z,
+        );
+        let mut full = spgemm::spgemm(&ctx, &am, &bm, |x, y| x * y, |acc, z| *acc += z);
+        full.sort_rows(&ctx);
+        let expect = ewise::ewise_restrict(&ctx, &full, &mm, complement, |_| true);
+        prop_assert_eq!(entries(&masked), entries(&expect));
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_entrywise(a in arb(9, 17)) {
+        let ctx = global_context();
+        let am = csr((9, 17), &a);
+        let t = transpose::transpose(&ctx, &am);
+        t.check().unwrap();
+        for (&(i, j), &v) in &a {
+            prop_assert_eq!(t.get(j, i), Some(&v));
+        }
+        let tt = transpose::transpose(&ctx, &t);
+        prop_assert_eq!(entries(&tt), a);
+    }
+
+    #[test]
+    fn union_intersect_difference_partition(
+        a in arb(12, 12),
+        b in arb(12, 12),
+    ) {
+        let ctx = global_context();
+        let am = csr((12, 12), &a);
+        let bm = csr((12, 12), &b);
+        // |A ∪ B| = |A| + |B| - |A ∩ B|
+        let u = ewise::ewise_union(&ctx, &am, &bm, |x, y| x + y);
+        let i = ewise::ewise_intersect(&ctx, &am, &bm, |x: &i64, y: &i64| x * y);
+        prop_assert_eq!(u.nnz() + i.nnz(), am.nnz() + bm.nnz());
+        // restrict(A, B) ⊎ restrict(A, ¬B) = A
+        let inb = ewise::ewise_restrict(&ctx, &am, &bm, false, |_| true);
+        let notb = ewise::ewise_restrict(&ctx, &am, &bm, true, |_| true);
+        prop_assert_eq!(inb.nnz() + notb.nnz(), am.nnz());
+        let mut merged = entries(&inb);
+        merged.extend(entries(&notb));
+        prop_assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn union_is_commutative_for_commutative_ops(a in arb(8, 8), b in arb(8, 8)) {
+        let ctx = global_context();
+        let am = csr((8, 8), &a);
+        let bm = csr((8, 8), &b);
+        let ab = ewise::ewise_union(&ctx, &am, &bm, |x, y| x + y);
+        let ba = ewise::ewise_union(&ctx, &bm, &am, |x, y| x + y);
+        prop_assert_eq!(entries(&ab), entries(&ba));
+    }
+
+    #[test]
+    fn spmv_and_vxm_agree_via_transpose(
+        a in arb(11, 8),
+        x in proptest::collection::btree_map(0usize..11, -9i64..9, 0..11),
+    ) {
+        let ctx = global_context();
+        let am = csr((11, 8), &a);
+        let xv = SparseVec::from_parts(
+            11,
+            x.keys().copied().collect(),
+            x.values().copied().collect(),
+        ).unwrap();
+        let push = spmv::vxm(&ctx, &xv, &am, |x, a| x * a, |p, q| p + q);
+        let at = transpose::transpose(&ctx, &am);
+        let pull = spmv::spmv(&ctx, &at, &xv, |a, x| a * x, |p, q| p + q, None);
+        prop_assert_eq!(push.to_sorted_tuples(), pull.to_sorted_tuples());
+    }
+
+    #[test]
+    fn kron_entry_count_and_values(a in arb(4, 5), b in arb(3, 4)) {
+        let ctx = global_context();
+        let am = csr((4, 5), &a);
+        let bm = csr((3, 4), &b);
+        let c = kron::kronecker(&ctx, &am, &bm, |x, y| x * y).unwrap();
+        prop_assert_eq!(c.nnz(), am.nnz() * bm.nnz());
+        for (&(ia, ja), &av) in &a {
+            for (&(ib, jb), &bv) in &b {
+                prop_assert_eq!(c.get(ia * 3 + ib, ja * 4 + jb), Some(&(av * bv)));
+            }
+        }
+    }
+
+    #[test]
+    fn extract_submatrix_agrees_with_pointwise(
+        a in arb(10, 10),
+        rows in proptest::collection::vec(0usize..10, 1..6),
+        cols in proptest::collection::vec(0usize..10, 1..6),
+    ) {
+        let ctx = global_context();
+        let am = csr((10, 10), &a);
+        let sub = am.extract_submatrix(&ctx, &rows, &cols).unwrap();
+        sub.check().unwrap();
+        for (oi, &si) in rows.iter().enumerate() {
+            for (oj, &sj) in cols.iter().enumerate() {
+                prop_assert_eq!(sub.get(oi, oj), a.get(&(si, sj)));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_map_conserves_selected_entries(a in arb(10, 10), threshold in -10i64..10) {
+        let ctx = global_context();
+        let am = csr((10, 10), &a);
+        let kept = am.filter_map_with_index(&ctx, |_, _, v| (*v > threshold).then(|| *v));
+        kept.check().unwrap();
+        let expect: Entries = a.iter()
+            .filter(|(_, &v)| v > threshold)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        prop_assert_eq!(entries(&kept), expect);
+    }
+
+    #[test]
+    fn coo_roundtrip_with_duplicate_summing(
+        triples in proptest::collection::vec((0usize..6, 0usize..6, -9i64..9), 0..40),
+    ) {
+        let ctx = global_context();
+        let coo = Coo::from_parts(
+            6, 6,
+            triples.iter().map(|t| t.0).collect(),
+            triples.iter().map(|t| t.1).collect(),
+            triples.iter().map(|t| t.2).collect(),
+        ).unwrap();
+        let m = coo.to_csr(&ctx, Some(&|a: &i64, b: &i64| a + b)).unwrap();
+        let mut expect: Entries = BTreeMap::new();
+        for &(i, j, v) in &triples {
+            *expect.entry((i, j)).or_insert(0) += v;
+        }
+        prop_assert_eq!(entries(&m), expect);
+    }
+}

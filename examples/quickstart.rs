@@ -1,0 +1,59 @@
+//! Quickstart: build a small directed graph, run one masked frontier
+//! expansion by hand, then a full BFS from the algorithm layer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use graphblas::operations::vxm;
+use graphblas::{
+    init, no_mask_v, BinaryOp, Descriptor, Matrix, Mode, Semiring, Vector, WaitMode,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // GrB_init: establish the top-level (blocking) context.
+    init(Mode::Blocking);
+
+    // A 7-vertex directed graph as a boolean adjacency matrix:
+    //      0 → 1 → 2 → 3
+    //      0 → 4 → 5 → 6 → 3
+    let n = 7;
+    let a = Matrix::<bool>::new(n, n)?;
+    let edges = [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (6, 3)];
+    a.build(
+        &edges.iter().map(|e| e.0).collect::<Vec<_>>(),
+        &edges.iter().map(|e| e.1).collect::<Vec<_>>(),
+        &vec![true; edges.len()],
+        Some(&BinaryOp::lor()),
+    )?;
+    println!("adjacency matrix ({} edges):\n", a.nvals()?);
+
+    // One step of frontier expansion from vertex 0 over the LOR.LAND
+    // (boolean reachability) semiring: next = frontier ∨.∧ A.
+    let frontier = Vector::<bool>::new(n)?;
+    frontier.set_element(true, 0)?;
+    let next = Vector::<bool>::new(n)?;
+    vxm(
+        &next,
+        no_mask_v(),
+        None,
+        &Semiring::lor_land(),
+        &frontier,
+        &a,
+        &Descriptor::default(),
+    )?;
+    next.wait(WaitMode::Materialize)?;
+    let (reached, _) = next.extract_tuples()?;
+    println!("one hop from vertex 0 reaches: {reached:?}");
+
+    // Full BFS via the algorithm layer (the LAGraph role).
+    let levels = graphblas::algo::bfs_levels(&a, 0)?;
+    let (vertices, depths) = levels.extract_tuples()?;
+    println!("BFS levels from vertex 0:");
+    for (v, d) in vertices.iter().zip(&depths) {
+        println!("  vertex {v}: level {d}");
+    }
+
+    // Vertex 3 is reachable two ways; BFS must report the shorter (3 hops).
+    assert_eq!(levels.extract_element(3)?, Some(3));
+    println!("\nquickstart OK");
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # graphblas — a Rust realization of the GraphBLAS 2.0 specification
+//!
+//! Facade crate for the `graphblas-rs` workspace. Re-exports the complete
+//! GraphBLAS 2.0 API from [`graphblas_core`], the algorithm layer from
+//! [`graphblas_algo`] (the LAGraph role), and I/O / generators from
+//! [`graphblas_io`].
+//!
+//! See the workspace `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-code map (*Brock et al., "Introduction to GraphBLAS 2.0",
+//! IPDPSW 2021*).
+
+pub use graphblas_core::*;
+
+/// Graph algorithms built on the public API (BFS, SSSP, PageRank,
+/// triangle counting, connected components, MIS, k-core, clustering
+/// coefficients) — the role LAGraph plays for the C API.
+pub mod algo {
+    pub use graphblas_algo::*;
+}
+
+/// Matrix Market I/O and synthetic graph generators.
+pub mod io {
+    pub use graphblas_io::*;
+}

@@ -1,0 +1,171 @@
+//! Paper §V: the two-tier error model.
+//!
+//! * API errors: deterministic, immediate, never deferred, no side
+//!   effects — even in nonblocking mode.
+//! * Execution errors: may be deferred in nonblocking mode, surface at a
+//!   later method or at `wait(Materialize)`, poison the output object
+//!   (contents undefined → sticky error), and are described by
+//!   `GrB_error` (`error_string`).
+
+use graphblas::operations::{extract, mxm};
+use graphblas::{
+    global_context, no_mask, ApiError, Context, ContextOptions, Descriptor, Error, Matrix,
+    Mode, Semiring, Vector, WaitMode,
+};
+
+fn nonblocking() -> Context {
+    Context::new(
+        &global_context(),
+        Mode::NonBlocking,
+        ContextOptions::default(),
+    )
+}
+
+#[test]
+fn api_errors_are_never_deferred() {
+    let ctx = nonblocking();
+    let a = Matrix::<i64>::new_in(&ctx, 2, 3).unwrap();
+    let b = Matrix::<i64>::new_in(&ctx, 9, 9).unwrap();
+    let c = Matrix::<i64>::new_in(&ctx, 2, 9).unwrap();
+    // Dimension mismatch: immediate API error, nothing enqueued.
+    let err = mxm(
+        &c,
+        no_mask(),
+        None,
+        &Semiring::plus_times(),
+        &a,
+        &b,
+        &Descriptor::default(),
+    )
+    .unwrap_err();
+    assert_eq!(err, Error::Api(ApiError::DimensionMismatch));
+    assert_eq!(c.pending_len(), 0);
+    // The spec guarantees no arguments were modified.
+    assert_eq!(c.nvals().unwrap(), 0);
+    assert_eq!(c.error_string(), "");
+}
+
+#[test]
+fn api_error_codes_match_spec_values() {
+    // InvalidValue: zero dimension.
+    assert_eq!(Matrix::<u8>::new(0, 1).unwrap_err().code(), -3);
+    // InvalidIndex: scalar index out of bounds.
+    let m = Matrix::<u8>::new(2, 2).unwrap();
+    assert_eq!(m.set_element(1, 9, 0).unwrap_err().code(), -4);
+    // OutputNotEmpty: build into a non-empty matrix.
+    m.set_element(1, 0, 0).unwrap();
+    assert_eq!(m.build(&[0], &[0], &[1], None).unwrap_err().code(), -7);
+}
+
+#[test]
+fn execution_error_is_deferred_until_materialize() {
+    let ctx = nonblocking();
+    let c = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+    // The bad index lives in a *data array*: execution error, deferrable.
+    c.build(&[7], &[0], &[1], None).unwrap();
+    assert!(c.pending_len() > 0, "error not yet detected");
+    let err = c.wait(WaitMode::Materialize).unwrap_err();
+    assert!(err.is_execution());
+    assert_eq!(err.code(), -105);
+}
+
+#[test]
+fn deferred_error_surfaces_at_any_later_method() {
+    let ctx = nonblocking();
+    let c = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+    c.build(&[7], &[0], &[1], None).unwrap();
+    // A later read reports the pending sequence's failure.
+    let err = c.nvals().unwrap_err();
+    assert!(err.is_execution());
+}
+
+#[test]
+fn failed_object_is_poisoned_until_cleared() {
+    let ctx = nonblocking();
+    let c = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+    c.build(&[7], &[0], &[1], None).unwrap();
+    assert!(c.wait(WaitMode::Complete).is_err());
+    // §V: contents undefined after an execution error → sticky.
+    assert!(c.nvals().is_err());
+    assert!(c.extract_element(0, 0).is_err());
+    // Using the poisoned object as an operation output also fails.
+    let a = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+    let still_bad = mxm(
+        &c,
+        no_mask(),
+        None,
+        &Semiring::plus_times(),
+        &a,
+        &a,
+        &Descriptor::default(),
+    );
+    assert!(still_bad.is_err());
+    // GrB_error returns the implementation-defined description.
+    let msg = c.error_string();
+    assert!(msg.contains("-105") || msg.to_lowercase().contains("out of bounds"));
+    // clear() rebuilds the object.
+    c.clear().unwrap();
+    assert_eq!(c.nvals().unwrap(), 0);
+    assert_eq!(c.error_string(), "");
+}
+
+#[test]
+fn error_string_is_thread_safe() {
+    let ctx = nonblocking();
+    let c = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+    c.build(&[7], &[0], &[1], None).unwrap();
+    let _ = c.wait(WaitMode::Complete);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..100 {
+                    let _ = c.error_string();
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn extract_with_oob_selector_arrays_is_execution_error() {
+    let ctx = nonblocking();
+    let a = Matrix::<i64>::new_in(&ctx, 3, 3).unwrap();
+    let c = Matrix::<i64>::new_in(&ctx, 1, 1).unwrap();
+    extract(&c, no_mask(), None, &a, &[99], &[0], &Descriptor::default()).unwrap();
+    let err = c.wait(WaitMode::Materialize).unwrap_err();
+    assert_eq!(err.code(), -105);
+}
+
+#[test]
+fn vector_error_model_mirrors_matrix() {
+    let ctx = nonblocking();
+    let v = Vector::<i64>::new_in(&ctx, 3).unwrap();
+    v.build(&[10], &[1], None).unwrap();
+    assert!(v.wait(WaitMode::Materialize).is_err());
+    assert!(v.nvals().is_err());
+    assert!(!v.error_string().is_empty());
+    v.clear().unwrap();
+    assert_eq!(v.nvals().unwrap(), 0);
+}
+
+#[test]
+fn blocking_mode_reports_execution_errors_immediately() {
+    let c = Matrix::<i64>::new(2, 2).unwrap(); // global (blocking) context
+    let err = c.build(&[7], &[0], &[1], None).unwrap_err();
+    assert!(err.is_execution());
+    assert_eq!(err.code(), -105);
+}
+
+#[test]
+fn materializing_wait_finalizes_error_reporting() {
+    // After a successful materializing wait, no more errors can come from
+    // the drained sequence: subsequent reads succeed deterministically.
+    let ctx = nonblocking();
+    let c = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+    c.build(&[0, 1], &[0, 1], &[5, 6], None).unwrap();
+    c.wait(WaitMode::Materialize).unwrap();
+    assert_eq!(c.pending_len(), 0);
+    assert_eq!(c.nvals().unwrap(), 2);
+    assert_eq!(c.error_string(), "");
+}

@@ -1,0 +1,194 @@
+//! Paper Fig. 1: a properly synchronized two-thread GraphBLAS program.
+//!
+//! Thread 0 computes and publishes a shared matrix `Esh` (completing wait
+//! + release store); thread 1 spins (acquire load) and consumes it. The
+//!   test asserts the concurrent run produces byte-identical results to a
+//!   sequential execution — the §III thread-safety contract.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use graphblas::operations::mxm;
+use graphblas::{
+    global_context, no_mask, Context, ContextOptions, Descriptor, Index, Matrix, Mode,
+    Semiring, WaitMode,
+};
+
+fn deterministic_matrix(n: usize, seed: u64) -> Matrix<i64> {
+    // Simple LCG-driven sparse matrix; deterministic across runs/threads.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut rows: Vec<Index> = Vec::new();
+    let mut cols: Vec<Index> = Vec::new();
+    let mut vals: Vec<i64> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..n * 4 {
+        let i = next() % n;
+        let j = next() % n;
+        if seen.insert((i, j)) {
+            rows.push(i);
+            cols.push(j);
+            vals.push((next() % 17) as i64 - 8);
+        }
+    }
+    let m = Matrix::<i64>::new(n, n).unwrap();
+    m.build(&rows, &cols, &vals, None).unwrap();
+    m
+}
+
+type Tuples = Vec<(Index, Index, i64)>;
+
+fn run_pipeline(ctx: &Context, n: usize) -> (Tuples, Tuples) {
+    let sr = Semiring::<i64, i64, i64>::plus_times();
+    let desc = Descriptor::default();
+
+    let esh = Matrix::<i64>::new_in(ctx, n, n).unwrap();
+    let dres = Matrix::<i64>::new_in(ctx, n, n).unwrap();
+    let hres = Matrix::<i64>::new_in(ctx, n, n).unwrap();
+    let flag = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        {
+            let (esh, dres, ctx, sr) = (esh.clone(), dres.clone(), ctx.clone(), sr.clone());
+            let flag = &flag;
+            scope.spawn(move || {
+                let a = deterministic_matrix(n, 1);
+                let b = deterministic_matrix(n, 2);
+                let d = deterministic_matrix(n, 3);
+                for m in [&a, &b, &d] {
+                    m.switch_context(&ctx).unwrap();
+                }
+                let c = Matrix::<i64>::new_in(&ctx, n, n).unwrap();
+                mxm(&c, no_mask(), None, &sr, &a, &b, &desc).unwrap();
+                mxm(&esh, no_mask(), None, &sr, &d, &c, &desc).unwrap();
+                esh.wait(WaitMode::Complete).unwrap();
+                flag.store(true, Ordering::Release);
+                mxm(&dres, no_mask(), None, &sr, &a, &esh, &desc).unwrap();
+                dres.wait(WaitMode::Complete).unwrap();
+            });
+        }
+        {
+            let (esh, hres, ctx, sr) = (esh.clone(), hres.clone(), ctx.clone(), sr.clone());
+            let flag = &flag;
+            scope.spawn(move || {
+                let e = deterministic_matrix(n, 4);
+                let f = deterministic_matrix(n, 5);
+                for m in [&e, &f] {
+                    m.switch_context(&ctx).unwrap();
+                }
+                let g = Matrix::<i64>::new_in(&ctx, n, n).unwrap();
+                mxm(&g, no_mask(), None, &sr, &e, &f, &desc).unwrap();
+                while !flag.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                mxm(&hres, no_mask(), None, &sr, &g, &esh, &desc).unwrap();
+                hres.wait(WaitMode::Complete).unwrap();
+            });
+        }
+    });
+
+    let tup = |m: &Matrix<i64>| {
+        let (r, c, v) = m.extract_tuples().unwrap();
+        r.into_iter().zip(c).zip(v).map(|((i, j), x)| (i, j, x)).collect()
+    };
+    (tup(&dres), tup(&hres))
+}
+
+fn run_sequential(n: usize) -> (Tuples, Tuples) {
+    let sr = Semiring::<i64, i64, i64>::plus_times();
+    let desc = Descriptor::default();
+    let a = deterministic_matrix(n, 1);
+    let b = deterministic_matrix(n, 2);
+    let d = deterministic_matrix(n, 3);
+    let e = deterministic_matrix(n, 4);
+    let f = deterministic_matrix(n, 5);
+    let c = Matrix::<i64>::new(n, n).unwrap();
+    let esh = Matrix::<i64>::new(n, n).unwrap();
+    let dres = Matrix::<i64>::new(n, n).unwrap();
+    let g = Matrix::<i64>::new(n, n).unwrap();
+    let hres = Matrix::<i64>::new(n, n).unwrap();
+    mxm(&c, no_mask(), None, &sr, &a, &b, &desc).unwrap();
+    mxm(&esh, no_mask(), None, &sr, &d, &c, &desc).unwrap();
+    mxm(&dres, no_mask(), None, &sr, &a, &esh, &desc).unwrap();
+    mxm(&g, no_mask(), None, &sr, &e, &f, &desc).unwrap();
+    mxm(&hres, no_mask(), None, &sr, &g, &esh, &desc).unwrap();
+    let tup = |m: &Matrix<i64>| {
+        let (r, c, v) = m.extract_tuples().unwrap();
+        r.into_iter().zip(c).zip(v).map(|((i, j), x)| (i, j, x)).collect()
+    };
+    (tup(&dres), tup(&hres))
+}
+
+#[test]
+fn fig1_nonblocking_concurrent_matches_sequential() {
+    let n = 64;
+    let ctx = Context::new(
+        &global_context(),
+        Mode::NonBlocking,
+        ContextOptions::default(),
+    );
+    let expected = run_sequential(n);
+    for _ in 0..5 {
+        let got = run_pipeline(&ctx, n);
+        assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn fig1_blocking_concurrent_matches_sequential() {
+    let n = 48;
+    let ctx = Context::new(&global_context(), Mode::Blocking, ContextOptions::default());
+    let expected = run_sequential(n);
+    let got = run_pipeline(&ctx, n);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn independent_objects_from_many_threads() {
+    // §III thread safety: independent method calls from many threads.
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let a = deterministic_matrix(40, t);
+                let b = deterministic_matrix(40, t + 100);
+                let c = Matrix::<i64>::new(40, 40).unwrap();
+                mxm(
+                    &c,
+                    no_mask(),
+                    None,
+                    &Semiring::plus_times(),
+                    &a,
+                    &b,
+                    &Descriptor::default(),
+                )
+                .unwrap();
+                c.nvals().unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().unwrap() > 0);
+    }
+}
+
+#[test]
+fn shared_object_concurrent_reads_after_completion() {
+    let a = deterministic_matrix(64, 9);
+    a.wait(WaitMode::Materialize).unwrap();
+    let expected = a.nvals().unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let a = a.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    assert_eq!(a.nvals().unwrap(), expected);
+                    assert!(a.extract_element(0, 0).is_ok());
+                }
+            });
+        }
+    });
+}

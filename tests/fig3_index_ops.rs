@@ -1,0 +1,213 @@
+//! Paper Fig. 3 + Table IV: index-unary operators through `select` and
+//! `apply`, covering all 18 predefined operators end-to-end.
+
+use graphblas::operations::{apply_indexop, apply_indexop_v, select, select_v};
+use graphblas::{no_mask, no_mask_v, Descriptor, Index, IndexUnaryOp, Matrix, Vector};
+
+fn matrix() -> Matrix<i64> {
+    // 4×4 with entries on, above, and below the diagonal.
+    let m = Matrix::<i64>::new(4, 4).unwrap();
+    let t = [
+        (0usize, 0usize, 10i64),
+        (0, 2, -3),
+        (1, 0, 5),
+        (1, 1, 0),
+        (1, 3, 8),
+        (2, 2, 7),
+        (3, 0, -2),
+        (3, 3, 4),
+    ];
+    m.build(
+        &t.iter().map(|x| x.0).collect::<Vec<_>>(),
+        &t.iter().map(|x| x.1).collect::<Vec<_>>(),
+        &t.iter().map(|x| x.2).collect::<Vec<_>>(),
+        None,
+    )
+    .unwrap();
+    m
+}
+
+fn tuples(m: &Matrix<i64>) -> Vec<(Index, Index, i64)> {
+    let (r, c, v) = m.extract_tuples().unwrap();
+    r.into_iter().zip(c).zip(v).map(|((i, j), x)| (i, j, x)).collect()
+}
+
+fn select_with(f: &IndexUnaryOp<i64, i64, bool>, s: i64) -> Vec<(Index, Index, i64)> {
+    let a = matrix();
+    let c = Matrix::<i64>::new(4, 4).unwrap();
+    select(&c, no_mask(), None, f, &a, s, &Descriptor::default()).unwrap();
+    tuples(&c)
+}
+
+#[test]
+fn tril_triu_partition() {
+    let lower = select_with(&IndexUnaryOp::tril(), 0);
+    let strict_upper = select_with(&IndexUnaryOp::triu(), 1);
+    let all = tuples(&matrix());
+    let mut merged = [lower.clone(), strict_upper.clone()].concat();
+    merged.sort();
+    assert_eq!(merged, all, "tril(0) ⊎ triu(1) must partition the matrix");
+    assert!(lower.iter().all(|&(i, j, _)| j <= i));
+    assert!(strict_upper.iter().all(|&(i, j, _)| j > i));
+}
+
+#[test]
+fn shifted_diagonals() {
+    // tril(-1): strictly below the main diagonal.
+    let strictly_lower = select_with(&IndexUnaryOp::tril(), -1);
+    assert_eq!(strictly_lower, vec![(1, 0, 5), (3, 0, -2)]);
+    // diag(2): the +2 superdiagonal.
+    let diag2 = select_with(&IndexUnaryOp::diag(), 2);
+    assert_eq!(diag2, vec![(0, 2, -3), (1, 3, 8)]);
+    // offdiag(0): everything off the main diagonal.
+    let off = select_with(&IndexUnaryOp::offdiag(), 0);
+    assert!(off.iter().all(|&(i, j, _)| i != j));
+    assert_eq!(off.len(), 4);
+}
+
+#[test]
+fn row_and_column_ranges() {
+    assert!(select_with(&IndexUnaryOp::rowle(), 1)
+        .iter()
+        .all(|&(i, _, _)| i <= 1));
+    assert!(select_with(&IndexUnaryOp::rowgt(), 1)
+        .iter()
+        .all(|&(i, _, _)| i > 1));
+    assert!(select_with(&IndexUnaryOp::colle(), 0)
+        .iter()
+        .all(|&(_, j, _)| j == 0));
+    assert!(select_with(&IndexUnaryOp::colgt(), 2)
+        .iter()
+        .all(|&(_, j, _)| j == 3));
+}
+
+#[test]
+fn value_comparators_cover_all_six() {
+    let m = matrix();
+    let run = |f: &IndexUnaryOp<i64, i64, bool>, s: i64| {
+        let c = Matrix::<i64>::new(4, 4).unwrap();
+        select(&c, no_mask(), None, f, &m, s, &Descriptor::default()).unwrap();
+        tuples(&c).into_iter().map(|t| t.2).collect::<Vec<_>>()
+    };
+    assert_eq!(run(&IndexUnaryOp::valueeq(), 0), vec![0]);
+    assert!(run(&IndexUnaryOp::valuene(), 0).iter().all(|&v| v != 0));
+    assert!(run(&IndexUnaryOp::valuelt(), 0).iter().all(|&v| v < 0));
+    assert!(run(&IndexUnaryOp::valuele(), 0).iter().all(|&v| v <= 0));
+    assert!(run(&IndexUnaryOp::valuegt(), 4).iter().all(|&v| v > 4));
+    assert!(run(&IndexUnaryOp::valuege(), 4).iter().all(|&v| v >= 4));
+}
+
+#[test]
+fn replace_operators_through_apply() {
+    let a = matrix();
+    let run = |f: &IndexUnaryOp<i64, i64, i64>, s: i64| {
+        let c = Matrix::<i64>::new(4, 4).unwrap();
+        apply_indexop(&c, no_mask(), None, f, &a, s, &Descriptor::default()).unwrap();
+        tuples(&c)
+    };
+    for (i, j, v) in run(&IndexUnaryOp::rowindex(), 0) {
+        assert_eq!(v, i as i64);
+        assert!(a.extract_element(i, j).unwrap().is_some());
+    }
+    for (_, j, v) in run(&IndexUnaryOp::colindex(), 1) {
+        assert_eq!(v, j as i64 + 1);
+    }
+    for (i, j, v) in run(&IndexUnaryOp::diagindex(), 0) {
+        assert_eq!(v, j as i64 - i as i64);
+    }
+}
+
+#[test]
+fn vector_forms_use_single_index() {
+    let u = Vector::<i64>::new(6).unwrap();
+    u.build(&[0, 2, 5], &[9, -1, 9], None).unwrap();
+    // ROWINDEX on vectors reads indices[0].
+    let w = Vector::<i64>::new(6).unwrap();
+    apply_indexop_v(
+        &w,
+        no_mask_v(),
+        None,
+        &IndexUnaryOp::rowindex(),
+        &u,
+        100,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    let (idx, vals) = w.extract_tuples().unwrap();
+    assert_eq!(idx, vec![0, 2, 5]);
+    assert_eq!(vals, vec![100, 102, 105]);
+    // ROWLE/ROWGT select vector regions.
+    let head = Vector::<i64>::new(6).unwrap();
+    select_v(
+        &head,
+        no_mask_v(),
+        None,
+        &IndexUnaryOp::rowle(),
+        &u,
+        2,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(head.extract_tuples().unwrap().0, vec![0, 2]);
+    // VALUEEQ on vectors.
+    let nines = Vector::<i64>::new(6).unwrap();
+    select_v(
+        &nines,
+        no_mask_v(),
+        None,
+        &IndexUnaryOp::valueeq(),
+        &u,
+        9,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(nines.nvals().unwrap(), 2);
+}
+
+#[test]
+fn paper_fig3_user_defined_select_and_predefined_apply() {
+    // The exact pairing shown in Fig. 3: a user-written triu-threshold
+    // select and the predefined COLINDEX apply.
+    let a = matrix();
+    let my_triu_gt = IndexUnaryOp::<i64, i64, bool>::new("my_triu_gt", |v, idx, s| {
+        idx[1] > idx[0] && v > s
+    });
+    let sel = Matrix::<i64>::new(4, 4).unwrap();
+    select(&sel, no_mask(), None, &my_triu_gt, &a, 0, &Descriptor::default()).unwrap();
+    assert_eq!(tuples(&sel), vec![(1, 3, 8)]);
+
+    let app = Matrix::<i64>::new(4, 4).unwrap();
+    apply_indexop(
+        &app,
+        no_mask(),
+        None,
+        &IndexUnaryOp::colindex(),
+        &a,
+        1,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(app.nvals().unwrap(), a.nvals().unwrap());
+    assert_eq!(app.extract_element(1, 3).unwrap(), Some(4));
+}
+
+#[test]
+fn select_composes_with_masks_and_accum() {
+    use graphblas::BinaryOp;
+    let a = matrix();
+    let c = Matrix::<i64>::new(4, 4).unwrap();
+    c.set_element(1000, 0, 0).unwrap();
+    // Accumulate the selected diagonal into existing contents.
+    select(
+        &c,
+        no_mask(),
+        Some(&BinaryOp::plus()),
+        &IndexUnaryOp::diag(),
+        &a,
+        0,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(c.extract_element(0, 0).unwrap(), Some(1010));
+    assert_eq!(c.extract_element(2, 2).unwrap(), Some(7));
+}

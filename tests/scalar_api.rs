@@ -1,0 +1,227 @@
+//! Paper §VI — Table I (all `GrB_Scalar` manipulation methods) and
+//! Table II (the method families extended with `GrB_Scalar` variants),
+//! exercised end-to-end through the public API.
+
+use graphblas::operations::{
+    all_indices, apply_binop2nd_scalar, apply_indexop_scalar, assign_scalar_grb,
+    assign_scalar_v_grb, reduce_scalar, reduce_scalar_binop, reduce_scalar_binop_v,
+    reduce_scalar_v, select_scalar, select_v_scalar,
+};
+use graphblas::{
+    no_mask, no_mask_v, BinaryOp, Descriptor, IndexUnaryOp, Matrix, Monoid, Scalar, Vector,
+};
+
+fn matrix() -> Matrix<i64> {
+    let m = Matrix::<i64>::new(3, 3).unwrap();
+    m.build(&[0, 1, 2], &[1, 2, 0], &[4, -1, 9], None).unwrap();
+    m
+}
+
+// ---------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------
+
+#[test]
+fn table1_new_dup_clear_nvals_set_extract() {
+    // GrB_Scalar_new
+    let s = Scalar::<f64>::new().unwrap();
+    // nvals on empty
+    assert_eq!(s.nvals().unwrap(), 0);
+    // setElement / extractElement
+    s.set_element(2.5).unwrap();
+    assert_eq!(s.nvals().unwrap(), 1);
+    assert_eq!(s.extract_element().unwrap(), Some(2.5));
+    // dup
+    let d = s.dup().unwrap();
+    s.set_element(9.0).unwrap();
+    assert_eq!(d.extract_element().unwrap(), Some(2.5));
+    // clear
+    s.clear().unwrap();
+    assert_eq!(s.nvals().unwrap(), 0);
+    assert_eq!(s.extract_element().unwrap(), None);
+}
+
+#[test]
+fn table1_user_defined_domain() {
+    #[derive(Clone, Debug, PartialEq)]
+    struct Weight {
+        cost: f64,
+        hops: u32,
+    }
+    let s = Scalar::<Weight>::new().unwrap();
+    s.set_element(Weight { cost: 1.5, hops: 3 }).unwrap();
+    assert_eq!(
+        s.extract_element().unwrap(),
+        Some(Weight { cost: 1.5, hops: 3 })
+    );
+}
+
+// ---------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------
+
+#[test]
+fn monoid_new_with_scalar_identity() {
+    let id = Scalar::<i64>::new().unwrap();
+    assert_eq!(
+        Monoid::new_scalar(BinaryOp::plus(), &id).unwrap_err().code(),
+        -106
+    );
+    id.set_element(0).unwrap();
+    let m = Monoid::new_scalar(BinaryOp::plus(), &id).unwrap();
+    assert_eq!(m.apply(&3, &4), 7);
+}
+
+#[test]
+fn matrix_set_and_extract_element_scalar_variants() {
+    let m = matrix();
+    let s = Scalar::<i64>::new().unwrap();
+    s.set_element(42).unwrap();
+    m.set_element_scalar(&s, 2, 2).unwrap();
+    assert_eq!(m.extract_element(2, 2).unwrap(), Some(42));
+    // Extract a missing element into a scalar → empty, not an error (§VI).
+    let out = Scalar::<i64>::new().unwrap();
+    m.extract_element_scalar(&out, 0, 0).unwrap();
+    assert_eq!(out.nvals().unwrap(), 0);
+    m.extract_element_scalar(&out, 0, 1).unwrap();
+    assert_eq!(out.extract_element().unwrap(), Some(4));
+    // Empty scalar set = remove.
+    let empty = Scalar::<i64>::new().unwrap();
+    m.set_element_scalar(&empty, 2, 2).unwrap();
+    assert_eq!(m.extract_element(2, 2).unwrap(), None);
+}
+
+#[test]
+fn vector_set_and_extract_element_scalar_variants() {
+    let v = Vector::<i64>::new(4).unwrap();
+    let s = Scalar::<i64>::new().unwrap();
+    s.set_element(-3).unwrap();
+    v.set_element_scalar(&s, 1).unwrap();
+    assert_eq!(v.extract_element(1).unwrap(), Some(-3));
+    let out = Scalar::<i64>::new().unwrap();
+    v.extract_element_scalar(&out, 1).unwrap();
+    assert_eq!(out.extract_element().unwrap(), Some(-3));
+}
+
+#[test]
+fn assign_with_scalar_argument() {
+    let m = Matrix::<i64>::new(2, 2).unwrap();
+    let s = Scalar::<i64>::new().unwrap();
+    s.set_element(5).unwrap();
+    assign_scalar_grb(&m, no_mask(), None, &s, &[0, 1], &[0], &Descriptor::default())
+        .unwrap();
+    assert_eq!(m.nvals().unwrap(), 2);
+    assert_eq!(m.extract_element(1, 0).unwrap(), Some(5));
+    let v = Vector::<i64>::new(3).unwrap();
+    assign_scalar_v_grb(&v, no_mask_v(), None, &s, &all_indices(3), &Descriptor::default())
+        .unwrap();
+    assert_eq!(v.nvals().unwrap(), 3);
+}
+
+#[test]
+fn apply_with_scalar_bound_argument() {
+    let a = matrix();
+    let c = Matrix::<i64>::new(3, 3).unwrap();
+    let s = Scalar::<i64>::new().unwrap();
+    s.set_element(100).unwrap();
+    apply_binop2nd_scalar(
+        &c,
+        no_mask(),
+        None,
+        &BinaryOp::plus(),
+        &a,
+        &s,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(c.extract_element(0, 1).unwrap(), Some(104));
+    // Index-unary apply with the s parameter in a scalar.
+    let shift = Scalar::<i64>::new().unwrap();
+    shift.set_element(10).unwrap();
+    apply_indexop_scalar(
+        &c,
+        no_mask(),
+        None,
+        &IndexUnaryOp::rowindex(),
+        &a,
+        &shift,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(c.extract_element(2, 0).unwrap(), Some(12));
+}
+
+#[test]
+fn select_with_scalar_threshold() {
+    let a = matrix();
+    let c = Matrix::<i64>::new(3, 3).unwrap();
+    let thresh = Scalar::<i64>::new().unwrap();
+    thresh.set_element(0).unwrap();
+    select_scalar(
+        &c,
+        no_mask(),
+        None,
+        &IndexUnaryOp::valuegt(),
+        &a,
+        &thresh,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(c.nvals().unwrap(), 2); // 4 and 9
+    let u = Vector::<i64>::new(3).unwrap();
+    u.build(&[0, 1], &[5, -5], None).unwrap();
+    let w = Vector::<i64>::new(3).unwrap();
+    select_v_scalar(
+        &w,
+        no_mask_v(),
+        None,
+        &IndexUnaryOp::valuegt(),
+        &u,
+        &thresh,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(w.nvals().unwrap(), 1);
+}
+
+#[test]
+fn reduce_into_scalars_monoid_and_binop() {
+    let a = matrix();
+    let s = Scalar::<i64>::new().unwrap();
+    reduce_scalar(&s, None, &Monoid::plus(), &a).unwrap();
+    assert_eq!(s.extract_element().unwrap(), Some(12));
+    reduce_scalar_binop(&s, None, &BinaryOp::min(), &a).unwrap();
+    assert_eq!(s.extract_element().unwrap(), Some(-1));
+    // Accumulator folds into the previous scalar value.
+    reduce_scalar(&s, Some(&BinaryOp::plus()), &Monoid::plus(), &a).unwrap();
+    assert_eq!(s.extract_element().unwrap(), Some(11));
+    // Vector forms.
+    let v = Vector::<i64>::new(4).unwrap();
+    v.build(&[0, 3], &[7, 8], None).unwrap();
+    reduce_scalar_v(&s, None, &Monoid::plus(), &v).unwrap();
+    assert_eq!(s.extract_element().unwrap(), Some(15));
+    reduce_scalar_binop_v(&s, None, &BinaryOp::max(), &v).unwrap();
+    assert_eq!(s.extract_element().unwrap(), Some(8));
+    // §VI headline: reducing an empty container gives an EMPTY scalar.
+    let empty = Matrix::<i64>::new(2, 2).unwrap();
+    reduce_scalar(&s, None, &Monoid::plus(), &empty).unwrap();
+    assert_eq!(s.nvals().unwrap(), 0);
+}
+
+#[test]
+fn deferred_scalar_reduction_in_nonblocking_context() {
+    use graphblas::{Context, ContextOptions, Mode, WaitMode};
+    let ctx = Context::new(
+        &graphblas::global_context(),
+        Mode::NonBlocking,
+        ContextOptions::default(),
+    );
+    let a = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+    a.build(&[0, 1], &[0, 1], &[3, 4], None).unwrap();
+    let s = Scalar::<i64>::new_in(&ctx).unwrap();
+    reduce_scalar(&s, None, &Monoid::plus(), &a).unwrap();
+    // The reduction is pending in the scalar's sequence (§VI: scalar
+    // outputs make deferral possible); reading forces it.
+    assert_eq!(s.extract_element().unwrap(), Some(7));
+    s.wait(WaitMode::Materialize).unwrap();
+}

@@ -1,0 +1,226 @@
+//! Paper §III: completion semantics and the fusion latitude.
+//!
+//! Nonblocking sequences accumulate; `wait(Complete)` finishes them;
+//! consecutive unmasked in-place apply/select stages fuse into one
+//! traversal; reads force completion implicitly; completed objects can be
+//! handed across threads with an acquire/release edge.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use graphblas::operations::{apply, select};
+use graphblas::{
+    global_context, no_mask, Context, ContextOptions, Descriptor, IndexUnaryOp, Matrix, Mode,
+    UnaryOp, Vector, WaitMode,
+};
+
+fn nonblocking() -> Context {
+    Context::new(
+        &global_context(),
+        Mode::NonBlocking,
+        ContextOptions::default(),
+    )
+}
+
+fn seeded(ctx: &Context) -> Matrix<i64> {
+    let m = Matrix::<i64>::new_in(ctx, 4, 4).unwrap();
+    m.build(
+        &[0, 1, 2, 3, 0],
+        &[0, 1, 2, 3, 3],
+        &[1, 2, 3, 4, 5],
+        None,
+    )
+    .unwrap();
+    m
+}
+
+#[test]
+fn sequences_accumulate_and_drain() {
+    let ctx = nonblocking();
+    let m = seeded(&ctx);
+    assert!(m.pending_len() >= 1); // the build itself is deferred
+    for _ in 0..4 {
+        apply(
+            &m,
+            no_mask(),
+            None,
+            &UnaryOp::new("inc", |x: &i64| x + 1),
+            &m,
+            &Descriptor::default(),
+        )
+        .unwrap();
+    }
+    assert!(m.pending_len() >= 5);
+    m.wait(WaitMode::Complete).unwrap();
+    assert_eq!(m.pending_len(), 0);
+    assert_eq!(m.extract_element(0, 0).unwrap(), Some(5));
+}
+
+#[test]
+fn fused_pipeline_equals_eager_pipeline() {
+    // The same apply→select→apply chain in a blocking and a nonblocking
+    // context must produce identical results (§III: fusion must be
+    // mathematically invisible).
+    let run = |ctx: &Context| {
+        let m = seeded(ctx);
+        apply(
+            &m,
+            no_mask(),
+            None,
+            &UnaryOp::new("x10", |x: &i64| x * 10),
+            &m,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        select(
+            &m,
+            no_mask(),
+            None,
+            &IndexUnaryOp::valuegt(),
+            &m,
+            15i64,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        apply(
+            &m,
+            no_mask(),
+            None,
+            &UnaryOp::new("dec", |x: &i64| x - 1),
+            &m,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        m.wait(WaitMode::Materialize).unwrap();
+        m.extract_tuples().unwrap()
+    };
+    let blocking = Context::new(&global_context(), Mode::Blocking, ContextOptions::default());
+    assert_eq!(run(&nonblocking()), run(&blocking));
+}
+
+#[test]
+fn reads_force_completion_implicitly() {
+    let ctx = nonblocking();
+    let m = seeded(&ctx);
+    apply(
+        &m,
+        no_mask(),
+        None,
+        &UnaryOp::new("neg", |x: &i64| -x),
+        &m,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert!(m.pending_len() > 0);
+    // nvals is a read: the sequence must complete first.
+    assert_eq!(m.nvals().unwrap(), 5);
+    assert_eq!(m.pending_len(), 0);
+    assert_eq!(m.extract_element(1, 1).unwrap(), Some(-2));
+}
+
+#[test]
+fn reading_another_object_forces_only_that_operand() {
+    use graphblas::operations::ewise_add;
+    use graphblas::BinaryOp;
+    let ctx = nonblocking();
+    let a = seeded(&ctx);
+    let b = seeded(&ctx);
+    let c = Matrix::<i64>::new_in(&ctx, 4, 4).unwrap();
+    // Enqueuing C = A ⊕ B snapshots (and therefore completes) A and B,
+    // but C's own computation stays pending.
+    ewise_add(
+        &c,
+        no_mask(),
+        None,
+        &BinaryOp::plus(),
+        &a,
+        &b,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    assert_eq!(a.pending_len(), 0);
+    assert_eq!(b.pending_len(), 0);
+    assert!(c.pending_len() > 0);
+    assert_eq!(c.extract_element(0, 3).unwrap(), Some(10));
+}
+
+#[test]
+fn snapshot_fixes_input_values_at_call_time() {
+    // Sequence order: C = apply(A) enqueued, then A mutated. The deferred
+    // C must still see A's value from the call point.
+    let ctx = nonblocking();
+    let a = seeded(&ctx);
+    let c = Matrix::<i64>::new_in(&ctx, 4, 4).unwrap();
+    apply(
+        &c,
+        no_mask(),
+        None,
+        &UnaryOp::identity(),
+        &a,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    a.set_element(999, 0, 0).unwrap();
+    assert_eq!(c.extract_element(0, 0).unwrap(), Some(1));
+    assert_eq!(a.extract_element(0, 0).unwrap(), Some(999));
+}
+
+#[test]
+fn completed_object_crosses_threads_with_acquire_release() {
+    let ctx = nonblocking();
+    let shared = seeded(&ctx);
+    let flag = Arc::new(AtomicBool::new(false));
+    let expected = {
+        let d = shared.dup().unwrap();
+        d.extract_tuples().unwrap()
+    };
+    std::thread::scope(|scope| {
+        {
+            let shared = shared.clone();
+            let flag = flag.clone();
+            scope.spawn(move || {
+                apply(
+                    &shared,
+                    no_mask(),
+                    None,
+                    &UnaryOp::identity(),
+                    &shared,
+                    &Descriptor::default(),
+                )
+                .unwrap();
+                shared.wait(WaitMode::Complete).unwrap();
+                flag.store(true, Ordering::Release);
+            });
+        }
+        {
+            let shared = shared.clone();
+            let flag = flag.clone();
+            scope.spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(shared.extract_tuples().unwrap(), expected);
+            });
+        }
+    });
+}
+
+#[test]
+fn materialize_canonicalizes_storage() {
+    let ctx = nonblocking();
+    let m = seeded(&ctx);
+    m.wait(WaitMode::Materialize).unwrap();
+    // After materialization the hint must be the canonical CSR format.
+    assert_eq!(m.export_hint(), Some(graphblas::Format::Csr));
+}
+
+#[test]
+fn vector_wait_mirrors_matrix() {
+    let ctx = nonblocking();
+    let v = Vector::<i64>::new_in(&ctx, 5).unwrap();
+    v.build(&[0, 4], &[1, 2], None).unwrap();
+    assert!(v.pending_len() > 0);
+    v.wait(WaitMode::Complete).unwrap();
+    assert_eq!(v.pending_len(), 0);
+    assert_eq!(v.nvals().unwrap(), 2);
+}
