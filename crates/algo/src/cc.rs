@@ -99,8 +99,8 @@ mod tests {
 
     #[test]
     fn matches_union_find_on_random_graph() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        use graphblas_exec::rng::prelude::*;
+        let mut rng = StdRng::seed_from_u64(4);
         let n = 60;
         let mut edges = Vec::new();
         for _ in 0..70 {

@@ -153,8 +153,8 @@ mod tests {
 
     #[test]
     fn truss_is_nested_in_lower_truss() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        use graphblas_exec::rng::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
         let n = 24;
         let mut edges = Vec::new();
         for _ in 0..90 {

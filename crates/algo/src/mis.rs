@@ -236,9 +236,9 @@ mod tests {
 
     #[test]
     fn random_graphs_with_multiple_seeds() {
-        use rand::prelude::*;
+        use graphblas_exec::rng::prelude::*;
         for seed in 0..5u64 {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 100);
+            let mut rng = StdRng::seed_from_u64(seed + 100);
             let n = 40;
             let mut edges = Vec::new();
             for _ in 0..120 {

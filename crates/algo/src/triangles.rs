@@ -102,8 +102,8 @@ mod tests {
     #[test]
     #[allow(clippy::needless_range_loop)]
     fn matches_brute_force_on_random_graph() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use graphblas_exec::rng::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
         let n = 30;
         let mut edges = Vec::new();
         let mut adj = vec![vec![false; n]; n];

@@ -1,6 +1,11 @@
 //! §III — the fusion latitude: a chain of k in-place element-wise stages
 //! in a nonblocking context (fused into one traversal at `wait`) vs the
 //! same chain executed eagerly in a blocking context.
+//!
+//! Besides timing, this bench reads the `graphblas-obs` fusion counters
+//! (`fusion_hits`, `map_traversals`) after an instrumented pass of each
+//! chain length so the output shows the fusion *actually happened*: a run
+//! of `k` consecutive maps must report one traversal and `k - 1` hits.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphblas_core::operations::apply_v;
@@ -46,6 +51,47 @@ fn bench(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // Instrumented verification pass: prove the nonblocking chains fused.
+    let relaxed = std::sync::atomic::Ordering::Relaxed;
+    for k in [1usize, 2, 4, 8] {
+        let ctx = Context::new(
+            &global_context(),
+            Mode::NonBlocking,
+            ContextOptions::default(),
+        );
+        let v = Vector::<f64>::new_in(&ctx, n).unwrap();
+        v.build(&idx, &vals, None).unwrap();
+        v.wait(WaitMode::Materialize).unwrap();
+        graphblas_obs::set_enabled(true);
+        graphblas_obs::reset();
+        for _ in 0..k {
+            apply_v(
+                &v,
+                no_mask_v(),
+                None,
+                &UnaryOp::new("inc", |x: &f64| x + 1.0),
+                &v,
+                &Descriptor::default(),
+            )
+            .unwrap();
+        }
+        v.wait(WaitMode::Complete).unwrap();
+        let pending = graphblas_obs::counters::pending();
+        let (hits, traversals) = (
+            pending.fusion_hits.load(relaxed),
+            pending.map_traversals.load(relaxed),
+        );
+        graphblas_obs::set_enabled(false);
+        assert_eq!(
+            (traversals, hits),
+            (1, (k - 1) as u64),
+            "a fused chain of {k} maps must drain as one traversal"
+        );
+        println!(
+            "ablation_fusion/counters/{k}: map_traversals {traversals}, fusion_hits {hits}"
+        );
+    }
 }
 
 criterion_group!(benches, bench);

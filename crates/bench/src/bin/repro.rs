@@ -45,8 +45,90 @@ fn main() {
     ablation_fusion();
     ablation_terminal();
     algorithms();
+    obs_report();
 
     println!("\nreport complete");
+}
+
+// ---------------------------------------------------------------------
+// Observability — instrumented pagerank run, snapshot to BENCH_obs.json
+// ---------------------------------------------------------------------
+fn obs_report() {
+    header("Observability — obs snapshot of pagerank on R-MAT scale-12");
+    graphblas_obs::set_enabled(true);
+    graphblas_obs::reset();
+
+    // Rebuild the scale-12 graph inside a named nonblocking context so
+    // the snapshot exercises per-context attribution and rollups.
+    let ctx = Context::new(
+        &global_context(),
+        Mode::NonBlocking,
+        ContextOptions {
+            name: Some("pagerank-obs".to_string()),
+            ..ContextOptions::default()
+        },
+    );
+    let src = rmat_bool(12, 8, 12);
+    let (rows, cols, vals) = src.extract_tuples().unwrap();
+    let a = Matrix::<bool>::new_in(&ctx, src.nrows(), src.ncols()).unwrap();
+    a.build(&rows, &cols, &vals, Some(&BinaryOp::new("lor", |x: &bool, y: &bool| *x || *y)))
+        .unwrap();
+    a.wait(WaitMode::Materialize).unwrap();
+    std::hint::black_box(graphblas_algo::pagerank(&a, 0.85, 1e-6, 50).unwrap());
+
+    let per_object = a.stats();
+    let snap = graphblas_obs::snapshot();
+    graphblas_obs::set_enabled(false);
+
+    let json = snap.to_json();
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+
+    println!("| kernel | calls | wall | flops | nnz in | nnz out |");
+    println!("|--------|-------|------|-------|--------|---------|");
+    for k in snap.kernels.iter().filter(|k| k.calls > 0) {
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            k.kernel.name(),
+            k.calls,
+            fmt_time(k.nanos as f64 / 1e9),
+            k.flops,
+            k.nnz_in,
+            k.nnz_out
+        );
+    }
+    println!(
+        "pending: {} maps + {} opaques enqueued, {} fusion hits over {} traversals, {} drains",
+        snap.pending.maps_enqueued,
+        snap.pending.opaques_enqueued,
+        snap.pending.fusion_hits,
+        snap.pending.map_traversals,
+        snap.pending.drains
+    );
+    println!(
+        "pool: {} tasks spawned, {} inline, {} parks, {} wakes",
+        snap.pool.tasks_spawned, snap.pool.tasks_inline, snap.pool.parks, snap.pool.wakes
+    );
+    for c in &snap.contexts {
+        println!(
+            "context {} ({}): own {} spans / {}, rolled-up {} spans / {}",
+            c.id,
+            c.name.as_deref().unwrap_or("anonymous"),
+            c.own.spans,
+            fmt_time(c.own.nanos as f64 / 1e9),
+            c.rolled.spans,
+            fmt_time(c.rolled.nanos as f64 / 1e9)
+        );
+    }
+    println!("object stats (GrB_get-style): {}", per_object.to_json());
+    println!(
+        "snapshot: {} events recorded, {} bytes of JSON -> BENCH_obs.json",
+        snap.events_total,
+        json.len()
+    );
+    assert!(
+        snap.total_kernel_nanos() > 0 && snap.contexts.iter().any(|c| c.rolled.spans > 0),
+        "instrumented pagerank must produce non-zero span timings and context rollups"
+    );
 }
 
 // ---------------------------------------------------------------------

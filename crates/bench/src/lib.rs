@@ -8,8 +8,8 @@
 use graphblas_core::{BinaryOp, Matrix, Vector};
 use graphblas_io::{erdos_renyi, rmat};
 use graphblas_sparse::{Coo, Csr};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use graphblas_exec::rng::prelude::*;
+use graphblas_exec::rng::StdRng;
 
 /// Symmetrized boolean RMAT adjacency matrix (no self-loops).
 pub fn rmat_bool(scale: u32, edge_factor: usize, seed: u64) -> Matrix<bool> {

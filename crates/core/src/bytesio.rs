@@ -1,0 +1,106 @@
+//! Minimal little-endian byte cursor helpers for the opaque serialization
+//! format (§VII.B).
+//!
+//! The workspace builds offline with no external crates, so the reader and
+//! writer extension traits here provide the small `Buf`/`BufMut`-shaped
+//! surface `serialize.rs` needs: appending fixed-width little-endian
+//! integers to a `Vec<u8>`, and consuming them from a shrinking `&[u8]`.
+//!
+//! Reader methods **panic on underflow** (like their `bytes`-crate
+//! namesakes); callers bounds-check first, which `serialize.rs` does
+//! before every read.
+
+/// Little-endian appends onto a growable byte buffer.
+pub(crate) trait ByteWriteExt {
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+}
+
+impl ByteWriteExt for Vec<u8> {
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian reads from a shrinking slice cursor.
+pub(crate) trait ByteReadExt {
+    /// Drops the first `n` bytes. Panics when fewer remain.
+    fn advance(&mut self, n: usize);
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn get_i64_le(&mut self) -> i64;
+}
+
+macro_rules! read_le {
+    ($input:expr, $t:ty) => {{
+        const N: usize = std::mem::size_of::<$t>();
+        let mut b = [0u8; N];
+        b.copy_from_slice(&$input[..N]);
+        *$input = &$input[N..];
+        <$t>::from_le_bytes(b)
+    }};
+}
+
+impl ByteReadExt for &[u8] {
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+    fn get_u8(&mut self) -> u8 {
+        read_le!(self, u8)
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        read_le!(self, u16)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        read_le!(self, u32)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        read_le!(self, u64)
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        read_le!(self, i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xdeadbeef);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i64_le(-42);
+        buf.push(7);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xdeadbeef);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_u8(), 7);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn advance_consumes() {
+        let buf = [1u8, 2, 3, 4];
+        let mut r: &[u8] = &buf;
+        r.advance(3);
+        assert_eq!(r, &[4]);
+    }
+}

@@ -109,6 +109,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // The point of this test is exactly to pin the constants' values.
+    #[allow(clippy::assertions_on_constants)]
     fn predefined_descriptor_constants() {
         assert!(Descriptor::T0.transpose_a && !Descriptor::T0.transpose_b);
         assert!(Descriptor::T1.transpose_b && !Descriptor::T1.transpose_a);

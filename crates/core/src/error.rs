@@ -152,6 +152,11 @@ pub struct ExecutionError {
 
 impl ExecutionError {
     pub fn new(kind: ExecErrorKind, message: impl Into<String>) -> Self {
+        if graphblas_obs::enabled() {
+            graphblas_obs::counters::pending()
+                .errors_raised
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         ExecutionError {
             kind,
             message: message.into(),

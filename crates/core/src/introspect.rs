@@ -1,0 +1,87 @@
+//! `GrB_get`-style object introspection.
+//!
+//! GraphBLAS 2.0 objects are opaque, and under nonblocking execution (§III)
+//! even their *contents* are in flux — operations may sit in the pending
+//! sequence, storage may be in any Table III format, and an execution error
+//! may be latent (§V). [`ObjectStats`] reports all of that without forcing
+//! completion: querying never drains the sequence, converts storage, or
+//! otherwise perturbs what it observes.
+
+use graphblas_obs::JsonWriter;
+
+/// A point-in-time description of one container's observable state.
+///
+/// Produced by `Matrix::stats()` / `Vector::stats()` / `Scalar::stats()`.
+/// All fields describe the object *as stored right now*: `nvals` counts
+/// elements in the current store and ignores queued stages, so it can
+/// differ from what `nvals()` reports after completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectStats {
+    /// Object kind: `"matrix"`, `"vector"`, or `"scalar"`.
+    pub kind: &'static str,
+    /// Logical row count (vector length for vectors; 1 for scalars).
+    pub nrows: u64,
+    /// Logical column count (1 for vectors and scalars).
+    pub ncols: u64,
+    /// Stored elements in the current store (pre-completion).
+    pub nvals: u64,
+    /// Queued, not-yet-executed stages in the pending sequence.
+    pub pending: u64,
+    /// Current storage format (`"csr"`, `"csc"`, `"coo"`, `"dense"`,
+    /// `"sparse"`, `"full"`).
+    pub format: &'static str,
+    /// Whether a sticky execution error poisons the object (§V).
+    pub failed: bool,
+    /// Id of the context the object belongs to (§IV).
+    pub ctx: u64,
+}
+
+impl ObjectStats {
+    /// Serializes to a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("kind");
+        w.string(self.kind);
+        w.key("nrows");
+        w.number(self.nrows);
+        w.key("ncols");
+        w.number(self.ncols);
+        w.key("nvals");
+        w.number(self.nvals);
+        w.key("pending");
+        w.number(self.pending);
+        w.key("format");
+        w.string(self.format);
+        w.key("failed");
+        w.boolean(self.failed);
+        w.key("ctx");
+        w.number(self.ctx);
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let s = ObjectStats {
+            kind: "matrix",
+            nrows: 3,
+            ncols: 4,
+            nvals: 2,
+            pending: 1,
+            format: "coo",
+            failed: false,
+            ctx: 7,
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"kind\":\"matrix\""));
+        assert!(j.contains("\"pending\":1"));
+        assert!(j.contains("\"failed\":false"));
+    }
+}

@@ -34,8 +34,10 @@
 // aliasing every signature would hide more than it reveals.
 #![allow(clippy::type_complexity)]
 
+pub(crate) mod bytesio;
 pub mod descriptor;
 pub mod error;
+pub mod introspect;
 pub mod matrix;
 pub mod operations;
 pub mod ops;
@@ -49,6 +51,7 @@ pub(crate) mod write;
 
 pub use descriptor::Descriptor;
 pub use error::{ApiError, Error, ExecErrorKind, ExecutionError, GrbResult, Info};
+pub use introspect::ObjectStats;
 pub use matrix::Matrix;
 pub use ops::{BinaryOp, IndexUnaryOp, Monoid, Semiring, UnaryOp};
 pub use pending::WaitMode;

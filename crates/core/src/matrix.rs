@@ -16,11 +16,12 @@
 
 use std::sync::Arc;
 
+use graphblas_exec::sync::{Mutex, RwLock};
 use graphblas_exec::{Context, Mode};
 use graphblas_sparse::{Coo, Csc, Csr, Dense};
-use parking_lot::{Mutex, RwLock};
 
 use crate::error::{ApiError, Error, ExecutionError, GrbResult};
+use crate::introspect::ObjectStats;
 use crate::ops::BinaryOp;
 use crate::pending::{fuse_maps, MapFn, Stage, WaitMode};
 use crate::scalar::Scalar;
@@ -111,6 +112,13 @@ impl<T: ValueType> MatrixState<T> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let obs_on = graphblas_obs::enabled();
+        let _sp = obs_on.then(|| graphblas_obs::span_ctx("drain", ctx.id()));
+        if obs_on {
+            graphblas_obs::counters::pending()
+                .drains
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         let pending = std::mem::take(&mut self.pending);
         let mut run: Vec<MapFn<T>> = Vec::new();
         let result = (|| {
@@ -119,6 +127,11 @@ impl<T: ValueType> MatrixState<T> {
                     Stage::Map(f) => run.push(f),
                     Stage::Opaque(f) => {
                         self.flush_map_run(ctx, &mut run)?;
+                        if obs_on {
+                            graphblas_obs::counters::pending()
+                                .opaque_drains
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
                         f(self)?;
                     }
                 }
@@ -128,6 +141,13 @@ impl<T: ValueType> MatrixState<T> {
         if let Err(e) = &result {
             if let Error::Execution(exec) = e {
                 self.err = Some(exec.clone());
+                if obs_on {
+                    // The error surfaced at drain time, not at the call
+                    // that caused it — the §V deferral the paper promises.
+                    graphblas_obs::counters::pending()
+                        .errors_deferred
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
             }
             self.pending.clear();
         }
@@ -138,10 +158,28 @@ impl<T: ValueType> MatrixState<T> {
         if run.is_empty() {
             return Ok(());
         }
+        let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::MapFuse, ctx.id());
+        if sp.active() {
+            use std::sync::atomic::Ordering::Relaxed;
+            let p = graphblas_obs::counters::pending();
+            // A run of n maps executes as ONE traversal; the other n−1
+            // stages were absorbed into it — each is a fusion hit.
+            p.map_traversals.fetch_add(1, Relaxed);
+            p.fusion_hits.fetch_add(run.len() as u64 - 1, Relaxed);
+        }
         self.ensure_csr(ctx, false)?;
+        let nnz_in = if sp.active() { self.csr().nnz() as u64 } else { 0 };
         let fused = self
             .csr()
             .filter_map_with_index(ctx, |i, j, v| fuse_maps(run, &[i, j], v));
+        if sp.active() {
+            sp.io(
+                nnz_in * run.len() as u64,
+                nnz_in,
+                fused.nnz() as u64,
+                nnz_in * std::mem::size_of::<T>() as u64,
+            );
+        }
         self.store = MatStore::Csr(Arc::new(fused));
         run.clear();
         Ok(())
@@ -492,11 +530,38 @@ impl<T: ValueType> Matrix<T> {
     /// error reporting for the drained sequence.
     pub fn wait(&self, mode: WaitMode) -> GrbResult {
         let ctx = self.context();
+        let _sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Wait, ctx.id());
         let mut st = self.lock_completed()?;
         if mode == WaitMode::Materialize {
             st.ensure_csr(&ctx, true)?;
         }
         Ok(())
+    }
+
+    /// `GrB_get`-style introspection: the object's current dimensions,
+    /// stored-element count, pending-sequence depth, storage format, error
+    /// state, and context — **without** forcing completion. Under
+    /// nonblocking execution `stats().nvals` describes the store as it is
+    /// now, which may lag the sequence.
+    pub fn stats(&self) -> ObjectStats {
+        let ctx_id = self.context().id();
+        let st = self.inner.state.lock();
+        let (format, nvals) = match &st.store {
+            MatStore::Csr(a) => ("csr", a.nnz()),
+            MatStore::Csc(a) => ("csc", a.nnz()),
+            MatStore::Coo(a, _) => ("coo", a.nnz()),
+            MatStore::Dense(a) => ("dense", a.values().len()),
+        };
+        ObjectStats {
+            kind: "matrix",
+            nrows: st.nrows as u64,
+            ncols: st.ncols as u64,
+            nvals: nvals as u64,
+            pending: st.pending.len() as u64,
+            format,
+            failed: st.err.is_some(),
+            ctx: ctx_id,
+        }
     }
 
     /// `GrB_error`: the implementation-defined description of this
@@ -519,12 +584,14 @@ impl<T: ValueType> Matrix<T> {
     // --- crate-internal plumbing ------------------------------------------
 
     /// Locks state without draining (format inspection only).
-    pub(crate) fn lock_raw(&self) -> parking_lot::MutexGuard<'_, MatrixState<T>> {
+    pub(crate) fn lock_raw(&self) -> graphblas_exec::sync::MutexGuard<'_, MatrixState<T>> {
         self.inner.state.lock()
     }
 
     /// Locks state and drains the pending queue first.
-    pub(crate) fn lock_completed(&self) -> GrbResult<parking_lot::MutexGuard<'_, MatrixState<T>>> {
+    pub(crate) fn lock_completed(
+        &self,
+    ) -> GrbResult<graphblas_exec::sync::MutexGuard<'_, MatrixState<T>>> {
         let ctx = self.context();
         let mut st = self.inner.state.lock();
         st.drain(&ctx)?;
@@ -560,6 +627,12 @@ impl<T: ValueType> Matrix<T> {
         match ctx.mode() {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Opaque(stage));
+                if graphblas_obs::enabled() {
+                    graphblas_obs::counters::pending()
+                        .opaques_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(st.pending.len());
+                }
                 Ok(())
             }
             Mode::Blocking => {
@@ -584,6 +657,12 @@ impl<T: ValueType> Matrix<T> {
         match ctx.mode() {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Map(f));
+                if graphblas_obs::enabled() {
+                    graphblas_obs::counters::pending()
+                        .maps_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(st.pending.len());
+                }
                 Ok(())
             }
             Mode::Blocking => {
@@ -808,6 +887,30 @@ mod tests {
         m.clear().unwrap();
         assert_eq!(m.nvals().unwrap(), 0);
         assert_eq!((m.nrows(), m.ncols()), (2, 2));
+    }
+
+    #[test]
+    fn stats_reflect_store_without_completing() {
+        let ctx = Context::new(
+            &global_context(),
+            Mode::NonBlocking,
+            ContextOptions::default(),
+        );
+        let m = Matrix::<i64>::new_in(&ctx, 3, 3).unwrap();
+        m.build(&[0, 1], &[1, 2], &[1, 2], None).unwrap();
+        let s = m.stats();
+        assert_eq!(s.kind, "matrix");
+        assert_eq!((s.nrows, s.ncols), (3, 3));
+        // The build is still queued: stats must not have drained it.
+        assert_eq!(s.pending, 1);
+        assert_eq!(s.nvals, 0);
+        assert_eq!(s.ctx, ctx.id());
+        assert!(!s.failed);
+        m.wait(WaitMode::Materialize).unwrap();
+        let s = m.stats();
+        assert_eq!((s.pending, s.nvals), (0, 2));
+        assert_eq!(s.format, "csr");
+        assert!(s.to_json().contains("\"nvals\":2"));
     }
 
     #[test]

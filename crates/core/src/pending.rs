@@ -9,8 +9,10 @@
 //!   own stored elements (unmasked, unaccumulated `apply`/`select` whose
 //!   input is the output). Consecutive `Map` stages execute as **one**
 //!   traversal at drain time: the single-pass payoff §III's "fuse
-//!   operations" latitude describes, measured by the `ablation_fusion`
-//!   bench.
+//!   operations" latitude describes. The `ablation_fusion` bench times it
+//!   and reads the `graphblas-obs` fusion counters (`fusion_hits`,
+//!   `map_traversals`) to verify the fusion actually happened; a run of
+//!   `n` consecutive maps reports one traversal and `n − 1` fusion hits.
 //! * [`Stage::Opaque`] — everything else: an arbitrary deferred operation
 //!   that was given snapshots of its *other* inputs at enqueue time
 //!   (sequence order fixes input values at call time) and reads/writes the

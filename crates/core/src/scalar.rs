@@ -13,10 +13,11 @@
 
 use std::sync::Arc;
 
+use graphblas_exec::sync::{Mutex, RwLock};
 use graphblas_exec::{Context, Mode};
-use parking_lot::{Mutex, RwLock};
 
 use crate::error::{ApiError, Error, ExecutionError, GrbResult};
+use crate::introspect::ObjectStats;
 use crate::pending::WaitMode;
 use crate::types::ValueType;
 
@@ -161,6 +162,23 @@ impl<T: ValueType> Scalar<T> {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
+    /// `GrB_get`-style introspection without forcing completion (see
+    /// [`Matrix::stats`](crate::matrix::Matrix::stats)).
+    pub fn stats(&self) -> ObjectStats {
+        let ctx_id = self.context().id();
+        let st = self.inner.state.lock();
+        ObjectStats {
+            kind: "scalar",
+            nrows: 1,
+            ncols: 1,
+            nvals: u64::from(st.value.is_some()),
+            pending: st.pending.len() as u64,
+            format: "scalar",
+            failed: st.err.is_some(),
+            ctx: ctx_id,
+        }
+    }
+
     // --- crate-internal plumbing -----------------------------------------
 
     pub(crate) fn complete_internal(&self) -> GrbResult {
@@ -191,6 +209,12 @@ impl<T: ValueType> Scalar<T> {
         match mode {
             Mode::NonBlocking => {
                 st.pending.push(stage);
+                if graphblas_obs::enabled() {
+                    graphblas_obs::counters::pending()
+                        .opaques_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(st.pending.len());
+                }
                 Ok(())
             }
             Mode::Blocking => {

@@ -14,8 +14,7 @@
 //! Deserializing into the wrong element type is a domain mismatch;
 //! corruption is an `InvalidObject` execution error.
 
-use bytes::{Buf, BufMut};
-
+use crate::bytesio::{ByteReadExt, ByteWriteExt};
 use crate::error::{ApiError, Error, ExecErrorKind, GrbResult};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;

@@ -4,11 +4,12 @@
 
 use std::sync::Arc;
 
+use graphblas_exec::sync::{Mutex, RwLock};
 use graphblas_exec::{Context, Mode};
 use graphblas_sparse::{DenseVec, SparseVec};
-use parking_lot::{Mutex, RwLock};
 
 use crate::error::{ApiError, Error, ExecutionError, GrbResult};
+use crate::introspect::ObjectStats;
 use crate::ops::BinaryOp;
 use crate::pending::{fuse_maps, MapFn, Stage, WaitMode};
 use crate::scalar::Scalar;
@@ -67,12 +68,19 @@ impl<T: ValueType> VectorState<T> {
         }
     }
 
-    pub(crate) fn drain(&mut self, _ctx: &Context) -> GrbResult {
+    pub(crate) fn drain(&mut self, ctx: &Context) -> GrbResult {
         if let Some(e) = &self.err {
             return Err(Error::Execution(e.clone()));
         }
         if self.pending.is_empty() {
             return Ok(());
+        }
+        let obs_on = graphblas_obs::enabled();
+        let _sp = obs_on.then(|| graphblas_obs::span_ctx("drain", ctx.id()));
+        if obs_on {
+            graphblas_obs::counters::pending()
+                .drains
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         let pending = std::mem::take(&mut self.pending);
         let mut run: Vec<MapFn<T>> = Vec::new();
@@ -81,30 +89,56 @@ impl<T: ValueType> VectorState<T> {
                 match stage {
                     Stage::Map(f) => run.push(f),
                     Stage::Opaque(f) => {
-                        self.flush_map_run(&mut run)?;
+                        self.flush_map_run(ctx, &mut run)?;
+                        if obs_on {
+                            graphblas_obs::counters::pending()
+                                .opaque_drains
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
                         f(self)?;
                     }
                 }
             }
-            self.flush_map_run(&mut run)
+            self.flush_map_run(ctx, &mut run)
         })();
         if let Err(e) = &result {
             if let Error::Execution(exec) = e {
                 self.err = Some(exec.clone());
+                if obs_on {
+                    graphblas_obs::counters::pending()
+                        .errors_deferred
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
             }
             self.pending.clear();
         }
         result
     }
 
-    fn flush_map_run(&mut self, run: &mut Vec<MapFn<T>>) -> GrbResult {
+    fn flush_map_run(&mut self, ctx: &Context, run: &mut Vec<MapFn<T>>) -> GrbResult {
         if run.is_empty() {
             return Ok(());
         }
+        let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::MapFuse, ctx.id());
+        if sp.active() {
+            use std::sync::atomic::Ordering::Relaxed;
+            let p = graphblas_obs::counters::pending();
+            p.map_traversals.fetch_add(1, Relaxed);
+            p.fusion_hits.fetch_add(run.len() as u64 - 1, Relaxed);
+        }
         self.ensure_sparse()?;
+        let nnz_in = if sp.active() { self.sparse().nnz() as u64 } else { 0 };
         let fused = self
             .sparse()
             .filter_map_with_index(|i, v| fuse_maps(run, &[i], v));
+        if sp.active() {
+            sp.io(
+                nnz_in * run.len() as u64,
+                nnz_in,
+                fused.nnz() as u64,
+                nnz_in * std::mem::size_of::<T>() as u64,
+            );
+        }
         self.store = VecStore::Sparse(Arc::new(fused));
         run.clear();
         Ok(())
@@ -342,11 +376,33 @@ impl<T: ValueType> Vector<T> {
 
     /// `GrB_wait` (§III, §V).
     pub fn wait(&self, mode: WaitMode) -> GrbResult {
+        let _sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Wait, self.context().id());
         let mut st = self.lock_completed()?;
         if mode == WaitMode::Materialize {
             st.ensure_sparse()?;
         }
         Ok(())
+    }
+
+    /// `GrB_get`-style introspection without forcing completion (see
+    /// [`Matrix::stats`](crate::matrix::Matrix::stats)).
+    pub fn stats(&self) -> ObjectStats {
+        let ctx_id = self.context().id();
+        let st = self.inner.state.lock();
+        let (format, nvals) = match &st.store {
+            VecStore::Sparse(a) => ("sparse", a.nnz()),
+            VecStore::Dense(a) => ("full", a.len()),
+        };
+        ObjectStats {
+            kind: "vector",
+            nrows: st.n as u64,
+            ncols: 1,
+            nvals: nvals as u64,
+            pending: st.pending.len() as u64,
+            format,
+            failed: st.err.is_some(),
+            ctx: ctx_id,
+        }
     }
 
     /// `GrB_error`.
@@ -372,11 +428,13 @@ impl<T: ValueType> Vector<T> {
     // --- crate-internal plumbing ------------------------------------------
 
     /// Locks state without draining (format inspection only).
-    pub(crate) fn lock_raw(&self) -> parking_lot::MutexGuard<'_, VectorState<T>> {
+    pub(crate) fn lock_raw(&self) -> graphblas_exec::sync::MutexGuard<'_, VectorState<T>> {
         self.inner.state.lock()
     }
 
-    pub(crate) fn lock_completed(&self) -> GrbResult<parking_lot::MutexGuard<'_, VectorState<T>>> {
+    pub(crate) fn lock_completed(
+        &self,
+    ) -> GrbResult<graphblas_exec::sync::MutexGuard<'_, VectorState<T>>> {
         let ctx = self.context();
         let mut st = self.inner.state.lock();
         st.drain(&ctx)?;
@@ -402,6 +460,12 @@ impl<T: ValueType> Vector<T> {
         match ctx.mode() {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Opaque(stage));
+                if graphblas_obs::enabled() {
+                    graphblas_obs::counters::pending()
+                        .opaques_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(st.pending.len());
+                }
                 Ok(())
             }
             Mode::Blocking => {
@@ -424,6 +488,12 @@ impl<T: ValueType> Vector<T> {
         match ctx.mode() {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Map(f));
+                if graphblas_obs::enabled() {
+                    graphblas_obs::counters::pending()
+                        .maps_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(st.pending.len());
+                }
                 Ok(())
             }
             Mode::Blocking => {

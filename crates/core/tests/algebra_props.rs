@@ -1,16 +1,17 @@
-//! Property tests for the API layer: algebraic laws of the predefined
-//! operators, operation equivalences, and mode-independence (blocking vs
-//! nonblocking must be observationally identical).
+//! Randomized property tests for the API layer: algebraic laws of the
+//! predefined operators, operation equivalences, and mode-independence
+//! (blocking vs nonblocking must be observationally identical). Inputs
+//! come from the deterministic `graphblas_exec::rng` generator.
 
-use graphblas_core::operations::{
-    apply_indexop, assign, extract, select, select_v,
-};
+use graphblas_core::operations::{apply_indexop, assign, extract, select, select_v};
 use graphblas_core::{
     global_context, no_mask, no_mask_v, Context, ContextOptions, Descriptor, Index,
     IndexUnaryOp, Matrix, Mode, Monoid, Semiring, Vector, WaitMode,
 };
-use proptest::prelude::*;
+use graphblas_exec::rng::prelude::*;
 use std::collections::BTreeMap;
+
+const CASES: usize = 40;
 
 type Entries = BTreeMap<(Index, Index), i64>;
 
@@ -31,98 +32,174 @@ fn ents(m: &Matrix<i64>) -> Entries {
     r.into_iter().zip(c).zip(v).collect()
 }
 
-fn arb(rows: usize, cols: usize) -> impl Strategy<Value = Entries> {
-    proptest::collection::btree_map((0..rows, 0..cols), -30i64..30, 0..35)
+fn random_entries(rng: &mut StdRng, rows: usize, cols: usize) -> Entries {
+    (0..rng.gen_range(0..35usize))
+        .map(|_| {
+            (
+                (rng.gen_range(0..rows), rng.gen_range(0..cols)),
+                rng.gen_range(-30..30i64),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn monoid_laws_on_random_values(x in -1000i64..1000, y in -1000i64..1000, z in -1000i64..1000) {
+#[test]
+fn monoid_laws_on_random_values() {
+    let mut rng = StdRng::seed_from_u64(0x303D);
+    for _ in 0..CASES {
+        let (x, y, z) = (
+            rng.gen_range(-1000..1000i64),
+            rng.gen_range(-1000..1000i64),
+            rng.gen_range(-1000..1000i64),
+        );
         for m in [Monoid::<i64>::plus(), Monoid::<i64>::min(), Monoid::<i64>::max()] {
             // identity
-            prop_assert_eq!(m.apply(m.identity(), &x), x);
-            prop_assert_eq!(m.apply(&x, m.identity()), x);
+            assert_eq!(m.apply(m.identity(), &x), x);
+            assert_eq!(m.apply(&x, m.identity()), x);
             // associativity
-            prop_assert_eq!(
-                m.apply(&m.apply(&x, &y), &z),
-                m.apply(&x, &m.apply(&y, &z))
-            );
+            assert_eq!(m.apply(&m.apply(&x, &y), &z), m.apply(&x, &m.apply(&y, &z)));
             // commutativity
-            prop_assert_eq!(m.apply(&x, &y), m.apply(&y, &x));
+            assert_eq!(m.apply(&x, &y), m.apply(&y, &x));
         }
     }
+}
 
-    #[test]
-    fn semiring_distributivity_spot(x in -50i64..50, y in -50i64..50, z in -50i64..50) {
+#[test]
+fn semiring_distributivity_spot() {
+    let mut rng = StdRng::seed_from_u64(0x5E31);
+    for _ in 0..CASES {
+        let (x, y, z) = (
+            rng.gen_range(-50..50i64),
+            rng.gen_range(-50..50i64),
+            rng.gen_range(-50..50i64),
+        );
         // min-plus: z + min(x, y) == min(z + x, z + y)
         let sr = Semiring::<i64, i64, i64>::min_plus();
-        prop_assert_eq!(
+        assert_eq!(
             sr.multiply(&z, &sr.combine(&x, &y)),
             sr.combine(&sr.multiply(&z, &x), &sr.multiply(&z, &y))
         );
     }
+}
 
-    #[test]
-    fn select_equals_filter_reference(a in arb(9, 9), s in -20i64..20) {
+#[test]
+fn select_equals_filter_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5E1E);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 9, 9);
+        let s = rng.gen_range(-20..20i64);
         let am = mat((9, 9), &a);
         let c = Matrix::<i64>::new(9, 9).unwrap();
-        select(&c, no_mask(), None, &IndexUnaryOp::valuegt(), &am, s,
-            &Descriptor::default()).unwrap();
-        let expect: Entries = a.iter().filter(|(_, &v)| v > s)
-            .map(|(&k, &v)| (k, v)).collect();
-        prop_assert_eq!(ents(&c), expect);
+        select(
+            &c,
+            no_mask(),
+            None,
+            &IndexUnaryOp::valuegt(),
+            &am,
+            s,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        let expect: Entries = a
+            .iter()
+            .filter(|(_, &v)| v > s)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        assert_eq!(ents(&c), expect);
     }
+}
 
-    #[test]
-    fn tril_plus_strict_triu_is_identity_decomposition(a in arb(10, 10)) {
+#[test]
+fn tril_plus_strict_triu_is_identity_decomposition() {
+    let mut rng = StdRng::seed_from_u64(0x7817);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 10, 10);
         let am = mat((10, 10), &a);
         let lo = Matrix::<i64>::new(10, 10).unwrap();
         let hi = Matrix::<i64>::new(10, 10).unwrap();
-        select(&lo, no_mask(), None, &IndexUnaryOp::tril(), &am, 0i64,
-            &Descriptor::default()).unwrap();
-        select(&hi, no_mask(), None, &IndexUnaryOp::triu(), &am, 1i64,
-            &Descriptor::default()).unwrap();
+        select(
+            &lo,
+            no_mask(),
+            None,
+            &IndexUnaryOp::tril(),
+            &am,
+            0i64,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        select(
+            &hi,
+            no_mask(),
+            None,
+            &IndexUnaryOp::triu(),
+            &am,
+            1i64,
+            &Descriptor::default(),
+        )
+        .unwrap();
         let mut merged = ents(&lo);
         merged.extend(ents(&hi));
-        prop_assert_eq!(merged, a);
+        assert_eq!(merged, a);
     }
+}
 
-    #[test]
-    fn apply_rowindex_matches_coordinates(a in arb(8, 12)) {
+#[test]
+fn apply_rowindex_matches_coordinates() {
+    let mut rng = StdRng::seed_from_u64(0xA881);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 8, 12);
         let am = mat((8, 12), &a);
         let c = Matrix::<i64>::new(8, 12).unwrap();
-        apply_indexop(&c, no_mask(), None, &IndexUnaryOp::rowindex(), &am, 7i64,
-            &Descriptor::default()).unwrap();
+        apply_indexop(
+            &c,
+            no_mask(),
+            None,
+            &IndexUnaryOp::rowindex(),
+            &am,
+            7i64,
+            &Descriptor::default(),
+        )
+        .unwrap();
         for ((i, _), v) in ents(&c) {
-            prop_assert_eq!(v, i as i64 + 7);
+            assert_eq!(v, i as i64 + 7);
         }
-        prop_assert_eq!(c.nvals().unwrap(), a.len());
+        assert_eq!(c.nvals().unwrap(), a.len());
     }
+}
 
-    #[test]
-    fn extract_then_assign_roundtrips_region(
-        a in arb(10, 10),
-        rows in proptest::collection::btree_set(0usize..10, 1..5),
-        cols in proptest::collection::btree_set(0usize..10, 1..5),
-    ) {
+#[test]
+fn extract_then_assign_roundtrips_region() {
+    let mut rng = StdRng::seed_from_u64(0xE074);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 10, 10);
+        let rows: Vec<usize> = {
+            let set: std::collections::BTreeSet<usize> = (0..rng.gen_range(1..5usize))
+                .map(|_| rng.gen_range(0..10))
+                .collect();
+            set.into_iter().collect()
+        };
+        let cols: Vec<usize> = {
+            let set: std::collections::BTreeSet<usize> = (0..rng.gen_range(1..5usize))
+                .map(|_| rng.gen_range(0..10))
+                .collect();
+            set.into_iter().collect()
+        };
         // Extract a region, then assign it back: the matrix is unchanged.
-        let rows: Vec<_> = rows.into_iter().collect();
-        let cols: Vec<_> = cols.into_iter().collect();
         let am = mat((10, 10), &a);
         let sub = Matrix::<i64>::new(rows.len(), cols.len()).unwrap();
         extract(&sub, no_mask(), None, &am, &rows, &cols, &Descriptor::default()).unwrap();
         assign(&am, no_mask(), None, &sub, &rows, &cols, &Descriptor::default()).unwrap();
-        prop_assert_eq!(ents(&am), a);
+        assert_eq!(ents(&am), a);
     }
+}
 
-    #[test]
-    fn blocking_and_nonblocking_pipelines_agree(
-        a in arb(8, 8),
-        threshold in -20i64..20,
-        shift in -5i64..5,
-    ) {
+#[test]
+fn blocking_and_nonblocking_pipelines_agree() {
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 8, 8);
+        let threshold = rng.gen_range(-20..20i64);
+        let shift = rng.gen_range(-5..5i64);
         let run = |mode: Mode| {
             let ctx = Context::new(&global_context(), mode, ContextOptions::default());
             let m = Matrix::<i64>::new_in(&ctx, 8, 8).unwrap();
@@ -131,44 +208,73 @@ proptest! {
                 &a.keys().map(|k| k.1).collect::<Vec<_>>(),
                 &a.values().copied().collect::<Vec<_>>(),
                 None,
-            ).unwrap();
+            )
+            .unwrap();
             // In-place chain: shift values, drop small ones, re-shift.
             graphblas_core::operations::apply(
-                &m, no_mask(), None,
+                &m,
+                no_mask(),
+                None,
                 &graphblas_core::UnaryOp::new("shift", move |x: &i64| x + shift),
-                &m, &Descriptor::default(),
-            ).unwrap();
-            select(&m, no_mask(), None, &IndexUnaryOp::valuegt(), &m, threshold,
-                &Descriptor::default()).unwrap();
+                &m,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            select(
+                &m,
+                no_mask(),
+                None,
+                &IndexUnaryOp::valuegt(),
+                &m,
+                threshold,
+                &Descriptor::default(),
+            )
+            .unwrap();
             graphblas_core::operations::apply(
-                &m, no_mask(), None,
+                &m,
+                no_mask(),
+                None,
                 &graphblas_core::UnaryOp::new("unshift", move |x: &i64| x - shift),
-                &m, &Descriptor::default(),
-            ).unwrap();
+                &m,
+                &Descriptor::default(),
+            )
+            .unwrap();
             m.wait(WaitMode::Materialize).unwrap();
             ents(&m)
         };
-        prop_assert_eq!(run(Mode::Blocking), run(Mode::NonBlocking));
+        assert_eq!(run(Mode::Blocking), run(Mode::NonBlocking));
     }
+}
 
-    #[test]
-    fn diag_roundtrip(values in proptest::collection::btree_map(0usize..12, -40i64..40, 1..12), k in -3i64..4) {
+#[test]
+fn diag_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xD1A6);
+    for _ in 0..CASES {
+        let values: BTreeMap<usize, i64> = (0..rng.gen_range(1..12usize))
+            .map(|_| (rng.gen_range(0..12usize), rng.gen_range(-40..40i64)))
+            .collect();
+        let k = rng.gen_range(-3..4i64);
         let v = Vector::<i64>::new(12).unwrap();
         v.build(
             &values.keys().copied().collect::<Vec<_>>(),
             &values.values().copied().collect::<Vec<_>>(),
             None,
-        ).unwrap();
+        )
+        .unwrap();
         let m = Matrix::diag(&v, k).unwrap();
-        prop_assert_eq!(m.nvals().unwrap(), values.len());
+        assert_eq!(m.nvals().unwrap(), values.len());
         let back = m.extract_diag(k).unwrap();
         let (bi, bv) = back.extract_tuples().unwrap();
         let got: BTreeMap<usize, i64> = bi.into_iter().zip(bv).collect();
-        prop_assert_eq!(got, values);
+        assert_eq!(got, values);
     }
+}
 
-    #[test]
-    fn serialize_is_stable_under_storage_format(a in arb(7, 7)) {
+#[test]
+fn serialize_is_stable_under_storage_format() {
+    let mut rng = StdRng::seed_from_u64(0x5E2A);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 7, 7);
         // The serialized stream must not depend on the internal format the
         // object happens to be in.
         let am = mat((7, 7), &a);
@@ -176,47 +282,81 @@ proptest! {
         let bytes1 = am.serialize().unwrap();
         // Force a different internal journey: export COO, re-import.
         let (p, i, vv) = am.export(graphblas_core::Format::Coo).unwrap();
-        let m2 = Matrix::<i64>::import(7, 7, graphblas_core::Format::Coo,
-            Some(p), Some(i), vv).unwrap();
+        let m2 =
+            Matrix::<i64>::import(7, 7, graphblas_core::Format::Coo, Some(p), Some(i), vv)
+                .unwrap();
         let bytes2 = m2.serialize().unwrap();
-        prop_assert_eq!(bytes1, bytes2);
+        assert_eq!(bytes1, bytes2);
     }
+}
 
-    #[test]
-    fn vector_select_value_partition(
-        values in proptest::collection::btree_map(0usize..20, -30i64..30, 0..20),
-        s in -10i64..10,
-    ) {
+#[test]
+fn vector_select_value_partition() {
+    let mut rng = StdRng::seed_from_u64(0x5EC7);
+    for _ in 0..CASES {
+        let values: BTreeMap<usize, i64> = (0..rng.gen_range(0..20usize))
+            .map(|_| (rng.gen_range(0..20usize), rng.gen_range(-30..30i64)))
+            .collect();
+        let s = rng.gen_range(-10..10i64);
         let u = Vector::<i64>::new(20).unwrap();
         u.build(
             &values.keys().copied().collect::<Vec<_>>(),
             &values.values().copied().collect::<Vec<_>>(),
             None,
-        ).unwrap();
+        )
+        .unwrap();
         let hi = Vector::<i64>::new(20).unwrap();
         let lo = Vector::<i64>::new(20).unwrap();
-        select_v(&hi, no_mask_v(), None, &IndexUnaryOp::valuegt(), &u, s,
-            &Descriptor::default()).unwrap();
-        select_v(&lo, no_mask_v(), None, &IndexUnaryOp::valuele(), &u, s,
-            &Descriptor::default()).unwrap();
-        prop_assert_eq!(hi.nvals().unwrap() + lo.nvals().unwrap(), values.len());
+        select_v(
+            &hi,
+            no_mask_v(),
+            None,
+            &IndexUnaryOp::valuegt(),
+            &u,
+            s,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        select_v(
+            &lo,
+            no_mask_v(),
+            None,
+            &IndexUnaryOp::valuele(),
+            &u,
+            s,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(hi.nvals().unwrap() + lo.nvals().unwrap(), values.len());
     }
+}
 
-    #[test]
-    fn mxm_with_plus_pair_counts_structural_products(a in arb(8, 8), b in arb(8, 8)) {
+#[test]
+fn mxm_with_plus_pair_counts_structural_products() {
+    let mut rng = StdRng::seed_from_u64(0x3838);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 8, 8);
+        let b = random_entries(&mut rng, 8, 8);
         let am = mat((8, 8), &a);
         let bm = mat((8, 8), &b);
         let c = Matrix::<u64>::new(8, 8).unwrap();
         graphblas_core::operations::mxm(
-            &c, no_mask(), None,
-            &Semiring::<i64, i64, u64>::plus_pair(), &am, &bm,
+            &c,
+            no_mask(),
+            None,
+            &Semiring::<i64, i64, u64>::plus_pair(),
+            &am,
+            &bm,
             &Descriptor::default(),
-        ).unwrap();
+        )
+        .unwrap();
         // Reference: count of k such that A(i,k) and B(k,j) exist.
         let (r, cc, v) = c.extract_tuples().unwrap();
         for ((i, j), count) in r.into_iter().zip(cc).zip(v) {
-            let expect = (0..8).filter(|&k| a.contains_key(&(i, k)) && b.contains_key(&(k, j))).count() as u64;
-            prop_assert_eq!(count, expect);
+            let expect = (0..8)
+                .filter(|&k| a.contains_key(&(i, k)) && b.contains_key(&(k, j)))
+                .count() as u64;
+            assert_eq!(count, expect);
         }
     }
 }

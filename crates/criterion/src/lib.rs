@@ -1,0 +1,254 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, exposing the subset of its API the bench targets use:
+//! [`Criterion::benchmark_group`], group configuration
+//! (`sample_size` / `warm_up_time` / `measurement_time`),
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Methodology: each benchmark warms up for `warm_up_time`, estimates a
+//! per-iteration cost, then takes `sample_size` samples sized to fill
+//! `measurement_time` between them and reports the median per-iteration
+//! wall time on stdout. That is deliberately cruder than real criterion
+//! (no outlier analysis, no saved baselines) but keeps relative numbers
+//! meaningful while building offline with zero dependencies.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, created by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors criterion's builder entry point; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter,
+/// displayed as `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = self.bencher();
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = self.bencher();
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            median: None,
+            samples: 0,
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        match b.median {
+            Some(median) => println!(
+                "{}/{}: median {} over {} samples",
+                self.name,
+                id.id,
+                fmt_duration(median),
+                b.samples
+            ),
+            None => println!("{}/{}: no measurement taken", self.name, id.id),
+        }
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    median: Option<Duration>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters);
+
+        // Size each sample so all samples together fill measurement_time.
+        let per_sample_ns =
+            (self.measurement_time.as_nanos() / self.sample_size.max(1) as u128).max(1);
+        let iters_per_sample = (per_sample_ns / per_iter.max(1)).clamp(1, u128::from(u32::MAX));
+
+        let mut sample_means: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            sample_means.push(start.elapsed() / iters_per_sample as u32);
+        }
+        sample_means.sort_unstable();
+        self.samples = sample_means.len();
+        self.median = Some(sample_means[sample_means.len() / 2]);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Defines a group function invoking each registered bench target with a
+/// fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("spmv", 1024).id, "spmv/1024");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn iter_records_a_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(15));
+        let mut b = group.bencher();
+        b.iter(|| std::hint::black_box(2u64).pow(10));
+        assert!(b.median.is_some());
+        assert_eq!(b.samples, 3);
+        group.finish();
+    }
+}

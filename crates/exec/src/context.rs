@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 /// Execution mode established by `GrB_init` / `GrB_Context_new`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,7 +41,6 @@ pub struct ContextOptions {
     pub name: Option<String>,
 }
 
-#[derive(Debug)]
 struct ContextInner {
     id: u64,
     parent: Option<Context>,
@@ -55,14 +54,29 @@ static NEXT_CONTEXT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// An opaque handle to an execution context. Cheap to clone; clones share
 /// identity (as `GrB_Context` handles do in C).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Context {
     inner: Arc<ContextInner>,
 }
 
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("Context");
+        d.field("id", &self.inner.id);
+        if let Some(name) = &self.inner.name {
+            d.field("name", name);
+        }
+        d.field("mode", &self.inner.mode)
+            .field("parent", &self.inner.parent.as_ref().map(|p| p.id()))
+            .field("nthreads", &self.inner.nthreads)
+            .field("chunk_size", &self.inner.chunk_size)
+            .finish()
+    }
+}
+
 impl Context {
     fn make(parent: Option<Context>, mode: Mode, opts: ContextOptions) -> Context {
-        Context {
+        let ctx = Context {
             inner: Arc::new(ContextInner {
                 id: NEXT_CONTEXT_ID.fetch_add(1, Ordering::Relaxed),
                 parent,
@@ -71,7 +85,22 @@ impl Context {
                 chunk_size: opts.chunk_size,
                 name: opts.name,
             }),
+        };
+        if graphblas_obs::enabled() {
+            ctx.register_with_obs();
         }
+        ctx
+    }
+
+    /// Makes this context visible to the telemetry registry so spans can be
+    /// attributed to it by id and burble lines can print its name.
+    /// Idempotent; a no-op cost-wise beyond one mutex acquisition.
+    fn register_with_obs(&self) {
+        graphblas_obs::register_context(
+            self.inner.id,
+            self.inner.parent.as_ref().map_or(0, |p| p.id()),
+            self.inner.name.as_deref(),
+        );
     }
 
     /// Creates a context nested in `parent` (the analogue of
@@ -145,6 +174,27 @@ impl Context {
             cur = ctx.inner.parent.as_ref();
         }
         false
+    }
+
+    /// `GrB_get`-style introspection: the telemetry attributed to this
+    /// context — its own spans plus the rollup over all descendants.
+    ///
+    /// Contexts created while telemetry was off are registered here on
+    /// demand (with their ancestry chain), so `stats()` always returns
+    /// `Some` for a live handle; the totals are simply zero until spans
+    /// run under the context with telemetry enabled.
+    pub fn stats(&self) -> Option<graphblas_obs::ContextStats> {
+        // Register ancestors first so parent links resolve in the registry.
+        let mut chain: Vec<&Context> = Vec::new();
+        let mut cur = Some(self);
+        while let Some(ctx) = cur {
+            chain.push(ctx);
+            cur = ctx.inner.parent.as_ref();
+        }
+        for ctx in chain.into_iter().rev() {
+            ctx.register_with_obs();
+        }
+        graphblas_obs::ctxreg::context_stats(self.inner.id)
     }
 }
 
@@ -289,5 +339,50 @@ mod tests {
         let b = global_context();
         assert!(a.same(&b));
         assert!(is_initialized());
+    }
+
+    #[test]
+    fn debug_includes_name() {
+        let root = global_context();
+        let named = Context::new(
+            &root,
+            Mode::Blocking,
+            ContextOptions {
+                name: Some("solver-phase".to_string()),
+                ..Default::default()
+            },
+        );
+        let dbg = format!("{named:?}");
+        assert!(dbg.contains("solver-phase"), "Debug output was: {dbg}");
+        let anon = Context::new(&root, Mode::Blocking, ContextOptions::default());
+        assert!(!format!("{anon:?}").contains("name"));
+    }
+
+    #[test]
+    fn stats_registers_lazily_and_attributes_spans() {
+        let _g = crate::obs_test_guard();
+        let root = global_context();
+        let ctx = Context::new(
+            &root,
+            Mode::Blocking,
+            ContextOptions {
+                name: Some("stats-test".to_string()),
+                ..Default::default()
+            },
+        );
+        // Registration may have been skipped at creation (telemetry off);
+        // stats() must self-register and return a (possibly zero) row.
+        let before = ctx.stats().expect("stats row after lazy registration");
+        assert_eq!(before.name.as_deref(), Some("stats-test"));
+
+        graphblas_obs::set_enabled(true);
+        drop(graphblas_obs::span_ctx("unit-work", ctx.id()));
+        graphblas_obs::set_enabled(false);
+
+        let after = ctx.stats().unwrap();
+        assert_eq!(after.own.spans, before.own.spans + 1);
+        // The span must also roll up into the root context.
+        let root_stats = root.stats().unwrap();
+        assert!(root_stats.rolled.spans >= after.own.spans);
     }
 }

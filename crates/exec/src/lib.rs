@@ -16,14 +16,20 @@
 //!   paper's "number of threads … places … affinity" resource description.
 //! * [`partition`] — range-splitting utilities, including nnz-balanced row
 //!   partitioning for sparse kernels.
+//! * [`sync`] / [`rng`] — std-only support shims (guard-returning locks and
+//!   a seedable xoshiro256++ PRNG) used across the workspace, which builds
+//!   offline with no external crates.
 //!
 //! The crate is deliberately independent of GraphBLAS object types so that
-//! the storage substrate (`graphblas-sparse`) can also use it.
+//! the storage substrate (`graphblas-sparse`) can also use it. Contexts and
+//! the pool report into `graphblas-obs` when telemetry is enabled.
 
 pub mod context;
 pub mod par;
 pub mod partition;
 pub mod pool;
+pub mod rng;
+pub mod sync;
 
 pub use context::{init, is_initialized, finalize, global_context, Context, ContextOptions, Mode};
 pub use par::{
@@ -32,3 +38,10 @@ pub use par::{
 };
 pub use partition::{balanced_ranges, prefix_balanced_ranges};
 pub use pool::{global_pool, Scope, ThreadPool};
+
+/// Serializes tests that toggle the process-global telemetry flag.
+#[cfg(test)]
+pub(crate) fn obs_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -4,7 +4,8 @@
 //! conformant multithreaded implementation wants long-lived workers. The
 //! pool here is intentionally small and auditable:
 //!
-//! * workers block on a crossbeam MPMC channel of boxed jobs;
+//! * workers block on a hand-rolled MPMC queue (`Mutex<VecDeque>` +
+//!   `Condvar` — the workspace builds offline with no external crates);
 //! * [`ThreadPool::scope`] lets callers spawn closures that borrow stack
 //!   data — the scope does not return until every spawned task has run, so
 //!   the (single, documented) lifetime-erasing `unsafe` block is sound;
@@ -14,15 +15,17 @@
 //! Nested parallelism is handled by detecting re-entry: a task running *on*
 //! a pool worker that opens another scope executes its sub-tasks inline
 //! (see [`in_worker`]), which cannot deadlock.
+//!
+//! When telemetry is enabled (`graphblas-obs`), the pool counts task
+//! spawns, inline executions, scope entries, and worker park/wake events.
 
 use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -37,9 +40,76 @@ pub fn in_worker() -> bool {
     IN_WORKER.with(|w| w.get())
 }
 
+/// MPMC job queue: every worker shares one deque behind a mutex. Jobs are
+/// short-lived boxed closures; contention on the lock is dwarfed by the
+/// kernels the jobs run.
+struct JobQueue {
+    jobs: Mutex<(VecDeque<Job>, bool /* closed */)>,
+    available: Condvar,
+    /// Workers currently blocked in `available.wait` (so senders know
+    /// whether a push actually wakes someone — the obs "wake" count).
+    parked: AtomicUsize,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            available: Condvar::new(),
+            parked: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut guard = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.1 {
+            return; // teardown in progress: drop the job
+        }
+        guard.0.push_back(job);
+        if self.parked.load(Ordering::Relaxed) > 0 && graphblas_obs::enabled() {
+            graphblas_obs::counters::pool()
+                .wakes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        drop(guard);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a job is available or the queue is closed and empty.
+    fn pop(&self) -> Option<Job> {
+        let mut guard = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = guard.0.pop_front() {
+                return Some(job);
+            }
+            if guard.1 {
+                return None;
+            }
+            if graphblas_obs::enabled() {
+                graphblas_obs::counters::pool()
+                    .parks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.parked.fetch_add(1, Ordering::Relaxed);
+            guard = self
+                .available
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+            self.parked.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn close(&self) {
+        let mut guard = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        guard.1 = true;
+        drop(guard);
+        self.available.notify_all();
+    }
+}
+
 /// A fixed-size pool of persistent worker threads.
 pub struct ThreadPool {
-    tx: Sender<Job>,
+    queue: Arc<JobQueue>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
 }
@@ -48,22 +118,26 @@ impl ThreadPool {
     /// Creates a pool with `size` workers (at least one).
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let queue = Arc::new(JobQueue::new());
         let workers = (0..size)
             .map(|i| {
-                let rx = rx.clone();
+                let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("grb-worker-{i}"))
                     .spawn(move || {
                         IN_WORKER.with(|w| w.set(true));
-                        while let Ok(job) = rx.recv() {
+                        while let Some(job) = queue.pop() {
                             job();
                         }
                     })
                     .expect("failed to spawn GraphBLAS worker thread")
             })
             .collect();
-        ThreadPool { tx, workers, size }
+        ThreadPool {
+            queue,
+            workers,
+            size,
+        }
     }
 
     /// Number of worker threads in the pool.
@@ -71,11 +145,10 @@ impl ThreadPool {
         self.size
     }
 
-    /// Submits a `'static` job; returns immediately.
+    /// Submits a `'static` job; returns immediately. Jobs submitted during
+    /// teardown are dropped.
     pub fn spawn_static(&self, job: Job) {
-        // The channel is unbounded and workers only exit when the sender is
-        // dropped, so send can only fail during teardown; drop the job then.
-        let _ = self.tx.send(job);
+        self.queue.push(job);
     }
 
     /// Runs `f` with a [`Scope`] on which tasks borrowing the environment can
@@ -86,6 +159,11 @@ impl ThreadPool {
     where
         F: FnOnce(&Scope<'env, '_>) -> R,
     {
+        if graphblas_obs::enabled() {
+            graphblas_obs::counters::pool()
+                .scopes
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let state = Arc::new(ScopeState::default());
         let scope = Scope {
             pool: self,
@@ -103,9 +181,8 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel lets workers drain remaining jobs and exit.
-        let (dead_tx, _) = unbounded();
-        drop(std::mem::replace(&mut self.tx, dead_tx));
+        // Closing the queue lets workers drain remaining jobs and exit.
+        self.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -121,11 +198,11 @@ struct ScopeState {
 
 impl ScopeState {
     fn task_started(&self) {
-        *self.pending.lock() += 1;
+        *self.pending.lock().unwrap_or_else(|e| e.into_inner()) += 1;
     }
 
     fn task_finished(&self) {
-        let mut pending = self.pending.lock();
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
         *pending -= 1;
         if *pending == 0 {
             self.all_done.notify_all();
@@ -133,21 +210,27 @@ impl ScopeState {
     }
 
     fn wait(&self) {
-        let mut pending = self.pending.lock();
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
         while *pending > 0 {
-            self.all_done.wait(&mut pending);
+            pending = self
+                .all_done
+                .wait(pending)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     fn record_panic(&self, payload: Box<dyn Any + Send>) {
-        let mut slot = self.panic.lock();
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
         if slot.is_none() {
             *slot = Some(payload);
         }
     }
 
     fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
-        self.panic.lock().take()
+        self.panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
     }
 }
 
@@ -169,8 +252,18 @@ impl<'env, 'pool> Scope<'env, 'pool> {
         F: FnOnce() + Send + 'env,
     {
         if in_worker() {
+            if graphblas_obs::enabled() {
+                graphblas_obs::counters::pool()
+                    .tasks_inline
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             f();
             return;
+        }
+        if graphblas_obs::enabled() {
+            graphblas_obs::counters::pool()
+                .tasks_spawned
+                .fetch_add(1, Ordering::Relaxed);
         }
         self.state.task_started();
         let state = Arc::clone(&self.state);
@@ -179,7 +272,7 @@ impl<'env, 'pool> Scope<'env, 'pool> {
         // returns, and `Scope` cannot escape the closure passed to `scope`
         // (its lifetime parameters are invariant), so every borrow captured
         // by `task` strictly outlives the task's execution. Erasing the
-        // lifetime to satisfy the channel's `'static` bound is therefore
+        // lifetime to satisfy the queue's `'static` bound is therefore
         // sound.
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
         self.pool.spawn_static(Box::new(move || {
@@ -307,5 +400,22 @@ mod tests {
         let a = global_pool() as *const ThreadPool;
         let b = global_pool() as *const ThreadPool;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_activity_is_counted_when_enabled() {
+        let _g = crate::obs_test_guard();
+        graphblas_obs::set_enabled(true);
+        let before = graphblas_obs::snapshot().pool;
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| std::hint::black_box(()));
+            }
+        });
+        let after = graphblas_obs::snapshot().pool;
+        graphblas_obs::set_enabled(false);
+        assert!(after.scopes > before.scopes);
+        assert!(after.tasks_spawned >= before.tasks_spawned + 8);
     }
 }

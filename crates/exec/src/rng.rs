@@ -1,0 +1,247 @@
+//! A deterministic, seedable PRNG with a `rand`-flavoured API.
+//!
+//! The build environment has no registry access, so the workspace cannot
+//! depend on the `rand` crate; generators, benches, and randomized tests
+//! use this hand-rolled replacement instead. The generator is xoshiro256++
+//! (Blackman & Vigna) seeded through SplitMix64 — not cryptographic, but
+//! high-quality and fast, which is all synthetic graph generation and
+//! property-style testing need.
+//!
+//! The API mirrors the `rand` subset the workspace used: construct with
+//! [`StdRng::seed_from_u64`], draw with [`StdRng::gen_range`] /
+//! [`StdRng::gen`] / [`StdRng::gen_bool`], shuffle slices through the
+//! [`SliceRandom`] trait. `use graphblas_exec::rng::prelude::*` brings the
+//! traits into scope the way `rand::prelude::*` did.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Re-exports matching the shape of `rand::prelude`.
+pub mod prelude {
+    pub use super::{SampleRange, SliceRandom, StandardValue, StdRng};
+}
+
+/// xoshiro256++ generator. Deterministic for a given seed across
+/// platforms and runs.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the full 256-bit state from one `u64` via SplitMix64, per the
+    /// xoshiro authors' recommendation.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a range (`a..b` or `a..=b`), integer or float.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// A value from the type's "standard" distribution: floats uniform in
+    /// `[0, 1)`, integers uniform over the full domain, fair bools.
+    #[allow(clippy::should_implement_trait)]
+    pub fn gen<T: StandardValue>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Types drawable from the standard distribution via [`StdRng::gen`].
+pub trait StandardValue: Sized {
+    fn standard(rng: &mut StdRng) -> Self;
+}
+
+impl StandardValue for f64 {
+    fn standard(rng: &mut StdRng) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl StandardValue for f32 {
+    fn standard(rng: &mut StdRng) -> f32 {
+        rng.next_f64() as f32
+    }
+}
+
+impl StandardValue for bool {
+    fn standard(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl StandardValue for $t {
+            fn standard(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges [`StdRng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from(self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_from(self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from(self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_from(self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "gen_range: empty range");
+                    lo + (rng.next_f64() as $t) * (hi - lo)
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range!(f32, f64);
+
+/// In-place Fisher–Yates shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    fn shuffle(&mut self, rng: &mut StdRng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = rng.gen_range(0..10usize);
+            assert!(x < 10);
+            let y = rng.gen_range(-5..6i64);
+            assert!((-5..6).contains(&y));
+            let z = rng.gen_range(0.001..=1.0f64);
+            assert!((0.001..=1.0).contains(&z));
+            let w = rng.gen_range(3..=3u32);
+            assert_eq!(w, 3);
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..4000).map(|_| rng.gen::<f64>()).collect();
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+        assert!(xs.iter().any(|&x| x < 0.1) && xs.iter().any(|&x| x > 0.9));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.2)).count();
+        assert!((1600..2400).contains(&hits), "p=0.2 gave {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

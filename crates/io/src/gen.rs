@@ -6,8 +6,7 @@
 //! emit duplicate edges, resolved with a combiner).
 
 use graphblas_core::{BinaryOp, GrbResult, Matrix};
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use graphblas_exec::rng::StdRng;
 
 /// A directed edge list over vertices `0..n`.
 #[derive(Debug, Clone)]

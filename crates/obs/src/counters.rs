@@ -1,0 +1,350 @@
+//! Global atomic counters: per-kernel work accounting, pending-queue /
+//! fusion statistics, and thread-pool activity.
+//!
+//! Everything here is a plain `AtomicU64` updated with relaxed ordering —
+//! the counters are monotone statistics, not synchronization points. Sites
+//! must guard updates on [`crate::enabled`] so the disabled build does no
+//! atomic traffic at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The instrumented kernel families. The set mirrors the hot paths of
+/// `graphblas-sparse` (storage-level kernels) plus the container-level
+/// operations of `graphblas-core` whose cost the paper's §III latitude
+/// makes otherwise invisible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Kernel {
+    /// Sparse matrix × sparse matrix (`mxm`).
+    SpGemm = 0,
+    /// Sparse matrix × vector (`mxv`, push direction).
+    SpMv = 1,
+    /// Vector × sparse matrix (`vxm`, pull direction).
+    VxM = 2,
+    /// Element-wise union (`eWiseAdd`).
+    EwiseAdd = 3,
+    /// Element-wise intersection (`eWiseMult`).
+    EwiseMult = 4,
+    /// Explicit or descriptor-driven transpose.
+    Transpose = 5,
+    /// `apply` (unary / bound-scalar / index-unary).
+    Apply = 6,
+    /// `select` (index-unary filter).
+    Select = 7,
+    /// `reduce` to vector, scalar, or value.
+    Reduce = 8,
+    /// Deferred-sequence drain: one fused traversal of a map run.
+    MapFuse = 9,
+    /// COO/CSC/dense → CSR canonicalization and row sorting.
+    Convert = 10,
+    /// `wait(Complete|Materialize)`.
+    Wait = 11,
+}
+
+/// Number of [`Kernel`] variants (size of the static counter table).
+pub const KERNEL_COUNT: usize = 12;
+
+pub(crate) const KERNEL_LIST: [Kernel; KERNEL_COUNT] = [
+    Kernel::SpGemm,
+    Kernel::SpMv,
+    Kernel::VxM,
+    Kernel::EwiseAdd,
+    Kernel::EwiseMult,
+    Kernel::Transpose,
+    Kernel::Apply,
+    Kernel::Select,
+    Kernel::Reduce,
+    Kernel::MapFuse,
+    Kernel::Convert,
+    Kernel::Wait,
+];
+
+impl Kernel {
+    /// Stable lower-case name used in burble output and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::SpGemm => "spgemm",
+            Kernel::SpMv => "spmv",
+            Kernel::VxM => "vxm",
+            Kernel::EwiseAdd => "ewise_add",
+            Kernel::EwiseMult => "ewise_mult",
+            Kernel::Transpose => "transpose",
+            Kernel::Apply => "apply",
+            Kernel::Select => "select",
+            Kernel::Reduce => "reduce",
+            Kernel::MapFuse => "map_fuse",
+            Kernel::Convert => "convert",
+            Kernel::Wait => "wait",
+        }
+    }
+}
+
+/// One kernel's accumulated work. All fields are relaxed atomics.
+pub struct KernelCounters {
+    pub calls: AtomicU64,
+    pub nanos: AtomicU64,
+    pub flops: AtomicU64,
+    pub nnz_in: AtomicU64,
+    pub nnz_out: AtomicU64,
+    pub bytes_moved: AtomicU64,
+}
+
+impl KernelCounters {
+    // The const is only ever used to seed the static table below; each
+    // array slot gets its own atomics (no shared-state surprise).
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: KernelCounters = KernelCounters {
+        calls: AtomicU64::new(0),
+        nanos: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+        nnz_in: AtomicU64::new(0),
+        nnz_out: AtomicU64::new(0),
+        bytes_moved: AtomicU64::new(0),
+    };
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.nanos.store(0, Ordering::Relaxed);
+        self.flops.store(0, Ordering::Relaxed);
+        self.nnz_in.store(0, Ordering::Relaxed);
+        self.nnz_out.store(0, Ordering::Relaxed);
+        self.bytes_moved.store(0, Ordering::Relaxed);
+    }
+}
+
+static KERNELS: [KernelCounters; KERNEL_COUNT] = [KernelCounters::ZERO; KERNEL_COUNT];
+
+/// The live counter block for `k` (for instrumentation sites that add to
+/// individual fields between span start and end).
+pub fn kernel(k: Kernel) -> &'static KernelCounters {
+    &KERNELS[k as usize]
+}
+
+/// Adds one finished invocation of `k` with its measured wall time and
+/// work figures. The single entry point span drops funnel through.
+pub fn record_kernel(k: Kernel, nanos: u64, flops: u64, nnz_in: u64, nnz_out: u64, bytes: u64) {
+    let c = kernel(k);
+    c.calls.fetch_add(1, Ordering::Relaxed);
+    c.nanos.fetch_add(nanos, Ordering::Relaxed);
+    c.flops.fetch_add(flops, Ordering::Relaxed);
+    c.nnz_in.fetch_add(nnz_in, Ordering::Relaxed);
+    c.nnz_out.fetch_add(nnz_out, Ordering::Relaxed);
+    c.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of one kernel's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTotals {
+    pub kernel: Kernel,
+    pub calls: u64,
+    pub nanos: u64,
+    pub flops: u64,
+    pub nnz_in: u64,
+    pub nnz_out: u64,
+    pub bytes_moved: u64,
+}
+
+pub(crate) fn kernel_totals() -> Vec<KernelTotals> {
+    KERNEL_LIST
+        .iter()
+        .map(|&k| {
+            let c = kernel(k);
+            KernelTotals {
+                kernel: k,
+                calls: c.calls.load(Ordering::Relaxed),
+                nanos: c.nanos.load(Ordering::Relaxed),
+                flops: c.flops.load(Ordering::Relaxed),
+                nnz_in: c.nnz_in.load(Ordering::Relaxed),
+                nnz_out: c.nnz_out.load(Ordering::Relaxed),
+                bytes_moved: c.bytes_moved.load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+/// Pending-queue statistics for the §III deferred-execution machinery.
+pub struct PendingCounters {
+    /// Fusible `Stage::Map` stages enqueued.
+    pub maps_enqueued: AtomicU64,
+    /// `Stage::Opaque` stages enqueued.
+    pub opaques_enqueued: AtomicU64,
+    /// Map stages that were absorbed into a preceding map's traversal: a
+    /// run of `n` consecutive maps drains as one pass and scores `n - 1`.
+    pub fusion_hits: AtomicU64,
+    /// Fused map traversals executed (one per flushed map run).
+    pub map_traversals: AtomicU64,
+    /// Opaque stages executed at drain time.
+    pub opaque_drains: AtomicU64,
+    /// Queue-drain events that found work to do.
+    pub drains: AtomicU64,
+    /// High-water mark of any container's pending-queue depth.
+    pub max_depth: AtomicU64,
+    /// Execution errors raised (constructed) anywhere.
+    pub errors_raised: AtomicU64,
+    /// Execution errors that surfaced from a drained deferred sequence —
+    /// the §V "reported later" case.
+    pub errors_deferred: AtomicU64,
+}
+
+static PENDING: PendingCounters = PendingCounters {
+    maps_enqueued: AtomicU64::new(0),
+    opaques_enqueued: AtomicU64::new(0),
+    fusion_hits: AtomicU64::new(0),
+    map_traversals: AtomicU64::new(0),
+    opaque_drains: AtomicU64::new(0),
+    drains: AtomicU64::new(0),
+    max_depth: AtomicU64::new(0),
+    errors_raised: AtomicU64::new(0),
+    errors_deferred: AtomicU64::new(0),
+};
+
+/// The global pending-queue counter block.
+pub fn pending() -> &'static PendingCounters {
+    &PENDING
+}
+
+/// Records a new pending-queue depth, keeping the high-water mark.
+pub fn note_pending_depth(depth: usize) {
+    PENDING.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+}
+
+/// Point-in-time copy of the pending-queue statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PendingTotals {
+    pub maps_enqueued: u64,
+    pub opaques_enqueued: u64,
+    pub fusion_hits: u64,
+    pub map_traversals: u64,
+    pub opaque_drains: u64,
+    pub drains: u64,
+    pub max_depth: u64,
+    pub errors_raised: u64,
+    pub errors_deferred: u64,
+}
+
+pub(crate) fn pending_totals() -> PendingTotals {
+    PendingTotals {
+        maps_enqueued: PENDING.maps_enqueued.load(Ordering::Relaxed),
+        opaques_enqueued: PENDING.opaques_enqueued.load(Ordering::Relaxed),
+        fusion_hits: PENDING.fusion_hits.load(Ordering::Relaxed),
+        map_traversals: PENDING.map_traversals.load(Ordering::Relaxed),
+        opaque_drains: PENDING.opaque_drains.load(Ordering::Relaxed),
+        drains: PENDING.drains.load(Ordering::Relaxed),
+        max_depth: PENDING.max_depth.load(Ordering::Relaxed),
+        errors_raised: PENDING.errors_raised.load(Ordering::Relaxed),
+        errors_deferred: PENDING.errors_deferred.load(Ordering::Relaxed),
+    }
+}
+
+/// Thread-pool activity counters. The pool has no work stealing; the
+/// park/wake pair is the closest observable analogue — a park is a worker
+/// blocking on an empty queue, a wake is a job arriving for a parked
+/// worker.
+pub struct PoolCounters {
+    /// Tasks submitted to pool workers via a scope.
+    pub tasks_spawned: AtomicU64,
+    /// Tasks executed inline because the spawner was itself a pool worker
+    /// (nested parallel region).
+    pub tasks_inline: AtomicU64,
+    /// Times a worker blocked waiting for work.
+    pub parks: AtomicU64,
+    /// Times a parked worker was woken by a new job.
+    pub wakes: AtomicU64,
+    /// Scopes opened (`ThreadPool::scope` entries).
+    pub scopes: AtomicU64,
+}
+
+static POOL: PoolCounters = PoolCounters {
+    tasks_spawned: AtomicU64::new(0),
+    tasks_inline: AtomicU64::new(0),
+    parks: AtomicU64::new(0),
+    wakes: AtomicU64::new(0),
+    scopes: AtomicU64::new(0),
+};
+
+/// The global thread-pool counter block.
+pub fn pool() -> &'static PoolCounters {
+    &POOL
+}
+
+/// Point-in-time copy of the pool statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolTotals {
+    pub tasks_spawned: u64,
+    pub tasks_inline: u64,
+    pub parks: u64,
+    pub wakes: u64,
+    pub scopes: u64,
+}
+
+pub(crate) fn pool_totals() -> PoolTotals {
+    PoolTotals {
+        tasks_spawned: POOL.tasks_spawned.load(Ordering::Relaxed),
+        tasks_inline: POOL.tasks_inline.load(Ordering::Relaxed),
+        parks: POOL.parks.load(Ordering::Relaxed),
+        wakes: POOL.wakes.load(Ordering::Relaxed),
+        scopes: POOL.scopes.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn reset() {
+    for k in &KERNELS {
+        k.reset();
+    }
+    PENDING.maps_enqueued.store(0, Ordering::Relaxed);
+    PENDING.opaques_enqueued.store(0, Ordering::Relaxed);
+    PENDING.fusion_hits.store(0, Ordering::Relaxed);
+    PENDING.map_traversals.store(0, Ordering::Relaxed);
+    PENDING.opaque_drains.store(0, Ordering::Relaxed);
+    PENDING.drains.store(0, Ordering::Relaxed);
+    PENDING.max_depth.store(0, Ordering::Relaxed);
+    PENDING.errors_raised.store(0, Ordering::Relaxed);
+    PENDING.errors_deferred.store(0, Ordering::Relaxed);
+    POOL.tasks_spawned.store(0, Ordering::Relaxed);
+    POOL.tasks_inline.store(0, Ordering::Relaxed);
+    POOL.parks.store(0, Ordering::Relaxed);
+    POOL.wakes.store(0, Ordering::Relaxed);
+    POOL.scopes.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_recording_accumulates() {
+        reset();
+        record_kernel(Kernel::SpGemm, 100, 7, 3, 2, 64);
+        record_kernel(Kernel::SpGemm, 50, 3, 1, 1, 16);
+        let t = kernel_totals();
+        let g = t.iter().find(|k| k.kernel == Kernel::SpGemm).unwrap();
+        assert_eq!(g.calls, 2);
+        assert_eq!(g.nanos, 150);
+        assert_eq!(g.flops, 10);
+        assert_eq!(g.bytes_moved, 80);
+        reset();
+        let g2 = kernel_totals()
+            .into_iter()
+            .find(|k| k.kernel == Kernel::SpGemm)
+            .unwrap();
+        assert_eq!(g2.calls, 0);
+    }
+
+    #[test]
+    fn depth_high_water_mark() {
+        reset();
+        note_pending_depth(3);
+        note_pending_depth(9);
+        note_pending_depth(5);
+        assert_eq!(pending_totals().max_depth, 9);
+        reset();
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let mut names: Vec<_> = KERNEL_LIST.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KERNEL_COUNT);
+    }
+}

@@ -1,0 +1,193 @@
+//! A minimal hand-written JSON writer (no serde — the build environment
+//! is offline and the snapshot surface needs only objects, arrays,
+//! strings, numbers, and booleans).
+//!
+//! ```
+//! use graphblas_obs::JsonWriter;
+//! let mut w = JsonWriter::new();
+//! w.begin_object();
+//! w.key("name");
+//! w.string("pagerank");
+//! w.key("iters");
+//! w.number(20);
+//! w.key("ok");
+//! w.boolean(true);
+//! w.end_object();
+//! assert_eq!(w.finish(), r#"{"name":"pagerank","iters":20,"ok":true}"#);
+//! ```
+
+/// Streaming JSON builder. Call `key` before each value inside an object;
+/// commas and escaping are handled internally.
+#[derive(Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// One entry per open container: `true` once a first element was
+    /// written (so the next one needs a comma separator).
+    stack: Vec<bool>,
+    /// Set between a `key` and its value, which must not emit a comma.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn sep(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.buf.push(',');
+            }
+            *has_elems = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) {
+        self.sep();
+        self.buf.push('{');
+        self.stack.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.buf.push('}');
+    }
+
+    pub fn begin_array(&mut self) {
+        self.sep();
+        self.buf.push('[');
+        self.stack.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.buf.push(']');
+    }
+
+    pub fn key(&mut self, k: &str) {
+        self.sep();
+        self.write_escaped(k);
+        self.buf.push(':');
+        self.after_key = true;
+    }
+
+    pub fn string(&mut self, s: &str) {
+        self.sep();
+        self.write_escaped(s);
+    }
+
+    pub fn number(&mut self, n: u64) {
+        self.sep();
+        self.buf.push_str(&n.to_string());
+    }
+
+    pub fn number_i64(&mut self, n: i64) {
+        self.sep();
+        self.buf.push_str(&n.to_string());
+    }
+
+    /// Writes a float; non-finite values become `null` (JSON has no NaN).
+    pub fn number_f64(&mut self, n: f64) {
+        self.sep();
+        if n.is_finite() {
+            let formatted = format!("{n}");
+            self.buf.push_str(&formatted);
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    pub fn boolean(&mut self, b: bool) {
+        self.sep();
+        self.buf.push_str(if b { "true" } else { "false" });
+    }
+
+    pub fn null(&mut self) {
+        self.sep();
+        self.buf.push_str("null");
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let escaped = format!("\\u{:04x}", c as u32);
+                    self.buf.push_str(&escaped);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("xs");
+        w.begin_array();
+        w.number(1);
+        w.number(2);
+        w.begin_object();
+        w.key("deep");
+        w.null();
+        w.end_object();
+        w.end_array();
+        w.key("f");
+        w.number_f64(1.5);
+        w.key("neg");
+        w.number_i64(-3);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"xs":[1,2,{"deep":null}],"f":1.5,"neg":-3}"#);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.number_f64(f64::NAN);
+        w.number_f64(2.0);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,2]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.end_array();
+        w.key("b");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":[],"b":{}}"#);
+    }
+}

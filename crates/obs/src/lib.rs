@@ -1,0 +1,147 @@
+//! # graphblas-obs — runtime telemetry for `graphblas-rs`
+//!
+//! The GraphBLAS 2.0 nonblocking execution model (paper §III) lets the
+//! implementation defer, reorder, and fuse operations, and the §V error
+//! model defers execution errors until `wait` — so the *actual* work a
+//! program performs is invisible at the call site. This crate makes it
+//! visible without any external dependencies:
+//!
+//! * [`span`] / [`kernel_span`] — lightweight RAII spans recording
+//!   wall-time, thread, and the active [`Context`](crate::ctxreg) id into
+//!   a bounded ring-buffer event log, with an opt-in `GRB_BURBLE`-style
+//!   human-readable stderr narration (SuiteSparse's `GxB_BURBLE` analogue).
+//! * [`counters`] — per-kernel invocation counts, flops, input/output nnz,
+//!   and bytes moved; pending-queue depth, `Stage::Map` fusion hits vs.
+//!   opaque drains; pool task spawns and park/wake counts.
+//! * [`ctxreg`] — per-`Context` aggregation so the hierarchical thread
+//!   budget story of §IV becomes inspectable: each context exposes its
+//!   descendants' rolled-up statistics.
+//! * [`snapshot`] — a `GrB_get`-style introspection surface serializing to
+//!   JSON through the hand-written writer in [`json`] (no serde).
+//!
+//! ## Cost model
+//!
+//! Telemetry is **disabled by default**. Every instrumentation site in the
+//! hot paths guards on [`enabled`], a single relaxed atomic load plus a
+//! predictable branch, so the disabled fast path compiles to near-zero
+//! cost. Enable at startup with `GRB_OBS=1` (counters + spans) or
+//! `GRB_BURBLE=1` (additionally narrate every span to stderr), or at
+//! runtime with [`set_enabled`] / [`set_burble`].
+//!
+//! ```
+//! graphblas_obs::set_enabled(true);
+//! {
+//!     let mut s = graphblas_obs::kernel_span(graphblas_obs::Kernel::SpMv, 0);
+//!     s.io(100, 50, 10, 1200); // flops, nnz_in, nnz_out, bytes
+//! }
+//! let snap = graphblas_obs::snapshot();
+//! assert!(snap.kernels.iter().any(|k| k.kernel == graphblas_obs::Kernel::SpMv));
+//! let _json = snap.to_json();
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+pub mod counters;
+pub mod ctxreg;
+pub mod json;
+pub mod snapshot;
+pub mod span;
+
+pub use counters::{Kernel, KernelTotals, PendingTotals, PoolTotals, KERNEL_COUNT};
+pub use ctxreg::{register_context, ContextStats, CtxTotals};
+pub use json::JsonWriter;
+pub use snapshot::{snapshot, Snapshot};
+pub use span::{kernel_span, span, span_ctx, Event, Span};
+
+struct Flags {
+    enabled: AtomicBool,
+    burble: AtomicBool,
+}
+
+static FLAGS: OnceLock<Flags> = OnceLock::new();
+
+fn env_truthy(var: &str) -> bool {
+    std::env::var(var)
+        .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(false)
+}
+
+fn flags() -> &'static Flags {
+    FLAGS.get_or_init(|| {
+        let burble = env_truthy("GRB_BURBLE");
+        Flags {
+            // Burble narration implies telemetry: there is nothing to
+            // narrate without span timings.
+            enabled: AtomicBool::new(burble || env_truthy("GRB_OBS")),
+            burble: AtomicBool::new(burble),
+        }
+    })
+}
+
+/// Whether telemetry collection is on. This is the guard every
+/// instrumentation site checks first; when `false` the instrumented code
+/// paths do no other work.
+#[inline]
+pub fn enabled() -> bool {
+    flags().enabled.load(Ordering::Relaxed)
+}
+
+/// Turns telemetry collection on or off at runtime. Turning it off does
+/// not clear already-collected statistics (see [`reset`]).
+pub fn set_enabled(on: bool) {
+    flags().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Whether burble narration (per-span stderr lines) is on.
+#[inline]
+pub fn burble() -> bool {
+    flags().burble.load(Ordering::Relaxed)
+}
+
+/// Turns burble narration on or off. Enabling burble also enables
+/// telemetry collection.
+pub fn set_burble(on: bool) {
+    if on {
+        set_enabled(true);
+    }
+    flags().burble.store(on, Ordering::Relaxed);
+}
+
+/// Zeroes every counter, clears the event ring, and resets per-context
+/// totals (context registrations survive so names stay resolvable).
+/// Intended for tests and for bracketing a measurement region.
+pub fn reset() {
+    counters::reset();
+    span::reset_events();
+    ctxreg::reset_totals();
+}
+
+/// Serializes tests that flip the global flags (they would race under the
+/// parallel test runner otherwise).
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_toggle() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        assert!(enabled());
+        set_burble(false);
+        assert!(!burble());
+        set_enabled(false);
+        assert!(!enabled());
+        // Burble implies enabled.
+        set_burble(true);
+        assert!(enabled() && burble());
+        set_burble(false);
+        set_enabled(false);
+    }
+}

@@ -1,0 +1,215 @@
+//! The `GrB_get`-style introspection surface: a consistent point-in-time
+//! copy of every statistic this crate collects, serializable to JSON for
+//! the bench harness (`BENCH_obs.json`).
+
+use crate::counters::{self, KernelTotals, PendingTotals, PoolTotals};
+use crate::ctxreg::{self, ContextStats};
+use crate::json::JsonWriter;
+use crate::span::{self, Event};
+
+/// A point-in-time copy of all telemetry. Obtain through [`snapshot`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Whether collection was enabled at snapshot time.
+    pub enabled: bool,
+    /// Per-kernel totals (every kernel family, including zero rows).
+    pub kernels: Vec<KernelTotals>,
+    /// Pending-queue / fusion statistics.
+    pub pending: PendingTotals,
+    /// Thread-pool activity.
+    pub pool: PoolTotals,
+    /// Per-context rollups, ordered by context id.
+    pub contexts: Vec<ContextStats>,
+    /// The event ring's contents, chronological.
+    pub events: Vec<Event>,
+    /// Total events ever recorded (≥ `events.len()`; the excess was
+    /// overwritten in the ring).
+    pub events_total: u64,
+}
+
+/// Captures the current telemetry state. Counter families are read
+/// independently (each is internally consistent; the families are not
+/// mutually atomic, which is fine for statistics).
+pub fn snapshot() -> Snapshot {
+    let (events, events_total) = span::events();
+    Snapshot {
+        enabled: crate::enabled(),
+        kernels: counters::kernel_totals(),
+        pending: counters::pending_totals(),
+        pool: counters::pool_totals(),
+        contexts: ctxreg::all_context_stats(),
+        events,
+        events_total,
+    }
+}
+
+impl Snapshot {
+    /// Sum of span wall time over all kernels, in nanoseconds.
+    pub fn total_kernel_nanos(&self) -> u64 {
+        self.kernels.iter().map(|k| k.nanos).sum()
+    }
+
+    /// The totals row for one kernel family.
+    pub fn kernel(&self, k: counters::Kernel) -> &KernelTotals {
+        self.kernels
+            .iter()
+            .find(|t| t.kernel == k)
+            .expect("snapshot holds every kernel family")
+    }
+
+    /// Serializes the snapshot. `include_events` controls whether the
+    /// (potentially large) event log is embedded.
+    pub fn to_json_with(&self, include_events: bool) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("enabled");
+        w.boolean(self.enabled);
+
+        w.key("kernels");
+        w.begin_object();
+        for k in &self.kernels {
+            w.key(k.kernel.name());
+            w.begin_object();
+            w.key("calls");
+            w.number(k.calls);
+            w.key("nanos");
+            w.number(k.nanos);
+            w.key("flops");
+            w.number(k.flops);
+            w.key("nnz_in");
+            w.number(k.nnz_in);
+            w.key("nnz_out");
+            w.number(k.nnz_out);
+            w.key("bytes_moved");
+            w.number(k.bytes_moved);
+            w.end_object();
+        }
+        w.end_object();
+
+        w.key("pending");
+        w.begin_object();
+        w.key("maps_enqueued");
+        w.number(self.pending.maps_enqueued);
+        w.key("opaques_enqueued");
+        w.number(self.pending.opaques_enqueued);
+        w.key("fusion_hits");
+        w.number(self.pending.fusion_hits);
+        w.key("map_traversals");
+        w.number(self.pending.map_traversals);
+        w.key("opaque_drains");
+        w.number(self.pending.opaque_drains);
+        w.key("drains");
+        w.number(self.pending.drains);
+        w.key("max_depth");
+        w.number(self.pending.max_depth);
+        w.key("errors_raised");
+        w.number(self.pending.errors_raised);
+        w.key("errors_deferred");
+        w.number(self.pending.errors_deferred);
+        w.end_object();
+
+        w.key("pool");
+        w.begin_object();
+        w.key("tasks_spawned");
+        w.number(self.pool.tasks_spawned);
+        w.key("tasks_inline");
+        w.number(self.pool.tasks_inline);
+        w.key("parks");
+        w.number(self.pool.parks);
+        w.key("wakes");
+        w.number(self.pool.wakes);
+        w.key("scopes");
+        w.number(self.pool.scopes);
+        w.end_object();
+
+        w.key("contexts");
+        w.begin_array();
+        for c in &self.contexts {
+            w.begin_object();
+            w.key("id");
+            w.number(c.id);
+            w.key("parent");
+            w.number(c.parent);
+            w.key("name");
+            match &c.name {
+                Some(n) => w.string(n),
+                None => w.null(),
+            }
+            w.key("own");
+            write_totals(&mut w, c.own.spans, c.own.nanos, c.own.flops);
+            w.key("rolled");
+            write_totals(&mut w, c.rolled.spans, c.rolled.nanos, c.rolled.flops);
+            w.end_object();
+        }
+        w.end_array();
+
+        w.key("events_total");
+        w.number(self.events_total);
+        if include_events {
+            w.key("events");
+            w.begin_array();
+            for ev in &self.events {
+                w.begin_object();
+                w.key("name");
+                w.string(ev.name);
+                w.key("ctx");
+                w.number(ev.ctx);
+                w.key("thread");
+                match span::thread_name(ev.thread) {
+                    Some(n) => w.string(&n),
+                    None => w.number(ev.thread as u64),
+                }
+                w.key("start_us");
+                w.number(ev.start_us);
+                w.key("dur_ns");
+                w.number(ev.dur_ns);
+                w.end_object();
+            }
+            w.end_array();
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// Serializes the snapshot including the event log.
+    pub fn to_json(&self) -> String {
+        self.to_json_with(true)
+    }
+}
+
+fn write_totals(w: &mut JsonWriter, spans: u64, nanos: u64, flops: u64) {
+    w.begin_object();
+    w.key("spans");
+    w.number(spans);
+    w.key("nanos");
+    w.number(nanos);
+    w.key("flops");
+    w.number(flops);
+    w.end_object();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Kernel;
+
+    #[test]
+    fn snapshot_serializes() {
+        let snap = snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"kernels\""));
+        assert!(json.contains("\"spgemm\""));
+        assert!(json.contains("\"pending\""));
+        assert!(json.contains("\"pool\""));
+        assert!(json.contains("\"contexts\""));
+        let brief = snap.to_json_with(false);
+        assert!(!brief.contains("\"events\":["));
+    }
+
+    #[test]
+    fn kernel_lookup() {
+        let snap = snapshot();
+        assert_eq!(snap.kernel(Kernel::Wait).kernel, Kernel::Wait);
+    }
+}

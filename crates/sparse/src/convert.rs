@@ -15,13 +15,45 @@ use crate::error::FormatError;
 use crate::svec::SparseVec;
 use crate::transpose::transpose;
 
+/// Runs `work` under a [`graphblas_obs::Kernel::Convert`] span, charging
+/// `nnz_in` entries and a byte estimate at entry and the result's nnz via
+/// `nnz_out` on completion.
+fn with_convert_span<R>(
+    ctx: &Context,
+    nnz_in: usize,
+    elem_bytes: usize,
+    nnz_out: impl Fn(&R) -> usize,
+    work: impl FnOnce() -> R,
+) -> R {
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Convert, ctx.id());
+    if sp.active() {
+        sp.io(
+            0,
+            nnz_in as u64,
+            0,
+            (nnz_in * (std::mem::size_of::<usize>() + elem_bytes)) as u64,
+        );
+    }
+    let r = work();
+    if sp.active() {
+        sp.io(0, 0, nnz_out(&r) as u64, 0);
+    }
+    r
+}
+
 /// COO → CSR; duplicates combined with `dup` or rejected when `None`.
 pub fn coo_to_csr<T: Clone + Send + Sync>(
     ctx: &Context,
     coo: &Coo<T>,
     dup: Option<&(dyn Fn(&T, &T) -> T + Sync)>,
 ) -> Result<Csr<T>, FormatError> {
-    coo.to_csr(ctx, dup)
+    with_convert_span(
+        ctx,
+        coo.nnz(),
+        std::mem::size_of::<T>(),
+        |r: &Result<Csr<T>, FormatError>| r.as_ref().map_or(0, |c| c.nnz()),
+        || coo.to_csr(ctx, dup),
+    )
 }
 
 /// CSR → COO (storage order).
@@ -31,17 +63,27 @@ pub fn csr_to_coo<T: Clone + Send + Sync>(a: &Csr<T>) -> Coo<T> {
 
 /// CSR → CSC (one transpose pass).
 pub fn csr_to_csc<T: Clone + Send + Sync>(ctx: &Context, a: &Csr<T>) -> Csc<T> {
-    Csc::from_csr(ctx, a)
+    with_convert_span(ctx, a.nnz(), std::mem::size_of::<T>(), Csc::nnz, || {
+        Csc::from_csr(ctx, a)
+    })
 }
 
 /// CSC → CSR (one transpose pass).
 pub fn csc_to_csr<T: Clone + Send + Sync>(ctx: &Context, a: &Csc<T>) -> Csr<T> {
-    a.to_csr(ctx)
+    with_convert_span(ctx, a.nnz(), std::mem::size_of::<T>(), Csr::nnz, || {
+        a.to_csr(ctx)
+    })
 }
 
 /// Dense (either layout) → CSR.
 pub fn dense_to_csr<T: Clone + Send + Sync>(ctx: &Context, d: &Dense<T>) -> Csr<T> {
-    d.to_csr(ctx)
+    with_convert_span(
+        ctx,
+        d.nrows() * d.ncols(),
+        std::mem::size_of::<T>(),
+        Csr::nnz,
+        || d.to_csr(ctx),
+    )
 }
 
 /// CSR → dense; requires every element present.
@@ -50,7 +92,13 @@ pub fn csr_to_dense<T: Clone + Send + Sync>(
     a: &Csr<T>,
     layout: Layout,
 ) -> Result<Dense<T>, FormatError> {
-    Dense::from_csr_full(ctx, a, layout)
+    with_convert_span(
+        ctx,
+        a.nnz(),
+        std::mem::size_of::<T>(),
+        |r: &Result<Dense<T>, FormatError>| r.as_ref().map_or(0, |d| d.nrows() * d.ncols()),
+        || Dense::from_csr_full(ctx, a, layout),
+    )
 }
 
 /// Explicit transpose (re-export for API uniformity).
@@ -72,75 +120,94 @@ pub fn svec_to_dvec<T: Clone>(s: &SparseVec<T>) -> Result<DenseVec<T>, FormatErr
 mod tests {
     use super::*;
     use graphblas_exec::global_context;
-    use proptest::prelude::*;
+    use graphblas_exec::rng::prelude::*;
 
-    fn arb_matrix() -> impl Strategy<Value = Csr<i64>> {
-        (1usize..20, 1usize..20).prop_flat_map(|(m, n)| {
-            proptest::collection::vec((0..m, 0..n, -100i64..100), 0..60).prop_map(
-                move |mut t| {
-                    t.sort_by_key(|&(i, j, _)| (i, j));
-                    t.dedup_by_key(|&mut (i, j, _)| (i, j));
-                    let rows = t.iter().map(|x| x.0).collect();
-                    let cols = t.iter().map(|x| x.1).collect();
-                    let vals = t.iter().map(|x| x.2).collect();
-                    Coo::from_parts(m, n, rows, cols, vals)
-                        .unwrap()
-                        .to_csr(&global_context(), None)
-                        .unwrap()
-                },
-            )
-        })
+    fn random_matrix(rng: &mut StdRng) -> Csr<i64> {
+        let (m, n) = (rng.gen_range(1..20usize), rng.gen_range(1..20usize));
+        let mut t: Vec<(usize, usize, i64)> = (0..rng.gen_range(0..60usize))
+            .map(|_| {
+                (
+                    rng.gen_range(0..m),
+                    rng.gen_range(0..n),
+                    rng.gen_range(-100..100i64),
+                )
+            })
+            .collect();
+        t.sort_by_key(|&(i, j, _)| (i, j));
+        t.dedup_by_key(|&mut (i, j, _)| (i, j));
+        let rows = t.iter().map(|x| x.0).collect();
+        let cols = t.iter().map(|x| x.1).collect();
+        let vals = t.iter().map(|x| x.2).collect();
+        Coo::from_parts(m, n, rows, cols, vals)
+            .unwrap()
+            .to_csr(&global_context(), None)
+            .unwrap()
     }
 
-    proptest! {
-        #[test]
-        fn coo_roundtrip(a in arb_matrix()) {
-            let ctx = global_context();
+    #[test]
+    fn coo_roundtrip() {
+        let ctx = global_context();
+        let mut rng = StdRng::seed_from_u64(0xC00);
+        for _ in 0..32 {
+            let a = random_matrix(&mut rng);
             let back = coo_to_csr(&ctx, &csr_to_coo(&a), None).unwrap();
-            prop_assert_eq!(a.to_sorted_tuples(), back.to_sorted_tuples());
+            assert_eq!(a.to_sorted_tuples(), back.to_sorted_tuples());
         }
+    }
 
-        #[test]
-        fn csc_roundtrip(a in arb_matrix()) {
-            let ctx = global_context();
+    #[test]
+    fn csc_roundtrip() {
+        let ctx = global_context();
+        let mut rng = StdRng::seed_from_u64(0xC5C);
+        for _ in 0..32 {
+            let a = random_matrix(&mut rng);
             let back = csc_to_csr(&ctx, &csr_to_csc(&ctx, &a));
-            prop_assert_eq!(a.to_sorted_tuples(), back.to_sorted_tuples());
+            assert_eq!(a.to_sorted_tuples(), back.to_sorted_tuples());
         }
+    }
 
-        #[test]
-        fn transpose_involution(a in arb_matrix()) {
-            let ctx = global_context();
+    #[test]
+    fn transpose_involution() {
+        let ctx = global_context();
+        let mut rng = StdRng::seed_from_u64(0x7A);
+        for _ in 0..32 {
+            let a = random_matrix(&mut rng);
             let tt = csr_transpose(&ctx, &csr_transpose(&ctx, &a));
-            prop_assert_eq!(a.to_sorted_tuples(), tt.to_sorted_tuples());
+            assert_eq!(a.to_sorted_tuples(), tt.to_sorted_tuples());
         }
+    }
 
-        #[test]
-        fn dense_roundtrip_full_matrices(
-            (m, n) in (1usize..8, 1usize..8),
-            seed in any::<u64>(),
-        ) {
-            let ctx = global_context();
-            use rand::prelude::*;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    #[test]
+    fn dense_roundtrip_full_matrices() {
+        let ctx = global_context();
+        let mut rng = StdRng::seed_from_u64(0xDE);
+        for _ in 0..16 {
+            let (m, n) = (rng.gen_range(1..8usize), rng.gen_range(1..8usize));
             let values: Vec<i64> = (0..m * n).map(|_| rng.gen_range(-50..50)).collect();
             let d = Dense::from_parts(m, n, Layout::RowMajor, values).unwrap();
             let csr = dense_to_csr(&ctx, &d);
-            prop_assert_eq!(csr.nnz(), m * n);
+            assert_eq!(csr.nnz(), m * n);
             let back = csr_to_dense(&ctx, &csr, Layout::ColMajor).unwrap();
             for i in 0..m {
                 for j in 0..n {
-                    prop_assert_eq!(d.get(i, j), back.get(i, j));
+                    assert_eq!(d.get(i, j), back.get(i, j));
                 }
             }
         }
+    }
 
-        #[test]
-        fn vector_roundtrip(values in proptest::collection::vec(-100i64..100, 0..50)) {
+    #[test]
+    fn vector_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0xEC);
+        for _ in 0..16 {
+            let values: Vec<i64> = (0..rng.gen_range(0..50usize))
+                .map(|_| rng.gen_range(-100..100))
+                .collect();
             let d = DenseVec::from_values(values.clone());
             let s = dvec_to_svec(&d);
-            prop_assert_eq!(s.nnz(), values.len());
+            assert_eq!(s.nnz(), values.len());
             let back = svec_to_dvec(&s).unwrap();
-            prop_assert_eq!(back.values(), &values[..]);
+            assert_eq!(back.values(), &values[..]);
         }
     }
 }

@@ -389,6 +389,11 @@ impl<T: Clone + Send + Sync> Csr<T> {
         Z: Clone + Send + Sync,
         F: Fn(usize, usize, &T) -> Z + Sync,
     {
+        let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Apply, ctx.id());
+        if sp.active() {
+            let nnz = self.nnz() as u64;
+            sp.io(0, nnz, nnz, nnz * (size_of::<usize>() + size_of::<T>()) as u64);
+        }
         let mut out: Vec<Option<Z>> = vec![None; self.nnz()];
         // Parallel fill: each task owns a disjoint slice of `out`.
         let ranges = self.row_chunks(ctx);
@@ -440,6 +445,11 @@ impl<T: Clone + Send + Sync> Csr<T> {
         Z: Clone + Send + Sync,
         F: Fn(usize, usize, &T) -> Option<Z> + Sync,
     {
+        let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Select, ctx.id());
+        if sp.active() {
+            let nnz = self.nnz() as u64;
+            sp.io(0, nnz, 0, nnz * (size_of::<usize>() + size_of::<T>()) as u64);
+        }
         let ranges = self.row_chunks(ctx);
         let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
             let mut lens = Vec::with_capacity(rows.len());
@@ -459,6 +469,9 @@ impl<T: Clone + Send + Sync> Csr<T> {
             (rows, (lens, idx, vals))
         });
         let (indptr, indices, values) = util::stitch_row_chunks(self.nrows, chunks);
+        if sp.active() {
+            sp.io(0, 0, values.len() as u64, 0);
+        }
         Csr::from_kernel_parts(
             self.nrows,
             self.ncols,
@@ -819,9 +832,9 @@ mod tests {
 
     #[test]
     fn large_parallel_map_matches_sequential() {
-        use rand::prelude::*;
+        use graphblas_exec::rng::prelude::*;
         let ctx = global_context();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = StdRng::seed_from_u64(42);
         let nrows = 500;
         let ncols = 300;
         let mut indptr = vec![0usize];

@@ -58,6 +58,11 @@ where
     assert_eq!(a.nrows(), b.nrows(), "ewise: row count mismatch");
     assert_eq!(a.ncols(), b.ncols(), "ewise: column count mismatch");
     assert!(a.is_rows_sorted() && b.is_rows_sorted(), "ewise requires sorted rows");
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::EwiseAdd, ctx.id());
+    if sp.active() {
+        let nnz_in = (a.nnz() + b.nnz()) as u64;
+        sp.io(nnz_in, nnz_in, 0, nnz_in * std::mem::size_of::<usize>() as u64);
+    }
     let ranges = combined_chunks(ctx, a, b);
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
         let mut lens = Vec::with_capacity(rows.len());
@@ -101,7 +106,11 @@ where
         (rows, (lens, idx, vals))
     });
     let (indptr, indices, values) = util::stitch_row_chunks(a.nrows(), chunks);
-    Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true)
+    let c = Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true);
+    if sp.active() {
+        sp.io(0, 0, c.nnz() as u64, 0);
+    }
+    c
 }
 
 /// Same-domain union (`eWiseAdd` with an operator on `T`): pass-through
@@ -125,6 +134,11 @@ where
     assert_eq!(a.nrows(), b.nrows(), "ewise: row count mismatch");
     assert_eq!(a.ncols(), b.ncols(), "ewise: column count mismatch");
     assert!(a.is_rows_sorted() && b.is_rows_sorted(), "ewise requires sorted rows");
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::EwiseMult, ctx.id());
+    if sp.active() {
+        let nnz_in = (a.nnz() + b.nnz()) as u64;
+        sp.io(nnz_in, nnz_in, 0, nnz_in * std::mem::size_of::<usize>() as u64);
+    }
     let ranges = combined_chunks(ctx, a, b);
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
         let mut lens = Vec::with_capacity(rows.len());
@@ -152,7 +166,11 @@ where
         (rows, (lens, idx, vals))
     });
     let (indptr, indices, values) = util::stitch_row_chunks(a.nrows(), chunks);
-    Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true)
+    let c = Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true);
+    if sp.active() {
+        sp.io(0, 0, c.nnz() as u64, 0);
+    }
+    c
 }
 
 /// Keeps entries of `a` at positions where the mask predicate holds
@@ -174,6 +192,11 @@ where
     assert_eq!(a.nrows(), m.nrows(), "mask: row count mismatch");
     assert_eq!(a.ncols(), m.ncols(), "mask: column count mismatch");
     assert!(a.is_rows_sorted() && m.is_rows_sorted(), "mask requires sorted rows");
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Select, ctx.id());
+    if sp.active() {
+        let nnz_in = (a.nnz() + m.nnz()) as u64;
+        sp.io(nnz_in, nnz_in, 0, nnz_in * std::mem::size_of::<usize>() as u64);
+    }
     let ranges = combined_chunks(ctx, a, m);
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
         let mut lens = Vec::with_capacity(rows.len());
@@ -199,7 +222,11 @@ where
         (rows, (lens, idx, vals))
     });
     let (indptr, indices, values) = util::stitch_row_chunks(a.nrows(), chunks);
-    Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true)
+    let c = Csr::from_kernel_parts(a.nrows(), a.ncols(), indptr, indices, values, true);
+    if sp.active() {
+        sp.io(0, 0, c.nnz() as u64, 0);
+    }
+    c
 }
 
 // ---------------------------------------------------------------------------

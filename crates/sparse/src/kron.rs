@@ -98,10 +98,10 @@ mod tests {
 
     #[test]
     fn kron_against_reference() {
-        use rand::prelude::*;
+        use graphblas_exec::rng::prelude::*;
         let ctx = global_context();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-        let mk = |rows: usize, cols: usize, rng: &mut rand::rngs::StdRng| {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mk = |rows: usize, cols: usize, rng: &mut StdRng| {
             let mut seen = std::collections::HashSet::new();
             let mut r = Vec::new();
             let mut c = Vec::new();

@@ -93,9 +93,18 @@ where
     FA: Fn(&mut Z, Z) + Sync,
 {
     assert_eq!(a.ncols(), b.nrows(), "spgemm: inner dimension mismatch");
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::SpGemm, ctx.id());
     let (m, n) = (a.nrows(), b.ncols());
     if m == 0 || n == 0 || a.nnz() == 0 || b.nnz() == 0 {
         return Csr::empty(m, n);
+    }
+    if sp.active() {
+        sp.io(
+            count_flops(a, b),
+            (a.nnz() + b.nnz()) as u64,
+            0,
+            ((a.nnz() + b.nnz()) * (std::mem::size_of::<usize>() * 2)) as u64,
+        );
     }
     let ranges = flop_ranges(ctx, a, b);
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
@@ -128,7 +137,11 @@ where
         (rows, (lens, idx, vals))
     });
     let (indptr, indices, values) = util::stitch_row_chunks(m, chunks);
-    Csr::from_kernel_parts(m, n, indptr, indices, values, false)
+    let c = Csr::from_kernel_parts(m, n, indptr, indices, values, false);
+    if sp.active() {
+        sp.io(0, 0, c.nnz() as u64, 0);
+    }
+    c
 }
 
 /// Masked SpGEMM: only positions permitted by the structure of `mask`
@@ -156,9 +169,18 @@ where
     assert_eq!(a.ncols(), b.nrows(), "spgemm: inner dimension mismatch");
     assert_eq!(mask.nrows(), a.nrows(), "spgemm: mask row mismatch");
     assert_eq!(mask.ncols(), b.ncols(), "spgemm: mask column mismatch");
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::SpGemm, ctx.id());
     let (m, n) = (a.nrows(), b.ncols());
     if m == 0 || n == 0 {
         return Csr::empty(m, n);
+    }
+    if sp.active() {
+        sp.io(
+            count_flops(a, b),
+            (a.nnz() + b.nnz() + mask.nnz()) as u64,
+            0,
+            ((a.nnz() + b.nnz() + mask.nnz()) * (std::mem::size_of::<usize>() * 2)) as u64,
+        );
     }
     let ranges = flop_ranges(ctx, a, b);
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
@@ -209,7 +231,24 @@ where
         (rows, (lens, idx, vals))
     });
     let (indptr, indices, values) = util::stitch_row_chunks(m, chunks);
-    Csr::from_kernel_parts(m, n, indptr, indices, values, false)
+    let c = Csr::from_kernel_parts(m, n, indptr, indices, values, false);
+    if sp.active() {
+        sp.io(0, 0, c.nnz() as u64, 0);
+    }
+    c
+}
+
+/// Exact semiring-multiply count for `A · B` (Σ over entries `(i,k)` of A
+/// of `nnz(B(k,:))`). Only computed when a telemetry span is live.
+fn count_flops<A, B>(a: &Csr<A>, b: &Csr<B>) -> u64 {
+    let mut flops = 0u64;
+    for i in 0..a.nrows() {
+        let (cols, _) = a.row(i);
+        for &k in cols {
+            flops += b.row_nnz(k) as u64;
+        }
+    }
+    flops
 }
 
 #[cfg(test)]
@@ -256,16 +295,16 @@ mod tests {
 
     #[test]
     fn random_against_reference() {
-        use rand::prelude::*;
+        use graphblas_exec::rng::prelude::*;
         let ctx = global_context();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..5 {
             let (m, k, n) = (
                 rng.gen_range(1..40),
                 rng.gen_range(1..40),
                 rng.gen_range(1..40),
             );
-            let mk = |rows: usize, cols: usize, rng: &mut rand::rngs::StdRng| {
+            let mk = |rows: usize, cols: usize, rng: &mut StdRng| {
                 let nnz = rng.gen_range(0..rows * cols / 2 + 1);
                 let mut seen = std::collections::HashSet::new();
                 let mut t = Vec::new();
@@ -289,11 +328,11 @@ mod tests {
 
     #[test]
     fn masked_equals_filtered_unmasked() {
-        use rand::prelude::*;
+        use graphblas_exec::rng::prelude::*;
         let ctx = global_context();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = StdRng::seed_from_u64(5);
         let n = 30;
-        let mk = |rng: &mut rand::rngs::StdRng| {
+        let mk = |rng: &mut StdRng| {
             let mut seen = std::collections::HashSet::new();
             let mut t = Vec::new();
             for _ in 0..200 {

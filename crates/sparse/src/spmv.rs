@@ -31,6 +31,15 @@ where
     FA: Fn(Z, Z) -> Z + Sync,
 {
     assert_eq!(a.ncols(), x.len(), "spmv: dimension mismatch");
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::SpMv, ctx.id());
+    if sp.active() {
+        sp.io(
+            a.nnz() as u64,
+            (a.nnz() + x.nnz()) as u64,
+            0,
+            ((a.nnz() + x.nnz()) * std::mem::size_of::<usize>()) as u64,
+        );
+    }
     let table: Vec<Option<&X>> = {
         let mut t = vec![None; x.len()];
         for (i, v) in x.iter() {
@@ -81,7 +90,11 @@ where
         indices.extend(idx);
         values.extend(vals);
     }
-    SparseVec::from_kernel_parts(nrows, indices, values, true)
+    let y = SparseVec::from_kernel_parts(nrows, indices, values, true);
+    if sp.active() {
+        sp.io(0, 0, y.nnz() as u64, 0);
+    }
+    y
 }
 
 /// `yᵀ = xᵀ ⊕.⊗ A` (push). Each task scatters a chunk of `x`'s nonzeros
@@ -102,10 +115,20 @@ where
     FA: Fn(Z, Z) -> Z + Sync,
 {
     assert_eq!(a.nrows(), x.len(), "vxm: dimension mismatch");
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::VxM, ctx.id());
     let ncols = a.ncols();
     let nnz = x.nnz();
     if nnz == 0 || ncols == 0 {
         return SparseVec::empty(ncols);
+    }
+    if sp.active() {
+        let flops: u64 = x.iter().map(|(i, _)| a.row_nnz(i) as u64).sum();
+        sp.io(
+            flops,
+            (a.nnz() + nnz) as u64,
+            0,
+            ((a.nnz() + nnz) * std::mem::size_of::<usize>()) as u64,
+        );
     }
     // Weight chunks of x's nonzeros by the matrix rows they touch.
     let weights: Vec<usize> = {
@@ -150,10 +173,14 @@ where
             .collect();
         SparseVec::from_kernel_parts(ncols, touched, values, true)
     });
-    partials
+    let y = partials
         .into_iter()
         .reduce(|u, v| crate::ewise::svec_union(&u, &v, |a, b| add(a.clone(), b.clone())))
-        .unwrap_or_else(|| SparseVec::empty(ncols))
+        .unwrap_or_else(|| SparseVec::empty(ncols));
+    if sp.active() {
+        sp.io(0, 0, y.nnz() as u64, 0);
+    }
+    y
 }
 
 #[cfg(test)]
@@ -251,9 +278,9 @@ mod tests {
 
     #[test]
     fn large_random_agreement_between_push_and_pull() {
-        use rand::prelude::*;
+        use graphblas_exec::rng::prelude::*;
         let ctx = global_context();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = StdRng::seed_from_u64(11);
         let (m, n) = (200, 150);
         let mut rows = Vec::new();
         let mut cols = Vec::new();

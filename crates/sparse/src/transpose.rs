@@ -17,6 +17,15 @@ use crate::util;
 /// strictly sorted.
 pub fn transpose<T: Clone + Send + Sync>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
     let (m, n, nnz) = (a.nrows(), a.ncols(), a.nnz());
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Transpose, ctx.id());
+    if sp.active() {
+        sp.io(
+            0,
+            nnz as u64,
+            nnz as u64,
+            (nnz * (std::mem::size_of::<usize>() * 2 + std::mem::size_of::<T>())) as u64,
+        );
+    }
     if n == 0 || nnz == 0 {
         return Csr::empty(n, m);
     }
@@ -141,9 +150,9 @@ mod tests {
 
     #[test]
     fn double_transpose_is_identity() {
-        use rand::prelude::*;
+        use graphblas_exec::rng::prelude::*;
         let ctx = global_context();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = StdRng::seed_from_u64(3);
         let (m, n) = (83, 131);
         let mut indptr = vec![0usize];
         let mut indices = Vec::new();

@@ -139,8 +139,8 @@ mod tests {
 
     #[test]
     fn sort_segment_large_random() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use graphblas_exec::rng::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..50 {
             let n = rng.gen_range(0..200);
             let mut idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..1000)).collect();

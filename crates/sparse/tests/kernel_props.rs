@@ -1,11 +1,15 @@
-//! Property tests for the sparse kernels against naive references —
-//! structure-level guarantees every higher layer depends on.
+//! Randomized property tests for the sparse kernels against naive
+//! references — structure-level guarantees every higher layer depends on.
+//! Inputs come from the deterministic `graphblas_exec::rng` generator, so
+//! every run exercises the same (broad) case set.
 
 use std::collections::BTreeMap;
 
 use graphblas_exec::global_context;
+use graphblas_exec::rng::prelude::*;
 use graphblas_sparse::{ewise, kron, spgemm, spmv, transpose, Coo, Csr, SparseVec};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 type Entries = BTreeMap<(usize, usize), i64>;
 
@@ -29,16 +33,24 @@ fn entries(m: &Csr<i64>) -> Entries {
         .collect()
 }
 
-fn arb(rows: usize, cols: usize) -> impl Strategy<Value = Entries> {
-    proptest::collection::btree_map((0..rows, 0..cols), -20i64..20, 0..50)
+fn random_entries(rng: &mut StdRng, rows: usize, cols: usize) -> Entries {
+    (0..rng.gen_range(0..50usize))
+        .map(|_| {
+            (
+                (rng.gen_range(0..rows), rng.gen_range(0..cols)),
+                rng.gen_range(-20..20i64),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn spgemm_matches_reference(a in arb(14, 10), b in arb(10, 12)) {
-        let ctx = global_context();
+#[test]
+fn spgemm_matches_reference() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0x5139);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 14, 10);
+        let b = random_entries(&mut rng, 10, 12);
         let am = csr((14, 10), &a);
         let bm = csr((10, 12), &b);
         let c = spgemm::spgemm(&ctx, &am, &bm, |x, y| x * y, |acc, z| *acc += z);
@@ -51,152 +63,205 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(entries(&c), expect);
+        assert_eq!(entries(&c), expect);
     }
+}
 
-    #[test]
-    fn spgemm_masked_is_restricted_spgemm(
-        a in arb(10, 10),
-        b in arb(10, 10),
-        m in arb(10, 10),
-        complement in any::<bool>(),
-    ) {
-        let ctx = global_context();
+#[test]
+fn spgemm_masked_is_restricted_spgemm() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0x5140);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 10, 10);
+        let b = random_entries(&mut rng, 10, 10);
+        let m = random_entries(&mut rng, 10, 10);
+        let complement = rng.gen_bool(0.5);
         let am = csr((10, 10), &a);
         let bm = csr((10, 10), &b);
         let mm = csr((10, 10), &m);
         let masked = spgemm::spgemm_masked(
-            &ctx, &mm, complement, |_| true, &am, &bm,
-            |x, y| x * y, |acc, z| *acc += z,
+            &ctx,
+            &mm,
+            complement,
+            |_| true,
+            &am,
+            &bm,
+            |x, y| x * y,
+            |acc, z| *acc += z,
         );
         let mut full = spgemm::spgemm(&ctx, &am, &bm, |x, y| x * y, |acc, z| *acc += z);
         full.sort_rows(&ctx);
         let expect = ewise::ewise_restrict(&ctx, &full, &mm, complement, |_| true);
-        prop_assert_eq!(entries(&masked), entries(&expect));
+        assert_eq!(entries(&masked), entries(&expect));
     }
+}
 
-    #[test]
-    fn transpose_is_involutive_and_entrywise(a in arb(9, 17)) {
-        let ctx = global_context();
+#[test]
+fn transpose_is_involutive_and_entrywise() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0x7149);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 9, 17);
         let am = csr((9, 17), &a);
         let t = transpose::transpose(&ctx, &am);
         t.check().unwrap();
         for (&(i, j), &v) in &a {
-            prop_assert_eq!(t.get(j, i), Some(&v));
+            assert_eq!(t.get(j, i), Some(&v));
         }
         let tt = transpose::transpose(&ctx, &t);
-        prop_assert_eq!(entries(&tt), a);
+        assert_eq!(entries(&tt), a);
     }
+}
 
-    #[test]
-    fn union_intersect_difference_partition(
-        a in arb(12, 12),
-        b in arb(12, 12),
-    ) {
-        let ctx = global_context();
+#[test]
+fn union_intersect_difference_partition() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0x0412);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 12, 12);
+        let b = random_entries(&mut rng, 12, 12);
         let am = csr((12, 12), &a);
         let bm = csr((12, 12), &b);
         // |A ∪ B| = |A| + |B| - |A ∩ B|
         let u = ewise::ewise_union(&ctx, &am, &bm, |x, y| x + y);
         let i = ewise::ewise_intersect(&ctx, &am, &bm, |x: &i64, y: &i64| x * y);
-        prop_assert_eq!(u.nnz() + i.nnz(), am.nnz() + bm.nnz());
+        assert_eq!(u.nnz() + i.nnz(), am.nnz() + bm.nnz());
         // restrict(A, B) ⊎ restrict(A, ¬B) = A
         let inb = ewise::ewise_restrict(&ctx, &am, &bm, false, |_| true);
         let notb = ewise::ewise_restrict(&ctx, &am, &bm, true, |_| true);
-        prop_assert_eq!(inb.nnz() + notb.nnz(), am.nnz());
+        assert_eq!(inb.nnz() + notb.nnz(), am.nnz());
         let mut merged = entries(&inb);
         merged.extend(entries(&notb));
-        prop_assert_eq!(merged, a);
+        assert_eq!(merged, a);
     }
+}
 
-    #[test]
-    fn union_is_commutative_for_commutative_ops(a in arb(8, 8), b in arb(8, 8)) {
-        let ctx = global_context();
+#[test]
+fn union_is_commutative_for_commutative_ops() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0xC033);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 8, 8);
+        let b = random_entries(&mut rng, 8, 8);
         let am = csr((8, 8), &a);
         let bm = csr((8, 8), &b);
         let ab = ewise::ewise_union(&ctx, &am, &bm, |x, y| x + y);
         let ba = ewise::ewise_union(&ctx, &bm, &am, |x, y| x + y);
-        prop_assert_eq!(entries(&ab), entries(&ba));
+        assert_eq!(entries(&ab), entries(&ba));
     }
+}
 
-    #[test]
-    fn spmv_and_vxm_agree_via_transpose(
-        a in arb(11, 8),
-        x in proptest::collection::btree_map(0usize..11, -9i64..9, 0..11),
-    ) {
-        let ctx = global_context();
+#[test]
+fn spmv_and_vxm_agree_via_transpose() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0x593D);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 11, 8);
+        let x: BTreeMap<usize, i64> = (0..rng.gen_range(0..11usize))
+            .map(|_| (rng.gen_range(0..11usize), rng.gen_range(-9..9i64)))
+            .collect();
         let am = csr((11, 8), &a);
         let xv = SparseVec::from_parts(
             11,
             x.keys().copied().collect(),
             x.values().copied().collect(),
-        ).unwrap();
+        )
+        .unwrap();
         let push = spmv::vxm(&ctx, &xv, &am, |x, a| x * a, |p, q| p + q);
         let at = transpose::transpose(&ctx, &am);
         let pull = spmv::spmv(&ctx, &at, &xv, |a, x| a * x, |p, q| p + q, None);
-        prop_assert_eq!(push.to_sorted_tuples(), pull.to_sorted_tuples());
+        assert_eq!(push.to_sorted_tuples(), pull.to_sorted_tuples());
     }
+}
 
-    #[test]
-    fn kron_entry_count_and_values(a in arb(4, 5), b in arb(3, 4)) {
-        let ctx = global_context();
+#[test]
+fn kron_entry_count_and_values() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0x1209);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 4, 5);
+        let b = random_entries(&mut rng, 3, 4);
         let am = csr((4, 5), &a);
         let bm = csr((3, 4), &b);
         let c = kron::kronecker(&ctx, &am, &bm, |x, y| x * y).unwrap();
-        prop_assert_eq!(c.nnz(), am.nnz() * bm.nnz());
+        assert_eq!(c.nnz(), am.nnz() * bm.nnz());
         for (&(ia, ja), &av) in &a {
             for (&(ib, jb), &bv) in &b {
-                prop_assert_eq!(c.get(ia * 3 + ib, ja * 4 + jb), Some(&(av * bv)));
+                assert_eq!(c.get(ia * 3 + ib, ja * 4 + jb), Some(&(av * bv)));
             }
         }
     }
+}
 
-    #[test]
-    fn extract_submatrix_agrees_with_pointwise(
-        a in arb(10, 10),
-        rows in proptest::collection::vec(0usize..10, 1..6),
-        cols in proptest::collection::vec(0usize..10, 1..6),
-    ) {
-        let ctx = global_context();
+#[test]
+fn extract_submatrix_agrees_with_pointwise() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0xE874);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 10, 10);
+        let rows: Vec<usize> = (0..rng.gen_range(1..6usize))
+            .map(|_| rng.gen_range(0..10))
+            .collect();
+        let cols: Vec<usize> = (0..rng.gen_range(1..6usize))
+            .map(|_| rng.gen_range(0..10))
+            .collect();
         let am = csr((10, 10), &a);
         let sub = am.extract_submatrix(&ctx, &rows, &cols).unwrap();
         sub.check().unwrap();
         for (oi, &si) in rows.iter().enumerate() {
             for (oj, &sj) in cols.iter().enumerate() {
-                prop_assert_eq!(sub.get(oi, oj), a.get(&(si, sj)));
+                assert_eq!(sub.get(oi, oj), a.get(&(si, sj)));
             }
         }
     }
+}
 
-    #[test]
-    fn filter_map_conserves_selected_entries(a in arb(10, 10), threshold in -10i64..10) {
-        let ctx = global_context();
+#[test]
+fn filter_map_conserves_selected_entries() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0xF117);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 10, 10);
+        let threshold = rng.gen_range(-10..10i64);
         let am = csr((10, 10), &a);
-        let kept = am.filter_map_with_index(&ctx, |_, _, v| (*v > threshold).then(|| *v));
+        let kept = am.filter_map_with_index(&ctx, |_, _, v| (*v > threshold).then_some(*v));
         kept.check().unwrap();
-        let expect: Entries = a.iter()
+        let expect: Entries = a
+            .iter()
             .filter(|(_, &v)| v > threshold)
             .map(|(&k, &v)| (k, v))
             .collect();
-        prop_assert_eq!(entries(&kept), expect);
+        assert_eq!(entries(&kept), expect);
     }
+}
 
-    #[test]
-    fn coo_roundtrip_with_duplicate_summing(
-        triples in proptest::collection::vec((0usize..6, 0usize..6, -9i64..9), 0..40),
-    ) {
-        let ctx = global_context();
+#[test]
+fn coo_roundtrip_with_duplicate_summing() {
+    let ctx = global_context();
+    let mut rng = StdRng::seed_from_u64(0xC002);
+    for _ in 0..CASES {
+        let triples: Vec<(usize, usize, i64)> = (0..rng.gen_range(0..40usize))
+            .map(|_| {
+                (
+                    rng.gen_range(0..6usize),
+                    rng.gen_range(0..6usize),
+                    rng.gen_range(-9..9i64),
+                )
+            })
+            .collect();
         let coo = Coo::from_parts(
-            6, 6,
+            6,
+            6,
             triples.iter().map(|t| t.0).collect(),
             triples.iter().map(|t| t.1).collect(),
             triples.iter().map(|t| t.2).collect(),
-        ).unwrap();
+        )
+        .unwrap();
         let m = coo.to_csr(&ctx, Some(&|a: &i64, b: &i64| a + b)).unwrap();
         let mut expect: Entries = BTreeMap::new();
         for &(i, j, v) in &triples {
             *expect.entry((i, j)).or_insert(0) += v;
         }
-        prop_assert_eq!(entries(&m), expect);
+        assert_eq!(entries(&m), expect);
     }
 }

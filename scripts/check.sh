@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repository gate: release build, full test suite, and lint-clean clippy.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

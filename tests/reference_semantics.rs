@@ -1,6 +1,7 @@
-//! Property-based cross-validation: GraphBLAS operations against naive
+//! Randomized cross-validation: GraphBLAS operations against naive
 //! reference implementations over `BTreeMap`, through the public API
-//! only. These are the "does the algebra hold" tests.
+//! only. These are the "does the algebra hold" tests; inputs come from
+//! the deterministic `graphblas_exec::rng` generator.
 
 use std::collections::BTreeMap;
 
@@ -8,7 +9,9 @@ use graphblas::operations::{ewise_add, ewise_mult, mxm, mxv, reduce_to_value, tr
 use graphblas::{
     no_mask, no_mask_v, BinaryOp, Descriptor, Index, Matrix, Monoid, Semiring, Vector,
 };
-use proptest::prelude::*;
+use graphblas_exec::rng::prelude::*;
+
+const CASES: usize = 48;
 
 type Entries = BTreeMap<(Index, Index), i64>;
 
@@ -26,23 +29,36 @@ fn to_entries(m: &Matrix<i64>) -> Entries {
     r.into_iter().zip(c).zip(v).collect()
 }
 
-fn arb_entries(rows: usize, cols: usize) -> impl Strategy<Value = Entries> {
-    proptest::collection::btree_map((0..rows, 0..cols), -50i64..50, 0..40)
+fn random_entries(rng: &mut StdRng, rows: usize, cols: usize) -> Entries {
+    (0..rng.gen_range(0..40usize))
+        .map(|_| {
+            (
+                (rng.gen_range(0..rows), rng.gen_range(0..cols)),
+                rng.gen_range(-50..50i64),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn mxm_matches_reference(
-        a in arb_entries(12, 9),
-        b in arb_entries(9, 11),
-    ) {
+#[test]
+fn mxm_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x3A71);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 12, 9);
+        let b = random_entries(&mut rng, 9, 11);
         let am = to_matrix((12, 9), &a);
         let bm = to_matrix((9, 11), &b);
         let cm = Matrix::<i64>::new(12, 11).unwrap();
-        mxm(&cm, no_mask(), None, &Semiring::plus_times(), &am, &bm,
-            &Descriptor::default()).unwrap();
+        mxm(
+            &cm,
+            no_mask(),
+            None,
+            &Semiring::plus_times(),
+            &am,
+            &bm,
+            &Descriptor::default(),
+        )
+        .unwrap();
         let mut expect: Entries = BTreeMap::new();
         for (&(i, k), &av) in &a {
             for (&(k2, j), &bv) in &b {
@@ -51,70 +67,111 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(to_entries(&cm), expect);
+        assert_eq!(to_entries(&cm), expect);
     }
+}
 
-    #[test]
-    fn mxm_transpose_flags_match_explicit_transpose(
-        a in arb_entries(8, 8),
-        b in arb_entries(8, 8),
-    ) {
+#[test]
+fn mxm_transpose_flags_match_explicit_transpose() {
+    let mut rng = StdRng::seed_from_u64(0x7F1A);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 8, 8);
+        let b = random_entries(&mut rng, 8, 8);
         let am = to_matrix((8, 8), &a);
         let bm = to_matrix((8, 8), &b);
         // C1 = Aᵀ·B via descriptor.
         let c1 = Matrix::<i64>::new(8, 8).unwrap();
-        mxm(&c1, no_mask(), None, &Semiring::plus_times(), &am, &bm,
-            &Descriptor::new().transpose_a()).unwrap();
+        mxm(
+            &c1,
+            no_mask(),
+            None,
+            &Semiring::plus_times(),
+            &am,
+            &bm,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
         // C2 = T·B with T = transpose(A) materialized.
         let t = Matrix::<i64>::new(8, 8).unwrap();
         transpose(&t, no_mask(), None, &am, &Descriptor::default()).unwrap();
         let c2 = Matrix::<i64>::new(8, 8).unwrap();
-        mxm(&c2, no_mask(), None, &Semiring::plus_times(), &t, &bm,
-            &Descriptor::default()).unwrap();
-        prop_assert_eq!(to_entries(&c1), to_entries(&c2));
+        mxm(
+            &c2,
+            no_mask(),
+            None,
+            &Semiring::plus_times(),
+            &t,
+            &bm,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(to_entries(&c1), to_entries(&c2));
     }
+}
 
-    #[test]
-    fn ewise_add_is_union_with_op_on_overlap(
-        a in arb_entries(10, 10),
-        b in arb_entries(10, 10),
-    ) {
+#[test]
+fn ewise_add_is_union_with_op_on_overlap() {
+    let mut rng = StdRng::seed_from_u64(0xEA0D);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 10, 10);
+        let b = random_entries(&mut rng, 10, 10);
         let am = to_matrix((10, 10), &a);
         let bm = to_matrix((10, 10), &b);
         let cm = Matrix::<i64>::new(10, 10).unwrap();
-        ewise_add(&cm, no_mask(), None, &BinaryOp::plus(), &am, &bm,
-            &Descriptor::default()).unwrap();
+        ewise_add(
+            &cm,
+            no_mask(),
+            None,
+            &BinaryOp::plus(),
+            &am,
+            &bm,
+            &Descriptor::default(),
+        )
+        .unwrap();
         let mut expect = a.clone();
         for (k, v) in &b {
             *expect.entry(*k).or_insert(0) += v;
         }
-        prop_assert_eq!(to_entries(&cm), expect);
+        assert_eq!(to_entries(&cm), expect);
     }
+}
 
-    #[test]
-    fn ewise_mult_is_intersection(
-        a in arb_entries(10, 10),
-        b in arb_entries(10, 10),
-    ) {
+#[test]
+fn ewise_mult_is_intersection() {
+    let mut rng = StdRng::seed_from_u64(0xE301);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 10, 10);
+        let b = random_entries(&mut rng, 10, 10);
         let am = to_matrix((10, 10), &a);
         let bm = to_matrix((10, 10), &b);
         let cm = Matrix::<i64>::new(10, 10).unwrap();
-        ewise_mult(&cm, no_mask(), None, &BinaryOp::times(), &am, &bm,
-            &Descriptor::default()).unwrap();
-        let expect: Entries = a.iter()
+        ewise_mult(
+            &cm,
+            no_mask(),
+            None,
+            &BinaryOp::times(),
+            &am,
+            &bm,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        let expect: Entries = a
+            .iter()
             .filter_map(|(k, va)| b.get(k).map(|vb| (*k, va * vb)))
             .collect();
-        prop_assert_eq!(to_entries(&cm), expect);
+        assert_eq!(to_entries(&cm), expect);
     }
+}
 
-    #[test]
-    fn masked_write_semantics(
-        a in arb_entries(8, 8),
-        b in arb_entries(8, 8),
-        mask in arb_entries(8, 8),
-        complement in any::<bool>(),
-        replace in any::<bool>(),
-    ) {
+#[test]
+fn masked_write_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x3A5C);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 8, 8);
+        let b = random_entries(&mut rng, 8, 8);
+        let mask = random_entries(&mut rng, 8, 8);
+        let complement = rng.gen_bool(0.5);
+        let replace = rng.gen_bool(0.5);
         // C⟨M, r⟩ = A ⊕ B against a hand-rolled reference of the
         // four-step write rule (structure mask).
         let am = to_matrix((8, 8), &a);
@@ -123,8 +180,12 @@ proptest! {
         let old: Entries = b.clone(); // prime C with b's entries
         let cm = to_matrix((8, 8), &old);
         let mut desc = Descriptor::new().structure_mask();
-        if complement { desc = desc.complement_mask(); }
-        if replace { desc = desc.replace(); }
+        if complement {
+            desc = desc.complement_mask();
+        }
+        if replace {
+            desc = desc.replace();
+        }
         ewise_add(&cm, Some(&maskm), None, &BinaryOp::plus(), &am, &bm, &desc).unwrap();
 
         let mut t: Entries = a.clone();
@@ -145,48 +206,71 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(to_entries(&cm), expect);
+        assert_eq!(to_entries(&cm), expect);
     }
+}
 
-    #[test]
-    fn accum_folds_old_and_new(
-        a in arb_entries(8, 8),
-        c0 in arb_entries(8, 8),
-    ) {
+#[test]
+fn accum_folds_old_and_new() {
+    let mut rng = StdRng::seed_from_u64(0xACC0);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 8, 8);
+        let c0 = random_entries(&mut rng, 8, 8);
         let am = to_matrix((8, 8), &a);
         let cm = to_matrix((8, 8), &c0);
         // C += A (identity apply with PLUS accumulator).
         graphblas::operations::apply(
-            &cm, no_mask(), Some(&BinaryOp::plus()),
-            &graphblas::UnaryOp::identity(), &am, &Descriptor::default(),
-        ).unwrap();
+            &cm,
+            no_mask(),
+            Some(&BinaryOp::plus()),
+            &graphblas::UnaryOp::identity(),
+            &am,
+            &Descriptor::default(),
+        )
+        .unwrap();
         let mut expect = c0.clone();
         for (k, v) in &a {
             *expect.entry(*k).or_insert(0) += v;
         }
-        prop_assert_eq!(to_entries(&cm), expect);
+        assert_eq!(to_entries(&cm), expect);
     }
+}
 
-    #[test]
-    fn reduce_total_matches_sum(a in arb_entries(15, 15)) {
+#[test]
+fn reduce_total_matches_sum() {
+    let mut rng = StdRng::seed_from_u64(0x12ED);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 15, 15);
         let am = to_matrix((15, 15), &a);
         let total = reduce_to_value(&Monoid::plus(), &am).unwrap();
-        prop_assert_eq!(total, a.values().sum::<i64>());
+        assert_eq!(total, a.values().sum::<i64>());
     }
+}
 
-    #[test]
-    fn mxv_matches_reference(
-        a in arb_entries(10, 7),
-        x in proptest::collection::btree_map(0usize..7, -20i64..20, 0..7),
-    ) {
+#[test]
+fn mxv_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x33C5);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 10, 7);
+        let x: BTreeMap<usize, i64> = (0..rng.gen_range(0..7usize))
+            .map(|_| (rng.gen_range(0..7usize), rng.gen_range(-20..20i64)))
+            .collect();
         let am = to_matrix((10, 7), &a);
         let xv = Vector::<i64>::new(7).unwrap();
         let idx: Vec<_> = x.keys().copied().collect();
         let vals: Vec<_> = x.values().copied().collect();
         xv.build(&idx, &vals, None).unwrap();
         let w = Vector::<i64>::new(10).unwrap();
-        mxv(&w, no_mask_v(), None, &Semiring::plus_times(), &am, &xv,
-            &Descriptor::default()).unwrap();
+        mxv(
+            &w,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &am,
+            &xv,
+            &Descriptor::default(),
+        )
+        .unwrap();
         let mut expect: BTreeMap<Index, i64> = BTreeMap::new();
         for (&(i, j), &av) in &a {
             if let Some(&xj) = x.get(&j) {
@@ -195,27 +279,32 @@ proptest! {
         }
         let (wi, wv) = w.extract_tuples().unwrap();
         let got: BTreeMap<Index, i64> = wi.into_iter().zip(wv).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    #[test]
-    fn serialization_roundtrip_property(a in arb_entries(9, 13)) {
+#[test]
+fn serialization_roundtrip_property() {
+    let mut rng = StdRng::seed_from_u64(0x5E1F);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 9, 13);
         let am = to_matrix((9, 13), &a);
         let back = Matrix::<i64>::deserialize(&am.serialize().unwrap()).unwrap();
-        prop_assert_eq!(to_entries(&back), a);
+        assert_eq!(to_entries(&back), a);
     }
+}
 
-    #[test]
-    fn import_export_roundtrip_all_formats(a in arb_entries(6, 6)) {
-        use graphblas::Format;
+#[test]
+fn import_export_roundtrip_all_formats() {
+    use graphblas::Format;
+    let mut rng = StdRng::seed_from_u64(0x13F0);
+    for _ in 0..CASES {
+        let a = random_entries(&mut rng, 6, 6);
         let am = to_matrix((6, 6), &a);
         for fmt in [Format::Csr, Format::Csc, Format::Coo] {
             let (p, i, v) = am.export(fmt).unwrap();
-            let back = Matrix::<i64>::import(
-                6, 6, fmt,
-                Some(p), Some(i), v,
-            ).unwrap();
-            prop_assert_eq!(to_entries(&back), a.clone());
+            let back = Matrix::<i64>::import(6, 6, fmt, Some(p), Some(i), v).unwrap();
+            assert_eq!(to_entries(&back), a.clone());
         }
     }
 }
