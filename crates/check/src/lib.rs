@@ -1,0 +1,31 @@
+//! `graphblas-check`: correctness tooling for the graphblas workspace.
+//!
+//! Three instruments, one crate:
+//!
+//! 1. **[`sched`] + [`sync`]** — a deterministic concurrency model checker
+//!    ("mini-shuttle"). Protocols are re-expressed over the instrumented
+//!    primitives in [`sync`] (a mirror of `graphblas_exec::sync`) and run
+//!    under a seeded schedule-controlled executor: only one thread runs at
+//!    a time, every sync operation is a scheduling point, and the whole
+//!    interleaving is a pure function of a `u64` seed — so any failure
+//!    found by [`sched::explore`] is replayed exactly by [`sched::replay`].
+//!    Used by the `tests/model_*.rs` suites to check the §III thread-pool
+//!    park/wake protocol, channels, `WaitGroup`, pending-queue draining,
+//!    and the paper's Fig. 1 two-thread scenario.
+//!
+//! 2. **[`verify`]** — deep container invariant verification: `grb_check`
+//!    over every Table III storage format plus the §V deferred-error
+//!    bookkeeping, re-exported from `graphblas_core::introspect` where it
+//!    lives GrB_get-style next to `ObjectStats`.
+//!
+//! 3. **[`lint`]** — the repo-specific lint pass behind the `grblint`
+//!    binary (`cargo run -p graphblas-check --bin grblint`), run by
+//!    `scripts/check.sh`: forbids `Ordering::Relaxed` outside the obs
+//!    counters, `unwrap`/`expect` in core/sparse non-test code, fallible
+//!    public core APIs that bypass the `GrB_Info` error type, and
+//!    `unsafe` blocks without `// SAFETY:` comments.
+
+pub mod lint;
+pub mod sched;
+pub mod sync;
+pub mod verify;

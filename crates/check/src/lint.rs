@@ -1,0 +1,459 @@
+//! The repo-specific lint pass behind the `grblint` binary.
+//!
+//! Four rules, each encoding a convention this workspace actually relies
+//! on (a general-purpose linter cannot know them):
+//!
+//! * `relaxed-ordering` — `Ordering::Relaxed` is forbidden outside
+//!   `crates/obs` (whose monotonic counters are the one sanctioned use).
+//!   Everywhere else a relaxed access is either a bug (inferring
+//!   cross-thread state without a happens-before edge — the §III lost-
+//!   wakeup family) or needs a written justification.
+//! * `no-unwrap` — `unwrap()`/`expect(` are forbidden in `crates/core` and
+//!   `crates/sparse` non-test code: the §V error model requires fallible
+//!   paths to flow through `GrB_Info`-mapped errors, not panics.
+//!   `debug_assert` lines are exempt (they *are* the sanctioned panic).
+//! * `grb-error-type` — every public fallible API in `crates/core` must
+//!   return the `GrB_Info`-mapped error type (`GrbResult`); a bare
+//!   `Result<_, OtherError>` leaks a non-spec error surface.
+//! * `undocumented-unsafe` — every `unsafe` needs a `// SAFETY:` comment
+//!   on or immediately above it.
+//!
+//! Any rule can be waived at a specific site with a comment
+//! `// grblint: allow(<rule>)` on the same line or in the comment block
+//! immediately preceding the statement; a waiver covers violations through
+//! the end of that statement (multi-line method chains included). Waivers
+//! are deliberate — each one is a reviewed justification, greppable via
+//! `grblint:`.
+//!
+//! The pass is textual (line-oriented with comment/test stripping), not
+//! syntactic: it trades a parser for zero dependencies and for speed, and
+//! the rules are chosen so that textual matching has no false negatives on
+//! this codebase's idiom. False positives are what waivers are for.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules. `slug` values are what `grblint: allow(...)` names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `Ordering::Relaxed` outside `crates/obs`.
+    RelaxedOrdering,
+    /// `unwrap()`/`expect(` in core/sparse non-test code.
+    NoUnwrap,
+    /// Public fallible core API not returning `GrbResult`.
+    GrbErrorType,
+    /// `unsafe` without a `// SAFETY:` comment.
+    UndocumentedUnsafe,
+}
+
+impl Rule {
+    /// The kebab-case name used in waiver comments and reports.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::RelaxedOrdering => "relaxed-ordering",
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::GrbErrorType => "grb-error-type",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+        }
+    }
+
+    /// All rules, for `--list-rules`.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::RelaxedOrdering,
+            Rule::NoUnwrap,
+            Rule::GrbErrorType,
+            Rule::UndocumentedUnsafe,
+        ]
+    }
+
+    /// Whether this rule applies to a file of crate `krate`.
+    fn applies_to(self, krate: &str) -> bool {
+        match self {
+            Rule::RelaxedOrdering => krate != "obs",
+            Rule::NoUnwrap => krate == "core" || krate == "sparse",
+            Rule::GrbErrorType => krate == "core",
+            Rule::UndocumentedUnsafe => true,
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Path as reported (relative to the scanned root).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.slug(),
+            self.snippet
+        )
+    }
+}
+
+/// Splits a line into (code, comment) at the first `//` that is not inside
+/// a string literal. Good enough for this codebase's idiom (no `//` inside
+/// string literals on lintable lines; raw multiline strings only occur in
+/// tests, which are skipped).
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+/// Blanks out string-literal contents so patterns don't match inside
+/// message text (e.g. a slug string containing a keyword).
+fn strip_strings(code: &str) -> String {
+    let mut out = String::with_capacity(code.len());
+    let mut in_str = false;
+    let mut chars = code.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_str => {
+                chars.next();
+                out.push(' ');
+            }
+            '"' => {
+                in_str = !in_str;
+                out.push('"');
+            }
+            _ if in_str => out.push(' '),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses `grblint: allow(rule-a, rule-b)` waivers out of a comment.
+fn waivers_in(comment: &str) -> Vec<Rule> {
+    let mut out = Vec::new();
+    let Some(pos) = comment.find("grblint: allow(") else {
+        return out;
+    };
+    let rest = &comment[pos + "grblint: allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return out;
+    };
+    for name in rest[..end].split(',') {
+        let name = name.trim();
+        for r in Rule::all() {
+            if r.slug() == name {
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
+/// Whether a code line ends the current statement (for waiver scope).
+fn ends_statement(code: &str) -> bool {
+    let t = code.trim_end();
+    t.ends_with(';') || t.ends_with('{') || t.ends_with('}')
+}
+
+// The pattern is assembled so this file does not itself contain the
+// forbidden token (grblint scans its own crate).
+fn relaxed_pattern() -> &'static str {
+    concat!("Ordering::", "Relaxed")
+}
+
+/// Lints one file's source text. `krate` is the crate directory name
+/// (`"core"`, `"sparse"`, …; `""` for the workspace root crate), `file` is
+/// the path used in reports.
+pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    // Everything from a top-level `#[cfg(test)]` to EOF is test code in
+    // this codebase (test modules sit at file bottom).
+    let test_start = lines
+        .iter()
+        .position(|l| l.trim() == "#[cfg(test)]")
+        .unwrap_or(lines.len());
+
+    let mut armed: HashSet<Rule> = HashSet::new();
+    // grb-error-type needs multi-line signatures: accumulate from `pub fn`
+    // until the body opens.
+    let mut sig: Option<(usize, String)> = None;
+
+    for (idx, raw) in lines.iter().enumerate().take(test_start) {
+        let lineno = idx + 1;
+        let (code, comment) = split_comment(raw);
+        for w in waivers_in(comment) {
+            armed.insert(w);
+        }
+        let code = strip_strings(code);
+        let code = code.as_str();
+        let code_trim = code.trim();
+        if code_trim.is_empty() {
+            continue; // pure comment / blank: waivers stay armed
+        }
+
+        let mut report = |rule: Rule, armed: &HashSet<Rule>| {
+            if rule.applies_to(krate) && !armed.contains(&rule) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule,
+                    snippet: raw.trim().chars().take(120).collect(),
+                });
+            }
+        };
+
+        // relaxed-ordering: flags uses *and* imports.
+        if code.contains(relaxed_pattern()) {
+            report(Rule::RelaxedOrdering, &armed);
+        }
+
+        // no-unwrap: debug_assert lines are the sanctioned panic.
+        if (code.contains(".unwrap()") || code.contains(".expect("))
+            && !code.contains("debug_assert")
+        {
+            report(Rule::NoUnwrap, &armed);
+        }
+
+        // undocumented-unsafe: look for a SAFETY comment on this line or in
+        // the contiguous comment block above. The keyword is matched on
+        // word boundaries, with the pattern split so this file does not
+        // match itself.
+        let has_unsafe = code
+            .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .any(|tok| tok == concat!("uns", "afe"));
+        if has_unsafe {
+            let mut documented = comment.contains("SAFETY:");
+            let mut j = idx;
+            while j > 0 {
+                j -= 1;
+                let (pcode, pcomment) = split_comment(lines[j]);
+                if !pcode.trim().is_empty() {
+                    break; // ran into code: end of the comment block
+                }
+                if pcomment.contains("SAFETY:") {
+                    documented = true;
+                    break;
+                }
+                if pcomment.is_empty() {
+                    break; // blank line ends the block
+                }
+            }
+            if !documented {
+                report(Rule::UndocumentedUnsafe, &armed);
+            }
+        }
+
+        // grb-error-type: collect public fn signatures.
+        if sig.is_none() && code_trim.starts_with("pub fn") {
+            sig = Some((lineno, String::new()));
+        }
+        if let Some((start, acc)) = &mut sig {
+            acc.push(' ');
+            acc.push_str(code_trim);
+            let opened = acc.contains('{') || acc.trim_end().ends_with(';');
+            if opened {
+                let sig_text = acc.replace("GrbResult", "");
+                if sig_text.contains("-> Result<")
+                    || sig_text.contains("->Result<")
+                    || sig_text.contains("-> io::Result<")
+                    || sig_text.contains("-> std::io::Result<")
+                {
+                    let start = *start;
+                    if Rule::GrbErrorType.applies_to(krate)
+                        && !armed.contains(&Rule::GrbErrorType)
+                    {
+                        out.push(Violation {
+                            file: file.to_string(),
+                            line: start,
+                            rule: Rule::GrbErrorType,
+                            snippet: lines[start - 1].trim().chars().take(120).collect(),
+                        });
+                    }
+                }
+                sig = None;
+            }
+        }
+
+        if ends_statement(code) {
+            armed.clear();
+        }
+    }
+    out
+}
+
+/// Whether `path` (relative, `/`-separated components) is in scope for
+/// linting: `.rs` sources outside `tests/`, `benches/`, `examples/`, and
+/// `target/`.
+fn in_scope(rel: &Path) -> bool {
+    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return false;
+    }
+    !rel.components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("tests") | Some("benches") | Some("examples") | Some("target")
+        )
+    })
+}
+
+/// The crate directory name a workspace-relative path belongs to (`""`
+/// for the root crate's own sources).
+fn crate_of(rel: &Path) -> String {
+    let comps: Vec<&str> = rel
+        .components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect();
+    if comps.len() >= 2 && comps[0] == "crates" {
+        comps[1].to_string()
+    } else {
+        String::new()
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every in-scope source file under `root` (a workspace checkout).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        if !in_scope(rel) {
+            continue;
+        }
+        let krate = crate_of(rel);
+        let source = fs::read_to_string(&path)?;
+        out.extend(lint_source(
+            &krate,
+            &rel.to_string_lossy(),
+            &source,
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_flagged_outside_obs_only() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(lint_source("exec", "x.rs", src).len(), 1);
+        assert_eq!(lint_source("obs", "x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn waiver_on_preceding_line_covers_statement() {
+        let src = "\
+// grblint: allow(relaxed-ordering) — justified.
+counters()
+    .wakes
+    .fetch_add(1, Ordering::Relaxed);
+counters().fetch_add(1, Ordering::Relaxed);
+";
+        let v = lint_source("exec", "x.rs", src);
+        // The waiver covers the first (multi-line) statement only.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn unwrap_rules_scoped_to_core_and_sparse() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n}\n";
+        assert_eq!(lint_source("core", "x.rs", src).len(), 2);
+        assert_eq!(lint_source("sparse", "x.rs", src).len(), 2);
+        assert_eq!(lint_source("exec", "x.rs", src).len(), 0);
+        let dbg = "fn f() { debug_assert_eq!(a.last().unwrap(), b); }\n";
+        assert_eq!(lint_source("core", "x.rs", dbg).len(), 0);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "\
+fn f() {}
+#[cfg(test)]
+mod tests {
+    fn g() { x.unwrap(); let _ = Ordering::Relaxed; }
+}
+";
+        assert_eq!(lint_source("core", "x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn grb_error_type_over_multiline_signatures() {
+        let good = "pub fn f(&self) -> GrbResult<usize> {\n}\n";
+        assert_eq!(lint_source("core", "x.rs", good).len(), 0);
+        let bad = "pub fn f(\n    &self,\n) -> Result<usize, OtherError> {\n}\n";
+        let v = lint_source("core", "x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::GrbErrorType);
+        assert_eq!(v[0].line, 1);
+        // Not a core file: out of scope.
+        assert_eq!(lint_source("io", "x.rs", bad).len(), 0);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() { unsafe { std::mem::transmute(x) } }\n";
+        assert_eq!(lint_source("exec", "x.rs", bad).len(), 1);
+        let good = "\
+fn f() {
+    // SAFETY: lifetimes checked by scope join below.
+    unsafe { std::mem::transmute(x) }
+}
+";
+        assert_eq!(lint_source("exec", "x.rs", good).len(), 0);
+        let inline = "fn f() { unsafe { t(x) } } // SAFETY: fine\n";
+        assert_eq!(lint_source("exec", "x.rs", inline).len(), 0);
+    }
+
+    #[test]
+    fn waiver_parses_multiple_rules() {
+        let ws = waivers_in("// grblint: allow(no-unwrap, relaxed-ordering)");
+        assert!(ws.contains(&Rule::NoUnwrap));
+        assert!(ws.contains(&Rule::RelaxedOrdering));
+    }
+}

@@ -1,0 +1,581 @@
+//! Schedule-instrumented synchronization primitives — the model-world
+//! mirror of `graphblas_exec::sync`.
+//!
+//! Every type here exposes the same API shape as its `exec::sync`
+//! counterpart (`Mutex` returns a guard from `lock()`, `Condvar::wait`
+//! consumes and returns the guard, `Channel` / `WaitGroup` are line-for-
+//! line re-implementations of the production algorithms), but every
+//! acquire, wait, notify, and atomic access is a *yield point* of the
+//! [`crate::sched`] scheduler. Running a protocol against these primitives
+//! under [`crate::sched::explore`] therefore explores its sequentially-
+//! consistent interleavings deterministically.
+//!
+//! **Keep `exec::sync` and this module in lockstep.** When a primitive
+//! gains an operation in one place it must gain it in the other, and the
+//! `Channel` / `WaitGroup` bodies must stay textually parallel to the
+//! production ones so that model-checking them actually checks the shipped
+//! algorithm. (The model checker cannot instrument `exec::sync` directly —
+//! those primitives wrap `std::sync`, whose blocking the scheduler cannot
+//! see — so fidelity is by construction, enforced by review and by this
+//! comment on both sides.)
+//!
+//! Differences from real primitives, by design:
+//!
+//! * no spurious condvar wakeups (the model only wakes on notify), so a
+//!   protocol that *requires* spurious-wakeup tolerance must be tested
+//!   natively too;
+//! * no poisoning — a model-thread panic aborts the whole schedule and is
+//!   reported by the scheduler instead;
+//! * atomics are sequentially consistent regardless of the requested
+//!   ordering (the checker explores interleavings, not weak memory).
+
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::sched;
+
+/// A mutual-exclusion lock whose acquire is a scheduling point and whose
+/// contention is visible to the deadlock detector.
+pub struct Mutex<T> {
+    id: usize,
+    /// Whether a model thread currently holds the lock.
+    held: StdMutex<bool>,
+    data: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releasing wakes blocked acquirers.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new model mutex. `name` labels deadlock reports.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: sched::new_resource_id(),
+            held: StdMutex::new(false),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Names this mutex in deadlock reports.
+    pub fn named(value: T, name: &str) -> Self {
+        let m = Mutex::new(value);
+        let (k, _) = sched::current();
+        k.name_resource(m.id, name);
+        m
+    }
+
+    /// Acquires the lock, blocking (in model time) while another thread
+    /// holds it. A scheduling point.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (k, me) = sched::current();
+        loop {
+            k.yield_point(me);
+            {
+                let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
+                if !*held {
+                    *held = true;
+                    break;
+                }
+            }
+            k.block_on(me, self.id);
+        }
+        MutexGuard {
+            lock: self,
+            inner: Some(self.data.lock().unwrap_or_else(|p| p.into_inner())),
+        }
+    }
+
+    /// Releases the lock and marks blocked acquirers runnable. NOT a
+    /// scheduling point — release-then-block sequences (condvar wait) must
+    /// be atomic in model time, exactly as `pthread_cond_wait` is.
+    fn release(&self) {
+        let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
+        *held = false;
+        drop(held);
+        let (k, _) = sched::current();
+        k.wake_all_on(self.id);
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds data until drop")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds data until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            self.lock.release();
+        }
+    }
+}
+
+/// A condition variable over [`Mutex`]; `notify_one` picks its waiter with
+/// the schedule's seeded PRNG, so *which* thread wins a wakeup is part of
+/// the explored interleaving.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            id: sched::new_resource_id(),
+        }
+    }
+
+    /// Atomically (in model time) releases the guard's mutex and blocks
+    /// until notified; reacquires before returning. Never wakes spuriously.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let (k, me) = sched::current();
+        let mutex = guard.lock;
+        // Release without a scheduling point: nothing may interleave
+        // between "release the mutex" and "become a waiter", or the model
+        // itself would invent lost wakeups that real condvars exclude.
+        drop(guard.inner.take());
+        mutex.release();
+        k.block_on(me, self.id);
+        mutex.lock()
+    }
+
+    /// Wakes one waiter (chosen by the schedule's PRNG); a no-op when no
+    /// thread is waiting — which is exactly how wakeups get lost.
+    pub fn notify_one(&self) {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        k.wake_one_on(self.id);
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        k.wake_all_on(self.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model atomics
+// ---------------------------------------------------------------------------
+
+/// Sequentially-consistent model atomic; every access is a scheduling
+/// point. The `Ordering` argument is accepted for API parity and ignored —
+/// the checker explores interleavings, not weak memory.
+pub struct AtomicUsize {
+    v: StdMutex<usize>,
+}
+
+impl AtomicUsize {
+    pub fn new(v: usize) -> Self {
+        AtomicUsize { v: StdMutex::new(v) }
+    }
+
+    fn cell(&self) -> StdMutexGuard<'_, usize> {
+        self.v.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn load(&self, _order: Ordering) -> usize {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        *self.cell()
+    }
+
+    pub fn store(&self, val: usize, _order: Ordering) {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        *self.cell() = val;
+    }
+
+    pub fn fetch_add(&self, val: usize, _order: Ordering) -> usize {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        let mut c = self.cell();
+        let old = *c;
+        *c = old.wrapping_add(val);
+        old
+    }
+
+    pub fn fetch_sub(&self, val: usize, _order: Ordering) -> usize {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        let mut c = self.cell();
+        let old = *c;
+        *c = old.wrapping_sub(val);
+        old
+    }
+}
+
+/// Sequentially-consistent model boolean atomic (see [`AtomicUsize`]).
+pub struct AtomicBool {
+    v: StdMutex<bool>,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool { v: StdMutex::new(v) }
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        *self.v.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn store(&self, val: bool, _order: Ordering) {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        *self.v.lock().unwrap_or_else(|p| p.into_inner()) = val;
+    }
+
+    pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        let mut c = self.v.lock().unwrap_or_else(|p| p.into_inner());
+        std::mem::replace(&mut *c, val)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Channel — line-for-line mirror of `graphblas_exec::sync::Channel`
+// ---------------------------------------------------------------------------
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Model mirror of `exec::sync::Channel`: an unbounded MPMC queue built
+/// from one mutex and one condvar. The method bodies are kept textually
+/// parallel to the production implementation so that model-checking this
+/// type checks the shipped algorithm.
+pub struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    available: Condvar,
+}
+
+impl<T> Channel<T> {
+    pub fn new() -> Self {
+        Channel {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`; returns `false` (dropping the item) after close.
+    pub fn send(&self, item: T) -> bool {
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return false;
+            }
+            st.queue.push_back(item);
+        }
+        self.available.notify_one();
+        true
+    }
+
+    /// Dequeues, blocking until an item arrives or the channel closes
+    /// empty (`None`).
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.available.wait(st);
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_recv(&self) -> Option<T> {
+        self.state.lock().queue.pop_front()
+    }
+
+    /// Closes the channel and wakes every blocked receiver.
+    pub fn close(&self) {
+        {
+            let mut st = self.state.lock();
+            st.closed = true;
+        }
+        self.available.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().queue.is_empty()
+    }
+}
+
+impl<T> Default for Channel<T> {
+    fn default() -> Self {
+        Channel::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WaitGroup — line-for-line mirror of `graphblas_exec::sync::WaitGroup`
+// ---------------------------------------------------------------------------
+
+/// Model mirror of `exec::sync::WaitGroup` (kept textually parallel — see
+/// [`Channel`]): counts outstanding tasks; `wait` blocks until zero.
+pub struct WaitGroup {
+    count: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl WaitGroup {
+    pub fn new() -> Self {
+        WaitGroup {
+            count: Mutex::new(0),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Registers `n` outstanding tasks.
+    pub fn add(&self, n: usize) {
+        let mut c = self.count.lock();
+        *c += n;
+    }
+
+    /// Marks one task complete; wakes waiters when the count hits zero.
+    pub fn done(&self) {
+        let mut c = self.count.lock();
+        match c.checked_sub(1) {
+            Some(next) => *c = next,
+            None => panic!("WaitGroup::done called more times than add"),
+        }
+        let zero = *c == 0;
+        drop(c);
+        if zero {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Blocks until the outstanding count is zero.
+    pub fn wait(&self) {
+        let mut c = self.count.lock();
+        while *c != 0 {
+            c = self.all_done.wait(c);
+        }
+    }
+
+    /// Current outstanding count (racy by nature; for introspection).
+    pub fn outstanding(&self) -> usize {
+        *self.count.lock()
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        WaitGroup::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model threads
+// ---------------------------------------------------------------------------
+
+/// Model-thread spawning, mirroring `std::thread` far enough for the
+/// checked protocols.
+pub mod thread {
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    use crate::sched;
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        idx: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    }
+
+    /// Spawns `f` as a new model thread. The spawner yields immediately
+    /// after, giving the scheduler the chance to run the child first.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (k, me) = sched::current();
+        let result = Arc::new(StdMutex::new(None));
+        let slot = result.clone();
+        let idx = sched::spawn_model_thread(&k, format!("spawned-by-{me}"), move || {
+            let out = f();
+            *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
+        });
+        k.yield_point(me);
+        JoinHandle { idx, result }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in model time) until the thread finishes; returns its
+        /// result.
+        pub fn join(self) -> T {
+            let (k, me) = sched::current();
+            // No scheduling point between the finished-check and the
+            // block: we hold the token throughout, so the target cannot
+            // finish in between (which would lose the wakeup).
+            while !k.is_finished(self.idx) {
+                k.block_on(me, sched::join_resource(self.idx));
+            }
+            self.result
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take()
+                .expect("joined model thread produced no result (it panicked)")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{explore, replay, Config, Policy};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        let cfg = Config {
+            schedules: 50,
+            ..Config::default()
+        };
+        explore(&cfg, || {
+            let m = Arc::new(Mutex::new(0u32));
+            let mut hs = Vec::new();
+            for _ in 0..3 {
+                let m = m.clone();
+                hs.push(thread::spawn(move || {
+                    let mut g = m.lock();
+                    let v = *g;
+                    // A yield inside the critical section tempts the
+                    // scheduler to interleave; mutual exclusion must hold.
+                    let (k, me) = sched::current();
+                    k.yield_point(me);
+                    *g = v + 1;
+                }));
+            }
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(*m.lock(), 3);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn channel_crosses_model_threads() {
+        let cfg = Config {
+            schedules: 50,
+            ..Config::default()
+        };
+        explore(&cfg, || {
+            let ch = Arc::new(Channel::new());
+            let tx = ch.clone();
+            let producer = thread::spawn(move || {
+                for i in 0..3 {
+                    assert!(tx.send(i));
+                }
+                tx.close();
+            });
+            let mut got = Vec::new();
+            while let Some(v) = ch.recv() {
+                got.push(v);
+            }
+            producer.join();
+            assert_eq!(got, vec![0, 1, 2]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn waitgroup_synchronizes() {
+        let cfg = Config {
+            schedules: 50,
+            ..Config::default()
+        };
+        explore(&cfg, || {
+            let wg = Arc::new(WaitGroup::new());
+            let flag = Arc::new(AtomicBool::new(false));
+            wg.add(1);
+            let (wg2, flag2) = (wg.clone(), flag.clone());
+            let h = thread::spawn(move || {
+                flag2.store(true, Ordering::Release);
+                wg2.done();
+            });
+            wg.wait();
+            // wait() returning means done() ran, so the store is visible.
+            assert!(flag.load(Ordering::Acquire));
+            h.join();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        // Two threads each wait on a condvar nobody signals.
+        let err = replay(11, Policy::RandomWalk, 5_000, || {
+            let m = Arc::new(Mutex::new(()));
+            let cv = Arc::new(Condvar::new());
+            let (m2, cv2) = (m.clone(), cv.clone());
+            let h = thread::spawn(move || {
+                let g = m2.lock();
+                let _g = cv2.wait(g);
+            });
+            let g = m.lock();
+            let _g = cv.wait(g);
+            h.join();
+        })
+        .unwrap_err();
+        assert!(err.contains("deadlock"), "got: {err}");
+    }
+
+    #[test]
+    fn atomics_are_scheduling_points() {
+        let cfg = Config {
+            schedules: 30,
+            ..Config::default()
+        };
+        explore(&cfg, || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = a.clone();
+            let h = thread::spawn(move || {
+                a2.fetch_add(1, Ordering::SeqCst);
+            });
+            a.fetch_add(1, Ordering::SeqCst);
+            h.join();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+//! Model-checks the paper's Fig. 1 scenario (§III): two threads share a
+//! matrix; thread 1 finishes its updates with `GrB_wait(A, COMPLETE)` and
+//! then publishes the handle through a release-store flag; thread 2 spins
+//! on the flag (acquire) and only then reads the matrix. The spec's
+//! contract is that after `wait(COMPLETE)` plus user-side synchronization,
+//! the reader observes a fully materialized object.
+//!
+//! Two tests: the correct protocol survives the full smoke budget, and a
+//! seeded misuse (publishing *before* the wait) is caught by the checker
+//! and replayed deterministically from the reported seed — the §III bug
+//! Fig. 1 exists to warn about.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use graphblas_check::sched::{self, Config};
+use graphblas_check::sync::{thread, AtomicBool, Mutex};
+
+/// The shared matrix: staged updates drain into materialized storage
+/// under the container lock (the model twin of `MatrixState`).
+struct SharedMatrix {
+    pending: Vec<u64>,
+    materialized: Vec<u64>,
+}
+
+impl SharedMatrix {
+    fn new() -> Self {
+        SharedMatrix {
+            pending: Vec::new(),
+            materialized: Vec::new(),
+        }
+    }
+
+    /// `GrB_wait(A, COMPLETE)`: drain everything staged so far.
+    fn wait_complete(&mut self) {
+        let staged = std::mem::take(&mut self.pending);
+        self.materialized.extend(staged);
+    }
+}
+
+fn fig1_body(publish_before_wait: bool) {
+    let a = Arc::new(Mutex::named(SharedMatrix::new(), "fig1-matrix"));
+    let ready = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let a = Arc::clone(&a);
+        let ready = Arc::clone(&ready);
+        thread::spawn(move || {
+            {
+                let mut m = a.lock();
+                m.pending.push(1);
+                m.pending.push(2);
+            }
+            if publish_before_wait {
+                // The seeded §III misuse: the flag races ahead of the
+                // wait, so the reader can see a half-built object.
+                ready.store(true, Ordering::Release);
+                a.lock().wait_complete();
+            } else {
+                a.lock().wait_complete();
+                ready.store(true, Ordering::Release);
+            }
+        })
+    };
+
+    let reader = {
+        let a = Arc::clone(&a);
+        let ready = Arc::clone(&ready);
+        thread::spawn(move || {
+            // Bounded in model time by the scheduler's step budget; every
+            // load is a yield point, so the spin cannot starve the writer.
+            while !ready.load(Ordering::Acquire) {}
+            let m = a.lock();
+            assert!(
+                m.pending.is_empty(),
+                "reader observed pending updates after wait(COMPLETE)"
+            );
+            assert_eq!(m.materialized, vec![1, 2]);
+        })
+    };
+
+    writer.join();
+    reader.join();
+}
+
+/// The correct Fig. 1 protocol: wait(COMPLETE) before publication means
+/// no interleaving lets the reader see an incomplete matrix.
+#[test]
+fn fig1_wait_complete_then_publish_is_safe() {
+    let cfg = Config::default().schedules_from_env(1000);
+    let stats = sched::explore(&cfg, || fig1_body(false))
+        .unwrap_or_else(|f| panic!("fig1 protocol failed: {f}"));
+    assert!(stats.schedules >= 1);
+}
+
+/// Publishing before the wait is caught: some interleaving lets the
+/// reader in between the store and the drain, and the checker pins it to
+/// a replayable seed.
+#[test]
+fn fig1_publish_before_wait_is_caught_and_replays() {
+    let cfg = Config::default().schedules_from_env(1000);
+    let failure = sched::explore(&cfg, || fig1_body(true))
+        .expect_err("exploration must catch the premature publication");
+    assert!(
+        failure.message.contains("pending updates after wait"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    let replayed = sched::replay(failure.seed, cfg.policy, cfg.max_steps, || fig1_body(true))
+        .expect_err("the failing seed must fail on replay");
+    assert_eq!(replayed, failure.message, "replay is deterministic");
+}

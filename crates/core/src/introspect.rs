@@ -8,6 +8,7 @@
 //! otherwise perturbs what it observes.
 
 use graphblas_obs::JsonWriter;
+use graphblas_sparse::FormatError;
 
 /// A point-in-time description of one container's observable state.
 ///
@@ -62,9 +63,90 @@ impl ObjectStats {
     }
 }
 
+/// Why a container failed deep validation ([`grb_check`]).
+///
+/// Unlike [`ObjectStats`] — which *reports* state — `grb_check` *verifies*
+/// it: every Table III format invariant of the current store, the agreement
+/// between the store's shape and the container's logical dimensions, and
+/// the §V deferred-error bookkeeping (a poisoned object's pending sequence
+/// must be empty, because `drain` discards the sequence when it records the
+/// sticky error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The store violates its Table III format invariants.
+    Format {
+        /// The format the store claimed (`"csr"`, `"coo"`, …).
+        format: &'static str,
+        /// The underlying violation.
+        source: FormatError,
+    },
+    /// The store's shape disagrees with the container's logical dimensions.
+    ShapeMismatch {
+        /// Logical `(nrows, ncols)` of the container.
+        logical: (u64, u64),
+        /// `(nrows, ncols)` of the current store.
+        store: (u64, u64),
+    },
+    /// §V violation: a sticky execution error coexists with queued stages.
+    PendingAfterError {
+        /// Number of stages still queued.
+        pending: usize,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Format { format, source } => {
+                write!(f, "{format} store violates its format invariants: {source}")
+            }
+            CheckError::ShapeMismatch { logical, store } => write!(
+                f,
+                "store shape {}x{} disagrees with logical shape {}x{}",
+                store.0, store.1, logical.0, logical.1
+            ),
+            CheckError::PendingAfterError { pending } => write!(
+                f,
+                "poisoned object still holds {pending} pending stage(s); \
+                 drain must clear the sequence when it records the sticky error"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Deep container validation, implemented by `Matrix`, `Vector`, and
+/// `Scalar`. Like [`ObjectStats`], checking never forces completion: it
+/// validates the object *as stored right now*, pending stages and all.
+pub trait Check {
+    /// Verifies every internal invariant of the container.
+    fn grb_check(&self) -> Result<(), CheckError>;
+}
+
+/// Free-function spelling of [`Check::grb_check`], mirroring how the C API
+/// exposes `GxB_*_check`-style debug verifiers next to `GrB_get`.
+// grblint: allow(grb-error-type) — diagnostic verifier: CheckError
+// describes *why* a container is malformed, which no GrB_Info code can.
+pub fn grb_check<O: Check>(obj: &O) -> Result<(), CheckError> {
+    obj.grb_check()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn check_error_messages() {
+        let e = CheckError::ShapeMismatch {
+            logical: (3, 4),
+            store: (4, 3),
+        };
+        assert!(e.to_string().contains("4x3"));
+        assert!(e.to_string().contains("3x4"));
+        let p = CheckError::PendingAfterError { pending: 2 };
+        assert!(p.to_string().contains("2 pending"));
+    }
 
     #[test]
     fn json_shape() {

@@ -51,7 +51,7 @@ pub(crate) mod write;
 
 pub use descriptor::Descriptor;
 pub use error::{ApiError, Error, ExecErrorKind, ExecutionError, GrbResult, Info};
-pub use introspect::ObjectStats;
+pub use introspect::{grb_check, Check, CheckError, ObjectStats};
 pub use matrix::Matrix;
 pub use ops::{BinaryOp, IndexUnaryOp, Monoid, Semiring, UnaryOp};
 pub use pending::WaitMode;

@@ -90,6 +90,7 @@ impl<T: ValueType> MatrixState<T> {
             csr
         };
         self.store = MatStore::Csr(csr);
+        self.debug_check();
         Ok(())
     }
 
@@ -115,6 +116,7 @@ impl<T: ValueType> MatrixState<T> {
         let obs_on = graphblas_obs::enabled();
         let _sp = obs_on.then(|| graphblas_obs::span_ctx("drain", ctx.id()));
         if obs_on {
+            // grblint: allow(relaxed-ordering) — monotonic obs counter.
             graphblas_obs::counters::pending()
                 .drains
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -128,6 +130,7 @@ impl<T: ValueType> MatrixState<T> {
                     Stage::Opaque(f) => {
                         self.flush_map_run(ctx, &mut run)?;
                         if obs_on {
+                            // grblint: allow(relaxed-ordering) — monotonic obs counter.
                             graphblas_obs::counters::pending()
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -144,6 +147,7 @@ impl<T: ValueType> MatrixState<T> {
                 if obs_on {
                     // The error surfaced at drain time, not at the call
                     // that caused it — the §V deferral the paper promises.
+                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .errors_deferred
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -151,7 +155,58 @@ impl<T: ValueType> MatrixState<T> {
             }
             self.pending.clear();
         }
+        self.debug_check();
         result
+    }
+
+    /// Deep validation of this state: Table III invariants of the current
+    /// store, store-vs-logical shape agreement, and §V error bookkeeping.
+    pub(crate) fn check(&self) -> Result<(), crate::introspect::CheckError> {
+        use crate::introspect::CheckError;
+        let shape = match &self.store {
+            MatStore::Csr(a) => {
+                a.check()
+                    .map_err(|source| CheckError::Format { format: "csr", source })?;
+                (a.nrows(), a.ncols())
+            }
+            MatStore::Csc(a) => {
+                a.check()
+                    .map_err(|source| CheckError::Format { format: "csc", source })?;
+                (a.nrows(), a.ncols())
+            }
+            MatStore::Coo(a, _) => {
+                a.check()
+                    .map_err(|source| CheckError::Format { format: "coo", source })?;
+                (a.nrows(), a.ncols())
+            }
+            MatStore::Dense(a) => {
+                a.check()
+                    .map_err(|source| CheckError::Format { format: "dense", source })?;
+                (a.nrows(), a.ncols())
+            }
+        };
+        if shape != (self.nrows, self.ncols) {
+            return Err(CheckError::ShapeMismatch {
+                logical: (self.nrows as u64, self.ncols as u64),
+                store: (shape.0 as u64, shape.1 as u64),
+            });
+        }
+        if self.err.is_some() && !self.pending.is_empty() {
+            return Err(CheckError::PendingAfterError {
+                pending: self.pending.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Debug-build invariant gate, called at kernel boundaries (after
+    /// `drain` and `ensure_csr`). Compiles to nothing in release builds.
+    #[inline]
+    pub(crate) fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check() {
+            panic!("matrix container invariant violated: {e}");
+        }
     }
 
     fn flush_map_run(&mut self, ctx: &Context, run: &mut Vec<MapFn<T>>) -> GrbResult {
@@ -160,12 +215,15 @@ impl<T: ValueType> MatrixState<T> {
         }
         let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::MapFuse, ctx.id());
         if sp.active() {
-            use std::sync::atomic::Ordering::Relaxed;
             let p = graphblas_obs::counters::pending();
             // A run of n maps executes as ONE traversal; the other n−1
             // stages were absorbed into it — each is a fusion hit.
-            p.map_traversals.fetch_add(1, Relaxed);
-            p.fusion_hits.fetch_add(run.len() as u64 - 1, Relaxed);
+            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            p.map_traversals
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            p.fusion_hits
+                .fetch_add(run.len() as u64 - 1, std::sync::atomic::Ordering::Relaxed);
         }
         self.ensure_csr(ctx, false)?;
         let nnz_in = if sp.active() { self.csr().nnz() as u64 } else { 0 };
@@ -628,6 +686,7 @@ impl<T: ValueType> Matrix<T> {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Opaque(stage));
                 if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .opaques_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -658,6 +717,7 @@ impl<T: ValueType> Matrix<T> {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Map(f));
                 if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .maps_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -696,6 +756,16 @@ impl<T: ValueType> Matrix<T> {
         } else {
             Err(ApiError::ContextMismatch.into())
         }
+    }
+}
+
+impl<T: ValueType> crate::introspect::Check for Matrix<T> {
+    /// Deep validation (`grb_check`): verifies the current store's Table III
+    /// invariants, the store-vs-logical shape agreement, and the §V rule
+    /// that a poisoned object holds no pending stages. Never forces
+    /// completion — like [`Matrix::stats`], it observes without perturbing.
+    fn grb_check(&self) -> Result<(), crate::introspect::CheckError> {
+        self.inner.state.lock().check()
     }
 }
 
@@ -911,6 +981,41 @@ mod tests {
         assert_eq!((s.pending, s.nvals), (0, 2));
         assert_eq!(s.format, "csr");
         assert!(s.to_json().contains("\"nvals\":2"));
+    }
+
+    #[test]
+    fn grb_check_validates_state() {
+        use crate::introspect::{grb_check, CheckError};
+        // A healthy object passes.
+        let m = Matrix::<i64>::new(3, 3).unwrap();
+        m.set_element(1, 0, 0).unwrap();
+        grb_check(&m).unwrap();
+        // §V: a poisoned object has its pending sequence cleared, so the
+        // deep check still passes — error state and queue stay consistent.
+        let ctx = Context::new(
+            &global_context(),
+            Mode::NonBlocking,
+            ContextOptions::default(),
+        );
+        let m2 = Matrix::<i64>::new_in(&ctx, 2, 2).unwrap();
+        m2.build(&[5], &[0], &[1], None).unwrap();
+        assert!(m2.wait(WaitMode::Complete).is_err());
+        grb_check(&m2).unwrap();
+        // A store whose shape disagrees with the logical dimensions fails.
+        let bad = Matrix::from_state(
+            &global_context(),
+            MatrixState {
+                nrows: 2,
+                ncols: 2,
+                store: MatStore::Csr(Arc::new(Csr::<i64>::empty(3, 3))),
+                pending: Vec::new(),
+                err: None,
+            },
+        );
+        assert!(matches!(
+            grb_check(&bad),
+            Err(CheckError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -63,6 +63,8 @@ where
         // mask-restricted product (no accumulator folding old values in).
         let use_masked_kernel = mask_s.is_some() && accum.is_none();
         let t = if use_masked_kernel {
+            // grblint: allow(no-unwrap) — use_masked_kernel implies mask_s
+            // is Some (checked one line up).
             let m = mask_s.as_ref().expect("checked");
             spgemm::spgemm_masked(
                 &ctx2,

@@ -62,6 +62,8 @@ where
                 values.push(v);
             }
         }
+        // grblint: allow(no-unwrap) — indices are enumerate() positions:
+        // strictly increasing and < nrows by construction.
         let t = graphblas_sparse::SparseVec::from_parts(a_s.nrows(), indices, values)
             .expect("reduce produces valid vector");
         if mask_s.is_none() && accum.is_none() {

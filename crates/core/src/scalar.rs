@@ -29,6 +29,30 @@ pub(crate) struct ScalarState<T> {
     pub err: Option<ExecutionError>,
 }
 
+impl<T> ScalarState<T> {
+    /// Deep validation: a scalar has no Table III store to verify, so only
+    /// the §V error bookkeeping applies (a poisoned scalar must hold no
+    /// pending stages — `complete_internal` clears the sequence when it
+    /// records the sticky error).
+    pub(crate) fn check(&self) -> Result<(), crate::introspect::CheckError> {
+        if self.err.is_some() && !self.pending.is_empty() {
+            return Err(crate::introspect::CheckError::PendingAfterError {
+                pending: self.pending.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Debug-build invariant gate (see `MatrixState::debug_check`).
+    #[inline]
+    pub(crate) fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check() {
+            panic!("scalar container invariant violated: {e}");
+        }
+    }
+}
+
 struct ScalarHandle<T> {
     ctx: RwLock<Context>,
     state: Mutex<ScalarState<T>>,
@@ -39,6 +63,14 @@ struct ScalarHandle<T> {
 #[derive(Clone)]
 pub struct Scalar<T: ValueType> {
     inner: Arc<ScalarHandle<T>>,
+}
+
+impl<T: ValueType> crate::introspect::Check for Scalar<T> {
+    /// Deep validation (`grb_check`): verifies the §V rule that a poisoned
+    /// scalar holds no pending stages, without forcing completion.
+    fn grb_check(&self) -> Result<(), crate::introspect::CheckError> {
+        self.inner.state.lock().check()
+    }
 }
 
 impl<T: ValueType> std::fmt::Debug for Scalar<T> {
@@ -193,9 +225,11 @@ impl<T: ValueType> Scalar<T> {
                     st.err = Some(exec.clone());
                 }
                 st.pending.clear();
+                st.debug_check();
                 return Err(e);
             }
         }
+        st.debug_check();
         Ok(())
     }
 
@@ -210,6 +244,7 @@ impl<T: ValueType> Scalar<T> {
             Mode::NonBlocking => {
                 st.pending.push(stage);
                 if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .opaques_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);

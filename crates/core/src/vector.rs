@@ -57,7 +57,52 @@ impl<T: ValueType> VectorState<T> {
             VecStore::Dense(d) => Arc::new(d.to_sparse()),
         };
         self.store = VecStore::Sparse(sv);
+        self.debug_check();
         Ok(())
+    }
+
+    /// Deep validation of this state: Table III invariants of the current
+    /// store, store-vs-logical length agreement, and §V error bookkeeping.
+    pub(crate) fn check(&self) -> Result<(), crate::introspect::CheckError> {
+        use crate::introspect::CheckError;
+        let len = match &self.store {
+            VecStore::Sparse(a) => {
+                a.check().map_err(|source| CheckError::Format {
+                    format: "sparse",
+                    source,
+                })?;
+                a.len()
+            }
+            VecStore::Dense(a) => {
+                a.check().map_err(|source| CheckError::Format {
+                    format: "full",
+                    source,
+                })?;
+                a.len()
+            }
+        };
+        if len != self.n {
+            return Err(CheckError::ShapeMismatch {
+                logical: (self.n as u64, 1),
+                store: (len as u64, 1),
+            });
+        }
+        if self.err.is_some() && !self.pending.is_empty() {
+            return Err(CheckError::PendingAfterError {
+                pending: self.pending.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Debug-build invariant gate, called at kernel boundaries (after
+    /// `drain` and `ensure_sparse`). Compiles to nothing in release builds.
+    #[inline]
+    pub(crate) fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check() {
+            panic!("vector container invariant violated: {e}");
+        }
     }
 
     /// Borrows the sparse store (call [`Self::ensure_sparse`] first).
@@ -78,6 +123,7 @@ impl<T: ValueType> VectorState<T> {
         let obs_on = graphblas_obs::enabled();
         let _sp = obs_on.then(|| graphblas_obs::span_ctx("drain", ctx.id()));
         if obs_on {
+            // grblint: allow(relaxed-ordering) — monotonic obs counter.
             graphblas_obs::counters::pending()
                 .drains
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -91,6 +137,7 @@ impl<T: ValueType> VectorState<T> {
                     Stage::Opaque(f) => {
                         self.flush_map_run(ctx, &mut run)?;
                         if obs_on {
+                            // grblint: allow(relaxed-ordering) — monotonic obs counter.
                             graphblas_obs::counters::pending()
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -105,6 +152,7 @@ impl<T: ValueType> VectorState<T> {
             if let Error::Execution(exec) = e {
                 self.err = Some(exec.clone());
                 if obs_on {
+                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .errors_deferred
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -112,6 +160,7 @@ impl<T: ValueType> VectorState<T> {
             }
             self.pending.clear();
         }
+        self.debug_check();
         result
     }
 
@@ -121,10 +170,13 @@ impl<T: ValueType> VectorState<T> {
         }
         let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::MapFuse, ctx.id());
         if sp.active() {
-            use std::sync::atomic::Ordering::Relaxed;
             let p = graphblas_obs::counters::pending();
-            p.map_traversals.fetch_add(1, Relaxed);
-            p.fusion_hits.fetch_add(run.len() as u64 - 1, Relaxed);
+            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            p.map_traversals
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            p.fusion_hits
+                .fetch_add(run.len() as u64 - 1, std::sync::atomic::Ordering::Relaxed);
         }
         self.ensure_sparse()?;
         let nnz_in = if sp.active() { self.sparse().nnz() as u64 } else { 0 };
@@ -461,6 +513,7 @@ impl<T: ValueType> Vector<T> {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Opaque(stage));
                 if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .opaques_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -489,6 +542,7 @@ impl<T: ValueType> Vector<T> {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Map(f));
                 if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .maps_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -517,6 +571,15 @@ impl<T: ValueType> Vector<T> {
         } else {
             Err(ApiError::ContextMismatch.into())
         }
+    }
+}
+
+impl<T: ValueType> crate::introspect::Check for Vector<T> {
+    /// Deep validation (`grb_check`): the current store's Table III
+    /// invariants, store-vs-logical length agreement, and §V error
+    /// bookkeeping — without forcing completion.
+    fn grb_check(&self) -> Result<(), crate::introspect::CheckError> {
+        self.inner.state.lock().check()
     }
 }
 

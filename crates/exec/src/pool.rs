@@ -23,9 +23,11 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+
+use crate::sync::{Condvar, Mutex, WaitGroup};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -40,69 +42,88 @@ pub fn in_worker() -> bool {
     IN_WORKER.with(|w| w.get())
 }
 
-/// MPMC job queue: every worker shares one deque behind a mutex. Jobs are
-/// short-lived boxed closures; contention on the lock is dwarfed by the
-/// kernels the jobs run.
-struct JobQueue {
-    jobs: Mutex<(VecDeque<Job>, bool /* closed */)>,
-    available: Condvar,
+/// The mutex-protected portion of the job queue. `parked` lives *inside*
+/// the lock on purpose: it is read by `push` to decide whether a submission
+/// counts as a wake, and written by `pop` around `Condvar::wait`. An
+/// earlier revision kept it as a separate `AtomicUsize` touched with
+/// `Ordering::Relaxed`; every access already happened under the mutex, so
+/// the atomic bought nothing and invited exactly the unsynchronized
+/// read-outside-the-lock drift that loses wakeups (the
+/// `model_pool::buggy_unlocked_park_check_loses_wakeups` test in
+/// `graphblas-check` demonstrates that failure mode on this protocol).
+/// Folding it into the guarded state makes the synchronization structural.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
     /// Workers currently blocked in `available.wait` (so senders know
     /// whether a push actually wakes someone — the obs "wake" count).
-    parked: AtomicUsize,
+    parked: usize,
+}
+
+/// MPMC job queue: every worker shares one deque behind a mutex. Jobs are
+/// short-lived boxed closures; contention on the lock is dwarfed by the
+/// kernels the jobs run. The park/wake protocol is model-checked in
+/// `crates/check/tests/model_pool.rs`.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
 }
 
 impl JobQueue {
     fn new() -> Self {
         JobQueue {
-            jobs: Mutex::new((VecDeque::new(), false)),
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+                parked: 0,
+            }),
             available: Condvar::new(),
-            parked: AtomicUsize::new(0),
         }
     }
 
     fn push(&self, job: Job) {
-        let mut guard = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
-        if guard.1 {
+        let mut st = self.state.lock();
+        if st.closed {
             return; // teardown in progress: drop the job
         }
-        guard.0.push_back(job);
-        if self.parked.load(Ordering::Relaxed) > 0 && graphblas_obs::enabled() {
+        st.jobs.push_back(job);
+        if st.parked > 0 && graphblas_obs::enabled() {
+            // grblint: allow(relaxed-ordering) — monotonic obs counter; no
+            // reader infers cross-thread state from it.
             graphblas_obs::counters::pool()
                 .wakes
                 .fetch_add(1, Ordering::Relaxed);
         }
-        drop(guard);
+        drop(st);
         self.available.notify_one();
     }
 
     /// Blocks until a job is available or the queue is closed and empty.
     fn pop(&self) -> Option<Job> {
-        let mut guard = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = self.state.lock();
         loop {
-            if let Some(job) = guard.0.pop_front() {
+            if let Some(job) = st.jobs.pop_front() {
                 return Some(job);
             }
-            if guard.1 {
+            if st.closed {
                 return None;
             }
             if graphblas_obs::enabled() {
+                // grblint: allow(relaxed-ordering) — monotonic obs counter.
                 graphblas_obs::counters::pool()
                     .parks
                     .fetch_add(1, Ordering::Relaxed);
             }
-            self.parked.fetch_add(1, Ordering::Relaxed);
-            guard = self
-                .available
-                .wait(guard)
-                .unwrap_or_else(|e| e.into_inner());
-            self.parked.fetch_sub(1, Ordering::Relaxed);
+            st.parked += 1;
+            st = self.available.wait(st);
+            st.parked -= 1;
         }
     }
 
     fn close(&self) {
-        let mut guard = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
-        guard.1 = true;
-        drop(guard);
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
         self.available.notify_all();
     }
 }
@@ -160,6 +181,7 @@ impl ThreadPool {
         F: FnOnce(&Scope<'env, '_>) -> R,
     {
         if graphblas_obs::enabled() {
+            // grblint: allow(relaxed-ordering) — monotonic obs counter.
             graphblas_obs::counters::pool()
                 .scopes
                 .fetch_add(1, Ordering::Relaxed);
@@ -189,48 +211,37 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Scope bookkeeping: a [`WaitGroup`] counts in-flight tasks (the protocol
+/// is model-checked in `crates/check/tests/model_channels.rs`) and a slot
+/// captures the first panic for re-raising on the scope owner's thread.
 #[derive(Default)]
 struct ScopeState {
-    pending: Mutex<usize>,
-    all_done: Condvar,
+    tasks: WaitGroup,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl ScopeState {
     fn task_started(&self) {
-        *self.pending.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.tasks.add(1);
     }
 
     fn task_finished(&self) {
-        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
-        *pending -= 1;
-        if *pending == 0 {
-            self.all_done.notify_all();
-        }
+        self.tasks.done();
     }
 
     fn wait(&self) {
-        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
-        while *pending > 0 {
-            pending = self
-                .all_done
-                .wait(pending)
-                .unwrap_or_else(|e| e.into_inner());
-        }
+        self.tasks.wait();
     }
 
     fn record_panic(&self, payload: Box<dyn Any + Send>) {
-        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = self.panic.lock();
         if slot.is_none() {
             *slot = Some(payload);
         }
     }
 
     fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
-        self.panic
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
+        self.panic.lock().take()
     }
 }
 
@@ -253,6 +264,7 @@ impl<'env, 'pool> Scope<'env, 'pool> {
     {
         if in_worker() {
             if graphblas_obs::enabled() {
+                // grblint: allow(relaxed-ordering) — monotonic obs counter.
                 graphblas_obs::counters::pool()
                     .tasks_inline
                     .fetch_add(1, Ordering::Relaxed);
@@ -261,6 +273,7 @@ impl<'env, 'pool> Scope<'env, 'pool> {
             return;
         }
         if graphblas_obs::enabled() {
+            // grblint: allow(relaxed-ordering) — monotonic obs counter.
             graphblas_obs::counters::pool()
                 .tasks_spawned
                 .fetch_add(1, Ordering::Relaxed);

@@ -1,12 +1,21 @@
 //! Thin wrappers over `std::sync` locks with a `parking_lot`-style API
-//! (guard-returning `lock()` / `read()` / `write()`, no poison plumbing).
+//! (guard-returning `lock()` / `read()` / `write()`, no poison plumbing),
+//! plus the two blocking-coordination primitives the pool and kernels
+//! need: an MPMC [`Channel`] and a [`WaitGroup`].
 //!
 //! The workspace builds offline with no external crates; these shims keep
 //! call sites as terse as the `parking_lot` API they replace. Poisoning is
 //! deliberately ignored: a panic inside a GraphBLAS kernel already
 //! propagates through the pool's scope machinery, and the §V error model —
 //! not lock poisoning — is how object state is invalidated.
+//!
+//! Everything in this module is model-checked: `graphblas-check` provides
+//! a schedule-controlled mirror of this exact API (`check::sync`), and its
+//! test suite explores thousands of interleavings of the channel,
+//! wait-group, and pool park/wake protocols. Keep the algorithms here in
+//! lockstep with the models in `crates/check/tests/`.
 
+use std::collections::VecDeque;
 use std::sync::{self, TryLockError};
 
 pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
@@ -90,6 +99,180 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     }
 }
 
+/// A condition variable whose `wait` recovers from poisoning, pairing with
+/// this module's [`Mutex`].
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically releases `guard` and blocks until notified. Spurious
+    /// wakeups are possible — always re-check the predicate in a loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer FIFO channel (`Mutex<VecDeque>` +
+/// [`Condvar`]), the protocol the pool's job queue instantiates.
+///
+/// Closing wakes every blocked receiver; receivers drain remaining items
+/// before observing `None`. Sends after close are rejected, not queued.
+pub struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    available: Condvar,
+}
+
+impl<T> Channel<T> {
+    pub fn new() -> Self {
+        Channel {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`; returns `false` (dropping the item) when the
+    /// channel is closed. Notifies one blocked receiver *after* releasing
+    /// the lock — the wake decision is made while the state is locked, so
+    /// no receiver that observed an empty queue can be missed.
+    pub fn send(&self, item: T) -> bool {
+        let mut st = self.state.lock();
+        if st.closed {
+            return false;
+        }
+        st.queue.push_back(item);
+        drop(st);
+        self.available.notify_one();
+        true
+    }
+
+    /// Blocks until an item is available (`Some`) or the channel is closed
+    /// *and* drained (`None`).
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.available.wait(st);
+        }
+    }
+
+    /// Non-blocking receive: `Some` when an item was ready.
+    pub fn try_recv(&self) -> Option<T> {
+        self.state.lock().queue.pop_front()
+    }
+
+    /// Closes the channel and wakes every blocked receiver. Items already
+    /// queued remain receivable.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
+        self.available.notify_all();
+    }
+
+    /// Whether the channel has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Number of currently queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Whether no items are currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for Channel<T> {
+    fn default() -> Self {
+        Channel::new()
+    }
+}
+
+/// Counts outstanding tasks and blocks waiters until the count returns to
+/// zero — the completion protocol behind [`crate::pool::ThreadPool::scope`].
+///
+/// `add` before handing work out, `done` when each unit finishes, `wait`
+/// to block until all are done. Unlike Go's WaitGroup, `add` after the
+/// count has reached zero is allowed (the scope may spawn in waves).
+#[derive(Default)]
+pub struct WaitGroup {
+    count: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl WaitGroup {
+    pub fn new() -> Self {
+        WaitGroup {
+            count: Mutex::new(0),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Registers `n` more outstanding units of work.
+    pub fn add(&self, n: usize) {
+        *self.count.lock() += n;
+    }
+
+    /// Marks one unit of work finished, waking waiters when the count hits
+    /// zero. Panics if the count would go negative (a protocol violation).
+    pub fn done(&self) {
+        let mut count = self.count.lock();
+        assert!(*count > 0, "WaitGroup::done called more times than add");
+        *count -= 1;
+        if *count == 0 {
+            drop(count);
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Blocks until the outstanding count is zero. Returns immediately when
+    /// nothing is outstanding.
+    pub fn wait(&self) {
+        let mut count = self.count.lock();
+        while *count > 0 {
+            count = self.all_done.wait(count);
+        }
+    }
+
+    /// The current outstanding count (racy; diagnostic use only).
+    pub fn outstanding(&self) -> usize {
+        *self.count.lock()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +295,70 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn channel_fifo_and_close_semantics() {
+        let ch = Channel::new();
+        assert!(ch.send(1));
+        assert!(ch.send(2));
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.recv(), Some(1));
+        assert_eq!(ch.try_recv(), Some(2));
+        assert_eq!(ch.try_recv(), None);
+        ch.send(3);
+        ch.close();
+        assert!(!ch.send(4)); // rejected after close
+        assert_eq!(ch.recv(), Some(3)); // drains queued items
+        assert_eq!(ch.recv(), None);
+        assert!(ch.is_closed());
+    }
+
+    #[test]
+    fn channel_crosses_threads() {
+        let ch = std::sync::Arc::new(Channel::new());
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let ch = ch.clone();
+                std::thread::spawn(move || {
+                    let mut got = 0usize;
+                    while ch.recv().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..100 {
+            assert!(ch.send(i));
+        }
+        ch.close();
+        let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn waitgroup_blocks_until_done() {
+        let wg = std::sync::Arc::new(WaitGroup::new());
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        wg.add(8);
+        for _ in 0..8 {
+            let (wg, hits) = (wg.clone(), hits.clone());
+            std::thread::spawn(move || {
+                hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                wg.done();
+            });
+        }
+        wg.wait();
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 8);
+        assert_eq!(wg.outstanding(), 0);
+        wg.wait(); // idempotent on an idle group
+    }
+
+    #[test]
+    #[should_panic(expected = "WaitGroup::done")]
+    fn waitgroup_underflow_panics() {
+        WaitGroup::new().done();
     }
 
     #[test]

@@ -31,41 +31,15 @@ impl<T> Coo<T> {
         cols: Vec<usize>,
         values: Vec<T>,
     ) -> Result<Self, FormatError> {
-        if rows.len() != values.len() {
-            return Err(FormatError::LengthMismatch {
-                expected: values.len(),
-                actual: rows.len(),
-                what: "row indices",
-            });
-        }
-        if cols.len() != values.len() {
-            return Err(FormatError::LengthMismatch {
-                expected: values.len(),
-                actual: cols.len(),
-                what: "column indices",
-            });
-        }
-        if let Some(&bad) = rows.iter().find(|&&i| i >= nrows) {
-            return Err(FormatError::IndexOutOfBounds {
-                index: bad,
-                bound: nrows,
-                axis: "row",
-            });
-        }
-        if let Some(&bad) = cols.iter().find(|&&j| j >= ncols) {
-            return Err(FormatError::IndexOutOfBounds {
-                index: bad,
-                bound: ncols,
-                axis: "column",
-            });
-        }
-        Ok(Coo {
+        let coo = Coo {
             nrows,
             ncols,
             rows,
             cols,
             values,
-        })
+        };
+        coo.check()?;
+        Ok(coo)
     }
 
     /// Logical number of rows.
@@ -126,6 +100,43 @@ impl<T> Coo<T> {
         self.values.push(v);
         Ok(())
     }
+
+    /// Full invariant validation, with [`crate::csr::Csr::check`]'s rigor:
+    /// the three triplet arrays agree in length and every coordinate is in
+    /// bounds. (Duplicates are legal in COO — Table III imposes no order —
+    /// so they are *not* an invariant violation here; they are resolved or
+    /// rejected at [`Coo::to_csr`] time.)
+    pub fn check(&self) -> Result<(), FormatError> {
+        if self.rows.len() != self.values.len() {
+            return Err(FormatError::LengthMismatch {
+                expected: self.values.len(),
+                actual: self.rows.len(),
+                what: "row indices",
+            });
+        }
+        if self.cols.len() != self.values.len() {
+            return Err(FormatError::LengthMismatch {
+                expected: self.values.len(),
+                actual: self.cols.len(),
+                what: "column indices",
+            });
+        }
+        if let Some(&bad) = self.rows.iter().find(|&&i| i >= self.nrows) {
+            return Err(FormatError::IndexOutOfBounds {
+                index: bad,
+                bound: self.nrows,
+                axis: "row",
+            });
+        }
+        if let Some(&bad) = self.cols.iter().find(|&&j| j >= self.ncols) {
+            return Err(FormatError::IndexOutOfBounds {
+                index: bad,
+                bound: self.ncols,
+                axis: "column",
+            });
+        }
+        Ok(())
+    }
 }
 
 impl<T: Clone + Send + Sync> Coo<T> {
@@ -161,6 +172,8 @@ impl<T: Clone + Send + Sync> Coo<T> {
         }
         let values: Vec<T> = values
             .into_iter()
+            // grblint: allow(no-unwrap) — the counting-sort cursor writes
+            // each of the nnz slots exactly once.
             .map(|v| v.expect("every slot written"))
             .collect();
         let mut csr = Csr::from_kernel_parts(self.nrows, self.ncols, indptr, indices, values, false);
@@ -175,13 +188,19 @@ impl<T: Clone + Send + Sync> Coo<T> {
     /// the CSR's rows are sorted).
     pub fn from_csr(a: &Csr<T>) -> Self {
         let (rows, cols, values) = a.tuples();
-        Coo {
+        let coo = Coo {
             nrows: a.nrows(),
             ncols: a.ncols(),
             rows,
             cols,
             values,
-        }
+        };
+        debug_assert!(
+            coo.check().is_ok(),
+            "CSR→COO conversion produced an invalid triplet store: {:?}",
+            coo.check().err()
+        );
+        coo
     }
 }
 

@@ -87,6 +87,22 @@ impl<T> Csc<T> {
         }
         self.t.get(j, i)
     }
+
+    /// Full invariant validation, with [`Csr::check`]'s rigor: validates
+    /// the internal transpose-CSR (whose rows are this matrix's columns, so
+    /// a reported "column" bound violation is a CSC *row* bound violation).
+    pub fn check(&self) -> Result<(), FormatError> {
+        self.t.check().map_err(|e| match e {
+            FormatError::IndexOutOfBounds { index, bound, .. } => {
+                FormatError::IndexOutOfBounds {
+                    index,
+                    bound,
+                    axis: "row",
+                }
+            }
+            other => other,
+        })
+    }
 }
 
 impl<T: Clone + Send + Sync> Csc<T> {

@@ -68,6 +68,7 @@ impl<T> Csr<T> {
                 detail: "indptr must be non-decreasing",
             });
         }
+        // grblint: allow(no-unwrap) — length nrows + 1 was verified above.
         let nnz = *indptr.last().expect("indptr non-empty");
         if indices.len() != nnz {
             return Err(FormatError::LengthMismatch {
@@ -103,8 +104,9 @@ impl<T> Csr<T> {
         })
     }
 
-    /// Builds from arrays a kernel just produced. Invariants are asserted in
-    /// debug builds only; `rows_sorted` is taken on trust.
+    /// Builds from arrays a kernel just produced. The full Table III
+    /// invariant set ([`Csr::check`]) is asserted in debug builds only;
+    /// `rows_sorted` is taken on trust in release builds.
     pub(crate) fn from_kernel_parts(
         nrows: usize,
         ncols: usize,
@@ -113,24 +115,20 @@ impl<T> Csr<T> {
         values: Vec<T>,
         rows_sorted: bool,
     ) -> Self {
-        debug_assert_eq!(indptr.len(), nrows + 1);
-        debug_assert_eq!(indices.len(), *indptr.last().unwrap());
-        debug_assert_eq!(values.len(), indices.len());
-        debug_assert!(indices.iter().all(|&j| j < ncols));
-        debug_assert!(
-            !rows_sorted
-                || (0..nrows).all(|i| util::is_strictly_increasing(
-                    &indices[indptr[i]..indptr[i + 1]]
-                ))
-        );
-        Csr {
+        let csr = Csr {
             nrows,
             ncols,
             indptr,
             indices,
             values,
             rows_sorted,
-        }
+        };
+        debug_assert!(
+            csr.check().is_ok(),
+            "kernel produced an invalid CSR: {:?}",
+            csr.check().err()
+        );
+        csr
     }
 
     /// Consumes the matrix, returning `(indptr, indices, values)`.
@@ -148,6 +146,8 @@ impl<T> Csr<T> {
 
     /// Number of stored elements.
     pub fn nnz(&self) -> usize {
+        // grblint: allow(no-unwrap) — structural invariant: every
+        // constructor allocates indptr with length nrows + 1 ≥ 1.
         *self.indptr.last().expect("indptr non-empty")
     }
 
@@ -311,11 +311,15 @@ impl<T: Send> Csr<T> {
                         local_dup |= idx[lo..hi].windows(2).any(|w| w[0] == w[1]);
                     }
                     if local_dup {
+                        // grblint: allow(relaxed-ordering) — the scope join
+                        // below is the happens-before edge; the flag is only
+                        // read after every task has completed.
                         found_dup.store(true, std::sync::atomic::Ordering::Relaxed);
                     }
                 });
             }
         });
+        // grblint: allow(relaxed-ordering) — see the store above.
         let dups = found_dup.load(std::sync::atomic::Ordering::Relaxed);
         // `rows_sorted` means *strictly* increasing; duplicates invalidate it
         // until `dedup_sorted_rows` resolves them.
@@ -425,6 +429,8 @@ impl<T: Clone + Send + Sync> Csr<T> {
         });
         let values: Vec<Z> = out
             .into_iter()
+            // grblint: allow(no-unwrap) — the parallel fill above writes
+            // every slot: row chunks partition 0..nnz exactly.
             .map(|s| s.expect("all slots filled"))
             .collect();
         Csr::from_kernel_parts(

@@ -32,20 +32,33 @@ impl<T> Dense<T> {
         layout: Layout,
         values: Vec<T>,
     ) -> Result<Self, FormatError> {
-        let expected = nrows.checked_mul(ncols).ok_or(FormatError::Overflow)?;
-        if values.len() != expected {
-            return Err(FormatError::LengthMismatch {
-                expected,
-                actual: values.len(),
-                what: "dense values",
-            });
-        }
-        Ok(Dense {
+        let dense = Dense {
             nrows,
             ncols,
             layout,
             values,
-        })
+        };
+        dense.check()?;
+        Ok(dense)
+    }
+
+    /// Full invariant validation, with [`crate::csr::Csr::check`]'s rigor:
+    /// a dense store is valid iff its buffer holds exactly
+    /// `nrows * ncols` elements (Table III: every element present,
+    /// `indptr`/`indices` unused) and that product does not overflow.
+    pub fn check(&self) -> Result<(), FormatError> {
+        let expected = self
+            .nrows
+            .checked_mul(self.ncols)
+            .ok_or(FormatError::Overflow)?;
+        if self.values.len() != expected {
+            return Err(FormatError::LengthMismatch {
+                expected,
+                actual: self.values.len(),
+                what: "dense values",
+            });
+        }
+        Ok(())
     }
 
     /// Number of rows.
@@ -180,6 +193,8 @@ impl<T: Clone + Send + Sync> Dense<T> {
         let values: Vec<T> = out
             .into_iter()
             .map(|v| {
+                // grblint: allow(no-unwrap) — nnz == nrows * ncols was
+                // verified above and a valid CSR has no duplicates.
                 v.expect("full matrix: from_csr_full verified nnz == nrows * ncols and no duplicates exist in a valid CSR")
             })
             .collect();

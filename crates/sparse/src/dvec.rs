@@ -40,6 +40,15 @@ impl<T> DenseVec<T> {
     pub fn get(&self, i: usize) -> Option<&T> {
         self.values.get(i)
     }
+
+    /// Full invariant validation, for parity with the other Table III
+    /// formats. A dense vector is structurally valid for any buffer (its
+    /// length *is* the vector's logical length and `indices` is unused), so
+    /// this always succeeds — the method exists so generic verifiers can
+    /// treat every format uniformly.
+    pub fn check(&self) -> Result<(), FormatError> {
+        Ok(())
+    }
 }
 
 impl<T: Clone> DenseVec<T> {
@@ -66,6 +75,8 @@ impl<T: Clone> DenseVec<T> {
         let table = v.to_option_table();
         let values = table
             .into_iter()
+            // grblint: allow(no-unwrap) — nnz == len was verified above; a
+            // valid sparse vector has no duplicate indices.
             .map(|x| x.expect("nnz == len implies all present"))
             .collect();
         Ok(DenseVec { values })

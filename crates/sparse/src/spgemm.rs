@@ -120,6 +120,7 @@ where
                 for (&j, bv) in bcols.iter().zip(bvals) {
                     let prod = mul(av, bv);
                     if spa.mark[j] == spa.gen {
+                        // grblint: allow(no-unwrap) — SPA invariant: mark[j] == gen implies vals[j] is Some.
                         add(spa.vals[j].as_mut().expect("marked implies value"), prod);
                     } else {
                         spa.mark[j] = spa.gen;
@@ -131,6 +132,7 @@ where
             lens.push(spa.touched.len());
             for &j in &spa.touched {
                 idx.push(j);
+                // grblint: allow(no-unwrap) — SPA invariant: every touched slot was filled this row.
                 vals.push(spa.vals[j].take().expect("touched implies value"));
             }
         }
@@ -214,6 +216,7 @@ where
                     }
                     let prod = mul(av, bv);
                     if spa.mark[j] == spa.gen {
+                        // grblint: allow(no-unwrap) — SPA invariant: mark[j] == gen implies vals[j] is Some.
                         add(spa.vals[j].as_mut().expect("marked implies value"), prod);
                     } else {
                         spa.mark[j] = spa.gen;
@@ -225,6 +228,7 @@ where
             lens.push(spa.touched.len());
             for &j in &spa.touched {
                 idx.push(j);
+                // grblint: allow(no-unwrap) — SPA invariant: every touched slot was filled this row.
                 vals.push(spa.vals[j].take().expect("touched implies value"));
             }
         }

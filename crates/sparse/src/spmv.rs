@@ -169,6 +169,8 @@ where
         touched.sort_unstable();
         let values: Vec<Z> = touched
             .iter()
+            // grblint: allow(no-unwrap) — accumulator invariant: j is in
+            // `touched` only after acc[j] was set above.
             .map(|&j| acc[j].take().expect("touched implies present"))
             .collect();
         SparseVec::from_kernel_parts(ncols, touched, values, true)

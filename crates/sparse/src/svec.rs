@@ -62,15 +62,18 @@ impl<T> SparseVec<T> {
         values: Vec<T>,
         sorted: bool,
     ) -> Self {
-        debug_assert_eq!(indices.len(), values.len());
-        debug_assert!(indices.iter().all(|&i| i < n));
-        debug_assert!(!sorted || util::is_strictly_increasing(&indices));
-        SparseVec {
+        let v = SparseVec {
             n,
             indices,
             values,
             sorted,
-        }
+        };
+        debug_assert!(
+            v.check().is_ok(),
+            "kernel produced an invalid sparse vector: {:?}",
+            v.check().err()
+        );
+        v
     }
 
     /// Logical length (`GrB_Vector_size`).

@@ -90,6 +90,8 @@ pub fn transpose<T: Clone + Send + Sync>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
             }
             let out_val: Vec<T> = out_val
                 .into_iter()
+                // grblint: allow(no-unwrap) — the column-count pass reserved
+                // exactly one slot per element, and the cursor fills each once.
                 .map(|s| s.expect("every reserved slot is written"))
                 .collect();
             (col_range, (counts, out_idx, out_val))

@@ -97,6 +97,7 @@ pub fn stitch_row_chunks<T>(
     let mut values: Vec<T> = Vec::with_capacity(total);
     for (range, (lens, idx, vals)) in chunks {
         debug_assert_eq!(range.len(), lens.len());
+        // grblint: allow(no-unwrap) — indptr is seeded with a leading 0 above.
         let mut acc = *indptr.last().expect("indptr starts non-empty");
         for len in lens {
             acc += len;

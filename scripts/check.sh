@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repository gate: release build, full test suite, and lint-clean clippy.
+# Repository gate: release build, full test suite, lint-clean clippy,
+# the repo-specific grblint pass, and a bounded model-checker smoke run.
 # Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,3 +8,16 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Repo-specific lints (crates/check/src/lint.rs): relaxed orderings outside
+# obs, unwrap/expect in core/sparse, fallible core APIs bypassing GrbResult,
+# undocumented unsafe. Fails the gate on any violation.
+cargo run -q -p graphblas-check --bin grblint -- .
+
+# Concurrency model-checker smoke pass: every checked protocol (pool
+# park/wake, channels, WaitGroup, pending drain, Fig. 1) explored across
+# the tests' default budget of 500-1000 seeded schedules each — a few
+# seconds total. Set GRB_CHECK_SCHEDULES to raise (deep local run) or
+# lower (constrained CI) the per-test schedule count without recompiling.
+cargo test -q -p graphblas-check --test model_pool --test model_channels \
+    --test model_pending --test model_fig1
