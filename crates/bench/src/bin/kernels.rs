@@ -1,0 +1,185 @@
+//! `kernels` — persistent kernel benchmark baseline.
+//!
+//! Runs the three kernel-level workloads the perf work targets —
+//! PageRank (adaptive push/pull `vxm` + workspace reuse), BFS
+//! (masked direction-optimizing traversal), and SpGEMM (workspace-backed
+//! SPA) — and writes their median wall times plus the workspace and
+//! direction counter blocks to `BENCH_kernels.json`.
+//!
+//! Run with: `cargo run --release -p graphblas-bench --bin kernels`
+//! (`--smoke` bounds the graph scale and run count for CI).
+//!
+//! The JSON file is the baseline `scripts/bench.sh` refreshes and
+//! `scripts/check.sh` validates; comparing two baselines across commits is
+//! the regression protocol documented in EXPERIMENTS.md.
+
+use graphblas_bench::{fmt_time, median_secs, random_csr, rmat_bool};
+use graphblas_core::{global_context, Mode};
+use graphblas_obs::JsonWriter;
+
+struct Params {
+    smoke: bool,
+    scale: u32,
+    runs: usize,
+    spgemm_n: usize,
+    spgemm_nnz_per_row: usize,
+}
+
+fn params() -> Params {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        Params { smoke, scale: 9, runs: 3, spgemm_n: 512, spgemm_nnz_per_row: 8 }
+    } else {
+        Params { smoke, scale: 13, runs: 5, spgemm_n: 2048, spgemm_nnz_per_row: 16 }
+    }
+}
+
+fn main() {
+    graphblas_core::init(Mode::Blocking);
+    let p = params();
+    println!(
+        "kernel baseline: rmat scale {} ({} runs/workload){}",
+        p.scale,
+        p.runs,
+        if p.smoke { " [smoke]" } else { "" }
+    );
+
+    graphblas_obs::set_enabled(true);
+    graphblas_obs::reset();
+
+    let a = rmat_bool(p.scale, 8, p.scale as u64);
+    let n = a.nrows();
+    let edges = a.nvals().expect("rmat graph nvals");
+
+    // Warm each workload once so the measured medians see warm caches and
+    // a populated per-thread workspace cache (steady-state, the number the
+    // regression protocol compares).
+    std::hint::black_box(graphblas_algo::pagerank(&a, 0.85, 1e-6, 50).expect("pagerank"));
+    let t_pagerank = median_secs(p.runs, || {
+        std::hint::black_box(graphblas_algo::pagerank(&a, 0.85, 1e-6, 50).expect("pagerank"));
+    });
+
+    std::hint::black_box(graphblas_algo::bfs_levels(&a, 0).expect("bfs"));
+    let t_bfs = median_secs(p.runs, || {
+        std::hint::black_box(graphblas_algo::bfs_levels(&a, 0).expect("bfs"));
+    });
+
+    let ctx = global_context();
+    let c = random_csr(p.spgemm_n, p.spgemm_n * p.spgemm_nnz_per_row, 17);
+    std::hint::black_box(graphblas_sparse::spgemm::spgemm(
+        &ctx,
+        &c,
+        &c,
+        |x: &f64, y: &f64| x * y,
+        |acc: &mut f64, z: f64| *acc += z,
+    ));
+    let t_spgemm = median_secs(p.runs, || {
+        std::hint::black_box(graphblas_sparse::spgemm::spgemm(
+            &ctx,
+            &c,
+            &c,
+            |x: &f64, y: &f64| x * y,
+            |acc: &mut f64, z: f64| *acc += z,
+        ));
+    });
+
+    let snap = graphblas_obs::snapshot();
+    graphblas_obs::set_enabled(false);
+
+    println!("| workload | median | graph |");
+    println!("|----------|--------|-------|");
+    println!("| pagerank | {} | n={n}, {edges} edges |", fmt_time(t_pagerank));
+    println!("| bfs      | {} | n={n}, {edges} edges |", fmt_time(t_bfs));
+    println!(
+        "| spgemm   | {} | {}², {} nnz |",
+        fmt_time(t_spgemm),
+        p.spgemm_n,
+        c.nnz()
+    );
+    println!(
+        "workspace: {} checkouts, {} hits, {} misses, {} bytes reused",
+        snap.workspace.checkouts, snap.workspace.hits, snap.workspace.misses, snap.workspace.bytes_reused
+    );
+    println!(
+        "direction: {} push picks, {} pull picks, {} transpose builds, {} transpose hits",
+        snap.direction.push_picks,
+        snap.direction.pull_picks,
+        snap.direction.transpose_builds,
+        snap.direction.transpose_hits
+    );
+
+    // The acceptance bar for the workspace cache: a steady-state iterative
+    // workload must be reusing scratch, not reallocating per call.
+    assert!(
+        snap.workspace.hits > 0,
+        "workspace cache recorded no hits across pagerank/bfs/spgemm"
+    );
+    assert!(
+        snap.workspace.hits >= snap.workspace.misses,
+        "steady-state runs should mostly hit the workspace cache \
+         ({} hits vs {} misses)",
+        snap.workspace.hits,
+        snap.workspace.misses
+    );
+    assert!(
+        snap.direction.push_picks + snap.direction.pull_picks > 0,
+        "direction dispatch recorded no picks"
+    );
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string("graphblas-bench/kernels/v1");
+    w.key("smoke");
+    w.boolean(p.smoke);
+    w.key("scale");
+    w.number(p.scale as u64);
+    w.key("runs");
+    w.number(p.runs as u64);
+    w.key("graph");
+    w.begin_object();
+    w.key("n");
+    w.number(n as u64);
+    w.key("edges");
+    w.number(edges as u64);
+    w.key("spgemm_n");
+    w.number(p.spgemm_n as u64);
+    w.key("spgemm_nnz");
+    w.number(c.nnz() as u64);
+    w.end_object();
+    w.key("median_secs");
+    w.begin_object();
+    w.key("pagerank");
+    w.number_f64(t_pagerank);
+    w.key("bfs");
+    w.number_f64(t_bfs);
+    w.key("spgemm");
+    w.number_f64(t_spgemm);
+    w.end_object();
+    w.key("workspace");
+    w.begin_object();
+    w.key("checkouts");
+    w.number(snap.workspace.checkouts);
+    w.key("hits");
+    w.number(snap.workspace.hits);
+    w.key("misses");
+    w.number(snap.workspace.misses);
+    w.key("bytes_reused");
+    w.number(snap.workspace.bytes_reused);
+    w.end_object();
+    w.key("direction");
+    w.begin_object();
+    w.key("push_picks");
+    w.number(snap.direction.push_picks);
+    w.key("pull_picks");
+    w.number(snap.direction.pull_picks);
+    w.key("transpose_builds");
+    w.number(snap.direction.transpose_builds);
+    w.key("transpose_hits");
+    w.number(snap.direction.transpose_hits);
+    w.end_object();
+    w.end_object();
+    let json = w.finish();
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("baseline written: BENCH_kernels.json ({} bytes)", json.len());
+}

@@ -1,0 +1,151 @@
+//! Model-checks the transpose-cache handoff: concurrent readers racing to
+//! populate `MatrixState::transpose_cache` under the container lock, with
+//! writers swapping the store `Arc` underneath them.
+//!
+//! `ModelState` mirrors `MatrixState::transposed_csr` in
+//! `graphblas_core::matrix`: the cache is keyed by the *identity* of the
+//! store `Arc` it was computed from (pointer equality), so a reader must
+//! never serve a transpose computed from a store version other than the
+//! one it currently observes, no matter how population races with store
+//! mutations. The checker drives readers and writers through the
+//! instrumented mutex to explore the interleavings.
+
+use std::sync::Arc;
+
+use graphblas_check::sched::{self, Config};
+use graphblas_check::sync::{thread, Mutex};
+
+/// Stand-in for a CSR store: `version` is the data, the `Arc` identity is
+/// the cache key (exactly how the real cache keys on the store `Arc`).
+struct Store {
+    version: u64,
+}
+
+/// Model twin of the matrix state the container mutex guards.
+struct ModelState {
+    store: Arc<Store>,
+    /// `(source, transpose-of-source)` — valid iff `source` is pointer-equal
+    /// to the current store.
+    cache: Option<(Arc<Store>, u64)>,
+    /// How many times the "expensive" transpose was computed.
+    builds: usize,
+    hits: usize,
+}
+
+/// The model's transpose: any pure function of the store's data.
+fn transpose_of(s: &Store) -> u64 {
+    s.version * 1000 + 7
+}
+
+impl ModelState {
+    fn new() -> Self {
+        ModelState {
+            store: Arc::new(Store { version: 0 }),
+            cache: None,
+            builds: 0,
+            hits: 0,
+        }
+    }
+
+    /// Mirrors `MatrixState::transposed_csr`: pointer-equality hit check,
+    /// compute-and-install on miss.
+    fn transposed(&mut self) -> u64 {
+        let src = self.store.clone();
+        if let Some((key, t)) = &self.cache {
+            if Arc::ptr_eq(key, &src) {
+                self.hits += 1;
+                return *t;
+            }
+        }
+        let t = transpose_of(&src);
+        self.builds += 1;
+        self.cache = Some((src, t));
+        t
+    }
+
+    /// Mirrors a store mutation: installs a NEW `Arc`, which is what
+    /// invalidates the cache (no explicit flag to forget).
+    fn mutate(&mut self) {
+        let next = self.store.version + 1;
+        self.store = Arc::new(Store { version: next });
+    }
+}
+
+/// Readers racing to populate the cache while writers swap the store:
+/// every read must observe the transpose of the store version it saw —
+/// a stale cache entry must never be served across a mutation.
+#[test]
+fn racing_readers_never_see_stale_transpose() {
+    let cfg = Config::default().schedules_from_env(1000);
+    sched::explore(&cfg, || {
+        let st = Arc::new(Mutex::named(ModelState::new(), "matrix-state"));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let st = Arc::clone(&st);
+                thread::spawn(move || {
+                    let mut g = st.lock();
+                    let seen = g.store.version;
+                    let t = g.transposed();
+                    // The §III thread-safety contract: under the lock the
+                    // served transpose matches the observed store version.
+                    assert_eq!(
+                        t,
+                        seen * 1000 + 7,
+                        "reader served a transpose of a different store version"
+                    );
+                })
+            })
+            .collect();
+        let writer = {
+            let st = Arc::clone(&st);
+            thread::spawn(move || {
+                st.lock().mutate();
+                st.lock().mutate();
+            })
+        };
+        for r in readers {
+            r.join();
+        }
+        writer.join();
+        let mut g = st.lock();
+        // After the dust settles the cache converges: one more read builds
+        // (or reuses) the final version's transpose, and a repeat is a hit.
+        let final_version = g.store.version;
+        let t1 = g.transposed();
+        let hits_before = g.hits;
+        let t2 = g.transposed();
+        assert_eq!(t1, t2);
+        assert_eq!(t1, final_version * 1000 + 7);
+        assert_eq!(g.hits, hits_before + 1, "second read must be a cache hit");
+    })
+    .unwrap_or_else(|f| panic!("transpose-cache handoff failed: {f}"));
+}
+
+/// Back-to-back reads with no intervening mutation build at most once —
+/// the memoization actually memoizes under every interleaving.
+#[test]
+fn concurrent_reads_build_at_most_once_per_version() {
+    let cfg = Config::default().schedules_from_env(1000);
+    sched::explore(&cfg, || {
+        let st = Arc::new(Mutex::named(ModelState::new(), "matrix-state"));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let st = Arc::clone(&st);
+                thread::spawn(move || {
+                    st.lock().transposed();
+                    st.lock().transposed();
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join();
+        }
+        let g = st.lock();
+        assert_eq!(
+            g.builds, 1,
+            "an unchanged store must be transposed exactly once"
+        );
+        assert_eq!(g.hits, 5, "all later reads must hit the cache");
+    })
+    .unwrap_or_else(|f| panic!("transpose-cache memoization failed: {f}"));
+}

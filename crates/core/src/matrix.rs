@@ -63,6 +63,13 @@ pub(crate) struct MatrixState<T: ValueType> {
     pub store: MatStore<T>,
     pub pending: Vec<Stage<MatrixState<T>, T>>,
     pub err: Option<ExecutionError>,
+    /// Memoized transpose, keyed by the identity of the CSR `Arc` it was
+    /// computed from. Every mutation installs a new store `Arc`, so a
+    /// pointer-equality check is a complete validity test (and holding the
+    /// source `Arc` here rules out ABA reuse of the allocation). Guarded by
+    /// the state mutex like everything else, which is what lets
+    /// `check::sched` model the population race.
+    pub transpose_cache: Option<(Arc<Csr<T>>, Arc<Csr<T>>)>,
 }
 
 impl<T: ValueType> MatrixState<T> {
@@ -100,6 +107,27 @@ impl<T: ValueType> MatrixState<T> {
             MatStore::Csr(a) => a,
             _ => unreachable!("ensure_csr must precede csr()"),
         }
+    }
+
+    /// The transpose of the current CSR store (must call
+    /// [`Self::ensure_csr`] first), memoized on the store `Arc`'s identity.
+    /// A cache hit is O(1); a miss computes, records, and caches.
+    pub(crate) fn transposed_csr(&mut self, ctx: &Context) -> Arc<Csr<T>> {
+        let src = self.csr().clone();
+        if let Some((key, t)) = &self.transpose_cache {
+            if Arc::ptr_eq(key, &src) {
+                if graphblas_obs::enabled() {
+                    graphblas_obs::counters::record_transpose_cache(true);
+                }
+                return t.clone();
+            }
+        }
+        let t = Arc::new(graphblas_sparse::transpose::transpose(ctx, &src));
+        if graphblas_obs::enabled() {
+            graphblas_obs::counters::record_transpose_cache(false);
+        }
+        self.transpose_cache = Some((src, t.clone()));
+        t
     }
 
     /// Drains the pending queue, fusing runs of map stages into single
@@ -300,6 +328,7 @@ impl<T: ValueType> Matrix<T> {
                 store: MatStore::Csr(Arc::new(Csr::empty(nrows, ncols))),
                 pending: Vec::new(),
                 err: None,
+                transpose_cache: None,
             },
         ))
     }
@@ -324,6 +353,7 @@ impl<T: ValueType> Matrix<T> {
             store: st.store.clone(),
             pending: Vec::new(),
             err: None,
+            transpose_cache: None,
         };
         drop(st);
         Ok(Self::from_state(&ctx, state))
@@ -365,6 +395,9 @@ impl<T: ValueType> Matrix<T> {
         st.pending.clear();
         st.err = None;
         st.store = MatStore::Csr(Arc::new(Csr::empty(st.nrows, st.ncols)));
+        // Pointer identity already invalidates the cache; dropping it here
+        // just frees the memory promptly.
+        st.transpose_cache = None;
         Ok(())
     }
 
@@ -395,6 +428,7 @@ impl<T: ValueType> Matrix<T> {
         st.nrows = nrows;
         st.ncols = ncols;
         st.store = MatStore::Csr(Arc::new(coo.to_csr(&ctx, None).map_err(Error::from)?));
+        st.transpose_cache = None;
         Ok(())
     }
 
@@ -412,6 +446,7 @@ impl<T: ValueType> Matrix<T> {
             st.ensure_csr(&ctx, false)?;
             let coo = Coo::from_csr(st.csr());
             st.store = MatStore::Coo(Arc::new(coo), CooDup::LastWins);
+            st.transpose_cache = None;
         }
         if let MatStore::Coo(coo, _) = &mut st.store {
             Arc::make_mut(coo).push(i, j, v).map_err(Error::from)?;
@@ -663,6 +698,18 @@ impl<T: ValueType> Matrix<T> {
         let mut st = self.lock_completed()?;
         st.ensure_csr(&ctx, sorted)?;
         Ok(st.csr().clone())
+    }
+
+    /// Completes and returns the transpose of this matrix's CSR snapshot,
+    /// memoized across calls (see [`MatrixState::transpose_cache`]): a
+    /// BFS that runs `vxm` on `A` twenty times pays for the transpose
+    /// once, and any mutation between calls invalidates it automatically
+    /// through the store `Arc`'s identity.
+    pub(crate) fn snapshot_transposed(&self) -> GrbResult<Arc<Csr<T>>> {
+        let ctx = self.context();
+        let mut st = self.lock_completed()?;
+        st.ensure_csr(&ctx, false)?;
+        Ok(st.transposed_csr(&ctx))
     }
 
     /// Current logical shape.
@@ -1010,6 +1057,7 @@ mod tests {
                 store: MatStore::Csr(Arc::new(Csr::<i64>::empty(3, 3))),
                 pending: Vec::new(),
                 err: None,
+                transpose_cache: None,
             },
         );
         assert!(matches!(

@@ -41,7 +41,7 @@ pub use ewise::{
 pub use extract::{extract, extract_col, extract_v};
 pub use kron::kronecker;
 pub use mxm::mxm;
-pub use mxv::{mxv, vxm};
+pub use mxv::{force_direction, mxv, vxm, Direction};
 pub use reduce::{
     reduce_scalar, reduce_scalar_binop, reduce_scalar_binop_v, reduce_scalar_v, reduce_to_value,
     reduce_to_value_v, reduce_to_vector,
@@ -76,18 +76,19 @@ pub(crate) fn eff_shape<T: ValueType>(m: &Matrix<T>, transposed: bool) -> (Index
 }
 
 /// Completes `m` and snapshots it as CSR, materializing the descriptor
-/// transpose. Transposed snapshots always come out row-sorted.
+/// transpose. Transposed snapshots always come out row-sorted, and are
+/// served from the matrix's memoized transpose cache when the store is
+/// unchanged since the last transposed use.
 pub(crate) fn snapshot_operand<T: ValueType>(
     m: &Matrix<T>,
-    ctx: &Context,
+    _ctx: &Context,
     transposed: bool,
     sorted: bool,
 ) -> GrbResult<Arc<Csr<T>>> {
-    let s = m.snapshot_csr(sorted && !transposed)?;
     if transposed {
-        Ok(Arc::new(graphblas_sparse::transpose::transpose(ctx, &s)))
+        m.snapshot_transposed()
     } else {
-        Ok(s)
+        m.snapshot_csr(sorted)
     }
 }
 

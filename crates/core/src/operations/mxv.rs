@@ -1,10 +1,19 @@
-//! `GrB_mxv` / `GrB_vxm`: matrix-vector products over a semiring.
+//! `GrB_mxv` / `GrB_vxm`: matrix-vector products over a semiring, with
+//! direction-optimizing dispatch.
 //!
-//! `mxv` runs the row-parallel *pull* kernel; `vxm` the frontier-friendly
-//! *push* kernel. The add monoid's terminal (annihilator) value, when
-//! declared, short-circuits per-row accumulation in the pull kernel — the
-//! `ablation_terminal` bench measures the payoff for LOR-style traversals.
+//! Both entry points choose between the frontier-friendly *push* kernel
+//! (scatter rows of the input's nonzeros) and the row-parallel *pull*
+//! kernel (dot products against the whole frontier) with a Beamer-style
+//! density heuristic: sparse frontiers push, dense frontiers pull. The
+//! kernel that needs the matrix in the "other" orientation runs on the
+//! memoized transpose (`MatrixState::transpose_cache`), so iterative
+//! algorithms pay for `Aᵀ` at most once per matrix version — the §III
+//! completion latitude CombBLAS 2.0 identifies as the biggest lever for
+//! frontier algorithms. The add monoid's terminal (annihilator) value,
+//! when declared, short-circuits per-row accumulation in the pull kernel —
+//! the `ablation_terminal` bench measures the payoff for LOR traversals.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use graphblas_sparse::spmv as kernels;
@@ -17,6 +26,60 @@ use crate::ops::{BinaryOp, Semiring};
 use crate::types::{MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
 use crate::write;
+
+/// Which matrix-vector kernel a product dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Scatter the input's nonzeros through their matrix rows (good for
+    /// sparse frontiers).
+    Push,
+    /// Per-output-row dot products against the input (good for dense
+    /// frontiers; supports the add monoid's terminal early exit).
+    Pull,
+}
+
+// 0 = automatic heuristic, 1 = forced push, 2 = forced pull.
+static FORCE_DIRECTION: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the push/pull heuristic for every subsequent `mxv`/`vxm`
+/// (`None` restores automatic selection). Both directions compute the
+/// same result — this is the ablation/testing knob for exercising a
+/// specific kernel on a given graph.
+pub fn force_direction(d: Option<Direction>) {
+    let v = match d {
+        None => 0,
+        Some(Direction::Push) => 1,
+        Some(Direction::Pull) => 2,
+    };
+    FORCE_DIRECTION.store(v, Ordering::SeqCst);
+}
+
+/// Beamer-style direction choice: pull once the frontier holds at least
+/// 1/8 of the vertices, push below that. An empty frontier takes
+/// `no_transpose` — whichever direction runs on the matrix's stored
+/// orientation — so degenerate calls never build `Aᵀ`.
+fn choose_direction(
+    frontier_nnz: usize,
+    frontier_len: usize,
+    no_transpose: Direction,
+) -> Direction {
+    let d = match FORCE_DIRECTION.load(Ordering::SeqCst) {
+        1 => Direction::Push,
+        2 => Direction::Pull,
+        _ if frontier_nnz == 0 => no_transpose,
+        _ => {
+            if frontier_nnz * 8 >= frontier_len {
+                Direction::Pull
+            } else {
+                Direction::Push
+            }
+        }
+    };
+    if graphblas_obs::enabled() {
+        graphblas_obs::counters::record_direction_pick(d == Direction::Pull);
+    }
+    d
+}
 
 /// `w⟨m, r⟩ = w ⊙ (A ⊕.⊗ u)` (`desc.transpose_a` uses `Aᵀ`).
 pub fn mxv<C, M, A, X>(
@@ -48,8 +111,19 @@ where
         return Err(ApiError::DimensionMismatch.into());
     }
 
-    let a_s = snapshot_operand(a, &ctx, desc.transpose_a, false)?;
     let u_s = u.snapshot_sparse()?;
+    // Pull runs on the descriptor's orientation; push runs on the other
+    // one (served by the memoized transpose when it must be computed).
+    let natural = if desc.transpose_a {
+        Direction::Push
+    } else {
+        Direction::Pull
+    };
+    let dir = choose_direction(u_s.nnz(), u_s.len(), natural);
+    let a_s = match dir {
+        Direction::Pull => snapshot_operand(a, &ctx, desc.transpose_a, false)?,
+        Direction::Push => snapshot_operand(a, &ctx, !desc.transpose_a, false)?,
+    };
     let mask_s = snapshot_vecmask(mask, desc)?;
     let sr = semiring.clone();
     let accum = accum.cloned();
@@ -57,18 +131,32 @@ where
     let ctx2 = ctx.clone();
 
     w.apply_write(Box::new(move |st| {
-        let terminal = sr
-            .add()
-            .terminal()
-            .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
-        let t = kernels::spmv(
-            &ctx2,
-            &a_s,
-            &u_s,
-            |av: &A, xv: &X| sr.multiply(av, xv),
-            |p: C, q: C| sr.combine(&p, &q),
-            terminal,
-        );
+        let t = match dir {
+            Direction::Pull => {
+                let terminal = sr
+                    .add()
+                    .terminal()
+                    .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
+                kernels::spmv(
+                    &ctx2,
+                    &a_s,
+                    &u_s,
+                    |av: &A, xv: &X| sr.multiply(av, xv),
+                    |p: C, q: C| sr.combine(&p, &q),
+                    terminal,
+                )
+            }
+            // a_s here holds the transposed orientation, so scattering
+            // u's nonzeros through its rows computes the same product
+            // (the multiply keeps its matrix-first argument order).
+            Direction::Push => kernels::vxm(
+                &ctx2,
+                &u_s,
+                &a_s,
+                |xv: &X, av: &A| sr.multiply(av, xv),
+                |p: C, q: C| sr.combine(&p, &q),
+            ),
+        };
         if mask_s.is_none() && accum.is_none() {
             st.store = VecStore::Sparse(Arc::new(t));
             return Ok(());
@@ -112,8 +200,19 @@ where
         return Err(ApiError::DimensionMismatch.into());
     }
 
-    let a_s = snapshot_operand(a, &ctx, desc.transpose_b, false)?;
     let u_s = u.snapshot_sparse()?;
+    // Push runs on the descriptor's orientation; pull runs on the other
+    // one (served by the memoized transpose when it must be computed).
+    let natural = if desc.transpose_b {
+        Direction::Pull
+    } else {
+        Direction::Push
+    };
+    let dir = choose_direction(u_s.nnz(), u_s.len(), natural);
+    let a_s = match dir {
+        Direction::Push => snapshot_operand(a, &ctx, desc.transpose_b, false)?,
+        Direction::Pull => snapshot_operand(a, &ctx, !desc.transpose_b, false)?,
+    };
     let mask_s = snapshot_vecmask(mask, desc)?;
     let sr = semiring.clone();
     let accum = accum.cloned();
@@ -121,13 +220,32 @@ where
     let ctx2 = ctx.clone();
 
     w.apply_write(Box::new(move |st| {
-        let t = kernels::vxm(
-            &ctx2,
-            &u_s,
-            &a_s,
-            |xv: &X, av: &A| sr.multiply(xv, av),
-            |p: C, q: C| sr.combine(&p, &q),
-        );
+        let t = match dir {
+            Direction::Push => kernels::vxm(
+                &ctx2,
+                &u_s,
+                &a_s,
+                |xv: &X, av: &A| sr.multiply(xv, av),
+                |p: C, q: C| sr.combine(&p, &q),
+            ),
+            // a_s here holds the transposed orientation, so row dot
+            // products against u compute the same product (the multiply
+            // keeps its vector-first argument order).
+            Direction::Pull => {
+                let terminal = sr
+                    .add()
+                    .terminal()
+                    .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
+                kernels::spmv(
+                    &ctx2,
+                    &a_s,
+                    &u_s,
+                    |av: &A, xv: &X| sr.multiply(xv, av),
+                    |p: C, q: C| sr.combine(&p, &q),
+                    terminal,
+                )
+            }
+        };
         if mask_s.is_none() && accum.is_none() {
             st.store = VecStore::Sparse(Arc::new(t));
             return Ok(());
@@ -145,6 +263,13 @@ mod tests {
     use super::*;
     use crate::operations::testutil::{mat, vec, vec_tuples};
     use crate::no_mask_v;
+
+    /// Serializes tests that flip the process-global direction override
+    /// or read obs counter deltas.
+    fn serialize() -> std::sync::MutexGuard<'static, ()> {
+        static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     fn graph() -> Matrix<i64> {
         // [[1, _, 2],
@@ -257,6 +382,130 @@ mod tests {
             &Descriptor::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn forced_directions_agree_and_are_counted() {
+        let _g = serialize();
+        // Moderately sized pseudo-random graph; both kernels must produce
+        // identical results, and the direction counters must show both
+        // paths actually ran.
+        let n = 60usize;
+        let tuples: Vec<(usize, usize, i64)> = (0..n * 6)
+            .map(|k| (((k * 7 + 3) % n, (k * 13 + 5) % n), (k % 9 + 1) as i64))
+            .collect::<std::collections::BTreeMap<(usize, usize), i64>>()
+            .iter()
+            .map(|(&(i, j), &v)| (i, j, v))
+            .collect();
+        let a = mat((n, n), &tuples);
+        let u = vec(
+            n,
+            &(0..n)
+                .filter(|i| i % 3 == 0)
+                .map(|i| (i, (i % 5 + 1) as i64))
+                .collect::<Vec<_>>(),
+        );
+        let before = graphblas_obs::snapshot().direction;
+        graphblas_obs::set_enabled(true);
+        let run_vxm = |dir: Option<Direction>| {
+            force_direction(dir);
+            let w = Vector::<i64>::new(n).unwrap();
+            vxm(
+                &w,
+                no_mask_v(),
+                None,
+                &Semiring::plus_times(),
+                &u,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            vec_tuples(&w)
+        };
+        let pushed = run_vxm(Some(Direction::Push));
+        let pulled = run_vxm(Some(Direction::Pull));
+        assert_eq!(pushed, pulled);
+        let run_mxv = |dir: Option<Direction>| {
+            force_direction(dir);
+            let w = Vector::<i64>::new(n).unwrap();
+            mxv(
+                &w,
+                no_mask_v(),
+                None,
+                &Semiring::plus_times(),
+                &a,
+                &u,
+                &Descriptor::default(),
+            )
+            .unwrap();
+            vec_tuples(&w)
+        };
+        let m_pushed = run_mxv(Some(Direction::Push));
+        let m_pulled = run_mxv(Some(Direction::Pull));
+        assert_eq!(m_pushed, m_pulled);
+        // Same product through the transpose descriptor, both directions.
+        force_direction(Some(Direction::Pull));
+        let wt = Vector::<i64>::new(n).unwrap();
+        mxv(
+            &wt,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &u,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
+        force_direction(Some(Direction::Push));
+        let wt2 = Vector::<i64>::new(n).unwrap();
+        mxv(
+            &wt2,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &u,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&wt), vec_tuples(&wt2));
+        force_direction(None);
+        graphblas_obs::set_enabled(false);
+        let after = graphblas_obs::snapshot().direction;
+        assert!(after.push_picks > before.push_picks, "push path never ran");
+        assert!(after.pull_picks > before.pull_picks, "pull path never ran");
+    }
+
+    #[test]
+    fn repeated_pull_vxm_hits_transpose_cache() {
+        let _g = serialize();
+        let a = graph();
+        let u = vec(3, &[(0, 1i64), (1, 1), (2, 1)]);
+        let before = graphblas_obs::snapshot().direction;
+        graphblas_obs::set_enabled(true);
+        force_direction(Some(Direction::Pull));
+        for _ in 0..3 {
+            let w = Vector::<i64>::new(3).unwrap();
+            vxm(
+                &w,
+                no_mask_v(),
+                None,
+                &Semiring::plus_times(),
+                &u,
+                &a,
+                &Descriptor::default(),
+            )
+            .unwrap();
+        }
+        force_direction(None);
+        graphblas_obs::set_enabled(false);
+        let after = graphblas_obs::snapshot().direction;
+        // First pull builds Aᵀ; the two repeats reuse the memoized copy.
+        assert!(after.transpose_builds > before.transpose_builds);
+        assert!(
+            after.transpose_hits >= before.transpose_hits + 2,
+            "memoized transpose was not reused"
+        );
     }
 
     #[test]

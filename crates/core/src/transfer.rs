@@ -134,6 +134,7 @@ impl<T: ValueType> Matrix<T> {
                 store,
                 pending: Vec::new(),
                 err: None,
+                transpose_cache: None,
             },
         ))
     }

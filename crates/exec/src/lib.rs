@@ -16,6 +16,10 @@
 //!   paper's "number of threads … places … affinity" resource description.
 //! * [`partition`] — range-splitting utilities, including nnz-balanced row
 //!   partitioning for sparse kernels.
+//! * [`workspace`] — per-thread, generation-stamped kernel scratch
+//!   (dense accumulators, mark tables) checked out and returned instead of
+//!   allocated per call, exploiting the §III completion latitude for
+//!   iterative algorithms.
 //! * [`sync`] / [`rng`] — std-only support shims (guard-returning locks and
 //!   a seedable xoshiro256++ PRNG) used across the workspace, which builds
 //!   offline with no external crates.
@@ -30,6 +34,7 @@ pub mod partition;
 pub mod pool;
 pub mod rng;
 pub mod sync;
+pub mod workspace;
 
 pub use context::{init, is_initialized, finalize, global_context, Context, ContextOptions, Mode};
 pub use par::{

@@ -236,6 +236,124 @@ pub(crate) fn pending_totals() -> PendingTotals {
     }
 }
 
+/// Kernel-workspace reuse statistics (`exec::workspace`): how often hot
+/// kernels checked scratch buffers out of the per-thread cache instead of
+/// allocating, and how many buffer bytes that reuse avoided reallocating.
+pub struct WorkspaceCounters {
+    /// Scratch checkouts requested by kernels.
+    pub checkouts: AtomicU64,
+    /// Checkouts served from the per-thread cache (no allocation).
+    pub hits: AtomicU64,
+    /// Checkouts that had to allocate a fresh workspace.
+    pub misses: AtomicU64,
+    /// Bytes of already-allocated buffer capacity handed back on hits.
+    pub bytes_reused: AtomicU64,
+}
+
+static WORKSPACE: WorkspaceCounters = WorkspaceCounters {
+    checkouts: AtomicU64::new(0),
+    hits: AtomicU64::new(0),
+    misses: AtomicU64::new(0),
+    bytes_reused: AtomicU64::new(0),
+};
+
+/// The global workspace counter block.
+pub fn workspace() -> &'static WorkspaceCounters {
+    &WORKSPACE
+}
+
+/// Records one workspace checkout. `bytes_reused` is the capacity of the
+/// cached buffers on a hit (0 on a miss).
+pub fn record_workspace_checkout(hit: bool, bytes_reused: u64) {
+    WORKSPACE.checkouts.fetch_add(1, Ordering::Relaxed);
+    if hit {
+        WORKSPACE.hits.fetch_add(1, Ordering::Relaxed);
+        WORKSPACE.bytes_reused.fetch_add(bytes_reused, Ordering::Relaxed);
+    } else {
+        WORKSPACE.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of the workspace statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceTotals {
+    pub checkouts: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub bytes_reused: u64,
+}
+
+pub(crate) fn workspace_totals() -> WorkspaceTotals {
+    WorkspaceTotals {
+        checkouts: WORKSPACE.checkouts.load(Ordering::Relaxed),
+        hits: WORKSPACE.hits.load(Ordering::Relaxed),
+        misses: WORKSPACE.misses.load(Ordering::Relaxed),
+        bytes_reused: WORKSPACE.bytes_reused.load(Ordering::Relaxed),
+    }
+}
+
+/// Direction-optimizing `mxv`/`vxm` dispatch statistics: which kernel the
+/// Beamer-style frontier-density heuristic picked, and how the memoized
+/// transpose cache behaved while serving the pull direction.
+pub struct DirectionCounters {
+    /// Dispatches resolved to the push (scatter) kernel.
+    pub push_picks: AtomicU64,
+    /// Dispatches resolved to the pull (dot-product) kernel.
+    pub pull_picks: AtomicU64,
+    /// Transposes computed and installed in a matrix's memo cache.
+    pub transpose_builds: AtomicU64,
+    /// Transpose requests served from the memo cache.
+    pub transpose_hits: AtomicU64,
+}
+
+static DIRECTION: DirectionCounters = DirectionCounters {
+    push_picks: AtomicU64::new(0),
+    pull_picks: AtomicU64::new(0),
+    transpose_builds: AtomicU64::new(0),
+    transpose_hits: AtomicU64::new(0),
+};
+
+/// The global direction-dispatch counter block.
+pub fn direction() -> &'static DirectionCounters {
+    &DIRECTION
+}
+
+/// Records one direction decision for a matrix-vector product.
+pub fn record_direction_pick(pull: bool) {
+    if pull {
+        DIRECTION.pull_picks.fetch_add(1, Ordering::Relaxed);
+    } else {
+        DIRECTION.push_picks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records one memoized-transpose request (`hit` = served from cache).
+pub fn record_transpose_cache(hit: bool) {
+    if hit {
+        DIRECTION.transpose_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        DIRECTION.transpose_builds.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of the direction-dispatch statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirectionTotals {
+    pub push_picks: u64,
+    pub pull_picks: u64,
+    pub transpose_builds: u64,
+    pub transpose_hits: u64,
+}
+
+pub(crate) fn direction_totals() -> DirectionTotals {
+    DirectionTotals {
+        push_picks: DIRECTION.push_picks.load(Ordering::Relaxed),
+        pull_picks: DIRECTION.pull_picks.load(Ordering::Relaxed),
+        transpose_builds: DIRECTION.transpose_builds.load(Ordering::Relaxed),
+        transpose_hits: DIRECTION.transpose_hits.load(Ordering::Relaxed),
+    }
+}
+
 /// Thread-pool activity counters. The pool has no work stealing; the
 /// park/wake pair is the closest observable analogue — a park is a worker
 /// blocking on an empty queue, a wake is a job arriving for a parked
@@ -305,14 +423,29 @@ pub(crate) fn reset() {
     POOL.parks.store(0, Ordering::Relaxed);
     POOL.wakes.store(0, Ordering::Relaxed);
     POOL.scopes.store(0, Ordering::Relaxed);
+    WORKSPACE.checkouts.store(0, Ordering::Relaxed);
+    WORKSPACE.hits.store(0, Ordering::Relaxed);
+    WORKSPACE.misses.store(0, Ordering::Relaxed);
+    WORKSPACE.bytes_reused.store(0, Ordering::Relaxed);
+    DIRECTION.push_picks.store(0, Ordering::Relaxed);
+    DIRECTION.pull_picks.store(0, Ordering::Relaxed);
+    DIRECTION.transpose_builds.store(0, Ordering::Relaxed);
+    DIRECTION.transpose_hits.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Serializes tests that reset or delta-read the global counters.
+    fn serialize() -> std::sync::MutexGuard<'static, ()> {
+        static M: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn kernel_recording_accumulates() {
+        let _g = serialize();
         reset();
         record_kernel(Kernel::SpGemm, 100, 7, 3, 2, 64);
         record_kernel(Kernel::SpGemm, 50, 3, 1, 1, 16);
@@ -332,12 +465,39 @@ mod tests {
 
     #[test]
     fn depth_high_water_mark() {
+        let _g = serialize();
         reset();
         note_pending_depth(3);
         note_pending_depth(9);
         note_pending_depth(5);
         assert_eq!(pending_totals().max_depth, 9);
         reset();
+    }
+
+    #[test]
+    fn workspace_and_direction_recording_accumulates() {
+        let _g = serialize();
+        let w0 = workspace_totals();
+        record_workspace_checkout(false, 0);
+        record_workspace_checkout(true, 4096);
+        record_workspace_checkout(true, 1024);
+        let w1 = workspace_totals();
+        assert_eq!(w1.checkouts - w0.checkouts, 3);
+        assert_eq!(w1.hits - w0.hits, 2);
+        assert_eq!(w1.misses - w0.misses, 1);
+        assert_eq!(w1.bytes_reused - w0.bytes_reused, 5120);
+
+        let d0 = direction_totals();
+        record_direction_pick(true);
+        record_direction_pick(true);
+        record_direction_pick(false);
+        record_transpose_cache(false);
+        record_transpose_cache(true);
+        let d1 = direction_totals();
+        assert_eq!(d1.pull_picks - d0.pull_picks, 2);
+        assert_eq!(d1.push_picks - d0.push_picks, 1);
+        assert_eq!(d1.transpose_builds - d0.transpose_builds, 1);
+        assert_eq!(d1.transpose_hits - d0.transpose_hits, 1);
     }
 
     #[test]

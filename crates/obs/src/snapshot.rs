@@ -2,7 +2,9 @@
 //! copy of every statistic this crate collects, serializable to JSON for
 //! the bench harness (`BENCH_obs.json`).
 
-use crate::counters::{self, KernelTotals, PendingTotals, PoolTotals};
+use crate::counters::{
+    self, DirectionTotals, KernelTotals, PendingTotals, PoolTotals, WorkspaceTotals,
+};
 use crate::ctxreg::{self, ContextStats};
 use crate::json::JsonWriter;
 use crate::span::{self, Event};
@@ -18,6 +20,10 @@ pub struct Snapshot {
     pub pending: PendingTotals,
     /// Thread-pool activity.
     pub pool: PoolTotals,
+    /// Kernel-workspace reuse statistics (`exec::workspace`).
+    pub workspace: WorkspaceTotals,
+    /// Direction-optimizing `mxv`/`vxm` dispatch statistics.
+    pub direction: DirectionTotals,
     /// Per-context rollups, ordered by context id.
     pub contexts: Vec<ContextStats>,
     /// The event ring's contents, chronological.
@@ -37,6 +43,8 @@ pub fn snapshot() -> Snapshot {
         kernels: counters::kernel_totals(),
         pending: counters::pending_totals(),
         pool: counters::pool_totals(),
+        workspace: counters::workspace_totals(),
+        direction: counters::direction_totals(),
         contexts: ctxreg::all_context_stats(),
         events,
         events_total,
@@ -122,6 +130,30 @@ impl Snapshot {
         w.number(self.pool.scopes);
         w.end_object();
 
+        w.key("workspace");
+        w.begin_object();
+        w.key("checkouts");
+        w.number(self.workspace.checkouts);
+        w.key("hits");
+        w.number(self.workspace.hits);
+        w.key("misses");
+        w.number(self.workspace.misses);
+        w.key("bytes_reused");
+        w.number(self.workspace.bytes_reused);
+        w.end_object();
+
+        w.key("direction");
+        w.begin_object();
+        w.key("push_picks");
+        w.number(self.direction.push_picks);
+        w.key("pull_picks");
+        w.number(self.direction.pull_picks);
+        w.key("transpose_builds");
+        w.number(self.direction.transpose_builds);
+        w.key("transpose_hits");
+        w.number(self.direction.transpose_hits);
+        w.end_object();
+
         w.key("contexts");
         w.begin_array();
         for c in &self.contexts {
@@ -202,6 +234,8 @@ mod tests {
         assert!(json.contains("\"spgemm\""));
         assert!(json.contains("\"pending\""));
         assert!(json.contains("\"pool\""));
+        assert!(json.contains("\"workspace\""));
+        assert!(json.contains("\"direction\""));
         assert!(json.contains("\"contexts\""));
         let brief = snap.to_json_with(false);
         assert!(!brief.contains("\"events\":["));

@@ -296,6 +296,83 @@ where
     svec_union_general(a, b, op, |x: &T| x.clone(), |y: &T| y.clone())
 }
 
+/// k-way union merge of sorted sparse vectors over one index space — the
+/// fan-in for `vxm`'s per-task partials. The index range is split into
+/// balanced chunks (each part's segment located by binary search) and each
+/// chunk is heap-merged independently, so the whole fan-in is one parallel
+/// pass of O(total nnz · log k) work instead of the O(k·n) of a sequential
+/// pairwise reduce.
+pub fn svec_kmerge<T, F>(ctx: &Context, parts: Vec<SparseVec<T>>, add: F) -> SparseVec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    assert!(!parts.is_empty(), "svec_kmerge: need at least one part");
+    let n = parts[0].len();
+    for p in &parts {
+        assert_eq!(p.len(), n, "svec_kmerge: length mismatch");
+        assert!(p.is_sorted(), "svec_kmerge requires sorted parts");
+    }
+    let mut parts: Vec<SparseVec<T>> = parts.into_iter().filter(|p| p.nnz() > 0).collect();
+    match parts.len() {
+        0 => return SparseVec::empty(n),
+        1 => return parts.swap_remove(0),
+        _ => {}
+    }
+    let total: usize = parts.iter().map(|p| p.nnz()).sum();
+    let k = ctx
+        .effective_threads()
+        .min(total.div_ceil(ctx.chunk_size()).max(1))
+        .min(n.max(1))
+        .max(1);
+    let ranges = partition::balanced_ranges(n, k);
+    let chunks: Vec<(Vec<usize>, Vec<T>)> = parallel_map_ranges(ranges, |r: Range<usize>| {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        // Locate each part's segment for this index range, then heap-merge
+        // the segments; equal indices are ⊕-combined as they surface.
+        let mut cursor: Vec<(usize, usize)> = Vec::with_capacity(parts.len());
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> =
+            BinaryHeap::with_capacity(parts.len());
+        for (p, part) in parts.iter().enumerate() {
+            let ai = part.indices();
+            let lo = ai.partition_point(|&i| i < r.start);
+            let hi = ai.partition_point(|&i| i < r.end);
+            cursor.push((lo, hi));
+            if lo < hi {
+                heap.push(Reverse((ai[lo], p)));
+            }
+        }
+        let mut idx = Vec::new();
+        let mut vals: Vec<T> = Vec::new();
+        while let Some(Reverse((i, p))) = heap.pop() {
+            let part = &parts[p];
+            let v = &part.values()[cursor[p].0];
+            if idx.last() == Some(&i) {
+                if let Some(cur) = vals.last_mut() {
+                    let merged = add(&*cur, v);
+                    *cur = merged;
+                }
+            } else {
+                idx.push(i);
+                vals.push(v.clone());
+            }
+            cursor[p].0 += 1;
+            if cursor[p].0 < cursor[p].1 {
+                heap.push(Reverse((part.indices()[cursor[p].0], p)));
+            }
+        }
+        (idx, vals)
+    });
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    for (idx, vals) in chunks {
+        indices.extend(idx);
+        values.extend(vals);
+    }
+    SparseVec::from_kernel_parts(n, indices, values, true)
+}
+
 /// Vector intersection.
 pub fn svec_intersect<A, B, Z, F>(a: &SparseVec<A>, b: &SparseVec<B>, op: F) -> SparseVec<Z>
 where
@@ -470,5 +547,50 @@ mod tests {
         let a = Csr::<i64>::empty(2, 3);
         let b = Csr::<i64>::empty(2, 4);
         let _ = ewise_union(&ctx, &a, &b, |x, y| x + y);
+    }
+
+    #[test]
+    fn kmerge_matches_pairwise_reduce() {
+        use graphblas_exec::rng::prelude::*;
+        let ctx = global_context();
+        let mut rng = StdRng::seed_from_u64(41);
+        let n = 500;
+        for parts_count in [1usize, 2, 3, 7, 16] {
+            let parts: Vec<SparseVec<i64>> = (0..parts_count)
+                .map(|_| {
+                    let idx: Vec<usize> =
+                        (0..n).filter(|_| rng.gen_range(0..4) == 0).collect();
+                    let vals: Vec<i64> =
+                        idx.iter().map(|_| rng.gen_range(-9..10)).collect();
+                    SparseVec::from_parts(n, idx, vals).unwrap()
+                })
+                .collect();
+            let expect = parts
+                .iter()
+                .cloned()
+                .reduce(|u, v| svec_union(&u, &v, |a, b| a + b))
+                .unwrap();
+            let got = svec_kmerge(&ctx, parts, |a, b| a + b);
+            assert_eq!(got.to_sorted_tuples(), expect.to_sorted_tuples());
+        }
+    }
+
+    #[test]
+    fn kmerge_empty_and_disjoint_parts() {
+        let ctx = global_context();
+        let all_empty = vec![SparseVec::<i64>::empty(6), SparseVec::empty(6)];
+        let merged = svec_kmerge(&ctx, all_empty, |a, b| a + b);
+        assert_eq!(merged.len(), 6);
+        assert_eq!(merged.nnz(), 0);
+        let disjoint = vec![
+            SparseVec::from_parts(6, vec![0, 4], vec![1i64, 2]).unwrap(),
+            SparseVec::empty(6),
+            SparseVec::from_parts(6, vec![1, 5], vec![3, 4]).unwrap(),
+        ];
+        let merged = svec_kmerge(&ctx, disjoint, |a, b| a + b);
+        assert_eq!(
+            merged.to_sorted_tuples(),
+            vec![(0, 1), (1, 3), (4, 2), (5, 4)]
+        );
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! Row-parallel: row `i` of `C = A ⊕.⊗ B` is the ⊕-combination of rows of
 //! `B` selected and ⊗-scaled by row `i` of `A`, accumulated in a per-task
-//! sparse accumulator (generation-stamped dense table + touched list, so
-//! clearing is O(row nnz), not O(ncols)).
+//! sparse accumulator checked out of the thread's workspace cache
+//! (`exec::workspace::DenseAcc` — generation-stamped dense table + touched
+//! list, so clearing is O(row nnz), not O(ncols), and iterative callers
+//! reuse the allocation across kernel invocations).
 //!
 //! Work is partitioned by *flops* (Σ over a-entries of the touched b-row
 //! lengths), not row count — essential for power-law graphs.
@@ -15,27 +17,35 @@
 
 use std::ops::Range;
 
-use graphblas_exec::{parallel_map_ranges, partition, Context};
+use graphblas_exec::workspace::{self, DenseAcc, MarkSet};
+use graphblas_exec::{parallel_map_chunks, parallel_map_ranges, partition, Context};
 
 use crate::csr::Csr;
 use crate::util;
 
-/// Flop-weighted row ranges for `A · B`.
-fn flop_ranges<A, B>(ctx: &Context, a: &Csr<A>, b: &Csr<B>) -> Vec<Range<usize>> {
+/// Flop-weighted row ranges for `A · B`. The per-row flop counts are
+/// gathered in parallel chunks; only the prefix sum is sequential.
+fn flop_ranges<A: Sync, B: Sync>(ctx: &Context, a: &Csr<A>, b: &Csr<B>) -> Vec<Range<usize>> {
     let nrows = a.nrows();
     if nrows == 0 {
         return Vec::new();
     }
+    let chunks = parallel_map_chunks(ctx, nrows, |rows: Range<usize>| {
+        rows.map(|i| {
+            let (cols, _) = a.row(i);
+            let row_flops: usize = cols.iter().map(|&k| b.row_nnz(k)).sum();
+            row_flops + 1 // keep ranges nonempty even for all-empty rows
+        })
+        .collect::<Vec<usize>>()
+    });
     let mut flops = Vec::with_capacity(nrows + 1);
     flops.push(0usize);
     let mut acc = 0usize;
-    for i in 0..nrows {
-        let (cols, _) = a.row(i);
-        for &k in cols {
-            acc += b.row_nnz(k);
+    for (_, counts) in chunks {
+        for c in counts {
+            acc += c;
+            flops.push(acc);
         }
-        acc += 1; // keep ranges nonempty even for all-empty rows
-        flops.push(acc);
     }
     let total = flops[nrows];
     let k = ctx
@@ -44,35 +54,6 @@ fn flop_ranges<A, B>(ctx: &Context, a: &Csr<A>, b: &Csr<B>) -> Vec<Range<usize>>
         .min(nrows)
         .max(1);
     partition::prefix_balanced_ranges(&flops, k)
-}
-
-/// Generation-stamped sparse accumulator.
-struct Spa<Z> {
-    mark: Vec<u32>,
-    gen: u32,
-    vals: Vec<Option<Z>>,
-    touched: Vec<usize>,
-}
-
-impl<Z> Spa<Z> {
-    fn new(n: usize) -> Self {
-        Spa {
-            mark: vec![0; n],
-            gen: 0,
-            vals: std::iter::repeat_with(|| None).take(n).collect(),
-            touched: Vec::new(),
-        }
-    }
-
-    fn next_row(&mut self) {
-        self.gen = self.gen.wrapping_add(1);
-        if self.gen == 0 {
-            // Wrapped: stamp array is stale; reset it once per 2^32 rows.
-            self.mark.iter_mut().for_each(|m| *m = 0);
-            self.gen = 1;
-        }
-        self.touched.clear();
-    }
 }
 
 /// `C = A ⊕.⊗ B`. `add` accumulates in place (`acc ⊕= z`). Output rows are
@@ -88,7 +69,7 @@ pub fn spgemm<A, B, Z, FM, FA>(
 where
     A: Clone + Send + Sync,
     B: Clone + Send + Sync,
-    Z: Clone + Send + Sync,
+    Z: Clone + Send + Sync + 'static,
     FM: Fn(&A, &B) -> Z + Sync,
     FA: Fn(&mut Z, Z) + Sync,
 {
@@ -108,33 +89,28 @@ where
     }
     let ranges = flop_ranges(ctx, a, b);
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
-        let mut spa = Spa::<Z>::new(n);
+        let mut spa = workspace::checkout::<DenseAcc<Z>>(n);
         let mut lens = Vec::with_capacity(rows.len());
         let mut idx = Vec::new();
         let mut vals: Vec<Z> = Vec::new();
         for i in rows.clone() {
-            spa.next_row();
+            spa.begin_pass();
             let (acols, avals) = a.row(i);
             for (&k, av) in acols.iter().zip(avals) {
                 let (bcols, bvals) = b.row(k);
                 for (&j, bv) in bcols.iter().zip(bvals) {
                     let prod = mul(av, bv);
-                    if spa.mark[j] == spa.gen {
-                        // grblint: allow(no-unwrap) — SPA invariant: mark[j] == gen implies vals[j] is Some.
-                        add(spa.vals[j].as_mut().expect("marked implies value"), prod);
-                    } else {
-                        spa.mark[j] = spa.gen;
-                        spa.vals[j] = Some(prod);
-                        spa.touched.push(j);
-                    }
+                    spa.upsert(j, prod, |mut cur, new| {
+                        add(&mut cur, new);
+                        cur
+                    });
                 }
             }
-            lens.push(spa.touched.len());
-            for &j in &spa.touched {
+            lens.push(spa.touched_len());
+            spa.drain_pass(|j, v| {
                 idx.push(j);
-                // grblint: allow(no-unwrap) — SPA invariant: every touched slot was filled this row.
-                vals.push(spa.vals[j].take().expect("touched implies value"));
-            }
+                vals.push(v);
+            });
         }
         (rows, (lens, idx, vals))
     });
@@ -163,7 +139,7 @@ where
     M: Clone + Send + Sync,
     A: Clone + Send + Sync,
     B: Clone + Send + Sync,
-    Z: Clone + Send + Sync,
+    Z: Clone + Send + Sync + 'static,
     FP: Fn(&M) -> bool + Sync,
     FM: Fn(&A, &B) -> Z + Sync,
     FA: Fn(&mut Z, Z) + Sync,
@@ -186,51 +162,40 @@ where
     }
     let ranges = flop_ranges(ctx, a, b);
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
-        let mut spa = Spa::<Z>::new(n);
-        // Second stamp array marking mask-allowed columns for this row.
-        let mut allow_mark = vec![0u32; n];
-        let mut allow_gen = 0u32;
+        let mut spa = workspace::checkout::<DenseAcc<Z>>(n);
+        // Second stamp set marking mask-allowed columns for this row.
+        let mut allow = workspace::checkout::<MarkSet>(n);
         let mut lens = Vec::with_capacity(rows.len());
         let mut idx = Vec::new();
         let mut vals: Vec<Z> = Vec::new();
         for i in rows.clone() {
-            spa.next_row();
-            allow_gen = allow_gen.wrapping_add(1);
-            if allow_gen == 0 {
-                allow_mark.iter_mut().for_each(|m| *m = 0);
-                allow_gen = 1;
-            }
+            spa.begin_pass();
+            allow.begin_pass();
             let (mcols, mvals) = mask.row(i);
             for (&j, mv) in mcols.iter().zip(mvals) {
                 if pred(mv) {
-                    allow_mark[j] = allow_gen;
+                    allow.insert(j);
                 }
             }
-            let allowed = |j: usize| (allow_mark[j] == allow_gen) != complement;
             let (acols, avals) = a.row(i);
             for (&k, av) in acols.iter().zip(avals) {
                 let (bcols, bvals) = b.row(k);
                 for (&j, bv) in bcols.iter().zip(bvals) {
-                    if !allowed(j) {
+                    if allow.contains(j) == complement {
                         continue;
                     }
                     let prod = mul(av, bv);
-                    if spa.mark[j] == spa.gen {
-                        // grblint: allow(no-unwrap) — SPA invariant: mark[j] == gen implies vals[j] is Some.
-                        add(spa.vals[j].as_mut().expect("marked implies value"), prod);
-                    } else {
-                        spa.mark[j] = spa.gen;
-                        spa.vals[j] = Some(prod);
-                        spa.touched.push(j);
-                    }
+                    spa.upsert(j, prod, |mut cur, new| {
+                        add(&mut cur, new);
+                        cur
+                    });
                 }
             }
-            lens.push(spa.touched.len());
-            for &j in &spa.touched {
+            lens.push(spa.touched_len());
+            spa.drain_pass(|j, v| {
                 idx.push(j);
-                // grblint: allow(no-unwrap) — SPA invariant: every touched slot was filled this row.
-                vals.push(spa.vals[j].take().expect("touched implies value"));
-            }
+                vals.push(v);
+            });
         }
         (rows, (lens, idx, vals))
     });

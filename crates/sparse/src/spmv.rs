@@ -8,10 +8,28 @@
 
 use std::ops::Range;
 
+use graphblas_exec::workspace::{self, DenseAcc, MarkTable};
 use graphblas_exec::{parallel_map_ranges, partition, Context};
 
 use crate::csr::Csr;
 use crate::svec::SparseVec;
+
+/// How `spmv` resolves input-vector entries by column: direct indexing
+/// when the frontier is dense, a checked-out position table when sparse.
+enum XLookup<'a, X> {
+    Dense(&'a [X]),
+    Table(&'a MarkTable, &'a [X]),
+}
+
+impl<'a, X> XLookup<'a, X> {
+    #[inline]
+    fn get(&self, j: usize) -> Option<&'a X> {
+        match self {
+            XLookup::Dense(vals) => Some(&vals[j]),
+            XLookup::Table(t, vals) => t.get(j).map(|p| &vals[p]),
+        }
+    }
+}
 
 /// `y = A ⊕.⊗ x` (pull). `is_terminal`, when given, allows each row's
 /// accumulation to stop early once the add-monoid annihilator is reached.
@@ -40,17 +58,28 @@ where
             ((a.nnz() + x.nnz()) * std::mem::size_of::<usize>()) as u64,
         );
     }
-    let table: Vec<Option<&X>> = {
-        let mut t = vec![None; x.len()];
-        for (i, v) in x.iter() {
-            t[i] = Some(v);
-        }
-        t
-    };
     let nrows = a.nrows();
     if nrows == 0 {
         return SparseVec::empty(0);
     }
+    // Dense sorted frontier ⇒ entry j lives at position j; skip the
+    // densification table entirely. Sparse frontier ⇒ check a
+    // generation-stamped position table out of the thread's workspace
+    // cache instead of allocating `vec![None; n]` per call.
+    let dense = x.nnz() == x.len() && x.is_sorted();
+    let table_ws: Option<workspace::Checkout<MarkTable>> = if dense {
+        None
+    } else {
+        let mut t = workspace::checkout::<MarkTable>(x.len());
+        for (p, &j) in x.indices().iter().enumerate() {
+            t.set(j, p);
+        }
+        Some(t)
+    };
+    let lookup = match table_ws.as_deref() {
+        None => XLookup::Dense(x.values()),
+        Some(t) => XLookup::Table(t, x.values()),
+    };
     let k = ctx
         .effective_threads()
         .min(a.nnz().max(1).div_ceil(ctx.chunk_size()).max(1))
@@ -64,7 +93,7 @@ where
             let (cols, avs) = a.row(i);
             let mut acc: Option<Z> = None;
             for (&j, av) in cols.iter().zip(avs) {
-                if let Some(xv) = table[j] {
+                if let Some(xv) = lookup.get(j) {
                     let prod = mul(av, xv);
                     acc = Some(match acc {
                         None => prod,
@@ -110,7 +139,7 @@ pub fn vxm<X, A, Z, FM, FA>(
 where
     X: Clone + Send + Sync,
     A: Clone + Send + Sync,
-    Z: Clone + Send + Sync,
+    Z: Clone + Send + Sync + 'static,
     FM: Fn(&X, &A) -> Z + Sync,
     FA: Fn(Z, Z) -> Z + Sync,
 {
@@ -150,35 +179,25 @@ where
     let xi = x.indices();
     let xv = x.values();
     let partials: Vec<SparseVec<Z>> = parallel_map_ranges(ranges, |entries: Range<usize>| {
-        let mut acc: Vec<Option<Z>> = vec![None; ncols];
-        let mut touched: Vec<usize> = Vec::new();
+        let mut acc = workspace::checkout::<DenseAcc<Z>>(ncols);
         for e in entries {
             let (i, xval) = (xi[e], &xv[e]);
             let (cols, avs) = a.row(i);
             for (&j, av) in cols.iter().zip(avs) {
                 let prod = mul(xval, av);
-                match acc[j].take() {
-                    None => {
-                        acc[j] = Some(prod);
-                        touched.push(j);
-                    }
-                    Some(cur) => acc[j] = Some(add(cur, prod)),
-                }
+                acc.upsert(j, prod, &add);
             }
         }
-        touched.sort_unstable();
-        let values: Vec<Z> = touched
-            .iter()
-            // grblint: allow(no-unwrap) — accumulator invariant: j is in
-            // `touched` only after acc[j] was set above.
-            .map(|&j| acc[j].take().expect("touched implies present"))
-            .collect();
-        SparseVec::from_kernel_parts(ncols, touched, values, true)
+        acc.sort_touched();
+        let mut idx = Vec::with_capacity(acc.touched_len());
+        let mut values = Vec::with_capacity(acc.touched_len());
+        acc.drain_pass(|j, v| {
+            idx.push(j);
+            values.push(v);
+        });
+        SparseVec::from_kernel_parts(ncols, idx, values, true)
     });
-    let y = partials
-        .into_iter()
-        .reduce(|u, v| crate::ewise::svec_union(&u, &v, |a, b| add(a.clone(), b.clone())))
-        .unwrap_or_else(|| SparseVec::empty(ncols));
+    let y = crate::ewise::svec_kmerge(ctx, partials, |a, b| add(a.clone(), b.clone()));
     if sp.active() {
         sp.io(0, 0, y.nnz() as u64, 0);
     }

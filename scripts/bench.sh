@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Kernel benchmark baseline: builds the bench harness in release mode and
+# regenerates BENCH_kernels.json (pagerank / BFS / SpGEMM medians plus the
+# workspace-reuse and push-pull direction counter blocks) at the repo root.
+#
+#   scripts/bench.sh           full baseline (rmat scale 13, 5 runs each)
+#   scripts/bench.sh --smoke   bounded CI run (rmat scale 9, 3 runs each)
+#
+# Regression protocol (EXPERIMENTS.md): commit the baseline alongside perf
+# changes and diff median_secs against the parent commit's file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p graphblas-bench --bin kernels -- "$@"

@@ -20,4 +20,18 @@ cargo run -q -p graphblas-check --bin grblint -- .
 # seconds total. Set GRB_CHECK_SCHEDULES to raise (deep local run) or
 # lower (constrained CI) the per-test schedule count without recompiling.
 cargo test -q -p graphblas-check --test model_pool --test model_channels \
-    --test model_pending --test model_fig1
+    --test model_pending --test model_fig1 --test model_transpose_cache
+
+# Kernel benchmark baseline smoke: a bounded bench.sh run must succeed and
+# leave a well-formed BENCH_kernels.json behind (medians + workspace and
+# direction counter blocks). Guards the perf baseline from rotting.
+scripts/bench.sh --smoke
+[ -s BENCH_kernels.json ] || { echo "check: BENCH_kernels.json missing or empty" >&2; exit 1; }
+case "$(head -c 1 BENCH_kernels.json)" in
+    "{") ;;
+    *) echo "check: BENCH_kernels.json is not a JSON object" >&2; exit 1 ;;
+esac
+for key in '"pagerank"' '"bfs"' '"spgemm"' '"workspace"' '"direction"' '"median_secs"'; do
+    grep -q "$key" BENCH_kernels.json \
+        || { echo "check: BENCH_kernels.json lacks $key" >&2; exit 1; }
+done
