@@ -3,11 +3,16 @@
 //! Runs the three kernel-level workloads the perf work targets —
 //! PageRank (adaptive push/pull `vxm` + workspace reuse), BFS
 //! (masked direction-optimizing traversal), and SpGEMM (workspace-backed
-//! SPA) — and writes their median wall times plus the workspace and
-//! direction counter blocks to `BENCH_kernels.json`.
+//! SPA) — and writes their median wall times plus the workspace,
+//! direction, per-kernel latency (p50/p99), and memory-gauge blocks to
+//! `BENCH_kernels.json`. The full telemetry snapshot of the same run is
+//! written alongside as `BENCH_obs.json`, so one invocation refreshes
+//! both baselines.
 //!
 //! Run with: `cargo run --release -p graphblas-bench --bin kernels`
-//! (`--smoke` bounds the graph scale and run count for CI).
+//! (`--smoke` bounds the graph scale and run count for CI). Set
+//! `GRB_TRACE=trace.json` to also export the run's per-thread timeline
+//! as Chrome-trace JSON for `ui.perfetto.dev`.
 //!
 //! The JSON file is the baseline `scripts/bench.sh` refreshes and
 //! `scripts/check.sh` validates; comparing two baselines across commits is
@@ -84,6 +89,11 @@ fn main() {
     });
 
     let snap = graphblas_obs::snapshot();
+    // GRB_TRACE=<path> exports the per-thread timeline of everything above
+    // as Chrome-trace JSON (validated by `tracecheck` in scripts/check.sh).
+    if let Some(path) = graphblas_obs::timeline::write_trace_if_requested() {
+        println!("timeline trace written: {path}");
+    }
     graphblas_obs::set_enabled(false);
 
     println!("| workload | median | graph |");
@@ -107,6 +117,26 @@ fn main() {
         snap.direction.transpose_builds,
         snap.direction.transpose_hits
     );
+    println!("| kernel | calls | p50 | p99 | max |");
+    println!("|--------|-------|-----|-----|-----|");
+    for k in snap.kernels.iter().filter(|k| k.calls > 0) {
+        let h = snap.hist(k.kernel);
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            k.kernel.name(),
+            k.calls,
+            fmt_time(h.p50() as f64 / 1e9),
+            fmt_time(h.p99() as f64 / 1e9),
+            fmt_time(h.max as f64 / 1e9)
+        );
+    }
+    println!(
+        "memory: containers {} live / {} high, workspace {} live / {} high (bytes)",
+        snap.mem.container_live,
+        snap.mem.container_high,
+        snap.mem.workspace_live,
+        snap.mem.workspace_high
+    );
 
     // The acceptance bar for the workspace cache: a steady-state iterative
     // workload must be reusing scratch, not reallocating per call.
@@ -125,11 +155,28 @@ fn main() {
         snap.direction.push_picks + snap.direction.pull_picks > 0,
         "direction dispatch recorded no picks"
     );
+    // The histogram and memory layers must have seen this run: every kernel
+    // that was called has latency samples, and the Table III stores the
+    // workloads materialized were charged to the container gauge.
+    for k in snap.kernels.iter().filter(|k| k.calls > 0) {
+        let h = snap.hist(k.kernel);
+        assert!(
+            h.count == k.calls && h.p50() <= h.p99() && h.p99() <= h.max,
+            "latency histogram inconsistent for {}: {} samples vs {} calls",
+            k.kernel.name(),
+            h.count,
+            k.calls
+        );
+    }
+    assert!(
+        snap.mem.container_high > 0,
+        "memory accounting recorded no container bytes"
+    );
 
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.string("graphblas-bench/kernels/v1");
+    w.string("graphblas-bench/kernels/v2");
     w.key("smoke");
     w.boolean(p.smoke);
     w.key("scale");
@@ -178,8 +225,48 @@ fn main() {
     w.key("transpose_hits");
     w.number(snap.direction.transpose_hits);
     w.end_object();
+    // Per-kernel latency distribution (log₂-bucket histograms, kernels that
+    // actually ran). Medians above answer "how fast overall"; these answer
+    // "where did the time go and how heavy is the tail".
+    w.key("kernels");
+    w.begin_object();
+    for k in snap.kernels.iter().filter(|k| k.calls > 0) {
+        let h = snap.hist(k.kernel);
+        w.key(k.kernel.name());
+        w.begin_object();
+        w.key("calls");
+        w.number(k.calls);
+        w.key("nanos");
+        w.number(k.nanos);
+        w.key("p50_ns");
+        w.number(h.p50());
+        w.key("p99_ns");
+        w.number(h.p99());
+        w.key("max_ns");
+        w.number(h.max);
+        w.end_object();
+    }
+    w.end_object();
+    w.key("mem");
+    w.begin_object();
+    w.key("container_live_bytes");
+    w.number(snap.mem.container_live);
+    w.key("container_high_bytes");
+    w.number(snap.mem.container_high);
+    w.key("workspace_live_bytes");
+    w.number(snap.mem.workspace_live);
+    w.key("workspace_high_bytes");
+    w.number(snap.mem.workspace_high);
+    w.end_object();
     w.end_object();
     let json = w.finish();
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("baseline written: BENCH_kernels.json ({} bytes)", json.len());
+
+    // The same run's full telemetry snapshot (histograms, per-context
+    // rollups, memory gauges — everything `graphblas_obs::snapshot`
+    // collects, minus the event ring) as the second baseline file.
+    let obs_json = snap.to_json_with(false);
+    std::fs::write("BENCH_obs.json", &obs_json).expect("write BENCH_obs.json");
+    println!("obs snapshot written: BENCH_obs.json ({} bytes)", obs_json.len());
 }

@@ -1,0 +1,42 @@
+//! Disabled-path overhead guard: running a real workload with telemetry
+//! on must not be catastrophically slower than with telemetry off.
+//!
+//! This is a smoke bound, not a microbenchmark — CI machines are noisy,
+//! so the budget is deliberately generous (obs-on may take several times
+//! obs-off plus a fixed allowance). What it actually protects against is
+//! the failure mode where an instrumentation change accidentally puts a
+//! lock, a syscall, or an allocation on the hot path: those blow the
+//! bound immediately, while honest counter/histogram updates stay well
+//! inside it.
+
+use graphblas_bench::{median_secs, rmat_bool};
+use graphblas_core::Mode;
+
+#[test]
+fn obs_on_overhead_is_bounded() {
+    graphblas_core::init(Mode::Blocking);
+    let a = rmat_bool(7, 8, 7);
+
+    let run = || {
+        std::hint::black_box(graphblas_algo::pagerank(&a, 0.85, 1e-6, 25).expect("pagerank"));
+    };
+
+    // Warm caches and the workspace pool before either measurement.
+    graphblas_obs::set_enabled(false);
+    run();
+    let t_off = median_secs(5, run);
+
+    graphblas_obs::set_enabled(true);
+    run();
+    let t_on = median_secs(5, run);
+    graphblas_obs::set_enabled(false);
+
+    let budget = t_off * 5.0 + 0.050;
+    assert!(
+        t_on <= budget,
+        "telemetry overhead out of bounds: obs-off {:.6}s, obs-on {:.6}s, budget {:.6}s",
+        t_off,
+        t_on,
+        budget
+    );
+}

@@ -22,10 +22,18 @@
 //!    binary (`cargo run -p graphblas-check --bin grblint`), run by
 //!    `scripts/check.sh`: forbids `Ordering::Relaxed` outside the obs
 //!    counters, `unwrap`/`expect` in core/sparse non-test code, fallible
-//!    public core APIs that bypass the `GrB_Info` error type, and
-//!    `unsafe` blocks without `// SAFETY:` comments.
+//!    public core APIs that bypass the `GrB_Info` error type, `unsafe`
+//!    blocks without `// SAFETY:` comments, and kernel/operation entry
+//!    points without a telemetry span.
+//!
+//! 4. **[`trace`]** — an independent reader for the Chrome-trace JSON
+//!    that `GRB_TRACE` emits (`graphblas_obs::timeline`), behind the
+//!    `tracecheck` binary: parses with its own zero-dependency JSON
+//!    parser and replays per-thread `B`/`E` streams to prove balance
+//!    and nesting.
 
 pub mod lint;
 pub mod sched;
 pub mod sync;
+pub mod trace;
 pub mod verify;

@@ -1,6 +1,6 @@
 //! The repo-specific lint pass behind the `grblint` binary.
 //!
-//! Four rules, each encoding a convention this workspace actually relies
+//! Five rules, each encoding a convention this workspace actually relies
 //! on (a general-purpose linter cannot know them):
 //!
 //! * `relaxed-ordering` — `Ordering::Relaxed` is forbidden outside
@@ -17,6 +17,12 @@
 //!   `Result<_, OtherError>` leaks a non-spec error surface.
 //! * `undocumented-unsafe` — every `unsafe` needs a `// SAFETY:` comment
 //!   on or immediately above it.
+//! * `span-at-kernel-boundary` — public kernel entry points must open an
+//!   obs span (or timeline phase) so the telemetry layer sees every
+//!   kernel: in `crates/sparse` this covers `pub fn`s taking `&Context`
+//!   in the kernel files (`spgemm`, `spmv`, `ewise`, `transpose`,
+//!   `convert`, `kron`); in `crates/core` it covers `pub fn`s taking
+//!   `&Descriptor` under `operations/`.
 //!
 //! Any rule can be waived at a specific site with a comment
 //! `// grblint: allow(<rule>)` on the same line or in the comment block
@@ -47,6 +53,8 @@ pub enum Rule {
     GrbErrorType,
     /// `unsafe` without a `// SAFETY:` comment.
     UndocumentedUnsafe,
+    /// Public kernel entry point with no obs span/phase in its body.
+    SpanAtKernelBoundary,
 }
 
 impl Rule {
@@ -57,16 +65,18 @@ impl Rule {
             Rule::NoUnwrap => "no-unwrap",
             Rule::GrbErrorType => "grb-error-type",
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::SpanAtKernelBoundary => "span-at-kernel-boundary",
         }
     }
 
     /// All rules, for `--list-rules`.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 5] {
         [
             Rule::RelaxedOrdering,
             Rule::NoUnwrap,
             Rule::GrbErrorType,
             Rule::UndocumentedUnsafe,
+            Rule::SpanAtKernelBoundary,
         ]
     }
 
@@ -77,6 +87,7 @@ impl Rule {
             Rule::NoUnwrap => krate == "core" || krate == "sparse",
             Rule::GrbErrorType => krate == "core",
             Rule::UndocumentedUnsafe => true,
+            Rule::SpanAtKernelBoundary => krate == "core" || krate == "sparse",
         }
     }
 }
@@ -182,6 +193,129 @@ fn ends_statement(code: &str) -> bool {
 // forbidden token (grblint scans its own crate).
 fn relaxed_pattern() -> &'static str {
     concat!("Ordering::", "Relaxed")
+}
+
+/// Kernel files in `crates/sparse` whose `&Context`-taking public
+/// functions must open a span (`span-at-kernel-boundary`).
+const SPARSE_KERNEL_FILES: [&str; 6] = [
+    "spgemm.rs",
+    "spmv.rs",
+    "ewise.rs",
+    "transpose.rs",
+    "convert.rs",
+    "kron.rs",
+];
+
+/// Tokens that satisfy `span-at-kernel-boundary`: an obs kernel span, a
+/// named context span, a timeline phase, or the convert-kernel wrapper.
+const SPAN_TOKENS: [&str; 4] = ["kernel_span(", "span_ctx(", "phase(", "with_convert_span("];
+
+/// Whether a `span-at-kernel-boundary` waiver covers the function starting
+/// at `fn_line` (waiver on the signature line or in the contiguous comment
+/// block above it).
+fn span_waived(lines: &[&str], fn_line: usize) -> bool {
+    let (_, comment) = split_comment(lines[fn_line]);
+    if waivers_in(comment).contains(&Rule::SpanAtKernelBoundary) {
+        return true;
+    }
+    let mut j = fn_line;
+    while j > 0 {
+        j -= 1;
+        let (pcode, pcomment) = split_comment(lines[j]);
+        if !pcode.trim().is_empty() {
+            break;
+        }
+        if waivers_in(pcomment).contains(&Rule::SpanAtKernelBoundary) {
+            return true;
+        }
+        if pcomment.is_empty() {
+            break;
+        }
+    }
+    false
+}
+
+/// The `span-at-kernel-boundary` pass: function-body scoped, so it runs
+/// separately from the line-oriented rules. Scope: sparse kernel files'
+/// `pub fn`s taking `&Context`; core `operations/` `pub fn`s taking
+/// `&Descriptor`.
+fn lint_span_boundaries(
+    krate: &str,
+    file: &str,
+    lines: &[&str],
+    test_start: usize,
+    out: &mut Vec<Violation>,
+) {
+    let norm = file.replace('\\', "/");
+    let basename = norm.rsplit('/').next().unwrap_or(&norm);
+    let in_sparse = krate == "sparse" && SPARSE_KERNEL_FILES.contains(&basename);
+    let in_core = krate == "core" && norm.contains("operations/") && basename != "mod.rs";
+    if !in_sparse && !in_core {
+        return;
+    }
+    let marker = if in_sparse { ": &Context" } else { ": &Descriptor" };
+    let mut i = 0;
+    while i < test_start {
+        let (code, _) = split_comment(lines[i]);
+        if !code.trim_start().starts_with("pub fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = i;
+        // Accumulate the signature until the body opens (or a `;` ends a
+        // bodyless declaration).
+        let mut sig = String::new();
+        let mut j = i;
+        let mut open = None;
+        while j < test_start {
+            let (c, _) = split_comment(lines[j]);
+            sig.push(' ');
+            sig.push_str(c.trim());
+            if c.contains('{') {
+                open = Some(j);
+                break;
+            }
+            if c.trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        // Walk the body by brace depth, looking for a span token. On the
+        // opening line only the part after `{` is body.
+        let mut depth = 0i64;
+        let mut has_span = false;
+        let mut k = open;
+        while k < lines.len() {
+            let (c, _) = split_comment(lines[k]);
+            let c = strip_strings(c);
+            let body_part = if k == open {
+                c.split_once('{').map(|x| x.1).unwrap_or("")
+            } else {
+                c.as_str()
+            };
+            if SPAN_TOKENS.iter().any(|t| body_part.contains(t)) {
+                has_span = true;
+            }
+            depth += c.matches('{').count() as i64 - c.matches('}').count() as i64;
+            if depth <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        if sig.contains(marker) && !has_span && !span_waived(lines, fn_line) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: fn_line + 1,
+                rule: Rule::SpanAtKernelBoundary,
+                snippet: lines[fn_line].trim().chars().take(120).collect(),
+            });
+        }
+        i = k.max(open) + 1;
+    }
 }
 
 /// Lints one file's source text. `krate` is the crate directory name
@@ -301,6 +435,9 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
         if ends_statement(code) {
             armed.clear();
         }
+    }
+    if Rule::SpanAtKernelBoundary.applies_to(krate) {
+        lint_span_boundaries(krate, file, &lines, test_start, &mut out);
     }
     out
 }
@@ -448,6 +585,83 @@ fn f() {
         assert_eq!(lint_source("exec", "x.rs", good).len(), 0);
         let inline = "fn f() { unsafe { t(x) } } // SAFETY: fine\n";
         assert_eq!(lint_source("exec", "x.rs", inline).len(), 0);
+    }
+
+    #[test]
+    fn span_rule_catches_bare_kernel_entry() {
+        let bad = "\
+pub fn spgemm<T>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    let out = multiply(ctx, a);
+    out
+}
+";
+        let v = lint_source("sparse", "crates/sparse/src/spgemm.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::SpanAtKernelBoundary);
+        assert_eq!(v[0].line, 1);
+        // Same file with a span: clean.
+        let good = "\
+pub fn spgemm<T>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::SpGEMM, ctx.id());
+    multiply(ctx, a)
+}
+";
+        assert_eq!(
+            lint_source("sparse", "crates/sparse/src/spgemm.rs", good).len(),
+            0
+        );
+        // A timeline phase also satisfies the rule (delegating wrappers).
+        let phased = "\
+pub fn spgemm<T>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    let _ph = graphblas_obs::timeline::phase(\"spgemm\");
+    multiply(ctx, a)
+}
+";
+        assert_eq!(
+            lint_source("sparse", "crates/sparse/src/spgemm.rs", phased).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn span_rule_scoped_to_kernel_files_and_ops() {
+        let bare = "pub fn helper<T>(ctx: &Context, a: &Csr<T>) -> usize {\n    a.nnz()\n}\n";
+        // util.rs is not a kernel file: out of scope.
+        assert_eq!(lint_source("sparse", "crates/sparse/src/util.rs", bare).len(), 0);
+        // Core: only operations/ files with a &Descriptor parameter.
+        let op = "\
+pub fn mxm<T>(
+    c: &Matrix<T>,
+    desc: &Descriptor,
+) -> GrbResult {
+    body()
+}
+";
+        assert_eq!(
+            lint_source("core", "crates/core/src/operations/mxm.rs", op).len(),
+            1
+        );
+        assert_eq!(lint_source("core", "crates/core/src/matrix.rs", op).len(), 0);
+        // A pub fn in an operations file without &Descriptor is exempt.
+        let knob = "pub fn force_direction(d: Option<Direction>) {\n    set(d);\n}\n";
+        assert_eq!(
+            lint_source("core", "crates/core/src/operations/mxv.rs", knob).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn span_rule_waivable_above_signature() {
+        let waived = "\
+// grblint: allow(span-at-kernel-boundary) — measured by its caller.
+pub fn inner<T>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    multiply(ctx, a)
+}
+";
+        assert_eq!(
+            lint_source("sparse", "crates/sparse/src/spmv.rs", waived).len(),
+            0
+        );
     }
 
     #[test]

@@ -57,6 +57,21 @@ impl<T: ValueType> Clone for MatStore<T> {
     }
 }
 
+impl<T: ValueType> MatStore<T> {
+    /// Allocated buffer bytes of the current store. Shared (copy-on-write)
+    /// stores are counted by every handle that reaches them, so the
+    /// container gauges report *reachable* bytes — an upper bound on
+    /// unique allocation.
+    pub(crate) fn bytes(&self) -> u64 {
+        match self {
+            MatStore::Csr(a) => a.bytes(),
+            MatStore::Csc(a) => a.bytes(),
+            MatStore::Coo(a, _) => a.bytes(),
+            MatStore::Dense(a) => a.bytes(),
+        }
+    }
+}
+
 pub(crate) struct MatrixState<T: ValueType> {
     pub nrows: usize,
     pub ncols: usize,
@@ -70,9 +85,58 @@ pub(crate) struct MatrixState<T: ValueType> {
     /// the state mutex like everything else, which is what lets
     /// `check::sched` model the population race.
     pub transpose_cache: Option<(Arc<Csr<T>>, Arc<Csr<T>>)>,
+    /// Store bytes this state last reported to the `obs::mem` container
+    /// gauge (0 when telemetry was off at the last reconciliation).
+    pub mem_bytes: u64,
+    /// Context id the bytes above were charged to.
+    pub mem_ctx: u64,
+}
+
+impl<T: ValueType> Drop for MatrixState<T> {
+    fn drop(&mut self) {
+        if self.mem_bytes != 0 {
+            graphblas_obs::mem::adjust_container(self.mem_ctx, self.mem_bytes, 0);
+        }
+    }
 }
 
 impl<T: ValueType> MatrixState<T> {
+    /// A clean state (no pending stages, no error, no caches) over `store`.
+    pub(crate) fn fresh(nrows: usize, ncols: usize, store: MatStore<T>) -> Self {
+        MatrixState {
+            nrows,
+            ncols,
+            store,
+            pending: Vec::new(),
+            err: None,
+            transpose_cache: None,
+            mem_bytes: 0,
+            mem_ctx: 0,
+        }
+    }
+
+    /// Reconciles this container's allocated-store bytes with the
+    /// `obs::mem` container gauge and the owning context's memory ledger.
+    /// Cheap when telemetry is off (one relaxed load, nothing recorded)
+    /// and self-correcting across toggles: it always releases exactly what
+    /// it previously recorded before charging the new figure.
+    pub(crate) fn note_mem(&mut self, ctx_id: u64) {
+        let enabled = graphblas_obs::enabled();
+        if !enabled && self.mem_bytes == 0 {
+            return;
+        }
+        if ctx_id != self.mem_ctx && self.mem_bytes != 0 {
+            // The handle moved contexts: zero the old ledger entry first.
+            graphblas_obs::mem::adjust_container(self.mem_ctx, self.mem_bytes, 0);
+            self.mem_bytes = 0;
+        }
+        self.mem_ctx = ctx_id;
+        let new = if enabled { self.store.bytes() } else { 0 };
+        if new != self.mem_bytes {
+            graphblas_obs::mem::adjust_container(ctx_id, self.mem_bytes, new);
+            self.mem_bytes = new;
+        }
+    }
     /// Converts the store to CSR in place (sorting rows when `sorted`).
     pub(crate) fn ensure_csr(&mut self, ctx: &Context, sorted: bool) -> GrbResult {
         let csr: Arc<Csr<T>> = match &self.store {
@@ -97,6 +161,7 @@ impl<T: ValueType> MatrixState<T> {
             csr
         };
         self.store = MatStore::Csr(csr);
+        self.note_mem(ctx.id());
         self.debug_check();
         Ok(())
     }
@@ -122,6 +187,7 @@ impl<T: ValueType> MatrixState<T> {
                 return t.clone();
             }
         }
+        let _ph = graphblas_obs::timeline::phase("mxv.transpose_build");
         let t = Arc::new(graphblas_sparse::transpose::transpose(ctx, &src));
         if graphblas_obs::enabled() {
             graphblas_obs::counters::record_transpose_cache(false);
@@ -163,6 +229,7 @@ impl<T: ValueType> MatrixState<T> {
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
+                        let _ph = graphblas_obs::timeline::phase("drain.opaque");
                         f(self)?;
                     }
                 }
@@ -183,6 +250,7 @@ impl<T: ValueType> MatrixState<T> {
             }
             self.pending.clear();
         }
+        self.note_mem(ctx.id());
         self.debug_check();
         result
     }
@@ -322,18 +390,12 @@ impl<T: ValueType> Matrix<T> {
         }
         Ok(Self::from_state(
             ctx,
-            MatrixState {
-                nrows,
-                ncols,
-                store: MatStore::Csr(Arc::new(Csr::empty(nrows, ncols))),
-                pending: Vec::new(),
-                err: None,
-                transpose_cache: None,
-            },
+            MatrixState::fresh(nrows, ncols, MatStore::Csr(Arc::new(Csr::empty(nrows, ncols)))),
         ))
     }
 
-    pub(crate) fn from_state(ctx: &Context, state: MatrixState<T>) -> Self {
+    pub(crate) fn from_state(ctx: &Context, mut state: MatrixState<T>) -> Self {
+        state.note_mem(ctx.id());
         Matrix {
             inner: Arc::new(MatrixHandle {
                 ctx: RwLock::new(ctx.clone()),
@@ -347,14 +409,7 @@ impl<T: ValueType> Matrix<T> {
     pub fn dup(&self) -> GrbResult<Self> {
         let ctx = self.context();
         let st = self.lock_completed()?;
-        let state = MatrixState {
-            nrows: st.nrows,
-            ncols: st.ncols,
-            store: st.store.clone(),
-            pending: Vec::new(),
-            err: None,
-            transpose_cache: None,
-        };
+        let state = MatrixState::fresh(st.nrows, st.ncols, st.store.clone());
         drop(st);
         Ok(Self::from_state(&ctx, state))
     }
@@ -391,6 +446,7 @@ impl<T: ValueType> Matrix<T> {
     /// `GrB_Matrix_clear`: removes all elements. Also clears pending
     /// operations and any sticky error (the object is rebuilt from empty).
     pub fn clear(&self) -> GrbResult {
+        let ctx_id = self.context().id();
         let mut st = self.inner.state.lock();
         st.pending.clear();
         st.err = None;
@@ -398,6 +454,7 @@ impl<T: ValueType> Matrix<T> {
         // Pointer identity already invalidates the cache; dropping it here
         // just frees the memory promptly.
         st.transpose_cache = None;
+        st.note_mem(ctx_id);
         Ok(())
     }
 
@@ -451,6 +508,7 @@ impl<T: ValueType> Matrix<T> {
         if let MatStore::Coo(coo, _) = &mut st.store {
             Arc::make_mut(coo).push(i, j, v).map_err(Error::from)?;
         }
+        st.note_mem(ctx.id());
         Ok(())
     }
 
@@ -747,6 +805,7 @@ impl<T: ValueType> Matrix<T> {
                 if let Err(Error::Execution(exec)) = &r {
                     st.err = Some(exec.clone());
                 }
+                st.note_mem(ctx.id());
                 r
             }
         }
@@ -779,6 +838,7 @@ impl<T: ValueType> Matrix<T> {
                     .csr()
                     .filter_map_with_index(&ctx, |i, j, v| f(&[i, j], v));
                 st.store = MatStore::Csr(Arc::new(out));
+                st.note_mem(ctx.id());
                 Ok(())
             }
         }
@@ -1051,19 +1111,32 @@ mod tests {
         // A store whose shape disagrees with the logical dimensions fails.
         let bad = Matrix::from_state(
             &global_context(),
-            MatrixState {
-                nrows: 2,
-                ncols: 2,
-                store: MatStore::Csr(Arc::new(Csr::<i64>::empty(3, 3))),
-                pending: Vec::new(),
-                err: None,
-                transpose_cache: None,
-            },
+            MatrixState::fresh(2, 2, MatStore::Csr(Arc::new(Csr::<i64>::empty(3, 3)))),
         );
         assert!(matches!(
             grb_check(&bad),
             Err(CheckError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn container_mem_reports_to_ctx_ledger() {
+        let was = graphblas_obs::enabled();
+        graphblas_obs::set_enabled(true);
+        // A private context isolates this test's ledger entry from the
+        // other (parallel) tests, which all run in the global context.
+        let ctx = Context::new(&global_context(), Mode::Blocking, ContextOptions::default());
+        let m = Matrix::<i64>::new_in(&ctx, 64, 64).unwrap();
+        for k in 0..64usize {
+            m.set_element(k as i64, k, k).unwrap();
+        }
+        m.wait(WaitMode::Materialize).unwrap();
+        let live = graphblas_obs::ctxreg::context_stats(ctx.id()).unwrap().own.mem_live;
+        assert!(live > 0, "a populated CSR store must charge the ledger");
+        drop(m);
+        let after = graphblas_obs::ctxreg::context_stats(ctx.id()).unwrap().own.mem_live;
+        assert_eq!(after, 0, "dropping the handle must release its bytes");
+        graphblas_obs::set_enabled(was);
     }
 
     #[test]

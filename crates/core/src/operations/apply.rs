@@ -55,6 +55,7 @@ where
         }
     }
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.apply", ctx.id());
     a.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -106,6 +107,7 @@ where
         }
     }
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.apply_v", ctx.id());
     u.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -151,6 +153,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_binop1st", 0);
     let op = op.clone();
     let bound = UnaryOp::<B, C>::new("bound1st", move |v| op.apply(&x, v));
     apply(c, mask, accum, &bound, b, desc)
@@ -172,6 +175,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_binop2nd", 0);
     let op = op.clone();
     let bound = UnaryOp::<A, C>::new("bound2nd", move |v| op.apply(v, &y));
     apply(c, mask, accum, &bound, a, desc)
@@ -193,6 +197,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_binop1st_v", 0);
     let op = op.clone();
     let bound = UnaryOp::<B, C>::new("bound1st", move |v| op.apply(&x, v));
     apply_v(w, mask, accum, &bound, u, desc)
@@ -214,6 +219,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_binop2nd_v", 0);
     let op = op.clone();
     let bound = UnaryOp::<A, C>::new("bound2nd", move |v| op.apply(v, &y));
     apply_v(w, mask, accum, &bound, u, desc)
@@ -244,6 +250,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_binop1st_v_scalar", 0);
     apply_binop1st_v(w, mask, accum, op, scalar_value(x)?, u, desc)
 }
 
@@ -263,6 +270,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_binop2nd_v_scalar", 0);
     apply_binop2nd_v(w, mask, accum, op, u, scalar_value(y)?, desc)
 }
 
@@ -283,6 +291,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_binop1st_scalar", 0);
     apply_binop1st(c, mask, accum, op, scalar_value(x)?, b, desc)
 }
 
@@ -302,6 +311,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_binop2nd_scalar", 0);
     apply_binop2nd(c, mask, accum, op, a, scalar_value(y)?, desc)
 }
 
@@ -331,6 +341,7 @@ where
         }
     }
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.apply_indexop", ctx.id());
     a.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -377,6 +388,7 @@ where
     A: ValueType,
     S: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_indexop_scalar", 0);
     apply_indexop(c, mask, accum, f, a, scalar_value(s)?, desc)
 }
 
@@ -404,6 +416,7 @@ where
         }
     }
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.apply_indexop_v", ctx.id());
     u.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -449,6 +462,7 @@ where
     A: ValueType,
     S: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.apply_indexop_v_scalar", 0);
     apply_indexop_v(w, mask, accum, f, u, scalar_value(s)?, desc)
 }
 

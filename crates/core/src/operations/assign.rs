@@ -73,6 +73,7 @@ where
     M: MaskValue,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.assign", ctx.id());
     a.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -139,6 +140,7 @@ where
     M: MaskValue,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.assign_v", ctx.id());
     u.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -203,6 +205,7 @@ where
     M: MaskValue,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.assign_scalar", ctx.id());
     if let Some(m) = mask {
         m.check_context(&ctx)?;
         if m.shape() != c.shape() {
@@ -263,6 +266,7 @@ where
     T: ValueType,
     M: MaskValue,
 {
+    let _op = graphblas_obs::span_ctx("op.assign_scalar_grb", 0);
     let v = s.extract_element()?.ok_or_else(|| {
         Error::exec(
             ExecErrorKind::EmptyObject,
@@ -286,6 +290,7 @@ where
     M: MaskValue,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.assign_scalar_v", ctx.id());
     if let Some(m) = mask {
         m.check_context(&ctx)?;
         if m.size() != w.size() {
@@ -345,6 +350,7 @@ where
     M: MaskValue,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.assign_row", ctx.id());
     u.check_context(&ctx)?;
     if i >= c.shape().0 {
         return Err(ApiError::InvalidIndex.into());
@@ -446,6 +452,7 @@ where
     M: MaskValue,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.assign_col", ctx.id());
     u.check_context(&ctx)?;
     if j >= c.shape().1 {
         return Err(ApiError::InvalidIndex.into());
@@ -533,6 +540,7 @@ where
     T: ValueType,
     M: MaskValue,
 {
+    let _op = graphblas_obs::span_ctx("op.assign_scalar_v_grb", 0);
     let v = s.extract_element()?.ok_or_else(|| {
         Error::exec(
             ExecErrorKind::EmptyObject,

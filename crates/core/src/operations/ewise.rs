@@ -34,6 +34,7 @@ where
     M: MaskValue,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.ewise_add", ctx.id());
     a.check_context(&ctx)?;
     b.check_context(&ctx)?;
     if let Some(m) = mask {
@@ -86,6 +87,7 @@ where
     B: ValueType,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.ewise_mult", ctx.id());
     a.check_context(&ctx)?;
     b.check_context(&ctx)?;
     if let Some(m) = mask {
@@ -135,6 +137,7 @@ where
     T: ValueType,
     M: MaskValue,
 {
+    let _op = graphblas_obs::span_ctx("op.ewise_add_monoid", 0);
     ewise_add(c, mask, accum, monoid.op(), a, b, desc)
 }
 
@@ -155,6 +158,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.ewise_add_semiring", 0);
     ewise_add(c, mask, accum, semiring.add().op(), a, b, desc)
 }
 
@@ -175,6 +179,7 @@ where
     A: ValueType,
     B: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.ewise_mult_semiring", 0);
     ewise_mult(c, mask, accum, semiring.mul(), a, b, desc)
 }
 
@@ -193,6 +198,7 @@ where
     M: MaskValue,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.ewise_add_v", ctx.id());
     u.check_context(&ctx)?;
     v.check_context(&ctx)?;
     if let Some(m) = mask {
@@ -241,6 +247,7 @@ where
     B: ValueType,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.ewise_mult_v", ctx.id());
     u.check_context(&ctx)?;
     v.check_context(&ctx)?;
     if let Some(m) = mask {

@@ -29,6 +29,7 @@ where
     M: MaskValue,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.extract", ctx.id());
     a.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -76,6 +77,7 @@ where
     M: MaskValue,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.extract_v", ctx.id());
     u.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -121,6 +123,7 @@ where
     M: MaskValue,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.extract_col", ctx.id());
     a.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;

@@ -34,6 +34,7 @@ where
     B: ValueType,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.mxm", ctx.id());
     a.check_context(&ctx)?;
     b.check_context(&ctx)?;
     if let Some(m) = mask {

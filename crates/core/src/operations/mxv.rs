@@ -98,6 +98,7 @@ where
     X: ValueType,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.mxv", ctx.id());
     a.check_context(&ctx)?;
     u.check_context(&ctx)?;
     if let Some(m) = mask {
@@ -119,11 +120,13 @@ where
     } else {
         Direction::Pull
     };
+    let pick = graphblas_obs::timeline::phase("mxv.pick");
     let dir = choose_direction(u_s.nnz(), u_s.len(), natural);
     let a_s = match dir {
         Direction::Pull => snapshot_operand(a, &ctx, desc.transpose_a, false)?,
         Direction::Push => snapshot_operand(a, &ctx, !desc.transpose_a, false)?,
     };
+    drop(pick);
     let mask_s = snapshot_vecmask(mask, desc)?;
     let sr = semiring.clone();
     let accum = accum.cloned();
@@ -187,6 +190,7 @@ where
     A: ValueType,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.vxm", ctx.id());
     a.check_context(&ctx)?;
     u.check_context(&ctx)?;
     if let Some(m) = mask {
@@ -208,11 +212,13 @@ where
     } else {
         Direction::Push
     };
+    let pick = graphblas_obs::timeline::phase("mxv.pick");
     let dir = choose_direction(u_s.nnz(), u_s.len(), natural);
     let a_s = match dir {
         Direction::Push => snapshot_operand(a, &ctx, desc.transpose_b, false)?,
         Direction::Pull => snapshot_operand(a, &ctx, !desc.transpose_b, false)?,
     };
+    drop(pick);
     let mask_s = snapshot_vecmask(mask, desc)?;
     let sr = semiring.clone();
     let accum = accum.cloned();

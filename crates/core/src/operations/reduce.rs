@@ -35,6 +35,7 @@ where
     M: MaskValue,
 {
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.reduce_to_vector", ctx.id());
     a.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -103,6 +104,7 @@ where
     T: ValueType,
 {
     let ctx = s.context();
+    let _op = graphblas_obs::span_ctx("op.reduce_scalar", ctx.id());
     a.check_context(&ctx)?;
     let a_s = a.snapshot_csr(false)?;
     let monoid = monoid.clone();
@@ -131,6 +133,7 @@ where
     T: ValueType,
 {
     let ctx = s.context();
+    let _op = graphblas_obs::span_ctx("op.reduce_scalar_binop", ctx.id());
     a.check_context(&ctx)?;
     let a_s = a.snapshot_csr(false)?;
     let op = op.clone();
@@ -158,6 +161,7 @@ where
     T: ValueType,
 {
     let ctx = s.context();
+    let _op = graphblas_obs::span_ctx("op.reduce_scalar_v", ctx.id());
     u.check_context(&ctx)?;
     let u_s = u.snapshot_sparse()?;
     let monoid = monoid.clone();
@@ -184,6 +188,7 @@ where
     T: ValueType,
 {
     let ctx = s.context();
+    let _op = graphblas_obs::span_ctx("op.reduce_scalar_binop_v", ctx.id());
     u.check_context(&ctx)?;
     let u_s = u.snapshot_sparse()?;
     let op = op.clone();

@@ -59,6 +59,7 @@ where
         return c.apply_map(g);
     }
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.select", ctx.id());
     a.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -106,6 +107,7 @@ where
     M: MaskValue,
     S: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.select_scalar", 0);
     select(c, mask, accum, f, a, scalar_value(s)?, desc)
 }
 
@@ -131,6 +133,7 @@ where
         return w.apply_map(g);
     }
     let ctx = w.context();
+    let _op = graphblas_obs::span_ctx("op.select_v", ctx.id());
     u.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;
@@ -175,6 +178,7 @@ where
     M: MaskValue,
     S: ValueType,
 {
+    let _op = graphblas_obs::span_ctx("op.select_v_scalar", 0);
     select_v(w, mask, accum, f, u, scalar_value(s)?, desc)
 }
 

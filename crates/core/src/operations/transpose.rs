@@ -25,6 +25,7 @@ where
     M: MaskValue,
 {
     let ctx = c.context();
+    let _op = graphblas_obs::span_ctx("op.transpose", ctx.id());
     a.check_context(&ctx)?;
     if let Some(m) = mask {
         m.check_context(&ctx)?;

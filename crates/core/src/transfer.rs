@@ -126,17 +126,7 @@ impl<T: ValueType> Matrix<T> {
                 Dense::from_parts(nrows, ncols, Layout::ColMajor, values).map_err(api_invalid)?,
             )),
         };
-        Ok(Matrix::from_state(
-            ctx,
-            MatrixState {
-                nrows,
-                ncols,
-                store,
-                pending: Vec::new(),
-                err: None,
-                transpose_cache: None,
-            },
-        ))
+        Ok(Matrix::from_state(ctx, MatrixState::fresh(nrows, ncols, store)))
     }
 
     /// `GrB_Matrix_exportSize`: `(indptr_len, indices_len, values_len)`
@@ -282,15 +272,7 @@ impl<T: ValueType> Vector<T> {
                 VecStore::Dense(Arc::new(DenseVec::from_values(values)))
             }
         };
-        Ok(Vector::from_state(
-            ctx,
-            VectorState {
-                n,
-                store,
-                pending: Vec::new(),
-                err: None,
-            },
-        ))
+        Ok(Vector::from_state(ctx, VectorState::fresh(n, store)))
     }
 
     /// `GrB_Vector_exportSize`: `(indices_len, values_len)`.

@@ -32,14 +32,68 @@ impl<T: ValueType> Clone for VecStore<T> {
     }
 }
 
+impl<T: ValueType> VecStore<T> {
+    /// Allocated buffer bytes of the current store (see
+    /// `MatStore::bytes` for the shared-storage caveat).
+    pub(crate) fn bytes(&self) -> u64 {
+        match self {
+            VecStore::Sparse(a) => a.bytes(),
+            VecStore::Dense(a) => a.bytes(),
+        }
+    }
+}
+
 pub(crate) struct VectorState<T: ValueType> {
     pub n: usize,
     pub store: VecStore<T>,
     pub pending: Vec<Stage<VectorState<T>, T>>,
     pub err: Option<ExecutionError>,
+    /// Store bytes last reported to the `obs::mem` container gauge.
+    pub mem_bytes: u64,
+    /// Context id the bytes above were charged to.
+    pub mem_ctx: u64,
+}
+
+impl<T: ValueType> Drop for VectorState<T> {
+    fn drop(&mut self) {
+        if self.mem_bytes != 0 {
+            graphblas_obs::mem::adjust_container(self.mem_ctx, self.mem_bytes, 0);
+        }
+    }
 }
 
 impl<T: ValueType> VectorState<T> {
+    /// A clean state (no pending stages, no error) over `store`.
+    pub(crate) fn fresh(n: usize, store: VecStore<T>) -> Self {
+        VectorState {
+            n,
+            store,
+            pending: Vec::new(),
+            err: None,
+            mem_bytes: 0,
+            mem_ctx: 0,
+        }
+    }
+
+    /// Reconciles this container's allocated-store bytes with the
+    /// `obs::mem` container gauge and the owning context's memory ledger
+    /// (see `MatrixState::note_mem`).
+    pub(crate) fn note_mem(&mut self, ctx_id: u64) {
+        let enabled = graphblas_obs::enabled();
+        if !enabled && self.mem_bytes == 0 {
+            return;
+        }
+        if ctx_id != self.mem_ctx && self.mem_bytes != 0 {
+            graphblas_obs::mem::adjust_container(self.mem_ctx, self.mem_bytes, 0);
+            self.mem_bytes = 0;
+        }
+        self.mem_ctx = ctx_id;
+        let new = if enabled { self.store.bytes() } else { 0 };
+        if new != self.mem_bytes {
+            graphblas_obs::mem::adjust_container(ctx_id, self.mem_bytes, new);
+            self.mem_bytes = new;
+        }
+    }
     /// Canonicalizes to a sorted, duplicate-free sparse store.
     pub(crate) fn ensure_sparse(&mut self) -> GrbResult {
         let sv: Arc<SparseVec<T>> = match &self.store {
@@ -142,6 +196,7 @@ impl<T: ValueType> VectorState<T> {
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
+                        let _ph = graphblas_obs::timeline::phase("drain.opaque");
                         f(self)?;
                     }
                 }
@@ -160,6 +215,7 @@ impl<T: ValueType> VectorState<T> {
             }
             self.pending.clear();
         }
+        self.note_mem(ctx.id());
         self.debug_check();
         result
     }
@@ -234,16 +290,12 @@ impl<T: ValueType> Vector<T> {
         }
         Ok(Self::from_state(
             ctx,
-            VectorState {
-                n,
-                store: VecStore::Sparse(Arc::new(SparseVec::empty(n))),
-                pending: Vec::new(),
-                err: None,
-            },
+            VectorState::fresh(n, VecStore::Sparse(Arc::new(SparseVec::empty(n)))),
         ))
     }
 
-    pub(crate) fn from_state(ctx: &Context, state: VectorState<T>) -> Self {
+    pub(crate) fn from_state(ctx: &Context, mut state: VectorState<T>) -> Self {
+        state.note_mem(ctx.id());
         Vector {
             inner: Arc::new(VectorHandle {
                 ctx: RwLock::new(ctx.clone()),
@@ -256,12 +308,7 @@ impl<T: ValueType> Vector<T> {
     pub fn dup(&self) -> GrbResult<Self> {
         let ctx = self.context();
         let st = self.lock_completed()?;
-        let state = VectorState {
-            n: st.n,
-            store: st.store.clone(),
-            pending: Vec::new(),
-            err: None,
-        };
+        let state = VectorState::fresh(st.n, st.store.clone());
         drop(st);
         Ok(Self::from_state(&ctx, state))
     }
@@ -291,10 +338,12 @@ impl<T: ValueType> Vector<T> {
     /// `GrB_Vector_clear`: removes all elements, pending stages, and any
     /// sticky error.
     pub fn clear(&self) -> GrbResult {
+        let ctx_id = self.context().id();
         let mut st = self.inner.state.lock();
         st.pending.clear();
         st.err = None;
         st.store = VecStore::Sparse(Arc::new(SparseVec::empty(st.n)));
+        st.note_mem(ctx_id);
         Ok(())
     }
 
@@ -333,6 +382,8 @@ impl<T: ValueType> Vector<T> {
         if let VecStore::Sparse(sv) = &mut st.store {
             Arc::make_mut(sv).append(i, v).map_err(Error::from)?;
         }
+        let ctx_id = self.context().id();
+        st.note_mem(ctx_id);
         Ok(())
     }
 
@@ -527,6 +578,7 @@ impl<T: ValueType> Vector<T> {
                 if let Err(Error::Execution(exec)) = &r {
                     st.err = Some(exec.clone());
                 }
+                st.note_mem(ctx.id());
                 r
             }
         }
@@ -555,6 +607,7 @@ impl<T: ValueType> Vector<T> {
                 st.ensure_sparse()?;
                 let out = st.sparse().filter_map_with_index(|i, v| f(&[i], v));
                 st.store = VecStore::Sparse(Arc::new(out));
+                st.note_mem(ctx.id());
                 Ok(())
             }
         }

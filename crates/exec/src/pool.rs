@@ -147,6 +147,10 @@ impl ThreadPool {
                     .name(format!("grb-worker-{i}"))
                     .spawn(move || {
                         IN_WORKER.with(|w| w.set(true));
+                        // Register with the obs timeline up front so the
+                        // worker's tid and name appear in trace metadata
+                        // even before its first recorded region.
+                        graphblas_obs::timeline::register_thread();
                         while let Some(job) = queue.pop() {
                             job();
                         }
@@ -289,7 +293,12 @@ impl<'env, 'pool> Scope<'env, 'pool> {
         // sound.
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
         self.pool.spawn_static(Box::new(move || {
+            // Worker-side timeline region: makes every offloaded task
+            // visible on its worker's track in GRB_TRACE output, even for
+            // tasks whose kernel records no phases of its own.
+            let ph = graphblas_obs::timeline::phase("pool.task");
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            drop(ph);
             if let Err(payload) = outcome {
                 state.record_panic(payload);
             }

@@ -70,13 +70,36 @@ pub fn force_reuse(on: Option<bool>) {
     REUSE_OVERRIDE.store(v, Ordering::SeqCst);
 }
 
+/// The per-thread cache. Each entry remembers the buffer bytes it
+/// reported to the obs workspace memory gauge at insert time (0 when
+/// telemetry was off), so removals subtract exactly what was added —
+/// the gauge cannot drift across telemetry toggles.
+#[derive(Default)]
+struct ThreadCache {
+    map: HashMap<TypeId, (Box<dyn Any>, u64)>,
+}
+
+impl ThreadCache {
+    fn release_all(&mut self) {
+        let recorded: u64 = self.map.values().map(|(_, b)| b).sum();
+        graphblas_obs::mem::workspace().sub(recorded);
+        self.map.clear();
+    }
+}
+
+impl Drop for ThreadCache {
+    fn drop(&mut self) {
+        self.release_all();
+    }
+}
+
 thread_local! {
-    static CACHE: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+    static CACHE: RefCell<ThreadCache> = RefCell::new(ThreadCache::default());
 }
 
 /// Drops every workspace cached by the current thread (test isolation).
 pub fn clear_thread_cache() {
-    CACHE.with(|c| c.borrow_mut().clear());
+    CACHE.with(|c| c.borrow_mut().release_all());
 }
 
 /// RAII handle to a checked-out workspace; returns it to the thread's
@@ -102,8 +125,21 @@ impl<T: Reusable> Drop for Checkout<T> {
     fn drop(&mut self) {
         if let Some(ws) = self.inner.take() {
             if reuse_enabled() {
+                let recorded = if graphblas_obs::enabled() {
+                    let b = ws.reusable_bytes();
+                    graphblas_obs::mem::workspace().add(b);
+                    b
+                } else {
+                    0
+                };
                 CACHE.with(|c| {
-                    c.borrow_mut().insert(TypeId::of::<T>(), Box::new(ws));
+                    let replaced = c
+                        .borrow_mut()
+                        .map
+                        .insert(TypeId::of::<T>(), (Box::new(ws), recorded));
+                    if let Some((_, old)) = replaced {
+                        graphblas_obs::mem::workspace().sub(old);
+                    }
                 });
             }
         }
@@ -114,8 +150,12 @@ impl<T: Reusable> Drop for Checkout<T> {
 /// allocates a fresh one), prepared for a problem of size `n`.
 pub fn checkout<T: Reusable>(n: usize) -> Checkout<T> {
     let cached: Option<T> = if reuse_enabled() {
-        CACHE.with(|c| c.borrow_mut().remove(&TypeId::of::<T>()))
-            .and_then(|b| b.downcast::<T>().ok())
+        CACHE
+            .with(|c| c.borrow_mut().map.remove(&TypeId::of::<T>()))
+            .and_then(|(b, recorded)| {
+                graphblas_obs::mem::workspace().sub(recorded);
+                b.downcast::<T>().ok()
+            })
             .map(|b| *b)
     } else {
         None
@@ -461,8 +501,40 @@ mod tests {
             acc.upsert(0, 3, |a, b| a + b);
         }
         // Nothing was returned to the cache.
-        let cached = CACHE.with(|c| c.borrow().len());
+        let cached = CACHE.with(|c| c.borrow().map.len());
         assert_eq!(cached, 0);
+        force_reuse(None);
+    }
+
+    #[test]
+    fn cached_bytes_report_to_mem_gauge() {
+        let _g = serialize();
+        let _obs = crate::obs_test_guard();
+        force_reuse(Some(true));
+        clear_thread_cache();
+        graphblas_obs::set_enabled(true);
+        let before = graphblas_obs::mem::workspace().live();
+        {
+            let _a = checkout::<DenseAcc<u64>>(64);
+        }
+        let parked = graphblas_obs::mem::workspace().live();
+        assert!(parked > before, "returned workspace reported no bytes");
+        // Checking it back out removes it from the cache — and its bytes
+        // from the gauge.
+        {
+            let _a = checkout::<DenseAcc<u64>>(64);
+            assert_eq!(graphblas_obs::mem::workspace().live(), before);
+        }
+        clear_thread_cache();
+        assert_eq!(graphblas_obs::mem::workspace().live(), before);
+        // Bytes recorded while enabled are released even if telemetry is
+        // toggled off in between (per-entry recorded figure, not a guess).
+        {
+            let _a = checkout::<DenseAcc<u64>>(64);
+        }
+        graphblas_obs::set_enabled(false);
+        clear_thread_cache();
+        assert_eq!(graphblas_obs::mem::workspace().live(), before);
         force_reuse(None);
     }
 

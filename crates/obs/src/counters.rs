@@ -39,10 +39,12 @@ pub enum Kernel {
     Convert = 10,
     /// `wait(Complete|Materialize)`.
     Wait = 11,
+    /// Kronecker product (`GrB_kronecker`).
+    Kron = 12,
 }
 
 /// Number of [`Kernel`] variants (size of the static counter table).
-pub const KERNEL_COUNT: usize = 12;
+pub const KERNEL_COUNT: usize = 13;
 
 pub(crate) const KERNEL_LIST: [Kernel; KERNEL_COUNT] = [
     Kernel::SpGemm,
@@ -57,6 +59,7 @@ pub(crate) const KERNEL_LIST: [Kernel; KERNEL_COUNT] = [
     Kernel::MapFuse,
     Kernel::Convert,
     Kernel::Wait,
+    Kernel::Kron,
 ];
 
 impl Kernel {
@@ -75,6 +78,7 @@ impl Kernel {
             Kernel::MapFuse => "map_fuse",
             Kernel::Convert => "convert",
             Kernel::Wait => "wait",
+            Kernel::Kron => "kron",
         }
     }
 }
@@ -121,8 +125,10 @@ pub fn kernel(k: Kernel) -> &'static KernelCounters {
 }
 
 /// Adds one finished invocation of `k` with its measured wall time and
-/// work figures. The single entry point span drops funnel through.
+/// work figures. The single entry point span drops funnel through; the
+/// wall time also lands in `k`'s latency histogram.
 pub fn record_kernel(k: Kernel, nanos: u64, flops: u64, nnz_in: u64, nnz_out: u64, bytes: u64) {
+    crate::hist::record(k, nanos);
     let c = kernel(k);
     c.calls.fetch_add(1, Ordering::Relaxed);
     c.nanos.fetch_add(nanos, Ordering::Relaxed);

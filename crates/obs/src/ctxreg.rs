@@ -25,6 +25,8 @@ struct Entry {
     spans: u64,
     nanos: u64,
     flops: u64,
+    mem_live: u64,
+    mem_high: u64,
 }
 
 static REGISTRY: Mutex<Option<HashMap<u64, Entry>>> = Mutex::new(None);
@@ -73,29 +75,48 @@ pub(crate) fn add_span(id: u64, nanos: u64, flops: u64) {
     });
 }
 
+/// Moves context `id`'s attributed container footprint from `old` to
+/// `new` bytes (no-op for unregistered contexts). Called through
+/// [`crate::mem::adjust_container`].
+pub(crate) fn adjust_mem(id: u64, old: u64, new: u64) {
+    with_registry(|reg| {
+        if let Some(e) = reg.get_mut(&id) {
+            e.mem_live = e.mem_live.saturating_sub(old).saturating_add(new);
+            e.mem_high = e.mem_high.max(e.mem_live);
+        }
+    });
+}
+
 /// The label a context was registered with, if any.
 pub fn context_name(id: u64) -> Option<String> {
     with_registry(|reg| reg.get(&id).and_then(|e| e.name.clone()))
 }
 
 /// Zeroes every context's totals, keeping registrations (names stay
-/// resolvable after a [`crate::reset`]).
+/// resolvable after a [`crate::reset`]). Live memory reflects real
+/// allocations and is kept; its high-water mark re-arms at live.
 pub(crate) fn reset_totals() {
     with_registry(|reg| {
         for e in reg.values_mut() {
             e.spans = 0;
             e.nanos = 0;
             e.flops = 0;
+            e.mem_high = e.mem_live;
         }
     });
 }
 
-/// Aggregated span work attributed to a context.
+/// Aggregated span work and memory attributed to a context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CtxTotals {
     pub spans: u64,
     pub nanos: u64,
     pub flops: u64,
+    /// Live container-store bytes attributed to this context.
+    pub mem_live: u64,
+    /// High-water mark of `mem_live` (for rollups: sum of per-context
+    /// marks, an upper bound on the subtree's true simultaneous peak).
+    pub mem_high: u64,
 }
 
 impl CtxTotals {
@@ -103,6 +124,8 @@ impl CtxTotals {
         self.spans += other.spans;
         self.nanos += other.nanos;
         self.flops += other.flops;
+        self.mem_live += other.mem_live;
+        self.mem_high += other.mem_high;
     }
 }
 
@@ -133,6 +156,8 @@ pub fn all_context_stats() -> Vec<ContextStats> {
                             spans: e.spans,
                             nanos: e.nanos,
                             flops: e.flops,
+                            mem_live: e.mem_live,
+                            mem_high: e.mem_high,
                         },
                     ),
                 )

@@ -16,6 +16,13 @@
 //! * [`ctxreg`] — per-`Context` aggregation so the hierarchical thread
 //!   budget story of §IV becomes inspectable: each context exposes its
 //!   descendants' rolled-up statistics.
+//! * [`hist`] — lock-free log₂-bucketed latency histograms per kernel
+//!   family, surfacing interpolated p50/p90/p99/max tail latency.
+//! * [`timeline`] — bounded per-thread timelines of spans and nested
+//!   kernel phases, exported as Chrome-trace/Perfetto JSON
+//!   (`GRB_TRACE=out.json`).
+//! * [`mem`] — live-bytes / high-water gauges for container stores and
+//!   the kernel workspace cache, attributed to the owning context.
 //! * [`snapshot`] — a `GrB_get`-style introspection surface serializing to
 //!   JSON through the hand-written writer in [`json`] (no serde).
 //!
@@ -44,15 +51,21 @@ use std::sync::OnceLock;
 
 pub mod counters;
 pub mod ctxreg;
+pub mod hist;
 pub mod json;
+pub mod mem;
 pub mod snapshot;
 pub mod span;
+pub mod timeline;
 
 pub use counters::{Kernel, KernelTotals, PendingTotals, PoolTotals, KERNEL_COUNT};
 pub use ctxreg::{register_context, ContextStats, CtxTotals};
+pub use hist::{HistTotals, KernelHist};
 pub use json::JsonWriter;
+pub use mem::MemTotals;
 pub use snapshot::{snapshot, Snapshot};
 pub use span::{kernel_span, span, span_ctx, Event, Span};
+pub use timeline::{phase, write_trace_if_requested, Phase, TlEvent};
 
 struct Flags {
     enabled: AtomicBool,
@@ -70,10 +83,13 @@ fn env_truthy(var: &str) -> bool {
 fn flags() -> &'static Flags {
     FLAGS.get_or_init(|| {
         let burble = env_truthy("GRB_BURBLE");
+        // A trace request implies telemetry: timeline records only exist
+        // while spans are live, as does burble narration.
+        let trace = std::env::var("GRB_TRACE")
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
         Flags {
-            // Burble narration implies telemetry: there is nothing to
-            // narrate without span timings.
-            enabled: AtomicBool::new(burble || env_truthy("GRB_OBS")),
+            enabled: AtomicBool::new(burble || trace || env_truthy("GRB_OBS")),
             burble: AtomicBool::new(burble),
         }
     })
@@ -108,13 +124,18 @@ pub fn set_burble(on: bool) {
     flags().burble.store(on, Ordering::Relaxed);
 }
 
-/// Zeroes every counter, clears the event ring, and resets per-context
-/// totals (context registrations survive so names stay resolvable).
-/// Intended for tests and for bracketing a measurement region.
+/// Zeroes every counter and histogram, clears the event ring and the
+/// per-thread timelines, resets per-context totals (context registrations
+/// survive so names stay resolvable), and re-arms the memory high-water
+/// marks at the current live figures (live bytes are real state and are
+/// kept). Intended for tests and for bracketing a measurement region.
 pub fn reset() {
     counters::reset();
+    hist::reset();
     span::reset_events();
+    timeline::reset();
     ctxreg::reset_totals();
+    mem::reset_high_water();
 }
 
 /// Serializes tests that flip the global flags (they would race under the

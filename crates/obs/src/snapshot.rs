@@ -6,7 +6,9 @@ use crate::counters::{
     self, DirectionTotals, KernelTotals, PendingTotals, PoolTotals, WorkspaceTotals,
 };
 use crate::ctxreg::{self, ContextStats};
+use crate::hist::{self, HistTotals, KernelHist};
 use crate::json::JsonWriter;
+use crate::mem::{self, MemTotals};
 use crate::span::{self, Event};
 
 /// A point-in-time copy of all telemetry. Obtain through [`snapshot`].
@@ -24,6 +26,10 @@ pub struct Snapshot {
     pub workspace: WorkspaceTotals,
     /// Direction-optimizing `mxv`/`vxm` dispatch statistics.
     pub direction: DirectionTotals,
+    /// Per-kernel latency histograms, in the same order as `kernels`.
+    pub hists: Vec<KernelHist>,
+    /// Container-store and workspace-cache memory gauges.
+    pub mem: MemTotals,
     /// Per-context rollups, ordered by context id.
     pub contexts: Vec<ContextStats>,
     /// The event ring's contents, chronological.
@@ -45,6 +51,8 @@ pub fn snapshot() -> Snapshot {
         pool: counters::pool_totals(),
         workspace: counters::workspace_totals(),
         direction: counters::direction_totals(),
+        hists: hist::kernel_hists(),
+        mem: mem::totals(),
         contexts: ctxreg::all_context_stats(),
         events,
         events_total,
@@ -63,6 +71,16 @@ impl Snapshot {
             .iter()
             .find(|t| t.kernel == k)
             .expect("snapshot holds every kernel family")
+    }
+
+    /// The latency histogram for one kernel family.
+    pub fn hist(&self, k: counters::Kernel) -> &HistTotals {
+        &self
+            .hists
+            .iter()
+            .find(|h| h.kernel == k)
+            .expect("snapshot holds every kernel family")
+            .hist
     }
 
     /// Serializes the snapshot. `include_events` controls whether the
@@ -90,6 +108,15 @@ impl Snapshot {
             w.number(k.nnz_out);
             w.key("bytes_moved");
             w.number(k.bytes_moved);
+            let h = self.hist(k.kernel);
+            w.key("p50_ns");
+            w.number(h.p50());
+            w.key("p90_ns");
+            w.number(h.p90());
+            w.key("p99_ns");
+            w.number(h.p99());
+            w.key("max_ns");
+            w.number(h.max);
             w.end_object();
         }
         w.end_object();
@@ -154,6 +181,18 @@ impl Snapshot {
         w.number(self.direction.transpose_hits);
         w.end_object();
 
+        w.key("mem");
+        w.begin_object();
+        w.key("container_live_bytes");
+        w.number(self.mem.container_live);
+        w.key("container_high_bytes");
+        w.number(self.mem.container_high);
+        w.key("workspace_live_bytes");
+        w.number(self.mem.workspace_live);
+        w.key("workspace_high_bytes");
+        w.number(self.mem.workspace_high);
+        w.end_object();
+
         w.key("contexts");
         w.begin_array();
         for c in &self.contexts {
@@ -168,9 +207,9 @@ impl Snapshot {
                 None => w.null(),
             }
             w.key("own");
-            write_totals(&mut w, c.own.spans, c.own.nanos, c.own.flops);
+            write_totals(&mut w, &c.own);
             w.key("rolled");
-            write_totals(&mut w, c.rolled.spans, c.rolled.nanos, c.rolled.flops);
+            write_totals(&mut w, &c.rolled);
             w.end_object();
         }
         w.end_array();
@@ -209,14 +248,18 @@ impl Snapshot {
     }
 }
 
-fn write_totals(w: &mut JsonWriter, spans: u64, nanos: u64, flops: u64) {
+fn write_totals(w: &mut JsonWriter, t: &crate::ctxreg::CtxTotals) {
     w.begin_object();
     w.key("spans");
-    w.number(spans);
+    w.number(t.spans);
     w.key("nanos");
-    w.number(nanos);
+    w.number(t.nanos);
     w.key("flops");
-    w.number(flops);
+    w.number(t.flops);
+    w.key("mem_live_bytes");
+    w.number(t.mem_live);
+    w.key("mem_high_bytes");
+    w.number(t.mem_high);
     w.end_object();
 }
 
@@ -236,6 +279,10 @@ mod tests {
         assert!(json.contains("\"pool\""));
         assert!(json.contains("\"workspace\""));
         assert!(json.contains("\"direction\""));
+        assert!(json.contains("\"mem\""));
+        assert!(json.contains("\"container_live_bytes\""));
+        assert!(json.contains("\"p50_ns\""));
+        assert!(json.contains("\"p99_ns\""));
         assert!(json.contains("\"contexts\""));
         let brief = snap.to_json_with(false);
         assert!(!brief.contains("\"events\":["));

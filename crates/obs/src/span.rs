@@ -18,7 +18,7 @@ use crate::ctxreg;
 /// Default event-ring capacity (events, not bytes).
 pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
-fn epoch() -> Instant {
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
@@ -41,7 +41,7 @@ thread_local! {
     };
 }
 
-fn thread_tag() -> u32 {
+pub(crate) fn thread_tag() -> u32 {
     THREAD_TAG.with(|t| *t)
 }
 
@@ -181,12 +181,16 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(t0) = self.start else { return };
-        let start_us = t0.duration_since(epoch()).as_micros() as u64;
+        let start_ns = t0.duration_since(epoch()).as_nanos() as u64;
+        let start_us = start_ns / 1_000;
         let dur_ns = t0.elapsed().as_nanos() as u64;
         if let Some(k) = self.kernel {
             counters::record_kernel(k, dur_ns, self.flops, self.nnz_in, self.nnz_out, self.bytes);
         }
         ctxreg::add_span(self.ctx, dur_ns, self.flops);
+        if crate::timeline::timeline_requested() {
+            crate::timeline::record(self.name, start_ns, start_ns + dur_ns);
+        }
         push_event(Event {
             name: self.name,
             kernel: self.kernel,

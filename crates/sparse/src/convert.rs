@@ -103,6 +103,7 @@ pub fn csr_to_dense<T: Clone + Send + Sync>(
 
 /// Explicit transpose (re-export for API uniformity).
 pub fn csr_transpose<T: Clone + Send + Sync>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    let _ph = graphblas_obs::timeline::phase("convert.transpose");
     transpose(ctx, a)
 }
 

@@ -57,6 +57,13 @@ impl<T> Coo<T> {
         self.values.len()
     }
 
+    /// Allocated buffer bytes of this store (capacity, not length).
+    pub fn bytes(&self) -> u64 {
+        (self.rows.capacity() * std::mem::size_of::<usize>()
+            + self.cols.capacity() * std::mem::size_of::<usize>()
+            + self.values.capacity() * std::mem::size_of::<T>()) as u64
+    }
+
     /// Row index of each triplet.
     pub fn rows(&self) -> &[usize] {
         &self.rows

@@ -60,6 +60,11 @@ impl<T> Csc<T> {
         self.t.nnz()
     }
 
+    /// Allocated buffer bytes of this store (see [`Csr::bytes`]).
+    pub fn bytes(&self) -> u64 {
+        self.t.bytes()
+    }
+
     /// Row indices and values of logical column `j`.
     pub fn col(&self, j: usize) -> (&[usize], &[T]) {
         self.t.row(j)

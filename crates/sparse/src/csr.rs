@@ -151,6 +151,14 @@ impl<T> Csr<T> {
         *self.indptr.last().expect("indptr non-empty")
     }
 
+    /// Allocated buffer bytes of this store (capacity, not just length —
+    /// the memory-accounting figure `obs::mem` gauges aggregate).
+    pub fn bytes(&self) -> u64 {
+        (self.indptr.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<usize>()
+            + self.values.capacity() * std::mem::size_of::<T>()) as u64
+    }
+
     pub fn indptr(&self) -> &[usize] {
         &self.indptr
     }

@@ -42,6 +42,11 @@ impl<T> Dense<T> {
         Ok(dense)
     }
 
+    /// Allocated buffer bytes of this store (capacity, not length).
+    pub fn bytes(&self) -> u64 {
+        (self.values.capacity() * std::mem::size_of::<T>()) as u64
+    }
+
     /// Full invariant validation, with [`crate::csr::Csr::check`]'s rigor:
     /// a dense store is valid iff its buffer holds exactly
     /// `nrows * ncols` elements (Table III: every element present,

@@ -36,6 +36,11 @@ impl<T> DenseVec<T> {
         self.values
     }
 
+    /// Allocated buffer bytes of this store (capacity, not length).
+    pub fn bytes(&self) -> u64 {
+        (self.values.capacity() * std::mem::size_of::<T>()) as u64
+    }
+
     /// Looks up element `i`.
     pub fn get(&self, i: usize) -> Option<&T> {
         self.values.get(i)

@@ -120,6 +120,7 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T, &T) -> T + Sync,
 {
+    let _ph = graphblas_obs::timeline::phase("ewise.union");
     ewise_union_general(ctx, a, b, op, |x: &T| x.clone(), |y: &T| y.clone())
 }
 
@@ -308,6 +309,7 @@ where
     F: Fn(&T, &T) -> T + Sync,
 {
     assert!(!parts.is_empty(), "svec_kmerge: need at least one part");
+    let _ph = graphblas_obs::timeline::phase("ewise.kmerge");
     let n = parts[0].len();
     for p in &parts {
         assert_eq!(p.len(), n, "svec_kmerge: length mismatch");

@@ -29,8 +29,18 @@ where
     let (mb, nb) = (b.nrows(), b.ncols());
     let m = ma.checked_mul(mb).ok_or(FormatError::Overflow)?;
     let n = na.checked_mul(nb).ok_or(FormatError::Overflow)?;
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Kron, ctx.id());
     if m == 0 || n == 0 || a.nnz() == 0 || b.nnz() == 0 {
         return Ok(Csr::empty(m, n));
+    }
+    if sp.active() {
+        let out = (a.nnz() * b.nnz()) as u64;
+        sp.io(
+            out,
+            (a.nnz() + b.nnz()) as u64,
+            out,
+            out * std::mem::size_of::<Z>() as u64,
+        );
     }
     // Weight per a-row: its nnz times nnz(B) (each a-entry replicates B).
     let weights: Vec<usize> = {

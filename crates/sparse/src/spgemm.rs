@@ -87,8 +87,13 @@ where
             ((a.nnz() + b.nnz()) * (std::mem::size_of::<usize>() * 2)) as u64,
         );
     }
-    let ranges = flop_ranges(ctx, a, b);
+    let ranges = {
+        let _ph = graphblas_obs::timeline::phase("spgemm.symbolic");
+        flop_ranges(ctx, a, b)
+    };
+    let numeric = graphblas_obs::timeline::phase("spgemm.numeric");
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
+        let _task = graphblas_obs::timeline::phase("spgemm.numeric.task");
         let mut spa = workspace::checkout::<DenseAcc<Z>>(n);
         let mut lens = Vec::with_capacity(rows.len());
         let mut idx = Vec::new();
@@ -114,6 +119,7 @@ where
         }
         (rows, (lens, idx, vals))
     });
+    drop(numeric);
     let (indptr, indices, values) = util::stitch_row_chunks(m, chunks);
     let c = Csr::from_kernel_parts(m, n, indptr, indices, values, false);
     if sp.active() {
@@ -160,8 +166,13 @@ where
             ((a.nnz() + b.nnz() + mask.nnz()) * (std::mem::size_of::<usize>() * 2)) as u64,
         );
     }
-    let ranges = flop_ranges(ctx, a, b);
+    let ranges = {
+        let _ph = graphblas_obs::timeline::phase("spgemm.symbolic");
+        flop_ranges(ctx, a, b)
+    };
+    let numeric = graphblas_obs::timeline::phase("spgemm.numeric");
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
+        let _task = graphblas_obs::timeline::phase("spgemm.numeric.task");
         let mut spa = workspace::checkout::<DenseAcc<Z>>(n);
         // Second stamp set marking mask-allowed columns for this row.
         let mut allow = workspace::checkout::<MarkSet>(n);
@@ -199,6 +210,7 @@ where
         }
         (rows, (lens, idx, vals))
     });
+    drop(numeric);
     let (indptr, indices, values) = util::stitch_row_chunks(m, chunks);
     let c = Csr::from_kernel_parts(m, n, indptr, indices, values, false);
     if sp.active() {

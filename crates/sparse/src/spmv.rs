@@ -86,7 +86,9 @@ where
         .min(nrows)
         .max(1);
     let ranges = partition::prefix_balanced_ranges(a.indptr(), k);
+    let pull = graphblas_obs::timeline::phase("mxv.pull");
     let chunks: Vec<(Vec<usize>, Vec<Z>)> = parallel_map_ranges(ranges, |rows: Range<usize>| {
+        let _task = graphblas_obs::timeline::phase("mxv.pull.task");
         let mut idx = Vec::new();
         let mut vals = Vec::new();
         for i in rows {
@@ -113,6 +115,7 @@ where
         }
         (idx, vals)
     });
+    drop(pull);
     let mut indices = Vec::new();
     let mut values = Vec::new();
     for (idx, vals) in chunks {
@@ -178,7 +181,9 @@ where
     let ranges = partition::prefix_balanced_ranges(&weights, k);
     let xi = x.indices();
     let xv = x.values();
+    let push = graphblas_obs::timeline::phase("mxv.push");
     let partials: Vec<SparseVec<Z>> = parallel_map_ranges(ranges, |entries: Range<usize>| {
+        let _task = graphblas_obs::timeline::phase("mxv.push.task");
         let mut acc = workspace::checkout::<DenseAcc<Z>>(ncols);
         for e in entries {
             let (i, xval) = (xi[e], &xv[e]);
@@ -197,6 +202,8 @@ where
         });
         SparseVec::from_kernel_parts(ncols, idx, values, true)
     });
+    drop(push);
+    let _merge = graphblas_obs::timeline::phase("mxv.merge");
     let y = crate::ewise::svec_kmerge(ctx, partials, |a, b| add(a.clone(), b.clone()));
     if sp.active() {
         sp.io(0, 0, y.nnz() as u64, 0);

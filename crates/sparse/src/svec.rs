@@ -91,6 +91,12 @@ impl<T> SparseVec<T> {
         self.values.len()
     }
 
+    /// Allocated buffer bytes of this store (capacity, not length).
+    pub fn bytes(&self) -> u64 {
+        (self.indices.capacity() * std::mem::size_of::<usize>()
+            + self.values.capacity() * std::mem::size_of::<T>()) as u64
+    }
+
     /// Stored element indices (ascending when sorted).
     pub fn indices(&self) -> &[usize] {
         &self.indices

@@ -87,5 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\ngraph analytics OK");
+    // GrB_finalize: also flushes the GRB_TRACE timeline, if requested.
+    graphblas::finalize();
     Ok(())
 }

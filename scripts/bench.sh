@@ -1,10 +1,17 @@
 #!/usr/bin/env bash
 # Kernel benchmark baseline: builds the bench harness in release mode and
-# regenerates BENCH_kernels.json (pagerank / BFS / SpGEMM medians plus the
-# workspace-reuse and push-pull direction counter blocks) at the repo root.
+# regenerates, from one run, both baseline files at the repo root:
+#
+#   BENCH_kernels.json  pagerank / BFS / SpGEMM medians, workspace-reuse and
+#                       push-pull direction counters, per-kernel latency
+#                       percentiles (p50/p99), and memory high-water gauges
+#   BENCH_obs.json      the full telemetry snapshot of the same run
 #
 #   scripts/bench.sh           full baseline (rmat scale 13, 5 runs each)
 #   scripts/bench.sh --smoke   bounded CI run (rmat scale 9, 3 runs each)
+#
+# Set GRB_TRACE=<path> to additionally export the run's per-thread timeline
+# as Chrome-trace JSON (open at ui.perfetto.dev).
 #
 # Regression protocol (EXPERIMENTS.md): commit the baseline alongside perf
 # changes and diff median_secs against the parent commit's file.

@@ -11,7 +11,8 @@ cargo clippy --all-targets -- -D warnings
 
 # Repo-specific lints (crates/check/src/lint.rs): relaxed orderings outside
 # obs, unwrap/expect in core/sparse, fallible core APIs bypassing GrbResult,
-# undocumented unsafe. Fails the gate on any violation.
+# undocumented unsafe, and kernel/operation entry points that record no
+# telemetry span. Fails the gate on any violation.
 cargo run -q -p graphblas-check --bin grblint -- .
 
 # Concurrency model-checker smoke pass: every checked protocol (pool
@@ -23,15 +24,24 @@ cargo test -q -p graphblas-check --test model_pool --test model_channels \
     --test model_pending --test model_fig1 --test model_transpose_cache
 
 # Kernel benchmark baseline smoke: a bounded bench.sh run must succeed and
-# leave a well-formed BENCH_kernels.json behind (medians + workspace and
-# direction counter blocks). Guards the perf baseline from rotting.
-scripts/bench.sh --smoke
-[ -s BENCH_kernels.json ] || { echo "check: BENCH_kernels.json missing or empty" >&2; exit 1; }
-case "$(head -c 1 BENCH_kernels.json)" in
-    "{") ;;
-    *) echo "check: BENCH_kernels.json is not a JSON object" >&2; exit 1 ;;
-esac
-for key in '"pagerank"' '"bfs"' '"spgemm"' '"workspace"' '"direction"' '"median_secs"'; do
+# leave well-formed BENCH_kernels.json and BENCH_obs.json behind (medians +
+# workspace/direction counters + per-kernel latency percentiles + memory
+# gauges). The run also exports its per-thread timeline via GRB_TRACE; the
+# tracecheck reader proves the Chrome trace is balanced, properly nested,
+# multi-threaded, and covers the spgemm/mxv kernel phases.
+trace_file="$(mktemp -t grb_trace.XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+GRB_TRACE="$trace_file" scripts/bench.sh --smoke
+for f in BENCH_kernels.json BENCH_obs.json; do
+    [ -s "$f" ] || { echo "check: $f missing or empty" >&2; exit 1; }
+    case "$(head -c 1 "$f")" in
+        "{") ;;
+        *) echo "check: $f is not a JSON object" >&2; exit 1 ;;
+    esac
+done
+for key in '"pagerank"' '"bfs"' '"spgemm"' '"workspace"' '"direction"' '"median_secs"' \
+           '"kernels"' '"p50_ns"' '"p99_ns"' '"mem"' '"container_high_bytes"'; do
     grep -q "$key" BENCH_kernels.json \
         || { echo "check: BENCH_kernels.json lacks $key" >&2; exit 1; }
 done
+cargo run -q -p graphblas-check --bin tracecheck -- "$trace_file" --require-kernels
