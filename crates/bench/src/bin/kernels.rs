@@ -1,26 +1,34 @@
 //! `kernels` — persistent kernel benchmark baseline.
 //!
-//! Runs the three kernel-level workloads the perf work targets —
+//! Runs the four kernel-level workloads the perf work targets —
 //! PageRank (adaptive push/pull `vxm` + workspace reuse), BFS
-//! (masked direction-optimizing traversal), and SpGEMM (workspace-backed
-//! SPA) — and writes their median wall times plus the workspace,
-//! direction, per-kernel latency (p50/p99), and memory-gauge blocks to
-//! `BENCH_kernels.json`. The full telemetry snapshot of the same run is
-//! written alongside as `BENCH_obs.json`, so one invocation refreshes
-//! both baselines.
+//! (masked direction-optimizing traversal), SpGEMM (workspace-backed
+//! SPA), and a nonblocking fused apply chain (§III map fusion) — and
+//! writes their median wall times plus the workspace, direction,
+//! per-kernel latency (p50/p99), and memory-gauge blocks to
+//! `BENCH_kernels.json` (full run) or `BENCH_kernels_smoke.json`
+//! (`--smoke`; the two scales are numerically incomparable, so they keep
+//! separate baselines for `benchcmp`). The full telemetry snapshot of
+//! the same run is written alongside as `BENCH_obs.json`, so one
+//! invocation refreshes both baselines.
 //!
 //! Run with: `cargo run --release -p graphblas-bench --bin kernels`
 //! (`--smoke` bounds the graph scale and run count for CI). Set
 //! `GRB_TRACE=trace.json` to also export the run's per-thread timeline
-//! as Chrome-trace JSON for `ui.perfetto.dev`.
+//! as Chrome-trace JSON for `ui.perfetto.dev`, and `GRB_EXPLAIN=...json`
+//! to export the reason-coded decision history for `grbexplain`.
 //!
 //! The JSON file is the baseline `scripts/bench.sh` refreshes and
 //! `scripts/check.sh` validates; comparing two baselines across commits is
 //! the regression protocol documented in EXPERIMENTS.md.
 
 use graphblas_bench::{fmt_time, median_secs, random_csr, rmat_bool};
-use graphblas_core::{global_context, Mode};
-use graphblas_obs::JsonWriter;
+use graphblas_core::operations::apply_v;
+use graphblas_core::{
+    global_context, no_mask_v, Context, ContextOptions, Descriptor, Mode, UnaryOp, Vector,
+    WaitMode,
+};
+use graphblas_obs::{JsonWriter, Reason};
 
 struct Params {
     smoke: bool,
@@ -88,11 +96,38 @@ fn main() {
         ));
     });
 
+    // Fused apply chain (§III): a nonblocking child context queues
+    // FUSE_CHAIN maps that `wait` flushes as one traversal — the workload
+    // that exercises the pending-op fusion path (and, with decision
+    // provenance on, emits `fuse-flush` events the explain gate asserts).
+    const FUSE_CHAIN: usize = 6;
+    let fuse_n = 1usize << (p.scale + 3);
+    let fuse_ctx = Context::new(&ctx, Mode::NonBlocking, ContextOptions::default());
+    let v = Vector::<f64>::new_in(&fuse_ctx, fuse_n).expect("fuse vector");
+    let idx: Vec<usize> = (0..fuse_n).collect();
+    let vals: Vec<f64> = (0..fuse_n).map(|i| i as f64).collect();
+    v.build(&idx, &vals, None).expect("fuse build");
+    v.wait(WaitMode::Materialize).expect("fuse materialize");
+    let inc = UnaryOp::new("inc", |x: &f64| x + 1.0);
+    let run_chain = |v: &Vector<f64>| {
+        for _ in 0..FUSE_CHAIN {
+            apply_v(v, no_mask_v(), None, &inc, v, &Descriptor::default()).expect("fused apply");
+        }
+        v.wait(WaitMode::Complete).expect("fuse wait");
+    };
+    run_chain(&v);
+    let t_fused = median_secs(p.runs, || run_chain(&v));
+
     let snap = graphblas_obs::snapshot();
     // GRB_TRACE=<path> exports the per-thread timeline of everything above
     // as Chrome-trace JSON (validated by `tracecheck` in scripts/check.sh).
     if let Some(path) = graphblas_obs::timeline::write_trace_if_requested() {
         println!("timeline trace written: {path}");
+    }
+    // GRB_EXPLAIN=<path> exports the reason-coded decision history of the
+    // same run as explain/v1 JSON (gated by `grbexplain` in check.sh).
+    if let Some(path) = graphblas_obs::write_explain_if_requested() {
+        println!("decision provenance written: {path}");
     }
     graphblas_obs::set_enabled(false);
 
@@ -105,6 +140,10 @@ fn main() {
         fmt_time(t_spgemm),
         p.spgemm_n,
         c.nnz()
+    );
+    println!(
+        "| fused    | {} | {FUSE_CHAIN}-map chain, n={fuse_n} |",
+        fmt_time(t_fused)
     );
     println!(
         "workspace: {} checkouts, {} hits, {} misses, {} bytes reused",
@@ -172,6 +211,33 @@ fn main() {
         snap.mem.container_high > 0,
         "memory accounting recorded no container bytes"
     );
+    // Decision provenance must have seen this run: the dispatcher, the
+    // workspace cache, and the fusion engine each made choices above, so
+    // each must have left reason-coded events behind.
+    let decided = |r: Reason| {
+        snap.decisions
+            .iter()
+            .find(|(dr, _)| *dr == r)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    assert!(
+        decided(Reason::DirectionPush) + decided(Reason::DirectionPull) > 0,
+        "no direction-pick decision events recorded"
+    );
+    assert!(
+        decided(Reason::WorkspaceHit) + decided(Reason::WorkspaceMiss) > 0,
+        "no workspace-checkout decision events recorded"
+    );
+    assert!(
+        decided(Reason::FuseFlush) > 0,
+        "no fuse-flush decision events recorded"
+    );
+    assert_eq!(
+        snap.decisions_total,
+        snap.decisions.iter().map(|(_, n)| n).sum::<u64>(),
+        "decision aggregates disagree with the total"
+    );
 
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -202,6 +268,8 @@ fn main() {
     w.number_f64(t_bfs);
     w.key("spgemm");
     w.number_f64(t_spgemm);
+    w.key("fused_apply");
+    w.number_f64(t_fused);
     w.end_object();
     w.key("workspace");
     w.begin_object();
@@ -260,8 +328,16 @@ fn main() {
     w.end_object();
     w.end_object();
     let json = w.finish();
-    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    println!("baseline written: BENCH_kernels.json ({} bytes)", json.len());
+    // Smoke runs (scale 9) and full runs (scale 13) are numerically
+    // incomparable, so they keep separate baseline files — benchcmp then
+    // always diffs like against like.
+    let kernels_file = if p.smoke {
+        "BENCH_kernels_smoke.json"
+    } else {
+        "BENCH_kernels.json"
+    };
+    std::fs::write(kernels_file, &json).expect("write kernels baseline");
+    println!("baseline written: {kernels_file} ({} bytes)", json.len());
 
     // The same run's full telemetry snapshot (histograms, per-context
     // rollups, memory gauges — everything `graphblas_obs::snapshot`

@@ -1,0 +1,88 @@
+//! `benchcmp` — compare two kernel benchmark baselines and fail on
+//! regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! benchcmp OLD_FILE NEW_FILE [--smoke-tolerant]
+//! ```
+//!
+//! Compares every shared `median_secs` workload and every shared
+//! `kernels.<k>.p99_ns` tail between the two `graphblas-bench/kernels/*`
+//! baselines. Strict mode (the EXPERIMENTS.md protocol for full-scale
+//! baselines) fails on >25% median or >25% p99 growth. `--smoke-tolerant`
+//! (what `scripts/bench.sh --compare --smoke` uses in CI) widens the gate
+//! to >100% median / >200% p99, skips sub-noise-floor values, and treats
+//! a scale/smoke shape mismatch as a skip rather than an error.
+//!
+//! Exits 0 when no gated metric regressed, 1 on regression or malformed
+//! baselines, 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use graphblas_check::benchcmp::{self, Profile};
+
+fn usage() {
+    eprintln!("usage: benchcmp OLD_FILE NEW_FILE [--smoke-tolerant]");
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut profile = Profile::strict();
+    let mut profile_name = "strict";
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "--smoke-tolerant" => {
+                profile = Profile::smoke_tolerant();
+                profile_name = "smoke-tolerant";
+            }
+            _ => files.push(arg),
+        }
+    }
+    let [old_file, new_file] = files.as_slice() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let read = |f: &str| match std::fs::read_to_string(f) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("benchcmp: cannot read {f}: {e}");
+            None
+        }
+    };
+    let (Some(old_text), Some(new_text)) = (read(old_file), read(new_file)) else {
+        return ExitCode::from(2);
+    };
+    let cmp = match benchcmp::compare(&old_text, &new_text, &profile) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("benchcmp: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("benchcmp ({profile_name}): {old_file} -> {new_file}");
+    for note in &cmp.notes {
+        println!("  {note}");
+    }
+    for r in &cmp.regressions {
+        eprintln!("  REGRESSION {r}");
+    }
+    if cmp.passed() {
+        println!(
+            "benchcmp: OK ({} metric(s) compared, none regressed)",
+            cmp.compared
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "benchcmp: FAILED ({} regression(s) of {} metric(s))",
+            cmp.regressions.len(),
+            cmp.compared
+        );
+        ExitCode::FAILURE
+    }
+}

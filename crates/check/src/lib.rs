@@ -31,7 +31,20 @@
 //!    `tracecheck` binary: parses with its own zero-dependency JSON
 //!    parser and replays per-thread `B`/`E` streams to prove balance
 //!    and nesting.
+//!
+//! 5. **[`explain`]** — the matching reader for `GRB_EXPLAIN`
+//!    decision-provenance exports (`graphblas_obs::events`), behind the
+//!    `grbexplain` binary: re-checks the explain/v1 structural
+//!    invariants, renders per-operation narratives with per-reason
+//!    aggregates, and evaluates `--assert reason=<code>,min=<k>` gates.
+//!
+//! 6. **[`benchcmp`]** — baseline-vs-baseline kernel benchmark
+//!    comparison behind the `benchcmp` binary: fails on median or p99
+//!    regressions beyond a threshold (25% strict; `--smoke-tolerant`
+//!    loosens it for noisy CI smoke runs and adds noise floors).
 
+pub mod benchcmp;
+pub mod explain;
 pub mod lint;
 pub mod sched;
 pub mod sync;

@@ -1,6 +1,6 @@
 //! The repo-specific lint pass behind the `grblint` binary.
 //!
-//! Five rules, each encoding a convention this workspace actually relies
+//! Six rules, each encoding a convention this workspace actually relies
 //! on (a general-purpose linter cannot know them):
 //!
 //! * `relaxed-ordering` — `Ordering::Relaxed` is forbidden outside
@@ -23,6 +23,11 @@
 //!   in the kernel files (`spgemm`, `spmv`, `ewise`, `transpose`,
 //!   `convert`, `kron`); in `crates/core` it covers `pub fn`s taking
 //!   `&Descriptor` under `operations/`.
+//! * `decision-without-event` — a runtime choice point that bumps a
+//!   decision counter (`record_direction_pick`, `record_workspace_checkout`)
+//!   must also emit a reason-coded provenance event (`events::decision_*`)
+//!   in the same function body, so `GrB_explain` never silently loses a
+//!   decision the aggregate counters admit to.
 //!
 //! Any rule can be waived at a specific site with a comment
 //! `// grblint: allow(<rule>)` on the same line or in the comment block
@@ -55,6 +60,8 @@ pub enum Rule {
     UndocumentedUnsafe,
     /// Public kernel entry point with no obs span/phase in its body.
     SpanAtKernelBoundary,
+    /// Decision-counter site with no reason-coded event in the same body.
+    DecisionWithoutEvent,
 }
 
 impl Rule {
@@ -66,17 +73,19 @@ impl Rule {
             Rule::GrbErrorType => "grb-error-type",
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::SpanAtKernelBoundary => "span-at-kernel-boundary",
+            Rule::DecisionWithoutEvent => "decision-without-event",
         }
     }
 
     /// All rules, for `--list-rules`.
-    pub fn all() -> [Rule; 5] {
+    pub fn all() -> [Rule; 6] {
         [
             Rule::RelaxedOrdering,
             Rule::NoUnwrap,
             Rule::GrbErrorType,
             Rule::UndocumentedUnsafe,
             Rule::SpanAtKernelBoundary,
+            Rule::DecisionWithoutEvent,
         ]
     }
 
@@ -88,6 +97,9 @@ impl Rule {
             Rule::GrbErrorType => krate == "core",
             Rule::UndocumentedUnsafe => true,
             Rule::SpanAtKernelBoundary => krate == "core" || krate == "sparse",
+            // obs defines the counters and events themselves; everywhere
+            // else a counter bump without an event loses provenance.
+            Rule::DecisionWithoutEvent => krate != "obs",
         }
     }
 }
@@ -210,22 +222,22 @@ const SPARSE_KERNEL_FILES: [&str; 6] = [
 /// named context span, a timeline phase, or the convert-kernel wrapper.
 const SPAN_TOKENS: [&str; 4] = ["kernel_span(", "span_ctx(", "phase(", "with_convert_span("];
 
-/// Whether a `span-at-kernel-boundary` waiver covers the function starting
-/// at `fn_line` (waiver on the signature line or in the contiguous comment
-/// block above it).
-fn span_waived(lines: &[&str], fn_line: usize) -> bool {
-    let (_, comment) = split_comment(lines[fn_line]);
-    if waivers_in(comment).contains(&Rule::SpanAtKernelBoundary) {
+/// Whether a waiver for `rule` covers the site at `line` (waiver on that
+/// line or in the contiguous comment block immediately above it). Used by
+/// the body-scoped passes, whose sites are single statements.
+fn site_waived(lines: &[&str], line: usize, rule: Rule) -> bool {
+    let (_, comment) = split_comment(lines[line]);
+    if waivers_in(comment).contains(&rule) {
         return true;
     }
-    let mut j = fn_line;
+    let mut j = line;
     while j > 0 {
         j -= 1;
         let (pcode, pcomment) = split_comment(lines[j]);
         if !pcode.trim().is_empty() {
             break;
         }
-        if waivers_in(pcomment).contains(&Rule::SpanAtKernelBoundary) {
+        if waivers_in(pcomment).contains(&rule) {
             return true;
         }
         if pcomment.is_empty() {
@@ -233,6 +245,13 @@ fn span_waived(lines: &[&str], fn_line: usize) -> bool {
         }
     }
     false
+}
+
+/// Whether a `span-at-kernel-boundary` waiver covers the function starting
+/// at `fn_line` (waiver on the signature line or in the contiguous comment
+/// block above it).
+fn span_waived(lines: &[&str], fn_line: usize) -> bool {
+    site_waived(lines, fn_line, Rule::SpanAtKernelBoundary)
 }
 
 /// The `span-at-kernel-boundary` pass: function-body scoped, so it runs
@@ -313,6 +332,99 @@ fn lint_span_boundaries(
                 rule: Rule::SpanAtKernelBoundary,
                 snippet: lines[fn_line].trim().chars().take(120).collect(),
             });
+        }
+        i = k.max(open) + 1;
+    }
+}
+
+/// Counter bumps that mark a runtime choice point; each obliges the
+/// enclosing function to emit a reason-coded `events::decision_*` event
+/// (`decision-without-event`). Assembled from pieces so grblint does not
+/// flag its own pattern table.
+fn decision_tokens() -> [String; 2] {
+    [
+        concat!("record_direction_", "pick(").to_string(),
+        concat!("record_workspace_", "checkout(").to_string(),
+    ]
+}
+
+/// Token whose presence in a function body satisfies
+/// `decision-without-event`.
+fn decision_event_token() -> &'static str {
+    concat!("events::", "decision")
+}
+
+/// The `decision-without-event` pass: function-body scoped, like
+/// `lint_span_boundaries`. Any function (public or private) that bumps a
+/// decision counter must also emit a provenance event somewhere in the
+/// same body.
+fn lint_decision_events(file: &str, lines: &[&str], test_start: usize, out: &mut Vec<Violation>) {
+    let tokens = decision_tokens();
+    let mut i = 0;
+    while i < test_start {
+        let (code, _) = split_comment(lines[i]);
+        let t = code.trim_start();
+        let is_fn =
+            t.starts_with("pub fn ") || t.starts_with("pub(crate) fn ") || t.starts_with("fn ");
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        // Find where the body opens (or skip a bodyless declaration).
+        let mut j = i;
+        let mut open = None;
+        while j < test_start {
+            let (c, _) = split_comment(lines[j]);
+            if c.contains('{') {
+                open = Some(j);
+                break;
+            }
+            if c.trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        // Walk the body by brace depth, collecting decision-counter sites
+        // and looking for a provenance event.
+        let mut depth = 0i64;
+        let mut has_event = false;
+        let mut sites: Vec<usize> = Vec::new();
+        let mut k = open;
+        while k < lines.len() {
+            let (c, _) = split_comment(lines[k]);
+            let c = strip_strings(c);
+            let body_part = if k == open {
+                c.split_once('{').map(|x| x.1).unwrap_or("")
+            } else {
+                c.as_str()
+            };
+            if body_part.contains(decision_event_token()) {
+                has_event = true;
+            }
+            if tokens.iter().any(|tok| body_part.contains(tok.as_str())) {
+                sites.push(k);
+            }
+            depth += c.matches('{').count() as i64 - c.matches('}').count() as i64;
+            if depth <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        if !has_event {
+            for site in sites {
+                if !site_waived(lines, site, Rule::DecisionWithoutEvent) {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: site + 1,
+                        rule: Rule::DecisionWithoutEvent,
+                        snippet: lines[site].trim().chars().take(120).collect(),
+                    });
+                }
+            }
         }
         i = k.max(open) + 1;
     }
@@ -438,6 +550,9 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
     }
     if Rule::SpanAtKernelBoundary.applies_to(krate) {
         lint_span_boundaries(krate, file, &lines, test_start, &mut out);
+    }
+    if Rule::DecisionWithoutEvent.applies_to(krate) {
+        lint_decision_events(file, &lines, test_start, &mut out);
     }
     out
 }
@@ -662,6 +777,57 @@ pub fn inner<T>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
             lint_source("sparse", "crates/sparse/src/spmv.rs", waived).len(),
             0
         );
+    }
+
+    #[test]
+    fn decision_counter_without_event_is_flagged() {
+        let bad = "\
+fn choose(nnz: usize, len: usize) -> Direction {
+    let d = pick(nnz, len);
+    graphblas_obs::counters::record_direction_pick(d == Direction::Pull);
+    d
+}
+";
+        let v = lint_source("core", "x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::DecisionWithoutEvent);
+        assert_eq!(v[0].line, 3);
+        // Same body with a provenance event: clean.
+        let good = "\
+fn choose(nnz: usize, len: usize) -> Direction {
+    let d = pick(nnz, len);
+    graphblas_obs::counters::record_direction_pick(d == Direction::Pull);
+    graphblas_obs::events::decision_direction(\"mxv\", 0, d == Direction::Pull, 1, 2, 8);
+    d
+}
+";
+        assert_eq!(lint_source("core", "x.rs", good).len(), 0);
+        // obs itself (counter definitions, self-tests) is exempt.
+        assert_eq!(lint_source("obs", "x.rs", bad).len(), 0);
+    }
+
+    #[test]
+    fn decision_rule_covers_workspace_checkout_and_waivers() {
+        let bad = "\
+pub fn checkout<T>(n: usize) -> Checkout<T> {
+    let hit = try_reuse(n);
+    graphblas_obs::counters::record_workspace_checkout(hit, reused);
+    make(n)
+}
+";
+        let v = lint_source("exec", "x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::DecisionWithoutEvent);
+        // A waiver in the comment block above the site covers it.
+        let waived = "\
+pub fn checkout<T>(n: usize) -> Checkout<T> {
+    let hit = try_reuse(n);
+    // grblint: allow(decision-without-event) — event emitted by caller.
+    graphblas_obs::counters::record_workspace_checkout(hit, reused);
+    make(n)
+}
+";
+        assert_eq!(lint_source("exec", "x.rs", waived).len(), 0);
     }
 
     #[test]

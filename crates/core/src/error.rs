@@ -140,6 +140,19 @@ impl ExecErrorKind {
             ExecErrorKind::EmptyObject => Info::EmptyObject,
         }
     }
+
+    /// Stable kebab-case name, used as the detail string of
+    /// `error-raised` provenance events.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecErrorKind::Panic => "panic",
+            ExecErrorKind::OutOfMemory => "out-of-memory",
+            ExecErrorKind::InsufficientSpace => "insufficient-space",
+            ExecErrorKind::InvalidObject => "invalid-object",
+            ExecErrorKind::IndexOutOfBounds => "index-out-of-bounds",
+            ExecErrorKind::EmptyObject => "empty-object",
+        }
+    }
 }
 
 /// An execution error with its implementation-defined description — the
@@ -157,6 +170,10 @@ impl ExecutionError {
             graphblas_obs::counters::pending()
                 .errors_raised
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            graphblas_obs::events::decision_error_raised(
+                kind.name(),
+                (-(kind.info() as i32)) as u64,
+            );
         }
         ExecutionError {
             kind,

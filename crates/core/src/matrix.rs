@@ -139,6 +139,12 @@ impl<T: ValueType> MatrixState<T> {
     }
     /// Converts the store to CSR in place (sorting rows when `sorted`).
     pub(crate) fn ensure_csr(&mut self, ctx: &Context, sorted: bool) -> GrbResult {
+        let src_format = match &self.store {
+            MatStore::Csr(_) => None,
+            MatStore::Csc(_) => Some("csc"),
+            MatStore::Coo(..) => Some("coo"),
+            MatStore::Dense(_) => Some("dense"),
+        };
         let csr: Arc<Csr<T>> = match &self.store {
             MatStore::Csr(a) => a.clone(),
             MatStore::Csc(c) => Arc::new(c.to_csr(ctx)),
@@ -152,7 +158,8 @@ impl<T: ValueType> MatrixState<T> {
             }
             MatStore::Dense(d) => Arc::new(d.to_csr(ctx)),
         };
-        let csr = if sorted && !csr.is_rows_sorted() {
+        let needs_sort = sorted && !csr.is_rows_sorted();
+        let csr = if needs_sort {
             let mut owned = Arc::try_unwrap(csr).unwrap_or_else(|a| (*a).clone());
             let dups = owned.sort_rows(ctx);
             debug_assert!(!dups, "canonical CSR stores cannot contain duplicates");
@@ -160,6 +167,18 @@ impl<T: ValueType> MatrixState<T> {
         } else {
             csr
         };
+        if graphblas_obs::events::on() {
+            // Emit only when work happened: a store already in (sorted)
+            // CSR form is a no-op, not a conversion decision.
+            if let Some(src) = src_format.or(needs_sort.then_some("unsorted")) {
+                graphblas_obs::events::decision_convert_csr(
+                    "matrix",
+                    ctx.id(),
+                    src,
+                    csr.nnz() as u64,
+                );
+            }
+        }
         self.store = MatStore::Csr(csr);
         self.note_mem(ctx.id());
         self.debug_check();
@@ -183,6 +202,12 @@ impl<T: ValueType> MatrixState<T> {
             if Arc::ptr_eq(key, &src) {
                 if graphblas_obs::enabled() {
                     graphblas_obs::counters::record_transpose_cache(true);
+                    graphblas_obs::events::decision_transpose(
+                        ctx.id(),
+                        true,
+                        "memoized",
+                        src.nnz() as u64,
+                    );
                 }
                 return t.clone();
             }
@@ -191,6 +216,14 @@ impl<T: ValueType> MatrixState<T> {
         let t = Arc::new(graphblas_sparse::transpose::transpose(ctx, &src));
         if graphblas_obs::enabled() {
             graphblas_obs::counters::record_transpose_cache(false);
+            // A rebuild over a present-but-stale memo is the cache
+            // invalidation path (the store Arc changed underneath it).
+            let detail = if self.transpose_cache.is_some() {
+                "invalidated"
+            } else {
+                "cold"
+            };
+            graphblas_obs::events::decision_transpose(ctx.id(), false, detail, src.nnz() as u64);
         }
         self.transpose_cache = Some((src, t.clone()));
         t
@@ -222,19 +255,23 @@ impl<T: ValueType> MatrixState<T> {
                 match stage {
                     Stage::Map(f) => run.push(f),
                     Stage::Opaque(f) => {
-                        self.flush_map_run(ctx, &mut run)?;
+                        self.flush_map_run(ctx, &mut run, "opaque-barrier")?;
                         if obs_on {
                             // grblint: allow(relaxed-ordering) — monotonic obs counter.
                             graphblas_obs::counters::pending()
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            graphblas_obs::events::decision_opaque_drain(
+                                "matrix.drain",
+                                ctx.id(),
+                            );
                         }
                         let _ph = graphblas_obs::timeline::phase("drain.opaque");
                         f(self)?;
                     }
                 }
             }
-            self.flush_map_run(ctx, &mut run)
+            self.flush_map_run(ctx, &mut run, "queue-end")
         })();
         if let Err(e) = &result {
             if let Error::Execution(exec) = e {
@@ -246,6 +283,7 @@ impl<T: ValueType> MatrixState<T> {
                     graphblas_obs::counters::pending()
                         .errors_deferred
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::events::decision_error_deferred("matrix.drain", ctx.id());
                 }
             }
             self.pending.clear();
@@ -305,7 +343,12 @@ impl<T: ValueType> MatrixState<T> {
         }
     }
 
-    fn flush_map_run(&mut self, ctx: &Context, run: &mut Vec<MapFn<T>>) -> GrbResult {
+    fn flush_map_run(
+        &mut self,
+        ctx: &Context,
+        run: &mut Vec<MapFn<T>>,
+        trigger: &'static str,
+    ) -> GrbResult {
         if run.is_empty() {
             return Ok(());
         }
@@ -323,6 +366,15 @@ impl<T: ValueType> MatrixState<T> {
         }
         self.ensure_csr(ctx, false)?;
         let nnz_in = if sp.active() { self.csr().nnz() as u64 } else { 0 };
+        if graphblas_obs::events::on() {
+            graphblas_obs::events::decision_fuse_flush(
+                "matrix.drain",
+                ctx.id(),
+                run.len() as u64,
+                nnz_in,
+                trigger,
+            );
+        }
         let fused = self
             .csr()
             .filter_map_with_index(ctx, |i, j, v| fuse_maps(run, &[i, j], v));
@@ -713,6 +765,13 @@ impl<T: ValueType> Matrix<T> {
             failed: st.err.is_some(),
             ctx: ctx_id,
         }
+    }
+
+    /// `GrB_explain`-style decision provenance scoped to this matrix's
+    /// context subtree (decisions are attributed per context, not per
+    /// container). Does not force completion.
+    pub fn explain(&self, last_n: usize) -> graphblas_obs::Explain {
+        self.context().explain(last_n)
     }
 
     /// `GrB_error`: the implementation-defined description of this

@@ -54,11 +54,19 @@ pub fn force_direction(d: Option<Direction>) {
     FORCE_DIRECTION.store(v, Ordering::SeqCst);
 }
 
+/// The Beamer density threshold denominator: the heuristic pulls once
+/// `frontier_nnz * PULL_THRESHOLD_DEN >= frontier_len`, i.e. once the
+/// frontier holds at least `1 / PULL_THRESHOLD_DEN` of the vertices.
+/// Decision events carry this value so an explain log is self-contained.
+pub const PULL_THRESHOLD_DEN: u64 = 8;
+
 /// Beamer-style direction choice: pull once the frontier holds at least
-/// 1/8 of the vertices, push below that. An empty frontier takes
-/// `no_transpose` — whichever direction runs on the matrix's stored
-/// orientation — so degenerate calls never build `Aᵀ`.
+/// 1/[`PULL_THRESHOLD_DEN`] of the vertices, push below that. An empty
+/// frontier takes `no_transpose` — whichever direction runs on the
+/// matrix's stored orientation — so degenerate calls never build `Aᵀ`.
 fn choose_direction(
+    op: &'static str,
+    ctx_id: u64,
     frontier_nnz: usize,
     frontier_len: usize,
     no_transpose: Direction,
@@ -68,7 +76,7 @@ fn choose_direction(
         2 => Direction::Pull,
         _ if frontier_nnz == 0 => no_transpose,
         _ => {
-            if frontier_nnz * 8 >= frontier_len {
+            if frontier_nnz as u64 * PULL_THRESHOLD_DEN >= frontier_len as u64 {
                 Direction::Pull
             } else {
                 Direction::Push
@@ -77,6 +85,14 @@ fn choose_direction(
     };
     if graphblas_obs::enabled() {
         graphblas_obs::counters::record_direction_pick(d == Direction::Pull);
+        graphblas_obs::events::decision_direction(
+            op,
+            ctx_id,
+            d == Direction::Pull,
+            frontier_nnz as u64,
+            frontier_len as u64,
+            PULL_THRESHOLD_DEN,
+        );
     }
     d
 }
@@ -121,7 +137,7 @@ where
         Direction::Pull
     };
     let pick = graphblas_obs::timeline::phase("mxv.pick");
-    let dir = choose_direction(u_s.nnz(), u_s.len(), natural);
+    let dir = choose_direction("mxv", ctx.id(), u_s.nnz(), u_s.len(), natural);
     let a_s = match dir {
         Direction::Pull => snapshot_operand(a, &ctx, desc.transpose_a, false)?,
         Direction::Push => snapshot_operand(a, &ctx, !desc.transpose_a, false)?,
@@ -213,7 +229,7 @@ where
         Direction::Push
     };
     let pick = graphblas_obs::timeline::phase("mxv.pick");
-    let dir = choose_direction(u_s.nnz(), u_s.len(), natural);
+    let dir = choose_direction("vxm", ctx.id(), u_s.nnz(), u_s.len(), natural);
     let a_s = match dir {
         Direction::Push => snapshot_operand(a, &ctx, desc.transpose_b, false)?,
         Direction::Pull => snapshot_operand(a, &ctx, !desc.transpose_b, false)?,

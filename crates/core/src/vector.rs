@@ -96,11 +96,15 @@ impl<T: ValueType> VectorState<T> {
     }
     /// Canonicalizes to a sorted, duplicate-free sparse store.
     pub(crate) fn ensure_sparse(&mut self) -> GrbResult {
+        // Which real work the canonicalization did, for the provenance
+        // log (vectors carry no Context at this layer, hence ctx 0).
+        let mut src_format: Option<&'static str> = None;
         let sv: Arc<SparseVec<T>> = match &self.store {
             VecStore::Sparse(a) => {
                 if a.is_sorted() {
                     a.clone()
                 } else {
+                    src_format = Some("unsorted");
                     let mut owned = (**a).clone();
                     owned
                         .sort_dedup(Some(&|_: &T, b: &T| b.clone()))
@@ -108,8 +112,21 @@ impl<T: ValueType> VectorState<T> {
                     Arc::new(owned)
                 }
             }
-            VecStore::Dense(d) => Arc::new(d.to_sparse()),
+            VecStore::Dense(d) => {
+                src_format = Some("dense");
+                Arc::new(d.to_sparse())
+            }
         };
+        if let Some(src) = src_format {
+            if graphblas_obs::events::on() {
+                graphblas_obs::events::decision_convert_sparse(
+                    "vector",
+                    0,
+                    src,
+                    sv.nnz() as u64,
+                );
+            }
+        }
         self.store = VecStore::Sparse(sv);
         self.debug_check();
         Ok(())
@@ -189,19 +206,23 @@ impl<T: ValueType> VectorState<T> {
                 match stage {
                     Stage::Map(f) => run.push(f),
                     Stage::Opaque(f) => {
-                        self.flush_map_run(ctx, &mut run)?;
+                        self.flush_map_run(ctx, &mut run, "opaque-barrier")?;
                         if obs_on {
                             // grblint: allow(relaxed-ordering) — monotonic obs counter.
                             graphblas_obs::counters::pending()
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            graphblas_obs::events::decision_opaque_drain(
+                                "vector.drain",
+                                ctx.id(),
+                            );
                         }
                         let _ph = graphblas_obs::timeline::phase("drain.opaque");
                         f(self)?;
                     }
                 }
             }
-            self.flush_map_run(ctx, &mut run)
+            self.flush_map_run(ctx, &mut run, "queue-end")
         })();
         if let Err(e) = &result {
             if let Error::Execution(exec) = e {
@@ -211,6 +232,7 @@ impl<T: ValueType> VectorState<T> {
                     graphblas_obs::counters::pending()
                         .errors_deferred
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::events::decision_error_deferred("vector.drain", ctx.id());
                 }
             }
             self.pending.clear();
@@ -220,7 +242,12 @@ impl<T: ValueType> VectorState<T> {
         result
     }
 
-    fn flush_map_run(&mut self, ctx: &Context, run: &mut Vec<MapFn<T>>) -> GrbResult {
+    fn flush_map_run(
+        &mut self,
+        ctx: &Context,
+        run: &mut Vec<MapFn<T>>,
+        trigger: &'static str,
+    ) -> GrbResult {
         if run.is_empty() {
             return Ok(());
         }
@@ -236,6 +263,15 @@ impl<T: ValueType> VectorState<T> {
         }
         self.ensure_sparse()?;
         let nnz_in = if sp.active() { self.sparse().nnz() as u64 } else { 0 };
+        if graphblas_obs::events::on() {
+            graphblas_obs::events::decision_fuse_flush(
+                "vector.drain",
+                ctx.id(),
+                run.len() as u64,
+                nnz_in,
+                trigger,
+            );
+        }
         let fused = self
             .sparse()
             .filter_map_with_index(|i, v| fuse_maps(run, &[i], v));
@@ -506,6 +542,12 @@ impl<T: ValueType> Vector<T> {
             failed: st.err.is_some(),
             ctx: ctx_id,
         }
+    }
+
+    /// `GrB_explain`-style decision provenance scoped to this vector's
+    /// context subtree (see [`Matrix::explain`](crate::matrix::Matrix::explain)).
+    pub fn explain(&self, last_n: usize) -> graphblas_obs::Explain {
+        self.context().explain(last_n)
     }
 
     /// `GrB_error`.

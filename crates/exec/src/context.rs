@@ -198,6 +198,24 @@ impl Context {
         }
         graphblas_obs::ctxreg::context_stats(self.inner.id)
     }
+
+    /// `GrB_explain`-style decision provenance: the last `last_n` reason-
+    /// coded runtime decisions attributed to this context or any
+    /// descendant, plus per-reason counts over that scope. Registers the
+    /// ancestry chain on demand (like [`Context::stats`]) so subtree
+    /// membership resolves even for contexts created with telemetry off.
+    pub fn explain(&self, last_n: usize) -> graphblas_obs::Explain {
+        let mut chain: Vec<&Context> = Vec::new();
+        let mut cur = Some(self);
+        while let Some(ctx) = cur {
+            chain.push(ctx);
+            cur = ctx.inner.parent.as_ref();
+        }
+        for ctx in chain.into_iter().rev() {
+            ctx.register_with_obs();
+        }
+        graphblas_obs::events::explain_for_subtree(self.inner.id, last_n)
+    }
 }
 
 static GLOBAL_CONTEXT: RwLock<Option<Context>> = RwLock::new(None);

@@ -202,6 +202,37 @@ pub fn context_stats(id: u64) -> Option<ContextStats> {
     all_context_stats().into_iter().find(|c| c.id == id)
 }
 
+/// `root` plus every registered context whose ancestor chain reaches it
+/// (the subtree the §IV rollups aggregate over). Contains just `root`
+/// when nothing else is registered under it — including when `root`
+/// itself was never registered. Used by `events::explain_for_subtree` to
+/// scope decision history to one context tree.
+pub fn subtree_ids(root: u64) -> Vec<u64> {
+    with_registry(|reg| {
+        let mut out = vec![root];
+        for (&id, e) in reg.iter() {
+            if id == root {
+                continue;
+            }
+            let mut cur = e.parent;
+            let mut hops = 0;
+            while cur != 0 && hops < MAX_CONTEXTS {
+                if cur == root {
+                    out.push(id);
+                    break;
+                }
+                match reg.get(&cur) {
+                    Some(p) if p.parent != cur => cur = p.parent,
+                    _ => break,
+                }
+                hops += 1;
+            }
+        }
+        out.sort_unstable();
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +259,20 @@ mod tests {
         let leaf = context_stats(base + 3).unwrap();
         assert_eq!(leaf.rolled.nanos, 40);
         assert_eq!(leaf.parent, base + 2);
+    }
+
+    #[test]
+    fn subtree_ids_follow_parent_links() {
+        let base = 4_000_000_000;
+        register_context(base + 1, 0, Some("root"));
+        register_context(base + 2, base + 1, None);
+        register_context(base + 3, base + 2, None);
+        register_context(base + 9, 0, Some("other"));
+        let ids = subtree_ids(base + 1);
+        assert!(ids.contains(&(base + 1)) && ids.contains(&(base + 2)) && ids.contains(&(base + 3)));
+        assert!(!ids.contains(&(base + 9)));
+        // An unregistered root still names itself.
+        assert_eq!(subtree_ids(base + 77), vec![base + 77]);
     }
 
     #[test]

@@ -51,6 +51,7 @@ use std::sync::OnceLock;
 
 pub mod counters;
 pub mod ctxreg;
+pub mod events;
 pub mod hist;
 pub mod json;
 pub mod mem;
@@ -60,6 +61,9 @@ pub mod timeline;
 
 pub use counters::{Kernel, KernelTotals, PendingTotals, PoolTotals, KERNEL_COUNT};
 pub use ctxreg::{register_context, ContextStats, CtxTotals};
+pub use events::{
+    write_explain_if_requested, DecisionEvent, Explain, Reason, REASON_COUNT,
+};
 pub use hist::{HistTotals, KernelHist};
 pub use json::JsonWriter;
 pub use mem::MemTotals;
@@ -88,8 +92,13 @@ fn flags() -> &'static Flags {
         let trace = std::env::var("GRB_TRACE")
             .map(|v| !v.is_empty())
             .unwrap_or(false);
+        // Same for an explain-export request: decision events only exist
+        // while telemetry is collecting.
+        let explain = std::env::var("GRB_EXPLAIN")
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
         Flags {
-            enabled: AtomicBool::new(burble || trace || env_truthy("GRB_OBS")),
+            enabled: AtomicBool::new(burble || trace || explain || env_truthy("GRB_OBS")),
             burble: AtomicBool::new(burble),
         }
     })
@@ -134,6 +143,7 @@ pub fn reset() {
     hist::reset();
     span::reset_events();
     timeline::reset();
+    events::reset();
     ctxreg::reset_totals();
     mem::reset_high_water();
 }

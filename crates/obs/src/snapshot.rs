@@ -6,6 +6,7 @@ use crate::counters::{
     self, DirectionTotals, KernelTotals, PendingTotals, PoolTotals, WorkspaceTotals,
 };
 use crate::ctxreg::{self, ContextStats};
+use crate::events::{self, Reason};
 use crate::hist::{self, HistTotals, KernelHist};
 use crate::json::JsonWriter;
 use crate::mem::{self, MemTotals};
@@ -37,6 +38,11 @@ pub struct Snapshot {
     /// Total events ever recorded (≥ `events.len()`; the excess was
     /// overwritten in the ring).
     pub events_total: u64,
+    /// Lifetime decision counts per reason code (`obs::events`), in
+    /// [`Reason::all`] order.
+    pub decisions: Vec<(Reason, u64)>,
+    /// Total decision events ever recorded.
+    pub decisions_total: u64,
 }
 
 /// Captures the current telemetry state. Counter families are read
@@ -56,6 +62,8 @@ pub fn snapshot() -> Snapshot {
         contexts: ctxreg::all_context_stats(),
         events,
         events_total,
+        decisions: events::reason_counts(),
+        decisions_total: events::total(),
     }
 }
 
@@ -214,6 +222,19 @@ impl Snapshot {
         }
         w.end_array();
 
+        // Reason-coded decision aggregates (`obs::events`): lifetime
+        // counts per choice point, the summary `grbexplain` cross-checks
+        // against the full GRB_EXPLAIN export.
+        w.key("decisions");
+        w.begin_object();
+        for (r, c) in &self.decisions {
+            w.key(r.code());
+            w.number(*c);
+        }
+        w.end_object();
+        w.key("decisions_total");
+        w.number(self.decisions_total);
+
         w.key("events_total");
         w.number(self.events_total);
         if include_events {
@@ -284,8 +305,13 @@ mod tests {
         assert!(json.contains("\"p50_ns\""));
         assert!(json.contains("\"p99_ns\""));
         assert!(json.contains("\"contexts\""));
+        assert!(json.contains("\"decisions\""));
+        assert!(json.contains("\"direction-pull\""));
+        assert!(json.contains("\"fuse-flush\""));
+        assert!(json.contains("\"decisions_total\""));
         let brief = snap.to_json_with(false);
         assert!(!brief.contains("\"events\":["));
+        assert!(brief.contains("\"decisions\""));
     }
 
     #[test]

@@ -67,6 +67,15 @@ where
     // generation-stamped position table out of the thread's workspace
     // cache instead of allocating `vec![None; n]` per call.
     let dense = x.nnz() == x.len() && x.is_sorted();
+    if graphblas_obs::events::on() {
+        graphblas_obs::events::decision_kernel_path(
+            "spmv",
+            ctx.id(),
+            if dense { "dense-frontier" } else { "sparse-frontier" },
+            x.nnz() as u64,
+            x.len() as u64,
+        );
+    }
     let table_ws: Option<workspace::Checkout<MarkTable>> = if dense {
         None
     } else {

@@ -23,25 +23,43 @@ cargo run -q -p graphblas-check --bin grblint -- .
 cargo test -q -p graphblas-check --test model_pool --test model_channels \
     --test model_pending --test model_fig1 --test model_transpose_cache
 
-# Kernel benchmark baseline smoke: a bounded bench.sh run must succeed and
-# leave well-formed BENCH_kernels.json and BENCH_obs.json behind (medians +
+# Kernel benchmark baseline smoke: a bounded bench.sh run must succeed,
+# pass the benchcmp regression gate against the committed smoke baseline
+# (--compare; tolerant profile), and leave well-formed
+# BENCH_kernels_smoke.json and BENCH_obs.json behind (medians +
 # workspace/direction counters + per-kernel latency percentiles + memory
-# gauges). The run also exports its per-thread timeline via GRB_TRACE; the
-# tracecheck reader proves the Chrome trace is balanced, properly nested,
-# multi-threaded, and covers the spgemm/mxv kernel phases.
+# gauges + per-reason decision aggregates). The run also exports its
+# per-thread timeline via GRB_TRACE and its decision-provenance log via
+# GRB_EXPLAIN; the tracecheck reader proves the Chrome trace is balanced,
+# properly nested, multi-threaded, and covers the spgemm/mxv kernel
+# phases, and the grbexplain reader proves the run actually recorded the
+# paper's choice points: at least one direction pick, one workspace hit,
+# and one fused map flush.
 trace_file="$(mktemp -t grb_trace.XXXXXX.json)"
-trap 'rm -f "$trace_file"' EXIT
-GRB_TRACE="$trace_file" scripts/bench.sh --smoke
-for f in BENCH_kernels.json BENCH_obs.json; do
+explain_file="$(mktemp -t grb_explain.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$explain_file"' EXIT
+GRB_TRACE="$trace_file" GRB_EXPLAIN="$explain_file" scripts/bench.sh --smoke --compare
+for f in BENCH_kernels_smoke.json BENCH_obs.json; do
     [ -s "$f" ] || { echo "check: $f missing or empty" >&2; exit 1; }
     case "$(head -c 1 "$f")" in
         "{") ;;
         *) echo "check: $f is not a JSON object" >&2; exit 1 ;;
     esac
 done
-for key in '"pagerank"' '"bfs"' '"spgemm"' '"workspace"' '"direction"' '"median_secs"' \
-           '"kernels"' '"p50_ns"' '"p99_ns"' '"mem"' '"container_high_bytes"'; do
-    grep -q "$key" BENCH_kernels.json \
-        || { echo "check: BENCH_kernels.json lacks $key" >&2; exit 1; }
+for key in '"pagerank"' '"bfs"' '"spgemm"' '"fused_apply"' '"workspace"' '"direction"' \
+           '"median_secs"' '"kernels"' '"p50_ns"' '"p99_ns"' '"mem"' \
+           '"container_high_bytes"'; do
+    grep -q "$key" BENCH_kernels_smoke.json \
+        || { echo "check: BENCH_kernels_smoke.json lacks $key" >&2; exit 1; }
+done
+for key in '"kernels"' '"pending"' '"pool"' '"workspace"' '"direction"' '"mem"' \
+           '"contexts"' '"decisions"' '"decisions_total"' '"events_total"' \
+           '"container_high_bytes"' '"p50_ns"' '"p99_ns"' '"fusion_hits"'; do
+    grep -q "$key" BENCH_obs.json \
+        || { echo "check: BENCH_obs.json lacks $key" >&2; exit 1; }
 done
 cargo run -q -p graphblas-check --bin tracecheck -- "$trace_file" --require-kernels
+cargo run -q -p graphblas-check --bin grbexplain -- "$explain_file" \
+    --assert reason=direction-pick,min=1 \
+    --assert reason=workspace-hit,min=1 \
+    --assert reason=fuse-flush,min=1
