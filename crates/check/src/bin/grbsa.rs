@@ -1,0 +1,128 @@
+//! `grbsa` — source-model static analysis for the graphblas workspace:
+//! lock-order cycle detection, condvar wait-while-holding, and the
+//! atomics-ordering audit against the declared protocol table.
+//!
+//! Usage:
+//!
+//! ```text
+//! grbsa [ROOT]          analyze the workspace at ROOT (default: .)
+//! grbsa --json [ROOT]   emit findings as graphblas-check/findings/v1 JSON
+//! grbsa --verbose       also print model statistics and the lock graph
+//! grbsa --list-rules    print the rules and exit
+//! grbsa --protocols     print the atomics protocol table and exit
+//! ```
+//!
+//! Exits 0 when no unwaived findings exist, 1 otherwise, 2 on usage or
+//! I/O errors. Waive a finding in-source with a block-scoped
+//! `// grbsa: allow(rule-slug)`; classify a Relaxed site with
+//! `// grbsa: protocol(name)`. Stale annotations are themselves
+//! findings.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphblas_check::report::{findings_json, JsonFinding};
+use graphblas_check::sa::{self, atomics, Rule};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: grbsa [--json] [--verbose] [ROOT] | grbsa --list-rules | grbsa --protocols"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        for r in Rule::all() {
+            println!("{}", r.slug());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--protocols") {
+        for (name, relaxed_ok) in atomics::PROTOCOLS {
+            println!(
+                "{name}: Relaxed {}",
+                if *relaxed_ok { "sanctioned" } else { "forbidden" }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    args.retain(|a| a != "--json" && a != "--verbose");
+    if args.len() > 1 {
+        eprintln!("usage: grbsa [--json] [--verbose] [ROOT]");
+        return ExitCode::from(2);
+    }
+    let root = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let analysis = match sa::analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("grbsa: error scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        let findings: Vec<JsonFinding> = analysis
+            .findings
+            .iter()
+            .map(|f| JsonFinding {
+                rule: f.rule.slug().to_string(),
+                file: f.file.clone(),
+                line: f.line,
+                message: f.message.clone(),
+                witness: f.witness.clone(),
+            })
+            .collect();
+        print!("{}", findings_json("grbsa", &findings));
+    } else {
+        if verbose {
+            let s = &analysis.stats;
+            println!(
+                "grbsa model: {} files, {} fns, {} locks, {} condvars, {} atomics, \
+                 {} acquisitions, {} atomic sites, calls {} resolved / {} skipped",
+                s.files,
+                s.fns,
+                s.locks,
+                s.condvars,
+                s.atomics,
+                s.acquire_events,
+                s.atomic_sites,
+                s.calls_resolved,
+                s.calls_skipped
+            );
+            for e in &analysis.graph.edges {
+                let via = if e.via.is_empty() {
+                    String::new()
+                } else {
+                    format!(" via {}", e.via.join(" -> "))
+                };
+                println!(
+                    "  lock-order: {} -> {} ({}:{} in {}{})",
+                    e.from, e.to, e.file, e.line, e.in_fn, via
+                );
+            }
+        }
+        for f in &analysis.findings {
+            println!("{}", sa::render(f));
+        }
+        if analysis.findings.is_empty() {
+            println!(
+                "grbsa: clean ({} rules, {} waived)",
+                Rule::all().len(),
+                analysis.waived
+            );
+        } else {
+            println!("grbsa: {} finding(s)", analysis.findings.len());
+        }
+    }
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

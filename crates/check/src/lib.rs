@@ -23,8 +23,17 @@
 //!    `scripts/check.sh`: forbids `Ordering::Relaxed` outside the obs
 //!    counters, `unwrap`/`expect` in core/sparse non-test code, fallible
 //!    public core APIs that bypass the `GrB_Info` error type, `unsafe`
-//!    blocks without `// SAFETY:` comments, and kernel/operation entry
-//!    points without a telemetry span.
+//!    blocks without `// SAFETY:` comments, kernel/operation entry
+//!    points without a telemetry span, and stale waivers that no longer
+//!    suppress anything.
+//!
+//! 3b. **[`sa`]** — source-model static analysis behind the `grbsa`
+//!    binary: a hand-rolled lexer and lightweight semantic model
+//!    (declarations, function bodies, call edges) powering a lock-order
+//!    cycle detector (potential-deadlock witnesses as `file:line`
+//!    chains) and an atomics-ordering audit against the declared
+//!    publish/consume protocol table. Shares [`report`]'s JSON findings
+//!    schema with `grblint`.
 //!
 //! 4. **[`trace`]** — an independent reader for the Chrome-trace JSON
 //!    that `GRB_TRACE` emits (`graphblas_obs::timeline`), behind the
@@ -46,6 +55,8 @@
 pub mod benchcmp;
 pub mod explain;
 pub mod lint;
+pub mod report;
+pub mod sa;
 pub mod sched;
 pub mod sync;
 pub mod trace;

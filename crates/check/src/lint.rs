@@ -36,12 +36,19 @@
 //! are deliberate — each one is a reviewed justification, greppable via
 //! `grblint:`.
 //!
+//! Waivers are themselves checked (`stale-waiver`): one that suppresses
+//! nothing — because the code it excused was since fixed or removed, or
+//! because it names no known rule — is reported, so the waiver inventory
+//! never outlives the exceptions it documents. Doc comments (`///`,
+//! `//!`) never arm a waiver: prose *about* the waiver syntax is not a
+//! waiver.
+//!
 //! The pass is textual (line-oriented with comment/test stripping), not
 //! syntactic: it trades a parser for zero dependencies and for speed, and
 //! the rules are chosen so that textual matching has no false negatives on
 //! this codebase's idiom. False positives are what waivers are for.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
 use std::io;
@@ -62,6 +69,8 @@ pub enum Rule {
     SpanAtKernelBoundary,
     /// Decision-counter site with no reason-coded event in the same body.
     DecisionWithoutEvent,
+    /// A `grblint: allow(...)` that suppresses nothing (or names no rule).
+    StaleWaiver,
 }
 
 impl Rule {
@@ -74,11 +83,12 @@ impl Rule {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::SpanAtKernelBoundary => "span-at-kernel-boundary",
             Rule::DecisionWithoutEvent => "decision-without-event",
+            Rule::StaleWaiver => "stale-waiver",
         }
     }
 
     /// All rules, for `--list-rules`.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::RelaxedOrdering,
             Rule::NoUnwrap,
@@ -86,6 +96,7 @@ impl Rule {
             Rule::UndocumentedUnsafe,
             Rule::SpanAtKernelBoundary,
             Rule::DecisionWithoutEvent,
+            Rule::StaleWaiver,
         ]
     }
 
@@ -100,6 +111,7 @@ impl Rule {
             // obs defines the counters and events themselves; everywhere
             // else a counter bump without an event loses provenance.
             Rule::DecisionWithoutEvent => krate != "obs",
+            Rule::StaleWaiver => true,
         }
     }
 }
@@ -174,9 +186,17 @@ fn strip_strings(code: &str) -> String {
     out
 }
 
-/// Parses `grblint: allow(rule-a, rule-b)` waivers out of a comment.
-fn waivers_in(comment: &str) -> Vec<Rule> {
+/// Parses `grblint: allow(rule-a, rule-b)` clauses out of a comment,
+/// returning each name with its resolved rule (`None` for names that
+/// match no rule — including `stale-waiver`, which is a meta-rule about
+/// waivers and cannot itself be waived). Doc comments (`///`, `//!`)
+/// never arm a waiver: prose describing the syntax is not a waiver.
+fn parse_waivers(comment: &str) -> Vec<(String, Option<Rule>)> {
     let mut out = Vec::new();
+    let t = comment.trim_start();
+    if t.starts_with("///") || t.starts_with("//!") {
+        return out;
+    }
     let Some(pos) = comment.find("grblint: allow(") else {
         return out;
     };
@@ -186,13 +206,23 @@ fn waivers_in(comment: &str) -> Vec<Rule> {
     };
     for name in rest[..end].split(',') {
         let name = name.trim();
-        for r in Rule::all() {
-            if r.slug() == name {
-                out.push(r);
-            }
+        if name.is_empty() {
+            continue;
         }
+        let rule = Rule::all()
+            .into_iter()
+            .find(|r| r.slug() == name && *r != Rule::StaleWaiver);
+        out.push((name.to_string(), rule));
     }
     out
+}
+
+/// The waived rules named by a comment (resolved names only).
+fn waivers_in(comment: &str) -> Vec<Rule> {
+    parse_waivers(comment)
+        .into_iter()
+        .filter_map(|(_, r)| r)
+        .collect()
 }
 
 /// Whether a code line ends the current statement (for waiver scope).
@@ -222,13 +252,14 @@ const SPARSE_KERNEL_FILES: [&str; 6] = [
 /// named context span, a timeline phase, or the convert-kernel wrapper.
 const SPAN_TOKENS: [&str; 4] = ["kernel_span(", "span_ctx(", "phase(", "with_convert_span("];
 
-/// Whether a waiver for `rule` covers the site at `line` (waiver on that
-/// line or in the contiguous comment block immediately above it). Used by
+/// Finds a waiver for `rule` covering the site at `line` (waiver on that
+/// line or in the contiguous comment block immediately above it) and
+/// returns the waiver's line index, for used-waiver bookkeeping. Used by
 /// the body-scoped passes, whose sites are single statements.
-fn site_waived(lines: &[&str], line: usize, rule: Rule) -> bool {
+fn site_waiver(lines: &[&str], line: usize, rule: Rule) -> Option<usize> {
     let (_, comment) = split_comment(lines[line]);
     if waivers_in(comment).contains(&rule) {
-        return true;
+        return Some(line);
     }
     let mut j = line;
     while j > 0 {
@@ -238,20 +269,13 @@ fn site_waived(lines: &[&str], line: usize, rule: Rule) -> bool {
             break;
         }
         if waivers_in(pcomment).contains(&rule) {
-            return true;
+            return Some(j);
         }
         if pcomment.is_empty() {
             break;
         }
     }
-    false
-}
-
-/// Whether a `span-at-kernel-boundary` waiver covers the function starting
-/// at `fn_line` (waiver on the signature line or in the contiguous comment
-/// block above it).
-fn span_waived(lines: &[&str], fn_line: usize) -> bool {
-    site_waived(lines, fn_line, Rule::SpanAtKernelBoundary)
+    None
 }
 
 /// The `span-at-kernel-boundary` pass: function-body scoped, so it runs
@@ -263,6 +287,7 @@ fn lint_span_boundaries(
     file: &str,
     lines: &[&str],
     test_start: usize,
+    used: &mut HashSet<(usize, Rule)>,
     out: &mut Vec<Violation>,
 ) {
     let norm = file.replace('\\', "/");
@@ -325,13 +350,18 @@ fn lint_span_boundaries(
             }
             k += 1;
         }
-        if sig.contains(marker) && !has_span && !span_waived(lines, fn_line) {
-            out.push(Violation {
-                file: file.to_string(),
-                line: fn_line + 1,
-                rule: Rule::SpanAtKernelBoundary,
-                snippet: lines[fn_line].trim().chars().take(120).collect(),
-            });
+        if sig.contains(marker) && !has_span {
+            match site_waiver(lines, fn_line, Rule::SpanAtKernelBoundary) {
+                Some(w) => {
+                    used.insert((w, Rule::SpanAtKernelBoundary));
+                }
+                None => out.push(Violation {
+                    file: file.to_string(),
+                    line: fn_line + 1,
+                    rule: Rule::SpanAtKernelBoundary,
+                    snippet: lines[fn_line].trim().chars().take(120).collect(),
+                }),
+            }
         }
         i = k.max(open) + 1;
     }
@@ -358,7 +388,13 @@ fn decision_event_token() -> &'static str {
 /// `lint_span_boundaries`. Any function (public or private) that bumps a
 /// decision counter must also emit a provenance event somewhere in the
 /// same body.
-fn lint_decision_events(file: &str, lines: &[&str], test_start: usize, out: &mut Vec<Violation>) {
+fn lint_decision_events(
+    file: &str,
+    lines: &[&str],
+    test_start: usize,
+    used: &mut HashSet<(usize, Rule)>,
+    out: &mut Vec<Violation>,
+) {
     let tokens = decision_tokens();
     let mut i = 0;
     while i < test_start {
@@ -416,13 +452,16 @@ fn lint_decision_events(file: &str, lines: &[&str], test_start: usize, out: &mut
         }
         if !has_event {
             for site in sites {
-                if !site_waived(lines, site, Rule::DecisionWithoutEvent) {
-                    out.push(Violation {
+                match site_waiver(lines, site, Rule::DecisionWithoutEvent) {
+                    Some(w) => {
+                        used.insert((w, Rule::DecisionWithoutEvent));
+                    }
+                    None => out.push(Violation {
                         file: file.to_string(),
                         line: site + 1,
                         rule: Rule::DecisionWithoutEvent,
                         snippet: lines[site].trim().chars().take(120).collect(),
-                    });
+                    }),
                 }
             }
         }
@@ -443,7 +482,24 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
         .position(|l| l.trim() == "#[cfg(test)]")
         .unwrap_or(lines.len());
 
-    let mut armed: HashSet<Rule> = HashSet::new();
+    // Waiver bookkeeping for stale detection: every waiver site parsed
+    // anywhere in the file, the subset that actually suppressed a
+    // violation, and allow() names resolving to no rule.
+    let mut waiver_sites: Vec<(usize, Rule)> = Vec::new();
+    let mut unknown_names: Vec<(usize, String)> = Vec::new();
+    let mut used: HashSet<(usize, Rule)> = HashSet::new();
+    for (idx, raw) in lines.iter().enumerate().take(test_start) {
+        let (_, comment) = split_comment(raw);
+        for (name, rule) in parse_waivers(comment) {
+            match rule {
+                Some(r) => waiver_sites.push((idx, r)),
+                None => unknown_names.push((idx, name)),
+            }
+        }
+    }
+
+    // Armed waivers: rule -> line index of the arming comment.
+    let mut armed: HashMap<Rule, usize> = HashMap::new();
     // grb-error-type needs multi-line signatures: accumulate from `pub fn`
     // until the body opens.
     let mut sig: Option<(usize, String)> = None;
@@ -452,7 +508,7 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
         let lineno = idx + 1;
         let (code, comment) = split_comment(raw);
         for w in waivers_in(comment) {
-            armed.insert(w);
+            armed.insert(w, idx);
         }
         let code = strip_strings(code);
         let code = code.as_str();
@@ -461,27 +517,32 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
             continue; // pure comment / blank: waivers stay armed
         }
 
-        let mut report = |rule: Rule, armed: &HashSet<Rule>| {
-            if rule.applies_to(krate) && !armed.contains(&rule) {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: lineno,
-                    rule,
-                    snippet: raw.trim().chars().take(120).collect(),
-                });
+        let mut report = |rule: Rule, armed: &HashMap<Rule, usize>, used: &mut HashSet<(usize, Rule)>| {
+            if !rule.applies_to(krate) {
+                return;
             }
+            if let Some(&w) = armed.get(&rule) {
+                used.insert((w, rule));
+                return;
+            }
+            out.push(Violation {
+                file: file.to_string(),
+                line: lineno,
+                rule,
+                snippet: raw.trim().chars().take(120).collect(),
+            });
         };
 
         // relaxed-ordering: flags uses *and* imports.
         if code.contains(relaxed_pattern()) {
-            report(Rule::RelaxedOrdering, &armed);
+            report(Rule::RelaxedOrdering, &armed, &mut used);
         }
 
         // no-unwrap: debug_assert lines are the sanctioned panic.
         if (code.contains(".unwrap()") || code.contains(".expect("))
             && !code.contains("debug_assert")
         {
-            report(Rule::NoUnwrap, &armed);
+            report(Rule::NoUnwrap, &armed, &mut used);
         }
 
         // undocumented-unsafe: look for a SAFETY comment on this line or in
@@ -509,7 +570,7 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
                 }
             }
             if !documented {
-                report(Rule::UndocumentedUnsafe, &armed);
+                report(Rule::UndocumentedUnsafe, &armed, &mut used);
             }
         }
 
@@ -529,15 +590,17 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
                     || sig_text.contains("-> std::io::Result<")
                 {
                     let start = *start;
-                    if Rule::GrbErrorType.applies_to(krate)
-                        && !armed.contains(&Rule::GrbErrorType)
-                    {
-                        out.push(Violation {
-                            file: file.to_string(),
-                            line: start,
-                            rule: Rule::GrbErrorType,
-                            snippet: lines[start - 1].trim().chars().take(120).collect(),
-                        });
+                    if Rule::GrbErrorType.applies_to(krate) {
+                        if let Some(&w) = armed.get(&Rule::GrbErrorType) {
+                            used.insert((w, Rule::GrbErrorType));
+                        } else {
+                            out.push(Violation {
+                                file: file.to_string(),
+                                line: start,
+                                rule: Rule::GrbErrorType,
+                                snippet: lines[start - 1].trim().chars().take(120).collect(),
+                            });
+                        }
                     }
                 }
                 sig = None;
@@ -549,11 +612,45 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
         }
     }
     if Rule::SpanAtKernelBoundary.applies_to(krate) {
-        lint_span_boundaries(krate, file, &lines, test_start, &mut out);
+        lint_span_boundaries(krate, file, &lines, test_start, &mut used, &mut out);
     }
     if Rule::DecisionWithoutEvent.applies_to(krate) {
-        lint_decision_events(file, &lines, test_start, &mut out);
+        lint_decision_events(file, &lines, test_start, &mut used, &mut out);
     }
+
+    // Stale-waiver sweep: every waiver site that suppressed nothing, and
+    // every allow() naming no known rule.
+    for (idx, rule) in waiver_sites {
+        if !used.contains(&(idx, rule)) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: Rule::StaleWaiver,
+                snippet: format!(
+                    "unused `grblint: allow({})` — it suppresses no finding; remove it",
+                    rule.slug()
+                ),
+            });
+        }
+    }
+    for (idx, name) in unknown_names {
+        out.push(Violation {
+            file: file.to_string(),
+            line: idx + 1,
+            rule: Rule::StaleWaiver,
+            snippet: format!(
+                "`grblint: allow({})` names no grblint rule (known: {})",
+                name,
+                Rule::all()
+                    .iter()
+                    .filter(|r| **r != Rule::StaleWaiver)
+                    .map(|r| r.slug())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+    out.sort_by(|a, b| (a.line, a.rule.slug()).cmp(&(b.line, b.rule.slug())));
     out
 }
 
@@ -604,17 +701,29 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every in-scope source file under `root` (a workspace checkout).
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+/// Collects every in-scope `.rs` source under `root`, sorted — the
+/// shared file walk for `grblint` and `check::sa` (`grbsa`), so both
+/// tools analyze exactly the same file set.
+pub(crate) fn collect_sources(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut files = Vec::new();
     walk(root, &mut files)?;
     files.sort();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        if in_scope(rel) {
+            out.push(path.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Lints every in-scope source file under `root` (a workspace checkout).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_sources(root, &mut files)?;
     let mut out = Vec::new();
     for path in files {
         let rel = path.strip_prefix(root).unwrap_or(&path);
-        if !in_scope(rel) {
-            continue;
-        }
         let krate = crate_of(rel);
         let source = fs::read_to_string(&path)?;
         out.extend(lint_source(
@@ -835,5 +944,76 @@ pub fn checkout<T>(n: usize) -> Checkout<T> {
         let ws = waivers_in("// grblint: allow(no-unwrap, relaxed-ordering)");
         assert!(ws.contains(&Rule::NoUnwrap));
         assert!(ws.contains(&Rule::RelaxedOrdering));
+    }
+
+    #[test]
+    fn stale_waiver_is_flagged() {
+        // The waiver suppresses nothing: the statement below is clean.
+        let src = "\
+// grblint: allow(relaxed-ordering)
+fn f() { g(); }
+";
+        let v = lint_source("exec", "x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::StaleWaiver);
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].snippet.contains("relaxed-ordering"));
+    }
+
+    #[test]
+    fn used_waiver_is_not_stale() {
+        let src = "\
+// grblint: allow(relaxed-ordering)
+fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }
+";
+        assert_eq!(lint_source("exec", "x.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn unknown_waiver_name_is_flagged() {
+        let src = "// grblint: allow(no-such-rule)\nfn f() {}\n";
+        let v = lint_source("exec", "x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::StaleWaiver);
+        assert!(v[0].snippet.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn doc_comments_never_arm_waivers() {
+        // Doc prose describing the syntax is neither a waiver nor stale;
+        // the violation on the next line is still reported.
+        let src = "\
+/// Waive with `grblint: allow(relaxed-ordering)` above the site.
+fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }
+";
+        let v = lint_source("exec", "x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::RelaxedOrdering);
+    }
+
+    #[test]
+    fn used_body_pass_waivers_are_not_stale() {
+        // A span waiver that fires must not re-surface as stale.
+        let waived = "\
+// grblint: allow(span-at-kernel-boundary) — measured by its caller.
+pub fn inner<T>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    multiply(ctx, a)
+}
+";
+        assert_eq!(
+            lint_source("sparse", "crates/sparse/src/spmv.rs", waived).len(),
+            0
+        );
+        // The same waiver above a function that *has* a span is stale.
+        let stale = "\
+// grblint: allow(span-at-kernel-boundary)
+pub fn inner<T>(ctx: &Context, a: &Csr<T>) -> Csr<T> {
+    let sp = kernel_span(1);
+    multiply(ctx, a)
+}
+";
+        let v = lint_source("sparse", "crates/sparse/src/spmv.rs", stale);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::StaleWaiver);
     }
 }

@@ -1,0 +1,127 @@
+//! Machine-readable findings output shared by `grblint` and `grbsa`.
+//!
+//! Both tools emit the same stable schema (`graphblas-check/findings/v1`)
+//! so CI and future tooling consume one format instead of scraping human
+//! text:
+//!
+//! ```json
+//! {
+//!   "schema": "graphblas-check/findings/v1",
+//!   "tool": "grbsa",
+//!   "count": 1,
+//!   "findings": [
+//!     {"rule": "lock-order-cycle", "file": "crates/exec/src/pool.rs",
+//!      "line": 42, "message": "…", "witness": "file:line; file:line"}
+//!   ]
+//! }
+//! ```
+//!
+//! One finding per object; `witness` is the evidence chain (for grblint,
+//! the offending source line; for grbsa, the `file:line` chain that
+//! proves the finding). The writer is hand-rolled like every other JSON
+//! producer in this workspace, and `check::trace::parse_json` reads it
+//! back — the round-trip is covered by tests.
+
+/// Schema identifier embedded in every findings document.
+pub const FINDINGS_SCHEMA: &str = "graphblas-check/findings/v1";
+
+/// One finding in tool-neutral form.
+#[derive(Debug, Clone)]
+pub struct JsonFinding {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+    pub witness: String,
+}
+
+/// Renders the findings document for `tool` (`"grblint"` / `"grbsa"`).
+pub fn findings_json(tool: &str, findings: &[JsonFinding]) -> String {
+    let mut out = String::with_capacity(256 + findings.len() * 160);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", FINDINGS_SCHEMA));
+    out.push_str(&format!("  \"tool\": \"{}\",\n", escape(tool)));
+    out.push_str(&format!("  \"count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": \"{}\", ", escape(&f.rule)));
+        out.push_str(&format!("\"file\": \"{}\", ", escape(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"message\": \"{}\", ", escape(&f.message)));
+        out.push_str(&format!("\"witness\": \"{}\"", escape(&f.witness)));
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_json;
+
+    #[test]
+    fn findings_document_round_trips_through_trace_parser() {
+        let doc = findings_json(
+            "grbsa",
+            &[JsonFinding {
+                rule: "lock-order-cycle".into(),
+                file: "crates/exec/src/pool.rs".into(),
+                line: 42,
+                message: "potential deadlock \"cycle\"".into(),
+                witness: "a.rs:1; b.rs:2".into(),
+            }],
+        );
+        let v = parse_json(&doc).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some(FINDINGS_SCHEMA)
+        );
+        assert_eq!(v.get("tool").and_then(|s| s.as_str()), Some("grbsa"));
+        assert_eq!(v.get("count").and_then(|n| n.as_num()), Some(1.0));
+        let first = match v.get("findings") {
+            Some(crate::trace::Value::Arr(items)) => &items[0],
+            other => panic!("findings is not an array: {:?}", other),
+        };
+        assert_eq!(
+            first.get("rule").and_then(|s| s.as_str()),
+            Some("lock-order-cycle")
+        );
+        assert_eq!(first.get("line").and_then(|n| n.as_num()), Some(42.0));
+        assert_eq!(
+            first.get("message").and_then(|s| s.as_str()),
+            Some("potential deadlock \"cycle\"")
+        );
+    }
+
+    #[test]
+    fn empty_findings_is_still_a_valid_document() {
+        let doc = findings_json("grblint", &[]);
+        let v = parse_json(&doc).expect("valid JSON");
+        assert_eq!(v.get("count").and_then(|n| n.as_num()), Some(0.0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Atomics-ordering audit: classifies every `Ordering::*` site against
+//! the declared publish/consume protocol table.
+//!
+//! ## The protocol table
+//!
+//! | protocol       | Relaxed? | meaning                                              |
+//! |----------------|----------|------------------------------------------------------|
+//! | `counter`      | yes      | monotonic telemetry counter; readers tolerate staleness |
+//! | `counter-reset`| yes      | test-isolation reset of telemetry state; single-threaded harness points |
+//! | `mode-flag`    | yes      | advisory on/off toggle; acting on a stale value is harmless |
+//! | `id-alloc`     | yes      | uniqueness-only ID allocation; no data published     |
+//! | `scope-joined` | yes      | happens-before supplied externally (pool scope join / thread join) |
+//! | `publish`      | no       | cross-thread data publication: writes must be Release+, reads Acquire+ |
+//!
+//! ## Rules
+//!
+//! - `relaxed-without-protocol`: a `Relaxed` site must be sanctioned.
+//!   Two sanctions exist without an annotation: (a) the site is in
+//!   `crates/obs` and the operation is a counter-shaped RMW or a load —
+//!   the blanket "obs counters and fast paths" clause from the protocol
+//!   design; (b) the site also names a stronger ordering (the
+//!   `compare_exchange(…, AcqRel, Relaxed)` failure-ordering idiom).
+//!   Everything else needs a block-scoped `// grbsa: protocol(name)`.
+//! - `protocol-violation`: an annotation names a protocol that does not
+//!   sanction Relaxed (today: `publish`).
+//! - `unknown-protocol`: an annotation names something not in the table.
+//! - `unpaired-release` / `unpaired-acquire`: for each *declared* atomic
+//!   (receivers resolved by the model; locals are skipped), a
+//!   Release/AcqRel/SeqCst write with no Acquire/AcqRel/SeqCst read
+//!   anywhere in non-test code — or vice versa — is a one-sided
+//!   publication protocol: the other side reads (or writes) without the
+//!   ordering that makes the handoff visible.
+
+use super::model::{AtomicSite, Model};
+use super::{Finding, Rule};
+use std::collections::HashMap;
+
+/// `(name, sanctions_relaxed)` rows of the protocol table.
+pub const PROTOCOLS: &[(&str, bool)] = &[
+    ("counter", true),
+    ("counter-reset", true),
+    ("mode-flag", true),
+    ("id-alloc", true),
+    ("scope-joined", true),
+    ("publish", false),
+];
+
+fn protocol_relaxed_ok(name: &str) -> Option<bool> {
+    PROTOCOLS.iter().find(|(n, _)| *n == name).map(|(_, ok)| *ok)
+}
+
+/// Counter-shaped operations sanctioned as Relaxed inside `crates/obs`
+/// without an annotation: monotonic bumps and the loads that read them.
+/// Stores (flag toggles, resets) always need a protocol annotation, even
+/// in obs — they are the sites where a missing ordering could hide a
+/// real publication.
+const OBS_BLANKET_OPS: &[&str] = &[
+    "load", "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor", "fetch_max",
+    "fetch_min", "fetch_update",
+];
+
+fn is_write_op(op: &str) -> bool {
+    op != "load"
+}
+
+fn is_read_op(op: &str) -> bool {
+    op != "store"
+}
+
+fn acquires(ord: &str) -> bool {
+    matches!(ord, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+fn releases(ord: &str) -> bool {
+    matches!(ord, "Release" | "AcqRel" | "SeqCst")
+}
+
+/// Runs the audit. `ann_used` is indexed parallel to `model.annotations`
+/// and is set for every annotation that classified a site (stale
+/// detection consumes it afterwards).
+pub fn analyze(model: &Model, ann_used: &mut [bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Unknown protocol names are reported once per annotation, whether
+    // or not the annotation ever matches a site.
+    for (i, a) in model.annotations.iter().enumerate() {
+        if a.kind != super::model::AnnKind::Protocol {
+            continue;
+        }
+        for name in &a.names {
+            if protocol_relaxed_ok(name).is_none() {
+                ann_used[i] = true; // erroneous, not stale: one finding only
+                findings.push(Finding {
+                    rule: Rule::UnknownProtocol,
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "protocol '{}' is not in the table ({})",
+                        name,
+                        PROTOCOLS
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    witness: format!("{}:{}", a.file, a.line),
+                    sites: vec![(a.file.clone(), a.line)],
+                });
+            }
+        }
+    }
+
+    // Relaxed-site classification.
+    for site in &model.atomic_sites {
+        let relaxed = site.orderings.iter().any(|o| o == "Relaxed");
+        if !relaxed {
+            continue;
+        }
+        // Failure-ordering idiom: Relaxed alongside a stronger ordering.
+        if site.orderings.iter().any(|o| o != "Relaxed") {
+            continue;
+        }
+        // Obs counter blanket.
+        if site.krate == "obs" && OBS_BLANKET_OPS.contains(&site.op.as_str()) {
+            continue;
+        }
+        // Covered by a protocol annotation?
+        let covering: Vec<usize> = model
+            .annotations
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                a.kind == super::model::AnnKind::Protocol && a.covers(&site.file, site.line)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if covering.is_empty() {
+            findings.push(Finding {
+                rule: Rule::RelaxedWithoutProtocol,
+                file: site.file.clone(),
+                line: site.line,
+                message: format!(
+                    "Relaxed {} on {} has no protocol: annotate with \
+                     `// grbsa: protocol(<name>)` or strengthen the ordering",
+                    site.op,
+                    site_name(site)
+                ),
+                witness: format!("{}:{}", site.file, site.line),
+                sites: vec![(site.file.clone(), site.line)],
+            });
+            continue;
+        }
+        let mut sanctioned = false;
+        for i in covering {
+            ann_used[i] = true;
+            for name in &model.annotations[i].names {
+                match protocol_relaxed_ok(name) {
+                    Some(true) => sanctioned = true,
+                    Some(false) => findings.push(Finding {
+                        rule: Rule::ProtocolViolation,
+                        file: site.file.clone(),
+                        line: site.line,
+                        message: format!(
+                            "protocol '{}' does not sanction Relaxed: {} on {} must use \
+                             Release/Acquire (or stronger)",
+                            name,
+                            site.op,
+                            site_name(site)
+                        ),
+                        witness: format!("{}:{}", site.file, site.line),
+                        sites: vec![(site.file.clone(), site.line)],
+                    }),
+                    None => {} // already reported as unknown-protocol
+                }
+            }
+        }
+        let _ = sanctioned;
+    }
+
+    // Release/Acquire pairing per declared atomic.
+    let mut by_atomic: HashMap<&str, Vec<&AtomicSite>> = HashMap::new();
+    for site in &model.atomic_sites {
+        if let Some(id) = &site.atomic {
+            by_atomic.entry(id.as_str()).or_default().push(site);
+        }
+    }
+    let mut atomics: Vec<&&str> = by_atomic.keys().collect::<Vec<_>>();
+    atomics.sort_unstable();
+    for id in atomics {
+        let sites = &by_atomic[*id];
+        let release_writes: Vec<&&AtomicSite> = sites
+            .iter()
+            .filter(|s| is_write_op(&s.op) && s.orderings.iter().any(|o| releases(o)))
+            .collect();
+        let acquire_reads: Vec<&&AtomicSite> = sites
+            .iter()
+            .filter(|s| is_read_op(&s.op) && s.orderings.iter().any(|o| acquires(o)))
+            .collect();
+        if !release_writes.is_empty() && acquire_reads.is_empty() {
+            let w = release_writes[0];
+            findings.push(Finding {
+                rule: Rule::UnpairedRelease,
+                file: w.file.clone(),
+                line: w.line,
+                message: format!(
+                    "{} is published with {} ordering but never read with Acquire or \
+                     stronger: the release has no pairing acquire, so the handoff \
+                     synchronizes nothing",
+                    id,
+                    w.orderings.join("/")
+                ),
+                witness: release_writes
+                    .iter()
+                    .map(|s| format!("{}:{}", s.file, s.line))
+                    .collect::<Vec<_>>()
+                    .join("; "),
+                sites: release_writes
+                    .iter()
+                    .map(|s| (s.file.clone(), s.line))
+                    .collect(),
+            });
+        }
+        if !acquire_reads.is_empty() && release_writes.is_empty() {
+            // Only meaningful when something writes the atomic at all —
+            // an acquire load of a never-written (const-init) atomic is
+            // just over-strong, not broken, but still worth flagging as
+            // the write side may simply be missing from non-test code.
+            let has_writes = sites.iter().any(|s| is_write_op(&s.op));
+            if has_writes {
+                let r = acquire_reads[0];
+                findings.push(Finding {
+                    rule: Rule::UnpairedAcquire,
+                    file: r.file.clone(),
+                    line: r.line,
+                    message: format!(
+                        "{} is read with {} ordering but every write is weaker than \
+                         Release: the acquire has nothing to pair with",
+                        id,
+                        r.orderings.join("/")
+                    ),
+                    witness: acquire_reads
+                        .iter()
+                        .map(|s| format!("{}:{}", s.file, s.line))
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                    sites: acquire_reads
+                        .iter()
+                        .map(|s| (s.file.clone(), s.line))
+                        .collect(),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+fn site_name(site: &AtomicSite) -> String {
+    site.atomic
+        .clone()
+        .unwrap_or_else(|| format!("`{}` (undeclared/local)", site.recv))
+}

@@ -1,0 +1,353 @@
+//! A hand-rolled Rust lexer for the `check::sa` source model.
+//!
+//! The static-analysis passes need exactly four things from a token
+//! stream: identifiers with line numbers, single-character punctuation
+//! (for brace/paren/bracket depth and `.`/`::` chains), comments (the
+//! waiver and protocol annotations live there), and *correctly skipped*
+//! string/char literals — a `{` inside a format string must not disturb
+//! brace depth, or every downstream scope computation is wrong. That is
+//! the entire contract; everything a real compiler's lexer does beyond it
+//! (numeric suffix validation, keyword classification, raw identifiers)
+//! is deliberately out of scope, in the same zero-dependency in-repo-
+//! parser ethos as `check::trace`'s JSON reader.
+//!
+//! Lifetimes vs char literals use the standard heuristic: after a `'`,
+//! an identifier immediately followed by another `'` is a char literal
+//! (`'a'`); otherwise it is a lifetime (`'a`). Escaped chars (`'\n'`) and
+//! raw strings (`r"…"`, `r#"…"#`, any hash depth) are handled, as both
+//! occur in this workspace.
+
+/// One lexical token. Literal contents are dropped (a placeholder kind is
+/// kept so token positions stay meaningful); comment text is preserved
+/// for the annotation parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the scanner distinguishes by spelling).
+    Ident(String),
+    /// Single punctuation character: `{ } ( ) [ ] ; : . , # ! < > = &` ….
+    Punct(char),
+    /// String, char, or numeric literal (contents discarded).
+    Literal,
+    /// Lifetime marker (`'a`); distinct so it never pairs as a char.
+    Lifetime,
+    /// A `//` line comment or `/* */` block comment, text included.
+    /// `doc` marks `///` / `//!` (and `/** */`) documentation comments,
+    /// which the annotation parsers ignore — prose about an annotation
+    /// must not arm one.
+    Comment {
+        /// Full comment text including the leading slashes.
+        text: String,
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.tok, Tok::Punct(p) if p == c)
+    }
+
+    /// Whether this token is a (non-doc or doc) comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.tok, Tok::Comment { .. })
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: unrecognized bytes
+/// become punctuation tokens, and an unterminated literal or comment
+/// simply ends at EOF — the analyses degrade gracefully on malformed
+/// input rather than refusing to scan it.
+pub fn lex(source: &str) -> Vec<Token> {
+    let b = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = source[start..i].to_string();
+                let doc = text.starts_with("///") || text.starts_with("//!");
+                out.push(Token {
+                    tok: Tok::Comment { text, doc },
+                    line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text = source[start..i].to_string();
+                let doc = text.starts_with("/**") || text.starts_with("/*!");
+                out.push(Token {
+                    tok: Tok::Comment { text, doc },
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i + 1, &mut line);
+                out.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string candidate: r"…" or r#"…"# at any hash depth.
+                // `r#foo` raw identifiers would be mis-lexed here, but the
+                // workspace has none (and the fallback is harmless).
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        } else if b[j] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    out.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                } else {
+                    // Plain identifier starting with `r`.
+                    let (tok, next) = lex_ident(source, i);
+                    out.push(Token { tok, line });
+                    i = next;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char literal: '\n', '\'', '\u{…}'.
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(b.len());
+                    out.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    // Simple char literal: 'x'.
+                    i += 3;
+                    out.push(Token {
+                        tok: Tok::Literal,
+                        line,
+                    });
+                } else {
+                    // Lifetime: skip the identifier after the quote.
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    i = j;
+                    out.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let (tok, next) = lex_ident(source, i);
+                out.push(Token { tok, line });
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal (with `_` separators, suffixes, hex/bin
+                // prefixes, float dots followed by digits — the dot of a
+                // method call on an integer, `1.max(x)`, stays punctuation).
+                let mut j = i;
+                while j < b.len()
+                    && (b[j].is_ascii_alphanumeric()
+                        || b[j] == b'_'
+                        || (b[j] == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit()))
+                {
+                    j += 1;
+                }
+                i = j;
+                out.push(Token {
+                    tok: Tok::Literal,
+                    line,
+                });
+            }
+            c => {
+                out.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn lex_ident(source: &str, start: usize) -> (Tok, usize) {
+    let b = source.as_bytes();
+    let mut j = start;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    (Tok::Ident(source[start..j].to_string()), j)
+}
+
+/// Skips a double-quoted string body starting just past the opening
+/// quote; returns the index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn brace_depth_survives_literals() {
+        // Braces inside strings and chars must not appear as punctuation.
+        let src = "fn f() { let s = \"{{}}\"; let c = '{'; g(); }";
+        let toks = lex(src);
+        let open = toks.iter().filter(|t| t.is_punct('{')).count();
+        let close = toks.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!(open, 1);
+        assert_eq!(close, 1);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_skipped() {
+        let src = "let a = r#\"quote \" and { brace\"#; let b = \"esc \\\" {\"; done();";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.is_punct('{')).count(), 0);
+        assert!(idents(src).contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        // The brace depth is intact (no quote swallowed a brace).
+        assert_eq!(toks.iter().filter(|t| t.is_punct('{')).count(), 1);
+    }
+
+    #[test]
+    fn char_literals_escaped_and_plain() {
+        let src = "let a = 'x'; let b = '\\n'; let c = '\\''; end();";
+        assert!(idents(src).contains(&"end".to_string()));
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.tok == Tok::Literal).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn comments_carry_text_and_doc_flag() {
+        let src = "// grbsa: protocol(counter)\n/// doc line\nfn f() {}\n";
+        let toks = lex(src);
+        let comments: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Comment { text, doc } => Some((text.clone(), *doc, t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].0.contains("protocol(counter)"));
+        assert!(!comments[0].1);
+        assert_eq!(comments[0].2, 1);
+        assert!(comments[1].1, "/// must be flagged as doc");
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "/* a\nb */\nfn f() {\n    g();\n}\n";
+        let toks = lex(src);
+        let g = toks.iter().find(|t| t.ident() == Some("g")).unwrap();
+        assert_eq!(g.line, 4);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_method_dots() {
+        let src = "let x = 1.max(2); let y = 1.5; let z = 0xff_u32;";
+        let idents = idents(src);
+        assert!(idents.contains(&"max".to_string()));
+    }
+}

@@ -1,0 +1,439 @@
+//! `grbsa`: source-model static analysis for the workspace's
+//! concurrency layer.
+//!
+//! Where `check::lint` pattern-matches single lines, `sa` builds a small
+//! semantic model of the source (declarations, function bodies, call
+//! edges, lock and atomic operation sites — see [`model`]) and runs two
+//! analyses over it:
+//!
+//! - [`lockorder`] — a lock-order graph with cycle detection (potential
+//!   ABBA deadlocks, reported with `file:line` witness chains) and a
+//!   wait-while-holding rule for condvar waits that pin extra locks.
+//! - [`atomics`] — an ordering audit that classifies every
+//!   `Ordering::Relaxed` site against the declared protocol table and
+//!   checks Release/Acquire pairing per declared atomic.
+//!
+//! Findings are waivable in-source with block-scoped
+//! `// grbsa: allow(rule-slug)` comments; `// grbsa: protocol(name)`
+//! classifies Relaxed sites. Annotations that sanction nothing are
+//! themselves findings (`stale-annotation`), so waivers cannot outlive
+//! the code they excuse — the same hygiene `grblint` enforces for its
+//! own waivers.
+//!
+//! The static side is complemented by the dynamic vector-clock race
+//! detector in `check::sched`: `sa` sees every path but approximates
+//! aliasing; the model checker sees exact aliasing but only explored
+//! paths. DESIGN.md §4b maps both onto the paper's thread-safety model.
+
+pub mod atomics;
+pub mod lexer;
+pub mod lockorder;
+pub mod model;
+
+use model::AnnKind;
+use std::path::Path;
+
+/// Static-analysis rules. Slugs are the stable names used by
+/// `grbsa: allow(...)`, the JSON output, and the docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// A cycle in the lock-order graph (potential ABBA deadlock).
+    LockOrderCycle,
+    /// A condvar wait holding locks other than the guard handed to it.
+    WaitWhileHolding,
+    /// A `Relaxed` site with no sanctioning protocol.
+    RelaxedWithoutProtocol,
+    /// A `Relaxed` site whose covering protocol forbids Relaxed.
+    ProtocolViolation,
+    /// A `grbsa: protocol(...)` naming something not in the table.
+    UnknownProtocol,
+    /// A Release-or-stronger write never paired with an acquire read.
+    UnpairedRelease,
+    /// An Acquire-or-stronger read never paired with a release write.
+    UnpairedAcquire,
+    /// A `grbsa:` annotation that sanctions or waives nothing.
+    StaleAnnotation,
+}
+
+impl Rule {
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::WaitWhileHolding => "wait-while-holding",
+            Rule::RelaxedWithoutProtocol => "relaxed-without-protocol",
+            Rule::ProtocolViolation => "protocol-violation",
+            Rule::UnknownProtocol => "unknown-protocol",
+            Rule::UnpairedRelease => "unpaired-release",
+            Rule::UnpairedAcquire => "unpaired-acquire",
+            Rule::StaleAnnotation => "stale-annotation",
+        }
+    }
+
+    pub fn all() -> [Rule; 8] {
+        [
+            Rule::LockOrderCycle,
+            Rule::WaitWhileHolding,
+            Rule::RelaxedWithoutProtocol,
+            Rule::ProtocolViolation,
+            Rule::UnknownProtocol,
+            Rule::UnpairedRelease,
+            Rule::UnpairedAcquire,
+            Rule::StaleAnnotation,
+        ]
+    }
+
+    /// Whether `grbsa: allow(slug)` can waive this rule. Meta-rules about
+    /// the annotations themselves cannot be waived — an allow() for a
+    /// stale annotation would itself be stale.
+    pub fn waivable(self) -> bool {
+        !matches!(self, Rule::StaleAnnotation | Rule::UnknownProtocol)
+    }
+
+    pub fn from_slug(s: &str) -> Option<Rule> {
+        Rule::all().into_iter().find(|r| r.slug() == s)
+    }
+}
+
+/// One finding, with the evidence that produced it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Primary location (first witness site).
+    pub file: String,
+    pub line: usize,
+    /// Human-readable statement of the problem.
+    pub message: String,
+    /// Evidence chain: `file:line` entries joined with `"; "`, one per
+    /// witnessing edge or site.
+    pub witness: String,
+    /// Every site the finding rests on — used for waiver matching (an
+    /// `allow` covering *any* site waives the finding).
+    pub sites: Vec<(String, usize)>,
+}
+
+/// A completed analysis run.
+pub struct Analysis {
+    /// Unwaived findings, sorted by (file, line, slug).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `grbsa: allow(...)` annotations.
+    pub waived: usize,
+    pub stats: model::Stats,
+    pub graph: lockorder::LockGraph,
+}
+
+/// Runs every analysis over `(rel_path, source)` pairs.
+pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
+    let mut m = model::build(files);
+    let mut ann_used = vec![false; m.annotations.len()];
+
+    let (graph, mut findings) = lockorder::analyze(&m);
+    m.stats.calls_resolved = graph.calls_resolved;
+    m.stats.calls_skipped = graph.calls_skipped;
+    findings.extend(atomics::analyze(&m, &mut ann_used));
+
+    // Apply allow() waivers: a finding is waived when an Allow annotation
+    // naming its rule slug covers any of its sites.
+    let mut waived = 0usize;
+    findings.retain(|f| {
+        if !f.rule.waivable() {
+            return true;
+        }
+        for (i, a) in m.annotations.iter().enumerate() {
+            if a.kind != AnnKind::Allow {
+                continue;
+            }
+            if !a.names.iter().any(|n| n == f.rule.slug()) {
+                continue;
+            }
+            if f.sites.iter().any(|(file, line)| a.covers(file, *line)) {
+                ann_used[i] = true;
+                waived += 1;
+                return false;
+            }
+        }
+        true
+    });
+
+    // Annotation hygiene: unknown allow-rule names, then annotations
+    // that matched nothing.
+    for (i, a) in m.annotations.iter().enumerate() {
+        if a.kind != AnnKind::Allow {
+            continue;
+        }
+        for name in &a.names {
+            match Rule::from_slug(name) {
+                None => {
+                    ann_used[i] = true; // erroneous, report once as unknown
+                    findings.push(Finding {
+                        rule: Rule::StaleAnnotation,
+                        file: a.file.clone(),
+                        line: a.line,
+                        message: format!(
+                            "allow('{}') names no grbsa rule (known: {})",
+                            name,
+                            Rule::all()
+                                .iter()
+                                .map(|r| r.slug())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                        witness: format!("{}:{}", a.file, a.line),
+                        sites: vec![(a.file.clone(), a.line)],
+                    });
+                }
+                Some(r) if !r.waivable() => {
+                    ann_used[i] = true;
+                    findings.push(Finding {
+                        rule: Rule::StaleAnnotation,
+                        file: a.file.clone(),
+                        line: a.line,
+                        message: format!("rule '{}' cannot be waived", name),
+                        witness: format!("{}:{}", a.file, a.line),
+                        sites: vec![(a.file.clone(), a.line)],
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    for (i, a) in m.annotations.iter().enumerate() {
+        if ann_used[i] {
+            continue;
+        }
+        let what = match a.kind {
+            AnnKind::Allow => "waives no finding",
+            AnnKind::Protocol => "classifies no Relaxed site",
+        };
+        findings.push(Finding {
+            rule: Rule::StaleAnnotation,
+            file: a.file.clone(),
+            line: a.line,
+            message: format!(
+                "stale annotation: `grbsa: {}({})` {} — remove it or fix the scope",
+                match a.kind {
+                    AnnKind::Allow => "allow",
+                    AnnKind::Protocol => "protocol",
+                },
+                a.names.join(", "),
+                what
+            ),
+            witness: format!("{}:{}", a.file, a.line),
+            sites: vec![(a.file.clone(), a.line)],
+        });
+    }
+
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.slug()).cmp(&(b.file.as_str(), b.line, b.rule.slug()))
+    });
+    Analysis {
+        findings,
+        waived,
+        stats: m.stats,
+        graph,
+    }
+}
+
+/// Runs the analysis over the workspace rooted at `root`.
+pub fn analyze_root(root: &Path) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    crate::lint::collect_sources(root, &mut files)?;
+    let mut srcs = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        srcs.push((rel, source));
+    }
+    Ok(analyze_sources(&srcs))
+}
+
+/// Formats one finding for terminal output.
+pub fn render(f: &Finding) -> String {
+    format!(
+        "{}:{}: [{}] {}\n    witness: {}",
+        f.file,
+        f.line,
+        f.rule.slug(),
+        f.message,
+        f.witness
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Analysis {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(r, s)| (r.to_string(), s.to_string()))
+            .collect();
+        analyze_sources(&owned)
+    }
+
+    const INVERSION: &str = r#"
+use std::sync::Mutex;
+struct P { a: Mutex<u8>, b: Mutex<u8> }
+impl P {
+    fn ab(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        drop(ga);
+    }
+    fn ba(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+}
+"#;
+
+    #[test]
+    fn lock_inversion_is_detected_with_witness_chain() {
+        let an = run(&[("crates/exec/src/p.rs", INVERSION)]);
+        let cycles: Vec<_> = an
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::LockOrderCycle)
+            .collect();
+        assert_eq!(cycles.len(), 1, "exactly one cycle finding per SCC");
+        let c = cycles[0];
+        assert!(c.message.contains("exec/p::P.a"));
+        assert!(c.message.contains("exec/p::P.b"));
+        // The witness names both acquisition sites as file:line.
+        assert!(c.witness.contains("crates/exec/src/p.rs:7"));
+        assert!(c.witness.contains("crates/exec/src/p.rs:13"));
+    }
+
+    #[test]
+    fn allow_waives_and_counts() {
+        let src = INVERSION.replace(
+            "fn ab(&self) {",
+            "fn ab(&self) {\n        // grbsa: allow(lock-order-cycle)",
+        );
+        let an = run(&[("crates/exec/src/p.rs", &src)]);
+        assert!(
+            an.findings.iter().all(|f| f.rule != Rule::LockOrderCycle),
+            "waiver covering one site suppresses the cycle"
+        );
+        assert_eq!(an.waived, 1);
+        assert!(
+            an.findings.iter().all(|f| f.rule != Rule::StaleAnnotation),
+            "a waiver that fired is not stale"
+        );
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let src = "// grbsa: allow(lock-order-cycle)\nfn quiet() {}\n";
+        let an = run(&[("crates/exec/src/q.rs", src)]);
+        assert_eq!(an.findings.len(), 1);
+        assert_eq!(an.findings[0].rule, Rule::StaleAnnotation);
+        assert!(an.findings[0].message.contains("waives no finding"));
+    }
+
+    #[test]
+    fn unknown_allow_rule_is_reported() {
+        let src = "// grbsa: allow(no-such-rule)\nfn quiet() {}\n";
+        let an = run(&[("crates/exec/src/q.rs", src)]);
+        assert_eq!(an.findings.len(), 1);
+        assert!(an.findings[0].message.contains("names no grbsa rule"));
+    }
+
+    #[test]
+    fn interprocedural_inversion_is_detected() {
+        let src = r#"
+use std::sync::Mutex;
+struct P { a: Mutex<u8>, b: Mutex<u8> }
+impl P {
+    fn outer(&self) {
+        let ga = self.a.lock().unwrap();
+        self.grab_b();
+        drop(ga);
+    }
+    fn grab_b(&self) {
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+    }
+    fn other(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        drop(gb);
+    }
+}
+"#;
+        let an = run(&[("crates/exec/src/p.rs", src)]);
+        let cycle = an
+            .findings
+            .iter()
+            .find(|f| f.rule == Rule::LockOrderCycle)
+            .expect("a->b via call, b->a direct: cycle");
+        assert!(
+            cycle.witness.contains("via P::grab_b"),
+            "interprocedural edge names its call chain, got: {}",
+            cycle.witness
+        );
+    }
+
+    #[test]
+    fn relaxed_publish_protocol_violation() {
+        let src = r#"
+use std::sync::atomic::{AtomicUsize, Ordering};
+static HEAD: AtomicUsize = AtomicUsize::new(0);
+fn publish(v: usize) {
+    // grbsa: protocol(publish)
+    HEAD.store(v, Ordering::Relaxed);
+}
+fn consume() -> usize {
+    HEAD.load(Ordering::Acquire)
+}
+"#;
+        let an = run(&[("crates/exec/src/h.rs", src)]);
+        assert!(
+            an.findings.iter().any(|f| f.rule == Rule::ProtocolViolation),
+            "publish protocol forbids Relaxed"
+        );
+    }
+
+    #[test]
+    fn unpaired_release_is_detected() {
+        let src = r#"
+use std::sync::atomic::{AtomicUsize, Ordering};
+static FLAG: AtomicUsize = AtomicUsize::new(0);
+fn set() {
+    FLAG.store(1, Ordering::Release);
+}
+fn get() -> usize {
+    // grbsa: protocol(mode-flag)
+    FLAG.load(Ordering::Relaxed)
+}
+"#;
+        let an = run(&[("crates/exec/src/f.rs", src)]);
+        assert!(
+            an.findings.iter().any(|f| f.rule == Rule::UnpairedRelease),
+            "release store with only relaxed loads is one-sided"
+        );
+    }
+
+    #[test]
+    fn clean_paired_publish_has_no_findings() {
+        let src = r#"
+use std::sync::atomic::{AtomicUsize, Ordering};
+static HEAD: AtomicUsize = AtomicUsize::new(0);
+fn publish(v: usize) {
+    HEAD.store(v, Ordering::Release);
+}
+fn consume() -> usize {
+    HEAD.load(Ordering::Acquire)
+}
+"#;
+        let an = run(&[("crates/exec/src/h.rs", src)]);
+        assert!(an.findings.is_empty(), "got: {:?}", an.findings);
+    }
+}

@@ -30,6 +30,18 @@
 //! not weak-memory reorderings. That matches the repo's needs — all
 //! cross-thread protocols in `graphblas-exec` are mutex/condvar based, and
 //! the few atomics are either SC or mutex-subsumed.
+//!
+//! On top of the interleaving exploration the kernel maintains **vector
+//! clocks** (one per model thread, one per synchronization resource) that
+//! track the happens-before relation of the executed schedule: fork and
+//! join edges, mutex release→acquire edges, condvar notify→wakeup edges,
+//! and atomic release→acquire edges *for the ordering the call site
+//! actually requested* — a relaxed store transfers nothing. The clocks
+//! power [`crate::sync::RaceCell`], which flags two unordered conflicting
+//! accesses to plain shared memory as a data race. Because thread indices,
+//! resource ids, and clock updates are pure functions of the schedule, a
+//! race report replays byte-for-byte from its seed like every other
+//! failure.
 
 use std::any::Any;
 use std::cell::RefCell;
@@ -159,6 +171,29 @@ struct KState {
     /// Per-kernel (not global) so ids — and hence deadlock-report text —
     /// are identical when a seed is replayed.
     next_resource: usize,
+    /// Per-thread vector clocks (indexed like `threads`); component `i`
+    /// counts thread `i`'s release-side synchronization operations.
+    clocks: Vec<Vec<u64>>,
+    /// Per-resource clocks: the join of every clock released into the
+    /// resource (mutex unlock, condvar notify, atomic release-store).
+    resource_clocks: HashMap<usize, Vec<u64>>,
+}
+
+/// Grows `clock` so component `i` exists.
+fn vc_ensure(clock: &mut Vec<u64>, i: usize) {
+    if clock.len() <= i {
+        clock.resize(i + 1, 0);
+    }
+}
+
+/// Element-wise maximum: `dst := dst ⊔ src`.
+fn vc_join_into(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
 }
 
 impl KState {
@@ -264,8 +299,9 @@ pub(crate) fn new_resource_id() -> usize {
         st.next_resource += 1;
         return id;
     }
-    // grblint: allow(relaxed-ordering) — monotonic id allocator; only
-    // uniqueness matters, no cross-thread ordering is inferred.
+    // grblint: allow(relaxed-ordering); grbsa: protocol(id-alloc) —
+    // monotonic id allocator; only uniqueness matters, no cross-thread
+    // ordering is inferred.
     NEXT_RESOURCE.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -306,6 +342,8 @@ impl Kernel {
                 failure: None,
                 resource_names: HashMap::new(),
                 next_resource: 1,
+                clocks: Vec::new(),
+                resource_clocks: HashMap::new(),
             }),
             cv: StdCondvar::new(),
             handles: StdMutex::new(Vec::new()),
@@ -325,11 +363,79 @@ impl Kernel {
             priority,
             name,
         });
+        st.clocks.push(Vec::new());
         st.threads.len() - 1
     }
 
     pub(crate) fn name_resource(&self, id: usize, name: &str) {
         self.lock().resource_names.insert(id, name.to_string());
+    }
+
+    // -- vector clocks (happens-before tracking for the race detector) ------
+
+    /// Fork edge: joins the parent's clock into the freshly registered
+    /// `child` and ticks the parent, so everything the parent did *before*
+    /// the spawn happens-before the child, and nothing after does.
+    pub(crate) fn vc_fork(&self, parent: Option<usize>, child: usize) {
+        let mut st = self.lock();
+        if let Some(p) = parent {
+            let pc = st.clocks[p].clone();
+            vc_join_into(&mut st.clocks[child], &pc);
+            vc_ensure(&mut st.clocks[p], p);
+            st.clocks[p][p] += 1;
+        }
+        vc_ensure(&mut st.clocks[child], child);
+        st.clocks[child][child] += 1;
+    }
+
+    /// Join edge: joins a finished thread's final clock into the joiner,
+    /// so everything the target did happens-before the join's return.
+    pub(crate) fn vc_join_with(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        let tc = st.clocks[target].clone();
+        vc_join_into(&mut st.clocks[me], &tc);
+    }
+
+    /// Release edge: copies `me`'s clock into the resource's clock and
+    /// ticks `me`, so later events of `me` are not dragged along.
+    pub(crate) fn vc_release(&self, me: usize, resource: usize) {
+        let mut st = self.lock();
+        let mine = st.clocks[me].clone();
+        vc_join_into(st.resource_clocks.entry(resource).or_default(), &mine);
+        vc_ensure(&mut st.clocks[me], me);
+        st.clocks[me][me] += 1;
+    }
+
+    /// Acquire edge: joins the resource's clock into `me`, completing the
+    /// happens-before edge from every prior releaser.
+    pub(crate) fn vc_acquire(&self, me: usize, resource: usize) {
+        let mut st = self.lock();
+        if let Some(rc) = st.resource_clocks.get(&resource).cloned() {
+            vc_join_into(&mut st.clocks[me], &rc);
+        }
+    }
+
+    /// `me`'s current epoch (its own vector-clock component). Accesses
+    /// stamped with the same epoch are same-thread program-order events.
+    pub(crate) fn vc_epoch(&self, me: usize) -> u64 {
+        let mut st = self.lock();
+        vc_ensure(&mut st.clocks[me], me);
+        st.clocks[me][me]
+    }
+
+    /// Whether the event `(who, when)` happens-before `me`'s current
+    /// point: `me`'s clock has caught up to `who`'s component `when`.
+    pub(crate) fn vc_hb(&self, me: usize, who: usize, when: u64) -> bool {
+        let st = self.lock();
+        st.clocks[me].get(who).copied().unwrap_or(0) >= when
+    }
+
+    /// Records a detector failure (data race) and unwinds the calling
+    /// model thread. The message must be a pure function of the schedule
+    /// so replaying the seed reproduces it byte-for-byte.
+    pub(crate) fn detector_fail(&self, message: String) -> ! {
+        self.fail(message);
+        self.abort_current_thread()
     }
 
     /// Records a failure and wakes every parked thread so the schedule can
@@ -534,6 +640,8 @@ where
     F: FnOnce() + Send + 'static,
 {
     let idx = kernel.register(name);
+    let parent = CURRENT.with(|c| c.borrow().as_ref().map(|(_, i)| *i));
+    kernel.vc_fork(parent, idx);
     let k = kernel.clone();
     let handle = std::thread::spawn(move || {
         CURRENT.with(|c| *c.borrow_mut() = Some((k.clone(), idx)));

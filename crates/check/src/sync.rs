@@ -26,8 +26,16 @@
 //!   natively too;
 //! * no poisoning — a model-thread panic aborts the whole schedule and is
 //!   reported by the scheduler instead;
-//! * atomics are sequentially consistent regardless of the requested
-//!   ordering (the checker explores interleavings, not weak memory).
+//! * atomic *interleavings* are sequentially consistent regardless of the
+//!   requested ordering (the checker explores interleavings, not weak
+//!   memory) — but the **happens-before edges** recorded for the
+//!   vector-clock race detector honor the ordering the call site actually
+//!   requested: a release-or-stronger store publishes the writer's clock,
+//!   an acquire-or-stronger load joins it, and a relaxed access transfers
+//!   nothing. [`RaceCell`] uses those clocks to flag unordered conflicting
+//!   accesses to plain shared memory, so an "unsynchronized publish"
+//!   protocol bug surfaces as a deterministic, seed-replayable data-race
+//!   report even though every explored interleaving is SC.
 
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
@@ -84,6 +92,7 @@ impl<T> Mutex<T> {
             }
             k.block_on(me, self.id);
         }
+        k.vc_acquire(me, self.id);
         MutexGuard {
             lock: self,
             inner: Some(self.data.lock().unwrap_or_else(|p| p.into_inner())),
@@ -97,7 +106,8 @@ impl<T> Mutex<T> {
         let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
         *held = false;
         drop(held);
-        let (k, _) = sched::current();
+        let (k, me) = sched::current();
+        k.vc_release(me, self.id);
         k.wake_all_on(self.id);
     }
 }
@@ -154,6 +164,9 @@ impl Condvar {
         drop(guard.inner.take());
         mutex.release();
         k.block_on(me, self.id);
+        // Waking implies a notifier released its clock into this condvar;
+        // join it so notify → wakeup is a happens-before edge.
+        k.vc_acquire(me, self.id);
         mutex.lock()
     }
 
@@ -162,6 +175,7 @@ impl Condvar {
     pub fn notify_one(&self) {
         let (k, me) = sched::current();
         k.yield_point(me);
+        k.vc_release(me, self.id);
         k.wake_one_on(self.id);
     }
 
@@ -169,6 +183,7 @@ impl Condvar {
     pub fn notify_all(&self) {
         let (k, me) = sched::current();
         k.yield_point(me);
+        k.vc_release(me, self.id);
         k.wake_all_on(self.id);
     }
 }
@@ -177,46 +192,89 @@ impl Condvar {
 // Model atomics
 // ---------------------------------------------------------------------------
 
-/// Sequentially-consistent model atomic; every access is a scheduling
-/// point. The `Ordering` argument is accepted for API parity and ignored —
-/// the checker explores interleavings, not weak memory.
+/// Whether `order` carries a release edge (publishes the writer's clock).
+/// Spelled as a positive match so the weakest ordering's literal token
+/// never appears in non-test code.
+fn transfers_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Whether `order` carries an acquire edge (joins prior releasers' clocks).
+fn transfers_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Model atomic; every access is a scheduling point. Interleavings are
+/// sequentially consistent regardless of the requested `Ordering`, but the
+/// happens-before edges recorded for [`RaceCell`] honor it: only
+/// release-or-stronger writes publish, only acquire-or-stronger reads
+/// observe. A relaxed publish therefore leaves the reader's clock behind
+/// and any dependent plain access is reported as a data race.
 pub struct AtomicUsize {
+    id: usize,
     v: StdMutex<usize>,
 }
 
 impl AtomicUsize {
     pub fn new(v: usize) -> Self {
-        AtomicUsize { v: StdMutex::new(v) }
+        AtomicUsize {
+            id: sched::new_resource_id(),
+            v: StdMutex::new(v),
+        }
     }
 
     fn cell(&self) -> StdMutexGuard<'_, usize> {
         self.v.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    pub fn load(&self, _order: Ordering) -> usize {
+    pub fn load(&self, order: Ordering) -> usize {
         let (k, me) = sched::current();
         k.yield_point(me);
+        if transfers_acquire(order) {
+            k.vc_acquire(me, self.id);
+        }
         *self.cell()
     }
 
-    pub fn store(&self, val: usize, _order: Ordering) {
+    pub fn store(&self, val: usize, order: Ordering) {
         let (k, me) = sched::current();
         k.yield_point(me);
+        if transfers_release(order) {
+            k.vc_release(me, self.id);
+        }
         *self.cell() = val;
     }
 
-    pub fn fetch_add(&self, val: usize, _order: Ordering) -> usize {
+    pub fn fetch_add(&self, val: usize, order: Ordering) -> usize {
         let (k, me) = sched::current();
         k.yield_point(me);
+        if transfers_acquire(order) {
+            k.vc_acquire(me, self.id);
+        }
+        if transfers_release(order) {
+            k.vc_release(me, self.id);
+        }
         let mut c = self.cell();
         let old = *c;
         *c = old.wrapping_add(val);
         old
     }
 
-    pub fn fetch_sub(&self, val: usize, _order: Ordering) -> usize {
+    pub fn fetch_sub(&self, val: usize, order: Ordering) -> usize {
         let (k, me) = sched::current();
         k.yield_point(me);
+        if transfers_acquire(order) {
+            k.vc_acquire(me, self.id);
+        }
+        if transfers_release(order) {
+            k.vc_release(me, self.id);
+        }
         let mut c = self.cell();
         let old = *c;
         *c = old.wrapping_sub(val);
@@ -224,33 +282,162 @@ impl AtomicUsize {
     }
 }
 
-/// Sequentially-consistent model boolean atomic (see [`AtomicUsize`]).
+/// Model boolean atomic (see [`AtomicUsize`] for the ordering contract).
 pub struct AtomicBool {
+    id: usize,
     v: StdMutex<bool>,
 }
 
 impl AtomicBool {
     pub fn new(v: bool) -> Self {
-        AtomicBool { v: StdMutex::new(v) }
+        AtomicBool {
+            id: sched::new_resource_id(),
+            v: StdMutex::new(v),
+        }
     }
 
-    pub fn load(&self, _order: Ordering) -> bool {
+    pub fn load(&self, order: Ordering) -> bool {
         let (k, me) = sched::current();
         k.yield_point(me);
+        if transfers_acquire(order) {
+            k.vc_acquire(me, self.id);
+        }
         *self.v.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    pub fn store(&self, val: bool, _order: Ordering) {
+    pub fn store(&self, val: bool, order: Ordering) {
         let (k, me) = sched::current();
         k.yield_point(me);
+        if transfers_release(order) {
+            k.vc_release(me, self.id);
+        }
         *self.v.lock().unwrap_or_else(|p| p.into_inner()) = val;
     }
 
-    pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
         let (k, me) = sched::current();
         k.yield_point(me);
+        if transfers_acquire(order) {
+            k.vc_acquire(me, self.id);
+        }
+        if transfers_release(order) {
+            k.vc_release(me, self.id);
+        }
         let mut c = self.v.lock().unwrap_or_else(|p| p.into_inner());
         std::mem::replace(&mut *c, val)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RaceCell — vector-clock data-race detection on plain shared memory
+// ---------------------------------------------------------------------------
+
+/// Epoch bookkeeping of one [`RaceCell`]: the last write and the reads
+/// since it, each stamped `(thread, that thread's clock component)`.
+struct RaceState<T> {
+    value: T,
+    /// Last write epoch, if any write happened yet.
+    write: Option<(usize, u64)>,
+    /// Read epochs since the last write; at most one entry per thread.
+    reads: Vec<(usize, u64)>,
+}
+
+/// A plain (unlocked, non-atomic) shared-memory cell watched by the
+/// vector-clock race detector.
+///
+/// Model a `T` that production code shares *without* synchronization — a
+/// payload published through a flag, a field guarded "by convention" — as
+/// a `RaceCell<T>`. Every [`read`](RaceCell::read) and
+/// [`write`](RaceCell::write) is a scheduling point that is checked
+/// against the schedule's happens-before relation ([FastTrack]-style
+/// epochs over the kernel's vector clocks): two conflicting accesses with
+/// no connecting fork/join/lock/acquire-release path fail the schedule
+/// with a deterministic `data race` report, reproducible byte-for-byte by
+/// replaying the seed.
+///
+/// The cell's own internal mutex only makes the *metadata* update atomic;
+/// it deliberately creates no model-visible happens-before edge, so it
+/// never masks the race it exists to detect.
+///
+/// [FastTrack]: https://doi.org/10.1145/1543135.1542490
+pub struct RaceCell<T> {
+    name: String,
+    state: StdMutex<RaceState<T>>,
+}
+
+impl<T: Clone> RaceCell<T> {
+    /// Creates a cell holding `value`; `name` labels race reports.
+    pub fn new(value: T, name: &str) -> Self {
+        RaceCell {
+            name: name.to_string(),
+            state: StdMutex::new(RaceState {
+                value,
+                write: None,
+                reads: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, RaceState<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Reads the value. Fails the schedule if the last write is not
+    /// ordered before this read by happens-before.
+    pub fn read(&self) -> T {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        let mut st = self.lock_state();
+        if let Some((w, when)) = st.write {
+            if w != me && !k.vc_hb(me, w, when) {
+                drop(st);
+                k.detector_fail(format!(
+                    "data race on `{}`: read by thread {me} is unordered \
+                     with write by thread {w} (no happens-before edge)",
+                    self.name
+                ));
+            }
+        }
+        let epoch = k.vc_epoch(me);
+        match st.reads.iter_mut().find(|(t, _)| *t == me) {
+            Some(r) => r.1 = epoch,
+            None => st.reads.push((me, epoch)),
+        }
+        st.value.clone()
+    }
+
+    /// Writes the value. Fails the schedule if the last write, or any read
+    /// since it, is not ordered before this write by happens-before.
+    pub fn write(&self, value: T) {
+        let (k, me) = sched::current();
+        k.yield_point(me);
+        let mut st = self.lock_state();
+        if let Some((w, when)) = st.write {
+            if w != me && !k.vc_hb(me, w, when) {
+                drop(st);
+                k.detector_fail(format!(
+                    "data race on `{}`: write by thread {me} is unordered \
+                     with write by thread {w} (no happens-before edge)",
+                    self.name
+                ));
+            }
+        }
+        let racy_read = st
+            .reads
+            .iter()
+            .copied()
+            .find(|&(r, when)| r != me && !k.vc_hb(me, r, when));
+        if let Some((r, _)) = racy_read {
+            drop(st);
+            k.detector_fail(format!(
+                "data race on `{}`: write by thread {me} is unordered \
+                 with read by thread {r} (no happens-before edge)",
+                self.name
+            ));
+        }
+        st.write = Some((me, k.vc_epoch(me)));
+        st.reads.clear();
+        st.value = value;
     }
 }
 
@@ -449,6 +636,8 @@ pub mod thread {
             while !k.is_finished(self.idx) {
                 k.block_on(me, sched::join_resource(self.idx));
             }
+            // Everything the joined thread did happens-before this return.
+            k.vc_join_with(me, self.idx);
             self.result
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
@@ -558,6 +747,91 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("deadlock"), "got: {err}");
+    }
+
+    #[test]
+    fn racecell_unordered_writes_are_a_race() {
+        let cfg = Config {
+            schedules: 10,
+            ..Config::default()
+        };
+        let failure = explore(&cfg, || {
+            let c = Arc::new(RaceCell::new(0u32, "cell"));
+            let c2 = c.clone();
+            let h = thread::spawn(move || c2.write(1));
+            c.write(2);
+            h.join();
+        })
+        .unwrap_err();
+        assert!(
+            failure.message.contains("data race on `cell`"),
+            "got: {}",
+            failure.message
+        );
+    }
+
+    #[test]
+    fn racecell_mutex_ordered_accesses_do_not_race() {
+        let cfg = Config {
+            schedules: 100,
+            ..Config::default()
+        };
+        explore(&cfg, || {
+            let m = Arc::new(Mutex::new(()));
+            let c = Arc::new(RaceCell::new(0u32, "guarded"));
+            let mut hs = Vec::new();
+            for _ in 0..2 {
+                let (m2, c2) = (m.clone(), c.clone());
+                hs.push(thread::spawn(move || {
+                    let _g = m2.lock();
+                    let v = c2.read();
+                    c2.write(v + 1);
+                }));
+            }
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(c.read(), 2, "main is ordered after both via join");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn racecell_join_orders_child_accesses() {
+        let cfg = Config {
+            schedules: 50,
+            ..Config::default()
+        };
+        explore(&cfg, || {
+            let c = Arc::new(RaceCell::new(0u32, "joined"));
+            let c2 = c.clone();
+            let h = thread::spawn(move || c2.write(7));
+            h.join();
+            assert_eq!(c.read(), 7);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn release_acquire_publish_is_race_free() {
+        let cfg = Config {
+            schedules: 100,
+            ..Config::default()
+        };
+        explore(&cfg, || {
+            let data = Arc::new(RaceCell::new(0u32, "payload"));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (data.clone(), flag.clone());
+            let h = thread::spawn(move || {
+                d2.write(42);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.read(), 42);
+            }
+            h.join();
+        })
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Seeded-bug regression fixtures for `grbsa`: sources with a planted
+//! concurrency bug that the static analyzer **must** find, plus the
+//! waiver/stale-annotation contract and the `--json` schema round-trip.
+//!
+//! These are the negative tests the in-crate unit tests can't express as
+//! naturally: each fixture is a complete mini-workspace fed through the
+//! same `analyze_sources` entry point the `grbsa` binary uses.
+
+use graphblas_check::report::{findings_json, JsonFinding, FINDINGS_SCHEMA};
+use graphblas_check::sa::{analyze_sources, Rule};
+use graphblas_check::trace::{parse_json, Value};
+
+fn analyze(files: &[(&str, &str)]) -> graphblas_check::sa::Analysis {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    analyze_sources(&owned)
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order inversion
+// ---------------------------------------------------------------------------
+
+const DIRECT_INVERSION: &str = r#"
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}
+"#;
+
+#[test]
+fn direct_lock_inversion_is_found() {
+    let analysis = analyze(&[("crates/fix/src/pair.rs", DIRECT_INVERSION)]);
+    let cycles: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrderCycle)
+        .collect();
+    assert!(
+        !cycles.is_empty(),
+        "planted a-b/b-a inversion must be reported; findings: {:?}",
+        analysis.findings
+    );
+    let w = &cycles[0].witness;
+    assert!(
+        w.contains("fix/pair::Pair.a") && w.contains("fix/pair::Pair.b"),
+        "witness must name both locks: {w}"
+    );
+    assert!(
+        w.contains("crates/fix/src/pair.rs:"),
+        "witness must carry file:line sites: {w}"
+    );
+}
+
+const INTERPROCEDURAL_INVERSION: &str = r#"
+use std::sync::Mutex;
+
+pub struct Store {
+    index: Mutex<u32>,
+    data: Mutex<u32>,
+}
+
+impl Store {
+    fn bump_data(&self) {
+        let mut d = self.data.lock().unwrap();
+        *d += 1;
+    }
+
+    fn bump_index(&self) {
+        let mut i = self.index.lock().unwrap();
+        *i += 1;
+    }
+
+    pub fn forward(&self) {
+        let _i = self.index.lock().unwrap();
+        self.bump_data();
+    }
+
+    pub fn backward(&self) {
+        let _d = self.data.lock().unwrap();
+        self.bump_index();
+    }
+}
+"#;
+
+#[test]
+fn interprocedural_inversion_is_found_through_call_summaries() {
+    let analysis = analyze(&[("crates/fix/src/store.rs", INTERPROCEDURAL_INVERSION)]);
+    let cycles: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::LockOrderCycle)
+        .collect();
+    assert!(
+        !cycles.is_empty(),
+        "inversion through callees must be reported; findings: {:?}",
+        analysis.findings
+    );
+    assert!(
+        cycles[0].witness.contains("via"),
+        "interprocedural witness must show the call chain: {}",
+        cycles[0].witness
+    );
+}
+
+#[test]
+fn waiver_suppresses_and_counts() {
+    // Same inversion with one side waived inside the function body.
+    let waived_src = DIRECT_INVERSION.replace(
+        "    pub fn ab(&self) -> u32 {",
+        "    pub fn ab(&self) -> u32 {\n        \
+         // grbsa: allow(lock-order-cycle) — fixture: intentional inversion.",
+    );
+    let analysis = analyze(&[("crates/fix/src/pair.rs", &waived_src)]);
+    assert!(
+        !analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::LockOrderCycle),
+        "waived cycle must not be reported: {:?}",
+        analysis.findings
+    );
+    assert!(analysis.waived >= 1, "waiver must be counted");
+    // And the waiver is *used*, so no stale-annotation finding either.
+    assert!(
+        !analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::StaleAnnotation),
+        "a suppressing waiver is not stale: {:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn unused_waiver_is_reported_stale() {
+    let clean = r#"
+pub fn tidy() -> u32 {
+    // grbsa: allow(lock-order-cycle) — nothing here needs this.
+    41 + 1
+}
+"#;
+    let analysis = analyze(&[("crates/fix/src/clean.rs", clean)]);
+    let stale: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::StaleAnnotation)
+        .collect();
+    assert_eq!(
+        stale.len(),
+        1,
+        "an allow that suppresses nothing must be flagged: {:?}",
+        analysis.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Atomics audit
+// ---------------------------------------------------------------------------
+
+const RELAXED_PUBLISH: &str = r#"
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn publish() {
+    READY.store(true, Ordering::Relaxed);
+}
+
+pub fn consume() -> bool {
+    READY.load(Ordering::Acquire)
+}
+"#;
+
+#[test]
+fn unannotated_relaxed_publish_is_found() {
+    let analysis = analyze(&[("crates/fix/src/flag.rs", RELAXED_PUBLISH)]);
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::RelaxedWithoutProtocol),
+        "relaxed store without a protocol annotation must be reported: {:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn publish_protocol_forbids_relaxed() {
+    let annotated = RELAXED_PUBLISH.replace(
+        "pub fn publish() {",
+        "pub fn publish() {\n    \
+         // grbsa: protocol(publish) — fixture: claims release/acquire.",
+    );
+    let analysis = analyze(&[("crates/fix/src/flag.rs", &annotated)]);
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::ProtocolViolation),
+        "a relaxed store under protocol(publish) must be a violation: {:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn unpaired_release_is_found() {
+    let src = r#"
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static PHASE: AtomicUsize = AtomicUsize::new(0);
+
+pub fn advance() {
+    PHASE.store(1, Ordering::Release);
+}
+"#;
+    let analysis = analyze(&[("crates/fix/src/phase.rs", src)]);
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::UnpairedRelease),
+        "a release store no acquire ever observes must be reported: {:?}",
+        analysis.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// JSON schema round-trip (the `--json` contract of both binaries)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn findings_json_round_trips_through_the_trace_parser() {
+    let analysis = analyze(&[("crates/fix/src/pair.rs", DIRECT_INVERSION)]);
+    let findings: Vec<JsonFinding> = analysis
+        .findings
+        .iter()
+        .map(|f| JsonFinding {
+            rule: f.rule.slug().to_string(),
+            file: f.file.clone(),
+            line: f.line,
+            message: f.message.clone(),
+            witness: f.witness.clone(),
+        })
+        .collect();
+    assert!(!findings.is_empty(), "fixture must produce findings");
+    let json = findings_json("grbsa", &findings);
+
+    let doc = parse_json(&json).expect("tool output must be valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some(FINDINGS_SCHEMA),
+        "schema marker must be stable"
+    );
+    assert_eq!(doc.get("tool").and_then(Value::as_str), Some("grbsa"));
+    assert_eq!(
+        doc.get("count").and_then(Value::as_num),
+        Some(findings.len() as f64)
+    );
+    let items = match doc.get("findings") {
+        Some(Value::Arr(items)) => items,
+        other => panic!("findings must be an array, got {other:?}"),
+    };
+    assert_eq!(items.len(), findings.len());
+    for (item, f) in items.iter().zip(&findings) {
+        assert_eq!(item.get("rule").and_then(Value::as_str), Some(f.rule.as_str()));
+        assert_eq!(item.get("file").and_then(Value::as_str), Some(f.file.as_str()));
+        assert_eq!(
+            item.get("line").and_then(Value::as_num),
+            Some(f.line as f64)
+        );
+        assert!(item.get("message").is_some() && item.get("witness").is_some());
+    }
+}

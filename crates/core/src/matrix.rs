@@ -243,7 +243,7 @@ impl<T: ValueType> MatrixState<T> {
         let obs_on = graphblas_obs::enabled();
         let _sp = obs_on.then(|| graphblas_obs::span_ctx("drain", ctx.id()));
         if obs_on {
-            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
             graphblas_obs::counters::pending()
                 .drains
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -257,7 +257,7 @@ impl<T: ValueType> MatrixState<T> {
                     Stage::Opaque(f) => {
                         self.flush_map_run(ctx, &mut run, "opaque-barrier")?;
                         if obs_on {
-                            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                             graphblas_obs::counters::pending()
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -279,7 +279,7 @@ impl<T: ValueType> MatrixState<T> {
                 if obs_on {
                     // The error surfaced at drain time, not at the call
                     // that caused it — the §V deferral the paper promises.
-                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .errors_deferred
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -357,10 +357,10 @@ impl<T: ValueType> MatrixState<T> {
             let p = graphblas_obs::counters::pending();
             // A run of n maps executes as ONE traversal; the other n−1
             // stages were absorbed into it — each is a fusion hit.
-            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
             p.map_traversals
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
             p.fusion_hits
                 .fetch_add(run.len() as u64 - 1, std::sync::atomic::Ordering::Relaxed);
         }
@@ -850,7 +850,7 @@ impl<T: ValueType> Matrix<T> {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Opaque(stage));
                 if graphblas_obs::enabled() {
-                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .opaques_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -882,7 +882,7 @@ impl<T: ValueType> Matrix<T> {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Map(f));
                 if graphblas_obs::enabled() {
-                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .maps_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);

@@ -244,7 +244,7 @@ impl<T: ValueType> Scalar<T> {
             Mode::NonBlocking => {
                 st.pending.push(stage);
                 if graphblas_obs::enabled() {
-                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .opaques_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);

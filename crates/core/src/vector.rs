@@ -194,7 +194,7 @@ impl<T: ValueType> VectorState<T> {
         let obs_on = graphblas_obs::enabled();
         let _sp = obs_on.then(|| graphblas_obs::span_ctx("drain", ctx.id()));
         if obs_on {
-            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
             graphblas_obs::counters::pending()
                 .drains
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -208,7 +208,7 @@ impl<T: ValueType> VectorState<T> {
                     Stage::Opaque(f) => {
                         self.flush_map_run(ctx, &mut run, "opaque-barrier")?;
                         if obs_on {
-                            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                             graphblas_obs::counters::pending()
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -228,7 +228,7 @@ impl<T: ValueType> VectorState<T> {
             if let Error::Execution(exec) = e {
                 self.err = Some(exec.clone());
                 if obs_on {
-                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .errors_deferred
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -254,10 +254,10 @@ impl<T: ValueType> VectorState<T> {
         let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::MapFuse, ctx.id());
         if sp.active() {
             let p = graphblas_obs::counters::pending();
-            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
             p.map_traversals
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
             p.fusion_hits
                 .fetch_add(run.len() as u64 - 1, std::sync::atomic::Ordering::Relaxed);
         }
@@ -606,7 +606,7 @@ impl<T: ValueType> Vector<T> {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Opaque(stage));
                 if graphblas_obs::enabled() {
-                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .opaques_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -636,7 +636,7 @@ impl<T: ValueType> Vector<T> {
             Mode::NonBlocking => {
                 st.pending.push(Stage::Map(f));
                 if graphblas_obs::enabled() {
-                    // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                     graphblas_obs::counters::pending()
                         .maps_enqueued
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);

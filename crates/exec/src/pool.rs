@@ -88,8 +88,9 @@ impl JobQueue {
         }
         st.jobs.push_back(job);
         if st.parked > 0 && graphblas_obs::enabled() {
-            // grblint: allow(relaxed-ordering) — monotonic obs counter; no
-            // reader infers cross-thread state from it.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) —
+            // monotonic obs counter; no reader infers cross-thread state
+            // from it.
             graphblas_obs::counters::pool()
                 .wakes
                 .fetch_add(1, Ordering::Relaxed);
@@ -109,7 +110,7 @@ impl JobQueue {
                 return None;
             }
             if graphblas_obs::enabled() {
-                // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                 graphblas_obs::counters::pool()
                     .parks
                     .fetch_add(1, Ordering::Relaxed);
@@ -185,7 +186,7 @@ impl ThreadPool {
         F: FnOnce(&Scope<'env, '_>) -> R,
     {
         if graphblas_obs::enabled() {
-            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
             graphblas_obs::counters::pool()
                 .scopes
                 .fetch_add(1, Ordering::Relaxed);
@@ -268,7 +269,7 @@ impl<'env, 'pool> Scope<'env, 'pool> {
     {
         if in_worker() {
             if graphblas_obs::enabled() {
-                // grblint: allow(relaxed-ordering) — monotonic obs counter.
+                // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
                 graphblas_obs::counters::pool()
                     .tasks_inline
                     .fetch_add(1, Ordering::Relaxed);
@@ -277,7 +278,7 @@ impl<'env, 'pool> Scope<'env, 'pool> {
             return;
         }
         if graphblas_obs::enabled() {
-            // grblint: allow(relaxed-ordering) — monotonic obs counter.
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
             graphblas_obs::counters::pool()
                 .tasks_spawned
                 .fetch_add(1, Ordering::Relaxed);

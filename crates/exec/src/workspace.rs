@@ -43,6 +43,13 @@ pub trait Reusable: Sized + 'static {
 }
 
 // Reuse-mode override: 0 = follow GRB_WORKSPACE, 1 = forced on, 2 = off.
+//
+// Atomics audit (grbsa): this is the crate's lone atomic and it is a
+// `mode-flag` under the protocol table — an advisory toggle that guards
+// no dependent data, flipped only at bench/test boundaries. Both sites
+// use `SeqCst`, which is stronger than the protocol requires (the flag
+// is cold: one load per checkout), so no protocol annotation is needed —
+// only relaxed sites must declare their protocol.
 static REUSE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 fn env_default() -> bool {

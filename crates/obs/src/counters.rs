@@ -107,6 +107,8 @@ impl KernelCounters {
     };
 
     fn reset(&self) {
+        // grbsa: protocol(counter-reset) — test-isolation zeroing; reset
+        // points are single-threaded harness boundaries.
         self.calls.store(0, Ordering::Relaxed);
         self.nanos.store(0, Ordering::Relaxed);
         self.flops.store(0, Ordering::Relaxed);
@@ -412,6 +414,8 @@ pub(crate) fn pool_totals() -> PoolTotals {
 }
 
 pub(crate) fn reset() {
+    // grbsa: protocol(counter-reset) — test-isolation zeroing; reset
+    // points are single-threaded harness boundaries.
     for k in &KERNELS {
         k.reset();
     }

@@ -319,15 +319,17 @@ impl<T: Send> Csr<T> {
                         local_dup |= idx[lo..hi].windows(2).any(|w| w[0] == w[1]);
                     }
                     if local_dup {
-                        // grblint: allow(relaxed-ordering) — the scope join
-                        // below is the happens-before edge; the flag is only
-                        // read after every task has completed.
+                        // grblint: allow(relaxed-ordering)
+                        // grbsa: protocol(scope-joined) — the scope join
+                        // below is the happens-before edge; the flag is
+                        // only read after every task has completed.
                         found_dup.store(true, std::sync::atomic::Ordering::Relaxed);
                     }
                 });
             }
         });
-        // grblint: allow(relaxed-ordering) — see the store above.
+        // grblint: allow(relaxed-ordering); grbsa: protocol(scope-joined)
+        // — see the store above.
         let dups = found_dup.load(std::sync::atomic::Ordering::Relaxed);
         // `rows_sorted` means *strictly* increasing; duplicates invalidate it
         // until `dedup_sorted_rows` resolves them.

@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
 # Repository gate: release build, full test suite, lint-clean clippy,
-# the repo-specific grblint pass, and a bounded model-checker smoke run.
-# Run from anywhere; operates on the workspace root.
+# the repo-specific grblint + grbsa static-analysis passes, and a bounded
+# model-checker smoke run. Run from anywhere; operates on the workspace
+# root.
+#
+#   --sanitize   additionally run the exec/check test suites under
+#                ThreadSanitizer (requires a nightly toolchain with
+#                rust-src; skipped with a notice otherwise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+sanitize=0
+for arg in "$@"; do
+    case "$arg" in
+        --sanitize) sanitize=1 ;;
+        *) echo "check: unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 cargo build --release
 cargo test -q
@@ -11,17 +24,60 @@ cargo clippy --all-targets -- -D warnings
 
 # Repo-specific lints (crates/check/src/lint.rs): relaxed orderings outside
 # obs, unwrap/expect in core/sparse, fallible core APIs bypassing GrbResult,
-# undocumented unsafe, and kernel/operation entry points that record no
-# telemetry span. Fails the gate on any violation.
+# undocumented unsafe, kernel/operation entry points that record no
+# telemetry span — and stale `grblint: allow(...)` waivers that no longer
+# suppress anything. Fails the gate on any violation.
 cargo run -q -p graphblas-check --bin grblint -- .
+
+# Source-model static analysis (crates/check/src/sa): lock-order cycles
+# across the workspace's Mutex/Condvar acquisition nesting (direct and
+# through call summaries), condvar waits while holding a second lock, and
+# the atomics-ordering audit — every `Ordering::Relaxed` site must declare
+# a protocol from the table (`grbsa --protocols`) and must satisfy it, and
+# release/acquire sites must pair up. Stale `grbsa:` annotations fail the
+# gate like stale waivers do.
+cargo run -q -p graphblas-check --bin grbsa -- .
+
+# Both tools must also emit parseable machine-readable findings with the
+# stable schema marker (the contract CI dashboards consume).
+for tool in grblint grbsa; do
+    out="$(cargo run -q -p graphblas-check --bin "$tool" -- --json . )"
+    case "$out" in
+        "{"*) ;;
+        *) echo "check: $tool --json did not emit a JSON object" >&2; exit 1 ;;
+    esac
+    printf '%s' "$out" | grep -q '"schema": *"graphblas-check/findings/v1"' \
+        || { echo "check: $tool --json lacks the findings/v1 schema marker" >&2; exit 1; }
+done
 
 # Concurrency model-checker smoke pass: every checked protocol (pool
 # park/wake, channels, WaitGroup, pending drain, Fig. 1) explored across
 # the tests' default budget of 500-1000 seeded schedules each — a few
-# seconds total. Set GRB_CHECK_SCHEDULES to raise (deep local run) or
-# lower (constrained CI) the per-test schedule count without recompiling.
+# seconds total, plus the vector-clock race-detector regressions
+# (model_race: seeded races must be found and must replay byte-exact).
+# Set GRB_CHECK_SCHEDULES to raise (deep local run) or lower (constrained
+# CI) the per-test schedule count without recompiling.
 cargo test -q -p graphblas-check --test model_pool --test model_channels \
-    --test model_pending --test model_fig1 --test model_transpose_cache
+    --test model_pending --test model_fig1 --test model_transpose_cache \
+    --test model_race
+
+# Optional ThreadSanitizer pass (EXPERIMENTS.md "Sanitizer runs"): the
+# model checker explores interleavings of *model* primitives; TSan
+# validates the real `std::sync`-backed ones. Needs nightly + rust-src.
+if [ "$sanitize" = 1 ]; then
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    if rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+        && rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^rust-src (installed)'; then
+        echo "check: running exec/check tests under ThreadSanitizer ($host)"
+        RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+            cargo +nightly test -q -Zbuild-std --target "$host" \
+            -p graphblas-exec -p graphblas-check
+    else
+        echo "check: --sanitize requested but no nightly toolchain with" \
+             "rust-src is installed; skipping the TSan pass" >&2
+    fi
+fi
 
 # Kernel benchmark baseline smoke: a bounded bench.sh run must succeed,
 # pass the benchcmp regression gate against the committed smoke baseline
