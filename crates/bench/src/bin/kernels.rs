@@ -1,16 +1,26 @@
 //! `kernels` — persistent kernel benchmark baseline.
 //!
-//! Runs the four kernel-level workloads the perf work targets —
-//! PageRank (adaptive push/pull `vxm` + workspace reuse), BFS
-//! (masked direction-optimizing traversal), SpGEMM (workspace-backed
-//! SPA), and a nonblocking fused apply chain (§III map fusion) — and
-//! writes their median wall times plus the workspace, direction,
+//! Runs the kernel-level workloads the perf work targets — PageRank
+//! (adaptive push/pull `vxm` + workspace reuse), BFS (masked
+//! direction-optimizing traversal), SpGEMM (workspace-backed SPA, both
+//! as a raw sparse-layer kernel and as a registry-dispatched `mxm`), and
+//! a nonblocking fused apply chain (§III map fusion) — and writes their
+//! median wall times plus the workspace, direction, dispatch (kernel
+//! registry static-vs-dyn), format (bitmap vs sparse store picks),
 //! per-kernel latency (p50/p99), and memory-gauge blocks to
 //! `BENCH_kernels.json` (full run) or `BENCH_kernels_smoke.json`
 //! (`--smoke`; the two scales are numerically incomparable, so they keep
 //! separate baselines for `benchcmp`). The full telemetry snapshot of
 //! the same run is written alongside as `BENCH_obs.json`, so one
 //! invocation refreshes both baselines.
+//!
+//! The §II motivation-B dispatch ablation (formerly the standalone
+//! `ablation_dispatch` Criterion bench) now runs in-harness: each
+//! builtin-semiring workload is timed twice, once with the monomorphized
+//! kernel registry claiming dispatch ([`registry::force_dispatch`]
+//! `(Some(true))`) and once forced down the type-erased `Arc<dyn Fn>`
+//! path (`Some(false)`), so the static-vs-dyn medians land in the same
+//! baseline file the regression protocol already diffs.
 //!
 //! Run with: `cargo run --release -p graphblas-bench --bin kernels`
 //! (`--smoke` bounds the graph scale and run count for CI). Set
@@ -22,11 +32,12 @@
 //! `scripts/check.sh` validates; comparing two baselines across commits is
 //! the regression protocol documented in EXPERIMENTS.md.
 
-use graphblas_bench::{fmt_time, median_secs, random_csr, rmat_bool};
-use graphblas_core::operations::apply_v;
+use graphblas_bench::{fmt_time, median_secs, random_csr, random_matrix, rmat_bool};
+use graphblas_core::operations::{apply_v, mxm};
+use graphblas_core::ops::registry;
 use graphblas_core::{
-    global_context, no_mask_v, Context, ContextOptions, Descriptor, Mode, UnaryOp, Vector,
-    WaitMode,
+    global_context, no_mask, no_mask_v, Context, ContextOptions, Descriptor, Matrix, Mode,
+    Semiring, UnaryOp, Vector, WaitMode,
 };
 use graphblas_obs::{JsonWriter, Reason};
 
@@ -36,15 +47,59 @@ struct Params {
     runs: usize,
     spgemm_n: usize,
     spgemm_nnz_per_row: usize,
+    mxm_n: usize,
+    mxm_nnz_per_row: usize,
 }
 
 fn params() -> Params {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // The mxm ablation operand is denser than the spgemm floor workload
+    // (~64 nnz/row at full scale, the EXPERIMENTS.md §II shape): dispatch
+    // cost is per multiply-add, so the ablation needs flops — not SPA
+    // assembly — to dominate before the static-vs-dyn gap is visible.
     if smoke {
-        Params { smoke, scale: 9, runs: 3, spgemm_n: 512, spgemm_nnz_per_row: 8 }
+        Params {
+            smoke,
+            scale: 9,
+            runs: 3,
+            spgemm_n: 512,
+            spgemm_nnz_per_row: 8,
+            mxm_n: 256,
+            mxm_nnz_per_row: 64,
+        }
     } else {
-        Params { smoke, scale: 13, runs: 5, spgemm_n: 2048, spgemm_nnz_per_row: 16 }
+        Params {
+            smoke,
+            scale: 13,
+            runs: 5,
+            spgemm_n: 2048,
+            spgemm_nnz_per_row: 16,
+            mxm_n: 512,
+            mxm_nnz_per_row: 128,
+        }
     }
+}
+
+/// Registry static-hit count so far (reads the same dispatch block the
+/// baseline JSON emits).
+fn static_hits() -> u64 {
+    graphblas_obs::snapshot().dispatch.static_hits
+}
+
+/// Times `work` twice — registry static dispatch, then the forced dyn
+/// fallback — and returns `(static_median, dyn_median)`. Each phase gets
+/// one warm-up call so both medians see warm caches and a populated
+/// workspace cache. Restores the environment-default dispatch mode
+/// before returning.
+fn ablate<F: FnMut()>(runs: usize, mut work: F) -> (f64, f64) {
+    registry::force_dispatch(Some(true));
+    work();
+    let t_static = median_secs(runs, &mut work);
+    registry::force_dispatch(Some(false));
+    work();
+    let t_dyn = median_secs(runs, &mut work);
+    registry::force_dispatch(None);
+    (t_static, t_dyn)
 }
 
 fn main() {
@@ -64,19 +119,30 @@ fn main() {
     let n = a.nrows();
     let edges = a.nvals().expect("rmat graph nvals");
 
-    // Warm each workload once so the measured medians see warm caches and
-    // a populated per-thread workspace cache (steady-state, the number the
-    // regression protocol compares).
-    std::hint::black_box(graphblas_algo::pagerank(&a, 0.85, 1e-6, 50).expect("pagerank"));
-    let t_pagerank = median_secs(p.runs, || {
+    // PageRank (plus/times f64) and BFS (lor/land + any/pair bool) run on
+    // builtin semirings, so the registry must claim their kernels: the
+    // static-hit counter is checkpointed around each static phase.
+    let hits0 = static_hits();
+    let (t_pagerank, t_pagerank_dyn) = ablate(p.runs, || {
         std::hint::black_box(graphblas_algo::pagerank(&a, 0.85, 1e-6, 50).expect("pagerank"));
     });
+    assert!(
+        static_hits() > hits0,
+        "pagerank (plus/times f64) recorded no registry static hits"
+    );
 
-    std::hint::black_box(graphblas_algo::bfs_levels(&a, 0).expect("bfs"));
-    let t_bfs = median_secs(p.runs, || {
+    let hits1 = static_hits();
+    let (t_bfs, t_bfs_dyn) = ablate(p.runs, || {
         std::hint::black_box(graphblas_algo::bfs_levels(&a, 0).expect("bfs"));
     });
+    assert!(
+        static_hits() > hits1,
+        "bfs (boolean semirings) recorded no registry static hits"
+    );
 
+    // Raw sparse-layer SpGEMM with hand-monomorphized closures: the
+    // registry-independent floor the strict benchcmp gate tracks across
+    // commits (kept identical to the v2 workload).
     let ctx = global_context();
     let c = random_csr(p.spgemm_n, p.spgemm_n * p.spgemm_nnz_per_row, 17);
     std::hint::black_box(graphblas_sparse::spgemm::spgemm(
@@ -95,6 +161,22 @@ fn main() {
             |acc: &mut f64, z: f64| *acc += z,
         ));
     });
+
+    // SpGEMM dispatch ablation through the container layer: `mxm` over
+    // plus/times f64 routes through `registry::try_spgemm`, so the same
+    // multiply measures the registry's monomorphized instantiation
+    // against the `Arc<dyn Fn>` fallback.
+    let am = random_matrix(p.mxm_n, p.mxm_n * p.mxm_nnz_per_row, 17);
+    let cm = Matrix::<f64>::new(p.mxm_n, p.mxm_n).expect("mxm output");
+    let sr = Semiring::<f64, f64, f64>::plus_times();
+    let hits2 = static_hits();
+    let (t_mxm, t_mxm_dyn) = ablate(p.runs, || {
+        mxm(&cm, no_mask(), None, &sr, &am, &am, &Descriptor::default()).expect("mxm");
+    });
+    assert!(
+        static_hits() > hits2,
+        "mxm (plus/times f64) recorded no registry static hits"
+    );
 
     // Fused apply chain (§III): a nonblocking child context queues
     // FUSE_CHAIN maps that `wait` flushes as one traversal — the workload
@@ -131,18 +213,39 @@ fn main() {
     }
     graphblas_obs::set_enabled(false);
 
-    println!("| workload | median | graph |");
-    println!("|----------|--------|-------|");
-    println!("| pagerank | {} | n={n}, {edges} edges |", fmt_time(t_pagerank));
-    println!("| bfs      | {} | n={n}, {edges} edges |", fmt_time(t_bfs));
+    let speedup = |stat: f64, dynm: f64| {
+        if stat > 0.0 { dynm / stat } else { 0.0 }
+    };
+    println!("| workload | static | dyn | dyn/static | graph |");
+    println!("|----------|--------|-----|------------|-------|");
     println!(
-        "| spgemm   | {} | {}², {} nnz |",
+        "| pagerank | {} | {} | {:.2}x | n={n}, {edges} edges |",
+        fmt_time(t_pagerank),
+        fmt_time(t_pagerank_dyn),
+        speedup(t_pagerank, t_pagerank_dyn)
+    );
+    println!(
+        "| bfs      | {} | {} | {:.2}x | n={n}, {edges} edges |",
+        fmt_time(t_bfs),
+        fmt_time(t_bfs_dyn),
+        speedup(t_bfs, t_bfs_dyn)
+    );
+    println!(
+        "| spgemm   | {} | (raw kernel) | | {}², {} nnz |",
         fmt_time(t_spgemm),
         p.spgemm_n,
         c.nnz()
     );
     println!(
-        "| fused    | {} | {FUSE_CHAIN}-map chain, n={fuse_n} |",
+        "| mxm      | {} | {} | {:.2}x | {}², {} nnz |",
+        fmt_time(t_mxm),
+        fmt_time(t_mxm_dyn),
+        speedup(t_mxm, t_mxm_dyn),
+        p.mxm_n,
+        am.nvals().expect("mxm operand nvals")
+    );
+    println!(
+        "| fused    | {} | | | {FUSE_CHAIN}-map chain, n={fuse_n} |",
         fmt_time(t_fused)
     );
     println!(
@@ -155,6 +258,22 @@ fn main() {
         snap.direction.pull_picks,
         snap.direction.transpose_builds,
         snap.direction.transpose_hits
+    );
+    let dispatched = snap.dispatch.static_hits + snap.dispatch.dyn_fallbacks;
+    let hit_ratio = if dispatched > 0 {
+        snap.dispatch.static_hits as f64 / dispatched as f64
+    } else {
+        0.0
+    };
+    println!(
+        "dispatch: {} static hits, {} dyn fallbacks ({:.0}% registry hit ratio)",
+        snap.dispatch.static_hits,
+        snap.dispatch.dyn_fallbacks,
+        hit_ratio * 100.0
+    );
+    println!(
+        "format: {} bitmap picks, {} sparse picks, {} conversions",
+        snap.format.bitmap_picks, snap.format.svec_picks, snap.format.conversions
     );
     println!("| kernel | calls | p50 | p99 | max |");
     println!("|--------|-------|-----|-----|-----|");
@@ -194,6 +313,20 @@ fn main() {
         snap.direction.push_picks + snap.direction.pull_picks > 0,
         "direction dispatch recorded no picks"
     );
+    // The registry ablation must have exercised both paths, and the store
+    // layer must have made format picks (bitmap or sparse) for the
+    // frontier-producing workloads above.
+    assert!(
+        snap.dispatch.static_hits > 0 && snap.dispatch.dyn_fallbacks > 0,
+        "dispatch ablation did not record both static hits ({}) and dyn \
+         fallbacks ({})",
+        snap.dispatch.static_hits,
+        snap.dispatch.dyn_fallbacks
+    );
+    assert!(
+        snap.format.bitmap_picks + snap.format.svec_picks > 0,
+        "vector store layer recorded no format picks"
+    );
     // The histogram and memory layers must have seen this run: every kernel
     // that was called has latency samples, and the Table III stores the
     // workloads materialized were charged to the container gauge.
@@ -212,8 +345,9 @@ fn main() {
         "memory accounting recorded no container bytes"
     );
     // Decision provenance must have seen this run: the dispatcher, the
-    // workspace cache, and the fusion engine each made choices above, so
-    // each must have left reason-coded events behind.
+    // workspace cache, the fusion engine, the kernel registry, and the
+    // format picker each made choices above, so each must have left
+    // reason-coded events behind.
     let decided = |r: Reason| {
         snap.decisions
             .iter()
@@ -233,6 +367,14 @@ fn main() {
         decided(Reason::FuseFlush) > 0,
         "no fuse-flush decision events recorded"
     );
+    assert!(
+        decided(Reason::DispatchPick) > 0,
+        "no dispatch-pick decision events recorded"
+    );
+    assert!(
+        decided(Reason::FormatPick) > 0,
+        "no format-pick decision events recorded"
+    );
     assert_eq!(
         snap.decisions_total,
         snap.decisions.iter().map(|(_, n)| n).sum::<u64>(),
@@ -242,7 +384,7 @@ fn main() {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.string("graphblas-bench/kernels/v2");
+    w.string("graphblas-bench/kernels/v3");
     w.key("smoke");
     w.boolean(p.smoke);
     w.key("scale");
@@ -259,15 +401,30 @@ fn main() {
     w.number(p.spgemm_n as u64);
     w.key("spgemm_nnz");
     w.number(c.nnz() as u64);
+    w.key("mxm_n");
+    w.number(p.mxm_n as u64);
+    w.key("mxm_nnz");
+    w.number(am.nvals().expect("mxm operand nvals") as u64);
     w.end_object();
+    // Registry-on medians under the workload's own name (so benchcmp
+    // diffs them against older baselines), dyn-forced medians under the
+    // `_dyn` suffix — the in-baseline form of the §II dispatch ablation.
     w.key("median_secs");
     w.begin_object();
     w.key("pagerank");
     w.number_f64(t_pagerank);
+    w.key("pagerank_dyn");
+    w.number_f64(t_pagerank_dyn);
     w.key("bfs");
     w.number_f64(t_bfs);
+    w.key("bfs_dyn");
+    w.number_f64(t_bfs_dyn);
     w.key("spgemm");
     w.number_f64(t_spgemm);
+    w.key("mxm");
+    w.number_f64(t_mxm);
+    w.key("mxm_dyn");
+    w.number_f64(t_mxm_dyn);
     w.key("fused_apply");
     w.number_f64(t_fused);
     w.end_object();
@@ -292,6 +449,28 @@ fn main() {
     w.number(snap.direction.transpose_builds);
     w.key("transpose_hits");
     w.number(snap.direction.transpose_hits);
+    w.end_object();
+    // Kernel-registry dispatch statistics for the whole run. The hit
+    // ratio is diluted by the forced-dyn ablation phases by design — it
+    // still proves the registry claimed every builtin-semiring kernel the
+    // static phases dispatched.
+    w.key("dispatch");
+    w.begin_object();
+    w.key("static_hits");
+    w.number(snap.dispatch.static_hits);
+    w.key("dyn_fallbacks");
+    w.number(snap.dispatch.dyn_fallbacks);
+    w.key("hit_ratio");
+    w.number_f64(hit_ratio);
+    w.end_object();
+    w.key("format");
+    w.begin_object();
+    w.key("bitmap_picks");
+    w.number(snap.format.bitmap_picks);
+    w.key("svec_picks");
+    w.number(snap.format.svec_picks);
+    w.key("conversions");
+    w.number(snap.format.conversions);
     w.end_object();
     // Per-kernel latency distribution (log₂-bucket histograms, kernels that
     // actually ran). Medians above answer "how fast overall"; these answer

@@ -1,6 +1,6 @@
 //! Baseline-vs-baseline kernel benchmark comparison (`benchcmp`).
 //!
-//! Reads two `graphblas-bench/kernels/v2` baseline files (old, new) with
+//! Reads two `graphblas-bench/kernels/*` baseline files (old, new) with
 //! the zero-dependency JSON parser from [`crate::trace`] and flags
 //! regressions:
 //!
@@ -22,7 +22,11 @@
 //!   instead): the numbers mean different workloads.
 //!
 //! Workloads or kernels present in only one file are reported as notes,
-//! never as failures — a new kernel is not a regression.
+//! never as failures — a new kernel is not a regression. When the two
+//! files carry different schema versions, the per-workload medians are
+//! still gated but the per-kernel p99 histograms are skipped with a
+//! note: histograms aggregate the whole run, and a schema bump means the
+//! run's workload mix changed, making them structurally incomparable.
 
 use std::fmt;
 
@@ -209,7 +213,23 @@ pub fn compare(old_text: &str, new_text: &str, profile: &Profile) -> Result<Comp
         }
     }
 
-    // Per-kernel p99 tails.
+    // Per-kernel p99 tails. These aggregate every call of the whole run,
+    // so they are only like-for-like when both baselines ran the same
+    // workload mix — which is exactly what the schema version encodes
+    // (e.g. v3 added in-harness dispatch-ablation phases that feed the
+    // same kernel histograms). Across schema versions the medians above
+    // remain per-workload and comparable; the histograms do not.
+    fn schema_of(doc: &Value) -> &str {
+        doc.get("schema").and_then(Value::as_str).unwrap_or("")
+    }
+    if schema_of(&old) != schema_of(&new) {
+        out.notes.push(format!(
+            "kernel p99s skipped: workload mix changed ({} -> {})",
+            schema_of(&old),
+            schema_of(&new)
+        ));
+        return Ok(out);
+    }
     for k in obj_keys(&old, "kernels") {
         let old_v = num_at(&old, &["kernels", k, "p99_ns"]).unwrap_or(f64::NAN);
         let Some(new_v) = num_at(&new, &["kernels", k, "p99_ns"]) else {
@@ -322,6 +342,22 @@ mod tests {
         let cmp2 = compare(&with_extra, &old, &Profile::strict()).unwrap();
         assert!(cmp2.passed());
         assert!(cmp2.notes.iter().any(|n| n.contains("missing in new")));
+    }
+
+    #[test]
+    fn schema_bump_gates_medians_but_skips_kernel_histograms() {
+        let old = baseline(13, false, 0.020, 3_000_000);
+        // Same shape, new schema version, huge p99 growth (a new workload
+        // feeding the same kernel histogram), medians fine.
+        let v3 = baseline(13, false, 0.021, 90_000_000)
+            .replace("graphblas-bench/kernels/v2", "graphblas-bench/kernels/v3");
+        let cmp = compare(&old, &v3, &Profile::strict()).unwrap();
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        assert!(cmp.notes.iter().any(|n| n.contains("workload mix changed")));
+        // A median regression still fails across the schema bump.
+        let v3_slow = baseline(13, false, 0.030, 3_000_000)
+            .replace("graphblas-bench/kernels/v2", "graphblas-bench/kernels/v3");
+        assert!(!compare(&old, &v3_slow, &Profile::strict()).unwrap().passed());
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub const SCHEMA: &str = "graphblas-obs/explain/v1";
 /// Every reason code the v1 exporter can emit, mirrored from
 /// `graphblas_obs::events::Reason` (kept as literals so the checker
 /// cannot inherit a writer-side rename silently).
-pub const REASON_CODES: [&str; 14] = [
+pub const REASON_CODES: [&str; 16] = [
     "direction-push",
     "direction-pull",
     "workspace-hit",
@@ -48,6 +48,8 @@ pub const REASON_CODES: [&str; 14] = [
     "kernel-path",
     "error-raised",
     "error-deferred",
+    "dispatch-pick",
+    "format-pick",
 ];
 
 /// Assert-spec aliases: a family name that expands to several codes whose

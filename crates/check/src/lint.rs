@@ -1,6 +1,6 @@
 //! The repo-specific lint pass behind the `grblint` binary.
 //!
-//! Six rules, each encoding a convention this workspace actually relies
+//! Seven rules, each encoding a convention this workspace actually relies
 //! on (a general-purpose linter cannot know them):
 //!
 //! * `relaxed-ordering` — `Ordering::Relaxed` is forbidden outside
@@ -24,10 +24,18 @@
 //!   `convert`, `kron`); in `crates/core` it covers `pub fn`s taking
 //!   `&Descriptor` under `operations/`.
 //! * `decision-without-event` — a runtime choice point that bumps a
-//!   decision counter (`record_direction_pick`, `record_workspace_checkout`)
-//!   must also emit a reason-coded provenance event (`events::decision_*`)
-//!   in the same function body, so `GrB_explain` never silently loses a
-//!   decision the aggregate counters admit to.
+//!   decision counter (`record_direction_pick`, `record_workspace_checkout`,
+//!   `record_dispatch_pick`, `record_format_pick`) must also emit a
+//!   reason-coded provenance event (`events::decision_*`) in the same
+//!   function body, so `GrB_explain` never silently loses a decision the
+//!   aggregate counters admit to.
+//! * `dyn-semiring-in-hot-kernel` — the hot sparse kernel files must stay
+//!   generic over their operator closures (`FM: Fn(...)` type parameters
+//!   the registry monomorphizes), never accept a type-erased `dyn Fn`:
+//!   a per-scalar indirect call in the inner loop is exactly the §II
+//!   overhead the kernel registry exists to remove. Callbacks that run
+//!   outside the flop loop (a dedup hook at conversion time) carry a
+//!   waiver.
 //!
 //! Any rule can be waived at a specific site with a comment
 //! `// grblint: allow(<rule>)` on the same line or in the comment block
@@ -69,6 +77,8 @@ pub enum Rule {
     SpanAtKernelBoundary,
     /// Decision-counter site with no reason-coded event in the same body.
     DecisionWithoutEvent,
+    /// Type-erased `dyn Fn` operator in a hot sparse kernel file.
+    DynSemiringInHotKernel,
     /// A `grblint: allow(...)` that suppresses nothing (or names no rule).
     StaleWaiver,
 }
@@ -83,12 +93,13 @@ impl Rule {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::SpanAtKernelBoundary => "span-at-kernel-boundary",
             Rule::DecisionWithoutEvent => "decision-without-event",
+            Rule::DynSemiringInHotKernel => "dyn-semiring-in-hot-kernel",
             Rule::StaleWaiver => "stale-waiver",
         }
     }
 
     /// All rules, for `--list-rules`.
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::RelaxedOrdering,
             Rule::NoUnwrap,
@@ -96,6 +107,7 @@ impl Rule {
             Rule::UndocumentedUnsafe,
             Rule::SpanAtKernelBoundary,
             Rule::DecisionWithoutEvent,
+            Rule::DynSemiringInHotKernel,
             Rule::StaleWaiver,
         ]
     }
@@ -111,6 +123,7 @@ impl Rule {
             // obs defines the counters and events themselves; everywhere
             // else a counter bump without an event loses provenance.
             Rule::DecisionWithoutEvent => krate != "obs",
+            Rule::DynSemiringInHotKernel => krate == "sparse",
             Rule::StaleWaiver => true,
         }
     }
@@ -371,11 +384,20 @@ fn lint_span_boundaries(
 /// enclosing function to emit a reason-coded `events::decision_*` event
 /// (`decision-without-event`). Assembled from pieces so grblint does not
 /// flag its own pattern table.
-fn decision_tokens() -> [String; 2] {
+fn decision_tokens() -> [String; 4] {
     [
         concat!("record_direction_", "pick(").to_string(),
         concat!("record_workspace_", "checkout(").to_string(),
+        concat!("record_dispatch_", "pick(").to_string(),
+        concat!("record_format_", "pick(").to_string(),
     ]
+}
+
+/// The forbidden type-erased operator pattern for
+/// `dyn-semiring-in-hot-kernel`, assembled so grblint does not flag its
+/// own pattern table.
+fn dyn_fn_pattern() -> &'static str {
+    concat!("dyn ", "Fn")
 }
 
 /// Token whose presence in a function body satisfies
@@ -498,6 +520,14 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
         }
     }
 
+    // Whether this file is one of the hot sparse kernels whose operator
+    // parameters must stay generic (`dyn-semiring-in-hot-kernel`).
+    let hot_kernel = {
+        let norm = file.replace('\\', "/");
+        let basename = norm.rsplit('/').next().unwrap_or(&norm).to_string();
+        SPARSE_KERNEL_FILES.contains(&basename.as_str())
+    };
+
     // Armed waivers: rule -> line index of the arming comment.
     let mut armed: HashMap<Rule, usize> = HashMap::new();
     // grb-error-type needs multi-line signatures: accumulate from `pub fn`
@@ -543,6 +573,12 @@ pub fn lint_source(krate: &str, file: &str, source: &str) -> Vec<Violation> {
             && !code.contains("debug_assert")
         {
             report(Rule::NoUnwrap, &armed, &mut used);
+        }
+
+        // dyn-semiring-in-hot-kernel: operator closures in the hot sparse
+        // kernel files must be generic type parameters, not type-erased.
+        if hot_kernel && code.contains(dyn_fn_pattern()) {
+            report(Rule::DynSemiringInHotKernel, &armed, &mut used);
         }
 
         // undocumented-unsafe: look for a SAFETY comment on this line or in
@@ -937,6 +973,61 @@ pub fn checkout<T>(n: usize) -> Checkout<T> {
 }
 ";
         assert_eq!(lint_source("exec", "x.rs", waived).len(), 0);
+    }
+
+    #[test]
+    fn dyn_semiring_flagged_in_hot_kernel_files_only() {
+        let bad = "pub fn spmv<T>(ctx: &Context, mul: &dyn Fn(&T, &T) -> T) -> T {\n    let _ph = phase(\"x\");\n    go(mul)\n}\n";
+        let v = lint_source("sparse", "crates/sparse/src/spmv.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::DynSemiringInHotKernel);
+        // Non-kernel sparse files (operator storage) are out of scope.
+        assert_eq!(
+            lint_source("sparse", "crates/sparse/src/svec.rs", bad).len(),
+            0
+        );
+        // Other crates are out of scope even for kernel-named files.
+        assert_eq!(
+            lint_source("core", "crates/core/src/spmv.rs", bad).len(),
+            0
+        );
+        // Generic operator parameters are the sanctioned shape.
+        let good = "pub fn spmv<T, FM: Fn(&T, &T) -> T>(ctx: &Context, mul: FM) -> T {\n    let _ph = phase(\"x\");\n    go(mul)\n}\n";
+        assert_eq!(
+            lint_source("sparse", "crates/sparse/src/spmv.rs", good).len(),
+            0
+        );
+        // A waiver covers an out-of-loop callback.
+        let waived = "pub fn to_csr<T>(ctx: &Context, dup: Option<&(dyn Fn(&T, &T) -> T + Sync)>) -> Csr<T> { // grblint: allow(dyn-semiring-in-hot-kernel)\n    let _ph = phase(\"x\");\n    go(dup)\n}\n";
+        assert_eq!(
+            lint_source("sparse", "crates/sparse/src/convert.rs", waived).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn dispatch_and_format_picks_require_events() {
+        let bad = "\
+fn pick(hit: bool) {
+    graphblas_obs::counters::record_dispatch_pick(hit);
+}
+";
+        let v = lint_source("core", "x.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::DecisionWithoutEvent);
+        let bad_fmt = "\
+fn pick(bitmap: bool) {
+    graphblas_obs::counters::record_format_pick(bitmap);
+}
+";
+        assert_eq!(lint_source("core", "x.rs", bad_fmt).len(), 1);
+        let good = "\
+fn pick(hit: bool) {
+    graphblas_obs::counters::record_dispatch_pick(hit);
+    graphblas_obs::events::decision_dispatch(\"mxv\", 0, hit);
+}
+";
+        assert_eq!(lint_source("core", "x.rs", good).len(), 0);
     }
 
     #[test]

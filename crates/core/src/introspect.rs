@@ -29,7 +29,7 @@ pub struct ObjectStats {
     /// Queued, not-yet-executed stages in the pending sequence.
     pub pending: u64,
     /// Current storage format (`"csr"`, `"csc"`, `"coo"`, `"dense"`,
-    /// `"sparse"`, `"full"`).
+    /// `"sparse"`, `"bitmap"`, `"full"`).
     pub format: &'static str,
     /// Whether a sticky execution error poisons the object (§V).
     pub failed: bool,

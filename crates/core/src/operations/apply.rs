@@ -15,7 +15,7 @@ use crate::descriptor::Descriptor;
 use crate::error::{ApiError, Error, ExecErrorKind, GrbResult};
 use crate::matrix::{MatStore, Matrix};
 use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand, snapshot_vecmask};
-use crate::ops::{BinaryOp, IndexUnaryOp, UnaryOp};
+use crate::ops::{registry, BinaryOp, IndexUnaryOp, UnaryOp};
 use crate::pending::MapFn;
 use crate::scalar::Scalar;
 use crate::types::{MaskValue, ValueType};
@@ -73,7 +73,13 @@ where
     let replace = desc.replace;
     let ctx2 = ctx.clone();
     c.apply_write(Box::new(move |st| {
-        let t = a_s.map(&ctx2, |v| op.apply(v));
+        let t = match registry::try_apply_csr(&ctx2, &a_s, op.builtin()) {
+            Some(t) => t,
+            None => {
+                registry::record_pick("apply", ctx2.id(), false);
+                a_s.map(&ctx2, |v| op.apply(v))
+            }
+        };
         if mask_s.is_none() && accum.is_none() {
             st.store = MatStore::Csr(Arc::new(t));
             return Ok(());
@@ -123,8 +129,15 @@ where
     let op = op.clone();
     let accum = accum.cloned();
     let replace = desc.replace;
+    let ctx_id = ctx.id();
     w.apply_write(Box::new(move |st| {
-        let t = u_s.map_with_index(|_, v| op.apply(v));
+        let t = match registry::try_apply_svec(&u_s, op.builtin(), ctx_id) {
+            Some(t) => t,
+            None => {
+                registry::record_pick("apply_v", ctx_id, false);
+                u_s.map_with_index(|_, v| op.apply(v))
+            }
+        };
         if mask_s.is_none() && accum.is_none() {
             st.store = VecStore::Sparse(Arc::new(t));
             return Ok(());

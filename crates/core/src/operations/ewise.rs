@@ -14,7 +14,7 @@ use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::{MatStore, Matrix};
 use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand, snapshot_vecmask};
-use crate::ops::BinaryOp;
+use crate::ops::{registry, BinaryOp};
 use crate::types::{MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
 use crate::write;
@@ -56,7 +56,13 @@ where
     let replace = desc.replace;
     let ctx2 = ctx.clone();
     c.apply_write(Box::new(move |st| {
-        let t = kernels::ewise_union(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y));
+        let t = match registry::try_ewise_union(&ctx2, &a_s, &b_s, op.builtin()) {
+            Some(t) => t,
+            None => {
+                registry::record_pick("ewise_add", ctx2.id(), false);
+                kernels::ewise_union(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y))
+            }
+        };
         if mask_s.is_none() && accum.is_none() {
             st.store = MatStore::Csr(Arc::new(t));
             return Ok(());
@@ -109,7 +115,13 @@ where
     let replace = desc.replace;
     let ctx2 = ctx.clone();
     c.apply_write(Box::new(move |st| {
-        let t = kernels::ewise_intersect(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y));
+        let t = match registry::try_ewise_intersect(&ctx2, &a_s, &b_s, op.builtin()) {
+            Some(t) => t,
+            None => {
+                registry::record_pick("ewise_mult", ctx2.id(), false);
+                kernels::ewise_intersect(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y))
+            }
+        };
         if mask_s.is_none() && accum.is_none() {
             st.store = MatStore::Csr(Arc::new(t));
             return Ok(());
@@ -216,8 +228,15 @@ where
     let op = op.clone();
     let accum = accum.cloned();
     let replace = desc.replace;
+    let ctx_id = ctx.id();
     w.apply_write(Box::new(move |st| {
-        let t = kernels::svec_union(&u_s, &v_s, |x, y| op.apply(x, y));
+        let t = match registry::try_svec_union(&u_s, &v_s, op.builtin(), ctx_id) {
+            Some(t) => t,
+            None => {
+                registry::record_pick("ewise_add_v", ctx_id, false);
+                kernels::svec_union(&u_s, &v_s, |x, y| op.apply(x, y))
+            }
+        };
         if mask_s.is_none() && accum.is_none() {
             st.store = VecStore::Sparse(Arc::new(t));
             return Ok(());
@@ -265,8 +284,15 @@ where
     let op = op.clone();
     let accum = accum.cloned();
     let replace = desc.replace;
+    let ctx_id = ctx.id();
     w.apply_write(Box::new(move |st| {
-        let t = kernels::svec_intersect(&u_s, &v_s, |x, y| op.apply(x, y));
+        let t = match registry::try_svec_intersect(&u_s, &v_s, op.builtin(), ctx_id) {
+            Some(t) => t,
+            None => {
+                registry::record_pick("ewise_mult_v", ctx_id, false);
+                kernels::svec_intersect(&u_s, &v_s, |x, y| op.apply(x, y))
+            }
+        };
         if mask_s.is_none() && accum.is_none() {
             st.store = VecStore::Sparse(Arc::new(t));
             return Ok(());

@@ -8,7 +8,7 @@ use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::{MatStore, Matrix};
 use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand};
-use crate::ops::{BinaryOp, Semiring};
+use crate::ops::{registry, BinaryOp, Semiring};
 use crate::types::{MaskValue, ValueType};
 use crate::write;
 
@@ -60,6 +60,8 @@ where
     c.apply_write(Box::new(move |st| {
         let mul = |x: &A, y: &B| sr.multiply(x, y);
         let add = |acc: &mut C, z: C| *acc = sr.combine(acc, &z);
+        let add_tag = sr.add().builtin();
+        let mul_tag = sr.mul().builtin();
         // Masked kernel: only valid when the merge wants exactly the
         // mask-restricted product (no accumulator folding old values in).
         let use_masked_kernel = mask_s.is_some() && accum.is_none();
@@ -67,18 +69,38 @@ where
             // grblint: allow(no-unwrap) — use_masked_kernel implies mask_s
             // is Some (checked one line up).
             let m = mask_s.as_ref().expect("checked");
-            spgemm::spgemm_masked(
+            match registry::try_spgemm_masked(
                 &ctx2,
                 &m.mask,
                 m.complement,
-                |b: &bool| *b,
                 &a_s,
                 &b_s,
-                mul,
-                add,
-            )
+                add_tag,
+                mul_tag,
+            ) {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("mxm", ctx2.id(), false);
+                    spgemm::spgemm_masked(
+                        &ctx2,
+                        &m.mask,
+                        m.complement,
+                        |b: &bool| *b,
+                        &a_s,
+                        &b_s,
+                        mul,
+                        add,
+                    )
+                }
+            }
         } else {
-            spgemm::spgemm(&ctx2, &a_s, &b_s, mul, add)
+            match registry::try_spgemm(&ctx2, &a_s, &b_s, add_tag, mul_tag) {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("mxm", ctx2.id(), false);
+                    spgemm::spgemm(&ctx2, &a_s, &b_s, mul, add)
+                }
+            }
         };
         if mask_s.is_none() && accum.is_none() {
             st.store = MatStore::Csr(Arc::new(t));

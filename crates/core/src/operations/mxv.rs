@@ -17,14 +17,15 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use graphblas_sparse::spmv as kernels;
+use graphblas_sparse::{BitmapVec, SparseVec};
 
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::Matrix;
 use crate::operations::{eff_shape, snapshot_operand, snapshot_vecmask};
-use crate::ops::{BinaryOp, Semiring};
+use crate::ops::{registry, BinaryOp, Semiring};
 use crate::types::{MaskValue, ValueType};
-use crate::vector::{VecStore, Vector};
+use crate::vector::{Frontier, VecStore, Vector};
 use crate::write;
 
 /// Which matrix-vector kernel a product dispatches to.
@@ -97,6 +98,57 @@ fn choose_direction(
     d
 }
 
+/// The Table III bitmap density window: results at least 1/4 occupied
+/// but not full are stored bitmap; everything else stays sparse. The
+/// lower bound keeps truly sparse results in the index-list format, the
+/// upper bound preserves the pull kernel's dense-frontier fast path
+/// (which needs a plain value array).
+pub const BITMAP_THRESHOLD_DEN: u64 = 4;
+
+/// Picks the Table III store for an `mxv`/`vxm` result by density and
+/// records the decision (counter + provenance event) when telemetry is on.
+fn store_result<C: ValueType>(op: &'static str, ctx_id: u64, t: SparseVec<C>) -> VecStore<C> {
+    let (nnz, len) = (t.nnz(), t.len());
+    let bitmap = nnz as u64 * BITMAP_THRESHOLD_DEN >= len as u64 && nnz < len;
+    if graphblas_obs::enabled() {
+        graphblas_obs::counters::record_format_pick(bitmap);
+        graphblas_obs::events::decision_format(op, ctx_id, bitmap, nnz as u64, len as u64);
+    }
+    if bitmap {
+        VecStore::Bitmap(Arc::new(BitmapVec::from_svec(&t)))
+    } else {
+        VecStore::Sparse(Arc::new(t))
+    }
+}
+
+/// Normalizes a bitmap frontier to sparse when the chosen kernel cannot
+/// consume it natively (the push kernel iterates an index list), charging
+/// the conversion to the format counters.
+fn frontier_for<X: ValueType>(
+    op: &'static str,
+    ctx_id: u64,
+    dir: Direction,
+    f: Frontier<X>,
+) -> Frontier<X> {
+    match (dir, f) {
+        (Direction::Push, Frontier::Bitmap(b)) => {
+            if graphblas_obs::enabled() {
+                graphblas_obs::counters::record_format_conversion();
+            }
+            if graphblas_obs::events::on() {
+                graphblas_obs::events::decision_convert_sparse(
+                    op,
+                    ctx_id,
+                    "bitmap",
+                    b.nnz() as u64,
+                );
+            }
+            Frontier::Sparse(Arc::new(b.to_svec()))
+        }
+        (_, f) => f,
+    }
+}
+
 /// `w⟨m, r⟩ = w ⊙ (A ⊕.⊗ u)` (`desc.transpose_a` uses `Aᵀ`).
 pub fn mxv<C, M, A, X>(
     w: &Vector<C>,
@@ -128,7 +180,7 @@ where
         return Err(ApiError::DimensionMismatch.into());
     }
 
-    let u_s = u.snapshot_sparse()?;
+    let u_f = u.snapshot_frontier()?;
     // Pull runs on the descriptor's orientation; push runs on the other
     // one (served by the memoized transpose when it must be computed).
     let natural = if desc.transpose_a {
@@ -137,7 +189,8 @@ where
         Direction::Pull
     };
     let pick = graphblas_obs::timeline::phase("mxv.pick");
-    let dir = choose_direction("mxv", ctx.id(), u_s.nnz(), u_s.len(), natural);
+    let dir = choose_direction("mxv", ctx.id(), u_f.nnz(), u_f.len(), natural);
+    let u_f = frontier_for("mxv", ctx.id(), dir, u_f);
     let a_s = match dir {
         Direction::Pull => snapshot_operand(a, &ctx, desc.transpose_a, false)?,
         Direction::Push => snapshot_operand(a, &ctx, !desc.transpose_a, false)?,
@@ -150,40 +203,72 @@ where
     let ctx2 = ctx.clone();
 
     w.apply_write(Box::new(move |st| {
-        let t = match dir {
-            Direction::Pull => {
-                let terminal = sr
-                    .add()
-                    .terminal()
-                    .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
-                kernels::spmv(
-                    &ctx2,
-                    &a_s,
-                    &u_s,
-                    |av: &A, xv: &X| sr.multiply(av, xv),
-                    |p: C, q: C| sr.combine(&p, &q),
-                    terminal,
-                )
+        // Registered builtin semirings take the monomorphized kernel
+        // (every registered multiply is commutative, so both directions
+        // and both operand orders share one instantiation); everything
+        // else falls back to the generic dyn-operator path below.
+        let add_tag = sr.add().builtin();
+        let mul_tag = sr.mul().builtin();
+        let t = match (dir, &u_f) {
+            (Direction::Pull, Frontier::Sparse(u_s)) => {
+                registry::try_spmv(&ctx2, &a_s, u_s, add_tag, mul_tag)
             }
-            // a_s here holds the transposed orientation, so scattering
-            // u's nonzeros through its rows computes the same product
-            // (the multiply keeps its matrix-first argument order).
-            Direction::Push => kernels::vxm(
-                &ctx2,
-                &u_s,
-                &a_s,
-                |xv: &X, av: &A| sr.multiply(av, xv),
-                |p: C, q: C| sr.combine(&p, &q),
-            ),
+            (Direction::Pull, Frontier::Bitmap(u_b)) => {
+                registry::try_spmv_bitmap(&ctx2, &a_s, u_b, add_tag, mul_tag)
+            }
+            (Direction::Push, Frontier::Sparse(u_s)) => {
+                registry::try_vxm(&ctx2, u_s, &a_s, add_tag, mul_tag)
+            }
+            (Direction::Push, Frontier::Bitmap(_)) => {
+                unreachable!("push frontiers are normalized to sparse")
+            }
+        };
+        let t = match t {
+            Some(t) => t,
+            None => {
+                registry::record_pick("mxv", ctx2.id(), false);
+                let mul = |av: &A, xv: &X| sr.multiply(av, xv);
+                let add = |p: C, q: C| sr.combine(&p, &q);
+                match (dir, &u_f) {
+                    (Direction::Pull, f) => {
+                        let terminal = sr
+                            .add()
+                            .terminal()
+                            .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
+                        match f {
+                            Frontier::Sparse(u_s) => {
+                                kernels::spmv(&ctx2, &a_s, u_s, mul, add, terminal)
+                            }
+                            Frontier::Bitmap(u_b) => {
+                                kernels::spmv_bitmap(&ctx2, &a_s, u_b, mul, add, terminal)
+                            }
+                        }
+                    }
+                    // a_s here holds the transposed orientation, so
+                    // scattering u's nonzeros through its rows computes
+                    // the same product (the multiply keeps its
+                    // matrix-first argument order).
+                    (Direction::Push, Frontier::Sparse(u_s)) => kernels::vxm(
+                        &ctx2,
+                        u_s,
+                        &a_s,
+                        |xv: &X, av: &A| sr.multiply(av, xv),
+                        add,
+                    ),
+                    (Direction::Push, Frontier::Bitmap(_)) => {
+                        unreachable!("push frontiers are normalized to sparse")
+                    }
+                }
+            }
         };
         if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
+            st.store = store_result("mxv", ctx2.id(), t);
             return Ok(());
         }
         st.ensure_sparse()?;
         let merged =
             write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
+        st.store = store_result("mxv", ctx2.id(), merged);
         Ok(())
     }))
 }
@@ -220,7 +305,7 @@ where
         return Err(ApiError::DimensionMismatch.into());
     }
 
-    let u_s = u.snapshot_sparse()?;
+    let u_f = u.snapshot_frontier()?;
     // Push runs on the descriptor's orientation; pull runs on the other
     // one (served by the memoized transpose when it must be computed).
     let natural = if desc.transpose_b {
@@ -229,7 +314,8 @@ where
         Direction::Push
     };
     let pick = graphblas_obs::timeline::phase("mxv.pick");
-    let dir = choose_direction("vxm", ctx.id(), u_s.nnz(), u_s.len(), natural);
+    let dir = choose_direction("vxm", ctx.id(), u_f.nnz(), u_f.len(), natural);
+    let u_f = frontier_for("vxm", ctx.id(), dir, u_f);
     let a_s = match dir {
         Direction::Push => snapshot_operand(a, &ctx, desc.transpose_b, false)?,
         Direction::Pull => snapshot_operand(a, &ctx, !desc.transpose_b, false)?,
@@ -242,40 +328,70 @@ where
     let ctx2 = ctx.clone();
 
     w.apply_write(Box::new(move |st| {
-        let t = match dir {
-            Direction::Push => kernels::vxm(
-                &ctx2,
-                &u_s,
-                &a_s,
-                |xv: &X, av: &A| sr.multiply(xv, av),
-                |p: C, q: C| sr.combine(&p, &q),
-            ),
-            // a_s here holds the transposed orientation, so row dot
-            // products against u compute the same product (the multiply
-            // keeps its vector-first argument order).
-            Direction::Pull => {
-                let terminal = sr
-                    .add()
-                    .terminal()
-                    .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
-                kernels::spmv(
-                    &ctx2,
-                    &a_s,
-                    &u_s,
-                    |av: &A, xv: &X| sr.multiply(xv, av),
-                    |p: C, q: C| sr.combine(&p, &q),
-                    terminal,
-                )
+        // Same registry-first shape as `mxv`; commutativity of every
+        // registered multiply makes the argument-order difference moot.
+        let add_tag = sr.add().builtin();
+        let mul_tag = sr.mul().builtin();
+        let t = match (dir, &u_f) {
+            (Direction::Push, Frontier::Sparse(u_s)) => {
+                registry::try_vxm(&ctx2, u_s, &a_s, add_tag, mul_tag)
+            }
+            (Direction::Push, Frontier::Bitmap(_)) => {
+                unreachable!("push frontiers are normalized to sparse")
+            }
+            (Direction::Pull, Frontier::Sparse(u_s)) => {
+                registry::try_spmv(&ctx2, &a_s, u_s, add_tag, mul_tag)
+            }
+            (Direction::Pull, Frontier::Bitmap(u_b)) => {
+                registry::try_spmv_bitmap(&ctx2, &a_s, u_b, add_tag, mul_tag)
+            }
+        };
+        let t = match t {
+            Some(t) => t,
+            None => {
+                registry::record_pick("vxm", ctx2.id(), false);
+                let add = |p: C, q: C| sr.combine(&p, &q);
+                match (dir, &u_f) {
+                    (Direction::Push, Frontier::Sparse(u_s)) => kernels::vxm(
+                        &ctx2,
+                        u_s,
+                        &a_s,
+                        |xv: &X, av: &A| sr.multiply(xv, av),
+                        add,
+                    ),
+                    (Direction::Push, Frontier::Bitmap(_)) => {
+                        unreachable!("push frontiers are normalized to sparse")
+                    }
+                    // a_s here holds the transposed orientation, so row
+                    // dot products against u compute the same product
+                    // (the multiply keeps its vector-first argument
+                    // order).
+                    (Direction::Pull, f) => {
+                        let terminal = sr
+                            .add()
+                            .terminal()
+                            .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
+                        let mul = |av: &A, xv: &X| sr.multiply(xv, av);
+                        match f {
+                            Frontier::Sparse(u_s) => {
+                                kernels::spmv(&ctx2, &a_s, u_s, mul, add, terminal)
+                            }
+                            Frontier::Bitmap(u_b) => {
+                                kernels::spmv_bitmap(&ctx2, &a_s, u_b, mul, add, terminal)
+                            }
+                        }
+                    }
+                }
             }
         };
         if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
+            st.store = store_result("vxm", ctx2.id(), t);
             return Ok(());
         }
         st.ensure_sparse()?;
         let merged =
             write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
+        st.store = store_result("vxm", ctx2.id(), merged);
         Ok(())
     }))
 }
@@ -528,6 +644,67 @@ mod tests {
             after.transpose_hits >= before.transpose_hits + 2,
             "memoized transpose was not reused"
         );
+    }
+
+    #[test]
+    fn mid_density_result_stored_bitmap_and_consumed_natively() {
+        let _g = serialize();
+        // Rows 0..4 of an 8-vertex graph reach the frontier: the result
+        // holds 4/8 of the vertices — inside the bitmap window (≥1/4,
+        // not full).
+        let n = 8;
+        let a = mat(
+            (n, n),
+            &(0..4).map(|i| (i, 0, 1i64)).collect::<Vec<_>>(),
+        );
+        let u = vec(n, &[(0, 2i64)]);
+        let w = Vector::<i64>::new(n).unwrap();
+        mxv(
+            &w,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &a,
+            &u,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(w.stats().format, "bitmap");
+        assert_eq!(w.nvals().unwrap(), 4);
+        // The bitmap store feeds the next product natively (pull path)
+        // and produces the same values the canonical sparse form holds.
+        let w2 = Vector::<i64>::new(n).unwrap();
+        let eye = mat((n, n), &(0..n).map(|i| (i, i, 1i64)).collect::<Vec<_>>());
+        mxv(
+            &w2,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &eye,
+            &w,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(vec_tuples(&w2), vec_tuples(&w));
+        // A fully dense result (nnz == len) must stay sparse so the
+        // dense-frontier fast path keeps working.
+        let dense_u = vec(n, &(0..n).map(|i| (i, 1i64)).collect::<Vec<_>>());
+        let full = mat(
+            (n, n),
+            &(0..n).map(|i| (i, (i + 1) % n, 1i64)).collect::<Vec<_>>(),
+        );
+        let wd = Vector::<i64>::new(n).unwrap();
+        mxv(
+            &wd,
+            no_mask_v(),
+            None,
+            &Semiring::plus_times(),
+            &full,
+            &dense_u,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assert_eq!(wd.stats().format, "sparse");
     }
 
     #[test]

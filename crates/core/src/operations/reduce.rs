@@ -14,7 +14,7 @@ use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::Matrix;
 use crate::operations::{eff_shape, snapshot_operand, snapshot_vecmask};
-use crate::ops::{BinaryOp, Monoid};
+use crate::ops::{registry, BinaryOp, Monoid};
 use crate::scalar::Scalar;
 use crate::types::{MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
@@ -110,12 +110,19 @@ where
     let monoid = monoid.clone();
     let accum = accum.cloned();
     s.apply_write(Box::new(move |slot: &mut Option<T>| {
-        let t = a_s.reduce_all(
-            &graphblas_exec::global_context(),
-            |v| v.clone(),
-            |x, y| monoid.apply(&x, &y),
-            monoid.terminal().map(|t| t as &(dyn Fn(&T) -> bool + Sync)),
-        );
+        let gctx = graphblas_exec::global_context();
+        let t = match registry::try_reduce_csr(&gctx, &a_s, monoid.builtin()) {
+            Some(t) => t,
+            None => {
+                registry::record_pick("reduce", gctx.id(), false);
+                a_s.reduce_all(
+                    &gctx,
+                    |v| v.clone(),
+                    |x, y| monoid.apply(&x, &y),
+                    monoid.terminal().map(|t| t as &(dyn Fn(&T) -> bool + Sync)),
+                )
+            }
+        };
         *slot = fold_scalar(slot.take(), t, accum.as_ref());
         Ok(())
     }))
@@ -166,12 +173,19 @@ where
     let u_s = u.snapshot_sparse()?;
     let monoid = monoid.clone();
     let accum = accum.cloned();
+    let ctx_id = ctx.id();
     s.apply_write(Box::new(move |slot: &mut Option<T>| {
-        let t = u_s.reduce(
-            |v| v.clone(),
-            |x, y| monoid.apply(&x, &y),
-            monoid.terminal().map(|t| t as &dyn Fn(&T) -> bool),
-        );
+        let t = match registry::try_reduce_svec(&u_s, monoid.builtin(), ctx_id) {
+            Some(t) => t,
+            None => {
+                registry::record_pick("reduce_v", ctx_id, false);
+                u_s.reduce(
+                    |v| v.clone(),
+                    |x, y| monoid.apply(&x, &y),
+                    monoid.terminal().map(|t| t as &dyn Fn(&T) -> bool),
+                )
+            }
+        };
         *slot = fold_scalar(slot.take(), t, accum.as_ref());
         Ok(())
     }))
@@ -207,14 +221,20 @@ where
     T: ValueType,
 {
     let a_s = a.snapshot_csr(false)?;
-    Ok(a_s
-        .reduce_all(
-            &a.context(),
-            |v| v.clone(),
-            |x, y| monoid.apply(&x, &y),
-            monoid.terminal().map(|t| t as &(dyn Fn(&T) -> bool + Sync)),
-        )
-        .unwrap_or_else(|| monoid.identity().clone()))
+    let ctx = a.context();
+    let t = match registry::try_reduce_csr(&ctx, &a_s, monoid.builtin()) {
+        Some(t) => t,
+        None => {
+            registry::record_pick("reduce", ctx.id(), false);
+            a_s.reduce_all(
+                &ctx,
+                |v| v.clone(),
+                |x, y| monoid.apply(&x, &y),
+                monoid.terminal().map(|t| t as &(dyn Fn(&T) -> bool + Sync)),
+            )
+        }
+    };
+    Ok(t.unwrap_or_else(|| monoid.identity().clone()))
 }
 
 /// Vector form of [`reduce_to_value`].
@@ -223,13 +243,18 @@ where
     T: ValueType,
 {
     let u_s = u.snapshot_sparse()?;
-    Ok(u_s
-        .reduce(
-            |v| v.clone(),
-            |x, y| monoid.apply(&x, &y),
-            monoid.terminal().map(|t| t as &dyn Fn(&T) -> bool),
-        )
-        .unwrap_or_else(|| monoid.identity().clone()))
+    let t = match registry::try_reduce_svec(&u_s, monoid.builtin(), u.context().id()) {
+        Some(t) => t,
+        None => {
+            registry::record_pick("reduce_v", u.context().id(), false);
+            u_s.reduce(
+                |v| v.clone(),
+                |x, y| monoid.apply(&x, &y),
+                monoid.terminal().map(|t| t as &dyn Fn(&T) -> bool),
+            )
+        }
+    };
+    Ok(t.unwrap_or_else(|| monoid.identity().clone()))
 }
 
 #[cfg(test)]

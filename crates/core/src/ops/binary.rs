@@ -4,10 +4,64 @@ use std::sync::Arc;
 
 use crate::types::{One, ValueType};
 
+/// Identity tag for the predefined operators: which builtin a
+/// `BinaryOp`/`Monoid` *is*, independent of the erased closure it holds.
+///
+/// The monomorphized kernel registry (`crate::ops::registry`) keys its
+/// dispatch table on these tags: a semiring whose add monoid and multiply
+/// op both carry a registered tag (over a registered scalar type) runs the
+/// pre-instantiated static kernel instead of calling through `Arc<dyn Fn>`
+/// per scalar (paper §II). User-defined operators (`new`) carry no tag and
+/// always take the dynamic path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinOp {
+    /// `GrB_FIRST`: z = x.
+    First,
+    /// `GrB_SECOND`: z = y.
+    Second,
+    /// `GrB_ONEB` / PAIR: z = 1.
+    OneB,
+    /// `GrB_PLUS`.
+    Plus,
+    /// `GrB_MINUS`.
+    Minus,
+    /// `GrB_TIMES`.
+    Times,
+    /// `GrB_DIV`.
+    Div,
+    /// `GrB_MIN`.
+    Min,
+    /// `GrB_MAX`.
+    Max,
+    /// `GrB_LOR`.
+    LOr,
+    /// `GrB_LAND`.
+    LAnd,
+    /// `GrB_LXOR`.
+    LXor,
+    /// `GrB_LXNOR`.
+    LXnor,
+    /// `GrB_EQ`.
+    Eq,
+    /// `GrB_NE`.
+    Ne,
+    /// `GrB_LT`.
+    Lt,
+    /// `GrB_LE`.
+    Le,
+    /// `GrB_GT`.
+    Gt,
+    /// `GrB_GE`.
+    Ge,
+    /// `GxB_ANY`: z = either operand (this implementation keeps x).
+    Any,
+}
+
 /// A binary operator over domains `A × B → Z`.
 #[derive(Clone)]
 pub struct BinaryOp<A, B, Z> {
     name: &'static str,
+    builtin: Option<BuiltinOp>,
     f: Arc<dyn Fn(&A, &B) -> Z + Send + Sync>,
 }
 
@@ -18,9 +72,20 @@ impl<A, B, Z> std::fmt::Debug for BinaryOp<A, B, Z> {
 }
 
 impl<A: ValueType, B: ValueType, Z: ValueType> BinaryOp<A, B, Z> {
-    /// Creates a user-defined operator (`GrB_BinaryOp_new`).
+    /// Creates a user-defined operator (`GrB_BinaryOp_new`). User operators
+    /// carry no builtin tag, so the kernel registry never claims them.
     pub fn new(name: &'static str, f: impl Fn(&A, &B) -> Z + Send + Sync + 'static) -> Self {
-        BinaryOp { name, f: Arc::new(f) }
+        BinaryOp { name, builtin: None, f: Arc::new(f) }
+    }
+
+    /// Internal constructor for the predefined operators: same closure
+    /// erasure as [`BinaryOp::new`], plus the registry identity tag.
+    fn tagged(
+        name: &'static str,
+        builtin: BuiltinOp,
+        f: impl Fn(&A, &B) -> Z + Send + Sync + 'static,
+    ) -> Self {
+        BinaryOp { name, builtin: Some(builtin), f: Arc::new(f) }
     }
 
     /// Applies the operator to one pair.
@@ -35,122 +100,137 @@ impl<A, B, Z> BinaryOp<A, B, Z> {
     pub fn name(&self) -> &'static str {
         self.name
     }
+
+    /// The builtin identity tag, if this operator is one of the predefined
+    /// ones (the kernel-registry dispatch key). `None` for user operators.
+    #[inline]
+    pub fn builtin(&self) -> Option<BuiltinOp> {
+        self.builtin
+    }
 }
 
 impl<A: ValueType, B: ValueType> BinaryOp<A, B, A> {
     /// `GrB_FIRST_*`: z = x.
     pub fn first() -> Self {
-        BinaryOp::new("GrB_FIRST", |x: &A, _: &B| x.clone())
+        BinaryOp::tagged("GrB_FIRST", BuiltinOp::First, |x: &A, _: &B| x.clone())
     }
 }
 
 impl<A: ValueType, B: ValueType> BinaryOp<A, B, B> {
     /// `GrB_SECOND_*`: z = y.
     pub fn second() -> Self {
-        BinaryOp::new("GrB_SECOND", |_: &A, y: &B| y.clone())
+        BinaryOp::tagged("GrB_SECOND", BuiltinOp::Second, |_: &A, y: &B| y.clone())
     }
 }
 
 impl<A: ValueType, B: ValueType, Z: ValueType + One> BinaryOp<A, B, Z> {
     /// `GrB_ONEB_*` (a.k.a. PAIR): z = 1 whenever both operands exist.
     pub fn oneb() -> Self {
-        BinaryOp::new("GrB_ONEB", |_: &A, _: &B| Z::one())
+        BinaryOp::tagged("GrB_ONEB", BuiltinOp::OneB, |_: &A, _: &B| Z::one())
+    }
+}
+
+impl<T: ValueType> BinaryOp<T, T, T> {
+    /// `GxB_ANY_*`: z = either operand; this implementation keeps `x`, so
+    /// reductions keep whichever value they saw first.
+    pub fn any() -> Self {
+        BinaryOp::tagged("GxB_ANY", BuiltinOp::Any, |x: &T, _: &T| x.clone())
     }
 }
 
 impl<T: ValueType + Copy + std::ops::Add<Output = T>> BinaryOp<T, T, T> {
     /// `GrB_PLUS_*`.
     pub fn plus() -> Self {
-        BinaryOp::new("GrB_PLUS", |x: &T, y: &T| *x + *y)
+        BinaryOp::tagged("GrB_PLUS", BuiltinOp::Plus, |x: &T, y: &T| *x + *y)
     }
 }
 
 impl<T: ValueType + Copy + std::ops::Sub<Output = T>> BinaryOp<T, T, T> {
     /// `GrB_MINUS_*`.
     pub fn minus() -> Self {
-        BinaryOp::new("GrB_MINUS", |x: &T, y: &T| *x - *y)
+        BinaryOp::tagged("GrB_MINUS", BuiltinOp::Minus, |x: &T, y: &T| *x - *y)
     }
 }
 
 impl<T: ValueType + Copy + std::ops::Mul<Output = T>> BinaryOp<T, T, T> {
     /// `GrB_TIMES_*`.
     pub fn times() -> Self {
-        BinaryOp::new("GrB_TIMES", |x: &T, y: &T| *x * *y)
+        BinaryOp::tagged("GrB_TIMES", BuiltinOp::Times, |x: &T, y: &T| *x * *y)
     }
 }
 
 impl<T: ValueType + Copy + std::ops::Div<Output = T>> BinaryOp<T, T, T> {
     /// `GrB_DIV_*`.
     pub fn div() -> Self {
-        BinaryOp::new("GrB_DIV", |x: &T, y: &T| *x / *y)
+        BinaryOp::tagged("GrB_DIV", BuiltinOp::Div, |x: &T, y: &T| *x / *y)
     }
 }
 
 impl<T: ValueType + Copy + PartialOrd> BinaryOp<T, T, T> {
     /// `GrB_MIN_*`.
     pub fn min() -> Self {
-        BinaryOp::new("GrB_MIN", |x: &T, y: &T| if y < x { *y } else { *x })
+        BinaryOp::tagged("GrB_MIN", BuiltinOp::Min, |x: &T, y: &T| if y < x { *y } else { *x })
     }
 
     /// `GrB_MAX_*`.
     pub fn max() -> Self {
-        BinaryOp::new("GrB_MAX", |x: &T, y: &T| if y > x { *y } else { *x })
+        BinaryOp::tagged("GrB_MAX", BuiltinOp::Max, |x: &T, y: &T| if y > x { *y } else { *x })
     }
 }
 
 impl BinaryOp<bool, bool, bool> {
     /// `GrB_LOR`.
     pub fn lor() -> Self {
-        BinaryOp::new("GrB_LOR", |x: &bool, y: &bool| *x || *y)
+        BinaryOp::tagged("GrB_LOR", BuiltinOp::LOr, |x: &bool, y: &bool| *x || *y)
     }
 
     /// `GrB_LAND`.
     pub fn land() -> Self {
-        BinaryOp::new("GrB_LAND", |x: &bool, y: &bool| *x && *y)
+        BinaryOp::tagged("GrB_LAND", BuiltinOp::LAnd, |x: &bool, y: &bool| *x && *y)
     }
 
     /// `GrB_LXOR`.
     pub fn lxor() -> Self {
-        BinaryOp::new("GrB_LXOR", |x: &bool, y: &bool| *x != *y)
+        BinaryOp::tagged("GrB_LXOR", BuiltinOp::LXor, |x: &bool, y: &bool| *x != *y)
     }
 
     /// `GrB_LXNOR`.
     pub fn lxnor() -> Self {
-        BinaryOp::new("GrB_LXNOR", |x: &bool, y: &bool| *x == *y)
+        BinaryOp::tagged("GrB_LXNOR", BuiltinOp::LXnor, |x: &bool, y: &bool| *x == *y)
     }
 }
 
 impl<T: ValueType + PartialEq> BinaryOp<T, T, bool> {
     /// `GrB_EQ_*`.
     pub fn eq() -> Self {
-        BinaryOp::new("GrB_EQ", |x: &T, y: &T| x == y)
+        BinaryOp::tagged("GrB_EQ", BuiltinOp::Eq, |x: &T, y: &T| x == y)
     }
 
     /// `GrB_NE_*`.
     pub fn ne() -> Self {
-        BinaryOp::new("GrB_NE", |x: &T, y: &T| x != y)
+        BinaryOp::tagged("GrB_NE", BuiltinOp::Ne, |x: &T, y: &T| x != y)
     }
 }
 
 impl<T: ValueType + PartialOrd> BinaryOp<T, T, bool> {
     /// `GrB_LT_*`.
     pub fn lt() -> Self {
-        BinaryOp::new("GrB_LT", |x: &T, y: &T| x < y)
+        BinaryOp::tagged("GrB_LT", BuiltinOp::Lt, |x: &T, y: &T| x < y)
     }
 
     /// `GrB_LE_*`.
     pub fn le() -> Self {
-        BinaryOp::new("GrB_LE", |x: &T, y: &T| x <= y)
+        BinaryOp::tagged("GrB_LE", BuiltinOp::Le, |x: &T, y: &T| x <= y)
     }
 
     /// `GrB_GT_*`.
     pub fn gt() -> Self {
-        BinaryOp::new("GrB_GT", |x: &T, y: &T| x > y)
+        BinaryOp::tagged("GrB_GT", BuiltinOp::Gt, |x: &T, y: &T| x > y)
     }
 
     /// `GrB_GE_*`.
     pub fn ge() -> Self {
-        BinaryOp::new("GrB_GE", |x: &T, y: &T| x >= y)
+        BinaryOp::tagged("GrB_GE", BuiltinOp::Ge, |x: &T, y: &T| x >= y)
     }
 }
 

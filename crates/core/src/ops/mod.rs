@@ -2,19 +2,23 @@
 //! monoids, and semirings.
 //!
 //! Operators are cheap-to-clone wrappers around `Arc<dyn Fn>` — the Rust
-//! analogue of the C API's function-pointer-based `GrB_*Op_new`. Routing
-//! every scalar operation through a `dyn Fn` deliberately preserves the
-//! per-scalar indirect-call cost the paper's §II discusses; the
-//! `ablation_dispatch` bench quantifies it against monomorphized closures.
+//! analogue of the C API's function-pointer-based `GrB_*Op_new`. By itself
+//! that routes every scalar operation through a per-scalar indirect call,
+//! the cost the paper's §II discusses. The [`registry`] module closes the
+//! gap for the hot builtin semirings: predefined operators carry a
+//! [`binary::BuiltinOp`] identity tag, and dispatch sites consult a table
+//! of pre-monomorphized kernel instantiations before falling back to the
+//! `dyn Fn` path (which remains the universal route for user operators).
 
 pub mod binary;
 pub mod index_unary;
 pub mod monoid;
+pub mod registry;
 pub mod semiring;
 pub mod unary;
 
-pub use binary::BinaryOp;
+pub use binary::{BinaryOp, BuiltinOp};
 pub use index_unary::IndexUnaryOp;
 pub use monoid::Monoid;
 pub use semiring::Semiring;
-pub use unary::UnaryOp;
+pub use unary::{BuiltinUnaryOp, UnaryOp};

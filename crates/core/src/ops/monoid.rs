@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use crate::error::{Error, ExecErrorKind, GrbResult};
-use crate::ops::binary::BinaryOp;
+use crate::ops::binary::{BinaryOp, BuiltinOp};
 use crate::scalar::Scalar;
 use crate::types::{BoundedValue, One, ValueType, Zero};
 
@@ -15,6 +15,12 @@ pub struct Monoid<T> {
     op: BinaryOp<T, T, T>,
     identity: T,
     terminal: Option<Arc<dyn Fn(&T) -> bool + Send + Sync>>,
+    /// Set only by the canonical builtin constructors (`plus()`, `min()`,
+    /// …): the kernel-registry identity of this monoid *as constructed*,
+    /// canonical identity and terminal included. Customizing the terminal
+    /// (`with_terminal_pred`) clears it, because the registry's static
+    /// kernels bake in the canonical terminal semantics.
+    builtin: Option<BuiltinOp>,
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for Monoid<T> {
@@ -36,6 +42,7 @@ impl<T: ValueType> Monoid<T> {
             op,
             identity,
             terminal: None,
+            builtin: None,
         }
     }
 
@@ -59,7 +66,17 @@ impl<T: ValueType> Monoid<T> {
         pred: impl Fn(&T) -> bool + Send + Sync + 'static,
     ) -> Self {
         self.terminal = Some(Arc::new(pred));
+        // A custom terminal departs from the canonical builtin shape; the
+        // registry must no longer claim this monoid.
+        self.builtin = None;
         self
+    }
+
+    /// The builtin identity tag (kernel-registry dispatch key): present
+    /// only when this monoid is exactly one of the canonical builtins.
+    #[inline]
+    pub fn builtin(&self) -> Option<BuiltinOp> {
+        self.builtin
     }
 
     /// The underlying binary operator.
@@ -94,7 +111,9 @@ impl<T: ValueType + PartialEq> Monoid<T> {
 impl<T: ValueType + Copy + std::ops::Add<Output = T> + Zero> Monoid<T> {
     /// `GrB_PLUS_MONOID_*`: (+, 0).
     pub fn plus() -> Self {
-        Monoid::new(BinaryOp::plus(), T::zero())
+        let mut m = Monoid::new(BinaryOp::plus(), T::zero());
+        m.builtin = Some(BuiltinOp::Plus);
+        m
     }
 }
 
@@ -102,31 +121,53 @@ impl<T: ValueType + Copy + std::ops::Mul<Output = T> + One> Monoid<T> {
     /// `GrB_TIMES_MONOID_*`: (×, 1). No terminal: integer 0 annihilates,
     /// but float 0 does not (0 × NaN ≠ 0), so we stay conservative.
     pub fn times() -> Self {
-        Monoid::new(BinaryOp::times(), T::one())
+        let mut m = Monoid::new(BinaryOp::times(), T::one());
+        m.builtin = Some(BuiltinOp::Times);
+        m
     }
 }
 
 impl<T: ValueType + Copy + PartialOrd + BoundedValue + PartialEq> Monoid<T> {
     /// `GrB_MIN_MONOID_*`: (min, +∞) with terminal −∞.
     pub fn min() -> Self {
-        Monoid::new(BinaryOp::min(), T::max_value()).with_terminal(T::min_value())
+        let mut m = Monoid::new(BinaryOp::min(), T::max_value()).with_terminal(T::min_value());
+        m.builtin = Some(BuiltinOp::Min);
+        m
     }
 
     /// `GrB_MAX_MONOID_*`: (max, −∞) with terminal +∞.
     pub fn max() -> Self {
-        Monoid::new(BinaryOp::max(), T::min_value()).with_terminal(T::max_value())
+        let mut m = Monoid::new(BinaryOp::max(), T::min_value()).with_terminal(T::max_value());
+        m.builtin = Some(BuiltinOp::Max);
+        m
+    }
+}
+
+impl<T: ValueType + Zero> Monoid<T> {
+    /// `GxB_ANY_MONOID_*`: keeps whichever operand arrives first; every
+    /// value is terminal (a reduction may stop at the first hit). The
+    /// workhorse add monoid of structural semirings (`any_pair`), where
+    /// only *presence* matters and the first witness wins.
+    pub fn any() -> Self {
+        let mut m = Monoid::new(BinaryOp::any(), T::zero()).with_terminal_pred(|_| true);
+        m.builtin = Some(BuiltinOp::Any);
+        m
     }
 }
 
 impl Monoid<bool> {
     /// `GrB_LOR_MONOID_BOOL`: (∨, false) with terminal true.
     pub fn lor() -> Self {
-        Monoid::new(BinaryOp::lor(), false).with_terminal(true)
+        let mut m = Monoid::new(BinaryOp::lor(), false).with_terminal(true);
+        m.builtin = Some(BuiltinOp::LOr);
+        m
     }
 
     /// `GrB_LAND_MONOID_BOOL`: (∧, true) with terminal false.
     pub fn land() -> Self {
-        Monoid::new(BinaryOp::land(), true).with_terminal(false)
+        let mut m = Monoid::new(BinaryOp::land(), true).with_terminal(false);
+        m.builtin = Some(BuiltinOp::LAnd);
+        m
     }
 
     /// `GrB_LXOR_MONOID_BOOL`: (⊕, false).

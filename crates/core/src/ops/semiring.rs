@@ -145,6 +145,21 @@ where
 impl<A, B, Z> Semiring<A, B, Z>
 where
     A: ValueType,
+    B: ValueType,
+    Z: ValueType + Zero + One,
+{
+    /// `GxB_ANY_PAIR_SEMIRING`: pure structural reachability — multiply
+    /// yields 1 on any match, and the ANY monoid stops at the first
+    /// witness. The cheapest possible semiring for masked BFS-style
+    /// traversals (every value is terminal).
+    pub fn any_pair() -> Self {
+        Semiring::new(Monoid::any(), BinaryOp::oneb())
+    }
+}
+
+impl<A, B, Z> Semiring<A, B, Z>
+where
+    A: ValueType,
     B: ValueType + Into<Z>,
     Z: ValueType + Copy + std::ops::Add<Output = Z> + Zero,
 {
@@ -198,6 +213,17 @@ mod tests {
         let sr = Semiring::<u32, u32, u32>::max_min();
         assert_eq!(sr.multiply(&7, &3), 3);
         assert_eq!(sr.combine(&7, &3), 7);
+    }
+
+    #[test]
+    fn any_pair_structural() {
+        let sr = Semiring::<f64, f64, u64>::any_pair();
+        assert_eq!(sr.multiply(&2.5, &9.0), 1);
+        assert_eq!(sr.combine(&3, &4), 3); // ANY keeps the first operand
+        assert!(sr.add().terminal().unwrap()(&0)); // everything is terminal
+        use crate::ops::binary::BuiltinOp;
+        assert_eq!(sr.add().builtin(), Some(BuiltinOp::Any));
+        assert_eq!(sr.mul().builtin(), Some(BuiltinOp::OneB));
     }
 
     #[test]

@@ -4,10 +4,29 @@ use std::sync::Arc;
 
 use crate::types::ValueType;
 
+/// Identity tag for the predefined unary operators — the registry key
+/// mirroring [`crate::ops::binary::BuiltinOp`]. Set only by the canonical
+/// constructors; user operators (`new`) carry no tag and always take the
+/// dynamic dispatch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinUnaryOp {
+    /// `GrB_IDENTITY`: z = x.
+    Identity,
+    /// `GrB_AINV`: additive inverse.
+    Ainv,
+    /// `GrB_ABS`: absolute value.
+    Abs,
+    /// `GrB_LNOT`: logical negation.
+    Lnot,
+    /// `GrB_MINV`: multiplicative inverse.
+    Minv,
+}
+
 /// A unary operator from domain `A` to domain `Z`.
 #[derive(Clone)]
 pub struct UnaryOp<A, Z> {
     name: &'static str,
+    builtin: Option<BuiltinUnaryOp>,
     f: Arc<dyn Fn(&A) -> Z + Send + Sync>,
 }
 
@@ -18,9 +37,20 @@ impl<A, Z> std::fmt::Debug for UnaryOp<A, Z> {
 }
 
 impl<A: ValueType, Z: ValueType> UnaryOp<A, Z> {
-    /// Creates a user-defined operator (`GrB_UnaryOp_new`).
+    /// Creates a user-defined operator (`GrB_UnaryOp_new`). User operators
+    /// carry no builtin tag, so the kernel registry never claims them.
     pub fn new(name: &'static str, f: impl Fn(&A) -> Z + Send + Sync + 'static) -> Self {
-        UnaryOp { name, f: Arc::new(f) }
+        UnaryOp { name, builtin: None, f: Arc::new(f) }
+    }
+
+    /// Internal constructor for the predefined operators: same closure
+    /// erasure as [`UnaryOp::new`], plus the registry identity tag.
+    fn tagged(
+        name: &'static str,
+        builtin: BuiltinUnaryOp,
+        f: impl Fn(&A) -> Z + Send + Sync + 'static,
+    ) -> Self {
+        UnaryOp { name, builtin: Some(builtin), f: Arc::new(f) }
     }
 
     /// Applies the operator to one value.
@@ -33,19 +63,26 @@ impl<A: ValueType, Z: ValueType> UnaryOp<A, Z> {
     pub fn name(&self) -> &'static str {
         self.name
     }
+
+    /// The builtin identity tag, if this operator is one of the predefined
+    /// ones (the kernel-registry dispatch key). `None` for user operators.
+    #[inline]
+    pub fn builtin(&self) -> Option<BuiltinUnaryOp> {
+        self.builtin
+    }
 }
 
 impl<T: ValueType> UnaryOp<T, T> {
     /// `GrB_IDENTITY_*`: z = x.
     pub fn identity() -> Self {
-        UnaryOp::new("GrB_IDENTITY", |x: &T| x.clone())
+        UnaryOp::tagged("GrB_IDENTITY", BuiltinUnaryOp::Identity, |x: &T| x.clone())
     }
 }
 
 impl<T: ValueType + Copy + std::ops::Neg<Output = T>> UnaryOp<T, T> {
     /// `GrB_AINV_*`: additive inverse.
     pub fn ainv() -> Self {
-        UnaryOp::new("GrB_AINV", |x: &T| -*x)
+        UnaryOp::tagged("GrB_AINV", BuiltinUnaryOp::Ainv, |x: &T| -*x)
     }
 }
 
@@ -54,7 +91,7 @@ macro_rules! abs_ops {
         $(impl UnaryOp<$t, $t> {
             /// `GrB_ABS_*`: absolute value.
             pub fn abs() -> Self {
-                UnaryOp::new("GrB_ABS", |x: &$t| x.abs())
+                UnaryOp::tagged("GrB_ABS", BuiltinUnaryOp::Abs, |x: &$t| x.abs())
             }
         })*
     };
@@ -65,14 +102,16 @@ abs_ops!(i8, i16, i32, i64, f32, f64);
 impl UnaryOp<bool, bool> {
     /// `GrB_LNOT`: logical negation.
     pub fn lnot() -> Self {
-        UnaryOp::new("GrB_LNOT", |x: &bool| !*x)
+        UnaryOp::tagged("GrB_LNOT", BuiltinUnaryOp::Lnot, |x: &bool| !*x)
     }
 }
 
 impl<T: ValueType + Copy + std::ops::Div<Output = T> + crate::types::One> UnaryOp<T, T> {
     /// `GrB_MINV_*`: multiplicative inverse.
     pub fn minv() -> Self {
-        UnaryOp::new("GrB_MINV", |x: &T| <T as crate::types::One>::one() / *x)
+        UnaryOp::tagged("GrB_MINV", BuiltinUnaryOp::Minv, |x: &T| {
+            <T as crate::types::One>::one() / *x
+        })
     }
 }
 
@@ -87,6 +126,18 @@ mod tests {
         assert_eq!(UnaryOp::<i64, i64>::abs().apply(&-9), 9);
         assert!(!UnaryOp::lnot().apply(&true));
         assert_eq!(UnaryOp::<f64, f64>::minv().apply(&4.0), 0.25);
+    }
+
+    #[test]
+    fn builtin_tags() {
+        assert_eq!(
+            UnaryOp::<i32, i32>::identity().builtin(),
+            Some(BuiltinUnaryOp::Identity)
+        );
+        assert_eq!(UnaryOp::<f64, f64>::abs().builtin(), Some(BuiltinUnaryOp::Abs));
+        assert_eq!(UnaryOp::lnot().builtin(), Some(BuiltinUnaryOp::Lnot));
+        let user = UnaryOp::<i32, i32>::new("sq", |x| x * x);
+        assert_eq!(user.builtin(), None);
     }
 
     #[test]

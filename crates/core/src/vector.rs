@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use graphblas_exec::sync::{Mutex, RwLock};
 use graphblas_exec::{Context, Mode};
-use graphblas_sparse::{DenseVec, SparseVec};
+use graphblas_sparse::{BitmapVec, DenseVec, SparseVec};
 
 use crate::error::{ApiError, Error, ExecutionError, GrbResult};
 use crate::introspect::ObjectStats;
@@ -21,6 +21,9 @@ pub(crate) enum VecStore<T: ValueType> {
     /// last-wins at canonicalization).
     Sparse(Arc<SparseVec<T>>),
     Dense(Arc<DenseVec<T>>),
+    /// Table III bitmap format: mid-density frontiers produced by
+    /// `mxv`/`vxm` land here (see the format heuristic in `operations`).
+    Bitmap(Arc<BitmapVec<T>>),
 }
 
 impl<T: ValueType> Clone for VecStore<T> {
@@ -28,6 +31,7 @@ impl<T: ValueType> Clone for VecStore<T> {
         match self {
             VecStore::Sparse(a) => VecStore::Sparse(a.clone()),
             VecStore::Dense(a) => VecStore::Dense(a.clone()),
+            VecStore::Bitmap(a) => VecStore::Bitmap(a.clone()),
         }
     }
 }
@@ -39,6 +43,30 @@ impl<T: ValueType> VecStore<T> {
         match self {
             VecStore::Sparse(a) => a.bytes(),
             VecStore::Dense(a) => a.bytes(),
+            VecStore::Bitmap(a) => a.bytes(),
+        }
+    }
+}
+
+/// A completed `mxv`/`vxm` input frontier in whichever Table III format
+/// the producing operation chose to store it.
+pub(crate) enum Frontier<T: ValueType> {
+    Sparse(Arc<SparseVec<T>>),
+    Bitmap(Arc<BitmapVec<T>>),
+}
+
+impl<T: ValueType> Frontier<T> {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Frontier::Sparse(s) => s.len(),
+            Frontier::Bitmap(b) => b.len(),
+        }
+    }
+
+    pub(crate) fn nnz(&self) -> usize {
+        match self {
+            Frontier::Sparse(s) => s.nnz(),
+            Frontier::Bitmap(b) => b.nnz(),
         }
     }
 }
@@ -116,8 +144,15 @@ impl<T: ValueType> VectorState<T> {
                 src_format = Some("dense");
                 Arc::new(d.to_sparse())
             }
+            VecStore::Bitmap(b) => {
+                src_format = Some("bitmap");
+                Arc::new(b.to_svec())
+            }
         };
         if let Some(src) = src_format {
+            if src == "bitmap" && graphblas_obs::enabled() {
+                graphblas_obs::counters::record_format_conversion();
+            }
             if graphblas_obs::events::on() {
                 graphblas_obs::events::decision_convert_sparse(
                     "vector",
@@ -147,6 +182,13 @@ impl<T: ValueType> VectorState<T> {
             VecStore::Dense(a) => {
                 a.check().map_err(|source| CheckError::Format {
                     format: "full",
+                    source,
+                })?;
+                a.len()
+            }
+            VecStore::Bitmap(a) => {
+                a.check().map_err(|source| CheckError::Format {
+                    format: "bitmap",
                     source,
                 })?;
                 a.len()
@@ -364,9 +406,15 @@ impl<T: ValueType> Vector<T> {
         self.inner.state.lock().n
     }
 
-    /// `GrB_Vector_nvals`. Forces completion.
+    /// `GrB_Vector_nvals`. Forces completion but not canonicalization —
+    /// bitmap and dense stores report their counts in place.
     pub fn nvals(&self) -> GrbResult<usize> {
         let mut st = self.lock_completed()?;
+        match &st.store {
+            VecStore::Bitmap(b) => return Ok(b.nnz()),
+            VecStore::Dense(d) => return Ok(d.len()),
+            VecStore::Sparse(_) => {}
+        }
         st.ensure_sparse()?;
         Ok(st.sparse().nnz())
     }
@@ -412,7 +460,7 @@ impl<T: ValueType> Vector<T> {
         if i >= st.n {
             return Err(ApiError::InvalidIndex.into());
         }
-        if let VecStore::Dense(_) = st.store {
+        if !matches!(st.store, VecStore::Sparse(_)) {
             st.ensure_sparse()?;
         }
         if let VecStore::Sparse(sv) = &mut st.store {
@@ -531,6 +579,7 @@ impl<T: ValueType> Vector<T> {
         let (format, nvals) = match &st.store {
             VecStore::Sparse(a) => ("sparse", a.nnz()),
             VecStore::Dense(a) => ("full", a.len()),
+            VecStore::Bitmap(a) => ("bitmap", a.nnz()),
         };
         ObjectStats {
             kind: "vector",
@@ -591,6 +640,18 @@ impl<T: ValueType> Vector<T> {
         let mut st = self.lock_completed()?;
         st.ensure_sparse()?;
         Ok(st.sparse().clone())
+    }
+
+    /// Completes and snapshots in the store's current frontier format —
+    /// bitmap stays bitmap (the pull kernel consumes it natively), every
+    /// other format canonicalizes to sparse.
+    pub(crate) fn snapshot_frontier(&self) -> GrbResult<Frontier<T>> {
+        let mut st = self.lock_completed()?;
+        if let VecStore::Bitmap(b) = &st.store {
+            return Ok(Frontier::Bitmap(b.clone()));
+        }
+        st.ensure_sparse()?;
+        Ok(Frontier::Sparse(st.sparse().clone()))
     }
 
     pub(crate) fn apply_write(

@@ -362,6 +362,105 @@ pub(crate) fn direction_totals() -> DirectionTotals {
     }
 }
 
+/// Kernel-registry dispatch statistics: how often an operation ran a
+/// pre-monomorphized static kernel from `core::ops::registry` (paper §II
+/// static dispatch) versus falling back to the universal `dyn Fn` path
+/// (user-defined operators, unregistered semiring/type combinations, or
+/// `GRB_DISPATCH=dyn`).
+pub struct DispatchCounters {
+    /// Dispatches served by a registered monomorphized kernel.
+    pub static_hits: AtomicU64,
+    /// Dispatches that fell back to the erased-closure path.
+    pub dyn_fallbacks: AtomicU64,
+}
+
+static DISPATCH: DispatchCounters = DispatchCounters {
+    static_hits: AtomicU64::new(0),
+    dyn_fallbacks: AtomicU64::new(0),
+};
+
+/// The global kernel-registry dispatch counter block.
+pub fn dispatch() -> &'static DispatchCounters {
+    &DISPATCH
+}
+
+/// Records one kernel dispatch decision (`is_static` = registry hit).
+pub fn record_dispatch_pick(is_static: bool) {
+    if is_static {
+        DISPATCH.static_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        DISPATCH.dyn_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of the dispatch statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchTotals {
+    pub static_hits: u64,
+    pub dyn_fallbacks: u64,
+}
+
+pub(crate) fn dispatch_totals() -> DispatchTotals {
+    DispatchTotals {
+        static_hits: DISPATCH.static_hits.load(Ordering::Relaxed),
+        dyn_fallbacks: DISPATCH.dyn_fallbacks.load(Ordering::Relaxed),
+    }
+}
+
+/// Vector storage-format statistics (Table III): how often the mxv/vxm
+/// store path kept the sparse (index/value) representation versus the
+/// bitmap (presence bits + dense slots) representation for a near-dense
+/// result, and how many bitmap→sparse conversions later kernels forced.
+pub struct FormatCounters {
+    /// Results stored in bitmap format (density qualified).
+    pub bitmap_picks: AtomicU64,
+    /// Results kept in sparse index/value format.
+    pub svec_picks: AtomicU64,
+    /// Bitmap→sparse conversions forced by a downstream consumer.
+    pub conversions: AtomicU64,
+}
+
+static FORMAT: FormatCounters = FormatCounters {
+    bitmap_picks: AtomicU64::new(0),
+    svec_picks: AtomicU64::new(0),
+    conversions: AtomicU64::new(0),
+};
+
+/// The global vector-format counter block.
+pub fn format() -> &'static FormatCounters {
+    &FORMAT
+}
+
+/// Records one output-format decision (`bitmap` = bitmap store chosen).
+pub fn record_format_pick(bitmap: bool) {
+    if bitmap {
+        FORMAT.bitmap_picks.fetch_add(1, Ordering::Relaxed);
+    } else {
+        FORMAT.svec_picks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records one bitmap→sparse conversion forced by a consumer.
+pub fn record_format_conversion() {
+    FORMAT.conversions.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time copy of the format statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FormatTotals {
+    pub bitmap_picks: u64,
+    pub svec_picks: u64,
+    pub conversions: u64,
+}
+
+pub(crate) fn format_totals() -> FormatTotals {
+    FormatTotals {
+        bitmap_picks: FORMAT.bitmap_picks.load(Ordering::Relaxed),
+        svec_picks: FORMAT.svec_picks.load(Ordering::Relaxed),
+        conversions: FORMAT.conversions.load(Ordering::Relaxed),
+    }
+}
+
 /// Thread-pool activity counters. The pool has no work stealing; the
 /// park/wake pair is the closest observable analogue — a park is a worker
 /// blocking on an empty queue, a wake is a job arriving for a parked
@@ -441,6 +540,11 @@ pub(crate) fn reset() {
     DIRECTION.pull_picks.store(0, Ordering::Relaxed);
     DIRECTION.transpose_builds.store(0, Ordering::Relaxed);
     DIRECTION.transpose_hits.store(0, Ordering::Relaxed);
+    DISPATCH.static_hits.store(0, Ordering::Relaxed);
+    DISPATCH.dyn_fallbacks.store(0, Ordering::Relaxed);
+    FORMAT.bitmap_picks.store(0, Ordering::Relaxed);
+    FORMAT.svec_picks.store(0, Ordering::Relaxed);
+    FORMAT.conversions.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -508,6 +612,28 @@ mod tests {
         assert_eq!(d1.push_picks - d0.push_picks, 1);
         assert_eq!(d1.transpose_builds - d0.transpose_builds, 1);
         assert_eq!(d1.transpose_hits - d0.transpose_hits, 1);
+    }
+
+    #[test]
+    fn dispatch_and_format_recording_accumulates() {
+        let _g = serialize();
+        let s0 = dispatch_totals();
+        record_dispatch_pick(true);
+        record_dispatch_pick(true);
+        record_dispatch_pick(false);
+        let s1 = dispatch_totals();
+        assert_eq!(s1.static_hits - s0.static_hits, 2);
+        assert_eq!(s1.dyn_fallbacks - s0.dyn_fallbacks, 1);
+
+        let f0 = format_totals();
+        record_format_pick(true);
+        record_format_pick(false);
+        record_format_pick(false);
+        record_format_conversion();
+        let f1 = format_totals();
+        assert_eq!(f1.bitmap_picks - f0.bitmap_picks, 1);
+        assert_eq!(f1.svec_picks - f0.svec_picks, 2);
+        assert_eq!(f1.conversions - f0.conversions, 1);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::span;
 pub const DEFAULT_EVENTS_CAPACITY: usize = 4096;
 
 /// Number of [`Reason`] codes (array sizing).
-pub const REASON_COUNT: usize = 14;
+pub const REASON_COUNT: usize = 16;
 
 /// Why the runtime did what it did: one code per choice point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +74,13 @@ pub enum Reason {
     ErrorRaised,
     /// A drain failed and poisoned its container (§V deferred error).
     ErrorDeferred,
+    /// An operation resolved its semiring/operator dispatch: `detail` is
+    /// "static" (pre-monomorphized registry kernel, paper §II) or "dyn"
+    /// (erased-closure fallback).
+    DispatchPick,
+    /// The mxv/vxm store path picked a vector storage format for its
+    /// result: `detail` is "bitmap" or "sparse" (Table III).
+    FormatPick,
 }
 
 impl Reason {
@@ -95,6 +102,8 @@ impl Reason {
             Reason::KernelPath => "kernel-path",
             Reason::ErrorRaised => "error-raised",
             Reason::ErrorDeferred => "error-deferred",
+            Reason::DispatchPick => "dispatch-pick",
+            Reason::FormatPick => "format-pick",
         }
     }
 
@@ -115,6 +124,8 @@ impl Reason {
             Reason::KernelPath,
             Reason::ErrorRaised,
             Reason::ErrorDeferred,
+            Reason::DispatchPick,
+            Reason::FormatPick,
         ]
     }
 
@@ -134,6 +145,8 @@ impl Reason {
             Reason::KernelPath => 11,
             Reason::ErrorRaised => 12,
             Reason::ErrorDeferred => 13,
+            Reason::DispatchPick => 14,
+            Reason::FormatPick => 15,
         }
     }
 
@@ -154,6 +167,8 @@ impl Reason {
             Reason::KernelPath => ["nnz", "len", ""],
             Reason::ErrorRaised => ["code", "", ""],
             Reason::ErrorDeferred => ["", "", ""],
+            Reason::DispatchPick => ["", "", ""],
+            Reason::FormatPick => ["nnz", "len", ""],
         }
     }
 }
@@ -441,6 +456,23 @@ pub fn decision_error_raised(kind: &'static str, code: u64) {
 #[inline]
 pub fn decision_error_deferred(op: &'static str, ctx: u64) {
     record(Reason::ErrorDeferred, op, "poisoned", ctx, [0, 0, 0]);
+}
+
+/// An operation resolved its kernel dispatch: `is_static` means a
+/// pre-monomorphized registry kernel ran (paper §II static dispatch);
+/// otherwise the erased-closure fallback did.
+#[inline]
+pub fn decision_dispatch(op: &'static str, ctx: u64, is_static: bool) {
+    let detail = if is_static { "static" } else { "dyn" };
+    record(Reason::DispatchPick, op, detail, ctx, [0, 0, 0]);
+}
+
+/// The store path picked a vector storage format (`bitmap` = presence
+/// bits + dense slots) for a result of `nnz`/`len` (Table III).
+#[inline]
+pub fn decision_format(op: &'static str, ctx: u64, bitmap: bool, nnz: u64, len: u64) {
+    let detail = if bitmap { "bitmap" } else { "sparse" };
+    record(Reason::FormatPick, op, detail, ctx, [nnz, len, 0]);
 }
 
 // --- reading / explain ----------------------------------------------------

@@ -59,7 +59,9 @@ pub mod snapshot;
 pub mod span;
 pub mod timeline;
 
-pub use counters::{Kernel, KernelTotals, PendingTotals, PoolTotals, KERNEL_COUNT};
+pub use counters::{
+    DispatchTotals, FormatTotals, Kernel, KernelTotals, PendingTotals, PoolTotals, KERNEL_COUNT,
+};
 pub use ctxreg::{register_context, ContextStats, CtxTotals};
 pub use events::{
     write_explain_if_requested, DecisionEvent, Explain, Reason, REASON_COUNT,

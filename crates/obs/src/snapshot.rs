@@ -3,7 +3,8 @@
 //! the bench harness (`BENCH_obs.json`).
 
 use crate::counters::{
-    self, DirectionTotals, KernelTotals, PendingTotals, PoolTotals, WorkspaceTotals,
+    self, DirectionTotals, DispatchTotals, FormatTotals, KernelTotals, PendingTotals, PoolTotals,
+    WorkspaceTotals,
 };
 use crate::ctxreg::{self, ContextStats};
 use crate::events::{self, Reason};
@@ -27,6 +28,10 @@ pub struct Snapshot {
     pub workspace: WorkspaceTotals,
     /// Direction-optimizing `mxv`/`vxm` dispatch statistics.
     pub direction: DirectionTotals,
+    /// Kernel-registry static-vs-dyn dispatch statistics.
+    pub dispatch: DispatchTotals,
+    /// Vector storage-format (bitmap vs sparse) statistics.
+    pub format: FormatTotals,
     /// Per-kernel latency histograms, in the same order as `kernels`.
     pub hists: Vec<KernelHist>,
     /// Container-store and workspace-cache memory gauges.
@@ -57,6 +62,8 @@ pub fn snapshot() -> Snapshot {
         pool: counters::pool_totals(),
         workspace: counters::workspace_totals(),
         direction: counters::direction_totals(),
+        dispatch: counters::dispatch_totals(),
+        format: counters::format_totals(),
         hists: hist::kernel_hists(),
         mem: mem::totals(),
         contexts: ctxreg::all_context_stats(),
@@ -189,6 +196,24 @@ impl Snapshot {
         w.number(self.direction.transpose_hits);
         w.end_object();
 
+        w.key("dispatch");
+        w.begin_object();
+        w.key("static_hits");
+        w.number(self.dispatch.static_hits);
+        w.key("dyn_fallbacks");
+        w.number(self.dispatch.dyn_fallbacks);
+        w.end_object();
+
+        w.key("format");
+        w.begin_object();
+        w.key("bitmap_picks");
+        w.number(self.format.bitmap_picks);
+        w.key("svec_picks");
+        w.number(self.format.svec_picks);
+        w.key("conversions");
+        w.number(self.format.conversions);
+        w.end_object();
+
         w.key("mem");
         w.begin_object();
         w.key("container_live_bytes");
@@ -300,6 +325,10 @@ mod tests {
         assert!(json.contains("\"pool\""));
         assert!(json.contains("\"workspace\""));
         assert!(json.contains("\"direction\""));
+        assert!(json.contains("\"dispatch\""));
+        assert!(json.contains("\"static_hits\""));
+        assert!(json.contains("\"format\""));
+        assert!(json.contains("\"bitmap_picks\""));
         assert!(json.contains("\"mem\""));
         assert!(json.contains("\"container_live_bytes\""));
         assert!(json.contains("\"p50_ns\""));

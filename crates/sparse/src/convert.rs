@@ -6,6 +6,7 @@
 
 use graphblas_exec::Context;
 
+use crate::bitmap::BitmapVec;
 use crate::coo::Coo;
 use crate::csc::Csc;
 use crate::csr::Csr;
@@ -45,6 +46,9 @@ fn with_convert_span<R>(
 pub fn coo_to_csr<T: Clone + Send + Sync>(
     ctx: &Context,
     coo: &Coo<T>,
+    // grblint: allow(dyn-semiring-in-hot-kernel) — the dedup callback
+    // runs once per duplicate during canonicalization, not in a semiring
+    // flop loop; type erasure costs nothing here.
     dup: Option<&(dyn Fn(&T, &T) -> T + Sync)>,
 ) -> Result<Csr<T>, FormatError> {
     with_convert_span(
@@ -110,6 +114,26 @@ pub fn csr_transpose<T: Clone + Send + Sync>(ctx: &Context, a: &Csr<T>) -> Csr<T
 /// Dense vector → sparse vector.
 pub fn dvec_to_svec<T: Clone>(d: &DenseVec<T>) -> SparseVec<T> {
     d.to_sparse()
+}
+
+/// Sparse vector → bitmap vector (Table III `GxB_BITMAP`).
+pub fn svec_to_bitmap<T: Clone>(s: &SparseVec<T>) -> BitmapVec<T> {
+    BitmapVec::from_svec(s)
+}
+
+/// Bitmap vector → sparse vector (sorted output).
+pub fn bitmap_to_svec<T: Clone>(b: &BitmapVec<T>) -> SparseVec<T> {
+    b.to_svec()
+}
+
+/// Dense vector → bitmap vector (every bit set).
+pub fn dvec_to_bitmap<T: Clone>(d: &DenseVec<T>) -> BitmapVec<T> {
+    BitmapVec::from_dvec(d)
+}
+
+/// Bitmap vector → dense vector; requires every element present.
+pub fn bitmap_to_dvec<T: Clone>(b: &BitmapVec<T>) -> Result<DenseVec<T>, FormatError> {
+    b.to_dvec()
 }
 
 /// Sparse vector → dense vector; requires every element present.

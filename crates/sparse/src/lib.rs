@@ -20,12 +20,15 @@
 //! budget. Kernels are generic over plain `Fn` closures: calling them with
 //! boxed operator objects reproduces the per-scalar indirect-call cost the
 //! paper discusses in §II, while calling them with inline closures yields
-//! monomorphized code — the comparison is the `ablation_dispatch` bench.
+//! monomorphized code — `core::ops::registry` pre-instantiates the hot
+//! builtin-semiring combinations, and the `kernels` bench measures the
+//! static-vs-dyn gap in its in-harness ablation.
 
 // `dyn Fn` operator fields and stage closures are the domain model here;
 // aliasing every signature would hide more than it reveals.
 #![allow(clippy::type_complexity)]
 
+pub mod bitmap;
 pub mod convert;
 pub mod coo;
 pub mod csc;
@@ -41,6 +44,7 @@ pub mod svec;
 pub mod transpose;
 pub mod util;
 
+pub use bitmap::BitmapVec;
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;

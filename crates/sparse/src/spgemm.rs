@@ -17,7 +17,7 @@
 
 use std::ops::Range;
 
-use graphblas_exec::workspace::{self, DenseAcc, MarkSet};
+use graphblas_exec::workspace::{self, BitSet, DenseAcc};
 use graphblas_exec::{parallel_map_chunks, parallel_map_ranges, partition, Context};
 
 use crate::csr::Csr;
@@ -174,8 +174,10 @@ where
     let chunks = parallel_map_ranges(ranges, |rows: Range<usize>| {
         let _task = graphblas_obs::timeline::phase("spgemm.numeric.task");
         let mut spa = workspace::checkout::<DenseAcc<Z>>(n);
-        // Second stamp set marking mask-allowed columns for this row.
-        let mut allow = workspace::checkout::<MarkSet>(n);
+        // Word-packed set marking mask-allowed columns for this row: the
+        // inner flop loop tests it per product, so the 8-per-byte packing
+        // keeps it cache-resident on wide matrices.
+        let mut allow = workspace::checkout::<BitSet>(n);
         let mut lens = Vec::with_capacity(rows.len());
         let mut idx = Vec::new();
         let mut vals: Vec<Z> = Vec::new();

@@ -11,14 +11,17 @@ use std::ops::Range;
 use graphblas_exec::workspace::{self, DenseAcc, MarkTable};
 use graphblas_exec::{parallel_map_ranges, partition, Context};
 
+use crate::bitmap::BitmapVec;
 use crate::csr::Csr;
 use crate::svec::SparseVec;
 
 /// How `spmv` resolves input-vector entries by column: direct indexing
-/// when the frontier is dense, a checked-out position table when sparse.
+/// when the frontier is dense, a checked-out position table when sparse,
+/// or a word-indexed bit test when the frontier is stored as a bitmap.
 enum XLookup<'a, X> {
     Dense(&'a [X]),
     Table(&'a MarkTable, &'a [X]),
+    Bitmap(&'a BitmapVec<X>),
 }
 
 impl<'a, X> XLookup<'a, X> {
@@ -27,19 +30,20 @@ impl<'a, X> XLookup<'a, X> {
         match self {
             XLookup::Dense(vals) => Some(&vals[j]),
             XLookup::Table(t, vals) => t.get(j).map(|p| &vals[p]),
+            XLookup::Bitmap(b) => b.get(j),
         }
     }
 }
 
 /// `y = A ⊕.⊗ x` (pull). `is_terminal`, when given, allows each row's
 /// accumulation to stop early once the add-monoid annihilator is reached.
-pub fn spmv<A, X, Z, FM, FA>(
+pub fn spmv<A, X, Z, FM, FA, FT>(
     ctx: &Context,
     a: &Csr<A>,
     x: &SparseVec<X>,
     mul: FM,
     add: FA,
-    is_terminal: Option<&(dyn Fn(&Z) -> bool + Sync)>,
+    is_terminal: Option<FT>,
 ) -> SparseVec<Z>
 where
     A: Clone + Send + Sync,
@@ -47,6 +51,7 @@ where
     Z: Clone + Send + Sync,
     FM: Fn(&A, &X) -> Z + Sync,
     FA: Fn(Z, Z) -> Z + Sync,
+    FT: Fn(&Z) -> bool + Sync,
 {
     assert_eq!(a.ncols(), x.len(), "spmv: dimension mismatch");
     let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::SpMv, ctx.id());
@@ -89,6 +94,82 @@ where
         None => XLookup::Dense(x.values()),
         Some(t) => XLookup::Table(t, x.values()),
     };
+    let y = spmv_rows(ctx, a, &lookup, &mul, &add, is_terminal.as_ref());
+    if sp.active() {
+        sp.io(0, 0, y.nnz() as u64, 0);
+    }
+    y
+}
+
+/// `y = A ⊕.⊗ x` (pull) over a bitmap-format frontier. Identical row loop
+/// to [`spmv`], but entry lookup is a word-indexed bit test — no
+/// densification table needs to be built or checked out.
+pub fn spmv_bitmap<A, X, Z, FM, FA, FT>(
+    ctx: &Context,
+    a: &Csr<A>,
+    x: &BitmapVec<X>,
+    mul: FM,
+    add: FA,
+    is_terminal: Option<FT>,
+) -> SparseVec<Z>
+where
+    A: Clone + Send + Sync,
+    X: Clone + Send + Sync,
+    Z: Clone + Send + Sync,
+    FM: Fn(&A, &X) -> Z + Sync,
+    FA: Fn(Z, Z) -> Z + Sync,
+    FT: Fn(&Z) -> bool + Sync,
+{
+    assert_eq!(a.ncols(), x.len(), "spmv: dimension mismatch");
+    let mut sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::SpMv, ctx.id());
+    if sp.active() {
+        sp.io(
+            a.nnz() as u64,
+            (a.nnz() + x.nnz()) as u64,
+            0,
+            ((a.nnz() + x.nnz()) * std::mem::size_of::<usize>()) as u64,
+        );
+    }
+    let nrows = a.nrows();
+    if nrows == 0 {
+        return SparseVec::empty(0);
+    }
+    if graphblas_obs::events::on() {
+        graphblas_obs::events::decision_kernel_path(
+            "spmv",
+            ctx.id(),
+            "bitmap-frontier",
+            x.nnz() as u64,
+            x.len() as u64,
+        );
+    }
+    let lookup = XLookup::Bitmap(x);
+    let y = spmv_rows(ctx, a, &lookup, &mul, &add, is_terminal.as_ref());
+    if sp.active() {
+        sp.io(0, 0, y.nnz() as u64, 0);
+    }
+    y
+}
+
+/// Shared pull row loop: nnz-balanced row ranges, per-row dot product with
+/// optional terminal early-exit, concatenated sorted assembly.
+fn spmv_rows<A, X, Z, FM, FA, FT>(
+    ctx: &Context,
+    a: &Csr<A>,
+    lookup: &XLookup<'_, X>,
+    mul: &FM,
+    add: &FA,
+    is_terminal: Option<&FT>,
+) -> SparseVec<Z>
+where
+    A: Clone + Send + Sync,
+    X: Clone + Send + Sync,
+    Z: Clone + Send + Sync,
+    FM: Fn(&A, &X) -> Z + Sync,
+    FA: Fn(Z, Z) -> Z + Sync,
+    FT: Fn(&Z) -> bool + Sync,
+{
+    let nrows = a.nrows();
     let k = ctx
         .effective_threads()
         .min(a.nnz().max(1).div_ceil(ctx.chunk_size()).max(1))
@@ -131,11 +212,7 @@ where
         indices.extend(idx);
         values.extend(vals);
     }
-    let y = SparseVec::from_kernel_parts(nrows, indices, values, true);
-    if sp.active() {
-        sp.io(0, 0, y.nnz() as u64, 0);
-    }
-    y
+    SparseVec::from_kernel_parts(nrows, indices, values, true)
 }
 
 /// `yᵀ = xᵀ ⊕.⊗ A` (push). Each task scatters a chunk of `x`'s nonzeros
@@ -244,7 +321,7 @@ mod tests {
         let ctx = global_context();
         let a = matrix();
         let x = SparseVec::from_parts(3, vec![0, 1, 2], vec![1i64, 1, 1]).unwrap();
-        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None);
+        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>);
         assert_eq!(y.to_sorted_tuples(), vec![(0, 3), (1, 3), (2, 9)]);
     }
 
@@ -253,7 +330,7 @@ mod tests {
         let ctx = global_context();
         let a = matrix();
         let x = SparseVec::from_parts(3, vec![2], vec![10i64]).unwrap();
-        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None);
+        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>);
         assert_eq!(y.to_sorted_tuples(), vec![(0, 20), (2, 50)]);
     }
 
@@ -262,9 +339,21 @@ mod tests {
         let ctx = global_context();
         let a = matrix();
         let x = SparseVec::<i64>::empty(3);
-        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None);
+        let y = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>);
         assert_eq!(y.nnz(), 0);
         assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn spmv_bitmap_matches_sparse_frontier() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::from_parts(3, vec![0, 2], vec![10i64, 20]).unwrap();
+        let xb = BitmapVec::from_svec(&x);
+        let sparse = spmv(&ctx, &a, &x, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>);
+        let bitmap =
+            spmv_bitmap(&ctx, &a, &xb, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>);
+        assert_eq!(bitmap.to_sorted_tuples(), sparse.to_sorted_tuples());
     }
 
     #[test]
@@ -274,7 +363,7 @@ mod tests {
         let x = SparseVec::from_parts(3, vec![0, 2], vec![1i64, 2]).unwrap();
         let push = vxm(&ctx, &x, &a, |x, a| x * a, |p, q| p + q);
         let at = crate::transpose::transpose(&ctx, &a);
-        let pull = spmv(&ctx, &at, &x, |a, x| a * x, |p, q| p + q, None);
+        let pull = spmv(&ctx, &at, &x, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>);
         assert_eq!(push.to_sorted_tuples(), pull.to_sorted_tuples());
     }
 
@@ -307,7 +396,7 @@ mod tests {
         let and = |a: &bool, b: &bool| *a && *b;
         let or = |p: bool, q: bool| p || q;
         let with_t = spmv(&ctx, &a, &x, and, or, Some(&|z: &bool| *z));
-        let without = spmv(&ctx, &a, &x, and, or, None);
+        let without = spmv(&ctx, &a, &x, and, or, None::<fn(&bool) -> bool>);
         assert_eq!(with_t.to_sorted_tuples(), without.to_sorted_tuples());
         assert_eq!(with_t.get(0), Some(&true));
         assert_eq!(with_t.get(1), Some(&false));
@@ -336,7 +425,7 @@ mod tests {
         let x = SparseVec::from_parts(m, xi, xv).unwrap();
         let push = vxm(&ctx, &x, &a, |x, a| x * a, |p, q| p + q);
         let at = crate::transpose::transpose(&ctx, &a);
-        let pull = spmv(&ctx, &at, &x, |a, x| a * x, |p, q| p + q, None);
+        let pull = spmv(&ctx, &at, &x, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>);
         assert_eq!(push.to_sorted_tuples(), pull.to_sorted_tuples());
     }
 }

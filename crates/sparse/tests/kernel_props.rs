@@ -169,7 +169,7 @@ fn spmv_and_vxm_agree_via_transpose() {
         .unwrap();
         let push = spmv::vxm(&ctx, &xv, &am, |x, a| x * a, |p, q| p + q);
         let at = transpose::transpose(&ctx, &am);
-        let pull = spmv::spmv(&ctx, &at, &xv, |a, x| a * x, |p, q| p + q, None);
+        let pull = spmv::spmv(&ctx, &at, &xv, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>);
         assert_eq!(push.to_sorted_tuples(), pull.to_sorted_tuples());
     }
 }

@@ -103,12 +103,14 @@ for f in BENCH_kernels_smoke.json BENCH_obs.json; do
     esac
 done
 for key in '"pagerank"' '"bfs"' '"spgemm"' '"fused_apply"' '"workspace"' '"direction"' \
+           '"dispatch"' '"format"' '"static_hits"' '"bitmap_picks"' \
            '"median_secs"' '"kernels"' '"p50_ns"' '"p99_ns"' '"mem"' \
            '"container_high_bytes"'; do
     grep -q "$key" BENCH_kernels_smoke.json \
         || { echo "check: BENCH_kernels_smoke.json lacks $key" >&2; exit 1; }
 done
 for key in '"kernels"' '"pending"' '"pool"' '"workspace"' '"direction"' '"mem"' \
+           '"dispatch"' '"format"' '"static_hits"' '"dyn_fallbacks"' \
            '"contexts"' '"decisions"' '"decisions_total"' '"events_total"' \
            '"container_high_bytes"' '"p50_ns"' '"p99_ns"' '"fusion_hits"'; do
     grep -q "$key" BENCH_obs.json \
@@ -118,4 +120,6 @@ cargo run -q -p graphblas-check --bin tracecheck -- "$trace_file" --require-kern
 cargo run -q -p graphblas-check --bin grbexplain -- "$explain_file" \
     --assert reason=direction-pick,min=1 \
     --assert reason=workspace-hit,min=1 \
-    --assert reason=fuse-flush,min=1
+    --assert reason=fuse-flush,min=1 \
+    --assert reason=dispatch-pick,min=1 \
+    --assert reason=format-pick,min=1
