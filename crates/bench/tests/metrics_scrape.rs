@@ -1,0 +1,78 @@
+//! Live-scrape acceptance test: a workload served under
+//! `GRB_METRICS_ADDR` must answer a real TCP scrape with a Prometheus
+//! exposition that the independent reader in `graphblas_check::metrics`
+//! validates, including the scheduler metrics and sampler-window rate
+//! families this plane exists to expose.
+//!
+//! This file holds exactly one test: it mutates process environment and
+//! binds a socket, so it must not share a test binary with anything that
+//! reads the same state concurrently.
+
+use graphblas_bench::rmat_bool;
+use graphblas_check::metrics;
+use graphblas_core::Mode;
+
+#[test]
+fn live_scrape_validates_and_covers_scheduler_metrics() {
+    // Port 0: the OS picks a free port, `init()` reports what was bound.
+    std::env::set_var("GRB_METRICS_ADDR", "127.0.0.1:0");
+    graphblas_core::init(Mode::Blocking);
+    graphblas_obs::set_enabled(true);
+    let addr = graphblas_obs::export::init().expect("endpoint must bind 127.0.0.1:0");
+    assert_eq!(graphblas_obs::export::bound_addr(), Some(addr));
+    assert!(
+        graphblas_obs::export::sampler::running(),
+        "the sampler must run while the endpoint is live"
+    );
+
+    // A real kernel workload: enough spgemm/mxv traffic to move the
+    // counters the families below report.
+    let a = rmat_bool(7, 8, 7);
+    std::hint::black_box(graphblas_algo::pagerank(&a, 0.85, 1e-6, 25).expect("pagerank"));
+    std::hint::black_box(
+        graphblas_algo::bfs_levels(&a, 0).expect("bfs"),
+    );
+    // Take a deterministic sample so window rates do not depend on the
+    // sampler thread's 250ms period having elapsed.
+    graphblas_obs::export::sampler::sample_now();
+
+    let body = metrics::scrape(&addr.to_string()).expect("live scrape over TCP");
+    graphblas_obs::set_enabled(false);
+    let summary = metrics::validate(&body)
+        .unwrap_or_else(|e| panic!("scraped exposition failed validation: {e}\n{body}"));
+
+    assert!(
+        summary.families.len() >= 10,
+        "expected >= 10 families, got {}: {body}",
+        summary.families.len()
+    );
+    // The acceptance list: pool queue depth, worker utilization, task
+    // wait/run split, per-kernel rate, rolling p99.
+    for family in [
+        "grb_pool_queue_depth",
+        "grb_pool_utilization",
+        "grb_pool_task_wait_ns",
+        "grb_pool_task_run_ns",
+        "grb_kernel_rate",
+        "grb_kernel_rolling_p99_ns",
+        "grb_mem_container_high_bytes",
+        "grb_sampler_scrapes",
+    ] {
+        let fam = summary
+            .family(family)
+            .unwrap_or_else(|| panic!("scrape missing family {family}"));
+        assert!(!fam.samples.is_empty(), "family {family} has no samples");
+    }
+    // The workload ran inside the sampler window, so at least one kernel
+    // must show a nonzero rate.
+    let rates = summary.family("grb_kernel_rate").expect("grb_kernel_rate");
+    assert!(
+        rates.samples.iter().any(|s| s.value > 0.0),
+        "no kernel shows a nonzero window rate: {body}"
+    );
+    // The scrape itself was counted.
+    assert!(
+        summary.scalar("grb_sampler_scrapes").unwrap_or(0.0) >= 1.0,
+        "scrape counter did not move: {body}"
+    );
+}

@@ -1,0 +1,218 @@
+//! `grbtop` — live terminal view of a `GRB_METRICS_ADDR` endpoint.
+//!
+//! Usage:
+//!
+//! ```text
+//! grbtop [--addr HOST:PORT] [--interval SECS] [--once]
+//! ```
+//!
+//! Polls the scrape endpoint a graphblas process exposes when started
+//! with `GRB_METRICS_ADDR`, validates each exposition with
+//! `graphblas_check::metrics`, and renders a compact frame: per-kernel
+//! call counts, sampler-window rates, and rolling p99 latencies, plus
+//! pool utilization / queue depth and memory high-water marks. The
+//! rates come straight from the endpoint's `grb_kernel_rate` family —
+//! `grbtop` does no windowing of its own, so a single `--once` frame is
+//! as live as a polling session.
+//!
+//! `--addr` defaults to the `GRB_METRICS_ADDR` environment variable so
+//! the same shell that launched the workload can run `grbtop` with no
+//! arguments. Exits 0 after a clean `--once` frame (or on SIGINT via
+//! the default handler), 1 when the endpoint is unreachable or serves
+//! an invalid exposition, 2 on usage errors.
+//!
+//! ```text
+//! GRB_METRICS_ADDR=127.0.0.1:9464 cargo run -p bench --bin kernels &
+//! GRB_METRICS_ADDR=127.0.0.1:9464 cargo run -p graphblas-check --bin grbtop
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use graphblas_check::metrics::{self, MetricsSummary};
+
+fn fmt_bytes(b: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{v:.0} {}", UNITS[unit])
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2}M/s", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k/s", r / 1e3)
+    } else {
+        format!("{r:.1}/s")
+    }
+}
+
+/// Per-kernel values of a labeled family, keyed by the `kernel` label.
+fn by_kernel(summary: &MetricsSummary, family: &str) -> Vec<(String, f64)> {
+    summary
+        .family(family)
+        .map(|f| {
+            f.samples
+                .iter()
+                .filter_map(|s| Some((s.label("kernel")?.to_string(), s.value)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn lookup(rows: &[(String, f64)], op: &str) -> f64 {
+    rows.iter()
+        .find(|(o, _)| o == op)
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0)
+}
+
+fn render_frame(summary: &MetricsSummary, addr: &str, frame: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "grbtop — {addr} — frame {frame} — {} families\n\n",
+        summary.families.len()
+    ));
+
+    let calls = by_kernel(summary, "grb_kernel_calls");
+    let rates = by_kernel(summary, "grb_kernel_rate");
+    let p99s = by_kernel(summary, "grb_kernel_rolling_p99_ns");
+    let mut ops: Vec<&String> = calls.iter().map(|(o, _)| o).collect();
+    // Busiest kernels first; idle ones keep registry order at the bottom.
+    ops.sort_by(|a, b| {
+        lookup(&rates, b)
+            .partial_cmp(&lookup(&rates, a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>14}\n",
+        "KERNEL", "CALLS", "RATE", "ROLLING P99"
+    ));
+    for op in ops {
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12} {:>14}\n",
+            op,
+            lookup(&calls, op) as u64,
+            fmt_rate(lookup(&rates, op)),
+            fmt_ns(lookup(&p99s, op)),
+        ));
+    }
+
+    let scalar = |name: &str| summary.scalar(name).unwrap_or(0.0);
+    let wait = scalar("grb_pool_task_wait_ns");
+    let run = scalar("grb_pool_task_run_ns");
+    let wait_frac = if wait + run > 0.0 { wait / (wait + run) } else { 0.0 };
+    out.push_str(&format!(
+        "\npool   workers {}  util {:.0}%  queue {} (max {})  tasks {}  wait share {:.0}%\n",
+        scalar("grb_pool_workers") as u64,
+        scalar("grb_pool_utilization") * 100.0,
+        scalar("grb_pool_queue_depth") as u64,
+        scalar("grb_pool_queue_depth_max") as u64,
+        scalar("grb_pool_tasks_completed") as u64,
+        wait_frac * 100.0,
+    ));
+    out.push_str(&format!(
+        "mem    containers {} live / {} high   workspaces {} live / {} high\n",
+        fmt_bytes(scalar("grb_mem_container_live_bytes")),
+        fmt_bytes(scalar("grb_mem_container_high_bytes")),
+        fmt_bytes(scalar("grb_mem_workspace_live_bytes")),
+        fmt_bytes(scalar("grb_mem_workspace_high_bytes")),
+    ));
+    out.push_str(&format!(
+        "rates  {} moved   drains {}   sampler {} samples / {} scrapes\n",
+        fmt_bytes(scalar("grb_rate_bytes")).replace(' ', "") + "/s",
+        fmt_rate(scalar("grb_pending_drain_rate")),
+        scalar("grb_sampler_samples") as u64,
+        scalar("grb_sampler_scrapes") as u64,
+    ));
+    out
+}
+
+fn main() -> ExitCode {
+    const USAGE: &str = "usage: grbtop [--addr HOST:PORT] [--interval SECS] [--once]";
+    let mut addr = std::env::var("GRB_METRICS_ADDR").ok().filter(|s| !s.is_empty());
+    let mut interval = Duration::from_secs(2);
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--once" => once = true,
+            "--addr" => match args.next() {
+                Some(a) => addr = Some(a),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--interval" => match args.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => interval = Duration::from_secs_f64(s),
+                _ => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("grbtop: no --addr and GRB_METRICS_ADDR is unset");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let body = match metrics::scrape(&addr) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("grbtop: cannot scrape {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let summary = match metrics::validate(&body) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("grbtop: {addr}: invalid exposition: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !once {
+            // Clear screen and home the cursor between frames.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_frame(&summary, &addr, frame));
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -1,0 +1,114 @@
+//! `metricscheck` — validate a `GRB_METRICS` text exposition.
+//!
+//! Usage:
+//!
+//! ```text
+//! metricscheck FILE [--require NAME]... [--min-families N]
+//! ```
+//!
+//! Parses FILE with the independent exposition reader in
+//! `graphblas_check::metrics` and re-checks the writer's invariants
+//! (HELP/TYPE headers, label escaping, no duplicate label sets,
+//! non-negative counters). Each `--require NAME` additionally asserts
+//! that family NAME (exposition spelling, e.g. `grb_pool_utilization`)
+//! is present with at least one sample; `--min-families N` asserts a
+//! floor on the family count.
+//!
+//! Exits 0 on a valid exposition with all assertions met, 1 on a
+//! malformed or insufficient one, 2 on usage or I/O errors. Run by
+//! `scripts/check.sh` against the smoke bench's metrics dump, or
+//! directly:
+//!
+//! ```text
+//! GRB_METRICS_DUMP=metrics.prom cargo run -p bench --bin kernels -- --smoke
+//! cargo run -p graphblas-check --bin metricscheck -- metrics.prom \
+//!     --require grb_kernel_rate --require grb_pool_utilization
+//! ```
+
+use std::process::ExitCode;
+
+use graphblas_check::metrics;
+
+fn main() -> ExitCode {
+    const USAGE: &str = "usage: metricscheck FILE [--require NAME]... [--min-families N]";
+    let mut file = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut min_families = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--require" => match args.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-families" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => min_families = n,
+                None => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ if file.is_none() => file = Some(arg),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("metricscheck: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let summary = match metrics::validate(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("metricscheck: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "metricscheck: {file}: {} families, {} samples",
+        summary.families.len(),
+        summary.total_samples()
+    );
+    let mut missing = Vec::new();
+    if summary.families.len() < min_families {
+        missing.push(format!(
+            "at least {min_families} families (saw {})",
+            summary.families.len()
+        ));
+    }
+    for name in &required {
+        match summary.family(name) {
+            Some(f) if !f.samples.is_empty() => {}
+            Some(_) => missing.push(format!("samples under family {name}")),
+            None => missing.push(format!("family {name}")),
+        }
+    }
+    if !missing.is_empty() {
+        for m in &missing {
+            eprintln!("metricscheck: {file}: missing {m}");
+        }
+        let names: Vec<&str> = summary.families.iter().map(|f| f.name.as_str()).collect();
+        eprintln!("metricscheck: families seen: {}", names.join(", "));
+        return ExitCode::FAILURE;
+    }
+    if !required.is_empty() {
+        println!("metricscheck: all {} required families present", required.len());
+    }
+    ExitCode::SUCCESS
+}

@@ -10,7 +10,9 @@
 //! and replays every thread's `B`/`E` stream to prove the pairs balance
 //! and nest. With `--require-kernels` it additionally asserts the trace
 //! came from a real multi-threaded kernel run: at least two distinct
-//! thread ids, and phase names under both `spgemm.` and `mxv.`.
+//! thread ids, phase names under both `spgemm.` and `mxv.`, and a
+//! `thread_sort_index` metadata record for every named thread track (the
+//! deterministic Perfetto ordering, workers laid out by pool index).
 //!
 //! Exits 0 on a valid trace, 1 on a malformed or insufficient one, 2 on
 //! usage or I/O errors. Run by `scripts/check.sh` against the smoke
@@ -76,6 +78,32 @@ fn main() -> ExitCode {
             if !summary.has_name_prefix(prefix) {
                 missing.push(format!("a \"{prefix}*\" phase"));
             }
+        }
+        for (tid, name) in &summary.thread_names {
+            if !summary.thread_sort_indices.iter().any(|(t, _)| t == tid) {
+                missing.push(format!(
+                    "a thread_sort_index record for tid {tid} (\"{name}\")"
+                ));
+            }
+        }
+        // Worker tracks must be ordered by pool index: sort indices of
+        // grb-worker-<i> tracks strictly increase with i.
+        let mut workers: Vec<(u64, u64)> = summary
+            .thread_names
+            .iter()
+            .filter_map(|(tid, name)| {
+                let i = name.strip_prefix("grb-worker-")?.parse::<u64>().ok()?;
+                let idx = summary
+                    .thread_sort_indices
+                    .iter()
+                    .find(|(t, _)| t == tid)
+                    .map(|(_, s)| *s)?;
+                Some((i, idx))
+            })
+            .collect();
+        workers.sort_unstable();
+        if workers.windows(2).any(|w| w[0].1 >= w[1].1) {
+            missing.push("monotone sort indices over grb-worker-* tracks".to_string());
         }
         if !missing.is_empty() {
             for m in &missing {

@@ -12,7 +12,10 @@
 //! * per thread, `B`/`E` pairs are balanced and properly nested (an `E`
 //!   never closes a region that is not the top of that thread's stack),
 //!   with non-negative durations;
-//! * `M`etadata `thread_name` records label the tids.
+//! * `M`etadata `thread_name` records label the tids, and
+//!   `thread_sort_index` records (when present) carry a numeric
+//!   `args.sort_index` — the exporter's deterministic Perfetto track
+//!   order — at most one per tid.
 //!
 //! Used by the `tracecheck` binary in `scripts/check.sh` to gate the
 //! smoke-bench trace, and by `tests/trace_format.rs` against traces the
@@ -324,6 +327,8 @@ pub struct TraceSummary {
     pub threads: Vec<u64>,
     /// tid → thread name from `M`etadata records.
     pub thread_names: Vec<(u64, String)>,
+    /// tid → Perfetto track order from `thread_sort_index` metadata.
+    pub thread_sort_indices: Vec<(u64, u64)>,
     /// Distinct region names, sorted.
     pub names: Vec<String>,
     /// Deepest `B` nesting observed on any one thread.
@@ -368,8 +373,8 @@ pub fn validate(text: &str) -> Result<TraceSummary, TraceError> {
             .and_then(Value::as_num)
             .ok_or_else(|| at("missing numeric \"pid\""))?;
         match ph {
-            "M" => {
-                if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+            "M" => match ev.get("name").and_then(Value::as_str) {
+                Some("thread_name") => {
                     if let Some(n) = ev
                         .get("args")
                         .and_then(|a| a.get("name"))
@@ -378,7 +383,23 @@ pub fn validate(text: &str) -> Result<TraceSummary, TraceError> {
                         summary.thread_names.push((tid, n.to_string()));
                     }
                 }
-            }
+                Some("thread_sort_index") => {
+                    let idx = ev
+                        .get("args")
+                        .and_then(|a| a.get("sort_index"))
+                        .and_then(Value::as_num)
+                        .ok_or_else(|| {
+                            at("thread_sort_index metadata missing numeric \"args.sort_index\"")
+                        })?;
+                    if summary.thread_sort_indices.iter().any(|(t, _)| *t == tid) {
+                        return Err(at(&format!(
+                            "duplicate thread_sort_index for tid {tid}"
+                        )));
+                    }
+                    summary.thread_sort_indices.push((tid, idx as u64));
+                }
+                _ => {}
+            },
             "B" | "E" => {
                 let name = ev
                     .get("name")
@@ -524,5 +545,43 @@ mod tests {
         let t = trace(&[meta, ev("B", "k", 7, 0.0), ev("E", "k", 7, 1.0)]);
         let s = validate(&t).unwrap();
         assert_eq!(s.thread_names, vec![(7, "worker \"7\"".to_string())]);
+    }
+
+    fn sort_meta(tid: u64, idx: &str) -> String {
+        format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{idx}}}}}"
+        )
+    }
+
+    #[test]
+    fn sort_index_metadata_is_collected() {
+        let t = trace(&[
+            sort_meta(3, "0"),
+            sort_meta(7, "2"),
+            ev("B", "k", 7, 0.0),
+            ev("E", "k", 7, 1.0),
+        ]);
+        let s = validate(&t).unwrap();
+        assert_eq!(s.thread_sort_indices, vec![(3, 0), (7, 2)]);
+    }
+
+    #[test]
+    fn bad_sort_index_metadata_fails() {
+        // Non-numeric sort_index.
+        let bad = trace(&[
+            "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+             \"args\":{\"sort_index\":\"first\"}}"
+                .to_string(),
+        ]);
+        assert!(matches!(validate(&bad), Err(TraceError::Structure(_))));
+        // Missing args entirely.
+        let missing = trace(&[
+            "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":1}".to_string(),
+        ]);
+        assert!(matches!(validate(&missing), Err(TraceError::Structure(_))));
+        // Two records for one tid.
+        let dup = trace(&[sort_meta(5, "1"), sort_meta(5, "2")]);
+        assert!(matches!(validate(&dup), Err(TraceError::Structure(_))));
     }
 }

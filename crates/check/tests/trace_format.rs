@@ -48,11 +48,29 @@ fn exported_trace_is_balanced_and_escaped() {
         "escaped name mangled: {:?}",
         summary.names
     );
-    // Every recording thread gets an M-metadata thread_name record.
+    // Every recording thread gets an M-metadata thread_name record and a
+    // matching thread_sort_index record (deterministic Perfetto order).
     for tid in &summary.threads {
         assert!(
             summary.thread_names.iter().any(|(t, _)| t == tid),
             "tid {tid} has no thread_name metadata: {summary:?}"
         );
+        assert!(
+            summary.thread_sort_indices.iter().any(|(t, _)| t == tid),
+            "tid {tid} has no thread_sort_index metadata: {summary:?}"
+        );
+    }
+    // The main test thread sorts ahead of the anonymous helper thread.
+    if let Some((main_tid, _)) = summary
+        .thread_names
+        .iter()
+        .find(|(_, n)| n == "main" || n.starts_with("exported_trace"))
+    {
+        let main_idx = summary
+            .thread_sort_indices
+            .iter()
+            .find(|(t, _)| t == main_tid)
+            .map(|(_, s)| *s);
+        assert!(main_idx.is_some());
     }
 }

@@ -17,7 +17,11 @@
 //! (see [`in_worker`]), which cannot deadlock.
 //!
 //! When telemetry is enabled (`graphblas-obs`), the pool counts task
-//! spawns, inline executions, scope entries, and worker park/wake events.
+//! spawns, inline executions, scope entries, and worker park/wake events,
+//! and feeds the scheduler metrics of the live telemetry plane: queue
+//! depth at every push, each task's queued-wait versus execution time,
+//! and per-worker busy nanoseconds (the utilization signal `grbtop` and
+//! the admission-control work consume).
 
 use std::any::Any;
 use std::cell::Cell;
@@ -26,13 +30,25 @@ use std::marker::PhantomData;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::sync::{Condvar, Mutex, WaitGroup};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued job plus the telemetry the scheduler metrics need: when it
+/// was enqueued (`None` while telemetry is off, so the disabled path
+/// never reads the clock).
+struct QueuedJob {
+    run: Job,
+    enqueued_at: Option<Instant>,
+}
+
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// The pool index of the current worker thread (`usize::MAX` off the
+    /// pool); attributes task run time to a busy-table slot.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
 /// Returns `true` when the calling thread is one of a pool's workers.
@@ -53,7 +69,7 @@ pub fn in_worker() -> bool {
 /// `graphblas-check` demonstrates that failure mode on this protocol).
 /// Folding it into the guarded state makes the synchronization structural.
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     closed: bool,
     /// Workers currently blocked in `available.wait` (so senders know
     /// whether a push actually wakes someone — the obs "wake" count).
@@ -82,28 +98,40 @@ impl JobQueue {
     }
 
     fn push(&self, job: Job) {
+        let obs = graphblas_obs::enabled();
         let mut st = self.state.lock();
         if st.closed {
             return; // teardown in progress: drop the job
         }
-        st.jobs.push_back(job);
-        if st.parked > 0 && graphblas_obs::enabled() {
-            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) —
-            // monotonic obs counter; no reader infers cross-thread state
-            // from it.
-            graphblas_obs::counters::pool()
-                .wakes
-                .fetch_add(1, Ordering::Relaxed);
+        st.jobs.push_back(QueuedJob {
+            run: job,
+            enqueued_at: obs.then(Instant::now),
+        });
+        if obs {
+            // The lock is held, so the depth is exact (not sampled) and
+            // the high-water mark in the metrics is trustworthy.
+            graphblas_obs::counters::record_pool_enqueue(st.jobs.len());
+            if st.parked > 0 {
+                // grblint: allow(relaxed-ordering); grbsa: protocol(counter) —
+                // monotonic obs counter; no reader infers cross-thread state
+                // from it.
+                graphblas_obs::counters::pool()
+                    .wakes
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
         drop(st);
         self.available.notify_one();
     }
 
     /// Blocks until a job is available or the queue is closed and empty.
-    fn pop(&self) -> Option<Job> {
+    fn pop(&self) -> Option<QueuedJob> {
         let mut st = self.state.lock();
         loop {
             if let Some(job) = st.jobs.pop_front() {
+                if graphblas_obs::enabled() {
+                    graphblas_obs::counters::record_pool_dequeue();
+                }
                 return Some(job);
             }
             if st.closed {
@@ -148,12 +176,28 @@ impl ThreadPool {
                     .name(format!("grb-worker-{i}"))
                     .spawn(move || {
                         IN_WORKER.with(|w| w.set(true));
+                        WORKER_INDEX.with(|w| w.set(i));
                         // Register with the obs timeline up front so the
                         // worker's tid and name appear in trace metadata
                         // even before its first recorded region.
                         graphblas_obs::timeline::register_thread();
                         while let Some(job) = queue.pop() {
-                            job();
+                            match job.enqueued_at {
+                                Some(enqueued) => {
+                                    // The wait-vs-run split: time queued
+                                    // (enqueue → here) against time on
+                                    // the worker, attributed to slot `i`.
+                                    let started = Instant::now();
+                                    let wait = started.duration_since(enqueued);
+                                    (job.run)();
+                                    graphblas_obs::counters::record_pool_task(
+                                        i,
+                                        wait.as_nanos() as u64,
+                                        started.elapsed().as_nanos() as u64,
+                                    );
+                                }
+                                None => (job.run)(),
+                            }
                         }
                     })
                     .expect("failed to spawn GraphBLAS worker thread")
@@ -440,5 +484,48 @@ mod tests {
         graphblas_obs::set_enabled(false);
         assert!(after.scopes > before.scopes);
         assert!(after.tasks_spawned >= before.tasks_spawned + 8);
+    }
+
+    #[test]
+    fn scheduler_metrics_are_recorded_when_enabled() {
+        let _g = crate::obs_test_guard();
+        graphblas_obs::set_enabled(true);
+        let before = graphblas_obs::snapshot().pool;
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| std::thread::sleep(std::time::Duration::from_micros(200)));
+            }
+        });
+        let snap = graphblas_obs::snapshot();
+        let after = snap.pool;
+        graphblas_obs::set_enabled(false);
+        assert!(after.jobs_queued >= before.jobs_queued + 16);
+        assert!(after.jobs_dequeued >= before.jobs_dequeued + 16);
+        assert!(after.tasks_completed >= before.tasks_completed + 16);
+        assert!(after.task_run_ns > before.task_run_ns, "run time must accrue");
+        assert!(after.queue_depth_max >= 1, "16 pushes must register depth");
+        assert!(after.workers >= 1);
+        assert!(
+            snap.pool_workers.iter().sum::<u64>() > 0,
+            "busy time must land in the worker table"
+        );
+    }
+
+    #[test]
+    fn scheduler_metrics_silent_when_disabled() {
+        let _g = crate::obs_test_guard();
+        graphblas_obs::set_enabled(false);
+        let before = graphblas_obs::snapshot().pool;
+        let pool = ThreadPool::new(2);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| std::hint::black_box(()));
+            }
+        });
+        let after = graphblas_obs::snapshot().pool;
+        assert_eq!(after.jobs_queued, before.jobs_queued);
+        assert_eq!(after.tasks_completed, before.tasks_completed);
+        assert_eq!(after.task_run_ns, before.task_run_ns);
     }
 }

@@ -464,7 +464,10 @@ pub(crate) fn format_totals() -> FormatTotals {
 /// Thread-pool activity counters. The pool has no work stealing; the
 /// park/wake pair is the closest observable analogue — a park is a worker
 /// blocking on an empty queue, a wake is a job arriving for a parked
-/// worker.
+/// worker. The scheduler-facing fields (queue depth, wait-vs-run split,
+/// per-worker busy time) are the signals the nonblocking drain engine and
+/// admission control tune against; `exec::pool` feeds them through
+/// [`record_pool_enqueue`] / [`record_pool_dequeue`] / [`record_pool_task`].
 pub struct PoolCounters {
     /// Tasks submitted to pool workers via a scope.
     pub tasks_spawned: AtomicU64,
@@ -477,7 +480,35 @@ pub struct PoolCounters {
     pub wakes: AtomicU64,
     /// Scopes opened (`ThreadPool::scope` entries).
     pub scopes: AtomicU64,
+    /// Jobs pushed onto the shared queue (monotone; live queue depth is
+    /// `jobs_queued - jobs_dequeued`, which avoids a non-monotone gauge).
+    pub jobs_queued: AtomicU64,
+    /// Jobs taken off the queue by workers.
+    pub jobs_dequeued: AtomicU64,
+    /// High-water mark of the queue depth observed at push time.
+    pub queue_depth_max: AtomicU64,
+    /// Offloaded tasks that ran to completion on a worker.
+    pub tasks_completed: AtomicU64,
+    /// Total nanoseconds tasks spent queued (enqueue → dequeue).
+    pub task_wait_ns: AtomicU64,
+    /// Total nanoseconds tasks spent executing on a worker.
+    pub task_run_ns: AtomicU64,
+    /// Highest worker index seen + 1 (the busy-table prefix in use).
+    pub workers: AtomicU64,
 }
+
+/// Size of the static per-worker busy table. Workers beyond this fold into
+/// the last slot (`GRB_POOL_THREADS` on real deployments is far smaller).
+pub const MAX_POOL_WORKERS: usize = 64;
+
+// Seeds the static table only; each slot gets fresh atomics.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_U64: AtomicU64 = AtomicU64::new(0);
+
+/// Per-worker cumulative busy nanoseconds (task execution time attributed
+/// to the worker that ran it). Utilization over a window is the busy delta
+/// divided by the window length.
+static WORKER_BUSY: [AtomicU64; MAX_POOL_WORKERS] = [ZERO_U64; MAX_POOL_WORKERS];
 
 static POOL: PoolCounters = PoolCounters {
     tasks_spawned: AtomicU64::new(0),
@@ -485,11 +516,43 @@ static POOL: PoolCounters = PoolCounters {
     parks: AtomicU64::new(0),
     wakes: AtomicU64::new(0),
     scopes: AtomicU64::new(0),
+    jobs_queued: AtomicU64::new(0),
+    jobs_dequeued: AtomicU64::new(0),
+    queue_depth_max: AtomicU64::new(0),
+    tasks_completed: AtomicU64::new(0),
+    task_wait_ns: AtomicU64::new(0),
+    task_run_ns: AtomicU64::new(0),
+    workers: AtomicU64::new(0),
 };
 
 /// The global thread-pool counter block.
 pub fn pool() -> &'static PoolCounters {
     &POOL
+}
+
+/// Records one job landing on the pool queue; `depth` is the queue depth
+/// right after the push (the pool reads it under its queue lock, so the
+/// high-water mark is exact, not sampled).
+pub fn record_pool_enqueue(depth: usize) {
+    POOL.jobs_queued.fetch_add(1, Ordering::Relaxed);
+    POOL.queue_depth_max.fetch_max(depth as u64, Ordering::Relaxed);
+}
+
+/// Records one job leaving the pool queue for a worker.
+pub fn record_pool_dequeue() {
+    POOL.jobs_dequeued.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one completed offloaded task: which worker ran it, how long it
+/// sat queued, and how long it executed. Worker indices at or beyond
+/// [`MAX_POOL_WORKERS`] share the last busy slot.
+pub fn record_pool_task(worker: usize, wait_ns: u64, run_ns: u64) {
+    POOL.tasks_completed.fetch_add(1, Ordering::Relaxed);
+    POOL.task_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    POOL.task_run_ns.fetch_add(run_ns, Ordering::Relaxed);
+    let slot = worker.min(MAX_POOL_WORKERS - 1);
+    WORKER_BUSY[slot].fetch_add(run_ns, Ordering::Relaxed);
+    POOL.workers.fetch_max(slot as u64 + 1, Ordering::Relaxed);
 }
 
 /// Point-in-time copy of the pool statistics.
@@ -500,6 +563,21 @@ pub struct PoolTotals {
     pub parks: u64,
     pub wakes: u64,
     pub scopes: u64,
+    pub jobs_queued: u64,
+    pub jobs_dequeued: u64,
+    pub queue_depth_max: u64,
+    pub tasks_completed: u64,
+    pub task_wait_ns: u64,
+    pub task_run_ns: u64,
+    pub workers: u64,
+}
+
+impl PoolTotals {
+    /// Live queue depth implied by the monotone push/pop counters (clamped
+    /// at zero: the two loads are not mutually atomic).
+    pub fn queue_depth(&self) -> u64 {
+        self.jobs_queued.saturating_sub(self.jobs_dequeued)
+    }
 }
 
 pub(crate) fn pool_totals() -> PoolTotals {
@@ -509,6 +587,63 @@ pub(crate) fn pool_totals() -> PoolTotals {
         parks: POOL.parks.load(Ordering::Relaxed),
         wakes: POOL.wakes.load(Ordering::Relaxed),
         scopes: POOL.scopes.load(Ordering::Relaxed),
+        jobs_queued: POOL.jobs_queued.load(Ordering::Relaxed),
+        jobs_dequeued: POOL.jobs_dequeued.load(Ordering::Relaxed),
+        queue_depth_max: POOL.queue_depth_max.load(Ordering::Relaxed),
+        tasks_completed: POOL.tasks_completed.load(Ordering::Relaxed),
+        task_wait_ns: POOL.task_wait_ns.load(Ordering::Relaxed),
+        task_run_ns: POOL.task_run_ns.load(Ordering::Relaxed),
+        workers: POOL.workers.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-worker cumulative busy nanoseconds: the in-use prefix of the busy
+/// table (indices `0..workers`).
+pub fn worker_busy_totals() -> Vec<u64> {
+    let n = POOL.workers.load(Ordering::Relaxed) as usize;
+    WORKER_BUSY[..n.min(MAX_POOL_WORKERS)]
+        .iter()
+        .map(|b| b.load(Ordering::Relaxed))
+        .collect()
+}
+
+/// Telemetry-plane self-accounting (`obs::export`): sampler ticks taken,
+/// scrape requests served, and one-shot dump files written. Keeping the
+/// exporter's own activity in a counter block makes its cost auditable
+/// with the same machinery it exports.
+pub struct SamplerCounters {
+    /// Periodic snapshots taken by the background sampler thread.
+    pub samples: AtomicU64,
+    /// HTTP scrape requests served by the metrics endpoint.
+    pub scrapes: AtomicU64,
+    /// `GRB_METRICS_DUMP` one-shot exposition files written.
+    pub dump_writes: AtomicU64,
+}
+
+static SAMPLER: SamplerCounters = SamplerCounters {
+    samples: AtomicU64::new(0),
+    scrapes: AtomicU64::new(0),
+    dump_writes: AtomicU64::new(0),
+};
+
+/// The global telemetry-plane counter block.
+pub fn sampler() -> &'static SamplerCounters {
+    &SAMPLER
+}
+
+/// Point-in-time copy of the telemetry-plane statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SamplerTotals {
+    pub samples: u64,
+    pub scrapes: u64,
+    pub dump_writes: u64,
+}
+
+pub(crate) fn sampler_totals() -> SamplerTotals {
+    SamplerTotals {
+        samples: SAMPLER.samples.load(Ordering::Relaxed),
+        scrapes: SAMPLER.scrapes.load(Ordering::Relaxed),
+        dump_writes: SAMPLER.dump_writes.load(Ordering::Relaxed),
     }
 }
 
@@ -532,6 +667,20 @@ pub(crate) fn reset() {
     POOL.parks.store(0, Ordering::Relaxed);
     POOL.wakes.store(0, Ordering::Relaxed);
     POOL.scopes.store(0, Ordering::Relaxed);
+    POOL.jobs_queued.store(0, Ordering::Relaxed);
+    POOL.jobs_dequeued.store(0, Ordering::Relaxed);
+    POOL.queue_depth_max.store(0, Ordering::Relaxed);
+    POOL.tasks_completed.store(0, Ordering::Relaxed);
+    POOL.task_wait_ns.store(0, Ordering::Relaxed);
+    POOL.task_run_ns.store(0, Ordering::Relaxed);
+    // The worker count survives reset (it describes topology, not load);
+    // the busy table zeroes so utilization windows start clean.
+    for b in &WORKER_BUSY {
+        b.store(0, Ordering::Relaxed);
+    }
+    SAMPLER.samples.store(0, Ordering::Relaxed);
+    SAMPLER.scrapes.store(0, Ordering::Relaxed);
+    SAMPLER.dump_writes.store(0, Ordering::Relaxed);
     WORKSPACE.checkouts.store(0, Ordering::Relaxed);
     WORKSPACE.hits.store(0, Ordering::Relaxed);
     WORKSPACE.misses.store(0, Ordering::Relaxed);
@@ -634,6 +783,51 @@ mod tests {
         assert_eq!(f1.bitmap_picks - f0.bitmap_picks, 1);
         assert_eq!(f1.svec_picks - f0.svec_picks, 2);
         assert_eq!(f1.conversions - f0.conversions, 1);
+    }
+
+    #[test]
+    fn pool_scheduler_recording_accumulates() {
+        let _g = serialize();
+        reset();
+        record_pool_enqueue(1);
+        record_pool_enqueue(2);
+        record_pool_enqueue(1);
+        record_pool_dequeue();
+        let p = pool_totals();
+        assert_eq!(p.jobs_queued, 3);
+        assert_eq!(p.jobs_dequeued, 1);
+        assert_eq!(p.queue_depth(), 2);
+        assert_eq!(p.queue_depth_max, 2);
+
+        record_pool_task(0, 100, 1000);
+        record_pool_task(1, 50, 500);
+        record_pool_task(0, 10, 200);
+        let p = pool_totals();
+        assert_eq!(p.tasks_completed, 3);
+        assert_eq!(p.task_wait_ns, 160);
+        assert_eq!(p.task_run_ns, 1700);
+        assert_eq!(p.workers, 2);
+        let busy = worker_busy_totals();
+        assert_eq!(busy, vec![1200, 500]);
+
+        // Out-of-range worker indices fold into the last slot.
+        record_pool_task(MAX_POOL_WORKERS + 7, 0, 42);
+        assert_eq!(pool_totals().workers, MAX_POOL_WORKERS as u64);
+        assert_eq!(*worker_busy_totals().last().unwrap(), 42);
+        reset();
+    }
+
+    #[test]
+    fn sampler_recording_accumulates() {
+        let _g = serialize();
+        reset();
+        SAMPLER.samples.fetch_add(2, Ordering::Relaxed);
+        SAMPLER.scrapes.fetch_add(1, Ordering::Relaxed);
+        SAMPLER.dump_writes.fetch_add(1, Ordering::Relaxed);
+        let s = sampler_totals();
+        assert_eq!((s.samples, s.scrapes, s.dump_writes), (2, 1, 1));
+        reset();
+        assert_eq!(sampler_totals(), SamplerTotals::default());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::counters::{
     self, DirectionTotals, DispatchTotals, FormatTotals, KernelTotals, PendingTotals, PoolTotals,
-    WorkspaceTotals,
+    SamplerTotals, WorkspaceTotals,
 };
 use crate::ctxreg::{self, ContextStats};
 use crate::events::{self, Reason};
@@ -22,8 +22,13 @@ pub struct Snapshot {
     pub kernels: Vec<KernelTotals>,
     /// Pending-queue / fusion statistics.
     pub pending: PendingTotals,
-    /// Thread-pool activity.
+    /// Thread-pool activity (including the scheduler metrics: queue
+    /// depth, wait-vs-run split, worker busy time).
     pub pool: PoolTotals,
+    /// Per-worker cumulative busy nanoseconds (`pool.workers` entries).
+    pub pool_workers: Vec<u64>,
+    /// Telemetry-plane self-accounting (`obs::export`).
+    pub sampler: SamplerTotals,
     /// Kernel-workspace reuse statistics (`exec::workspace`).
     pub workspace: WorkspaceTotals,
     /// Direction-optimizing `mxv`/`vxm` dispatch statistics.
@@ -60,6 +65,8 @@ pub fn snapshot() -> Snapshot {
         kernels: counters::kernel_totals(),
         pending: counters::pending_totals(),
         pool: counters::pool_totals(),
+        pool_workers: counters::worker_busy_totals(),
+        sampler: counters::sampler_totals(),
         workspace: counters::workspace_totals(),
         direction: counters::direction_totals(),
         dispatch: counters::dispatch_totals(),
@@ -170,6 +177,36 @@ impl Snapshot {
         w.number(self.pool.wakes);
         w.key("scopes");
         w.number(self.pool.scopes);
+        w.key("jobs_queued");
+        w.number(self.pool.jobs_queued);
+        w.key("jobs_dequeued");
+        w.number(self.pool.jobs_dequeued);
+        w.key("queue_depth_max");
+        w.number(self.pool.queue_depth_max);
+        w.key("tasks_completed");
+        w.number(self.pool.tasks_completed);
+        w.key("task_wait_ns");
+        w.number(self.pool.task_wait_ns);
+        w.key("task_run_ns");
+        w.number(self.pool.task_run_ns);
+        w.key("workers");
+        w.number(self.pool.workers);
+        w.key("worker_busy_ns");
+        w.begin_array();
+        for b in &self.pool_workers {
+            w.number(*b);
+        }
+        w.end_array();
+        w.end_object();
+
+        w.key("sampler");
+        w.begin_object();
+        w.key("samples");
+        w.number(self.sampler.samples);
+        w.key("scrapes");
+        w.number(self.sampler.scrapes);
+        w.key("dump_writes");
+        w.number(self.sampler.dump_writes);
         w.end_object();
 
         w.key("workspace");
@@ -323,6 +360,10 @@ mod tests {
         assert!(json.contains("\"spgemm\""));
         assert!(json.contains("\"pending\""));
         assert!(json.contains("\"pool\""));
+        assert!(json.contains("\"queue_depth_max\""));
+        assert!(json.contains("\"task_wait_ns\""));
+        assert!(json.contains("\"sampler\""));
+        assert!(json.contains("\"dump_writes\""));
         assert!(json.contains("\"workspace\""));
         assert!(json.contains("\"direction\""));
         assert!(json.contains("\"dispatch\""));

@@ -222,7 +222,10 @@ impl Drop for Phase {
 /// through an explicit stack: an open region's `E` is emitted as soon as
 /// a later region starts at or after its end. The stack guarantees the
 /// output is balanced and properly nested per thread regardless of ring
-/// truncation. A `M`etadata `thread_name` record labels each tid.
+/// truncation. A `M`etadata `thread_name` record labels each tid, and a
+/// `thread_sort_index` record pins the track order (main thread first,
+/// pool workers by index) so Perfetto lays threads out deterministically
+/// instead of by registration arrival.
 pub fn to_chrome_trace() -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -245,6 +248,22 @@ pub fn to_chrome_trace() -> String {
         w.begin_object();
         w.key("name");
         w.string(&name);
+        w.end_object();
+        w.end_object();
+
+        w.begin_object();
+        w.key("name");
+        w.string("thread_sort_index");
+        w.key("ph");
+        w.string("M");
+        w.key("pid");
+        w.number(1);
+        w.key("tid");
+        w.number(tag as u64);
+        w.key("args");
+        w.begin_object();
+        w.key("sort_index");
+        w.number(thread_sort_index(&name));
         w.end_object();
         w.end_object();
 
@@ -273,6 +292,23 @@ pub fn to_chrome_trace() -> String {
     w.end_array();
     w.end_object();
     w.finish()
+}
+
+/// The deterministic track order for a thread name: the main thread
+/// first, `grb-worker-<i>` tracks by worker index, then everything else
+/// (other named threads, unnamed tags) in one trailing bucket where
+/// Perfetto falls back to tid order.
+pub fn thread_sort_index(name: &str) -> u64 {
+    if name == "main" {
+        return 0;
+    }
+    match name
+        .strip_prefix("grb-worker-")
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(i) => i + 1,
+        None => 1_000_000,
+    }
 }
 
 fn write_pair(w: &mut JsonWriter, tag: u32, ev: TlEvent, begin: bool) {
@@ -360,6 +396,38 @@ mod tests {
         let outer_b = json.find("\"name\":\"outer\",\"cat\":\"grb\",\"ph\":\"B\"").unwrap();
         let inner_b = json.find("\"name\":\"inner\",\"cat\":\"grb\",\"ph\":\"B\"").unwrap();
         assert!(outer_b < inner_b, "outer must begin before inner: {json}");
+        crate::set_enabled(false);
+        set_timeline(false);
+        reset();
+    }
+
+    #[test]
+    fn sort_index_orders_main_then_workers() {
+        assert_eq!(thread_sort_index("main"), 0);
+        assert_eq!(thread_sort_index("grb-worker-0"), 1);
+        assert_eq!(thread_sort_index("grb-worker-7"), 8);
+        assert!(thread_sort_index("grb-sampler") > thread_sort_index("grb-worker-63"));
+        assert!(thread_sort_index("grb-worker-nonnumeric") > 1000);
+    }
+
+    #[test]
+    fn trace_carries_sort_index_metadata() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        set_timeline(true);
+        reset();
+        {
+            let _p = phase("indexed");
+        }
+        let json = to_chrome_trace();
+        assert!(
+            json.contains("\"name\":\"thread_sort_index\",\"ph\":\"M\""),
+            "missing sort-index metadata: {json}"
+        );
+        assert!(json.contains("\"sort_index\":"));
+        let names = json.matches("\"name\":\"thread_name\"").count();
+        let sorts = json.matches("\"name\":\"thread_sort_index\"").count();
+        assert_eq!(names, sorts, "one sort-index record per thread track");
         crate::set_enabled(false);
         set_timeline(false);
         reset();

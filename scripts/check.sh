@@ -93,8 +93,10 @@ fi
 # and one fused map flush.
 trace_file="$(mktemp -t grb_trace.XXXXXX.json)"
 explain_file="$(mktemp -t grb_explain.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$explain_file"' EXIT
-GRB_TRACE="$trace_file" GRB_EXPLAIN="$explain_file" scripts/bench.sh --smoke --compare
+metrics_file="$(mktemp -t grb_metrics.XXXXXX.prom)"
+trap 'rm -f "$trace_file" "$explain_file" "$metrics_file"' EXIT
+GRB_TRACE="$trace_file" GRB_EXPLAIN="$explain_file" GRB_METRICS_DUMP="$metrics_file" \
+    scripts/bench.sh --smoke --compare
 for f in BENCH_kernels_smoke.json BENCH_obs.json; do
     [ -s "$f" ] || { echo "check: $f missing or empty" >&2; exit 1; }
     case "$(head -c 1 "$f")" in
@@ -112,11 +114,25 @@ done
 for key in '"kernels"' '"pending"' '"pool"' '"workspace"' '"direction"' '"mem"' \
            '"dispatch"' '"format"' '"static_hits"' '"dyn_fallbacks"' \
            '"contexts"' '"decisions"' '"decisions_total"' '"events_total"' \
-           '"container_high_bytes"' '"p50_ns"' '"p99_ns"' '"fusion_hits"'; do
+           '"container_high_bytes"' '"p50_ns"' '"p99_ns"' '"fusion_hits"' \
+           '"sampler"' '"queue_depth_max"' '"task_wait_ns"'; do
     grep -q "$key" BENCH_obs.json \
         || { echo "check: BENCH_obs.json lacks $key" >&2; exit 1; }
 done
 cargo run -q -p graphblas-check --bin tracecheck -- "$trace_file" --require-kernels
+# The same smoke run dumped its final metrics exposition via
+# GRB_METRICS_DUMP; the metricscheck reader re-validates the Prometheus
+# text format and requires the telemetry-plane families: a per-kernel
+# window rate, the pool scheduler metrics, and a memory gauge.
+cargo run -q -p graphblas-check --bin metricscheck -- "$metrics_file" \
+    --min-families 10 \
+    --require grb_kernel_rate \
+    --require grb_kernel_rolling_p99_ns \
+    --require grb_pool_queue_depth \
+    --require grb_pool_utilization \
+    --require grb_pool_task_wait_ns \
+    --require grb_pool_task_run_ns \
+    --require grb_mem_container_high_bytes
 cargo run -q -p graphblas-check --bin grbexplain -- "$explain_file" \
     --assert reason=direction-pick,min=1 \
     --assert reason=workspace-hit,min=1 \
