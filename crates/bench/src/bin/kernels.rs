@@ -4,7 +4,10 @@
 //! (adaptive push/pull `vxm` + workspace reuse), BFS (masked
 //! direction-optimizing traversal), SpGEMM (workspace-backed SPA, both
 //! as a raw sparse-layer kernel and as a registry-dispatched `mxm`), and
-//! a nonblocking fused apply chain (§III map fusion) — and writes their
+//! a nonblocking fused apply chain (§III map fusion), and a
+//! blocking-vs-nonblocking fused-pipeline ablation
+//! (apply→select→mxv→apply through the op DAG, with per-mode `mem_high`
+//! peak-memory growth) — and writes their
 //! median wall times plus the workspace, direction, dispatch (kernel
 //! registry static-vs-dyn), format (bitmap vs sparse store picks),
 //! per-kernel latency (p50/p99), and memory-gauge blocks to
@@ -37,11 +40,11 @@
 //! the regression protocol documented in EXPERIMENTS.md.
 
 use graphblas_bench::{fmt_time, median_secs, random_csr, random_matrix, rmat_bool};
-use graphblas_core::operations::{apply_v, mxm};
+use graphblas_core::operations::{apply_v, mxm, mxv, select_v};
 use graphblas_core::ops::registry;
 use graphblas_core::{
-    global_context, no_mask, no_mask_v, Context, ContextOptions, Descriptor, Matrix, Mode,
-    Semiring, UnaryOp, Vector, WaitMode,
+    global_context, no_mask, no_mask_v, Context, ContextOptions, Descriptor, IndexUnaryOp, Matrix,
+    Mode, Semiring, UnaryOp, Vector, WaitMode,
 };
 use graphblas_obs::{JsonWriter, Reason};
 
@@ -53,6 +56,7 @@ struct Params {
     spgemm_nnz_per_row: usize,
     mxm_n: usize,
     mxm_nnz_per_row: usize,
+    pipe_n: usize,
 }
 
 fn params() -> Params {
@@ -70,6 +74,7 @@ fn params() -> Params {
             spgemm_nnz_per_row: 8,
             mxm_n: 256,
             mxm_nnz_per_row: 64,
+            pipe_n: 1024,
         }
     } else {
         Params {
@@ -80,6 +85,7 @@ fn params() -> Params {
             spgemm_nnz_per_row: 16,
             mxm_n: 512,
             mxm_nnz_per_row: 128,
+            pipe_n: 4096,
         }
     }
 }
@@ -190,6 +196,80 @@ fn main() {
         "mxm (plus/times f64) recorded no registry static hits"
     );
 
+    // Blocking-vs-nonblocking fused-pipeline ablation (§III): the same
+    // apply→select→mxv→apply pipeline per iteration, once under a
+    // blocking context and once under the nonblocking op DAG. Blocking
+    // executes every stage eagerly — each map is a full store traversal
+    // (the first one canonicalizes the bitmap frontier to sparse), and
+    // the look-ahead stage at the end of each iteration is computed and
+    // materialized even though nothing reads it inside the loop.
+    // Nonblocking leaves the maps pending (the next mxv folds them into
+    // its numeric phase over the still-bitmap frontier) and leaves the
+    // look-ahead node queued: a read forces only the subgraph it needs,
+    // so that store never exists inside the loop. `mem_high` is the
+    // growth of the container + workspace high-water marks over the
+    // timed phase (re-armed at the phase boundary without disturbing the
+    // run's counters or the event ring).
+    let (ap_rows, ap_cols, ap_vals) = random_matrix(p.pipe_n, p.pipe_n * 8, 23)
+        .extract_tuples()
+        .expect("pipeline operand tuples");
+    let up_idx: Vec<usize> = (0..p.pipe_n).collect();
+    let up_vals: Vec<f64> = (0..p.pipe_n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    let run_pipeline_phase = |mode: Mode| -> (f64, u64) {
+        let pctx = Context::new(&ctx, mode, ContextOptions::default());
+        // Operands live in the phase's own context (and are materialized
+        // before anything is timed or the high-water marks re-arm).
+        let ap = Matrix::<f64>::new_in(&pctx, p.pipe_n, p.pipe_n).expect("pipeline operand");
+        ap.build(&ap_rows, &ap_cols, &ap_vals, None).expect("pipeline operand build");
+        ap.wait(WaitMode::Materialize).expect("pipeline operand materialize");
+        let up = Vector::<f64>::new_in(&pctx, p.pipe_n).expect("pipeline input");
+        up.build(&up_idx, &up_vals, None).expect("pipeline input build");
+        up.wait(WaitMode::Materialize).expect("pipeline input materialize");
+        let sr = Semiring::<f64, f64, f64>::plus_times();
+        let d = Descriptor::default();
+        let pinc = UnaryOp::new("inc", |x: &f64| x + 1.0);
+        let phalve = UnaryOp::new("halve", |x: &f64| x * 0.5);
+        let mut iter = || {
+            let w = Vector::<f64>::new_in(&pctx, p.pipe_n).expect("pipeline w");
+            mxv(&w, no_mask_v(), None, &sr, &ap, &up, &d).expect("pipeline mxv");
+            w.wait(WaitMode::Complete).expect("pipeline barrier");
+            apply_v(&w, no_mask_v(), None, &pinc, &w, &d).expect("pipeline apply");
+            select_v(&w, no_mask_v(), None, &IndexUnaryOp::valuegt(), &w, 3.0, &d)
+                .expect("pipeline select");
+            let y = Vector::<f64>::new_in(&pctx, p.pipe_n).expect("pipeline y");
+            mxv(&y, no_mask_v(), None, &sr, &ap, &w, &d).expect("pipeline mxv2");
+            apply_v(&y, no_mask_v(), None, &phalve, &y, &d).expect("pipeline apply2");
+            y.wait(WaitMode::Complete).expect("pipeline read");
+            // Look-ahead stage: produced every iteration, never read
+            // inside the loop. Blocking mode pays the mxv and the store
+            // here; the DAG leaves both on the queue.
+            let z = Vector::<f64>::new_in(&pctx, p.pipe_n).expect("pipeline z");
+            mxv(&z, no_mask_v(), None, &sr, &ap, &y, &d).expect("pipeline mxv3");
+            apply_v(&z, no_mask_v(), None, &pinc, &z, &d).expect("pipeline apply3");
+            std::hint::black_box(&z);
+        };
+        iter(); // warm the kernel caches and park the shared spmv scratch
+        graphblas_obs::mem::rearm_high_water();
+        let m0 = graphblas_obs::mem::totals();
+        let t = median_secs(p.runs, &mut iter);
+        let m1 = graphblas_obs::mem::totals();
+        let mem_high = (m1.container_high - m0.container_live)
+            + (m1.workspace_high - m0.workspace_live);
+        // The deferred look-ahead must still be consumable: repeat the
+        // stage and read it, which forces the queued subgraph in
+        // nonblocking mode (and is an ordinary re-read in blocking).
+        let z = Vector::<f64>::new_in(&pctx, p.pipe_n).expect("pipeline z tail");
+        mxv(&z, no_mask_v(), None, &sr, &ap, &up, &d).expect("pipeline tail mxv");
+        apply_v(&z, no_mask_v(), None, &pinc, &z, &d).expect("pipeline tail apply");
+        assert!(
+            z.nvals().expect("pipeline tail read") > 0,
+            "pipeline look-ahead stage produced an empty result"
+        );
+        (t, mem_high)
+    };
+    let (t_pipe_blocking, mem_pipe_blocking) = run_pipeline_phase(Mode::Blocking);
+    let (t_pipe, mem_pipe) = run_pipeline_phase(Mode::NonBlocking);
+
     // Fused apply chain (§III): a nonblocking child context queues
     // FUSE_CHAIN maps that `wait` flushes as one traversal — the workload
     // that exercises the pending-op fusion path (and, with decision
@@ -264,6 +344,17 @@ fn main() {
     println!(
         "| fused    | {} | | | {FUSE_CHAIN}-map chain, n={fuse_n} |",
         fmt_time(t_fused)
+    );
+    println!(
+        "| pipeline | {} | {} | {:.2}x | apply→select→mxv→apply, n={} (nonblocking vs blocking) |",
+        fmt_time(t_pipe),
+        fmt_time(t_pipe_blocking),
+        speedup(t_pipe, t_pipe_blocking),
+        p.pipe_n
+    );
+    println!(
+        "pipeline mem high-water growth: {} bytes nonblocking vs {} bytes blocking",
+        mem_pipe, mem_pipe_blocking
     );
     println!(
         "workspace: {} checkouts, {} hits, {} misses, {} bytes reused",
@@ -397,11 +488,45 @@ fn main() {
         snap.decisions.iter().map(|(_, n)| n).sum::<u64>(),
         "decision aggregates disagree with the total"
     );
+    // The §III ablation acceptance bar: the fused nonblocking pipeline
+    // must beat eager blocking execution on median latency AND peak
+    // memory growth (the eliminated traversals and the never-built
+    // look-ahead store are the whole point), and the DAG engine must
+    // have left its accounting behind — enqueued nodes, input- and
+    // output-side fusions, forced drains, and the matching reason-coded
+    // decision events.
+    assert!(
+        t_pipe < t_pipe_blocking,
+        "nonblocking fused pipeline ({}) is not faster than blocking ({})",
+        fmt_time(t_pipe),
+        fmt_time(t_pipe_blocking)
+    );
+    assert!(
+        mem_pipe < mem_pipe_blocking,
+        "nonblocking pipeline mem high-water growth ({mem_pipe} bytes) is not \
+         strictly below blocking ({mem_pipe_blocking} bytes)"
+    );
+    assert!(snap.dag.nodes_enqueued > 0, "DAG recorded no enqueued op nodes");
+    assert!(
+        snap.dag.pre_fused > 0 && snap.dag.post_fused > 0,
+        "DAG recorded no cross-operation fusion (pre {} / post {})",
+        snap.dag.pre_fused,
+        snap.dag.post_fused
+    );
+    assert!(snap.dag.forces > 0, "DAG recorded no forced drains");
+    assert!(
+        decided(Reason::DagFuse) > 0,
+        "no dag-fuse decision events recorded"
+    );
+    assert!(
+        decided(Reason::DagForce) > 0,
+        "no dag-force decision events recorded"
+    );
 
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("schema");
-    w.string("graphblas-bench/kernels/v3");
+    w.string("graphblas-bench/kernels/v4");
     w.key("smoke");
     w.boolean(p.smoke);
     w.key("scale");
@@ -444,6 +569,35 @@ fn main() {
     w.number_f64(t_mxm_dyn);
     w.key("fused_apply");
     w.number_f64(t_fused);
+    w.key("fused_pipeline");
+    w.number_f64(t_pipe);
+    w.key("fused_pipeline_blocking");
+    w.number_f64(t_pipe_blocking);
+    w.end_object();
+    // The §III blocking-vs-nonblocking ablation, with the per-mode peak
+    // memory growth (`mem_high`) alongside the medians benchcmp diffs.
+    w.key("fused_pipeline");
+    w.begin_object();
+    w.key("chain");
+    w.string("apply-select-mxv-apply");
+    w.key("n");
+    w.number(p.pipe_n as u64);
+    w.key("nnz");
+    w.number(ap_rows.len() as u64);
+    w.key("nonblocking");
+    w.begin_object();
+    w.key("median_secs");
+    w.number_f64(t_pipe);
+    w.key("mem_high");
+    w.number(mem_pipe);
+    w.end_object();
+    w.key("blocking");
+    w.begin_object();
+    w.key("median_secs");
+    w.number_f64(t_pipe_blocking);
+    w.key("mem_high");
+    w.number(mem_pipe_blocking);
+    w.end_object();
     w.end_object();
     w.key("workspace");
     w.begin_object();

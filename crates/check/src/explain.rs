@@ -33,7 +33,7 @@ pub const SCHEMA: &str = "graphblas-obs/explain/v1";
 /// Every reason code the v1 exporter can emit, mirrored from
 /// `graphblas_obs::events::Reason` (kept as literals so the checker
 /// cannot inherit a writer-side rename silently).
-pub const REASON_CODES: [&str; 16] = [
+pub const REASON_CODES: [&str; 18] = [
     "direction-push",
     "direction-pull",
     "workspace-hit",
@@ -50,15 +50,18 @@ pub const REASON_CODES: [&str; 16] = [
     "error-deferred",
     "dispatch-pick",
     "format-pick",
+    "dag-fuse",
+    "dag-force",
 ];
 
 /// Assert-spec aliases: a family name that expands to several codes whose
 /// counts are summed. `direction-pick` is "the dispatcher ran at all",
 /// regardless of which way it went.
-pub const ALIASES: [(&str, &[&str]); 3] = [
+pub const ALIASES: [(&str, &[&str]); 4] = [
     ("direction-pick", &["direction-push", "direction-pull"]),
     ("workspace-checkout", &["workspace-hit", "workspace-miss"]),
     ("fuse", &["fuse-flush"]),
+    ("dag", &["dag-fuse", "dag-force"]),
 ];
 
 /// The codes an assert spec's reason expands to: the alias expansion, or

@@ -126,16 +126,34 @@ mod tests {
         );
         assert_eq!(
             Descriptor::RSC,
-            Descriptor::new().replace().structure_mask().complement_mask()
+            Descriptor::new()
+                .replace()
+                .structure_mask()
+                .complement_mask()
         );
         assert_eq!(Descriptor::RT0, Descriptor::new().replace().transpose_a());
-        assert_eq!(Descriptor::CT1, Descriptor::new().complement_mask().transpose_b());
+        assert_eq!(
+            Descriptor::CT1,
+            Descriptor::new().complement_mask().transpose_b()
+        );
         assert_eq!(Descriptor::RS, Descriptor::new().replace().structure_mask());
-        assert_eq!(Descriptor::ST0, Descriptor::new().structure_mask().transpose_a());
-        assert_eq!(Descriptor::ST1, Descriptor::new().structure_mask().transpose_b());
-        assert_eq!(Descriptor::CT0, Descriptor::new().complement_mask().transpose_a());
+        assert_eq!(
+            Descriptor::ST0,
+            Descriptor::new().structure_mask().transpose_a()
+        );
+        assert_eq!(
+            Descriptor::ST1,
+            Descriptor::new().structure_mask().transpose_b()
+        );
+        assert_eq!(
+            Descriptor::CT0,
+            Descriptor::new().complement_mask().transpose_a()
+        );
         assert_eq!(Descriptor::RT1, Descriptor::new().replace().transpose_b());
-        assert_eq!(Descriptor::RC, Descriptor::new().replace().complement_mask());
+        assert_eq!(
+            Descriptor::RC,
+            Descriptor::new().replace().complement_mask()
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@
 #![allow(clippy::type_complexity)]
 
 pub(crate) mod bytesio;
+pub mod dag;
 pub mod descriptor;
 pub mod error;
 pub mod introspect;

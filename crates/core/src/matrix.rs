@@ -23,7 +23,7 @@ use graphblas_sparse::{Coo, Csc, Csr, Dense};
 use crate::error::{ApiError, Error, ExecutionError, GrbResult};
 use crate::introspect::ObjectStats;
 use crate::ops::BinaryOp;
-use crate::pending::{fuse_maps, MapFn, Stage, WaitMode};
+use crate::pending::{fuse_maps, MapFn, NodeKind, Stage, WaitMode};
 use crate::scalar::Scalar;
 use crate::types::{Index, MaskValue, ValueType};
 
@@ -234,6 +234,12 @@ impl<T: ValueType> MatrixState<T> {
     /// output's contents become undefined; we record the error and keep it
     /// sticky).
     pub(crate) fn drain(&mut self, ctx: &Context) -> GrbResult {
+        self.drain_as(ctx, "read")
+    }
+
+    /// [`Self::drain`] with an explicit force cause for the `DagForce`
+    /// decision event ("read", "wait", "async", "self-input").
+    pub(crate) fn drain_as(&mut self, ctx: &Context, cause: &'static str) -> GrbResult {
         if let Some(e) = &self.err {
             return Err(Error::Execution(e.clone()));
         }
@@ -249,9 +255,26 @@ impl<T: ValueType> MatrixState<T> {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         let pending = std::mem::take(&mut self.pending);
+        if pending.iter().any(|s| matches!(s, Stage::Node { .. })) {
+            if obs_on {
+                // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
+                graphblas_obs::counters::dag()
+                    .forces
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            if graphblas_obs::events::on() {
+                graphblas_obs::events::decision_dag_force(
+                    "matrix.drain",
+                    ctx.id(),
+                    cause,
+                    pending.len() as u64,
+                );
+            }
+        }
+        let mut stages = pending.into_iter().peekable();
         let mut run: Vec<MapFn<T>> = Vec::new();
         let result = (|| {
-            for stage in pending {
+            while let Some(stage) = stages.next() {
                 match stage {
                     Stage::Map(f) => run.push(f),
                     Stage::Opaque(f) => {
@@ -261,13 +284,24 @@ impl<T: ValueType> MatrixState<T> {
                             graphblas_obs::counters::pending()
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            graphblas_obs::events::decision_opaque_drain(
-                                "matrix.drain",
-                                ctx.id(),
-                            );
+                            graphblas_obs::events::decision_opaque_drain("matrix.drain", ctx.id());
                         }
                         let _ph = graphblas_obs::timeline::phase("drain.opaque");
                         f(self)?;
+                    }
+                    Stage::Node { kind: _, exec } => {
+                        // Maps before a node transform the pre-node value;
+                        // trailing maps transform the node's output and are
+                        // handed to the node to fuse into its kernel.
+                        self.flush_map_run(ctx, &mut run, "node-barrier")?;
+                        let mut post: Vec<MapFn<T>> = Vec::new();
+                        while matches!(stages.peek(), Some(Stage::Map(_))) {
+                            if let Some(Stage::Map(f)) = stages.next() {
+                                post.push(f);
+                            }
+                        }
+                        let _ph = graphblas_obs::timeline::phase("drain.node");
+                        exec(self, post)?;
                     }
                 }
             }
@@ -299,23 +333,31 @@ impl<T: ValueType> MatrixState<T> {
         use crate::introspect::CheckError;
         let shape = match &self.store {
             MatStore::Csr(a) => {
-                a.check()
-                    .map_err(|source| CheckError::Format { format: "csr", source })?;
+                a.check().map_err(|source| CheckError::Format {
+                    format: "csr",
+                    source,
+                })?;
                 (a.nrows(), a.ncols())
             }
             MatStore::Csc(a) => {
-                a.check()
-                    .map_err(|source| CheckError::Format { format: "csc", source })?;
+                a.check().map_err(|source| CheckError::Format {
+                    format: "csc",
+                    source,
+                })?;
                 (a.nrows(), a.ncols())
             }
             MatStore::Coo(a, _) => {
-                a.check()
-                    .map_err(|source| CheckError::Format { format: "coo", source })?;
+                a.check().map_err(|source| CheckError::Format {
+                    format: "coo",
+                    source,
+                })?;
                 (a.nrows(), a.ncols())
             }
             MatStore::Dense(a) => {
-                a.check()
-                    .map_err(|source| CheckError::Format { format: "dense", source })?;
+                a.check().map_err(|source| CheckError::Format {
+                    format: "dense",
+                    source,
+                })?;
                 (a.nrows(), a.ncols())
             }
         };
@@ -365,7 +407,11 @@ impl<T: ValueType> MatrixState<T> {
                 .fetch_add(run.len() as u64 - 1, std::sync::atomic::Ordering::Relaxed);
         }
         self.ensure_csr(ctx, false)?;
-        let nnz_in = if sp.active() { self.csr().nnz() as u64 } else { 0 };
+        let nnz_in = if sp.active() {
+            self.csr().nnz() as u64
+        } else {
+            0
+        };
         if graphblas_obs::events::on() {
             graphblas_obs::events::decision_fuse_flush(
                 "matrix.drain",
@@ -388,6 +434,20 @@ impl<T: ValueType> MatrixState<T> {
         }
         self.store = MatStore::Csr(Arc::new(fused));
         run.clear();
+        Ok(())
+    }
+
+    /// Applies a node's trailing (post) map run to the container's final
+    /// state as one pass (see `VectorState::apply_post_maps`).
+    pub(crate) fn apply_post_maps(&mut self, ctx: &Context, post: &[MapFn<T>]) -> GrbResult {
+        if post.is_empty() {
+            return Ok(());
+        }
+        self.ensure_csr(ctx, false)?;
+        let out = self
+            .csr()
+            .filter_map_with_index(ctx, |i, j, v| fuse_maps(post, &[i, j], v));
+        self.store = MatStore::Csr(Arc::new(out));
         Ok(())
     }
 }
@@ -442,7 +502,11 @@ impl<T: ValueType> Matrix<T> {
         }
         Ok(Self::from_state(
             ctx,
-            MatrixState::fresh(nrows, ncols, MatStore::Csr(Arc::new(Csr::empty(nrows, ncols)))),
+            MatrixState::fresh(
+                nrows,
+                ncols,
+                MatStore::Csr(Arc::new(Csr::empty(nrows, ncols))),
+            ),
         ))
     }
 
@@ -649,8 +713,8 @@ impl<T: ValueType> Matrix<T> {
         let dup = dup.cloned();
         let ctx = self.context();
         self.apply_write(Box::new(move |st: &mut MatrixState<T>| {
-            let coo = Coo::from_parts(st.nrows, st.ncols, rows, cols, values)
-                .map_err(Error::from)?;
+            let coo =
+                Coo::from_parts(st.nrows, st.ncols, rows, cols, values).map_err(Error::from)?;
             let csr = match &dup {
                 Some(op) => coo.to_csr(&ctx, Some(&|a: &T, b: &T| op.apply(a, b))),
                 None => coo.to_csr(&ctx, None),
@@ -734,7 +798,7 @@ impl<T: ValueType> Matrix<T> {
     pub fn wait(&self, mode: WaitMode) -> GrbResult {
         let ctx = self.context();
         let _sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Wait, ctx.id());
-        let mut st = self.lock_completed()?;
+        let mut st = self.lock_completed_as("wait")?;
         if mode == WaitMode::Materialize {
             st.ensure_csr(&ctx, true)?;
         }
@@ -802,9 +866,18 @@ impl<T: ValueType> Matrix<T> {
     pub(crate) fn lock_completed(
         &self,
     ) -> GrbResult<graphblas_exec::sync::MutexGuard<'_, MatrixState<T>>> {
+        self.lock_completed_as("read")
+    }
+
+    /// [`Self::lock_completed`] with an explicit force cause for the
+    /// `DagForce` decision event.
+    pub(crate) fn lock_completed_as(
+        &self,
+        cause: &'static str,
+    ) -> GrbResult<graphblas_exec::sync::MutexGuard<'_, MatrixState<T>>> {
         let ctx = self.context();
         let mut st = self.inner.state.lock();
-        st.drain(&ctx)?;
+        st.drain_as(&ctx, cause)?;
         Ok(st)
     }
 
@@ -868,6 +941,80 @@ impl<T: ValueType> Matrix<T> {
                 r
             }
         }
+    }
+
+    /// Enqueues a lazy op-DAG node (§III); see `Vector::apply_node` for
+    /// the mode/fallback contract.
+    pub(crate) fn apply_node(
+        &self,
+        kind: NodeKind,
+        exec: Box<dyn FnOnce(&mut MatrixState<T>, Vec<MapFn<T>>) -> GrbResult + Send>,
+    ) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        match ctx.mode() {
+            Mode::NonBlocking if crate::dag::dag_enabled() => {
+                st.pending.push(Stage::Node { kind, exec });
+                let depth = st.pending.len();
+                if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
+                    graphblas_obs::counters::dag()
+                        .nodes_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(depth);
+                }
+                drop(st);
+                self.maybe_async_drain(depth);
+                Ok(())
+            }
+            Mode::NonBlocking => {
+                st.pending
+                    .push(Stage::Opaque(Box::new(move |st| exec(st, Vec::new()))));
+                if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
+                    graphblas_obs::counters::pending()
+                        .opaques_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(st.pending.len());
+                }
+                Ok(())
+            }
+            Mode::Blocking => {
+                st.drain(&ctx)?;
+                let r = exec(&mut st, Vec::new());
+                if let Err(Error::Execution(exec_err)) = &r {
+                    st.err = Some(exec_err.clone());
+                }
+                st.note_mem(ctx.id());
+                r
+            }
+        }
+    }
+
+    /// Hands this container's backlog to the worker pool once it crosses
+    /// the depth threshold (see `Vector::maybe_async_drain` for the
+    /// no-double-drain argument).
+    fn maybe_async_drain(&self, depth: usize) {
+        if !crate::dag::async_drain_enabled() || depth < crate::dag::async_drain_depth() {
+            return;
+        }
+        if graphblas_obs::enabled() {
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
+            graphblas_obs::counters::dag()
+                .async_drains
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let this = self.clone();
+        let ctx = self.context();
+        graphblas_exec::pool::global_pool().spawn_static(Box::new(move || {
+            let mut st = this.inner.state.lock();
+            // A failed drain leaves the §V sticky error for the next
+            // reader; the background task has no caller to report to.
+            let _ = st.drain_as(&ctx, "async");
+        }));
     }
 
     /// Appends a fusible element-wise stage (nonblocking) or applies it
@@ -1190,10 +1337,16 @@ mod tests {
             m.set_element(k as i64, k, k).unwrap();
         }
         m.wait(WaitMode::Materialize).unwrap();
-        let live = graphblas_obs::ctxreg::context_stats(ctx.id()).unwrap().own.mem_live;
+        let live = graphblas_obs::ctxreg::context_stats(ctx.id())
+            .unwrap()
+            .own
+            .mem_live;
         assert!(live > 0, "a populated CSR store must charge the ledger");
         drop(m);
-        let after = graphblas_obs::ctxreg::context_stats(ctx.id()).unwrap().own.mem_live;
+        let after = graphblas_obs::ctxreg::context_stats(ctx.id())
+            .unwrap()
+            .own
+            .mem_live;
         assert_eq!(after, 0, "dropping the handle must release its bytes");
         graphblas_obs::set_enabled(was);
     }

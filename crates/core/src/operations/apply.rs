@@ -14,9 +14,11 @@ use std::sync::Arc;
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, Error, ExecErrorKind, GrbResult};
 use crate::matrix::{MatStore, Matrix};
-use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand, snapshot_vecmask};
+use crate::operations::{
+    eff_shape, note_dag_fusion, snapshot_matmask, snapshot_operand, snapshot_vecmask,
+};
 use crate::ops::{registry, BinaryOp, IndexUnaryOp, UnaryOp};
-use crate::pending::MapFn;
+use crate::pending::{MapFn, NodeKind};
 use crate::scalar::Scalar;
 use crate::types::{MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
@@ -72,24 +74,36 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        let t = match registry::try_apply_csr(&ctx2, &a_s, op.builtin()) {
-            Some(t) => t,
-            None => {
-                registry::record_pick("apply", ctx2.id(), false);
-                a_s.map(&ctx2, |v| op.apply(v))
+    c.apply_node(
+        NodeKind::Apply,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz();
+            let t = match registry::try_apply_csr(&ctx2, &a_s, op.builtin()) {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("apply", ctx2.id(), false);
+                    a_s.map(&ctx2, |v| op.apply(v))
+                }
+            };
+            note_dag_fusion("apply", ctx2.id(), NodeKind::Apply, 0, post.len(), nnz_in);
+            if mask_s.is_none() && accum.is_none() {
+                st.store = MatStore::Csr(Arc::new(t));
+            } else {
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged =
-            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// Vector unary apply.
@@ -130,24 +144,30 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx_id = ctx.id();
-    w.apply_write(Box::new(move |st| {
-        let t = match registry::try_apply_svec(&u_s, op.builtin(), ctx_id) {
-            Some(t) => t,
-            None => {
-                registry::record_pick("apply_v", ctx_id, false);
-                u_s.map_with_index(|_, v| op.apply(v))
+    w.apply_node(
+        NodeKind::Apply,
+        Box::new(move |st, post| {
+            let nnz_in = u_s.nnz();
+            let t = match registry::try_apply_svec(&u_s, op.builtin(), ctx_id) {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("apply_v", ctx_id, false);
+                    u_s.map_with_index(|_, v| op.apply(v))
+                }
+            };
+            note_dag_fusion("apply_v", ctx_id, NodeKind::Apply, 0, post.len(), nnz_in);
+            if mask_s.is_none() && accum.is_none() {
+                st.store = VecStore::Sparse(Arc::new(t));
+            } else {
+                st.ensure_sparse()?;
+                let merged =
+                    write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+                st.store = VecStore::Sparse(Arc::new(merged));
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `C = C ⊙ op(x, A)` — binary operator with the first argument bound.
@@ -371,18 +391,37 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        let t = a_s.map_with_index(&ctx2, |i, j, v| f.apply(v, &[i, j], &s));
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged =
-            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+    c.apply_node(
+        NodeKind::Apply,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz();
+            let t = a_s.map_with_index(&ctx2, |i, j, v| f.apply(v, &[i, j], &s));
+            note_dag_fusion(
+                "apply_indexop",
+                ctx2.id(),
+                NodeKind::Apply,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = MatStore::Csr(Arc::new(t));
+            } else {
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
+            }
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// Table II: index-unary apply with `s` as a `GrB_Scalar`.
@@ -445,18 +484,32 @@ where
     let f = f.clone();
     let accum = accum.cloned();
     let replace = desc.replace;
-    w.apply_write(Box::new(move |st| {
-        let t = u_s.map_with_index(|i, v| f.apply(v, &[i], &s));
-        if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+    let ctx_id = ctx.id();
+    w.apply_node(
+        NodeKind::Apply,
+        Box::new(move |st, post| {
+            let nnz_in = u_s.nnz();
+            let t = u_s.map_with_index(|i, v| f.apply(v, &[i], &s));
+            note_dag_fusion(
+                "apply_indexop_v",
+                ctx_id,
+                NodeKind::Apply,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = VecStore::Sparse(Arc::new(t));
+            } else {
+                st.ensure_sparse()?;
+                let merged =
+                    write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+                st.store = VecStore::Sparse(Arc::new(merged));
+            }
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// Table II: vector index-unary apply with `s` as a `GrB_Scalar`.

@@ -14,8 +14,9 @@ use graphblas_sparse::{ewise, Coo, Csr, SparseVec};
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, Error, ExecErrorKind, GrbResult};
 use crate::matrix::{MatStore, Matrix};
-use crate::operations::{snapshot_matmask, snapshot_operand, snapshot_vecmask};
+use crate::operations::{note_dag_fusion, snapshot_matmask, snapshot_operand, snapshot_vecmask};
 use crate::ops::BinaryOp;
+use crate::pending::NodeKind;
 use crate::scalar::Scalar;
 use crate::types::{Index, MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
@@ -49,9 +50,8 @@ fn splice_region<T: ValueType>(
     let inside = match accum {
         None => mapped,
         Some(op) => {
-            let old_inside = old.filter_map_with_index(ctx, |i, j, v| {
-                (row_in[i] && col_in[j]).then(|| v.clone())
-            });
+            let old_inside = old
+                .filter_map_with_index(ctx, |i, j, v| (row_in[i] && col_in[j]).then(|| v.clone()));
             ewise::ewise_union(ctx, &old_inside, &mapped, |x, y| op.apply(x, y))
         }
     };
@@ -91,39 +91,52 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        check_selectors(&rows, st.nrows, "row")?;
-        check_selectors(&cols, st.ncols, "column")?;
-        let mut row_in = vec![false; st.nrows];
-        let mut col_in = vec![false; st.ncols];
-        for &i in &rows {
-            row_in[i] = true;
-        }
-        for &j in &cols {
-            col_in[j] = true;
-        }
-        // Map A into C coordinates (duplicate selector targets resolve
-        // last-wins; the spec leaves duplicates undefined).
-        let (ar, ac, av) = a_s.tuples();
-        let mapped_coo = Coo::from_parts(
-            st.nrows,
-            st.ncols,
-            ar.into_iter().map(|i| rows[i]).collect(),
-            ac.into_iter().map(|j| cols[j]).collect(),
-            av,
-        )
-        .map_err(Error::from)?;
-        let second = |_: &T, b: &T| b.clone();
-        let mapped = mapped_coo
-            .to_csr(&ctx2, Some(&second))
+    c.apply_node(
+        NodeKind::Assign,
+        Box::new(move |st, post| {
+            check_selectors(&rows, st.nrows, "row")?;
+            check_selectors(&cols, st.ncols, "column")?;
+            let mut row_in = vec![false; st.nrows];
+            let mut col_in = vec![false; st.ncols];
+            for &i in &rows {
+                row_in[i] = true;
+            }
+            for &j in &cols {
+                col_in[j] = true;
+            }
+            // Map A into C coordinates (duplicate selector targets resolve
+            // last-wins; the spec leaves duplicates undefined).
+            let (ar, ac, av) = a_s.tuples();
+            let mapped_coo = Coo::from_parts(
+                st.nrows,
+                st.ncols,
+                ar.into_iter().map(|i| rows[i]).collect(),
+                ac.into_iter().map(|j| cols[j]).collect(),
+                av,
+            )
             .map_err(Error::from)?;
-        st.ensure_csr(&ctx2, true)?;
-        let spliced = splice_region(&ctx2, st.csr(), mapped, &row_in, &col_in, accum.as_ref());
-        // The mask applies over all of C; accumulation already happened.
-        let merged = write::merge_matrix(&ctx2, st.csr(), spliced, mask_s.as_ref(), None, replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+            let second = |_: &T, b: &T| b.clone();
+            let mapped = mapped_coo
+                .to_csr(&ctx2, Some(&second))
+                .map_err(Error::from)?;
+            st.ensure_csr(&ctx2, true)?;
+            let spliced = splice_region(&ctx2, st.csr(), mapped, &row_in, &col_in, accum.as_ref());
+            // The mask applies over all of C; accumulation already happened.
+            let merged =
+                write::merge_matrix(&ctx2, st.csr(), spliced, mask_s.as_ref(), None, replace);
+            st.store = MatStore::Csr(Arc::new(merged));
+            note_dag_fusion(
+                "assign",
+                ctx2.id(),
+                NodeKind::Assign,
+                0,
+                post.len(),
+                a_s.nnz(),
+            );
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `w⟨m, r⟩(I) = w(I) ⊙ u`.
@@ -156,37 +169,50 @@ where
     let indices = indices.to_vec();
     let accum = accum.cloned();
     let replace = desc.replace;
-    w.apply_write(Box::new(move |st| {
-        check_selectors(&indices, st.n, "index")?;
-        let mut in_region = vec![false; st.n];
-        for &i in &indices {
-            in_region[i] = true;
-        }
-        let mut mapped = SparseVec::from_parts(
-            st.n,
-            u_s.iter().map(|(i, _)| indices[i]).collect(),
-            u_s.values().to_vec(),
-        )
-        .map_err(Error::from)?;
-        mapped
-            .sort_dedup(Some(&|_: &T, b: &T| b.clone()))
-            .map_err(Error::from)?;
-        st.ensure_sparse()?;
-        let old = st.sparse().clone();
-        let outside = old.filter_map_with_index(|i, v| (!in_region[i]).then(|| v.clone()));
-        let inside = match &accum {
-            None => mapped,
-            Some(op) => {
-                let old_inside =
-                    old.filter_map_with_index(|i, v| in_region[i].then(|| v.clone()));
-                ewise::svec_union(&old_inside, &mapped, |x, y| op.apply(x, y))
+    let ctx2 = ctx.clone();
+    w.apply_node(
+        NodeKind::Assign,
+        Box::new(move |st, post| {
+            check_selectors(&indices, st.n, "index")?;
+            let mut in_region = vec![false; st.n];
+            for &i in &indices {
+                in_region[i] = true;
             }
-        };
-        let spliced = ewise::svec_union(&outside, &inside, |x, _| x.clone());
-        let merged = write::merge_vector(&old, spliced, mask_s.as_ref(), None, replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+            let mut mapped = SparseVec::from_parts(
+                st.n,
+                u_s.iter().map(|(i, _)| indices[i]).collect(),
+                u_s.values().to_vec(),
+            )
+            .map_err(Error::from)?;
+            mapped
+                .sort_dedup(Some(&|_: &T, b: &T| b.clone()))
+                .map_err(Error::from)?;
+            st.ensure_sparse()?;
+            let old = st.sparse().clone();
+            let outside = old.filter_map_with_index(|i, v| (!in_region[i]).then(|| v.clone()));
+            let inside = match &accum {
+                None => mapped,
+                Some(op) => {
+                    let old_inside =
+                        old.filter_map_with_index(|i, v| in_region[i].then(|| v.clone()));
+                    ewise::svec_union(&old_inside, &mapped, |x, y| op.apply(x, y))
+                }
+            };
+            let spliced = ewise::svec_union(&outside, &inside, |x, _| x.clone());
+            let merged = write::merge_vector(&old, spliced, mask_s.as_ref(), None, replace);
+            st.store = VecStore::Sparse(Arc::new(merged));
+            note_dag_fusion(
+                "assign_v",
+                ctx2.id(),
+                NodeKind::Assign,
+                0,
+                post.len(),
+                u_s.nnz(),
+            );
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `C⟨M, r⟩(I, J) = C(I, J) ⊙ s` — fills *every* position of the region
@@ -218,38 +244,51 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        check_selectors(&rows, st.nrows, "row")?;
-        check_selectors(&cols, st.ncols, "column")?;
-        let mut row_in = vec![false; st.nrows];
-        let mut col_in = vec![false; st.ncols];
-        for &i in &rows {
-            row_in[i] = true;
-        }
-        for &j in &cols {
-            col_in[j] = true;
-        }
-        let mut rr = Vec::with_capacity(rows.len() * cols.len());
-        let mut cc = Vec::with_capacity(rows.len() * cols.len());
-        let mut vv = Vec::with_capacity(rows.len() * cols.len());
-        for &i in &rows {
-            for &j in &cols {
-                rr.push(i);
-                cc.push(j);
-                vv.push(value.clone());
+    c.apply_node(
+        NodeKind::Assign,
+        Box::new(move |st, post| {
+            check_selectors(&rows, st.nrows, "row")?;
+            check_selectors(&cols, st.ncols, "column")?;
+            let mut row_in = vec![false; st.nrows];
+            let mut col_in = vec![false; st.ncols];
+            for &i in &rows {
+                row_in[i] = true;
             }
-        }
-        let second = |_: &T, b: &T| b.clone();
-        let mapped = Coo::from_parts(st.nrows, st.ncols, rr, cc, vv)
-            .map_err(Error::from)?
-            .to_csr(&ctx2, Some(&second))
-            .map_err(Error::from)?;
-        st.ensure_csr(&ctx2, true)?;
-        let spliced = splice_region(&ctx2, st.csr(), mapped, &row_in, &col_in, accum.as_ref());
-        let merged = write::merge_matrix(&ctx2, st.csr(), spliced, mask_s.as_ref(), None, replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+            for &j in &cols {
+                col_in[j] = true;
+            }
+            let mut rr = Vec::with_capacity(rows.len() * cols.len());
+            let mut cc = Vec::with_capacity(rows.len() * cols.len());
+            let mut vv = Vec::with_capacity(rows.len() * cols.len());
+            for &i in &rows {
+                for &j in &cols {
+                    rr.push(i);
+                    cc.push(j);
+                    vv.push(value.clone());
+                }
+            }
+            let second = |_: &T, b: &T| b.clone();
+            let mapped = Coo::from_parts(st.nrows, st.ncols, rr, cc, vv)
+                .map_err(Error::from)?
+                .to_csr(&ctx2, Some(&second))
+                .map_err(Error::from)?;
+            st.ensure_csr(&ctx2, true)?;
+            let spliced = splice_region(&ctx2, st.csr(), mapped, &row_in, &col_in, accum.as_ref());
+            let merged =
+                write::merge_matrix(&ctx2, st.csr(), spliced, mask_s.as_ref(), None, replace);
+            st.store = MatStore::Csr(Arc::new(merged));
+            note_dag_fusion(
+                "assign_scalar",
+                ctx2.id(),
+                NodeKind::Assign,
+                0,
+                post.len(),
+                rows.len() * cols.len(),
+            );
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// Table II form of [`assign_scalar`] with a `GrB_Scalar` argument.
@@ -301,37 +340,50 @@ where
     let indices = indices.to_vec();
     let accum = accum.cloned();
     let replace = desc.replace;
-    w.apply_write(Box::new(move |st| {
-        check_selectors(&indices, st.n, "index")?;
-        let mut in_region = vec![false; st.n];
-        for &i in &indices {
-            in_region[i] = true;
-        }
-        let mut mapped = SparseVec::from_parts(
-            st.n,
-            indices.clone(),
-            indices.iter().map(|_| value.clone()).collect(),
-        )
-        .map_err(Error::from)?;
-        mapped
-            .sort_dedup(Some(&|_: &T, b: &T| b.clone()))
-            .map_err(Error::from)?;
-        st.ensure_sparse()?;
-        let old = st.sparse().clone();
-        let outside = old.filter_map_with_index(|i, v| (!in_region[i]).then(|| v.clone()));
-        let inside = match &accum {
-            None => mapped,
-            Some(op) => {
-                let old_inside =
-                    old.filter_map_with_index(|i, v| in_region[i].then(|| v.clone()));
-                ewise::svec_union(&old_inside, &mapped, |x, y| op.apply(x, y))
+    let ctx2 = ctx.clone();
+    w.apply_node(
+        NodeKind::Assign,
+        Box::new(move |st, post| {
+            check_selectors(&indices, st.n, "index")?;
+            let mut in_region = vec![false; st.n];
+            for &i in &indices {
+                in_region[i] = true;
             }
-        };
-        let spliced = ewise::svec_union(&outside, &inside, |x, _| x.clone());
-        let merged = write::merge_vector(&old, spliced, mask_s.as_ref(), None, replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+            let mut mapped = SparseVec::from_parts(
+                st.n,
+                indices.clone(),
+                indices.iter().map(|_| value.clone()).collect(),
+            )
+            .map_err(Error::from)?;
+            mapped
+                .sort_dedup(Some(&|_: &T, b: &T| b.clone()))
+                .map_err(Error::from)?;
+            st.ensure_sparse()?;
+            let old = st.sparse().clone();
+            let outside = old.filter_map_with_index(|i, v| (!in_region[i]).then(|| v.clone()));
+            let inside = match &accum {
+                None => mapped,
+                Some(op) => {
+                    let old_inside =
+                        old.filter_map_with_index(|i, v| in_region[i].then(|| v.clone()));
+                    ewise::svec_union(&old_inside, &mapped, |x, y| op.apply(x, y))
+                }
+            };
+            let spliced = ewise::svec_union(&outside, &inside, |x, _| x.clone());
+            let merged = write::merge_vector(&old, spliced, mask_s.as_ref(), None, replace);
+            st.store = VecStore::Sparse(Arc::new(merged));
+            note_dag_fusion(
+                "assign_scalar_v",
+                ctx2.id(),
+                NodeKind::Assign,
+                0,
+                post.len(),
+                indices.len(),
+            );
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `GrB_Row_assign`: `C⟨m', r⟩(i, J) = C(i, J) ⊙ uᵀ` — assigns a vector
@@ -372,68 +424,80 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        check_selectors(&cols, st.ncols, "column")?;
-        let mut col_in = vec![false; st.ncols];
-        for &j in &cols {
-            col_in[j] = true;
-        }
-        // Map u into row-i coordinates.
-        let second = |_: &T, b: &T| b.clone();
-        let mapped = Coo::from_parts(
-            st.nrows,
-            st.ncols,
-            u_s.iter().map(|_| i).collect(),
-            u_s.iter().map(|(k, _)| cols[k]).collect(),
-            u_s.values().to_vec(),
-        )
-        .map_err(Error::from)?
-        .to_csr(&ctx2, Some(&second))
-        .map_err(Error::from)?;
-        st.ensure_csr(&ctx2, true)?;
-        let row_in: Vec<bool> = (0..st.nrows).map(|r| r == i).collect();
-        let spliced =
-            splice_region(&ctx2, st.csr(), mapped, &row_in, &col_in, accum.as_ref());
-        // Vector mask lifted to a matrix mask over row i only; positions
-        // outside row i are untouched regardless of replace (the C spec
-        // scopes Row_assign's mask and replace to the row).
-        let merged = match &mask_s {
-            None => spliced,
-            Some(vm) => {
-                let lifted_rows: Vec<usize> = vm.mask.iter().map(|_| i).collect();
-                let lifted_cols: Vec<usize> = vm.mask.indices().to_vec();
-                let lifted_vals: Vec<bool> = vm.mask.values().to_vec();
-                let lifted = Coo::from_parts(
-                    st.nrows,
-                    st.ncols,
-                    lifted_rows,
-                    lifted_cols,
-                    lifted_vals,
-                )
-                .map_err(Error::from)?
-                .to_csr(&ctx2, None)
-                .map_err(Error::from)?;
-                let spec = crate::write::MatMask {
-                    mask: std::sync::Arc::new(lifted),
-                    complement: vm.complement,
-                };
-                // Restrict the masked merge to row i: splice the merged
-                // row back into the untouched remainder.
-                let merged_all =
-                    crate::write::merge_matrix(&ctx2, st.csr(), spliced, Some(&spec), None, replace);
-                let merged_row =
-                    merged_all.filter_map_with_index(&ctx2, |r, _, v| (r == i).then(|| v.clone()));
-                let others = st
-                    .csr()
-                    .filter_map_with_index(&ctx2, |r, _, v| (r != i).then(|| v.clone()));
-                graphblas_sparse::ewise::ewise_union(&ctx2, &others, &merged_row, |x, _| {
-                    x.clone()
-                })
+    c.apply_node(
+        NodeKind::Assign,
+        Box::new(move |st, post| {
+            check_selectors(&cols, st.ncols, "column")?;
+            let mut col_in = vec![false; st.ncols];
+            for &j in &cols {
+                col_in[j] = true;
             }
-        };
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+            // Map u into row-i coordinates.
+            let second = |_: &T, b: &T| b.clone();
+            let mapped = Coo::from_parts(
+                st.nrows,
+                st.ncols,
+                u_s.iter().map(|_| i).collect(),
+                u_s.iter().map(|(k, _)| cols[k]).collect(),
+                u_s.values().to_vec(),
+            )
+            .map_err(Error::from)?
+            .to_csr(&ctx2, Some(&second))
+            .map_err(Error::from)?;
+            st.ensure_csr(&ctx2, true)?;
+            let row_in: Vec<bool> = (0..st.nrows).map(|r| r == i).collect();
+            let spliced = splice_region(&ctx2, st.csr(), mapped, &row_in, &col_in, accum.as_ref());
+            // Vector mask lifted to a matrix mask over row i only; positions
+            // outside row i are untouched regardless of replace (the C spec
+            // scopes Row_assign's mask and replace to the row).
+            let merged = match &mask_s {
+                None => spliced,
+                Some(vm) => {
+                    let lifted_rows: Vec<usize> = vm.mask.iter().map(|_| i).collect();
+                    let lifted_cols: Vec<usize> = vm.mask.indices().to_vec();
+                    let lifted_vals: Vec<bool> = vm.mask.values().to_vec();
+                    let lifted =
+                        Coo::from_parts(st.nrows, st.ncols, lifted_rows, lifted_cols, lifted_vals)
+                            .map_err(Error::from)?
+                            .to_csr(&ctx2, None)
+                            .map_err(Error::from)?;
+                    let spec = crate::write::MatMask {
+                        mask: std::sync::Arc::new(lifted),
+                        complement: vm.complement,
+                    };
+                    // Restrict the masked merge to row i: splice the merged
+                    // row back into the untouched remainder.
+                    let merged_all = crate::write::merge_matrix(
+                        &ctx2,
+                        st.csr(),
+                        spliced,
+                        Some(&spec),
+                        None,
+                        replace,
+                    );
+                    let merged_row = merged_all
+                        .filter_map_with_index(&ctx2, |r, _, v| (r == i).then(|| v.clone()));
+                    let others = st
+                        .csr()
+                        .filter_map_with_index(&ctx2, |r, _, v| (r != i).then(|| v.clone()));
+                    graphblas_sparse::ewise::ewise_union(&ctx2, &others, &merged_row, |x, _| {
+                        x.clone()
+                    })
+                }
+            };
+            st.store = MatStore::Csr(Arc::new(merged));
+            note_dag_fusion(
+                "assign_row",
+                ctx2.id(),
+                NodeKind::Assign,
+                0,
+                post.len(),
+                u_s.nnz(),
+            );
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `GrB_Col_assign`: `C⟨m', r⟩(I, j) = C(I, j) ⊙ u` — assigns a vector
@@ -472,59 +536,76 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        check_selectors(&rows, st.nrows, "row")?;
-        let mut row_in = vec![false; st.nrows];
-        for &i in &rows {
-            row_in[i] = true;
-        }
-        let second = |_: &T, b: &T| b.clone();
-        let mapped = Coo::from_parts(
-            st.nrows,
-            st.ncols,
-            u_s.iter().map(|(k, _)| rows[k]).collect(),
-            u_s.iter().map(|_| j).collect(),
-            u_s.values().to_vec(),
-        )
-        .map_err(Error::from)?
-        .to_csr(&ctx2, Some(&second))
-        .map_err(Error::from)?;
-        st.ensure_csr(&ctx2, true)?;
-        let col_in: Vec<bool> = (0..st.ncols).map(|cc| cc == j).collect();
-        let spliced =
-            splice_region(&ctx2, st.csr(), mapped, &row_in, &col_in, accum.as_ref());
-        let merged = match &mask_s {
-            None => spliced,
-            Some(vm) => {
-                let lifted = Coo::from_parts(
-                    st.nrows,
-                    st.ncols,
-                    vm.mask.indices().to_vec(),
-                    vm.mask.iter().map(|_| j).collect(),
-                    vm.mask.values().to_vec(),
-                )
-                .map_err(Error::from)?
-                .to_csr(&ctx2, None)
-                .map_err(Error::from)?;
-                let spec = crate::write::MatMask {
-                    mask: std::sync::Arc::new(lifted),
-                    complement: vm.complement,
-                };
-                let merged_all =
-                    crate::write::merge_matrix(&ctx2, st.csr(), spliced, Some(&spec), None, replace);
-                let merged_col = merged_all
-                    .filter_map_with_index(&ctx2, |_, cc, v| (cc == j).then(|| v.clone()));
-                let others = st
-                    .csr()
-                    .filter_map_with_index(&ctx2, |_, cc, v| (cc != j).then(|| v.clone()));
-                graphblas_sparse::ewise::ewise_union(&ctx2, &others, &merged_col, |x, _| {
-                    x.clone()
-                })
+    c.apply_node(
+        NodeKind::Assign,
+        Box::new(move |st, post| {
+            check_selectors(&rows, st.nrows, "row")?;
+            let mut row_in = vec![false; st.nrows];
+            for &i in &rows {
+                row_in[i] = true;
             }
-        };
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+            let second = |_: &T, b: &T| b.clone();
+            let mapped = Coo::from_parts(
+                st.nrows,
+                st.ncols,
+                u_s.iter().map(|(k, _)| rows[k]).collect(),
+                u_s.iter().map(|_| j).collect(),
+                u_s.values().to_vec(),
+            )
+            .map_err(Error::from)?
+            .to_csr(&ctx2, Some(&second))
+            .map_err(Error::from)?;
+            st.ensure_csr(&ctx2, true)?;
+            let col_in: Vec<bool> = (0..st.ncols).map(|cc| cc == j).collect();
+            let spliced = splice_region(&ctx2, st.csr(), mapped, &row_in, &col_in, accum.as_ref());
+            let merged = match &mask_s {
+                None => spliced,
+                Some(vm) => {
+                    let lifted = Coo::from_parts(
+                        st.nrows,
+                        st.ncols,
+                        vm.mask.indices().to_vec(),
+                        vm.mask.iter().map(|_| j).collect(),
+                        vm.mask.values().to_vec(),
+                    )
+                    .map_err(Error::from)?
+                    .to_csr(&ctx2, None)
+                    .map_err(Error::from)?;
+                    let spec = crate::write::MatMask {
+                        mask: std::sync::Arc::new(lifted),
+                        complement: vm.complement,
+                    };
+                    let merged_all = crate::write::merge_matrix(
+                        &ctx2,
+                        st.csr(),
+                        spliced,
+                        Some(&spec),
+                        None,
+                        replace,
+                    );
+                    let merged_col = merged_all
+                        .filter_map_with_index(&ctx2, |_, cc, v| (cc == j).then(|| v.clone()));
+                    let others = st
+                        .csr()
+                        .filter_map_with_index(&ctx2, |_, cc, v| (cc != j).then(|| v.clone()));
+                    graphblas_sparse::ewise::ewise_union(&ctx2, &others, &merged_col, |x, _| {
+                        x.clone()
+                    })
+                }
+            };
+            st.store = MatStore::Csr(Arc::new(merged));
+            note_dag_fusion(
+                "assign_col",
+                ctx2.id(),
+                NodeKind::Assign,
+                0,
+                post.len(),
+                u_s.nnz(),
+            );
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// Table II form of [`assign_scalar_v`] with a `GrB_Scalar` argument.
@@ -563,7 +644,16 @@ mod tests {
         let a = mat((2, 2), &[(0, 0, 10i64)]);
         // Region rows {0,1} × cols {0,1}: (0,0) → 10; (1,1) is in the
         // region but not in A → deleted. (2,2) untouched.
-        assign(&c, no_mask(), None, &a, &[0, 1], &[0, 1], &Descriptor::default()).unwrap();
+        assign(
+            &c,
+            no_mask(),
+            None,
+            &a,
+            &[0, 1],
+            &[0, 1],
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(mat_tuples(&c), vec![(0, 0, 10), (2, 2, 3)]);
     }
 
@@ -581,10 +671,7 @@ mod tests {
             &Descriptor::default(),
         )
         .unwrap();
-        assert_eq!(
-            mat_tuples(&c),
-            vec![(0, 0, 11), (0, 1, 20), (1, 1, 5)]
-        );
+        assert_eq!(mat_tuples(&c), vec![(0, 0, 11), (0, 1, 20), (1, 1, 5)]);
     }
 
     #[test]
@@ -592,15 +679,32 @@ mod tests {
         let c = Matrix::<i64>::new(3, 3).unwrap();
         let a = mat((2, 2), &[(0, 1, 7i64)]);
         // rows [2,0], cols [1,0]: A(0,1) lands at C(2,0).
-        assign(&c, no_mask(), None, &a, &[2, 0], &[1, 0], &Descriptor::default()).unwrap();
+        assign(
+            &c,
+            no_mask(),
+            None,
+            &a,
+            &[2, 0],
+            &[1, 0],
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(mat_tuples(&c), vec![(2, 0, 7)]);
     }
 
     #[test]
     fn assign_scalar_fills_region_densely() {
         let c = Matrix::<i64>::new(3, 3).unwrap();
-        assign_scalar(&c, no_mask(), None, 9i64, &[0, 2], &[1, 2], &Descriptor::default())
-            .unwrap();
+        assign_scalar(
+            &c,
+            no_mask(),
+            None,
+            9i64,
+            &[0, 2],
+            &[1, 2],
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(
             mat_tuples(&c),
             vec![(0, 1, 9), (0, 2, 9), (2, 1, 9), (2, 2, 9)]
@@ -635,8 +739,7 @@ mod tests {
         assign_scalar_v(&w, no_mask_v(), None, 8i64, &[1, 3], &Descriptor::default()).unwrap();
         assert_eq!(vec_tuples(&w), vec![(1, 8), (3, 8)]);
         let err =
-            assign_scalar_v(&w, no_mask_v(), None, 8i64, &[9], &Descriptor::default())
-                .unwrap_err();
+            assign_scalar_v(&w, no_mask_v(), None, 8i64, &[9], &Descriptor::default()).unwrap_err();
         assert!(err.is_execution());
         assert_eq!(err.code(), -105);
     }

@@ -13,8 +13,11 @@ use graphblas_sparse::ewise as kernels;
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::{MatStore, Matrix};
-use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand, snapshot_vecmask};
+use crate::operations::{
+    eff_shape, note_dag_fusion, snapshot_matmask, snapshot_operand, snapshot_vecmask,
+};
 use crate::ops::{registry, BinaryOp};
+use crate::pending::NodeKind;
 use crate::types::{MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
 use crate::write;
@@ -55,24 +58,43 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        let t = match registry::try_ewise_union(&ctx2, &a_s, &b_s, op.builtin()) {
-            Some(t) => t,
-            None => {
-                registry::record_pick("ewise_add", ctx2.id(), false);
-                kernels::ewise_union(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y))
+    c.apply_node(
+        NodeKind::EWise,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz() + b_s.nnz();
+            let t = match registry::try_ewise_union(&ctx2, &a_s, &b_s, op.builtin()) {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("ewise_add", ctx2.id(), false);
+                    kernels::ewise_union(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y))
+                }
+            };
+            note_dag_fusion(
+                "ewise_add",
+                ctx2.id(),
+                NodeKind::EWise,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = MatStore::Csr(Arc::new(t));
+            } else {
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged =
-            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `C⟨M, r⟩ = C ⊙ (A ⊗ B)` — intersection structure, heterogeneous
@@ -114,24 +136,43 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        let t = match registry::try_ewise_intersect(&ctx2, &a_s, &b_s, op.builtin()) {
-            Some(t) => t,
-            None => {
-                registry::record_pick("ewise_mult", ctx2.id(), false);
-                kernels::ewise_intersect(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y))
+    c.apply_node(
+        NodeKind::EWise,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz() + b_s.nnz();
+            let t = match registry::try_ewise_intersect(&ctx2, &a_s, &b_s, op.builtin()) {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("ewise_mult", ctx2.id(), false);
+                    kernels::ewise_intersect(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y))
+                }
+            };
+            note_dag_fusion(
+                "ewise_mult",
+                ctx2.id(),
+                NodeKind::EWise,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = MatStore::Csr(Arc::new(t));
+            } else {
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged =
-            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `eWiseAdd` with a monoid (the C API's `GrB_Monoid` overload): the
@@ -229,24 +270,37 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx_id = ctx.id();
-    w.apply_write(Box::new(move |st| {
-        let t = match registry::try_svec_union(&u_s, &v_s, op.builtin(), ctx_id) {
-            Some(t) => t,
-            None => {
-                registry::record_pick("ewise_add_v", ctx_id, false);
-                kernels::svec_union(&u_s, &v_s, |x, y| op.apply(x, y))
+    w.apply_node(
+        NodeKind::EWise,
+        Box::new(move |st, post| {
+            let nnz_in = u_s.nnz() + v_s.nnz();
+            let t = match registry::try_svec_union(&u_s, &v_s, op.builtin(), ctx_id) {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("ewise_add_v", ctx_id, false);
+                    kernels::svec_union(&u_s, &v_s, |x, y| op.apply(x, y))
+                }
+            };
+            note_dag_fusion(
+                "ewise_add_v",
+                ctx_id,
+                NodeKind::EWise,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = VecStore::Sparse(Arc::new(t));
+            } else {
+                st.ensure_sparse()?;
+                let merged =
+                    write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+                st.store = VecStore::Sparse(Arc::new(merged));
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// Vector `eWiseMult`.
@@ -285,24 +339,37 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx_id = ctx.id();
-    w.apply_write(Box::new(move |st| {
-        let t = match registry::try_svec_intersect(&u_s, &v_s, op.builtin(), ctx_id) {
-            Some(t) => t,
-            None => {
-                registry::record_pick("ewise_mult_v", ctx_id, false);
-                kernels::svec_intersect(&u_s, &v_s, |x, y| op.apply(x, y))
+    w.apply_node(
+        NodeKind::EWise,
+        Box::new(move |st, post| {
+            let nnz_in = u_s.nnz() + v_s.nnz();
+            let t = match registry::try_svec_intersect(&u_s, &v_s, op.builtin(), ctx_id) {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("ewise_mult_v", ctx_id, false);
+                    kernels::svec_intersect(&u_s, &v_s, |x, y| op.apply(x, y))
+                }
+            };
+            note_dag_fusion(
+                "ewise_mult_v",
+                ctx_id,
+                NodeKind::EWise,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = VecStore::Sparse(Arc::new(t));
+            } else {
+                st.ensure_sparse()?;
+                let merged =
+                    write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+                st.store = VecStore::Sparse(Arc::new(merged));
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 #[cfg(test)]
@@ -326,10 +393,7 @@ mod tests {
             &Descriptor::default(),
         )
         .unwrap();
-        assert_eq!(
-            mat_tuples(&c),
-            vec![(0, 0, 1), (0, 1, 12), (1, 0, 20)]
-        );
+        assert_eq!(mat_tuples(&c), vec![(0, 0, 1), (0, 1, 12), (1, 0, 20)]);
         let d = Matrix::<i64>::new(2, 2).unwrap();
         ewise_mult(
             &d,

@@ -8,8 +8,11 @@ use std::sync::Arc;
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, Error, GrbResult};
 use crate::matrix::{MatStore, Matrix};
-use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand, snapshot_vecmask};
+use crate::operations::{
+    eff_shape, note_dag_fusion, snapshot_matmask, snapshot_operand, snapshot_vecmask,
+};
 use crate::ops::BinaryOp;
+use crate::pending::NodeKind;
 use crate::types::{Index, MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
 use crate::write;
@@ -47,20 +50,39 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        let t = a_s
-            .extract_submatrix(&ctx2, &rows, &cols)
-            .map_err(Error::from)?;
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged =
-            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+    c.apply_node(
+        NodeKind::Extract,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz();
+            let t = a_s
+                .extract_submatrix(&ctx2, &rows, &cols)
+                .map_err(Error::from)?;
+            note_dag_fusion(
+                "extract",
+                ctx2.id(),
+                NodeKind::Extract,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = MatStore::Csr(Arc::new(t));
+            } else {
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
+            }
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `w⟨m, r⟩ = w ⊙ u(I)`.
@@ -93,18 +115,32 @@ where
     let indices = indices.to_vec();
     let accum = accum.cloned();
     let replace = desc.replace;
-    w.apply_write(Box::new(move |st| {
-        let t = u_s.extract(&indices).map_err(Error::from)?;
-        if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+    let ctx2 = ctx.clone();
+    w.apply_node(
+        NodeKind::Extract,
+        Box::new(move |st, post| {
+            let nnz_in = u_s.nnz();
+            let t = u_s.extract(&indices).map_err(Error::from)?;
+            note_dag_fusion(
+                "extract_v",
+                ctx2.id(),
+                NodeKind::Extract,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = VecStore::Sparse(Arc::new(t));
+            } else {
+                st.ensure_sparse()?;
+                let merged =
+                    write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+                st.store = VecStore::Sparse(Arc::new(merged));
+            }
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `GrB_Col_extract`: `w⟨m, r⟩ = w ⊙ A(I, j)` (`desc.transpose_a` extracts
@@ -144,35 +180,48 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    w.apply_write(Box::new(move |st| {
-        let sub = a_s
-            .extract_submatrix(&ctx2, &rows, &[j])
-            .map_err(Error::from)?;
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
-        for (i, _, v) in sub.iter() {
-            indices.push(i);
-            values.push(v.clone());
-        }
-        let t = graphblas_sparse::SparseVec::from_parts(rows.len(), indices, values)
-            .map_err(Error::from)?;
-        if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+    w.apply_node(
+        NodeKind::Extract,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz();
+            let sub = a_s
+                .extract_submatrix(&ctx2, &rows, &[j])
+                .map_err(Error::from)?;
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            for (i, _, v) in sub.iter() {
+                indices.push(i);
+                values.push(v.clone());
+            }
+            let t = graphblas_sparse::SparseVec::from_parts(rows.len(), indices, values)
+                .map_err(Error::from)?;
+            note_dag_fusion(
+                "extract_col",
+                ctx2.id(),
+                NodeKind::Extract,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = VecStore::Sparse(Arc::new(t));
+            } else {
+                st.ensure_sparse()?;
+                let merged =
+                    write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+                st.store = VecStore::Sparse(Arc::new(merged));
+            }
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operations::testutil::{mat, mat_tuples, vec, vec_tuples};
     use crate::operations::all_indices;
+    use crate::operations::testutil::{mat, mat_tuples, vec, vec_tuples};
     use crate::{no_mask, no_mask_v};
 
     #[test]
@@ -196,7 +245,16 @@ mod tests {
     fn extract_with_repeated_selectors() {
         let a = mat((2, 2), &[(0, 1, 7i64)]);
         let c = Matrix::<i64>::new(2, 2).unwrap();
-        extract(&c, no_mask(), None, &a, &[0, 0], &[1, 1], &Descriptor::default()).unwrap();
+        extract(
+            &c,
+            no_mask(),
+            None,
+            &a,
+            &[0, 0],
+            &[1, 1],
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(
             mat_tuples(&c),
             vec![(0, 0, 7), (0, 1, 7), (1, 0, 7), (1, 1, 7)]
@@ -207,8 +265,7 @@ mod tests {
     fn oob_selector_is_execution_error() {
         let a = mat((2, 2), &[(0, 0, 1i64)]);
         let c = Matrix::<i64>::new(1, 1).unwrap();
-        let err = extract(&c, no_mask(), None, &a, &[5], &[0], &Descriptor::default())
-            .unwrap_err();
+        let err = extract(&c, no_mask(), None, &a, &[5], &[0], &Descriptor::default()).unwrap_err();
         assert!(err.is_execution());
         assert_eq!(err.code(), -105);
     }
@@ -217,8 +274,7 @@ mod tests {
     fn output_shape_is_api_checked() {
         let a = mat((2, 2), &[(0, 0, 1i64)]);
         let c = Matrix::<i64>::new(2, 2).unwrap();
-        let err = extract(&c, no_mask(), None, &a, &[0], &[0], &Descriptor::default())
-            .unwrap_err();
+        let err = extract(&c, no_mask(), None, &a, &[0], &[0], &Descriptor::default()).unwrap_err();
         assert!(err.is_api());
     }
 
@@ -226,7 +282,15 @@ mod tests {
     fn vector_extract() {
         let u = vec(5, &[(0, 10i64), (3, 40)]);
         let w = Vector::<i64>::new(3).unwrap();
-        extract_v(&w, no_mask_v(), None, &u, &[3, 1, 0], &Descriptor::default()).unwrap();
+        extract_v(
+            &w,
+            no_mask_v(),
+            None,
+            &u,
+            &[3, 1, 0],
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(vec_tuples(&w), vec![(0, 40), (2, 10)]);
     }
 

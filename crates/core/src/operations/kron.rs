@@ -5,8 +5,9 @@ use std::sync::Arc;
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, Error, GrbResult};
 use crate::matrix::{MatStore, Matrix};
-use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand};
+use crate::operations::{eff_shape, note_dag_fusion, snapshot_matmask, snapshot_operand};
 use crate::ops::BinaryOp;
+use crate::pending::NodeKind;
 use crate::types::{MaskValue, ValueType};
 use crate::write;
 
@@ -52,26 +53,38 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        let t = graphblas_sparse::kron::kronecker(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y))
-            .map_err(Error::from)?;
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged =
-            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+    c.apply_node(
+        NodeKind::MxM,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz() + b_s.nnz();
+            let t = graphblas_sparse::kron::kronecker(&ctx2, &a_s, &b_s, |x, y| op.apply(x, y))
+                .map_err(Error::from)?;
+            note_dag_fusion("kronecker", ctx2.id(), NodeKind::MxM, 0, post.len(), nnz_in);
+            if mask_s.is_none() && accum.is_none() {
+                st.store = MatStore::Csr(Arc::new(t));
+            } else {
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
+            }
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operations::testutil::{mat, mat_tuples};
     use crate::no_mask;
+    use crate::operations::testutil::{mat, mat_tuples};
 
     #[test]
     fn kron_scales_blocks() {

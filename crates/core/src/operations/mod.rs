@@ -35,8 +35,8 @@ pub use assign::{
     assign_scalar_v_grb, assign_v,
 };
 pub use ewise::{
-    ewise_add, ewise_add_monoid, ewise_add_semiring, ewise_add_v, ewise_mult,
-    ewise_mult_semiring, ewise_mult_v,
+    ewise_add, ewise_add_monoid, ewise_add_semiring, ewise_add_v, ewise_mult, ewise_mult_semiring,
+    ewise_mult_v,
 };
 pub use extract::{extract, extract_col, extract_v};
 pub use kron::kronecker;
@@ -63,6 +63,33 @@ use crate::write::{MatMask, VecMask};
 /// The index list meaning "all indices" (`GrB_ALL` in C).
 pub fn all_indices(n: usize) -> Vec<Index> {
     (0..n).collect()
+}
+
+/// Records one op-DAG node execution's fusion outcome: `pre`/`post` are
+/// the counts of pending element maps folded into this node's numeric
+/// phase (input side / output side). Emits the `dag-fuse` decision event
+/// whenever cross-operation fusion actually fired.
+pub(crate) fn note_dag_fusion(
+    op: &'static str,
+    ctx_id: u64,
+    kind: crate::pending::NodeKind,
+    pre: usize,
+    post: usize,
+    nnz_in: usize,
+) {
+    if graphblas_obs::enabled() {
+        graphblas_obs::counters::record_dag_fusion(pre as u64, post as u64);
+        if graphblas_obs::events::on() && pre + post > 0 {
+            graphblas_obs::events::decision_dag_fuse(
+                op,
+                ctx_id,
+                kind.name(),
+                pre as u64,
+                post as u64,
+                nnz_in as u64,
+            );
+        }
+    }
 }
 
 /// Effective shape of a matrix operand under a descriptor transpose flag.
@@ -126,10 +153,7 @@ pub(crate) mod testutil {
     use crate::types::{Index, ValueType};
     use crate::vector::Vector;
 
-    pub fn mat<T: ValueType>(
-        shape: (usize, usize),
-        tuples: &[(Index, Index, T)],
-    ) -> Matrix<T> {
+    pub fn mat<T: ValueType>(shape: (usize, usize), tuples: &[(Index, Index, T)]) -> Matrix<T> {
         let m = Matrix::new(shape.0, shape.1).unwrap();
         let rows: Vec<_> = tuples.iter().map(|t| t.0).collect();
         let cols: Vec<_> = tuples.iter().map(|t| t.1).collect();

@@ -7,8 +7,9 @@ use graphblas_sparse::spgemm;
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::{MatStore, Matrix};
-use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand};
+use crate::operations::{eff_shape, note_dag_fusion, snapshot_matmask, snapshot_operand};
 use crate::ops::{registry, BinaryOp, Semiring};
+use crate::pending::NodeKind;
 use crate::types::{MaskValue, ValueType};
 use crate::write;
 
@@ -57,67 +58,73 @@ where
     let replace = desc.replace;
     let ctx2 = ctx.clone();
 
-    c.apply_write(Box::new(move |st| {
-        let mul = |x: &A, y: &B| sr.multiply(x, y);
-        let add = |acc: &mut C, z: C| *acc = sr.combine(acc, &z);
-        let add_tag = sr.add().builtin();
-        let mul_tag = sr.mul().builtin();
-        // Masked kernel: only valid when the merge wants exactly the
-        // mask-restricted product (no accumulator folding old values in).
-        let use_masked_kernel = mask_s.is_some() && accum.is_none();
-        let t = if use_masked_kernel {
-            // grblint: allow(no-unwrap) — use_masked_kernel implies mask_s
-            // is Some (checked one line up).
-            let m = mask_s.as_ref().expect("checked");
-            match registry::try_spgemm_masked(
-                &ctx2,
-                &m.mask,
-                m.complement,
-                &a_s,
-                &b_s,
-                add_tag,
-                mul_tag,
-            ) {
-                Some(t) => t,
-                None => {
-                    registry::record_pick("mxm", ctx2.id(), false);
-                    spgemm::spgemm_masked(
-                        &ctx2,
-                        &m.mask,
-                        m.complement,
-                        |b: &bool| *b,
-                        &a_s,
-                        &b_s,
-                        mul,
-                        add,
-                    )
+    c.apply_node(
+        NodeKind::MxM,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz() + b_s.nnz();
+            let mul = |x: &A, y: &B| sr.multiply(x, y);
+            let add = |acc: &mut C, z: C| *acc = sr.combine(acc, &z);
+            let add_tag = sr.add().builtin();
+            let mul_tag = sr.mul().builtin();
+            // Masked kernel: only valid when the merge wants exactly the
+            // mask-restricted product (no accumulator folding old values in).
+            let use_masked_kernel = mask_s.is_some() && accum.is_none();
+            let t = if use_masked_kernel {
+                // grblint: allow(no-unwrap) — use_masked_kernel implies mask_s
+                // is Some (checked one line up).
+                let m = mask_s.as_ref().expect("checked");
+                match registry::try_spgemm_masked(
+                    &ctx2,
+                    &m.mask,
+                    m.complement,
+                    &a_s,
+                    &b_s,
+                    add_tag,
+                    mul_tag,
+                ) {
+                    Some(t) => t,
+                    None => {
+                        registry::record_pick("mxm", ctx2.id(), false);
+                        spgemm::spgemm_masked(
+                            &ctx2,
+                            &m.mask,
+                            m.complement,
+                            |b: &bool| *b,
+                            &a_s,
+                            &b_s,
+                            mul,
+                            add,
+                        )
+                    }
                 }
-            }
-        } else {
-            match registry::try_spgemm(&ctx2, &a_s, &b_s, add_tag, mul_tag) {
-                Some(t) => t,
-                None => {
-                    registry::record_pick("mxm", ctx2.id(), false);
-                    spgemm::spgemm(&ctx2, &a_s, &b_s, mul, add)
+            } else {
+                match registry::try_spgemm(&ctx2, &a_s, &b_s, add_tag, mul_tag) {
+                    Some(t) => t,
+                    None => {
+                        registry::record_pick("mxm", ctx2.id(), false);
+                        spgemm::spgemm(&ctx2, &a_s, &b_s, mul, add)
+                    }
                 }
+            };
+            note_dag_fusion("mxm", ctx2.id(), NodeKind::MxM, 0, post.len(), nnz_in);
+            if mask_s.is_none() && accum.is_none() {
+                st.store = MatStore::Csr(Arc::new(t));
+            } else {
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged = write::merge_matrix(
-            &ctx2,
-            st.csr(),
-            t,
-            mask_s.as_ref(),
-            accum.as_ref(),
-            replace,
-        );
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 #[cfg(test)]
@@ -141,10 +148,7 @@ mod tests {
             &Descriptor::default(),
         )
         .unwrap();
-        assert_eq!(
-            mat_tuples(&c),
-            vec![(0, 0, 14), (0, 1, 12), (1, 1, 21)]
-        );
+        assert_eq!(mat_tuples(&c), vec![(0, 0, 14), (0, 1, 12), (1, 1, 21)]);
     }
 
     #[test]

@@ -16,17 +16,19 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
+use graphblas_exec::workspace::{self, BitSet};
 use graphblas_sparse::spmv as kernels;
 use graphblas_sparse::{BitmapVec, SparseVec};
 
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::Matrix;
-use crate::operations::{eff_shape, snapshot_operand, snapshot_vecmask};
+use crate::operations::{eff_shape, note_dag_fusion, snapshot_operand, snapshot_vecmask};
 use crate::ops::{registry, BinaryOp, Semiring};
+use crate::pending::{fuse_maps, NodeKind};
 use crate::types::{MaskValue, ValueType};
 use crate::vector::{Frontier, VecStore, Vector};
-use crate::write;
+use crate::write::{self, VecMask};
 
 /// Which matrix-vector kernel a product dispatches to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +151,22 @@ fn frontier_for<X: ValueType>(
     }
 }
 
+/// Builds the push kernel's masked-scatter column filter: a dense bitset
+/// of the mask's truthy positions, checked out of the workspace cache,
+/// consulted as `truthy != complement`. Prefiltering is a pure
+/// optimization — `write::merge_vector` applies the same mask again and
+/// the intersection is idempotent — but it keeps columns the merge would
+/// discard out of the scatter accumulators entirely.
+fn mask_bits(m: &VecMask) -> workspace::Checkout<BitSet> {
+    let mut bits = workspace::checkout::<BitSet>(m.mask.len());
+    for (j, &truthy) in m.mask.iter() {
+        if truthy {
+            bits.insert(j);
+        }
+    }
+    bits
+}
+
 /// `w⟨m, r⟩ = w ⊙ (A ⊕.⊗ u)` (`desc.transpose_a` uses `Aᵀ`).
 pub fn mxv<C, M, A, X>(
     w: &Vector<C>,
@@ -180,7 +198,11 @@ where
         return Err(ApiError::DimensionMismatch.into());
     }
 
-    let u_f = u.snapshot_frontier()?;
+    // Eagerly captures the input's base store plus its pending map chain
+    // (sequence-point semantics: later writes to `u` cannot leak in) —
+    // the maps become the node's fused input side instead of forcing a
+    // drain of `u`.
+    let (u_f, pre_maps) = u.snapshot_frontier_fused()?;
     // Pull runs on the descriptor's orientation; push runs on the other
     // one (served by the memoized transpose when it must be computed).
     let natural = if desc.transpose_a {
@@ -202,75 +224,121 @@ where
     let replace = desc.replace;
     let ctx2 = ctx.clone();
 
-    w.apply_write(Box::new(move |st| {
-        // Registered builtin semirings take the monomorphized kernel
-        // (every registered multiply is commutative, so both directions
-        // and both operand orders share one instantiation); everything
-        // else falls back to the generic dyn-operator path below.
-        let add_tag = sr.add().builtin();
-        let mul_tag = sr.mul().builtin();
-        let t = match (dir, &u_f) {
-            (Direction::Pull, Frontier::Sparse(u_s)) => {
-                registry::try_spmv(&ctx2, &a_s, u_s, add_tag, mul_tag)
-            }
-            (Direction::Pull, Frontier::Bitmap(u_b)) => {
-                registry::try_spmv_bitmap(&ctx2, &a_s, u_b, add_tag, mul_tag)
-            }
-            (Direction::Push, Frontier::Sparse(u_s)) => {
-                registry::try_vxm(&ctx2, u_s, &a_s, add_tag, mul_tag)
-            }
-            (Direction::Push, Frontier::Bitmap(_)) => {
-                unreachable!("push frontiers are normalized to sparse")
-            }
-        };
-        let t = match t {
-            Some(t) => t,
-            None => {
-                registry::record_pick("mxv", ctx2.id(), false);
-                let mul = |av: &A, xv: &X| sr.multiply(av, xv);
-                let add = |p: C, q: C| sr.combine(&p, &q);
-                match (dir, &u_f) {
-                    (Direction::Pull, f) => {
-                        let terminal = sr
-                            .add()
-                            .terminal()
-                            .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
-                        match f {
-                            Frontier::Sparse(u_s) => {
-                                kernels::spmv(&ctx2, &a_s, u_s, mul, add, terminal)
-                            }
-                            Frontier::Bitmap(u_b) => {
-                                kernels::spmv_bitmap(&ctx2, &a_s, u_b, mul, add, terminal)
+    w.apply_node(
+        NodeKind::MxV,
+        Box::new(move |st, post| {
+            let nnz_in = u_f.nnz();
+            // The input's pending maps and (when unmasked/unaccumulated)
+            // the trailing output maps fold into the kernel's numeric
+            // phase; under a mask/accum the output maps instead run as
+            // one pass over the merged store below.
+            let pre_hook = |j: usize, v: &X| fuse_maps(&pre_maps, &[j], v);
+            let pre_ref: Option<registry::FusedHook<'_, X>> =
+                (!pre_maps.is_empty()).then_some(&pre_hook as _);
+            let fuse_post = mask_s.is_none() && accum.is_none();
+            let post_hook = |i: usize, v: &C| fuse_maps(&post, &[i], v);
+            let post_ref: Option<registry::FusedHook<'_, C>> =
+                (fuse_post && !post.is_empty()).then_some(&post_hook as _);
+            let bits = match (&mask_s, dir) {
+                (Some(m), Direction::Push) => Some((mask_bits(m), m.complement)),
+                _ => None,
+            };
+            let allowed = bits.as_ref().map(|(b, comp)| {
+                let (b, comp) = (&**b, *comp);
+                move |j: usize| b.contains(j) != comp
+            });
+            let allowed_ref = allowed
+                .as_ref()
+                .map(|f| f as &(dyn Fn(usize) -> bool + Sync));
+            // Registered builtin semirings take the monomorphized kernel
+            // (every registered multiply is commutative, so both
+            // directions and both operand orders share one
+            // instantiation); everything else falls back to the generic
+            // dyn-operator path below.
+            let add_tag = sr.add().builtin();
+            let mul_tag = sr.mul().builtin();
+            let t = match (dir, &u_f) {
+                (Direction::Pull, Frontier::Sparse(u_s)) => {
+                    registry::try_spmv_fused(&ctx2, &a_s, u_s, add_tag, mul_tag, pre_ref, post_ref)
+                }
+                (Direction::Pull, Frontier::Bitmap(u_b)) => registry::try_spmv_bitmap_fused(
+                    &ctx2, &a_s, u_b, add_tag, mul_tag, pre_ref, post_ref,
+                ),
+                (Direction::Push, Frontier::Sparse(u_s)) => registry::try_vxm_fused(
+                    &ctx2,
+                    u_s,
+                    &a_s,
+                    add_tag,
+                    mul_tag,
+                    pre_ref,
+                    post_ref,
+                    allowed_ref,
+                ),
+                (Direction::Push, Frontier::Bitmap(_)) => {
+                    unreachable!("push frontiers are normalized to sparse")
+                }
+            };
+            let t = match t {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("mxv", ctx2.id(), false);
+                    let mul = |av: &A, xv: &X| sr.multiply(av, xv);
+                    let add = |p: C, q: C| sr.combine(&p, &q);
+                    match (dir, &u_f) {
+                        (Direction::Pull, f) => {
+                            let terminal = sr
+                                .add()
+                                .terminal()
+                                .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
+                            match f {
+                                Frontier::Sparse(u_s) => kernels::spmv_fused(
+                                    &ctx2, &a_s, u_s, mul, add, terminal, pre_ref, post_ref,
+                                ),
+                                Frontier::Bitmap(u_b) => kernels::spmv_bitmap_fused(
+                                    &ctx2, &a_s, u_b, mul, add, terminal, pre_ref, post_ref,
+                                ),
                             }
                         }
-                    }
-                    // a_s here holds the transposed orientation, so
-                    // scattering u's nonzeros through its rows computes
-                    // the same product (the multiply keeps its
-                    // matrix-first argument order).
-                    (Direction::Push, Frontier::Sparse(u_s)) => kernels::vxm(
-                        &ctx2,
-                        u_s,
-                        &a_s,
-                        |xv: &X, av: &A| sr.multiply(av, xv),
-                        add,
-                    ),
-                    (Direction::Push, Frontier::Bitmap(_)) => {
-                        unreachable!("push frontiers are normalized to sparse")
+                        // a_s here holds the transposed orientation, so
+                        // scattering u's nonzeros through its rows
+                        // computes the same product (the multiply keeps
+                        // its matrix-first argument order).
+                        (Direction::Push, Frontier::Sparse(u_s)) => kernels::vxm_fused(
+                            &ctx2,
+                            u_s,
+                            &a_s,
+                            |xv: &X, av: &A| sr.multiply(av, xv),
+                            add,
+                            pre_ref,
+                            post_ref,
+                            allowed_ref,
+                        ),
+                        (Direction::Push, Frontier::Bitmap(_)) => {
+                            unreachable!("push frontiers are normalized to sparse")
+                        }
                     }
                 }
+            };
+            note_dag_fusion(
+                "mxv",
+                ctx2.id(),
+                NodeKind::MxV,
+                pre_maps.len(),
+                post.len(),
+                nnz_in,
+            );
+            if fuse_post {
+                st.store = store_result("mxv", ctx2.id(), t);
+                return Ok(());
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = store_result("mxv", ctx2.id(), t);
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = store_result("mxv", ctx2.id(), merged);
-        Ok(())
-    }))
+            st.ensure_sparse()?;
+            let merged =
+                write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+            st.store = store_result("mxv", ctx2.id(), merged);
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// `wᵀ⟨mᵀ, r⟩ = wᵀ ⊙ (uᵀ ⊕.⊗ A)` (`desc.transpose_b` uses `Aᵀ`, turning
@@ -305,7 +373,9 @@ where
         return Err(ApiError::DimensionMismatch.into());
     }
 
-    let u_f = u.snapshot_frontier()?;
+    // Same eager input capture as `mxv`: base store plus pending maps,
+    // which ride into the node as its fused input side.
+    let (u_f, pre_maps) = u.snapshot_frontier_fused()?;
     // Push runs on the descriptor's orientation; pull runs on the other
     // one (served by the memoized transpose when it must be computed).
     let natural = if desc.transpose_b {
@@ -327,80 +397,125 @@ where
     let replace = desc.replace;
     let ctx2 = ctx.clone();
 
-    w.apply_write(Box::new(move |st| {
-        // Same registry-first shape as `mxv`; commutativity of every
-        // registered multiply makes the argument-order difference moot.
-        let add_tag = sr.add().builtin();
-        let mul_tag = sr.mul().builtin();
-        let t = match (dir, &u_f) {
-            (Direction::Push, Frontier::Sparse(u_s)) => {
-                registry::try_vxm(&ctx2, u_s, &a_s, add_tag, mul_tag)
-            }
-            (Direction::Push, Frontier::Bitmap(_)) => {
-                unreachable!("push frontiers are normalized to sparse")
-            }
-            (Direction::Pull, Frontier::Sparse(u_s)) => {
-                registry::try_spmv(&ctx2, &a_s, u_s, add_tag, mul_tag)
-            }
-            (Direction::Pull, Frontier::Bitmap(u_b)) => {
-                registry::try_spmv_bitmap(&ctx2, &a_s, u_b, add_tag, mul_tag)
-            }
-        };
-        let t = match t {
-            Some(t) => t,
-            None => {
-                registry::record_pick("vxm", ctx2.id(), false);
-                let add = |p: C, q: C| sr.combine(&p, &q);
-                match (dir, &u_f) {
-                    (Direction::Push, Frontier::Sparse(u_s)) => kernels::vxm(
-                        &ctx2,
-                        u_s,
-                        &a_s,
-                        |xv: &X, av: &A| sr.multiply(xv, av),
-                        add,
-                    ),
-                    (Direction::Push, Frontier::Bitmap(_)) => {
-                        unreachable!("push frontiers are normalized to sparse")
-                    }
-                    // a_s here holds the transposed orientation, so row
-                    // dot products against u compute the same product
-                    // (the multiply keeps its vector-first argument
-                    // order).
-                    (Direction::Pull, f) => {
-                        let terminal = sr
-                            .add()
-                            .terminal()
-                            .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
-                        let mul = |av: &A, xv: &X| sr.multiply(xv, av);
-                        match f {
-                            Frontier::Sparse(u_s) => {
-                                kernels::spmv(&ctx2, &a_s, u_s, mul, add, terminal)
-                            }
-                            Frontier::Bitmap(u_b) => {
-                                kernels::spmv_bitmap(&ctx2, &a_s, u_b, mul, add, terminal)
+    w.apply_node(
+        NodeKind::VxM,
+        Box::new(move |st, post| {
+            let nnz_in = u_f.nnz();
+            let pre_hook = |j: usize, v: &X| fuse_maps(&pre_maps, &[j], v);
+            let pre_ref: Option<registry::FusedHook<'_, X>> =
+                (!pre_maps.is_empty()).then_some(&pre_hook as _);
+            let fuse_post = mask_s.is_none() && accum.is_none();
+            let post_hook = |i: usize, v: &C| fuse_maps(&post, &[i], v);
+            let post_ref: Option<registry::FusedHook<'_, C>> =
+                (fuse_post && !post.is_empty()).then_some(&post_hook as _);
+            // The masked push path prefilters scatter columns against the
+            // mask's truthy set (the satellite `vxm_masked` registry row) —
+            // `merge_vector` still applies the full mask semantics below.
+            let bits = match (&mask_s, dir) {
+                (Some(m), Direction::Push) => Some((mask_bits(m), m.complement)),
+                _ => None,
+            };
+            let allowed = bits.as_ref().map(|(b, comp)| {
+                let (b, comp) = (&**b, *comp);
+                move |j: usize| b.contains(j) != comp
+            });
+            let allowed_ref = allowed
+                .as_ref()
+                .map(|f| f as &(dyn Fn(usize) -> bool + Sync));
+            // Same registry-first shape as `mxv`; commutativity of every
+            // registered multiply makes the argument-order difference
+            // moot.
+            let add_tag = sr.add().builtin();
+            let mul_tag = sr.mul().builtin();
+            let t = match (dir, &u_f) {
+                (Direction::Push, Frontier::Sparse(u_s)) => registry::try_vxm_fused(
+                    &ctx2,
+                    u_s,
+                    &a_s,
+                    add_tag,
+                    mul_tag,
+                    pre_ref,
+                    post_ref,
+                    allowed_ref,
+                ),
+                (Direction::Push, Frontier::Bitmap(_)) => {
+                    unreachable!("push frontiers are normalized to sparse")
+                }
+                (Direction::Pull, Frontier::Sparse(u_s)) => {
+                    registry::try_spmv_fused(&ctx2, &a_s, u_s, add_tag, mul_tag, pre_ref, post_ref)
+                }
+                (Direction::Pull, Frontier::Bitmap(u_b)) => registry::try_spmv_bitmap_fused(
+                    &ctx2, &a_s, u_b, add_tag, mul_tag, pre_ref, post_ref,
+                ),
+            };
+            let t = match t {
+                Some(t) => t,
+                None => {
+                    registry::record_pick("vxm", ctx2.id(), false);
+                    let add = |p: C, q: C| sr.combine(&p, &q);
+                    match (dir, &u_f) {
+                        (Direction::Push, Frontier::Sparse(u_s)) => kernels::vxm_fused(
+                            &ctx2,
+                            u_s,
+                            &a_s,
+                            |xv: &X, av: &A| sr.multiply(xv, av),
+                            add,
+                            pre_ref,
+                            post_ref,
+                            allowed_ref,
+                        ),
+                        (Direction::Push, Frontier::Bitmap(_)) => {
+                            unreachable!("push frontiers are normalized to sparse")
+                        }
+                        // a_s here holds the transposed orientation, so
+                        // row dot products against u compute the same
+                        // product (the multiply keeps its vector-first
+                        // argument order).
+                        (Direction::Pull, f) => {
+                            let terminal = sr
+                                .add()
+                                .terminal()
+                                .map(|t| t as &(dyn Fn(&C) -> bool + Sync));
+                            let mul = |av: &A, xv: &X| sr.multiply(xv, av);
+                            match f {
+                                Frontier::Sparse(u_s) => kernels::spmv_fused(
+                                    &ctx2, &a_s, u_s, mul, add, terminal, pre_ref, post_ref,
+                                ),
+                                Frontier::Bitmap(u_b) => kernels::spmv_bitmap_fused(
+                                    &ctx2, &a_s, u_b, mul, add, terminal, pre_ref, post_ref,
+                                ),
                             }
                         }
                     }
                 }
+            };
+            note_dag_fusion(
+                "vxm",
+                ctx2.id(),
+                NodeKind::VxM,
+                pre_maps.len(),
+                post.len(),
+                nnz_in,
+            );
+            if fuse_post {
+                st.store = store_result("vxm", ctx2.id(), t);
+                return Ok(());
             }
-        };
-        if mask_s.is_none() && accum.is_none() {
-            st.store = store_result("vxm", ctx2.id(), t);
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = store_result("vxm", ctx2.id(), merged);
-        Ok(())
-    }))
+            st.ensure_sparse()?;
+            let merged =
+                write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+            st.store = store_result("vxm", ctx2.id(), merged);
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operations::testutil::{mat, vec, vec_tuples};
     use crate::no_mask_v;
+    use crate::operations::testutil::{mat, vec, vec_tuples};
 
     /// Serializes tests that flip the process-global direction override
     /// or read obs counter deltas.
@@ -653,10 +768,7 @@ mod tests {
         // holds 4/8 of the vertices — inside the bitmap window (≥1/4,
         // not full).
         let n = 8;
-        let a = mat(
-            (n, n),
-            &(0..4).map(|i| (i, 0, 1i64)).collect::<Vec<_>>(),
-        );
+        let a = mat((n, n), &(0..4).map(|i| (i, 0, 1i64)).collect::<Vec<_>>());
         let u = vec(n, &[(0, 2i64)]);
         let w = Vector::<i64>::new(n).unwrap();
         mxv(

@@ -13,8 +13,9 @@ use std::sync::Arc;
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::Matrix;
-use crate::operations::{eff_shape, snapshot_operand, snapshot_vecmask};
+use crate::operations::{eff_shape, note_dag_fusion, snapshot_operand, snapshot_vecmask};
 use crate::ops::{registry, BinaryOp, Monoid};
+use crate::pending::NodeKind;
 use crate::scalar::Scalar;
 use crate::types::{MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
@@ -53,30 +54,43 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    w.apply_write(Box::new(move |st| {
-        let rows = a_s.reduce_rows(&ctx2, |v| v.clone(), |x, y| monoid.apply(&x, &y));
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
-        for (i, r) in rows.into_iter().enumerate() {
-            if let Some(v) = r {
-                indices.push(i);
-                values.push(v);
+    w.apply_node(
+        NodeKind::Reduce,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz();
+            let rows = a_s.reduce_rows(&ctx2, |v| v.clone(), |x, y| monoid.apply(&x, &y));
+            let mut indices = Vec::new();
+            let mut values = Vec::new();
+            for (i, r) in rows.into_iter().enumerate() {
+                if let Some(v) = r {
+                    indices.push(i);
+                    values.push(v);
+                }
             }
-        }
-        // grblint: allow(no-unwrap) — indices are enumerate() positions:
-        // strictly increasing and < nrows by construction.
-        let t = graphblas_sparse::SparseVec::from_parts(a_s.nrows(), indices, values)
-            .expect("reduce produces valid vector");
-        if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+            // grblint: allow(no-unwrap) — indices are enumerate() positions:
+            // strictly increasing and < nrows by construction.
+            let t = graphblas_sparse::SparseVec::from_parts(a_s.nrows(), indices, values)
+                .expect("reduce produces valid vector");
+            note_dag_fusion(
+                "reduce_to_vector",
+                ctx2.id(),
+                NodeKind::Reduce,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = VecStore::Sparse(Arc::new(t));
+            } else {
+                st.ensure_sparse()?;
+                let merged =
+                    write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+                st.store = VecStore::Sparse(Arc::new(merged));
+            }
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 fn fold_scalar<T: ValueType>(
@@ -260,8 +274,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operations::testutil::{mat, vec, vec_tuples};
     use crate::no_mask_v;
+    use crate::operations::testutil::{mat, vec, vec_tuples};
 
     #[test]
     fn row_reduction() {
@@ -333,7 +347,10 @@ mod tests {
     fn typed_value_reduction_uses_identity_for_empty() {
         let a = Matrix::<i64>::new(2, 2).unwrap();
         assert_eq!(reduce_to_value(&Monoid::plus(), &a).unwrap(), 0);
-        assert_eq!(reduce_to_value(&Monoid::<i64>::min(), &a).unwrap(), i64::MAX);
+        assert_eq!(
+            reduce_to_value(&Monoid::<i64>::min(), &a).unwrap(),
+            i64::MAX
+        );
         let b = mat((2, 2), &[(0, 0, 5i64), (1, 1, -2)]);
         assert_eq!(reduce_to_value(&Monoid::plus(), &b).unwrap(), 3);
         assert_eq!(reduce_to_value(&Monoid::<i64>::min(), &b).unwrap(), -2);

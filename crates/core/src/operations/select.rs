@@ -14,9 +14,11 @@ use std::sync::Arc;
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, Error, ExecErrorKind, GrbResult};
 use crate::matrix::{MatStore, Matrix};
-use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand, snapshot_vecmask};
+use crate::operations::{
+    eff_shape, note_dag_fusion, snapshot_matmask, snapshot_operand, snapshot_vecmask,
+};
 use crate::ops::{BinaryOp, IndexUnaryOp};
-use crate::pending::MapFn;
+use crate::pending::{MapFn, NodeKind};
 use crate::scalar::Scalar;
 use crate::types::{MaskValue, ValueType};
 use crate::vector::{VecStore, Vector};
@@ -76,20 +78,31 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        let t = a_s.filter_map_with_index(&ctx2, |i, j, v| {
-            f.apply(v, &[i, j], &s).then(|| v.clone())
-        });
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged =
-            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+    c.apply_node(
+        NodeKind::Select,
+        Box::new(move |st, post| {
+            let nnz_in = a_s.nnz();
+            let t = a_s
+                .filter_map_with_index(&ctx2, |i, j, v| f.apply(v, &[i, j], &s).then(|| v.clone()));
+            note_dag_fusion("select", ctx2.id(), NodeKind::Select, 0, post.len(), nnz_in);
+            if mask_s.is_none() && accum.is_none() {
+                st.store = MatStore::Csr(Arc::new(t));
+            } else {
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
+            }
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// Table II variant with `s` as a `GrB_Scalar` (must be non-empty).
@@ -149,18 +162,32 @@ where
     let f = f.clone();
     let accum = accum.cloned();
     let replace = desc.replace;
-    w.apply_write(Box::new(move |st| {
-        let t = u_s.filter_map_with_index(|i, v| f.apply(v, &[i], &s).then(|| v.clone()));
-        if mask_s.is_none() && accum.is_none() {
-            st.store = VecStore::Sparse(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_sparse()?;
-        let merged =
-            write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = VecStore::Sparse(Arc::new(merged));
-        Ok(())
-    }))
+    let ctx2 = ctx.clone();
+    w.apply_node(
+        NodeKind::Select,
+        Box::new(move |st, post| {
+            let nnz_in = u_s.nnz();
+            let t = u_s.filter_map_with_index(|i, v| f.apply(v, &[i], &s).then(|| v.clone()));
+            note_dag_fusion(
+                "select_v",
+                ctx2.id(),
+                NodeKind::Select,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                st.store = VecStore::Sparse(Arc::new(t));
+            } else {
+                st.ensure_sparse()?;
+                let merged =
+                    write::merge_vector(st.sparse(), t, mask_s.as_ref(), accum.as_ref(), replace);
+                st.store = VecStore::Sparse(Arc::new(merged));
+            }
+            st.apply_post_maps(&post)?;
+            Ok(())
+        }),
+    )
 }
 
 /// Table II variant with `s` as a `GrB_Scalar`.
@@ -192,13 +219,7 @@ mod tests {
     fn tril_triu_partition_the_matrix() {
         let a = mat(
             (3, 3),
-            &[
-                (0, 0, 1i64),
-                (0, 2, 2),
-                (1, 1, 3),
-                (2, 0, 4),
-                (2, 2, 5),
-            ],
+            &[(0, 0, 1i64), (0, 2, 2), (1, 1, 3), (2, 0, 4), (2, 2, 5)],
         );
         let lower = Matrix::<i64>::new(3, 3).unwrap();
         select(
@@ -260,15 +281,23 @@ mod tests {
     #[test]
     fn paper_fig3_select_example() {
         // §VIII.A/C: keep upper-triangular elements with value > s (s = 0).
-        let my_triu_gt = IndexUnaryOp::<i64, i64, bool>::new("triu_gt", |v, idx, s| {
-            idx[1] > idx[0] && v > s
-        });
+        let my_triu_gt =
+            IndexUnaryOp::<i64, i64, bool>::new("triu_gt", |v, idx, s| idx[1] > idx[0] && v > s);
         let a = mat(
             (3, 3),
             &[(0, 1, 4i64), (0, 2, -1), (1, 0, 2), (1, 2, 3), (2, 2, 9)],
         );
         let c = Matrix::<i64>::new(3, 3).unwrap();
-        select(&c, no_mask(), None, &my_triu_gt, &a, 0i64, &Descriptor::default()).unwrap();
+        select(
+            &c,
+            no_mask(),
+            None,
+            &my_triu_gt,
+            &a,
+            0i64,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(mat_tuples(&c), vec![(0, 1, 4), (1, 2, 3)]);
     }
 

@@ -7,8 +7,9 @@ use std::sync::Arc;
 use crate::descriptor::Descriptor;
 use crate::error::{ApiError, GrbResult};
 use crate::matrix::{MatStore, Matrix};
-use crate::operations::{eff_shape, snapshot_matmask, snapshot_operand};
+use crate::operations::{eff_shape, note_dag_fusion, snapshot_matmask, snapshot_operand};
 use crate::ops::BinaryOp;
+use crate::pending::NodeKind;
 use crate::types::{MaskValue, ValueType};
 use crate::write;
 
@@ -43,25 +44,46 @@ where
     let accum = accum.cloned();
     let replace = desc.replace;
     let ctx2 = ctx.clone();
-    c.apply_write(Box::new(move |st| {
-        let t = (*t_s).clone();
-        if mask_s.is_none() && accum.is_none() {
-            st.store = MatStore::Csr(Arc::new(t));
-            return Ok(());
-        }
-        st.ensure_csr(&ctx2, true)?;
-        let merged =
-            write::merge_matrix(&ctx2, st.csr(), t, mask_s.as_ref(), accum.as_ref(), replace);
-        st.store = MatStore::Csr(Arc::new(merged));
-        Ok(())
-    }))
+    c.apply_node(
+        NodeKind::Structure,
+        Box::new(move |st, post| {
+            let nnz_in = t_s.nnz();
+            note_dag_fusion(
+                "transpose",
+                ctx2.id(),
+                NodeKind::Structure,
+                0,
+                post.len(),
+                nnz_in,
+            );
+            if mask_s.is_none() && accum.is_none() {
+                // The snapshot is already the transposed CSR; share it
+                // instead of cloning when it has no other owner.
+                st.store = MatStore::Csr(t_s.clone());
+            } else {
+                let t = (*t_s).clone();
+                st.ensure_csr(&ctx2, true)?;
+                let merged = write::merge_matrix(
+                    &ctx2,
+                    st.csr(),
+                    t,
+                    mask_s.as_ref(),
+                    accum.as_ref(),
+                    replace,
+                );
+                st.store = MatStore::Csr(Arc::new(merged));
+            }
+            st.apply_post_maps(&ctx2, &post)?;
+            Ok(())
+        }),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operations::testutil::{mat, mat_tuples};
     use crate::no_mask;
+    use crate::operations::testutil::{mat, mat_tuples};
 
     #[test]
     fn plain_transpose() {
@@ -83,7 +105,14 @@ mod tests {
     fn transpose_with_accum() {
         let a = mat((2, 2), &[(0, 1, 1i64)]);
         let c = mat((2, 2), &[(1, 0, 10i64)]);
-        transpose(&c, no_mask(), Some(&BinaryOp::plus()), &a, &Descriptor::default()).unwrap();
+        transpose(
+            &c,
+            no_mask(),
+            Some(&BinaryOp::plus()),
+            &a,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(mat_tuples(&c), vec![(1, 0, 11)]);
     }
 

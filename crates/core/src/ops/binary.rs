@@ -75,7 +75,11 @@ impl<A: ValueType, B: ValueType, Z: ValueType> BinaryOp<A, B, Z> {
     /// Creates a user-defined operator (`GrB_BinaryOp_new`). User operators
     /// carry no builtin tag, so the kernel registry never claims them.
     pub fn new(name: &'static str, f: impl Fn(&A, &B) -> Z + Send + Sync + 'static) -> Self {
-        BinaryOp { name, builtin: None, f: Arc::new(f) }
+        BinaryOp {
+            name,
+            builtin: None,
+            f: Arc::new(f),
+        }
     }
 
     /// Internal constructor for the predefined operators: same closure
@@ -85,7 +89,11 @@ impl<A: ValueType, B: ValueType, Z: ValueType> BinaryOp<A, B, Z> {
         builtin: BuiltinOp,
         f: impl Fn(&A, &B) -> Z + Send + Sync + 'static,
     ) -> Self {
-        BinaryOp { name, builtin: Some(builtin), f: Arc::new(f) }
+        BinaryOp {
+            name,
+            builtin: Some(builtin),
+            f: Arc::new(f),
+        }
     }
 
     /// Applies the operator to one pair.
@@ -169,12 +177,20 @@ impl<T: ValueType + Copy + std::ops::Div<Output = T>> BinaryOp<T, T, T> {
 impl<T: ValueType + Copy + PartialOrd> BinaryOp<T, T, T> {
     /// `GrB_MIN_*`.
     pub fn min() -> Self {
-        BinaryOp::tagged("GrB_MIN", BuiltinOp::Min, |x: &T, y: &T| if y < x { *y } else { *x })
+        BinaryOp::tagged(
+            "GrB_MIN",
+            BuiltinOp::Min,
+            |x: &T, y: &T| if y < x { *y } else { *x },
+        )
     }
 
     /// `GrB_MAX_*`.
     pub fn max() -> Self {
-        BinaryOp::tagged("GrB_MAX", BuiltinOp::Max, |x: &T, y: &T| if y > x { *y } else { *x })
+        BinaryOp::tagged(
+            "GrB_MAX",
+            BuiltinOp::Max,
+            |x: &T, y: &T| if y > x { *y } else { *x },
+        )
     }
 }
 

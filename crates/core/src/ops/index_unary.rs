@@ -45,7 +45,10 @@ impl<A: ValueType, S: ValueType, Z: ValueType> IndexUnaryOp<A, S, Z> {
         name: &'static str,
         f: impl Fn(&A, &[Index], &S) -> Z + Send + Sync + 'static,
     ) -> Self {
-        IndexUnaryOp { name, f: Arc::new(f) }
+        IndexUnaryOp {
+            name,
+            f: Arc::new(f),
+        }
     }
 
     /// Applies the operator to one element.
@@ -101,7 +104,9 @@ impl<A: ValueType> IndexUnaryOp<A, i64, bool> {
 
     /// `GrB_OFFDIAG`: remove elements on diagonal `s` (j ≠ i + s).
     pub fn offdiag() -> Self {
-        IndexUnaryOp::new("GrB_OFFDIAG", |_, idx, s| idx[1] as i64 != idx[0] as i64 + s)
+        IndexUnaryOp::new("GrB_OFFDIAG", |_, idx, s| {
+            idx[1] as i64 != idx[0] as i64 + s
+        })
     }
 
     /// `GrB_ROWLE`: keep rows with i ≤ s.

@@ -61,10 +61,7 @@ impl<T: ValueType> Monoid<T> {
 
     /// Adds a terminal (annihilator) value test: once a reduction's
     /// accumulator satisfies it, the result can no longer change.
-    pub fn with_terminal_pred(
-        mut self,
-        pred: impl Fn(&T) -> bool + Send + Sync + 'static,
-    ) -> Self {
+    pub fn with_terminal_pred(mut self, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Self {
         self.terminal = Some(Arc::new(pred));
         // A custom terminal departs from the canonical builtin shape; the
         // registry must no longer claim this monoid.

@@ -119,7 +119,10 @@ fn cast_ref<Src: Any, Dst: Any>(v: &Src) -> Option<&Dst> {
 
 #[inline]
 fn cast_val<Src: Any, Dst: Any>(v: Src) -> Option<Dst> {
-    (Box::new(v) as Box<dyn Any>).downcast::<Dst>().ok().map(|b| *b)
+    (Box::new(v) as Box<dyn Any>)
+        .downcast::<Dst>()
+        .ok()
+        .map(|b| *b)
 }
 
 // ---------------------------------------------------------------------------
@@ -310,7 +313,15 @@ macro_rules! with_registered_semirings {
         $arm!(Max, Plus, i64, fold_max, acc_max, mul_plus, some_term_max);
         $arm!(Max, Plus, u64, fold_max, acc_max, mul_plus, some_term_max);
         $arm!(LOr, LAnd, bool, fold_lor, acc_lor, mul_land, some_term_true);
-        $arm!(Any, OneB, bool, fold_any, acc_any, mul_oneb, some_term_always);
+        $arm!(
+            Any,
+            OneB,
+            bool,
+            fold_any,
+            acc_any,
+            mul_oneb,
+            some_term_always
+        );
     };
 }
 
@@ -387,6 +398,27 @@ macro_rules! term_of {
 // vs. vxm's `Semiring<X, A, C>`): every registered multiply is
 // commutative and same-typed, so operand order does not matter.
 
+/// The element-map hook shape the fused entry points take: the DAG
+/// drain's composed apply/select chain for one side of a kernel, typed at
+/// the *caller's* generic element type.
+pub type FusedHook<'a, T> = &'a (dyn Fn(usize, &T) -> Option<T> + Sync);
+
+/// Builds the monomorphized adapter for a caller-typed fused hook inside
+/// a registry arm whose `TypeId` guards have already passed: bridges
+/// `Fn(usize, &X) -> Option<X>` to the `$t` the kernel instantiation
+/// wants. The casts cannot fail post-guard; if one ever did the entry is
+/// dropped, matching the registry's no-panic posture.
+macro_rules! hook_adapter {
+    ($hook:expr, $src:ty, $t:ty) => {
+        $hook.map(|f| {
+            move |j: usize, v: &$t| -> Option<$t> {
+                let vs = cast_ref::<$t, $src>(v)?;
+                f(j, vs).and_then(cast_val::<$src, $t>)
+            }
+        })
+    };
+}
+
 /// Pull-direction `y = A ⊕.⊗ x` through a registered instantiation.
 pub fn try_spmv<A, X, Z>(
     ctx: &Context,
@@ -394,6 +426,25 @@ pub fn try_spmv<A, X, Z>(
     x: &SparseVec<X>,
     add_tag: Option<BuiltinOp>,
     mul_tag: Option<BuiltinOp>,
+) -> Option<SparseVec<Z>>
+where
+    A: ValueType,
+    X: ValueType,
+    Z: ValueType,
+{
+    try_spmv_fused(ctx, a, x, add_tag, mul_tag, None, None)
+}
+
+/// [`try_spmv`] with fused pre/post element maps folded into the numeric
+/// phase (nonblocking DAG cross-operation fusion, paper §III).
+pub fn try_spmv_fused<A, X, Z>(
+    ctx: &Context,
+    a: &Csr<A>,
+    x: &SparseVec<X>,
+    add_tag: Option<BuiltinOp>,
+    mul_tag: Option<BuiltinOp>,
+    pre: Option<FusedHook<'_, X>>,
+    post: Option<FusedHook<'_, Z>>,
 ) -> Option<SparseVec<Z>>
 where
     A: ValueType,
@@ -413,7 +464,22 @@ where
             {
                 let at = cast_ref::<Csr<A>, Csr<$t>>(a)?;
                 let xt = cast_ref::<SparseVec<X>, SparseVec<$t>>(x)?;
-                let y = spmv::spmv(ctx, at, xt, $mulf, $fold, term_of!($term, $t));
+                let pre_t = hook_adapter!(pre, X, $t);
+                let post_t = hook_adapter!(post, Z, $t);
+                let y = spmv::spmv_fused(
+                    ctx,
+                    at,
+                    xt,
+                    $mulf,
+                    $fold,
+                    term_of!($term, $t),
+                    pre_t
+                        .as_ref()
+                        .map(|f| f as &(dyn Fn(usize, &$t) -> Option<$t> + Sync)),
+                    post_t
+                        .as_ref()
+                        .map(|f| f as &(dyn Fn(usize, &$t) -> Option<$t> + Sync)),
+                );
                 let y = cast_val::<SparseVec<$t>, SparseVec<Z>>(y)?;
                 record_pick("mxv", ctx.id(), true);
                 return Some(y);
@@ -438,6 +504,26 @@ where
     X: ValueType,
     Z: ValueType,
 {
+    try_spmv_bitmap_fused(ctx, a, x, add_tag, mul_tag, None, None)
+}
+
+/// [`try_spmv_bitmap`] with fused pre/post element maps — the bitmap
+/// frontier format survives into the fused pipeline without a format
+/// conversion.
+pub fn try_spmv_bitmap_fused<A, X, Z>(
+    ctx: &Context,
+    a: &Csr<A>,
+    x: &BitmapVec<X>,
+    add_tag: Option<BuiltinOp>,
+    mul_tag: Option<BuiltinOp>,
+    pre: Option<FusedHook<'_, X>>,
+    post: Option<FusedHook<'_, Z>>,
+) -> Option<SparseVec<Z>>
+where
+    A: ValueType,
+    X: ValueType,
+    Z: ValueType,
+{
     if !enabled() {
         return None;
     }
@@ -451,7 +537,22 @@ where
             {
                 let at = cast_ref::<Csr<A>, Csr<$t>>(a)?;
                 let xt = cast_ref::<BitmapVec<X>, BitmapVec<$t>>(x)?;
-                let y = spmv::spmv_bitmap(ctx, at, xt, $mulf, $fold, term_of!($term, $t));
+                let pre_t = hook_adapter!(pre, X, $t);
+                let post_t = hook_adapter!(post, Z, $t);
+                let y = spmv::spmv_bitmap_fused(
+                    ctx,
+                    at,
+                    xt,
+                    $mulf,
+                    $fold,
+                    term_of!($term, $t),
+                    pre_t
+                        .as_ref()
+                        .map(|f| f as &(dyn Fn(usize, &$t) -> Option<$t> + Sync)),
+                    post_t
+                        .as_ref()
+                        .map(|f| f as &(dyn Fn(usize, &$t) -> Option<$t> + Sync)),
+                );
                 let y = cast_val::<SparseVec<$t>, SparseVec<Z>>(y)?;
                 record_pick("mxv", ctx.id(), true);
                 return Some(y);
@@ -475,6 +576,29 @@ where
     A: ValueType,
     Z: ValueType,
 {
+    try_vxm_fused(ctx, x, a, add_tag, mul_tag, None, None, None)
+}
+
+/// [`try_vxm`] with fused pre/post element maps and an optional masked
+/// scatter: `allowed` is the mask's column predicate (already folded with
+/// the complement flag), letting the registered kernel skip disallowed
+/// columns before they ever reach an accumulator.
+#[allow(clippy::too_many_arguments)]
+pub fn try_vxm_fused<X, A, Z>(
+    ctx: &Context,
+    x: &SparseVec<X>,
+    a: &Csr<A>,
+    add_tag: Option<BuiltinOp>,
+    mul_tag: Option<BuiltinOp>,
+    pre: Option<FusedHook<'_, X>>,
+    post: Option<FusedHook<'_, Z>>,
+    allowed: Option<&(dyn Fn(usize) -> bool + Sync)>,
+) -> Option<SparseVec<Z>>
+where
+    X: ValueType,
+    A: ValueType,
+    Z: ValueType,
+{
     if !enabled() {
         return None;
     }
@@ -488,7 +612,22 @@ where
             {
                 let xt = cast_ref::<SparseVec<X>, SparseVec<$t>>(x)?;
                 let at = cast_ref::<Csr<A>, Csr<$t>>(a)?;
-                let y = spmv::vxm(ctx, xt, at, $mulf, $fold);
+                let pre_t = hook_adapter!(pre, X, $t);
+                let post_t = hook_adapter!(post, Z, $t);
+                let y = spmv::vxm_fused(
+                    ctx,
+                    xt,
+                    at,
+                    $mulf,
+                    $fold,
+                    pre_t
+                        .as_ref()
+                        .map(|f| f as &(dyn Fn(usize, &$t) -> Option<$t> + Sync)),
+                    post_t
+                        .as_ref()
+                        .map(|f| f as &(dyn Fn(usize, &$t) -> Option<$t> + Sync)),
+                    allowed,
+                );
                 let y = cast_val::<SparseVec<$t>, SparseVec<Z>>(y)?;
                 record_pick("vxm", ctx.id(), true);
                 return Some(y);
@@ -712,11 +851,7 @@ where
 /// tag alone — each (add, type) pair appears at most once in the semiring
 /// table). Outer `Option` = registry hit; inner = the reduction's result
 /// (`None` for an empty matrix).
-pub fn try_reduce_csr<T>(
-    ctx: &Context,
-    a: &Csr<T>,
-    add_tag: Option<BuiltinOp>,
-) -> Option<Option<T>>
+pub fn try_reduce_csr<T>(ctx: &Context, a: &Csr<T>, add_tag: Option<BuiltinOp>) -> Option<Option<T>>
 where
     T: ValueType,
 {
@@ -783,11 +918,7 @@ where
 }
 
 /// Matrix `apply` through a registered unary op.
-pub fn try_apply_csr<A, Z>(
-    ctx: &Context,
-    a: &Csr<A>,
-    tag: Option<BuiltinUnaryOp>,
-) -> Option<Csr<Z>>
+pub fn try_apply_csr<A, Z>(ctx: &Context, a: &Csr<A>, tag: Option<BuiltinUnaryOp>) -> Option<Csr<Z>>
 where
     A: ValueType,
     Z: ValueType,
@@ -874,7 +1005,10 @@ mod tests {
         assert_eq!(y.get(1), Some(&3));
         // An untagged user semiring is never claimed.
         let user = Semiring::<i64, i64, i64>::new(
-            Monoid::new(crate::ops::BinaryOp::new("uadd", |p: &i64, q: &i64| p + q), 0),
+            Monoid::new(
+                crate::ops::BinaryOp::new("uadd", |p: &i64, q: &i64| p + q),
+                0,
+            ),
             crate::ops::BinaryOp::new("umul", |x: &i64, y: &i64| x * y),
         );
         let miss: Option<SparseVec<i64>> =

@@ -40,7 +40,11 @@ impl<A: ValueType, Z: ValueType> UnaryOp<A, Z> {
     /// Creates a user-defined operator (`GrB_UnaryOp_new`). User operators
     /// carry no builtin tag, so the kernel registry never claims them.
     pub fn new(name: &'static str, f: impl Fn(&A) -> Z + Send + Sync + 'static) -> Self {
-        UnaryOp { name, builtin: None, f: Arc::new(f) }
+        UnaryOp {
+            name,
+            builtin: None,
+            f: Arc::new(f),
+        }
     }
 
     /// Internal constructor for the predefined operators: same closure
@@ -50,7 +54,11 @@ impl<A: ValueType, Z: ValueType> UnaryOp<A, Z> {
         builtin: BuiltinUnaryOp,
         f: impl Fn(&A) -> Z + Send + Sync + 'static,
     ) -> Self {
-        UnaryOp { name, builtin: Some(builtin), f: Arc::new(f) }
+        UnaryOp {
+            name,
+            builtin: Some(builtin),
+            f: Arc::new(f),
+        }
     }
 
     /// Applies the operator to one value.
@@ -134,7 +142,10 @@ mod tests {
             UnaryOp::<i32, i32>::identity().builtin(),
             Some(BuiltinUnaryOp::Identity)
         );
-        assert_eq!(UnaryOp::<f64, f64>::abs().builtin(), Some(BuiltinUnaryOp::Abs));
+        assert_eq!(
+            UnaryOp::<f64, f64>::abs().builtin(),
+            Some(BuiltinUnaryOp::Abs)
+        );
         assert_eq!(UnaryOp::lnot().builtin(), Some(BuiltinUnaryOp::Lnot));
         let user = UnaryOp::<i32, i32>::new("sq", |x| x * x);
         assert_eq!(user.builtin(), None);

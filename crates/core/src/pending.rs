@@ -17,6 +17,17 @@
 //!   that was given snapshots of its *other* inputs at enqueue time
 //!   (sequence order fixes input values at call time) and reads/writes the
 //!   owning container's state when drained.
+//! * [`Stage::Node`] — a lazy op-DAG node (mxv/vxm/mxm/eWise/assign/…):
+//!   like `Opaque`, but fusion-aware. At drain time the engine hands the
+//!   node every *trailing* consecutive `Map` stage from the queue; the
+//!   node threads them into its numeric kernel (the monomorphized
+//!   registry's `*_fused` rows) so the post-transforms run inside the
+//!   kernel's output write instead of as a separate traversal. Nodes also
+//!   participate in *input* fusion: when an input container's queue is
+//!   pure maps, the consumer clones the run and folds it into the
+//!   kernel's operand lookup (`snapshot_frontier_fused`), so the
+//!   intermediate materialization disappears entirely — §III's
+//!   cross-operation "fuse operations" latitude.
 //!
 //! `wait(Complete)` drains the queue — the object can then participate in
 //! a cross-thread happens-before edge. `wait(Materialize)` additionally
@@ -47,6 +58,51 @@ pub enum WaitMode {
 /// replacement value, or `None` to annihilate the element.
 pub type MapFn<T> = Arc<dyn Fn(&[Index], &T) -> Option<T> + Send + Sync>;
 
+/// What kind of operation a lazy [`Stage::Node`] defers — the op-DAG node
+/// kinds DESIGN.md §III maps onto the paper's nonblocking semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Matrix-vector product (`mxv`).
+    MxV,
+    /// Vector-matrix product (`vxm`) — the push/BFS direction.
+    VxM,
+    /// Matrix-matrix product (`mxm`).
+    MxM,
+    /// Element-wise add/multiply (union/intersection).
+    EWise,
+    /// Masked or accumulated apply/select (the unmasked in-place forms
+    /// stay `Stage::Map`).
+    Apply,
+    /// Select with mask/accum or distinct output.
+    Select,
+    /// Assign/subassign (accumulating writes into a sub-pattern).
+    Assign,
+    /// Extract (sub-container read into this container).
+    Extract,
+    /// Reduce (matrix → vector row reduction).
+    Reduce,
+    /// Structural ops: transpose, kron, dup, clear-and-rebuild.
+    Structure,
+}
+
+impl NodeKind {
+    /// Stable kebab-case name (used in decision-event detail strings).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeKind::MxV => "mxv",
+            NodeKind::VxM => "vxm",
+            NodeKind::MxM => "mxm",
+            NodeKind::EWise => "ewise",
+            NodeKind::Apply => "apply",
+            NodeKind::Select => "select",
+            NodeKind::Assign => "assign",
+            NodeKind::Extract => "extract",
+            NodeKind::Reduce => "reduce",
+            NodeKind::Structure => "structure",
+        }
+    }
+}
+
 /// A deferred stage in a container's sequence. `St` is the container's
 /// state type (matrix or vector state).
 pub enum Stage<St, T> {
@@ -54,6 +110,16 @@ pub enum Stage<St, T> {
     Map(MapFn<T>),
     /// Arbitrary deferred operation over the container state.
     Opaque(Box<dyn FnOnce(&mut St) -> GrbResult + Send>),
+    /// A lazy op-DAG node. At drain time the executor receives the run of
+    /// `Map` stages that immediately *followed* it in the queue (possibly
+    /// empty) and is responsible for folding them into its kernel's
+    /// output path — or applying them as one pass over its result.
+    Node {
+        /// Which operation this node defers.
+        kind: NodeKind,
+        /// The deferred execution, parameterized over the trailing maps.
+        exec: Box<dyn FnOnce(&mut St, Vec<MapFn<T>>) -> GrbResult + Send>,
+    },
 }
 
 impl<St, T> Stage<St, T> {

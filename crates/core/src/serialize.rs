@@ -261,8 +261,15 @@ impl<T: SerializableValue> Matrix<T> {
         if !input.is_empty() {
             return Err(corrupt("trailing bytes"));
         }
-        Matrix::import(nrows, ncols, Format::Csr, Some(indptr), Some(indices), values)
-            .map_err(|_| corrupt("inconsistent arrays"))
+        Matrix::import(
+            nrows,
+            ncols,
+            Format::Csr,
+            Some(indptr),
+            Some(indices),
+            values,
+        )
+        .map_err(|_| corrupt("inconsistent arrays"))
     }
 }
 

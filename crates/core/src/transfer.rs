@@ -126,7 +126,10 @@ impl<T: ValueType> Matrix<T> {
                 Dense::from_parts(nrows, ncols, Layout::ColMajor, values).map_err(api_invalid)?,
             )),
         };
-        Ok(Matrix::from_state(ctx, MatrixState::fresh(nrows, ncols, store)))
+        Ok(Matrix::from_state(
+            ctx,
+            MatrixState::fresh(nrows, ncols, store),
+        ))
     }
 
     /// `GrB_Matrix_exportSize`: `(indptr_len, indices_len, values_len)`
@@ -199,13 +202,11 @@ impl<T: ValueType> Matrix<T> {
                 (cols, rows, vals)
             }
             Format::DenseRow => {
-                let d = Dense::from_csr_full(&ctx, &csr, Layout::RowMajor)
-                    .map_err(api_invalid)?;
+                let d = Dense::from_csr_full(&ctx, &csr, Layout::RowMajor).map_err(api_invalid)?;
                 (Vec::new(), Vec::new(), d.into_values())
             }
             Format::DenseCol => {
-                let d = Dense::from_csr_full(&ctx, &csr, Layout::ColMajor)
-                    .map_err(api_invalid)?;
+                let d = Dense::from_csr_full(&ctx, &csr, Layout::ColMajor).map_err(api_invalid)?;
                 (Vec::new(), Vec::new(), d.into_values())
             }
         })
@@ -245,7 +246,13 @@ impl<T: ValueType> Vector<T> {
         indices: Option<Vec<Index>>,
         values: Vec<T>,
     ) -> GrbResult<Self> {
-        Self::import_in(&graphblas_exec::global_context(), n, format, indices, values)
+        Self::import_in(
+            &graphblas_exec::global_context(),
+            n,
+            format,
+            indices,
+            values,
+        )
     }
 
     /// `GrB_Vector_import`: constructs a vector from Table III arrays.
@@ -377,15 +384,8 @@ mod tests {
 
     #[test]
     fn all_formats_roundtrip_through_each_other() {
-        let src = Matrix::<i32>::import(
-            2,
-            2,
-            Format::DenseRow,
-            None,
-            None,
-            vec![1, 2, 3, 4],
-        )
-        .unwrap();
+        let src =
+            Matrix::<i32>::import(2, 2, Format::DenseRow, None, None, vec![1, 2, 3, 4]).unwrap();
         assert_eq!(src.export_hint(), Some(Format::DenseRow));
         for fmt in [
             Format::Csr,
@@ -470,24 +470,17 @@ mod tests {
 
     #[test]
     fn missing_arrays_are_null_pointer_errors() {
-        let err =
-            Matrix::<i64>::import(2, 2, Format::Csr, None, Some(vec![]), vec![]).unwrap_err();
+        let err = Matrix::<i64>::import(2, 2, Format::Csr, None, Some(vec![]), vec![]).unwrap_err();
         assert_eq!(err, Error::Api(ApiError::NullPointer));
     }
 
     #[test]
     fn vector_import_export() {
-        let v = Vector::<f64>::import(
-            4,
-            VectorFormat::Sparse,
-            Some(vec![1, 3]),
-            vec![1.5, 3.5],
-        )
-        .unwrap();
+        let v = Vector::<f64>::import(4, VectorFormat::Sparse, Some(vec![1, 3]), vec![1.5, 3.5])
+            .unwrap();
         assert_eq!(v.export_hint(), Some(VectorFormat::Sparse));
         assert_eq!(v.extract_element(3).unwrap(), Some(3.5));
-        let d = Vector::<f64>::import(3, VectorFormat::Dense, None, vec![1.0, 2.0, 3.0])
-            .unwrap();
+        let d = Vector::<f64>::import(3, VectorFormat::Dense, None, vec![1.0, 2.0, 3.0]).unwrap();
         assert_eq!(d.export_hint(), Some(VectorFormat::Dense));
         let (i, vals) = d.export(VectorFormat::Sparse).unwrap();
         assert_eq!(i, vec![0, 1, 2]);
@@ -498,7 +491,8 @@ mod tests {
         let (ni, nv) = v.export_size(VectorFormat::Sparse).unwrap();
         let mut ib = Vec::with_capacity(ni);
         let mut vb = Vec::with_capacity(nv);
-        v.export_into(VectorFormat::Sparse, &mut ib, &mut vb).unwrap();
+        v.export_into(VectorFormat::Sparse, &mut ib, &mut vb)
+            .unwrap();
         assert_eq!(ib, vec![1, 3]);
         let mut too_small: Vec<Index> = Vec::new();
         let mut vb2 = Vec::with_capacity(nv);

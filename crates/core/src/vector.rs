@@ -11,7 +11,7 @@ use graphblas_sparse::{BitmapVec, DenseVec, SparseVec};
 use crate::error::{ApiError, Error, ExecutionError, GrbResult};
 use crate::introspect::ObjectStats;
 use crate::ops::BinaryOp;
-use crate::pending::{fuse_maps, MapFn, Stage, WaitMode};
+use crate::pending::{fuse_maps, MapFn, NodeKind, Stage, WaitMode};
 use crate::scalar::Scalar;
 use crate::types::{Index, MaskValue, ValueType};
 
@@ -154,12 +154,7 @@ impl<T: ValueType> VectorState<T> {
                 graphblas_obs::counters::record_format_conversion();
             }
             if graphblas_obs::events::on() {
-                graphblas_obs::events::decision_convert_sparse(
-                    "vector",
-                    0,
-                    src,
-                    sv.nnz() as u64,
-                );
+                graphblas_obs::events::decision_convert_sparse("vector", 0, src, sv.nnz() as u64);
             }
         }
         self.store = VecStore::Sparse(sv);
@@ -227,6 +222,12 @@ impl<T: ValueType> VectorState<T> {
     }
 
     pub(crate) fn drain(&mut self, ctx: &Context) -> GrbResult {
+        self.drain_as(ctx, "read")
+    }
+
+    /// [`Self::drain`] with an explicit force cause for the `DagForce`
+    /// decision event ("read", "wait", "async", "self-input").
+    pub(crate) fn drain_as(&mut self, ctx: &Context, cause: &'static str) -> GrbResult {
         if let Some(e) = &self.err {
             return Err(Error::Execution(e.clone()));
         }
@@ -242,9 +243,26 @@ impl<T: ValueType> VectorState<T> {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         let pending = std::mem::take(&mut self.pending);
+        if pending.iter().any(|s| matches!(s, Stage::Node { .. })) {
+            if obs_on {
+                // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
+                graphblas_obs::counters::dag()
+                    .forces
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            if graphblas_obs::events::on() {
+                graphblas_obs::events::decision_dag_force(
+                    "vector.drain",
+                    ctx.id(),
+                    cause,
+                    pending.len() as u64,
+                );
+            }
+        }
+        let mut stages = pending.into_iter().peekable();
         let mut run: Vec<MapFn<T>> = Vec::new();
         let result = (|| {
-            for stage in pending {
+            while let Some(stage) = stages.next() {
                 match stage {
                     Stage::Map(f) => run.push(f),
                     Stage::Opaque(f) => {
@@ -254,13 +272,26 @@ impl<T: ValueType> VectorState<T> {
                             graphblas_obs::counters::pending()
                                 .opaque_drains
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            graphblas_obs::events::decision_opaque_drain(
-                                "vector.drain",
-                                ctx.id(),
-                            );
+                            graphblas_obs::events::decision_opaque_drain("vector.drain", ctx.id());
                         }
                         let _ph = graphblas_obs::timeline::phase("drain.opaque");
                         f(self)?;
+                    }
+                    Stage::Node { kind: _, exec } => {
+                        // Maps *before* a node transform this container's
+                        // pre-node value: they must land first.
+                        self.flush_map_run(ctx, &mut run, "node-barrier")?;
+                        // Maps *after* the node transform its output: hand
+                        // the whole trailing run to the node so it fuses
+                        // them into its kernel (or one result pass).
+                        let mut post: Vec<MapFn<T>> = Vec::new();
+                        while matches!(stages.peek(), Some(Stage::Map(_))) {
+                            if let Some(Stage::Map(f)) = stages.next() {
+                                post.push(f);
+                            }
+                        }
+                        let _ph = graphblas_obs::timeline::phase("drain.node");
+                        exec(self, post)?;
                     }
                 }
             }
@@ -304,7 +335,11 @@ impl<T: ValueType> VectorState<T> {
                 .fetch_add(run.len() as u64 - 1, std::sync::atomic::Ordering::Relaxed);
         }
         self.ensure_sparse()?;
-        let nnz_in = if sp.active() { self.sparse().nnz() as u64 } else { 0 };
+        let nnz_in = if sp.active() {
+            self.sparse().nnz() as u64
+        } else {
+            0
+        };
         if graphblas_obs::events::on() {
             graphblas_obs::events::decision_fuse_flush(
                 "vector.drain",
@@ -327,6 +362,22 @@ impl<T: ValueType> VectorState<T> {
         }
         self.store = VecStore::Sparse(Arc::new(fused));
         run.clear();
+        Ok(())
+    }
+
+    /// Applies a node's trailing (post) map run to the container's final
+    /// state as one pass. The masked/accumulated node paths use this: the
+    /// post maps semantically transform the *merged* output, so they
+    /// cannot thread through the kernel write.
+    pub(crate) fn apply_post_maps(&mut self, post: &[MapFn<T>]) -> GrbResult {
+        if post.is_empty() {
+            return Ok(());
+        }
+        self.ensure_sparse()?;
+        let out = self
+            .sparse()
+            .filter_map_with_index(|i, v| fuse_maps(post, &[i], v));
+        self.store = VecStore::Sparse(Arc::new(out));
         Ok(())
     }
 }
@@ -540,8 +591,7 @@ impl<T: ValueType> Vector<T> {
         let values = values.to_vec();
         let dup = dup.cloned();
         self.apply_write(Box::new(move |st: &mut VectorState<T>| {
-            let mut sv =
-                SparseVec::from_parts(st.n, indices, values).map_err(Error::from)?;
+            let mut sv = SparseVec::from_parts(st.n, indices, values).map_err(Error::from)?;
             match &dup {
                 Some(op) => sv
                     .sort_dedup(Some(&|a: &T, b: &T| op.apply(a, b)))
@@ -561,10 +611,12 @@ impl<T: ValueType> Vector<T> {
         Ok((sv.indices().to_vec(), sv.values().to_vec()))
     }
 
-    /// `GrB_wait` (§III, §V).
+    /// `GrB_wait` (§III, §V): the real barrier on the op DAG — forces the
+    /// whole queued subgraph, after which the object can participate in a
+    /// cross-thread happens-before edge.
     pub fn wait(&self, mode: WaitMode) -> GrbResult {
         let _sp = graphblas_obs::kernel_span(graphblas_obs::Kernel::Wait, self.context().id());
-        let mut st = self.lock_completed()?;
+        let mut st = self.lock_completed_as("wait")?;
         if mode == WaitMode::Materialize {
             st.ensure_sparse()?;
         }
@@ -629,9 +681,18 @@ impl<T: ValueType> Vector<T> {
     pub(crate) fn lock_completed(
         &self,
     ) -> GrbResult<graphblas_exec::sync::MutexGuard<'_, VectorState<T>>> {
+        self.lock_completed_as("read")
+    }
+
+    /// [`Self::lock_completed`] with an explicit force cause for the
+    /// `DagForce` decision event.
+    pub(crate) fn lock_completed_as(
+        &self,
+        cause: &'static str,
+    ) -> GrbResult<graphblas_exec::sync::MutexGuard<'_, VectorState<T>>> {
         let ctx = self.context();
         let mut st = self.inner.state.lock();
-        st.drain(&ctx)?;
+        st.drain_as(&ctx, cause)?;
         Ok(st)
     }
 
@@ -644,14 +705,44 @@ impl<T: ValueType> Vector<T> {
 
     /// Completes and snapshots in the store's current frontier format —
     /// bitmap stays bitmap (the pull kernel consumes it natively), every
-    /// other format canonicalizes to sparse.
-    pub(crate) fn snapshot_frontier(&self) -> GrbResult<Frontier<T>> {
-        let mut st = self.lock_completed()?;
+    /// other format canonicalizes to sparse. When this vector's queue is pure
+    /// map stages the maps are *cloned* (cheap `Arc` bumps) and returned
+    /// alongside the base frontier instead of being materialized — the
+    /// consumer folds them into its kernel's operand lookup, so the
+    /// intermediate traversal and allocation never happen. The queue is
+    /// left intact: this vector's own later readers still see the maps
+    /// (sequence order fixed the input values at call time either way).
+    /// Any non-map stage forces a full drain (fallback: empty pre run).
+    pub(crate) fn snapshot_frontier_fused(&self) -> GrbResult<(Frontier<T>, Vec<MapFn<T>>)> {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        if crate::dag::dag_enabled()
+            && !st.pending.is_empty()
+            && st.pending.iter().all(|s| s.is_map())
+        {
+            let pre: Vec<MapFn<T>> = st
+                .pending
+                .iter()
+                .map(|s| match s {
+                    Stage::Map(f) => f.clone(),
+                    _ => unreachable!("queue checked all-map above"),
+                })
+                .collect();
+            if let VecStore::Bitmap(b) = &st.store {
+                return Ok((Frontier::Bitmap(b.clone()), pre));
+            }
+            st.ensure_sparse()?;
+            return Ok((Frontier::Sparse(st.sparse().clone()), pre));
+        }
+        st.drain_as(&ctx, "self-input")?;
         if let VecStore::Bitmap(b) = &st.store {
-            return Ok(Frontier::Bitmap(b.clone()));
+            return Ok((Frontier::Bitmap(b.clone()), Vec::new()));
         }
         st.ensure_sparse()?;
-        Ok(Frontier::Sparse(st.sparse().clone()))
+        Ok((Frontier::Sparse(st.sparse().clone()), Vec::new()))
     }
 
     pub(crate) fn apply_write(
@@ -685,6 +776,88 @@ impl<T: ValueType> Vector<T> {
                 r
             }
         }
+    }
+
+    /// Enqueues a lazy op-DAG node (§III). In nonblocking mode with the
+    /// DAG on, `exec` defers as a [`Stage::Node`] and receives the run of
+    /// trailing map stages at drain time (it must apply them — via its
+    /// fused kernel or [`VectorState::apply_post_maps`]). With the DAG off
+    /// (`GRB_NONBLOCKING=0`) it degrades to exactly the pre-DAG opaque
+    /// stage; in blocking mode it runs eagerly.
+    pub(crate) fn apply_node(
+        &self,
+        kind: NodeKind,
+        exec: Box<dyn FnOnce(&mut VectorState<T>, Vec<MapFn<T>>) -> GrbResult + Send>,
+    ) -> GrbResult {
+        let ctx = self.context();
+        let mut st = self.inner.state.lock();
+        if let Some(e) = &st.err {
+            return Err(Error::Execution(e.clone()));
+        }
+        match ctx.mode() {
+            Mode::NonBlocking if crate::dag::dag_enabled() => {
+                st.pending.push(Stage::Node { kind, exec });
+                let depth = st.pending.len();
+                if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
+                    graphblas_obs::counters::dag()
+                        .nodes_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(depth);
+                }
+                drop(st);
+                self.maybe_async_drain(depth);
+                Ok(())
+            }
+            Mode::NonBlocking => {
+                st.pending
+                    .push(Stage::Opaque(Box::new(move |st| exec(st, Vec::new()))));
+                if graphblas_obs::enabled() {
+                    // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
+                    graphblas_obs::counters::pending()
+                        .opaques_enqueued
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    graphblas_obs::counters::note_pending_depth(st.pending.len());
+                }
+                Ok(())
+            }
+            Mode::Blocking => {
+                st.drain(&ctx)?;
+                let r = exec(&mut st, Vec::new());
+                if let Err(Error::Execution(exec_err)) = &r {
+                    st.err = Some(exec_err.clone());
+                }
+                st.note_mem(ctx.id());
+                r
+            }
+        }
+    }
+
+    /// Hands this container's backlog to the worker pool once its queue
+    /// depth crosses the `GRB_ASYNC_DRAIN_DEPTH` threshold. The threshold
+    /// keeps short op chains intact (so node drains still find trailing
+    /// maps to fuse); the per-container mutex serializes the background
+    /// drain against readers, and a drain of an already-empty queue is a
+    /// no-op — so racing forces cannot double-drain.
+    fn maybe_async_drain(&self, depth: usize) {
+        if !crate::dag::async_drain_enabled() || depth < crate::dag::async_drain_depth() {
+            return;
+        }
+        if graphblas_obs::enabled() {
+            // grblint: allow(relaxed-ordering); grbsa: protocol(counter) — monotonic obs counter.
+            graphblas_obs::counters::dag()
+                .async_drains
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let this = self.clone();
+        let ctx = self.context();
+        graphblas_exec::pool::global_pool().spawn_static(Box::new(move || {
+            let mut st = this.inner.state.lock();
+            // A failed drain leaves the §V sticky error in place for the
+            // next reader to surface; the background task has no caller
+            // to report to.
+            let _ = st.drain_as(&ctx, "async");
+        }));
     }
 
     pub(crate) fn apply_map(&self, f: MapFn<T>) -> GrbResult {

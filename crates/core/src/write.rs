@@ -63,8 +63,7 @@ pub(crate) fn merge_matrix<C: ValueType>(
             let inside = match accum {
                 None => z,
                 Some(op) => {
-                    let old_inside =
-                        ewise::ewise_restrict(ctx, old, &m.mask, m.complement, truthy);
+                    let old_inside = ewise::ewise_restrict(ctx, old, &m.mask, m.complement, truthy);
                     ewise::ewise_union(ctx, &old_inside, &z, |x, y| op.apply(x, y))
                 }
             };
@@ -72,8 +71,7 @@ pub(crate) fn merge_matrix<C: ValueType>(
             if replace {
                 inside
             } else {
-                let outside =
-                    ewise::ewise_restrict(ctx, old, &m.mask, !m.complement, truthy);
+                let outside = ewise::ewise_restrict(ctx, old, &m.mask, !m.complement, truthy);
                 // Step 4: regions are position-disjoint, so the union's
                 // combiner is never invoked.
                 ewise::ewise_union(ctx, &outside, &inside, |x, _| x.clone())
@@ -166,10 +164,7 @@ mod tests {
         let old = csr((2, 2), &[(0, 0, 1), (1, 1, 2)]);
         let t = csr((2, 2), &[(1, 1, 10), (0, 1, 5)]);
         let r = merge_matrix(&ctx, &old, t, None, Some(&BinaryOp::plus()), false);
-        assert_eq!(
-            r.to_sorted_tuples(),
-            vec![(0, 0, 1), (0, 1, 5), (1, 1, 12)]
-        );
+        assert_eq!(r.to_sorted_tuples(), vec![(0, 0, 1), (0, 1, 5), (1, 1, 12)]);
     }
 
     #[test]

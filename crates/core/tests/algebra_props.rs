@@ -5,8 +5,8 @@
 
 use graphblas_core::operations::{apply_indexop, assign, extract, select, select_v};
 use graphblas_core::{
-    global_context, no_mask, no_mask_v, Context, ContextOptions, Descriptor, Index,
-    IndexUnaryOp, Matrix, Mode, Monoid, Semiring, Vector, WaitMode,
+    global_context, no_mask, no_mask_v, Context, ContextOptions, Descriptor, Index, IndexUnaryOp,
+    Matrix, Mode, Monoid, Semiring, Vector, WaitMode,
 };
 use graphblas_exec::rng::prelude::*;
 use std::collections::BTreeMap;
@@ -52,7 +52,11 @@ fn monoid_laws_on_random_values() {
             rng.gen_range(-1000..1000i64),
             rng.gen_range(-1000..1000i64),
         );
-        for m in [Monoid::<i64>::plus(), Monoid::<i64>::min(), Monoid::<i64>::max()] {
+        for m in [
+            Monoid::<i64>::plus(),
+            Monoid::<i64>::min(),
+            Monoid::<i64>::max(),
+        ] {
             // identity
             assert_eq!(m.apply(m.identity(), &x), x);
             assert_eq!(m.apply(&x, m.identity()), x);
@@ -187,8 +191,26 @@ fn extract_then_assign_roundtrips_region() {
         // Extract a region, then assign it back: the matrix is unchanged.
         let am = mat((10, 10), &a);
         let sub = Matrix::<i64>::new(rows.len(), cols.len()).unwrap();
-        extract(&sub, no_mask(), None, &am, &rows, &cols, &Descriptor::default()).unwrap();
-        assign(&am, no_mask(), None, &sub, &rows, &cols, &Descriptor::default()).unwrap();
+        extract(
+            &sub,
+            no_mask(),
+            None,
+            &am,
+            &rows,
+            &cols,
+            &Descriptor::default(),
+        )
+        .unwrap();
+        assign(
+            &am,
+            no_mask(),
+            None,
+            &sub,
+            &rows,
+            &cols,
+            &Descriptor::default(),
+        )
+        .unwrap();
         assert_eq!(ents(&am), a);
     }
 }
@@ -283,8 +305,7 @@ fn serialize_is_stable_under_storage_format() {
         // Force a different internal journey: export COO, re-import.
         let (p, i, vv) = am.export(graphblas_core::Format::Coo).unwrap();
         let m2 =
-            Matrix::<i64>::import(7, 7, graphblas_core::Format::Coo, Some(p), Some(i), vv)
-                .unwrap();
+            Matrix::<i64>::import(7, 7, graphblas_core::Format::Coo, Some(p), Some(i), vv).unwrap();
         let bytes2 = m2.serialize().unwrap();
         assert_eq!(bytes1, bytes2);
     }

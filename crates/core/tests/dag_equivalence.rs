@@ -1,0 +1,177 @@
+//! `GRB_NONBLOCKING=0` equivalence (paper §III): the fused op DAG has
+//! full latitude to defer, reorder, and fuse — but a program must not be
+//! able to tell. These tests run the same operation sequence three ways
+//! (DAG on, DAG off = pre-DAG opaque queue, and a blocking context) and
+//! assert the extracted tuples agree bit-for-bit.
+//!
+//! Runs as its own integration-test binary because the DAG knobs are
+//! process-global; tests serialize on a local mutex and restore the
+//! knobs before returning.
+
+use std::sync::Mutex;
+
+use graphblas_core::operations::{
+    apply_v, assign_scalar_v, ewise_add_v, ewise_mult_v, extract_v, mxm, mxv, reduce_to_vector,
+    select_v, transpose, vxm,
+};
+use graphblas_core::{
+    dag, global_context, no_mask, no_mask_v, BinaryOp, Context, ContextOptions, Descriptor,
+    IndexUnaryOp, Matrix, Mode, Semiring, UnaryOp, Vector, WaitMode,
+};
+
+static KNOBS: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-random stream (no external crates).
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn build_inputs(ctx: &Context, n: usize) -> (Matrix<f64>, Vector<f64>, Vector<bool>) {
+    let a = Matrix::<f64>::new_in(ctx, n, n).unwrap();
+    let mut seed = 0x5eed_1234u64;
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..n {
+        for _ in 0..6 {
+            rows.push(i);
+            cols.push((lcg(&mut seed) as usize) % n);
+            vals.push(((lcg(&mut seed) % 1000) as f64) / 100.0);
+        }
+    }
+    a.build(&rows, &cols, &vals, Some(&BinaryOp::<f64, f64, f64>::plus()))
+        .unwrap();
+
+    let u = Vector::<f64>::new_in(ctx, n).unwrap();
+    let idx: Vec<usize> = (0..n).step_by(2).collect();
+    let uvals: Vec<f64> = idx.iter().map(|&i| (i % 17) as f64 + 0.5).collect();
+    u.build(&idx, &uvals, None).unwrap();
+
+    let m = Vector::<bool>::new_in(ctx, n).unwrap();
+    let midx: Vec<usize> = (0..n).step_by(3).collect();
+    let mvals: Vec<bool> = midx.iter().map(|&i| i % 2 == 0).collect();
+    m.build(&midx, &mvals, None).unwrap();
+    (a, u, m)
+}
+
+/// One mixed pipeline covering every converted operation family: fusible
+/// map chains feeding mxv/vxm (pre-side), in-place applies trailing a
+/// node (post-side), masked vxm, accumulated merges, assign, extract,
+/// reduce, mxm, and transpose.
+fn run_pipeline(mode: Mode) -> (Vec<(usize, f64)>, Vec<(usize, usize, f64)>) {
+    let n = 64;
+    let ctx = Context::new(&global_context(), mode, ContextOptions::default());
+    let (a, u, m) = build_inputs(&ctx, n);
+    let sr = Semiring::<f64, f64, f64>::plus_times();
+    let d = Descriptor::default();
+
+    // Map chain on the input frontier (fuses into mxv's pre side).
+    let inc = UnaryOp::new("inc", |x: &f64| x + 1.0);
+    apply_v(&u, no_mask_v(), None, &inc, &u, &d).unwrap();
+    apply_v(&u, no_mask_v(), None, &inc, &u, &d).unwrap();
+
+    // mxv, then an in-place map trailing the node (fuses as post).
+    let w = Vector::<f64>::new_in(&ctx, n).unwrap();
+    mxv(&w, no_mask_v(), None, &sr, &a, &u, &d).unwrap();
+    let halve = UnaryOp::new("halve", |x: &f64| x * 0.5);
+    apply_v(&w, no_mask_v(), None, &halve, &w, &d).unwrap();
+
+    // Masked vxm (push direction prefilters scatter columns).
+    let y = Vector::<f64>::new_in(&ctx, n).unwrap();
+    vxm(&y, Some(&m), None, &sr, &w, &a, &d).unwrap();
+    // ... and the complemented mask with an accumulator.
+    let yc = Vector::<f64>::new_in(&ctx, n).unwrap();
+    vxm(
+        &yc,
+        Some(&m),
+        Some(&BinaryOp::plus()),
+        &sr,
+        &u,
+        &a,
+        &Descriptor::new().complement_mask(),
+    )
+    .unwrap();
+
+    // Select into a fresh output (Node), element-wise combine, assign.
+    let big = Vector::<f64>::new_in(&ctx, n).unwrap();
+    select_v(&big, no_mask_v(), None, &IndexUnaryOp::valuegt(), &y, 1.0, &d).unwrap();
+    let z = Vector::<f64>::new_in(&ctx, n).unwrap();
+    ewise_add_v(&z, no_mask_v(), None, &BinaryOp::plus(), &big, &yc, &d).unwrap();
+    ewise_mult_v(&z, no_mask_v(), Some(&BinaryOp::plus()), &BinaryOp::times(), &z, &u, &d)
+        .unwrap();
+    assign_scalar_v(&z, no_mask_v(), None, 9.25, &[1, 3, 5], &d).unwrap();
+    let ex = Vector::<f64>::new_in(&ctx, n / 2).unwrap();
+    let sel: Vec<usize> = (0..n / 2).map(|i| n - 1 - i).collect();
+    extract_v(&ex, no_mask_v(), None, &z, &sel, &d).unwrap();
+
+    // Matrix side: mxm with a trailing in-place apply, transpose, reduce.
+    let c = Matrix::<f64>::new_in(&ctx, n, n).unwrap();
+    mxm(&c, no_mask(), None, &sr, &a, &a, &d).unwrap();
+    let ct = Matrix::<f64>::new_in(&ctx, n, n).unwrap();
+    transpose(&ct, no_mask(), None, &c, &d).unwrap();
+    let r = Vector::<f64>::new_in(&ctx, n).unwrap();
+    reduce_to_vector(&r, no_mask_v(), None, &graphblas_core::Monoid::plus(), &ct, &d).unwrap();
+
+    let mut vec_out = Vec::new();
+    for v in [&u, &w, &y, &yc, &big, &z, &ex, &r] {
+        v.wait(WaitMode::Complete).unwrap();
+        let (i, x) = v.extract_tuples().unwrap();
+        vec_out.extend(i.into_iter().zip(x));
+    }
+    let (cr, cc, cv) = ct.extract_tuples().unwrap();
+    let mat_out = cr
+        .into_iter()
+        .zip(cc)
+        .zip(cv)
+        .map(|((i, j), x)| (i, j, x))
+        .collect();
+    (vec_out, mat_out)
+}
+
+#[test]
+fn dag_off_reproduces_dag_on_bit_for_bit() {
+    let _g = KNOBS.lock().unwrap();
+    dag::set_async_drain(Some(false));
+
+    dag::set_nonblocking_dag(Some(true));
+    let fused = run_pipeline(Mode::NonBlocking);
+    dag::set_nonblocking_dag(Some(false));
+    let opaque = run_pipeline(Mode::NonBlocking);
+
+    dag::set_nonblocking_dag(None);
+    dag::set_async_drain(None);
+    assert_eq!(fused.0, opaque.0, "vector outputs must match bit-for-bit");
+    assert_eq!(fused.1, opaque.1, "matrix outputs must match bit-for-bit");
+}
+
+#[test]
+fn blocking_mode_matches_fused_nonblocking() {
+    let _g = KNOBS.lock().unwrap();
+    dag::set_async_drain(Some(false));
+    dag::set_nonblocking_dag(Some(true));
+    let fused = run_pipeline(Mode::NonBlocking);
+    let blocking = run_pipeline(Mode::Blocking);
+    dag::set_nonblocking_dag(None);
+    dag::set_async_drain(None);
+    assert_eq!(fused.0, blocking.0);
+    assert_eq!(fused.1, blocking.1);
+}
+
+#[test]
+fn async_drains_do_not_change_results() {
+    let _g = KNOBS.lock().unwrap();
+    dag::set_nonblocking_dag(Some(true));
+    dag::set_async_drain(Some(false));
+    let quiet = run_pipeline(Mode::NonBlocking);
+    // Force eager background drains: every enqueue past depth 1 offers
+    // the backlog to the pool, racing the foreground reads below.
+    dag::set_async_drain(Some(true));
+    dag::set_async_drain_depth(Some(1));
+    let racy = run_pipeline(Mode::NonBlocking);
+    dag::set_async_drain_depth(None);
+    dag::set_async_drain(None);
+    dag::set_nonblocking_dag(None);
+    assert_eq!(quiet.0, racy.0);
+    assert_eq!(quiet.1, racy.1);
+}

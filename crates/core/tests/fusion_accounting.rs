@@ -8,8 +8,7 @@ use std::sync::atomic::Ordering;
 
 use graphblas_core::operations::apply_v;
 use graphblas_core::{
-    global_context, no_mask_v, Context, ContextOptions, Descriptor, Mode, UnaryOp, Vector,
-    WaitMode,
+    global_context, no_mask_v, Context, ContextOptions, Descriptor, Mode, UnaryOp, Vector, WaitMode,
 };
 
 fn fusion_counts_for_chain(n: usize) -> (u64, u64, u64) {
@@ -91,4 +90,59 @@ fn fused_chain_result_matches_eager_chain() {
         v.extract_tuples().unwrap()
     };
     assert_eq!(run(Mode::NonBlocking), run(Mode::Blocking));
+}
+
+#[test]
+fn dag_nodes_fuse_neighbouring_maps() {
+    // Cross-operation fusion (paper §III): a map chain feeding mxv rides
+    // its input snapshot (pre side); an in-place apply trailing the node
+    // is consumed at drain (post side). The DagCounters must see both.
+    graphblas_obs::set_enabled(true);
+    graphblas_core::dag::set_nonblocking_dag(Some(true));
+    graphblas_core::dag::set_async_drain(Some(false));
+
+    let ctx = Context::new(
+        &global_context(),
+        Mode::NonBlocking,
+        ContextOptions::default(),
+    );
+    let a = graphblas_core::Matrix::<f64>::new_in(&ctx, 32, 32).unwrap();
+    let rows: Vec<usize> = (0..32).collect();
+    let cols: Vec<usize> = (0..32).map(|i| (i * 7 + 1) % 32).collect();
+    let vals: Vec<f64> = (0..32).map(|i| i as f64 + 1.0).collect();
+    a.build(&rows, &cols, &vals, None).unwrap();
+    let u = Vector::<f64>::new_in(&ctx, 32).unwrap();
+    let idx: Vec<usize> = (0..32).collect();
+    u.build(&idx, &vals, None).unwrap();
+    u.wait(WaitMode::Materialize).unwrap();
+
+    graphblas_obs::reset();
+    // Pre side: two pending maps on the mxv input.
+    let inc = UnaryOp::new("inc", |x: &f64| x + 1.0);
+    apply_v(&u, no_mask_v(), None, &inc, &u, &Descriptor::default()).unwrap();
+    apply_v(&u, no_mask_v(), None, &inc, &u, &Descriptor::default()).unwrap();
+    let w = Vector::<f64>::new_in(&ctx, 32).unwrap();
+    graphblas_core::operations::mxv(
+        &w,
+        no_mask_v(),
+        None,
+        &graphblas_core::Semiring::<f64, f64, f64>::plus_times(),
+        &a,
+        &u,
+        &Descriptor::default(),
+    )
+    .unwrap();
+    // Post side: an in-place apply queued behind the node.
+    apply_v(&w, no_mask_v(), None, &inc, &w, &Descriptor::default()).unwrap();
+    w.wait(WaitMode::Complete).unwrap();
+
+    let dag = graphblas_obs::counters::dag_totals();
+    assert!(dag.nodes_enqueued >= 1, "mxv must enqueue a DAG node");
+    assert_eq!(dag.pre_fused, 2, "both input maps fold into the kernel");
+    assert_eq!(dag.post_fused, 1, "the trailing map drains with the node");
+    assert!(dag.fused_chains >= 1, "a fused chain is scored once");
+
+    graphblas_core::dag::set_async_drain(None);
+    graphblas_core::dag::set_nonblocking_dag(None);
+    graphblas_obs::set_enabled(false);
 }

@@ -63,7 +63,11 @@ fn mat_from<T: ValueType>(seed: u64, gen: &mut impl FnMut(&mut StdRng) -> T) -> 
     m
 }
 
-fn vec_from<T: ValueType>(nnz: usize, seed: u64, gen: &mut impl FnMut(&mut StdRng) -> T) -> Vector<T> {
+fn vec_from<T: ValueType>(
+    nnz: usize,
+    seed: u64,
+    gen: &mut impl FnMut(&mut StdRng) -> T,
+) -> Vector<T> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut idx: Vec<usize> = (0..N).collect();
     idx.shuffle(&mut rng);
@@ -81,8 +85,12 @@ fn bool_mask(seed: u64) -> Matrix<bool> {
 
 /// One registered semiring × type row through every matrix-vector and
 /// matrix-matrix kernel the registry claims.
-fn check_semiring<T>(name: &str, sr: &Semiring<T, T, T>, seed: u64, gen: &mut impl FnMut(&mut StdRng) -> T)
-where
+fn check_semiring<T>(
+    name: &str,
+    sr: &Semiring<T, T, T>,
+    seed: u64,
+    gen: &mut impl FnMut(&mut StdRng) -> T,
+) where
     T: ValueType + PartialEq + Debug,
 {
     let a = mat_from(seed, gen);
@@ -144,40 +152,114 @@ fn gen_bool(rng: &mut StdRng) -> bool {
 
 #[test]
 fn plus_times_every_registered_type() {
-    check_semiring("plus_times f64", &Semiring::<f64, f64, f64>::plus_times(), 0xA0, &mut gen_f64);
-    check_semiring("plus_times f32", &Semiring::<f32, f32, f32>::plus_times(), 0xA1, &mut gen_f32);
-    check_semiring("plus_times i64", &Semiring::<i64, i64, i64>::plus_times(), 0xA2, &mut gen_i64);
-    check_semiring("plus_times u64", &Semiring::<u64, u64, u64>::plus_times(), 0xA3, &mut gen_u64);
+    check_semiring(
+        "plus_times f64",
+        &Semiring::<f64, f64, f64>::plus_times(),
+        0xA0,
+        &mut gen_f64,
+    );
+    check_semiring(
+        "plus_times f32",
+        &Semiring::<f32, f32, f32>::plus_times(),
+        0xA1,
+        &mut gen_f32,
+    );
+    check_semiring(
+        "plus_times i64",
+        &Semiring::<i64, i64, i64>::plus_times(),
+        0xA2,
+        &mut gen_i64,
+    );
+    check_semiring(
+        "plus_times u64",
+        &Semiring::<u64, u64, u64>::plus_times(),
+        0xA3,
+        &mut gen_u64,
+    );
 }
 
 #[test]
 fn min_plus_every_registered_type() {
-    check_semiring("min_plus f64", &Semiring::<f64, f64, f64>::min_plus(), 0xB0, &mut gen_f64);
-    check_semiring("min_plus f32", &Semiring::<f32, f32, f32>::min_plus(), 0xB1, &mut gen_f32);
-    check_semiring("min_plus i64", &Semiring::<i64, i64, i64>::min_plus(), 0xB2, &mut gen_i64);
-    check_semiring("min_plus u64", &Semiring::<u64, u64, u64>::min_plus(), 0xB3, &mut gen_u64);
+    check_semiring(
+        "min_plus f64",
+        &Semiring::<f64, f64, f64>::min_plus(),
+        0xB0,
+        &mut gen_f64,
+    );
+    check_semiring(
+        "min_plus f32",
+        &Semiring::<f32, f32, f32>::min_plus(),
+        0xB1,
+        &mut gen_f32,
+    );
+    check_semiring(
+        "min_plus i64",
+        &Semiring::<i64, i64, i64>::min_plus(),
+        0xB2,
+        &mut gen_i64,
+    );
+    check_semiring(
+        "min_plus u64",
+        &Semiring::<u64, u64, u64>::min_plus(),
+        0xB3,
+        &mut gen_u64,
+    );
 }
 
 #[test]
 fn max_plus_every_registered_type() {
-    check_semiring("max_plus f64", &Semiring::<f64, f64, f64>::max_plus(), 0xC0, &mut gen_f64);
-    check_semiring("max_plus f32", &Semiring::<f32, f32, f32>::max_plus(), 0xC1, &mut gen_f32);
-    check_semiring("max_plus i64", &Semiring::<i64, i64, i64>::max_plus(), 0xC2, &mut gen_i64);
-    check_semiring("max_plus u64", &Semiring::<u64, u64, u64>::max_plus(), 0xC3, &mut gen_u64);
+    check_semiring(
+        "max_plus f64",
+        &Semiring::<f64, f64, f64>::max_plus(),
+        0xC0,
+        &mut gen_f64,
+    );
+    check_semiring(
+        "max_plus f32",
+        &Semiring::<f32, f32, f32>::max_plus(),
+        0xC1,
+        &mut gen_f32,
+    );
+    check_semiring(
+        "max_plus i64",
+        &Semiring::<i64, i64, i64>::max_plus(),
+        0xC2,
+        &mut gen_i64,
+    );
+    check_semiring(
+        "max_plus u64",
+        &Semiring::<u64, u64, u64>::max_plus(),
+        0xC3,
+        &mut gen_u64,
+    );
 }
 
 #[test]
 fn boolean_semirings() {
-    check_semiring("lor_land bool", &Semiring::<bool, bool, bool>::lor_land(), 0xD0, &mut gen_bool);
+    check_semiring(
+        "lor_land bool",
+        &Semiring::<bool, bool, bool>::lor_land(),
+        0xD0,
+        &mut gen_bool,
+    );
     // ANY is only deterministic because OneB yields the same witness value
     // for every match — which is exactly why the pair is registrable.
-    check_semiring("any_pair bool", &Semiring::<bool, bool, bool>::any_pair(), 0xD1, &mut gen_bool);
+    check_semiring(
+        "any_pair bool",
+        &Semiring::<bool, bool, bool>::any_pair(),
+        0xD1,
+        &mut gen_bool,
+    );
 }
 
 /// One registered element-wise binop × type row through union and
 /// intersection semantics.
-fn check_binop<T>(name: &str, op: &BinaryOp<T, T, T>, seed: u64, gen: &mut impl FnMut(&mut StdRng) -> T)
-where
+fn check_binop<T>(
+    name: &str,
+    op: &BinaryOp<T, T, T>,
+    seed: u64,
+    gen: &mut impl FnMut(&mut StdRng) -> T,
+) where
     T: ValueType + PartialEq + Debug,
 {
     let u = vec_from(N / 2, seed, gen);
@@ -200,24 +282,114 @@ where
 
 #[test]
 fn ewise_binops_every_registered_pair() {
-    check_binop("plus f64", &BinaryOp::<f64, f64, f64>::plus(), 0x10, &mut gen_f64);
-    check_binop("plus f32", &BinaryOp::<f32, f32, f32>::plus(), 0x11, &mut gen_f32);
-    check_binop("plus i64", &BinaryOp::<i64, i64, i64>::plus(), 0x12, &mut gen_i64);
-    check_binop("plus u64", &BinaryOp::<u64, u64, u64>::plus(), 0x13, &mut gen_u64);
-    check_binop("times f64", &BinaryOp::<f64, f64, f64>::times(), 0x14, &mut gen_f64);
-    check_binop("times f32", &BinaryOp::<f32, f32, f32>::times(), 0x15, &mut gen_f32);
-    check_binop("times i64", &BinaryOp::<i64, i64, i64>::times(), 0x16, &mut gen_i64);
-    check_binop("times u64", &BinaryOp::<u64, u64, u64>::times(), 0x17, &mut gen_u64);
-    check_binop("min f64", &BinaryOp::<f64, f64, f64>::min(), 0x18, &mut gen_f64);
-    check_binop("min f32", &BinaryOp::<f32, f32, f32>::min(), 0x19, &mut gen_f32);
-    check_binop("min i64", &BinaryOp::<i64, i64, i64>::min(), 0x1A, &mut gen_i64);
-    check_binop("min u64", &BinaryOp::<u64, u64, u64>::min(), 0x1B, &mut gen_u64);
-    check_binop("max f64", &BinaryOp::<f64, f64, f64>::max(), 0x1C, &mut gen_f64);
-    check_binop("max f32", &BinaryOp::<f32, f32, f32>::max(), 0x1D, &mut gen_f32);
-    check_binop("max i64", &BinaryOp::<i64, i64, i64>::max(), 0x1E, &mut gen_i64);
-    check_binop("max u64", &BinaryOp::<u64, u64, u64>::max(), 0x1F, &mut gen_u64);
-    check_binop("lor bool", &BinaryOp::<bool, bool, bool>::lor(), 0x20, &mut gen_bool);
-    check_binop("land bool", &BinaryOp::<bool, bool, bool>::land(), 0x21, &mut gen_bool);
+    check_binop(
+        "plus f64",
+        &BinaryOp::<f64, f64, f64>::plus(),
+        0x10,
+        &mut gen_f64,
+    );
+    check_binop(
+        "plus f32",
+        &BinaryOp::<f32, f32, f32>::plus(),
+        0x11,
+        &mut gen_f32,
+    );
+    check_binop(
+        "plus i64",
+        &BinaryOp::<i64, i64, i64>::plus(),
+        0x12,
+        &mut gen_i64,
+    );
+    check_binop(
+        "plus u64",
+        &BinaryOp::<u64, u64, u64>::plus(),
+        0x13,
+        &mut gen_u64,
+    );
+    check_binop(
+        "times f64",
+        &BinaryOp::<f64, f64, f64>::times(),
+        0x14,
+        &mut gen_f64,
+    );
+    check_binop(
+        "times f32",
+        &BinaryOp::<f32, f32, f32>::times(),
+        0x15,
+        &mut gen_f32,
+    );
+    check_binop(
+        "times i64",
+        &BinaryOp::<i64, i64, i64>::times(),
+        0x16,
+        &mut gen_i64,
+    );
+    check_binop(
+        "times u64",
+        &BinaryOp::<u64, u64, u64>::times(),
+        0x17,
+        &mut gen_u64,
+    );
+    check_binop(
+        "min f64",
+        &BinaryOp::<f64, f64, f64>::min(),
+        0x18,
+        &mut gen_f64,
+    );
+    check_binop(
+        "min f32",
+        &BinaryOp::<f32, f32, f32>::min(),
+        0x19,
+        &mut gen_f32,
+    );
+    check_binop(
+        "min i64",
+        &BinaryOp::<i64, i64, i64>::min(),
+        0x1A,
+        &mut gen_i64,
+    );
+    check_binop(
+        "min u64",
+        &BinaryOp::<u64, u64, u64>::min(),
+        0x1B,
+        &mut gen_u64,
+    );
+    check_binop(
+        "max f64",
+        &BinaryOp::<f64, f64, f64>::max(),
+        0x1C,
+        &mut gen_f64,
+    );
+    check_binop(
+        "max f32",
+        &BinaryOp::<f32, f32, f32>::max(),
+        0x1D,
+        &mut gen_f32,
+    );
+    check_binop(
+        "max i64",
+        &BinaryOp::<i64, i64, i64>::max(),
+        0x1E,
+        &mut gen_i64,
+    );
+    check_binop(
+        "max u64",
+        &BinaryOp::<u64, u64, u64>::max(),
+        0x1F,
+        &mut gen_u64,
+    );
+    check_binop(
+        "lor bool",
+        &BinaryOp::<bool, bool, bool>::lor(),
+        0x20,
+        &mut gen_bool,
+    );
+    check_binop(
+        "land bool",
+        &BinaryOp::<bool, bool, bool>::land(),
+        0x21,
+        &mut gen_bool,
+    );
 }
 
 /// One registered unary op × type row through `apply_v` (distinct output
@@ -238,18 +410,48 @@ where
 
 #[test]
 fn apply_unops_every_registered_pair() {
-    check_unop("identity f64", &UnaryOp::<f64, f64>::identity(), 0x30, &mut gen_f64);
-    check_unop("identity f32", &UnaryOp::<f32, f32>::identity(), 0x31, &mut gen_f32);
-    check_unop("identity i64", &UnaryOp::<i64, i64>::identity(), 0x32, &mut gen_i64);
-    check_unop("identity u64", &UnaryOp::<u64, u64>::identity(), 0x33, &mut gen_u64);
-    check_unop("identity bool", &UnaryOp::<bool, bool>::identity(), 0x34, &mut gen_bool);
+    check_unop(
+        "identity f64",
+        &UnaryOp::<f64, f64>::identity(),
+        0x30,
+        &mut gen_f64,
+    );
+    check_unop(
+        "identity f32",
+        &UnaryOp::<f32, f32>::identity(),
+        0x31,
+        &mut gen_f32,
+    );
+    check_unop(
+        "identity i64",
+        &UnaryOp::<i64, i64>::identity(),
+        0x32,
+        &mut gen_i64,
+    );
+    check_unop(
+        "identity u64",
+        &UnaryOp::<u64, u64>::identity(),
+        0x33,
+        &mut gen_u64,
+    );
+    check_unop(
+        "identity bool",
+        &UnaryOp::<bool, bool>::identity(),
+        0x34,
+        &mut gen_bool,
+    );
     check_unop("ainv f64", &UnaryOp::<f64, f64>::ainv(), 0x35, &mut gen_f64);
     check_unop("ainv f32", &UnaryOp::<f32, f32>::ainv(), 0x36, &mut gen_f32);
     check_unop("ainv i64", &UnaryOp::<i64, i64>::ainv(), 0x37, &mut gen_i64);
     check_unop("abs f64", &UnaryOp::<f64, f64>::abs(), 0x38, &mut gen_f64);
     check_unop("abs f32", &UnaryOp::<f32, f32>::abs(), 0x39, &mut gen_f32);
     check_unop("abs i64", &UnaryOp::<i64, i64>::abs(), 0x3A, &mut gen_i64);
-    check_unop("lnot bool", &UnaryOp::<bool, bool>::lnot(), 0x3B, &mut gen_bool);
+    check_unop(
+        "lnot bool",
+        &UnaryOp::<bool, bool>::lnot(),
+        0x3B,
+        &mut gen_bool,
+    );
 }
 
 /// One registered reduce monoid × type row through `reduce_to_value_v`.
@@ -279,5 +481,10 @@ fn reduce_monoids_every_registered_pair() {
     check_reduce("lor bool", &Monoid::<bool>::lor(), 0x4C, &mut gen_bool);
     // ANY may legitimately return any element, so the equivalence only
     // holds over a uniform vector — which still proves both paths run.
-    check_reduce("any bool", &Monoid::<bool>::any(), 0x4D, &mut |_rng: &mut StdRng| true);
+    check_reduce(
+        "any bool",
+        &Monoid::<bool>::any(),
+        0x4D,
+        &mut |_rng: &mut StdRng| true,
+    );
 }

@@ -244,6 +244,73 @@ pub(crate) fn pending_totals() -> PendingTotals {
     }
 }
 
+/// Op-DAG statistics for the §III nonblocking fused-execution engine:
+/// how many lazy op nodes were enqueued, how many neighbouring map stages
+/// the node kernels absorbed (input side and output side), and what
+/// forced drains.
+pub struct DagCounters {
+    /// Lazy `Stage::Node` op nodes enqueued.
+    pub nodes_enqueued: AtomicU64,
+    /// Input-side map stages folded into a node's operand lookup
+    /// (the intermediate traversal they would have cost never ran).
+    pub pre_fused: AtomicU64,
+    /// Output-side (trailing) map stages folded into a node's kernel
+    /// write or result pass.
+    pub post_fused: AtomicU64,
+    /// Node drains that fused at least one neighbouring stage.
+    pub fused_chains: AtomicU64,
+    /// Drains handed to the worker pool by the depth heuristic.
+    pub async_drains: AtomicU64,
+    /// Forced drains (read/wait/self-input barriers) on DAG queues.
+    pub forces: AtomicU64,
+}
+
+static DAG: DagCounters = DagCounters {
+    nodes_enqueued: AtomicU64::new(0),
+    pre_fused: AtomicU64::new(0),
+    post_fused: AtomicU64::new(0),
+    fused_chains: AtomicU64::new(0),
+    async_drains: AtomicU64::new(0),
+    forces: AtomicU64::new(0),
+};
+
+/// The global op-DAG counter block.
+pub fn dag() -> &'static DagCounters {
+    &DAG
+}
+
+/// Records one op-DAG node drain that absorbed `pre` input-side and
+/// `post` output-side map stages.
+pub fn record_dag_fusion(pre: u64, post: u64) {
+    DAG.pre_fused.fetch_add(pre, Ordering::Relaxed);
+    DAG.post_fused.fetch_add(post, Ordering::Relaxed);
+    if pre + post > 0 {
+        DAG.fused_chains.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of the op-DAG statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DagTotals {
+    pub nodes_enqueued: u64,
+    pub pre_fused: u64,
+    pub post_fused: u64,
+    pub fused_chains: u64,
+    pub async_drains: u64,
+    pub forces: u64,
+}
+
+pub fn dag_totals() -> DagTotals {
+    DagTotals {
+        nodes_enqueued: DAG.nodes_enqueued.load(Ordering::Relaxed),
+        pre_fused: DAG.pre_fused.load(Ordering::Relaxed),
+        post_fused: DAG.post_fused.load(Ordering::Relaxed),
+        fused_chains: DAG.fused_chains.load(Ordering::Relaxed),
+        async_drains: DAG.async_drains.load(Ordering::Relaxed),
+        forces: DAG.forces.load(Ordering::Relaxed),
+    }
+}
+
 /// Kernel-workspace reuse statistics (`exec::workspace`): how often hot
 /// kernels checked scratch buffers out of the per-thread cache instead of
 /// allocating, and how many buffer bytes that reuse avoided reallocating.
@@ -662,6 +729,12 @@ pub(crate) fn reset() {
     PENDING.max_depth.store(0, Ordering::Relaxed);
     PENDING.errors_raised.store(0, Ordering::Relaxed);
     PENDING.errors_deferred.store(0, Ordering::Relaxed);
+    DAG.nodes_enqueued.store(0, Ordering::Relaxed);
+    DAG.pre_fused.store(0, Ordering::Relaxed);
+    DAG.post_fused.store(0, Ordering::Relaxed);
+    DAG.fused_chains.store(0, Ordering::Relaxed);
+    DAG.async_drains.store(0, Ordering::Relaxed);
+    DAG.forces.store(0, Ordering::Relaxed);
     POOL.tasks_spawned.store(0, Ordering::Relaxed);
     POOL.tasks_inline.store(0, Ordering::Relaxed);
     POOL.parks.store(0, Ordering::Relaxed);
@@ -828,6 +901,27 @@ mod tests {
         assert_eq!((s.samples, s.scrapes, s.dump_writes), (2, 1, 1));
         reset();
         assert_eq!(sampler_totals(), SamplerTotals::default());
+    }
+
+    #[test]
+    fn dag_recording_accumulates() {
+        let _g = serialize();
+        reset();
+        dag().nodes_enqueued.fetch_add(3, Ordering::Relaxed);
+        record_dag_fusion(2, 1);
+        record_dag_fusion(0, 0); // no-fusion drain: no chain scored
+        record_dag_fusion(0, 4);
+        dag().async_drains.fetch_add(1, Ordering::Relaxed);
+        dag().forces.fetch_add(2, Ordering::Relaxed);
+        let t = dag_totals();
+        assert_eq!(t.nodes_enqueued, 3);
+        assert_eq!(t.pre_fused, 2);
+        assert_eq!(t.post_fused, 5);
+        assert_eq!(t.fused_chains, 2);
+        assert_eq!(t.async_drains, 1);
+        assert_eq!(t.forces, 2);
+        reset();
+        assert_eq!(dag_totals(), DagTotals::default());
     }
 
     #[test]

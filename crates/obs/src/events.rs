@@ -38,7 +38,7 @@ use crate::span;
 pub const DEFAULT_EVENTS_CAPACITY: usize = 4096;
 
 /// Number of [`Reason`] codes (array sizing).
-pub const REASON_COUNT: usize = 16;
+pub const REASON_COUNT: usize = 18;
 
 /// Why the runtime did what it did: one code per choice point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +81,14 @@ pub enum Reason {
     /// The mxv/vxm store path picked a vector storage format for its
     /// result: `detail` is "bitmap" or "sparse" (Table III).
     FormatPick,
+    /// An op-DAG node drained with neighbouring map stages fused into its
+    /// kernel (§III cross-operation fusion): `detail` is the node kind,
+    /// payload counts the pre-maps (input side) and post-maps (output
+    /// side) absorbed.
+    DagFuse,
+    /// A lazy op DAG was forced to drain; `detail` says what forced it
+    /// ("read", "wait", "async", "self-input").
+    DagForce,
 }
 
 impl Reason {
@@ -104,6 +112,8 @@ impl Reason {
             Reason::ErrorDeferred => "error-deferred",
             Reason::DispatchPick => "dispatch-pick",
             Reason::FormatPick => "format-pick",
+            Reason::DagFuse => "dag-fuse",
+            Reason::DagForce => "dag-force",
         }
     }
 
@@ -126,6 +136,8 @@ impl Reason {
             Reason::ErrorDeferred,
             Reason::DispatchPick,
             Reason::FormatPick,
+            Reason::DagFuse,
+            Reason::DagForce,
         ]
     }
 
@@ -147,6 +159,8 @@ impl Reason {
             Reason::ErrorDeferred => 13,
             Reason::DispatchPick => 14,
             Reason::FormatPick => 15,
+            Reason::DagFuse => 16,
+            Reason::DagForce => 17,
         }
     }
 
@@ -169,6 +183,8 @@ impl Reason {
             Reason::ErrorDeferred => ["", "", ""],
             Reason::DispatchPick => ["", "", ""],
             Reason::FormatPick => ["nnz", "len", ""],
+            Reason::DagFuse => ["pre_maps", "post_maps", "nnz_in"],
+            Reason::DagForce => ["depth", "", ""],
         }
     }
 }
@@ -473,6 +489,28 @@ pub fn decision_dispatch(op: &'static str, ctx: u64, is_static: bool) {
 pub fn decision_format(op: &'static str, ctx: u64, bitmap: bool, nnz: u64, len: u64) {
     let detail = if bitmap { "bitmap" } else { "sparse" };
     record(Reason::FormatPick, op, detail, ctx, [nnz, len, 0]);
+}
+
+/// An op-DAG node of kind `kind` drained absorbing `pre_maps` input-side
+/// and `post_maps` output-side map stages over `nnz_in` input entries
+/// (§III cross-operation fusion actually firing).
+#[inline]
+pub fn decision_dag_fuse(
+    op: &'static str,
+    ctx: u64,
+    kind: &'static str,
+    pre_maps: u64,
+    post_maps: u64,
+    nnz_in: u64,
+) {
+    record(Reason::DagFuse, op, kind, ctx, [pre_maps, post_maps, nnz_in]);
+}
+
+/// A lazy op DAG was forced to drain `depth` queued stages; `cause` says
+/// what forced it ("read", "wait", "async", "self-input").
+#[inline]
+pub fn decision_dag_force(op: &'static str, ctx: u64, cause: &'static str, depth: u64) {
+    record(Reason::DagForce, op, cause, ctx, [depth, 0, 0]);
 }
 
 // --- reading / explain ----------------------------------------------------

@@ -197,6 +197,14 @@ pub fn collect() -> Vec<Family> {
         vec![Sample::scalar(rate(new.drains, old.drains, dt))],
     );
 
+    let dg = &snap.dag;
+    push("grb.dag.nodes_enqueued", vec![Sample::scalar(dg.nodes_enqueued as f64)]);
+    push("grb.dag.pre_fused", vec![Sample::scalar(dg.pre_fused as f64)]);
+    push("grb.dag.post_fused", vec![Sample::scalar(dg.post_fused as f64)]);
+    push("grb.dag.fused_chains", vec![Sample::scalar(dg.fused_chains as f64)]);
+    push("grb.dag.async_drains", vec![Sample::scalar(dg.async_drains as f64)]);
+    push("grb.dag.forces", vec![Sample::scalar(dg.forces as f64)]);
+
     let ws = &snap.workspace;
     push("grb.workspace.checkouts", vec![Sample::scalar(ws.checkouts as f64)]);
     push("grb.workspace.hits", vec![Sample::scalar(ws.hits as f64)]);

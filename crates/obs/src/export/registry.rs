@@ -74,6 +74,13 @@ static REGISTRY: &[MetricDesc] = &[
     m("grb.pending.errors_raised", C, "Execution errors constructed."),
     m("grb.pending.errors_deferred", C, "Errors surfaced from a drained deferred sequence."),
     m("grb.pending.drain_rate", G, "Queue drains per second over the sampler window."),
+    // Nonblocking op-DAG engine.
+    m("grb.dag.nodes_enqueued", C, "Lazy op nodes enqueued on container DAGs."),
+    m("grb.dag.pre_fused", C, "Input-side map stages folded into node kernels."),
+    m("grb.dag.post_fused", C, "Trailing map stages drained with their node."),
+    m("grb.dag.fused_chains", C, "Node drains that fused at least one stage."),
+    m("grb.dag.async_drains", C, "DAG drains handed to the worker pool."),
+    m("grb.dag.forces", C, "Forced DAG drains (read/wait/self-input barriers)."),
     // Kernel-workspace reuse.
     m("grb.workspace.checkouts", C, "Scratch checkouts requested by kernels."),
     m("grb.workspace.hits", C, "Checkouts served from the per-thread cache."),

@@ -66,7 +66,8 @@ pub mod span;
 pub mod timeline;
 
 pub use counters::{
-    DispatchTotals, FormatTotals, Kernel, KernelTotals, PendingTotals, PoolTotals, KERNEL_COUNT,
+    DagTotals, DispatchTotals, FormatTotals, Kernel, KernelTotals, PendingTotals, PoolTotals,
+    KERNEL_COUNT,
 };
 pub use ctxreg::{register_context, ContextStats, CtxTotals};
 pub use events::{

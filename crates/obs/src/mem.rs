@@ -131,6 +131,14 @@ pub(crate) fn reset_high_water() {
     WORKSPACE.reset_high();
 }
 
+/// Re-arms the high-water marks without touching any other telemetry —
+/// for harnesses that bracket a measured phase mid-run, where a full
+/// [`crate::reset`] would wipe counters and the event ring that earlier
+/// phases already contributed.
+pub fn rearm_high_water() {
+    reset_high_water();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

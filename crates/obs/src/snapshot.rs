@@ -3,8 +3,8 @@
 //! the bench harness (`BENCH_obs.json`).
 
 use crate::counters::{
-    self, DirectionTotals, DispatchTotals, FormatTotals, KernelTotals, PendingTotals, PoolTotals,
-    SamplerTotals, WorkspaceTotals,
+    self, DagTotals, DirectionTotals, DispatchTotals, FormatTotals, KernelTotals, PendingTotals,
+    PoolTotals, SamplerTotals, WorkspaceTotals,
 };
 use crate::ctxreg::{self, ContextStats};
 use crate::events::{self, Reason};
@@ -22,6 +22,8 @@ pub struct Snapshot {
     pub kernels: Vec<KernelTotals>,
     /// Pending-queue / fusion statistics.
     pub pending: PendingTotals,
+    /// Op-DAG statistics (§III nonblocking fused execution).
+    pub dag: DagTotals,
     /// Thread-pool activity (including the scheduler metrics: queue
     /// depth, wait-vs-run split, worker busy time).
     pub pool: PoolTotals,
@@ -64,6 +66,7 @@ pub fn snapshot() -> Snapshot {
         enabled: crate::enabled(),
         kernels: counters::kernel_totals(),
         pending: counters::pending_totals(),
+        dag: counters::dag_totals(),
         pool: counters::pool_totals(),
         pool_workers: counters::worker_busy_totals(),
         sampler: counters::sampler_totals(),
@@ -163,6 +166,22 @@ impl Snapshot {
         w.number(self.pending.errors_raised);
         w.key("errors_deferred");
         w.number(self.pending.errors_deferred);
+        w.end_object();
+
+        w.key("dag");
+        w.begin_object();
+        w.key("nodes_enqueued");
+        w.number(self.dag.nodes_enqueued);
+        w.key("pre_fused");
+        w.number(self.dag.pre_fused);
+        w.key("post_fused");
+        w.number(self.dag.post_fused);
+        w.key("fused_chains");
+        w.number(self.dag.fused_chains);
+        w.key("async_drains");
+        w.number(self.dag.async_drains);
+        w.key("forces");
+        w.number(self.dag.forces);
         w.end_object();
 
         w.key("pool");
@@ -359,6 +378,8 @@ mod tests {
         assert!(json.contains("\"kernels\""));
         assert!(json.contains("\"spgemm\""));
         assert!(json.contains("\"pending\""));
+        assert!(json.contains("\"dag\""));
+        assert!(json.contains("\"fused_chains\""));
         assert!(json.contains("\"pool\""));
         assert!(json.contains("\"queue_depth_max\""));
         assert!(json.contains("\"task_wait_ns\""));

@@ -5,6 +5,14 @@
 //! vector. [`vxm`] is the *push* kernel (`GrB_vxm`): input nonzeros scatter
 //! their row of the matrix into per-task accumulators that are then merged
 //! — the natural shape for frontier expansion in BFS-like algorithms.
+//!
+//! The `*_fused` variants take optional [`FusedMap`] hooks so the
+//! nonblocking execution DAG can fold whole apply/select chains into the
+//! numeric phase: `pre` transforms (or drops) each *input* entry exactly
+//! once as it enters the kernel, `post` transforms each *output* entry as
+//! it is emitted — no intermediate vector is ever materialized. `vxm_fused`
+//! additionally accepts an `allowed` column predicate so a masked `vxm`
+//! can skip scattering into columns the mask will discard anyway.
 
 use std::ops::Range;
 
@@ -35,8 +43,19 @@ impl<'a, X> XLookup<'a, X> {
     }
 }
 
+/// An element map fused into a kernel's numeric phase:
+/// `(index, &value) -> Option<value>`, where `None` drops the entry
+/// (select semantics). These are the drained composition of a container's
+/// pending `Stage::Map` chain, applied exactly once per touched element.
+// grblint: allow(dyn-semiring-in-hot-kernel) — fused maps arrive from the
+// type-erased pending queue and run once per touched element (build or
+// merge pass), never inside the semiring flop loop.
+pub type FusedMap<'a, T> = &'a (dyn Fn(usize, &T) -> Option<T> + Sync);
+
 /// `y = A ⊕.⊗ x` (pull). `is_terminal`, when given, allows each row's
 /// accumulation to stop early once the add-monoid annihilator is reached.
+// grblint: allow(span-at-kernel-boundary) — thin forwarder; the span
+// opens in `spmv_fused`.
 pub fn spmv<A, X, Z, FM, FA, FT>(
     ctx: &Context,
     a: &Csr<A>,
@@ -44,6 +63,32 @@ pub fn spmv<A, X, Z, FM, FA, FT>(
     mul: FM,
     add: FA,
     is_terminal: Option<FT>,
+) -> SparseVec<Z>
+where
+    A: Clone + Send + Sync,
+    X: Clone + Send + Sync,
+    Z: Clone + Send + Sync,
+    FM: Fn(&A, &X) -> Z + Sync,
+    FA: Fn(Z, Z) -> Z + Sync,
+    FT: Fn(&Z) -> bool + Sync,
+{
+    spmv_fused(ctx, a, x, mul, add, is_terminal, None, None)
+}
+
+/// [`spmv`] with fused element maps: `pre` rewrites each input-vector
+/// entry as the densification table is built (a dropped entry is simply
+/// never scattered, so annihilated inputs cost nothing in the row loop);
+/// `post` rewrites each output entry before assembly.
+#[allow(clippy::too_many_arguments)]
+pub fn spmv_fused<A, X, Z, FM, FA, FT>(
+    ctx: &Context,
+    a: &Csr<A>,
+    x: &SparseVec<X>,
+    mul: FM,
+    add: FA,
+    is_terminal: Option<FT>,
+    pre: Option<FusedMap<'_, X>>,
+    post: Option<FusedMap<'_, Z>>,
 ) -> SparseVec<Z>
 where
     A: Clone + Send + Sync,
@@ -70,8 +115,10 @@ where
     // Dense sorted frontier ⇒ entry j lives at position j; skip the
     // densification table entirely. Sparse frontier ⇒ check a
     // generation-stamped position table out of the thread's workspace
-    // cache instead of allocating `vec![None; n]` per call.
-    let dense = x.nnz() == x.len() && x.is_sorted();
+    // cache instead of allocating `vec![None; n]` per call. A fused pre
+    // map forces the table path: the map may drop or rewrite entries, so
+    // positions are no longer the identity.
+    let dense = pre.is_none() && x.nnz() == x.len() && x.is_sorted();
     if graphblas_obs::events::on() {
         graphblas_obs::events::decision_kernel_path(
             "spmv",
@@ -81,20 +128,35 @@ where
             x.len() as u64,
         );
     }
+    let mut fused_vals: Vec<X> = Vec::new();
     let table_ws: Option<workspace::Checkout<MarkTable>> = if dense {
         None
     } else {
         let mut t = workspace::checkout::<MarkTable>(x.len());
-        for (p, &j) in x.indices().iter().enumerate() {
-            t.set(j, p);
+        if let Some(f) = pre {
+            // Apply the input chain once per entry at scatter time;
+            // entries the chain drops are never marked, so the row loop
+            // skips them for free.
+            fused_vals.reserve(x.nnz());
+            for (j, v) in x.iter() {
+                if let Some(fv) = f(j, v) {
+                    t.set(j, fused_vals.len());
+                    fused_vals.push(fv);
+                }
+            }
+        } else {
+            for (p, &j) in x.indices().iter().enumerate() {
+                t.set(j, p);
+            }
         }
         Some(t)
     };
-    let lookup = match table_ws.as_deref() {
-        None => XLookup::Dense(x.values()),
-        Some(t) => XLookup::Table(t, x.values()),
+    let lookup = match (table_ws.as_deref(), pre.is_some()) {
+        (None, _) => XLookup::Dense(x.values()),
+        (Some(t), true) => XLookup::Table(t, &fused_vals),
+        (Some(t), false) => XLookup::Table(t, x.values()),
     };
-    let y = spmv_rows(ctx, a, &lookup, &mul, &add, is_terminal.as_ref());
+    let y = spmv_rows(ctx, a, &lookup, &mul, &add, is_terminal.as_ref(), post);
     if sp.active() {
         sp.io(0, 0, y.nnz() as u64, 0);
     }
@@ -104,6 +166,8 @@ where
 /// `y = A ⊕.⊗ x` (pull) over a bitmap-format frontier. Identical row loop
 /// to [`spmv`], but entry lookup is a word-indexed bit test — no
 /// densification table needs to be built or checked out.
+// grblint: allow(span-at-kernel-boundary) — thin forwarder; the span
+// opens in `spmv_bitmap_fused`.
 pub fn spmv_bitmap<A, X, Z, FM, FA, FT>(
     ctx: &Context,
     a: &Csr<A>,
@@ -111,6 +175,32 @@ pub fn spmv_bitmap<A, X, Z, FM, FA, FT>(
     mul: FM,
     add: FA,
     is_terminal: Option<FT>,
+) -> SparseVec<Z>
+where
+    A: Clone + Send + Sync,
+    X: Clone + Send + Sync,
+    Z: Clone + Send + Sync,
+    FM: Fn(&A, &X) -> Z + Sync,
+    FA: Fn(Z, Z) -> Z + Sync,
+    FT: Fn(&Z) -> bool + Sync,
+{
+    spmv_bitmap_fused(ctx, a, x, mul, add, is_terminal, None, None)
+}
+
+/// [`spmv_bitmap`] with fused element maps. With a `pre` chain the
+/// bit-test lookup is replaced by a position table holding the rewritten
+/// values (built in one pass over the bitmap, still without materializing
+/// an intermediate vector); without one the bitmap is probed directly.
+#[allow(clippy::too_many_arguments)]
+pub fn spmv_bitmap_fused<A, X, Z, FM, FA, FT>(
+    ctx: &Context,
+    a: &Csr<A>,
+    x: &BitmapVec<X>,
+    mul: FM,
+    add: FA,
+    is_terminal: Option<FT>,
+    pre: Option<FusedMap<'_, X>>,
+    post: Option<FusedMap<'_, Z>>,
 ) -> SparseVec<Z>
 where
     A: Clone + Send + Sync,
@@ -143,8 +233,25 @@ where
             x.len() as u64,
         );
     }
-    let lookup = XLookup::Bitmap(x);
-    let y = spmv_rows(ctx, a, &lookup, &mul, &add, is_terminal.as_ref());
+    let mut fused_vals: Vec<X> = Vec::new();
+    let table_ws: Option<workspace::Checkout<MarkTable>> = if let Some(f) = pre {
+        let mut t = workspace::checkout::<MarkTable>(x.len());
+        fused_vals.reserve(x.nnz());
+        for (j, v) in x.iter() {
+            if let Some(fv) = f(j, v) {
+                t.set(j, fused_vals.len());
+                fused_vals.push(fv);
+            }
+        }
+        Some(t)
+    } else {
+        None
+    };
+    let lookup = match table_ws.as_deref() {
+        Some(t) => XLookup::Table(t, &fused_vals),
+        None => XLookup::Bitmap(x),
+    };
+    let y = spmv_rows(ctx, a, &lookup, &mul, &add, is_terminal.as_ref(), post);
     if sp.active() {
         sp.io(0, 0, y.nnz() as u64, 0);
     }
@@ -152,7 +259,9 @@ where
 }
 
 /// Shared pull row loop: nnz-balanced row ranges, per-row dot product with
-/// optional terminal early-exit, concatenated sorted assembly.
+/// optional terminal early-exit, concatenated sorted assembly. A fused
+/// `post` map rewrites (or drops) each row's accumulated value in-register
+/// before it is pushed into the output chunk.
 fn spmv_rows<A, X, Z, FM, FA, FT>(
     ctx: &Context,
     a: &Csr<A>,
@@ -160,6 +269,7 @@ fn spmv_rows<A, X, Z, FM, FA, FT>(
     mul: &FM,
     add: &FA,
     is_terminal: Option<&FT>,
+    post: Option<FusedMap<'_, Z>>,
 ) -> SparseVec<Z>
 where
     A: Clone + Send + Sync,
@@ -198,6 +308,10 @@ where
                     }
                 }
             }
+            let acc = match (acc, post) {
+                (Some(v), Some(p)) => p(i, &v),
+                (acc, _) => acc,
+            };
             if let Some(v) = acc {
                 idx.push(i);
                 vals.push(v);
@@ -218,12 +332,43 @@ where
 /// `yᵀ = xᵀ ⊕.⊗ A` (push). Each task scatters a chunk of `x`'s nonzeros
 /// through their matrix rows into a dense accumulator; per-task partial
 /// results are then union-merged with the add operator.
+// grblint: allow(span-at-kernel-boundary) — thin forwarder; the span
+// opens in `vxm_fused`.
 pub fn vxm<X, A, Z, FM, FA>(
     ctx: &Context,
     x: &SparseVec<X>,
     a: &Csr<A>,
     mul: FM,
     add: FA,
+) -> SparseVec<Z>
+where
+    X: Clone + Send + Sync,
+    A: Clone + Send + Sync,
+    Z: Clone + Send + Sync + 'static,
+    FM: Fn(&X, &A) -> Z + Sync,
+    FA: Fn(Z, Z) -> Z + Sync,
+{
+    vxm_fused(ctx, x, a, mul, add, None, None, None)
+}
+
+/// [`vxm`] with fused element maps and an optional mask prefilter. `pre`
+/// rewrites each frontier entry once as it is read (a dropped entry never
+/// scatters its matrix row); `post` rewrites each merged output entry;
+/// `allowed` is a column predicate — typically a mask bitset test — that
+/// stops disallowed columns from ever entering the accumulators, so a
+/// masked `vxm` does not pay for entries the merge would discard.
+#[allow(clippy::too_many_arguments)]
+pub fn vxm_fused<X, A, Z, FM, FA>(
+    ctx: &Context,
+    x: &SparseVec<X>,
+    a: &Csr<A>,
+    mul: FM,
+    add: FA,
+    pre: Option<FusedMap<'_, X>>,
+    post: Option<FusedMap<'_, Z>>,
+    // grblint: allow(dyn-semiring-in-hot-kernel) — the mask prefilter is
+    // one bit test per scattered column, not a semiring operator.
+    allowed: Option<&(dyn Fn(usize) -> bool + Sync)>,
 ) -> SparseVec<Z>
 where
     X: Clone + Send + Sync,
@@ -246,6 +391,15 @@ where
             (a.nnz() + nnz) as u64,
             0,
             ((a.nnz() + nnz) * std::mem::size_of::<usize>()) as u64,
+        );
+    }
+    if graphblas_obs::events::on() && allowed.is_some() {
+        graphblas_obs::events::decision_kernel_path(
+            "vxm",
+            ctx.id(),
+            "masked-scatter",
+            nnz as u64,
+            ncols as u64,
         );
     }
     // Weight chunks of x's nonzeros by the matrix rows they touch.
@@ -272,9 +426,25 @@ where
         let _task = graphblas_obs::timeline::phase("mxv.push.task");
         let mut acc = workspace::checkout::<DenseAcc<Z>>(ncols);
         for e in entries {
-            let (i, xval) = (xi[e], &xv[e]);
+            let i = xi[e];
+            let owned;
+            let xval: &X = match pre {
+                Some(f) => match f(i, &xv[e]) {
+                    Some(v) => {
+                        owned = v;
+                        &owned
+                    }
+                    None => continue,
+                },
+                None => &xv[e],
+            };
             let (cols, avs) = a.row(i);
             for (&j, av) in cols.iter().zip(avs) {
+                if let Some(alw) = allowed {
+                    if !alw(j) {
+                        continue;
+                    }
+                }
                 let prod = mul(xval, av);
                 acc.upsert(j, prod, &add);
             }
@@ -290,7 +460,11 @@ where
     });
     drop(push);
     let _merge = graphblas_obs::timeline::phase("mxv.merge");
-    let y = crate::ewise::svec_kmerge(ctx, partials, |a, b| add(a.clone(), b.clone()));
+    let merged = crate::ewise::svec_kmerge(ctx, partials, |a, b| add(a.clone(), b.clone()));
+    let y = match post {
+        Some(p) => merged.filter_map_with_index(|j, v| p(j, v)),
+        None => merged,
+    };
     if sp.active() {
         sp.io(0, 0, y.nnz() as u64, 0);
     }
@@ -400,6 +574,112 @@ mod tests {
         assert_eq!(with_t.to_sorted_tuples(), without.to_sorted_tuples());
         assert_eq!(with_t.get(0), Some(&true));
         assert_eq!(with_t.get(1), Some(&false));
+    }
+
+    #[test]
+    fn spmv_fused_pre_post_match_materialized() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::from_parts(3, vec![0, 1, 2], vec![1i64, 2, 3]).unwrap();
+        // pre: double and drop entries > 4; post: +1 and drop odd rows.
+        let pre = |_j: usize, v: &i64| -> Option<i64> {
+            let d = v * 2;
+            (d <= 4).then_some(d)
+        };
+        let post = |i: usize, v: &i64| -> Option<i64> { (i % 2 == 0).then_some(v + 1) };
+        let xm = x.filter_map_with_index(pre);
+        let expect = spmv(&ctx, &a, &xm, |a, x| a * x, |p, q| p + q, None::<fn(&i64) -> bool>)
+            .filter_map_with_index(post);
+        let fused = spmv_fused(
+            &ctx,
+            &a,
+            &x,
+            |a, x| a * x,
+            |p, q| p + q,
+            None::<fn(&i64) -> bool>,
+            Some(&pre),
+            Some(&post),
+        );
+        assert_eq!(fused.to_sorted_tuples(), expect.to_sorted_tuples());
+    }
+
+    #[test]
+    fn spmv_bitmap_fused_matches_sparse_fused() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::from_parts(3, vec![0, 2], vec![10i64, 20]).unwrap();
+        let xb = BitmapVec::from_svec(&x);
+        let pre = |_j: usize, v: &i64| -> Option<i64> { (*v < 15).then_some(v + 1) };
+        let sparse = spmv_fused(
+            &ctx,
+            &a,
+            &x,
+            |a, x| a * x,
+            |p, q| p + q,
+            None::<fn(&i64) -> bool>,
+            Some(&pre),
+            None,
+        );
+        let bitmap = spmv_bitmap_fused(
+            &ctx,
+            &a,
+            &xb,
+            |a, x| a * x,
+            |p, q| p + q,
+            None::<fn(&i64) -> bool>,
+            Some(&pre),
+            None,
+        );
+        assert_eq!(bitmap.to_sorted_tuples(), sparse.to_sorted_tuples());
+    }
+
+    #[test]
+    fn vxm_fused_pre_post_match_materialized() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::from_parts(3, vec![0, 1, 2], vec![1i64, 2, 3]).unwrap();
+        let pre = |_j: usize, v: &i64| -> Option<i64> { (*v != 2).then_some(v * 10) };
+        let post = |_j: usize, v: &i64| -> Option<i64> { (*v > 40).then_some(*v) };
+        let xm = x.filter_map_with_index(pre);
+        let expect = vxm(&ctx, &xm, &a, |x, a| x * a, |p, q| p + q)
+            .filter_map_with_index(post);
+        let fused = vxm_fused(
+            &ctx,
+            &x,
+            &a,
+            |x, a| x * a,
+            |p, q| p + q,
+            Some(&pre),
+            Some(&post),
+            None,
+        );
+        assert_eq!(fused.to_sorted_tuples(), expect.to_sorted_tuples());
+    }
+
+    #[test]
+    fn vxm_masked_scatter_prefilters_columns() {
+        let ctx = global_context();
+        let a = matrix();
+        let x = SparseVec::from_parts(3, vec![0, 2], vec![1i64, 2]).unwrap();
+        let full = vxm(&ctx, &x, &a, |x, a| x * a, |p, q| p + q);
+        // Only even columns allowed: the masked run must equal the full
+        // run restricted to those columns.
+        let masked = vxm_fused(
+            &ctx,
+            &x,
+            &a,
+            |x, a| x * a,
+            |p, q| p + q,
+            None,
+            None,
+            Some(&|j: usize| j % 2 == 0),
+        );
+        let expect: Vec<(usize, i64)> = full
+            .to_sorted_tuples()
+            .into_iter()
+            .filter(|(j, _)| j % 2 == 0)
+            .collect();
+        assert_eq!(masked.to_sorted_tuples(), expect);
     }
 
     #[test]

@@ -59,7 +59,7 @@ done
 # CI) the per-test schedule count without recompiling.
 cargo test -q -p graphblas-check --test model_pool --test model_channels \
     --test model_pending --test model_fig1 --test model_transpose_cache \
-    --test model_race
+    --test model_race --test model_dag_drain
 
 # Optional ThreadSanitizer pass (EXPERIMENTS.md "Sanitizer runs"): the
 # model checker explores interleavings of *model* primitives; TSan
@@ -90,7 +90,8 @@ fi
 # properly nested, multi-threaded, and covers the spgemm/mxv kernel
 # phases, and the grbexplain reader proves the run actually recorded the
 # paper's choice points: at least one direction pick, one workspace hit,
-# and one fused map flush.
+# one fused map flush, and — for the nonblocking op DAG — at least one
+# cross-operation fusion and one forced drain.
 trace_file="$(mktemp -t grb_trace.XXXXXX.json)"
 explain_file="$(mktemp -t grb_explain.XXXXXX.json)"
 metrics_file="$(mktemp -t grb_metrics.XXXXXX.prom)"
@@ -107,7 +108,8 @@ done
 for key in '"pagerank"' '"bfs"' '"spgemm"' '"fused_apply"' '"workspace"' '"direction"' \
            '"dispatch"' '"format"' '"static_hits"' '"bitmap_picks"' \
            '"median_secs"' '"kernels"' '"p50_ns"' '"p99_ns"' '"mem"' \
-           '"container_high_bytes"'; do
+           '"container_high_bytes"' '"fused_pipeline"' \
+           '"fused_pipeline_blocking"' '"mem_high"'; do
     grep -q "$key" BENCH_kernels_smoke.json \
         || { echo "check: BENCH_kernels_smoke.json lacks $key" >&2; exit 1; }
 done
@@ -115,7 +117,8 @@ for key in '"kernels"' '"pending"' '"pool"' '"workspace"' '"direction"' '"mem"' 
            '"dispatch"' '"format"' '"static_hits"' '"dyn_fallbacks"' \
            '"contexts"' '"decisions"' '"decisions_total"' '"events_total"' \
            '"container_high_bytes"' '"p50_ns"' '"p99_ns"' '"fusion_hits"' \
-           '"sampler"' '"queue_depth_max"' '"task_wait_ns"'; do
+           '"sampler"' '"queue_depth_max"' '"task_wait_ns"' \
+           '"dag"' '"nodes_enqueued"' '"fused_chains"'; do
     grep -q "$key" BENCH_obs.json \
         || { echo "check: BENCH_obs.json lacks $key" >&2; exit 1; }
 done
@@ -132,10 +135,14 @@ cargo run -q -p graphblas-check --bin metricscheck -- "$metrics_file" \
     --require grb_pool_utilization \
     --require grb_pool_task_wait_ns \
     --require grb_pool_task_run_ns \
-    --require grb_mem_container_high_bytes
+    --require grb_mem_container_high_bytes \
+    --require grb_dag_nodes_enqueued \
+    --require grb_dag_fused_chains
 cargo run -q -p graphblas-check --bin grbexplain -- "$explain_file" \
     --assert reason=direction-pick,min=1 \
     --assert reason=workspace-hit,min=1 \
     --assert reason=fuse-flush,min=1 \
     --assert reason=dispatch-pick,min=1 \
-    --assert reason=format-pick,min=1
+    --assert reason=format-pick,min=1 \
+    --assert reason=dag-fuse,min=1 \
+    --assert reason=dag-force,min=1
